@@ -1,0 +1,99 @@
+// Figure 5 / Section 4.5 ablation: the cost of the protocol's collective
+// handling. Every data collective is preceded by a control exchange
+// (epoch + amLogging conjunction); while logging, results are additionally
+// copied into the event log. This bench separates those costs and also
+// measures the log/replay path by checkpointing right before a burst of
+// collectives.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace c3;
+using namespace c3::bench;
+
+void allreduce_burst(Process& p, std::size_t elems, int rounds,
+                     bool checkpoint_first) {
+  int iter = 0;
+  p.register_value("iter", iter);
+  p.complete_registration();
+  if (checkpoint_first) p.potential_checkpoint();
+  std::vector<double> in(elems, 1.0), out(elems);
+  for (int i = 0; i < rounds; ++i) {
+    p.allreduce({reinterpret_cast<const std::byte*>(in.data()),
+                 in.size() * sizeof(double)},
+                {reinterpret_cast<std::byte*>(out.data()),
+                 out.size() * sizeof(double)},
+                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  }
+}
+
+void table() {
+  std::printf(
+      "\n=== Collective handling cost (Figure 5 / Section 4.5) ===\n"
+      "(raw = plain allreduce; protocol = + control exchange; logging = + "
+      "result copies into the event log while amLogging)\n");
+  std::printf("%-12s %-8s %10s %12s %12s\n", "elems", "rounds", "raw",
+              "protocol", "logging");
+  for (std::size_t elems : {1u, 64u, 4096u}) {
+    constexpr int kRounds = 150;
+    double raw_secs, proto_secs, logging_secs;
+    {
+      JobConfig cfg;
+      cfg.ranks = 4;
+      cfg.level = InstrumentLevel::kRaw;
+      raw_secs = time_job(cfg, [&](Process& p) {
+        allreduce_burst(p, elems, kRounds, false);
+      });
+    }
+    {
+      JobConfig cfg;
+      cfg.ranks = 4;
+      cfg.level = InstrumentLevel::kPiggybackOnly;
+      proto_secs = time_job(cfg, [&](Process& p) {
+        allreduce_burst(p, elems, kRounds, false);
+      });
+    }
+    {
+      // Checkpoint immediately, then run the burst while every rank logs.
+      JobConfig cfg;
+      cfg.ranks = 4;
+      cfg.level = InstrumentLevel::kFull;
+      cfg.policy = core::CheckpointPolicy::every(1);
+      cfg.policy.max_checkpoints = 1;
+      logging_secs = time_job(cfg, [&](Process& p) {
+        allreduce_burst(p, elems, kRounds, true);
+      });
+    }
+    std::printf("%-12zu %-8d %9.3fs %11.3fs %11.3fs\n", elems, kRounds,
+                raw_secs, proto_secs, logging_secs);
+  }
+}
+
+void BM_AllreduceLevel(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  const auto level = static_cast<InstrumentLevel>(state.range(1));
+  for (auto _ : state) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.level = level;
+    Job job(cfg);
+    job.run([&](Process& p) { allreduce_burst(p, elems, 50, false); });
+  }
+  state.SetLabel(level_name(level));
+}
+
+BENCHMARK(BM_AllreduceLevel)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every Figure-8 binary measures the same four program versions the paper
+// compares (Section 6.2):
+//   1. the unmodified program            (InstrumentLevel::kRaw)
+//   2. + piggybacked data on messages    (kPiggybackOnly)
+//   3. + protocol logs & MPI lib state   (kNoAppState)
+//   4. + full checkpoints w/ app state   (kFull)
+// and prints a paper-style table (rows = problem size, columns = versions,
+// plus overhead % over the unmodified program).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace c3::bench {
+
+using core::InstrumentLevel;
+using core::Job;
+using core::JobConfig;
+using core::Process;
+
+inline const char* level_name(InstrumentLevel level) {
+  switch (level) {
+    case InstrumentLevel::kRaw: return "unmodified";
+    case InstrumentLevel::kPiggybackOnly: return "piggyback";
+    case InstrumentLevel::kNoAppState: return "no-app-state";
+    case InstrumentLevel::kFull: return "full-ckpt";
+  }
+  return "?";
+}
+
+inline constexpr InstrumentLevel kAllLevels[] = {
+    InstrumentLevel::kRaw, InstrumentLevel::kPiggybackOnly,
+    InstrumentLevel::kNoAppState, InstrumentLevel::kFull};
+
+/// Wall-clock one full job execution (seconds).
+inline double time_job(const JobConfig& cfg,
+                       const std::function<void(Process&)>& app) {
+  Job job(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  job.run(app);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// One row of a Figure-8-style table.
+struct Fig8Row {
+  std::string label;        ///< problem size label
+  std::string state_label;  ///< application state size (paper annotates bars)
+  double seconds[4] = {0, 0, 0, 0};  ///< per version, kAllLevels order
+};
+
+inline void print_fig8_header(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(paper: %s)\n", paper_note);
+  std::printf("%-14s %-12s %11s %11s %13s %11s %10s\n", "size", "state/rank",
+              "unmodified", "piggyback", "no-app-state", "full-ckpt",
+              "overhead%");
+}
+
+inline void print_fig8_row(const Fig8Row& row) {
+  const double raw = row.seconds[0];
+  const double full = row.seconds[3];
+  const double overhead = raw > 0 ? (full / raw - 1.0) * 100.0 : 0.0;
+  std::printf("%-14s %-12s %10.3fs %10.3fs %12.3fs %10.3fs %9.1f%%\n",
+              row.label.c_str(), row.state_label.c_str(), row.seconds[0],
+              row.seconds[1], row.seconds[2], row.seconds[3], overhead);
+}
+
+/// Calibrate an iteration count so the unmodified run lasts ~target_secs.
+/// `probe` runs the workload with the given iteration count and returns its
+/// wall time in seconds. Two probe points subtract the fixed per-job setup
+/// cost (thread spawn, matrix generation) from the per-iteration slope.
+inline int calibrate_iterations(const std::function<double(int)>& probe,
+                                double target_secs, int probe_iters = 10,
+                                int min_iters = 20, int max_iters = 100000) {
+  const double t1 = probe(probe_iters);
+  const double t3 = probe(3 * probe_iters);
+  const double per_iter = (t3 - t1) / (2 * probe_iters);
+  if (per_iter <= 0) return min_iters;
+  const double setup = std::max(0.0, t1 - per_iter * probe_iters);
+  const int iters =
+      static_cast<int>(std::max(1.0, (target_secs - setup) / per_iter));
+  return std::max(min_iters, std::min(max_iters, iters));
+}
+
+/// Bandwidth-modelled stable storage standing in for the paper's 40 MB/s
+/// local checkpoint disks: a throttled in-memory store (pure bandwidth
+/// model, no real-I/O noise).
+class ModelledDisk {
+ public:
+  explicit ModelledDisk(std::uint64_t bytes_per_sec)
+      : storage_(std::make_shared<util::MemoryStorage>(bytes_per_sec)) {}
+  std::shared_ptr<util::StableStorage> storage() { return storage_; }
+
+ private:
+  std::shared_ptr<util::MemoryStorage> storage_;
+};
+
+inline std::string human_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace c3::bench

@@ -1,0 +1,111 @@
+// Figure 8c: Neurosys, four program versions per network size. The paper's
+// signature finding concerns versions 1-2, not checkpoint volume: each data
+// MPI_Allgather is preceded by a control MPI_Allgather carrying protocol
+// information, so on the smallest network (16x16, trivial compute) the
+// protocol layer costs up to 160% -- and the overhead falls to 2.7% at
+// 128x128 as per-iteration computation grows while the number of
+// collectives per iteration stays fixed (5 allgathers + 1 gather).
+#include <benchmark/benchmark.h>
+
+#include "apps/neurosys.hpp"
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace c3;
+using namespace c3::bench;
+
+constexpr int kRanks = 4;
+constexpr double kTargetSecs = 0.5;
+constexpr std::uint64_t kDiskBytesPerSec = 160ull * 1024 * 1024;
+
+double run_version(std::size_t neurons, int iters, InstrumentLevel level,
+                   std::chrono::milliseconds interval,
+                   apps::NeurosysResult* probe) {
+  ModelledDisk disk(kDiskBytesPerSec);
+  JobConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.level = level;
+  cfg.policy = core::CheckpointPolicy::timed(interval);
+  cfg.storage = disk.storage();
+  return time_job(cfg, [&](Process& p) {
+    apps::NeurosysConfig app;
+    app.neurons = neurons;
+    app.iterations = iters;
+    // More connections per neuron on larger networks: computation per
+    // iteration grows faster than the (fixed) collective count, exactly
+    // the regime the paper describes.
+    app.fan_in = static_cast<int>(std::min<std::size_t>(neurons / 4, 64));
+    app.checkpoints = (level == InstrumentLevel::kNoAppState ||
+                       level == InstrumentLevel::kFull);
+    auto result = apps::run_neurosys(p, app);
+    if (p.rank() == 0 && probe) *probe = result;
+  });
+}
+
+void paper_table() {
+  print_fig8_header(
+      "Figure 8c: Neurosys",
+      "sizes 16^2..128^2, state 18KB..1.24MB; protocol-layer overhead "
+      "(version 1 vs unmodified) 160% @16^2 -> 85% -> 34% -> 2.7% @128^2");
+  for (std::size_t neurons : {256u, 1024u, 4096u, 16384u}) {
+    const int iters = calibrate_iterations(
+        [&](int probe_iters) {
+          return run_version(neurons, probe_iters, InstrumentLevel::kRaw,
+                             std::chrono::milliseconds(0), nullptr);
+        },
+        kTargetSecs, /*probe_iters=*/5, /*min_iters=*/10);
+    const auto interval = std::chrono::milliseconds(
+        static_cast<int>(kTargetSecs * 1000 / 3));
+    Fig8Row row;
+    row.label = std::to_string(neurons) + " neurons";
+    apps::NeurosysResult probe;
+    for (int v = 0; v < 4; ++v) {
+      row.seconds[v] =
+          run_version(neurons, iters, kAllLevels[v], interval, &probe);
+    }
+    row.state_label = human_bytes(probe.state_bytes);
+    print_fig8_row(row);
+    const double pb_overhead =
+        (row.seconds[1] / row.seconds[0] - 1.0) * 100.0;
+    std::printf("    -> piggyback/control overhead (paper's curve): %.1f%%\n",
+                pb_overhead);
+  }
+}
+
+void BM_NeurosysVersion(benchmark::State& state) {
+  const auto neurons = static_cast<std::size_t>(state.range(0));
+  const auto level = static_cast<InstrumentLevel>(state.range(1));
+  for (auto _ : state) {
+    JobConfig cfg;
+    cfg.ranks = kRanks;
+    cfg.level = level;
+    cfg.policy = core::CheckpointPolicy::every(10);
+    Job job(cfg);
+    job.run([&](Process& p) {
+      apps::NeurosysConfig app;
+      app.neurons = neurons;
+      app.iterations = 20;
+      app.checkpoints = (level == InstrumentLevel::kNoAppState ||
+                         level == InstrumentLevel::kFull);
+      apps::run_neurosys(p, app);
+    });
+  }
+  state.SetLabel(level_name(level));
+}
+
+BENCHMARK(BM_NeurosysVersion)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paper_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

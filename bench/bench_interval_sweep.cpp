@@ -1,0 +1,85 @@
+// Checkpoint-interval sweep (the paper fixes 30 s; this ablation shows the
+// overhead/interval trade-off the number implies): more frequent global
+// checkpoints cost more runtime and storage traffic but shorten the
+// recovery rollback window.
+#include <benchmark/benchmark.h>
+
+#include "apps/laplace.hpp"
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace c3;
+using namespace c3::bench;
+
+constexpr int kIters = 60;
+constexpr std::size_t kGrid = 192;
+
+void sweep_table() {
+  std::printf(
+      "\n=== Checkpoint interval sweep (Section 6.1's 30s interval) ===\n"
+      "(overhead falls as the interval grows; storage volume scales with "
+      "checkpoint count)\n");
+  // Baseline without checkpoints.
+  JobConfig raw_cfg;
+  raw_cfg.ranks = 4;
+  raw_cfg.level = InstrumentLevel::kRaw;
+  const double raw_secs = time_job(raw_cfg, [&](Process& p) {
+    apps::LaplaceConfig app;
+    app.n = kGrid;
+    app.iterations = kIters;
+    app.checkpoints = false;
+    apps::run_laplace(p, app);
+  });
+  std::printf("%-16s %10s %12s %12s %12s\n", "ckpt every", "runtime",
+              "overhead%", "ckpts", "bytes");
+  std::printf("%-16s %9.3fs %11s %12s %12s\n", "never (raw)", raw_secs, "-",
+              "0", "0");
+  for (std::uint64_t every : {2ull, 5ull, 10ull, 20ull, 40ull}) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.level = InstrumentLevel::kFull;
+    cfg.policy = core::CheckpointPolicy::every(every);
+    auto storage = std::make_shared<util::MemoryStorage>();
+    cfg.storage = storage;
+    const double secs = time_job(cfg, [&](Process& p) {
+      apps::LaplaceConfig app;
+      app.n = kGrid;
+      app.iterations = kIters;
+      apps::run_laplace(p, app);
+    });
+    const auto committed = storage->committed_epoch();
+    std::printf("%-16s %9.3fs %10.1f%% %12d %12s\n",
+                (std::to_string(every) + " iters").c_str(), secs,
+                (secs / raw_secs - 1.0) * 100.0, committed.value_or(0),
+                human_bytes(storage->bytes_written()).c_str());
+  }
+}
+
+void BM_Interval(benchmark::State& state) {
+  const auto every = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.level = InstrumentLevel::kFull;
+    cfg.policy = core::CheckpointPolicy::every(every);
+    Job job(cfg);
+    job.run([&](Process& p) {
+      apps::LaplaceConfig app;
+      app.n = kGrid;
+      app.iterations = 30;
+      apps::run_laplace(p, app);
+    });
+  }
+}
+
+BENCHMARK(BM_Interval)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Protocol-layer microbenchmarks: message classification (Figure 3 /
+// Definition 1), event-log append/serialize throughput, and recovery
+// rollback cost (time from failure to resumed execution).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "core/logrec.hpp"
+#include "core/piggyback.hpp"
+
+namespace {
+
+using namespace c3;
+using namespace c3::bench;
+
+void BM_Classify(benchmark::State& state) {
+  // Sweep the classification over all reachable protocol states.
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const bool sender_color = (i & 1) != 0;
+    const bool receiver_color = (i & 2) != 0;
+    const bool logging = (i & 4) != 0;
+    // Skip the unreachable combination (colors differ, receiver logging
+    // belongs to the late case only) -- classify handles it anyway.
+    benchmark::DoNotOptimize(
+        core::classify(sender_color, receiver_color, logging));
+    ++i;
+  }
+}
+BENCHMARK(BM_Classify);
+
+void BM_EventLogAppendLate(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  util::Bytes payload(payload_size, std::byte{0x5A});
+  core::EventLog log;
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    log.add_recv(core::RecvOutcome{0, 0, 1, 0, id++,
+                                   core::MessageClass::kLate, payload});
+    if (log.recv_count() >= 1024) log.clear();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size));
+}
+BENCHMARK(BM_EventLogAppendLate)->Arg(64)->Arg(4096);
+
+void BM_EventLogSerialize(benchmark::State& state) {
+  core::EventLog log;
+  util::Bytes payload(256, std::byte{1});
+  for (int i = 0; i < 200; ++i) {
+    log.add_recv(core::RecvOutcome{0, 0, 1, 0, static_cast<std::uint32_t>(i),
+                                   core::MessageClass::kLate, payload});
+    log.add_nondet(static_cast<std::uint64_t>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.serialize());
+  }
+}
+BENCHMARK(BM_EventLogSerialize);
+
+void BM_RecoveryRollback(benchmark::State& state) {
+  // Time a complete failure->rollback->recovery->finish cycle relative to
+  // the failure-free run of the same job.
+  const auto state_kb = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.level = InstrumentLevel::kFull;
+    cfg.policy = core::CheckpointPolicy::every(2);
+    cfg.failure = net::FailureSpec{.victim_rank = 1, .trigger_events = 30};
+    Job job(cfg);
+    job.run([&](Process& p) {
+      std::vector<double> blob(state_kb * 1024 / 8, 1.0);
+      long long acc = 0;
+      int iter = 0;
+      p.register_state("blob", blob.data(), blob.size() * 8);
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+      while (iter < 16) {
+        p.send_value(acc, (p.rank() + 1) % p.nranks(), 0);
+        acc += p.recv_value<long long>((p.rank() - 1 + p.nranks()) % p.nranks(), 0);
+        ++iter;
+        p.potential_checkpoint();
+      }
+    });
+  }
+  state.counters["state_KB"] = static_cast<double>(state_kb);
+}
+BENCHMARK(BM_RecoveryRollback)->Arg(16)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

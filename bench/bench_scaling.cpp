@@ -1,0 +1,110 @@
+// Protocol scaling with rank count. The coordination cost (pleaseCheckpoint
+// fan-out, mySendCount all-to-all, ready/stop/stopped collection) grows
+// with the number of processes; this ablation measures full-protocol
+// overhead over the raw runtime for 2..16 ranks on fixed-size ring and
+// allgather microkernels.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace c3;
+using namespace c3::bench;
+
+constexpr int kIters = 40;
+
+void ring_kernel(Process& p, bool checkpoints) {
+  long long acc = p.rank();
+  int iter = 0;
+  p.register_value("acc", acc);
+  p.register_value("iter", iter);
+  p.complete_registration();
+  const int right = (p.rank() + 1) % p.nranks();
+  const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+  std::vector<double> payload(256, 1.0);
+  while (iter < kIters) {
+    p.send({reinterpret_cast<const std::byte*>(payload.data()),
+            payload.size() * sizeof(double)},
+           right, 0);
+    p.recv({reinterpret_cast<std::byte*>(payload.data()),
+            payload.size() * sizeof(double)},
+           left, 0);
+    ++iter;
+    if (checkpoints) p.potential_checkpoint();
+  }
+}
+
+void allgather_kernel(Process& p, bool checkpoints) {
+  int iter = 0;
+  p.register_value("iter", iter);
+  p.complete_registration();
+  std::vector<double> mine(64, static_cast<double>(p.rank()));
+  std::vector<double> all(mine.size() * static_cast<std::size_t>(p.nranks()));
+  while (iter < kIters) {
+    p.allgather({reinterpret_cast<const std::byte*>(mine.data()),
+                 mine.size() * sizeof(double)},
+                {reinterpret_cast<std::byte*>(all.data()),
+                 all.size() * sizeof(double)});
+    ++iter;
+    if (checkpoints) p.potential_checkpoint();
+  }
+}
+
+void table() {
+  std::printf(
+      "\n=== Protocol overhead vs rank count ===\n"
+      "(coordination traffic grows with processes: pleaseCheckpoint fan-out "
+      "+ per-peer mySendCount + ready/stop/stopped collection)\n");
+  std::printf("%-8s %14s %14s %16s %16s\n", "ranks", "ring raw", "ring full",
+              "allgather raw", "allgather full");
+  for (int ranks : {2, 4, 8, 16}) {
+    double secs[4];
+    for (int k = 0; k < 4; ++k) {
+      const bool full = (k % 2) == 1;
+      JobConfig cfg;
+      cfg.ranks = ranks;
+      cfg.level = full ? InstrumentLevel::kFull : InstrumentLevel::kRaw;
+      cfg.policy = core::CheckpointPolicy::every(10);
+      secs[k] = time_job(cfg, [&](Process& p) {
+        if (k < 2) {
+          ring_kernel(p, full);
+        } else {
+          allgather_kernel(p, full);
+        }
+      });
+    }
+    std::printf("%-8d %13.3fs %13.3fs %15.3fs %15.3fs\n", ranks, secs[0],
+                secs[1], secs[2], secs[3]);
+  }
+}
+
+void BM_RingScaling(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const bool full = state.range(1) != 0;
+  for (auto _ : state) {
+    JobConfig cfg;
+    cfg.ranks = ranks;
+    cfg.level = full ? InstrumentLevel::kFull : InstrumentLevel::kRaw;
+    cfg.policy = core::CheckpointPolicy::every(10);
+    Job job(cfg);
+    job.run([&](Process& p) { ring_kernel(p, full); });
+  }
+  state.SetLabel(full ? "full" : "raw");
+}
+
+BENCHMARK(BM_RingScaling)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// The CCIFT precompiler in action: instruments an embedded C/MPI-style
+// program and prints the transformed source, showing the Position Stack
+// labels, restart dispatch, VDS pushes/pops, statement decomposition, and
+// the generated global-registration function (paper Section 5.1, Figure 6).
+#include <cstdio>
+
+#include "ccift/transform.hpp"
+
+int main() {
+  const char* source = R"(#include "mpi.h"
+int iteration;
+double residual;
+
+int compute_step(int n) {
+  int local = n * 2;
+  potentialCheckpoint();
+  return local + 1;
+}
+
+void solver(int steps) {
+  int i;
+  for (i = 0; i < steps; i++) {
+    int r = compute_step(i) + compute_step(i + 1);
+    residual = residual + r;
+  }
+}
+
+int main(int argc, char **argv) {
+  solver(100);
+  return 0;
+}
+)";
+
+  std::printf("=== original source ===\n%s\n", source);
+  try {
+    const std::string out = c3::ccift::transform_source(source);
+    std::printf("=== instrumented source ===\n%s", out.c_str());
+  } catch (const std::exception& e) {
+    std::printf("transformation failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

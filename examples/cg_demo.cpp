@@ -1,0 +1,69 @@
+// Dense Conjugate Gradient with checkpointing: demonstrates state-size
+// reporting (the quantity that drives Figure 8a's overhead) and residual
+// continuity across a failure + recovery.
+#include <cstdio>
+#include <mutex>
+
+#include "apps/cg.hpp"
+#include "core/job.hpp"
+
+using namespace c3;
+
+namespace {
+
+apps::CgResult run(bool with_failure, std::uint64_t ckpt_bytes_out[1]) {
+  core::JobConfig cfg;
+  cfg.ranks = 4;
+  cfg.policy = core::CheckpointPolicy::every(5);
+  if (with_failure) {
+    cfg.failure = net::FailureSpec{.victim_rank = 3, .trigger_events = 70};
+  }
+  auto storage = std::make_shared<util::MemoryStorage>();
+  cfg.storage = storage;
+
+  std::mutex mu;
+  apps::CgResult root_result;
+  core::Job job(cfg);
+  job.run([&](core::Process& p) {
+    apps::CgConfig app;
+    app.n = 128;
+    app.iterations = 30;
+    auto r = apps::run_cg(p, app);
+    if (p.rank() == 0) {
+      std::lock_guard lock(mu);
+      root_result = r;
+    }
+  });
+  ckpt_bytes_out[0] = storage->bytes_written();
+  return root_result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dense CG (128x128 SPD system, 30 iterations, 4 ranks)\n");
+
+  std::uint64_t clean_bytes[1], rec_bytes[1];
+  std::printf("\n-- failure-free --\n");
+  const auto clean = run(false, clean_bytes);
+  std::printf("  residual=%.3e  checksum=%.12f  state/rank=%.1fKB\n",
+              clean.residual, clean.checksum,
+              static_cast<double>(clean.state_bytes) / 1024.0);
+  std::printf("  checkpoint traffic to stable storage: %.1fKB\n",
+              static_cast<double>(clean_bytes[0]) / 1024.0);
+
+  std::printf("\n-- with stopping failure at rank 3 --\n");
+  const auto recovered = run(true, rec_bytes);
+  std::printf("  residual=%.3e  checksum=%.12f\n", recovered.residual,
+              recovered.checksum);
+
+  if (clean.checksum == recovered.checksum &&
+      clean.residual == recovered.residual) {
+    std::printf(
+        "\nOK: solver converged to the identical solution across the "
+        "failure\n");
+    return 0;
+  }
+  std::printf("\nFAIL: results diverged\n");
+  return 1;
+}

@@ -1,0 +1,67 @@
+// Laplace solver surviving a mid-run stopping failure.
+//
+// Runs the heated-plate solver twice -- failure-free and with rank 1 dying
+// mid-iteration -- and verifies the recovered grid checksum is bitwise
+// identical. Also prints the protocol's message-classification statistics,
+// showing late/early messages crossing the checkpoint lines.
+#include <cstdio>
+#include <mutex>
+
+#include "apps/laplace.hpp"
+#include "core/job.hpp"
+
+using namespace c3;
+
+namespace {
+
+struct Captured {
+  std::mutex mu;
+  apps::LaplaceResult result;
+  std::uint64_t late = 0, early = 0, checkpoints = 0;
+};
+
+double run(bool with_failure) {
+  core::JobConfig cfg;
+  cfg.ranks = 4;
+  cfg.policy = core::CheckpointPolicy::every(8);
+  if (with_failure) {
+    cfg.failure = net::FailureSpec{.victim_rank = 1, .trigger_events = 120};
+  }
+  Captured captured;
+  core::Job job(cfg);
+  job.run([&](core::Process& p) {
+    apps::LaplaceConfig app;
+    app.n = 96;
+    app.iterations = 60;
+    auto r = apps::run_laplace(p, app);
+    std::lock_guard lock(captured.mu);
+    if (p.rank() == 0) captured.result = r;
+    captured.late += p.stats().late_messages;
+    captured.early += p.stats().early_messages;
+    captured.checkpoints += p.stats().checkpoints_taken;
+  });
+  std::printf(
+      "  checksum=%.12f  local checkpoints=%llu  late msgs=%llu  early "
+      "msgs=%llu\n",
+      captured.result.checksum,
+      static_cast<unsigned long long>(captured.checkpoints),
+      static_cast<unsigned long long>(captured.late),
+      static_cast<unsigned long long>(captured.early));
+  return captured.result.checksum;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Laplace solver (96x96, 60 iterations, 4 ranks)\n");
+  std::printf("\n-- failure-free --\n");
+  const double clean = run(false);
+  std::printf("\n-- with stopping failure at rank 1 --\n");
+  const double recovered = run(true);
+  if (clean == recovered) {
+    std::printf("\nOK: recovered checksum is bitwise identical\n");
+    return 0;
+  }
+  std::printf("\nFAIL: %.17g != %.17g\n", clean, recovered);
+  return 1;
+}

@@ -1,0 +1,63 @@
+// Neurosys: a collective-heavy workload (5 allgathers + 1 gather per time
+// step) surviving a failure injected while some ranks had already executed
+// a collective the victim had not -- exactly the straddle scenario of the
+// paper's Figure 5. Logged collective results replay during recovery.
+#include <cstdio>
+#include <mutex>
+
+#include "apps/neurosys.hpp"
+#include "core/job.hpp"
+
+using namespace c3;
+
+namespace {
+
+apps::NeurosysResult run(bool with_failure, std::uint64_t* replayed) {
+  core::JobConfig cfg;
+  cfg.ranks = 4;
+  cfg.policy = core::CheckpointPolicy::every(4);
+  if (with_failure) {
+    cfg.failure = net::FailureSpec{.victim_rank = 2, .trigger_events = 55};
+  }
+  std::mutex mu;
+  apps::NeurosysResult root;
+  std::uint64_t replay_count = 0;
+  core::Job job(cfg);
+  job.run([&](core::Process& p) {
+    apps::NeurosysConfig app;
+    app.neurons = 96;
+    app.iterations = 24;
+    auto r = apps::run_neurosys(p, app);
+    std::lock_guard lock(mu);
+    if (p.rank() == 0) root = r;
+    replay_count += p.stats().replayed_collectives;
+  });
+  if (replayed) *replayed = replay_count;
+  return root;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Neurosys (96 neurons, RK4, 24 steps, 4 ranks)\n");
+  std::printf("\n-- failure-free --\n");
+  const auto clean = run(false, nullptr);
+  std::printf("  checksum=%.12f  root probe=%.12f\n", clean.checksum,
+              clean.root_probe);
+
+  std::printf("\n-- with stopping failure at rank 2 --\n");
+  std::uint64_t replayed = 0;
+  const auto recovered = run(true, &replayed);
+  std::printf("  checksum=%.12f  root probe=%.12f\n", recovered.checksum,
+              recovered.root_probe);
+  std::printf("  collective results replayed from the log: %llu\n",
+              static_cast<unsigned long long>(replayed));
+
+  if (clean.checksum == recovered.checksum &&
+      clean.root_probe == recovered.root_probe) {
+    std::printf("\nOK: recovered simulation is bit-identical\n");
+    return 0;
+  }
+  std::printf("\nFAIL: results diverged\n");
+  return 1;
+}

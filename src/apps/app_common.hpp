@@ -1,0 +1,53 @@
+// Shared scaffolding for the paper's three benchmark applications
+// (Section 6.1): dense Conjugate Gradient, a Laplace solver, and Neurosys.
+// Each app is written against the C3 Process API with its state registered
+// for checkpointing, exactly as the CCIFT precompiler would instrument it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace c3::apps {
+
+/// Convenient typed views for Process byte-span calls.
+template <typename T>
+std::span<const std::byte> bytes_of(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T)};
+}
+
+template <typename T>
+std::span<std::byte> bytes_of(std::vector<T>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()), v.size() * sizeof(T)};
+}
+
+template <typename T>
+std::span<const std::byte> bytes_of_value(const T& v) {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+template <typename T>
+std::span<std::byte> bytes_of_value(T& v) {
+  return {reinterpret_cast<std::byte*>(&v), sizeof(T)};
+}
+
+/// Block-row partition helpers: rows [row_begin, row_end) of an n-row
+/// problem belong to `rank` of `nranks`.
+struct BlockRows {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t count() const noexcept { return end - begin; }
+};
+
+inline BlockRows block_rows(std::size_t n, int rank, int nranks) {
+  const std::size_t base = n / static_cast<std::size_t>(nranks);
+  const std::size_t extra = n % static_cast<std::size_t>(nranks);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t count = base + (r < extra ? 1 : 0);
+  return {begin, begin + count};
+}
+
+}  // namespace c3::apps

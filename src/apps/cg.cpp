@@ -1,0 +1,148 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "util/rng.hpp"
+
+namespace c3::apps {
+
+namespace {
+/// Deterministic SPD-ish matrix entry: symmetric off-diagonal noise with a
+/// dominant diagonal, generated without storing the whole matrix anywhere.
+double matrix_entry(std::uint64_t seed, std::size_t n, std::size_t i,
+                    std::size_t j) {
+  const std::size_t a = std::min(i, j), b = std::max(i, j);
+  std::uint64_t h = seed ^ (a * 0x9E3779B97F4A7C15ull) ^
+                    (b * 0xC2B2AE3D27D4EB4Full);
+  const double noise =
+      static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+  if (i == j) return static_cast<double>(n) + 1.0 + noise;
+  return noise / static_cast<double>(n);
+}
+}  // namespace
+
+CgResult run_cg(core::Process& p, const CgConfig& cfg) {
+  const int nranks = p.nranks();
+  const std::size_t n = cfg.n;
+  const BlockRows rows = block_rows(n, p.rank(), nranks);
+  const std::size_t local = rows.count();
+
+  // Local block of A, plus the CG vectors. All of it is checkpointable
+  // application state (the precompiler saves everything; Section 5.1).
+  std::vector<double> a(local * n);
+  std::vector<double> x(n, 0.0);        // full solution vector
+  std::vector<double> r(local);         // local residual block
+  std::vector<double> d(local);         // local direction block
+  std::vector<double> dir_full(n);      // allgathered direction
+  std::vector<double> q(local);         // A * dir block
+  double delta = 0.0;
+  int iter = 0;
+
+  for (std::size_t i = 0; i < local; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = matrix_entry(cfg.seed, n, rows.begin + i, j);
+    }
+  }
+  // b_i = 1 + i/n gives a deterministic right-hand side.
+  auto rhs = [&](std::size_t gi) {
+    return 1.0 + static_cast<double>(gi) / static_cast<double>(n);
+  };
+  for (std::size_t i = 0; i < local; ++i) {
+    r[i] = rhs(rows.begin + i);
+    d[i] = r[i];
+  }
+  {
+    double local_delta = 0.0;
+    for (std::size_t i = 0; i < local; ++i) local_delta += r[i] * r[i];
+    p.allreduce(bytes_of_value(local_delta), bytes_of_value(delta),
+                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  }
+
+  if (cfg.readonly_matrix) {
+    p.register_readonly_state("cg.a", a.data(), a.size() * sizeof(double));
+  } else {
+    p.register_state("cg.a", a.data(), a.size() * sizeof(double));
+  }
+  p.register_state("cg.x", x.data(), x.size() * sizeof(double));
+  p.register_state("cg.r", r.data(), r.size() * sizeof(double));
+  p.register_state("cg.d", d.data(), d.size() * sizeof(double));
+  p.register_value("cg.delta", delta);
+  p.register_value("cg.iter", iter);
+  p.complete_registration();
+
+  // Uneven block-row sizes: allgather requires equal blocks, so exchange
+  // directions with the butterfly-style allgather only when divisible, and
+  // fall back to gather+bcast otherwise. The paper's codes use power-of-two
+  // grids where blocks are equal.
+  const bool equal_blocks = (n % static_cast<std::size_t>(nranks) == 0);
+
+  while (iter < cfg.iterations) {
+    // dir_full = allgather(d)
+    for (std::size_t i = 0; i < local; ++i) {
+      dir_full[rows.begin + i] = d[i];
+    }
+    if (equal_blocks) {
+      p.allgather({reinterpret_cast<const std::byte*>(d.data()),
+                   local * sizeof(double)},
+                  bytes_of(dir_full));
+    } else {
+      // Ragged blocks: broadcast each rank's segment (allgatherv stand-in).
+      for (int root_rank = 0; root_rank < nranks; ++root_rank) {
+        const BlockRows rb = block_rows(n, root_rank, nranks);
+        p.bcast({reinterpret_cast<std::byte*>(dir_full.data() + rb.begin),
+                 rb.count() * sizeof(double)},
+                root_rank);
+      }
+    }
+
+    // q = A_block * dir_full
+    for (std::size_t i = 0; i < local; ++i) {
+      double acc = 0.0;
+      const double* row = &a[i * n];
+      for (std::size_t j = 0; j < n; ++j) acc += row[j] * dir_full[j];
+      q[i] = acc;
+    }
+
+    // alpha = delta / (d . q)
+    double local_dq = 0.0;
+    for (std::size_t i = 0; i < local; ++i) local_dq += d[i] * q[i];
+    double dq = 0.0;
+    p.allreduce(bytes_of_value(local_dq), bytes_of_value(dq),
+                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+    const double alpha = delta / dq;
+
+    for (std::size_t i = 0; i < local; ++i) {
+      x[rows.begin + i] += alpha * d[i];
+      r[i] -= alpha * q[i];
+    }
+
+    double local_new_delta = 0.0;
+    for (std::size_t i = 0; i < local; ++i) local_new_delta += r[i] * r[i];
+    double new_delta = 0.0;
+    p.allreduce(bytes_of_value(local_new_delta), bytes_of_value(new_delta),
+                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+    const double beta = new_delta / delta;
+    delta = new_delta;
+    for (std::size_t i = 0; i < local; ++i) d[i] = r[i] + beta * d[i];
+
+    ++iter;
+    if (cfg.checkpoints) p.potential_checkpoint();
+  }
+
+  // The solution pieces live scattered in x; combine via allreduce of the
+  // per-rank contributions for a determinism checksum.
+  double local_sum = 0.0;
+  for (std::size_t i = 0; i < local; ++i) local_sum += x[rows.begin + i];
+  CgResult result;
+  p.allreduce(bytes_of_value(local_sum), bytes_of_value(result.checksum),
+              simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  result.residual = std::sqrt(delta);
+  result.iterations_done = iter;
+  result.state_bytes = (a.size() + x.size() + r.size() + d.size()) *
+                           sizeof(double) +
+                       sizeof(delta) + sizeof(iter);
+  return result;
+}
+
+}  // namespace c3::apps

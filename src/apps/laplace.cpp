@@ -1,0 +1,105 @@
+#include "apps/laplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/app_common.hpp"
+
+namespace c3::apps {
+
+LaplaceResult run_laplace(core::Process& p, const LaplaceConfig& cfg) {
+  const int nranks = p.nranks();
+  const std::size_t n = cfg.n;
+  const BlockRows rows = block_rows(n, p.rank(), nranks);
+  const std::size_t local = rows.count();
+  const bool has_up = p.rank() > 0;
+  const bool has_down = p.rank() + 1 < nranks;
+
+  // Grid with two halo rows (index 0 = halo above, local+1 = halo below).
+  std::vector<double> grid((local + 2) * n, 0.0);
+  std::vector<double> next((local + 2) * n, 0.0);
+  int iter = 0;
+  double max_delta = 0.0;
+
+  auto cell = [&](std::vector<double>& g, std::size_t r,
+                  std::size_t c) -> double& { return g[r * n + c]; };
+
+  // Heated top edge.
+  if (rows.begin == 0) {
+    for (std::size_t c = 0; c < n; ++c) cell(grid, 1, c) = 100.0;
+  }
+
+  p.register_state("laplace.grid", grid.data(), grid.size() * sizeof(double));
+  p.register_value("laplace.iter", iter);
+  p.register_value("laplace.max_delta", max_delta);
+  p.complete_registration();
+
+  constexpr simmpi::Tag kUpTag = 11;    // border row travelling upward
+  constexpr simmpi::Tag kDownTag = 12;  // border row travelling downward
+
+  while (iter < cfg.iterations) {
+    // Halo exchange: send my first row up / last row down, receive the
+    // neighbour rows into the halos.
+    std::vector<core::RequestId> reqs;
+    if (has_up) {
+      reqs.push_back(p.isend({reinterpret_cast<const std::byte*>(&cell(grid, 1, 0)),
+                              n * sizeof(double)},
+                             p.rank() - 1, kUpTag));
+      reqs.push_back(p.irecv({reinterpret_cast<std::byte*>(&cell(grid, 0, 0)),
+                              n * sizeof(double)},
+                             p.rank() - 1, kDownTag));
+    }
+    if (has_down) {
+      reqs.push_back(
+          p.isend({reinterpret_cast<const std::byte*>(&cell(grid, local, 0)),
+                   n * sizeof(double)},
+                  p.rank() + 1, kDownTag));
+      reqs.push_back(
+          p.irecv({reinterpret_cast<std::byte*>(&cell(grid, local + 1, 0)),
+                   n * sizeof(double)},
+                  p.rank() + 1, kUpTag));
+    }
+    p.waitall(reqs);
+
+    // Jacobi update of interior cells; global boundary cells stay fixed.
+    max_delta = 0.0;
+    for (std::size_t r = 1; r <= local; ++r) {
+      const std::size_t global_row = rows.begin + (r - 1);
+      for (std::size_t c = 0; c < n; ++c) {
+        const bool boundary = global_row == 0 || global_row == n - 1 ||
+                              c == 0 || c == n - 1;
+        if (boundary) {
+          cell(next, r, c) = cell(grid, r, c);
+          continue;
+        }
+        const double v = 0.25 * (cell(grid, r - 1, c) + cell(grid, r + 1, c) +
+                                 cell(grid, r, c - 1) + cell(grid, r, c + 1));
+        max_delta = std::max(max_delta, std::abs(v - cell(grid, r, c)));
+        cell(next, r, c) = v;
+      }
+    }
+    // Copy back rather than pointer-swap: the registered checkpoint buffer
+    // must stay the live grid.
+    std::copy(next.begin() + static_cast<std::ptrdiff_t>(n),
+              next.begin() + static_cast<std::ptrdiff_t>((local + 1) * n),
+              grid.begin() + static_cast<std::ptrdiff_t>(n));
+
+    ++iter;
+    if (cfg.checkpoints) p.potential_checkpoint();
+  }
+
+  double local_sum = 0.0;
+  for (std::size_t r = 1; r <= local; ++r) {
+    for (std::size_t c = 0; c < n; ++c) local_sum += cell(grid, r, c);
+  }
+  LaplaceResult result;
+  p.allreduce(bytes_of_value(local_sum), bytes_of_value(result.checksum),
+              simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  result.max_delta = max_delta;
+  result.iterations_done = iter;
+  result.state_bytes = grid.size() * sizeof(double) + sizeof(iter) +
+                       sizeof(max_delta);
+  return result;
+}
+
+}  // namespace c3::apps

@@ -1,0 +1,30 @@
+// Laplace solver on an n x n grid, block-row distributed -- the paper's
+// second benchmark (Section 6.1): every iteration each grid cell becomes
+// the average of its four neighbours; communication is a halo exchange of
+// border rows with the ranks above and below.
+#pragma once
+
+#include <cstdint>
+
+#include "core/process.hpp"
+
+namespace c3::apps {
+
+struct LaplaceConfig {
+  std::size_t n = 128;      ///< grid dimension (n x n)
+  int iterations = 100;     ///< Jacobi iterations
+  bool checkpoints = true;  ///< call potential_checkpoint each iteration
+};
+
+struct LaplaceResult {
+  double checksum = 0.0;  ///< sum of interior cells (determinism probe)
+  double max_delta = 0.0; ///< last iteration's max cell change (local)
+  int iterations_done = 0;
+  std::size_t state_bytes = 0;
+};
+
+/// Run the solver on `p`'s world communicator. Boundary condition: the top
+/// edge is held at 100, the others at 0 (a standard heated-plate setup).
+LaplaceResult run_laplace(core::Process& p, const LaplaceConfig& cfg);
+
+}  // namespace c3::apps

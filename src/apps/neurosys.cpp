@@ -1,0 +1,147 @@
+#include "apps/neurosys.hpp"
+
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "util/rng.hpp"
+
+namespace c3::apps {
+
+namespace {
+/// Deterministic connection target and weight for (neuron, slot).
+struct Link {
+  std::size_t target;
+  double weight;
+};
+
+Link link_of(std::uint64_t seed, std::size_t n, std::size_t neuron, int slot) {
+  std::uint64_t h = seed ^ (neuron * 0x9E3779B97F4A7C15ull) ^
+                    (static_cast<std::uint64_t>(slot) * 0xC2B2AE3D27D4EB4Full);
+  const std::uint64_t a = util::splitmix64(h);
+  const std::uint64_t b = util::splitmix64(h);
+  Link link;
+  link.target = a % n;
+  // Weights in [-1, 1): mixture of excitatory and inhibitory connections.
+  link.weight = static_cast<double>(b >> 11) * 0x1.0p-52 - 1.0;
+  return link;
+}
+
+/// Membrane dynamics: leak toward rest plus a squashed synaptic drive.
+double dv(double v, double drive) {
+  return -0.5 * v + std::tanh(drive);
+}
+}  // namespace
+
+NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
+  const int nranks = p.nranks();
+  const std::size_t n = cfg.neurons;
+  const BlockRows rows = block_rows(n, p.rank(), nranks);
+  const std::size_t local = rows.count();
+  const bool equal_blocks = (n % static_cast<std::size_t>(nranks) == 0);
+
+  std::vector<double> v(local);       // local membrane potentials
+  std::vector<double> v_full(n);      // allgathered network state
+  std::vector<double> stage(local);   // RK stage evaluation buffer
+  std::vector<double> k1(local), k2(local), k3(local), k4(local);
+  std::vector<double> gathered(static_cast<std::size_t>(nranks));
+  int iter = 0;
+  double root_probe = 0.0;
+
+  for (std::size_t i = 0; i < local; ++i) {
+    // Deterministic initial potentials in [-0.5, 0.5).
+    std::uint64_t h = cfg.seed ^ ((rows.begin + i) * 0xA24BAED4963EE407ull);
+    v[i] = static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53 - 0.5;
+  }
+
+  p.register_state("neurosys.v", v.data(), v.size() * sizeof(double));
+  p.register_value("neurosys.iter", iter);
+  p.register_value("neurosys.probe", root_probe);
+  p.complete_registration();
+
+  // Exchange the full network state (one of the paper's 5 allgathers).
+  auto exchange = [&](const std::vector<double>& src) {
+    if (equal_blocks) {
+      std::vector<double> tmp(n);
+      p.allgather({reinterpret_cast<const std::byte*>(src.data()),
+                   local * sizeof(double)},
+                  bytes_of(tmp));
+      v_full = std::move(tmp);
+    } else {
+      for (int root = 0; root < nranks; ++root) {
+        const BlockRows rb = block_rows(n, root, nranks);
+        if (root == p.rank()) {
+          std::copy(src.begin(), src.end(),
+                    v_full.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+        }
+        p.bcast({reinterpret_cast<std::byte*>(v_full.data() + rb.begin),
+                 rb.count() * sizeof(double)},
+                root);
+      }
+    }
+  };
+
+  // Synaptic drive of local neuron i given the full network state.
+  auto drive_of = [&](std::size_t i) {
+    double drive = 0.0;
+    for (int s = 0; s < cfg.fan_in; ++s) {
+      const Link link = link_of(cfg.seed, n, rows.begin + i, s);
+      drive += link.weight * v_full[link.target];
+    }
+    return drive;
+  };
+
+  while (iter < cfg.iterations) {
+    // RK4: each stage needs the neighbours' stage values -> one allgather
+    // per stage (4), plus the post-step state exchange (5th).
+    exchange(v);
+    for (std::size_t i = 0; i < local; ++i) k1[i] = dv(v[i], drive_of(i));
+
+    for (std::size_t i = 0; i < local; ++i) {
+      stage[i] = v[i] + 0.5 * cfg.dt * k1[i];
+    }
+    exchange(stage);
+    for (std::size_t i = 0; i < local; ++i) k2[i] = dv(stage[i], drive_of(i));
+
+    for (std::size_t i = 0; i < local; ++i) {
+      stage[i] = v[i] + 0.5 * cfg.dt * k2[i];
+    }
+    exchange(stage);
+    for (std::size_t i = 0; i < local; ++i) k3[i] = dv(stage[i], drive_of(i));
+
+    for (std::size_t i = 0; i < local; ++i) {
+      stage[i] = v[i] + cfg.dt * k3[i];
+    }
+    exchange(stage);
+    for (std::size_t i = 0; i < local; ++i) k4[i] = dv(stage[i], drive_of(i));
+
+    for (std::size_t i = 0; i < local; ++i) {
+      v[i] += cfg.dt / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+    }
+    exchange(v);  // 5th allgather: publish the post-step state
+
+    // The per-step Gather: the root collects a per-rank activity probe.
+    double local_activity = 0.0;
+    for (std::size_t i = 0; i < local; ++i) local_activity += v[i];
+    p.gather(bytes_of_value(local_activity), bytes_of(gathered), /*root=*/0);
+    if (p.rank() == 0) {
+      root_probe = 0.0;
+      for (double g : gathered) root_probe += g;
+    }
+
+    ++iter;
+    if (cfg.checkpoints) p.potential_checkpoint();
+  }
+
+  double local_sum = 0.0;
+  for (std::size_t i = 0; i < local; ++i) local_sum += v[i];
+  NeurosysResult result;
+  p.allreduce(bytes_of_value(local_sum), bytes_of_value(result.checksum),
+              simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  result.root_probe = root_probe;
+  result.iterations_done = iter;
+  result.state_bytes = v.size() * sizeof(double) + sizeof(iter) +
+                       sizeof(root_probe);
+  return result;
+}
+
+}  // namespace c3::apps

@@ -1,0 +1,35 @@
+// Neurosys -- the paper's third benchmark (Section 6.1): a neuron-network
+// simulator. Neurons excite and inhibit each other through a connection
+// graph; each neuron's state evolves by a Runge-Kutta (RK4) integration of
+// a function of its neighbours' states. The network is block-partitioned
+// across ranks; per iteration the communication is 5 MPI_Allgather calls
+// (one per RK stage plus the final state exchange) and 1 MPI_Gather (output
+// collection at the root) -- the collective-heavy profile that produces the
+// paper's piggyback-overhead curve on small problem sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/process.hpp"
+
+namespace c3::apps {
+
+struct NeurosysConfig {
+  std::size_t neurons = 256;  ///< network size (paper sweeps 16^2 .. 128^2)
+  int fan_in = 8;             ///< connections per neuron
+  int iterations = 50;        ///< time steps
+  double dt = 0.01;           ///< integration step
+  std::uint64_t seed = 11;    ///< connectivity/weight generator seed
+  bool checkpoints = true;
+};
+
+struct NeurosysResult {
+  double checksum = 0.0;    ///< sum of neuron potentials at the end
+  double root_probe = 0.0;  ///< value assembled by the per-step Gather
+  int iterations_done = 0;
+  std::size_t state_bytes = 0;
+};
+
+NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg);
+
+}  // namespace c3::apps

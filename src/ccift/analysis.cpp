@@ -1,0 +1,80 @@
+#include "ccift/analysis.hpp"
+
+#include <functional>
+
+namespace c3::ccift {
+namespace {
+
+void walk_expr(const Expr* e, const std::function<void(const Expr&)>& fn) {
+  if (e == nullptr) return;
+  fn(*e);
+  walk_expr(e->lhs.get(), fn);
+  walk_expr(e->rhs.get(), fn);
+  for (const auto& a : e->args) walk_expr(a.get(), fn);
+}
+
+void walk_stmt(const Stmt* s, const std::function<void(const Expr&)>& fn) {
+  if (s == nullptr) return;
+  walk_expr(s->expr.get(), fn);
+  walk_expr(s->cond.get(), fn);
+  walk_expr(s->step.get(), fn);
+  for (const auto& d : s->decls) walk_expr(d.init.get(), fn);
+  walk_stmt(s->init.get(), fn);
+  walk_stmt(s->then_branch.get(), fn);
+  walk_stmt(s->else_branch.get(), fn);
+  for (const auto& b : s->body) walk_stmt(b.get(), fn);
+}
+
+}  // namespace
+
+Analysis analyze(const TranslationUnit& unit) {
+  Analysis result;
+  for (const auto& g : unit.globals) result.globals.push_back(g.decl.name);
+
+  for (const auto& fn : unit.functions) {
+    auto& callees = result.call_graph[fn.name];
+    walk_stmt(fn.body.get(), [&](const Expr& e) {
+      if (e.kind == ExprKind::kCall) callees.insert(e.text);
+    });
+  }
+
+  // Fixed point: a function is checkpointable if it calls
+  // potentialCheckpoint or any checkpointable function.
+  result.checkpointable.insert(kPotentialCheckpoint);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [caller, callees] : result.call_graph) {
+      if (result.checkpointable.count(caller) != 0) continue;
+      for (const auto& callee : callees) {
+        if (result.checkpointable.count(callee) != 0) {
+          result.checkpointable.insert(caller);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool contains_call_to(const Expr& e, const std::set<std::string>& targets) {
+  bool found = false;
+  walk_expr(&e, [&](const Expr& node) {
+    if (node.kind == ExprKind::kCall && targets.count(node.text) != 0) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+void collect_calls(const Expr& e, std::vector<const Expr*>& out) {
+  // Left-to-right, operands before the node itself mirrors evaluation
+  // order closely enough for statement decomposition.
+  if (e.lhs) collect_calls(*e.lhs, out);
+  if (e.rhs) collect_calls(*e.rhs, out);
+  for (const auto& a : e.args) collect_calls(*a, out);
+  if (e.kind == ExprKind::kCall) out.push_back(&e);
+}
+
+}  // namespace c3::ccift

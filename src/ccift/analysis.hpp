@@ -1,0 +1,41 @@
+// Semantic analysis for the instrumentation pass:
+//  - call graph over the translation unit;
+//  - the set of *checkpointable* functions: those from which a call chain
+//    can reach potentialCheckpoint (paper Section 5.1.1: "the precompiler
+//    only needs to insert labels at function calls that can eventually lead
+//    to a potentialCheckpoint location");
+//  - the global variable inventory (Section 5.1.2: the precompiler sees all
+//    source files at once and registers every global).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccift/ast.hpp"
+
+namespace c3::ccift {
+
+/// Name of the checkpoint entry point recognized in source.
+inline constexpr const char* kPotentialCheckpoint = "potentialCheckpoint";
+
+struct Analysis {
+  /// function name -> names of functions it calls (defined or external).
+  std::map<std::string, std::set<std::string>> call_graph;
+  /// Functions (defined in this unit) that can reach potentialCheckpoint,
+  /// plus the name "potentialCheckpoint" itself.
+  std::set<std::string> checkpointable;
+  /// Names of all globals in declaration order.
+  std::vector<std::string> globals;
+};
+
+Analysis analyze(const TranslationUnit& unit);
+
+/// True if expression `e` contains a call to any function in `targets`.
+bool contains_call_to(const Expr& e, const std::set<std::string>& targets);
+
+/// Collect all call names in `e` (in evaluation order, left-to-right).
+void collect_calls(const Expr& e, std::vector<const Expr*>& out);
+
+}  // namespace c3::ccift

@@ -1,0 +1,119 @@
+// Abstract syntax tree for the CCIFT C subset.
+//
+// The tree is deliberately simple: expressions keep enough structure for
+// the transformer to find calls and for the emitter to regenerate valid C;
+// statements carry the shapes the instrumentation pass manipulates (blocks,
+// declarations, control flow, returns).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c3::ccift {
+
+// ------------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kIdentifier,  // text
+  kLiteral,     // text (number / string / char, verbatim)
+  kUnary,       // op text + operand (prefix)
+  kPostfix,     // operand + op text (x++ / x--)
+  kBinary,      // op text + lhs + rhs (includes assignment ops and comma)
+  kCall,        // callee name + args
+  kIndex,       // base + subscript
+  kMember,      // base + op ("." or "->") + member name
+  kCast,        // type text + operand
+  kSizeof,      // type text or operand
+  kParen,       // parenthesized operand
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  std::string text;            // identifier / literal / operator / type
+  std::string member;          // kMember: member name
+  std::vector<ExprPtr> args;   // kCall arguments
+  ExprPtr lhs;                 // operand / base / left side
+  ExprPtr rhs;                 // right side / subscript
+  int line = 0;
+};
+
+// -------------------------------------------------------------- statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kBlock,     // body
+  kDecl,      // type text + declarators
+  kExpr,      // expr (may be null for ';')
+  kIf,        // cond + then_branch + else_branch?
+  kWhile,     // cond + body (single stmt)
+  kFor,       // init (stmt) + cond (expr?) + step (expr?) + body
+  kReturn,    // expr?
+  kBreak,
+  kContinue,
+  kRaw,       // verbatim text (preprocessor lines)
+};
+
+/// One declarator within a declaration: `name[dims] = init`.
+struct Declarator {
+  std::string name;
+  std::string pointer;              // "*", "**", ... prefix
+  std::vector<std::string> array_dims;  // textual dimensions
+  ExprPtr init;                     // optional initializer
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  std::string text;                 // kDecl: base type; kRaw: verbatim
+  std::vector<Declarator> decls;    // kDecl
+  ExprPtr expr;                     // kExpr / kReturn value / kIf cond ...
+  ExprPtr cond;                     // kFor condition
+  ExprPtr step;                     // kFor step
+  StmtPtr init;                     // kFor init statement
+  std::vector<StmtPtr> body;        // kBlock body; single-stmt bodies are
+                                    // normalized into one-element blocks
+  StmtPtr then_branch;              // kIf
+  StmtPtr else_branch;              // kIf (optional)
+  int line = 0;
+};
+
+// --------------------------------------------------------------- top level
+
+struct Param {
+  std::string type;     // base type text, including pointer stars
+  std::string name;
+  std::vector<std::string> array_dims;
+};
+
+struct Function {
+  std::string return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // null for a prototype
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string type;
+  Declarator decl;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  /// Items in source order so the emitter preserves layout.
+  struct Item {
+    enum class Kind { kFunction, kGlobal, kRaw } kind;
+    std::size_t index;  // into the vector for its kind
+  };
+  std::vector<Function> functions;
+  std::vector<GlobalVar> globals;
+  std::vector<std::string> raws;  // preprocessor lines etc.
+  std::vector<Item> order;
+};
+
+}  // namespace c3::ccift

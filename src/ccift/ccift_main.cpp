@@ -1,0 +1,45 @@
+// ccift: the CCIFT precompiler CLI.
+//
+// Usage: ccift <input.c> [output.c]
+// Reads a C source file, instruments every function that can reach a
+// potentialCheckpoint() call, and writes the transformed source (stdout if
+// no output path is given).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ccift/transform.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: ccift <input.c> [output.c]\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "ccift: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string out;
+  try {
+    out = c3::ccift::transform_source(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  if (argc == 3) {
+    std::ofstream os(argv[2]);
+    if (!os) {
+      std::cerr << "ccift: cannot open " << argv[2] << " for writing\n";
+      return 1;
+    }
+    os << out;
+  } else {
+    std::cout << out;
+  }
+  return 0;
+}

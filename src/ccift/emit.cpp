@@ -1,0 +1,164 @@
+#include "ccift/emit.hpp"
+
+#include <sstream>
+
+namespace c3::ccift {
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+std::string emit_declarator(const std::string& base, const Declarator& d) {
+  std::string out = base + " " + d.pointer + d.name;
+  for (const auto& dim : d.array_dims) out += "[" + dim + "]";
+  if (d.init) out += " = " + emit_expr(*d.init);
+  return out;
+}
+
+}  // namespace
+
+std::string emit_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIdentifier:
+    case ExprKind::kLiteral:
+      return e.text;
+    case ExprKind::kUnary:
+      return e.text + emit_expr(*e.lhs);
+    case ExprKind::kPostfix:
+      return emit_expr(*e.lhs) + e.text;
+    case ExprKind::kBinary:
+      if (e.text == ",") {
+        return emit_expr(*e.lhs) + ", " + emit_expr(*e.rhs);
+      }
+      return emit_expr(*e.lhs) + " " + e.text + " " + emit_expr(*e.rhs);
+    case ExprKind::kCall: {
+      std::string out = e.text + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += emit_expr(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kIndex:
+      return emit_expr(*e.lhs) + "[" + emit_expr(*e.rhs) + "]";
+    case ExprKind::kMember:
+      return emit_expr(*e.lhs) + e.text + e.member;
+    case ExprKind::kCast:
+      return "(" + e.text + ")" + emit_expr(*e.lhs);
+    case ExprKind::kSizeof:
+      return e.lhs ? "sizeof(" + emit_expr(*e.lhs) + ")"
+                   : "sizeof(" + e.text + ")";
+    case ExprKind::kParen:
+      return "(" + emit_expr(*e.lhs) + ")";
+  }
+  return "";
+}
+
+std::string emit_stmt(const Stmt& s, int indent) {
+  std::ostringstream out;
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      out << pad(indent) << "{\n";
+      for (const auto& child : s.body) out << emit_stmt(*child, indent + 1);
+      out << pad(indent) << "}\n";
+      break;
+    case StmtKind::kDecl: {
+      out << pad(indent);
+      for (std::size_t i = 0; i < s.decls.size(); ++i) {
+        if (i > 0) out << "; ";
+        out << emit_declarator(s.text, s.decls[i]);
+      }
+      out << ";\n";
+      break;
+    }
+    case StmtKind::kExpr:
+      out << pad(indent);
+      if (s.expr) out << emit_expr(*s.expr);
+      out << ";\n";
+      break;
+    case StmtKind::kIf:
+      out << pad(indent) << "if (" << emit_expr(*s.expr) << ")\n";
+      out << emit_stmt(*s.then_branch, indent);
+      if (s.else_branch) {
+        out << pad(indent) << "else\n" << emit_stmt(*s.else_branch, indent);
+      }
+      break;
+    case StmtKind::kWhile:
+      out << pad(indent) << "while (" << emit_expr(*s.expr) << ")\n";
+      out << emit_stmt(*s.body.front(), indent);
+      break;
+    case StmtKind::kFor: {
+      out << pad(indent) << "for (";
+      if (s.init) {
+        // Re-emit the init statement inline without its newline/semicolon.
+        std::string init = emit_stmt(*s.init, 0);
+        while (!init.empty() && (init.back() == '\n' || init.back() == ';')) {
+          init.pop_back();
+        }
+        out << init;
+      }
+      out << "; ";
+      if (s.cond) out << emit_expr(*s.cond);
+      out << "; ";
+      if (s.step) out << emit_expr(*s.step);
+      out << ")\n";
+      out << emit_stmt(*s.body.front(), indent);
+      break;
+    }
+    case StmtKind::kReturn:
+      out << pad(indent) << "return";
+      if (s.expr) out << " " << emit_expr(*s.expr);
+      out << ";\n";
+      break;
+    case StmtKind::kBreak:
+      out << pad(indent) << "break;\n";
+      break;
+    case StmtKind::kContinue:
+      out << pad(indent) << "continue;\n";
+      break;
+    case StmtKind::kRaw:
+      out << s.text << "\n";
+      break;
+  }
+  return out.str();
+}
+
+std::string emit_unit(const TranslationUnit& unit) {
+  std::ostringstream out;
+  for (const auto& item : unit.order) {
+    switch (item.kind) {
+      case TranslationUnit::Item::Kind::kRaw:
+        out << unit.raws[item.index] << "\n";
+        break;
+      case TranslationUnit::Item::Kind::kGlobal: {
+        const auto& g = unit.globals[item.index];
+        out << emit_declarator(g.type, g.decl) << ";\n";
+        break;
+      }
+      case TranslationUnit::Item::Kind::kFunction: {
+        const auto& fn = unit.functions[item.index];
+        out << fn.return_type << " " << fn.name << "(";
+        if (fn.params.empty()) {
+          out << "void";
+        } else {
+          for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            if (i > 0) out << ", ";
+            out << fn.params[i].type << " " << fn.params[i].name;
+            for (const auto& dim : fn.params[i].array_dims) {
+              out << "[" << dim << "]";
+            }
+          }
+        }
+        out << ")";
+        if (fn.body) {
+          out << "\n" << emit_stmt(*fn.body, 0);
+        } else {
+          out << ";\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace c3::ccift

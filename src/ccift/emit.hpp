@@ -1,0 +1,14 @@
+// C source emitter: regenerates compilable C from the (transformed) AST.
+#pragma once
+
+#include <string>
+
+#include "ccift/ast.hpp"
+
+namespace c3::ccift {
+
+std::string emit_expr(const Expr& e);
+std::string emit_stmt(const Stmt& s, int indent);
+std::string emit_unit(const TranslationUnit& unit);
+
+}  // namespace c3::ccift

@@ -1,0 +1,159 @@
+#include "ccift/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace c3::ccift {
+namespace {
+
+const std::array<const char*, 17> kKeywords = {
+    "int",    "double", "float",  "char",   "void",   "long",
+    "short",  "unsigned", "signed", "if",    "else",   "while",
+    "for",    "return", "break",  "continue", "sizeof"};
+
+bool is_keyword(const std::string& s) {
+  for (const char* k : kKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+const std::array<const char*, 19> kPuncts3 = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "++",
+    "--",  "+=",  "-=",  "*=", "/=", "%=", "->", "<<", ">>"};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    // Block comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        advance(1);
+      }
+      if (i + 1 >= n) {
+        throw ParseError("unterminated block comment", start_line, 1);
+      }
+      advance(2);
+      continue;
+    }
+    // Preprocessor lines: preserved verbatim for the emitter.
+    if (c == '#' && column == 1) {
+      Token t{TokenKind::kPunct, "", line, column};
+      std::size_t j = i;
+      while (j < n && source[j] != '\n') ++j;
+      t.text = source.substr(i, j - i);
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t{TokenKind::kIdentifier, "", line, column};
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      t.text = source.substr(i, j - i);
+      if (is_keyword(t.text)) t.kind = TokenKind::kKeyword;
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    // Numbers (integers, floats, hex, suffixes, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      Token t{TokenKind::kNumber, "", line, column};
+      std::size_t j = i;
+      while (j < n) {
+        const char d = source[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (source[j - 1] == 'e' || source[j - 1] == 'E')) {
+          ++j;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      t.text = source.substr(i, j - i);
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    // String literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token t{quote == '"' ? TokenKind::kString : TokenKind::kCharLit, "",
+              line, column};
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j >= n) throw ParseError("unterminated literal", line, column);
+      t.text = source.substr(i, j - i + 1);
+      tokens.push_back(std::move(t));
+      advance(j - i + 1);
+      continue;
+    }
+    // Punctuators, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts3) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        tokens.push_back(Token{TokenKind::kPunct, p, line, column});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingles = "+-*/%=<>!&|^~?:;,.(){}[]";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line,
+                             column});
+      advance(1);
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line,
+                     column);
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line, column});
+  return tokens;
+}
+
+}  // namespace c3::ccift

@@ -1,0 +1,63 @@
+// Lexer for the C subset the CCIFT precompiler instruments.
+//
+// The paper's precompiler reads "almost unmodified single-threaded C/MPI
+// source files"; this reproduction implements the transformation on a C
+// subset rich enough for the paper's benchmark codes: scalar/pointer/array
+// declarations, functions, control flow, and full expression syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace c3::ccift {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kNumber,       // integer or floating literal (lexeme preserved)
+  kString,       // "..." (lexeme includes quotes)
+  kCharLit,      // '...'
+  kKeyword,      // subset keywords
+  kPunct,        // operators and punctuation (lexeme holds the spelling)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  bool is_punct(const char* p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool is_keyword(const char* k) const {
+    return kind == TokenKind::kKeyword && text == k;
+  }
+  bool is_ident() const { return kind == TokenKind::kIdentifier; }
+};
+
+/// A syntax error in the input program.
+class ParseError : public util::UsageError {
+ public:
+  ParseError(const std::string& msg, int line, int column)
+      : util::UsageError("ccift: " + msg + " at line " + std::to_string(line) +
+                         ":" + std::to_string(column)),
+        line_(line),
+        column_(column) {}
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenize `source`. Comments and preprocessor lines (#include etc.) are
+/// skipped; preprocessor lines are preserved verbatim as kPunct tokens with
+/// text beginning '#' so the emitter can replay them.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace c3::ccift

@@ -1,0 +1,514 @@
+#include "ccift/parser.hpp"
+
+#include <optional>
+
+namespace c3::ccift {
+namespace {
+
+/// Binary operator precedence (larger binds tighter). Assignment and comma
+/// are handled separately for right-associativity / statement contexts.
+int precedence_of(const std::string& op) {
+  if (op == "*" || op == "/" || op == "%") return 10;
+  if (op == "+" || op == "-") return 9;
+  if (op == "<<" || op == ">>") return 8;
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+  if (op == "==" || op == "!=") return 6;
+  if (op == "&") return 5;
+  if (op == "^") return 4;
+  if (op == "|") return 3;
+  if (op == "&&") return 2;
+  if (op == "||") return 1;
+  return 0;
+}
+
+bool is_assign_op(const std::string& op) {
+  return op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" ||
+         op == "%=" || op == "<<=" || op == ">>=";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  TranslationUnit parse_unit() {
+    TranslationUnit unit;
+    while (!at_eof()) {
+      if (peek().kind == TokenKind::kPunct && !peek().text.empty() &&
+          peek().text[0] == '#') {
+        unit.raws.push_back(next().text);
+        unit.order.push_back({TranslationUnit::Item::Kind::kRaw,
+                              unit.raws.size() - 1});
+        continue;
+      }
+      parse_top_level(unit);
+    }
+    return unit;
+  }
+
+ private:
+  // ------------------------------------------------------------ utilities
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool at_eof() const { return peek().kind == TokenKind::kEof; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " (got '" + peek().text + "')", peek().line,
+                     peek().column);
+  }
+
+  bool accept_punct(const char* p) {
+    if (peek().is_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(const char* p) {
+    if (!accept_punct(p)) fail(std::string("expected '") + p + "'");
+  }
+
+  bool looking_at_type() const {
+    const Token& t = peek();
+    if (t.kind != TokenKind::kKeyword) return false;
+    return t.text == "int" || t.text == "double" || t.text == "float" ||
+           t.text == "char" || t.text == "void" || t.text == "long" ||
+           t.text == "short" || t.text == "unsigned" || t.text == "signed";
+  }
+
+  /// Consume a base type: one or more type keywords (e.g. "unsigned long").
+  std::string parse_base_type() {
+    if (!looking_at_type()) fail("expected a type");
+    std::string type = next().text;
+    while (looking_at_type()) type += " " + next().text;
+    return type;
+  }
+
+  std::string parse_pointers() {
+    std::string stars;
+    while (peek().is_punct("*")) {
+      stars += next().text;
+    }
+    return stars;
+  }
+
+  // ------------------------------------------------------------ top level
+  void parse_top_level(TranslationUnit& unit) {
+    const int line = peek().line;
+    std::string type = parse_base_type();
+    // Pointer stars attach to the declarator (variables) or to the return
+    // type (functions); decide below once we see '(' or not.
+    std::string stars = parse_pointers();
+    if (!peek().is_ident()) fail("expected a name");
+    std::string name = next().text;
+
+    if (peek().is_punct("(")) {
+      Function fn;
+      fn.return_type = stars.empty() ? type : type + " " + stars;
+      fn.name = name;
+      fn.line = line;
+      parse_params(fn);
+      if (accept_punct(";")) {
+        // Prototype.
+      } else {
+        fn.body = parse_block();
+      }
+      unit.functions.push_back(std::move(fn));
+      unit.order.push_back({TranslationUnit::Item::Kind::kFunction,
+                            unit.functions.size() - 1});
+      return;
+    }
+
+    // Global variable declaration (possibly several declarators).
+    for (;;) {
+      GlobalVar g;
+      g.type = type;
+      g.line = line;
+      g.decl.pointer = stars;
+      g.decl.name = name;
+      parse_array_dims(g.decl.array_dims);
+      if (accept_punct("=")) g.decl.init = parse_assignment();
+      unit.globals.push_back(std::move(g));
+      unit.order.push_back({TranslationUnit::Item::Kind::kGlobal,
+                            unit.globals.size() - 1});
+      if (accept_punct(";")) break;
+      expect_punct(",");
+      stars = parse_pointers();
+      if (!peek().is_ident()) fail("expected a name");
+      name = next().text;
+    }
+  }
+
+  void parse_params(Function& fn) {
+    expect_punct("(");
+    if (accept_punct(")")) return;
+    if (peek().is_keyword("void") && peek(1).is_punct(")")) {
+      next();
+      next();
+      return;
+    }
+    for (;;) {
+      Param param;
+      param.type = parse_base_type();
+      param.type += parse_pointers();
+      if (peek().is_ident()) param.name = next().text;
+      parse_array_dims(param.array_dims);
+      fn.params.push_back(std::move(param));
+      if (accept_punct(")")) break;
+      expect_punct(",");
+    }
+  }
+
+  void parse_array_dims(std::vector<std::string>& dims) {
+    while (accept_punct("[")) {
+      std::string dim;
+      int depth = 1;
+      while (depth > 0) {
+        if (peek().is_punct("[")) ++depth;
+        if (peek().is_punct("]")) {
+          --depth;
+          if (depth == 0) {
+            next();
+            break;
+          }
+        }
+        if (at_eof()) fail("unterminated array dimension");
+        if (!dim.empty()) dim += " ";
+        dim += next().text;
+      }
+      dims.push_back(dim);
+    }
+  }
+
+  // ------------------------------------------------------------ statements
+  StmtPtr parse_block() {
+    expect_punct("{");
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = peek().line;
+    while (!accept_punct("}")) {
+      if (at_eof()) fail("unterminated block");
+      block->body.push_back(parse_statement());
+    }
+    return block;
+  }
+
+  /// Wrap a single statement in a block (normalizes if/while/for bodies so
+  /// the transformer can always insert statements).
+  StmtPtr as_block(StmtPtr s) {
+    if (s->kind == StmtKind::kBlock) return s;
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = s->line;
+    block->body.push_back(std::move(s));
+    return block;
+  }
+
+  StmtPtr parse_statement() {
+    const int line = peek().line;
+    if (peek().is_punct("{")) return parse_block();
+    if (peek().kind == TokenKind::kPunct && !peek().text.empty() &&
+        peek().text[0] == '#') {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kRaw;
+      s->text = next().text;
+      s->line = line;
+      return s;
+    }
+    if (looking_at_type()) return parse_declaration();
+    if (peek().is_keyword("if")) {
+      next();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kIf;
+      s->line = line;
+      expect_punct("(");
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->then_branch = as_block(parse_statement());
+      if (peek().is_keyword("else")) {
+        next();
+        s->else_branch = as_block(parse_statement());
+      }
+      return s;
+    }
+    if (peek().is_keyword("while")) {
+      next();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kWhile;
+      s->line = line;
+      expect_punct("(");
+      s->expr = parse_expression();
+      expect_punct(")");
+      s->body.push_back(as_block(parse_statement()));
+      return s;
+    }
+    if (peek().is_keyword("for")) {
+      next();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kFor;
+      s->line = line;
+      expect_punct("(");
+      if (!peek().is_punct(";")) {
+        s->init = looking_at_type() ? parse_declaration_no_semi()
+                                    : expr_statement_no_semi();
+      }
+      expect_punct(";");
+      if (!peek().is_punct(";")) s->cond = parse_expression();
+      expect_punct(";");
+      if (!peek().is_punct(")")) s->step = parse_expression();
+      expect_punct(")");
+      s->body.push_back(as_block(parse_statement()));
+      return s;
+    }
+    if (peek().is_keyword("return")) {
+      next();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kReturn;
+      s->line = line;
+      if (!peek().is_punct(";")) s->expr = parse_expression();
+      expect_punct(";");
+      return s;
+    }
+    if (peek().is_keyword("break")) {
+      next();
+      expect_punct(";");
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kBreak;
+      s->line = line;
+      return s;
+    }
+    if (peek().is_keyword("continue")) {
+      next();
+      expect_punct(";");
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kContinue;
+      s->line = line;
+      return s;
+    }
+    // Expression statement (possibly empty).
+    auto s = expr_statement_no_semi();
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr expr_statement_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kExpr;
+    s->line = peek().line;
+    if (!peek().is_punct(";")) s->expr = parse_expression();
+    return s;
+  }
+
+  StmtPtr parse_declaration() {
+    auto s = parse_declaration_no_semi();
+    expect_punct(";");
+    return s;
+  }
+
+  StmtPtr parse_declaration_no_semi() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kDecl;
+    s->line = peek().line;
+    s->text = parse_base_type();
+    for (;;) {
+      Declarator d;
+      d.pointer = parse_pointers();
+      if (!peek().is_ident()) fail("expected a declarator name");
+      d.name = next().text;
+      parse_array_dims(d.array_dims);
+      if (accept_punct("=")) d.init = parse_assignment();
+      s->decls.push_back(std::move(d));
+      if (!accept_punct(",")) break;
+    }
+    return s;
+  }
+
+  // ----------------------------------------------------------- expressions
+  ExprPtr parse_expression() {
+    ExprPtr e = parse_assignment();
+    while (peek().is_punct(",")) {
+      const int line = next().line;
+      auto comma = std::make_unique<Expr>();
+      comma->kind = ExprKind::kBinary;
+      comma->text = ",";
+      comma->line = line;
+      comma->lhs = std::move(e);
+      comma->rhs = parse_assignment();
+      e = std::move(comma);
+    }
+    return e;
+  }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_binary(0);
+    if (peek().kind == TokenKind::kPunct && is_assign_op(peek().text)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->text = next().text;
+      e->line = peek().line;
+      e->lhs = std::move(lhs);
+      e->rhs = parse_assignment();  // right-associative
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      if (peek().kind != TokenKind::kPunct) break;
+      const int prec = precedence_of(peek().text);
+      if (prec == 0 || prec < min_prec) break;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->text = next().text;
+      e->line = peek().line;
+      e->lhs = std::move(lhs);
+      e->rhs = parse_binary(prec + 1);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    const Token& t = peek();
+    if (t.is_punct("!") || t.is_punct("-") || t.is_punct("+") ||
+        t.is_punct("*") || t.is_punct("&") || t.is_punct("~") ||
+        t.is_punct("++") || t.is_punct("--")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->text = next().text;
+      e->line = t.line;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (t.is_keyword("sizeof")) {
+      next();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kSizeof;
+      e->line = t.line;
+      expect_punct("(");
+      if (looking_at_type()) {
+        e->text = parse_base_type() + parse_pointers();
+      } else {
+        e->lhs = parse_expression();
+      }
+      expect_punct(")");
+      return e;
+    }
+    // Cast: '(' type [*...] ')' unary
+    if (t.is_punct("(")) {
+      const std::size_t save = pos_;
+      next();
+      if (looking_at_type()) {
+        std::string type = parse_base_type() + parse_pointers();
+        if (accept_punct(")")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kCast;
+          e->text = type;
+          e->line = t.line;
+          e->lhs = parse_unary();
+          return e;
+        }
+      }
+      pos_ = save;  // not a cast; fall through to primary
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      if (peek().is_punct("(")) {
+        // Calls are only supported on plain identifiers (C subset).
+        if (e->kind != ExprKind::kIdentifier) {
+          fail("calls through expressions are not supported");
+        }
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->text = e->text;
+        call->line = e->line;
+        next();
+        if (!accept_punct(")")) {
+          for (;;) {
+            call->args.push_back(parse_assignment());
+            if (accept_punct(")")) break;
+            expect_punct(",");
+          }
+        }
+        e = std::move(call);
+      } else if (peek().is_punct("[")) {
+        next();
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::kIndex;
+        idx->line = peek().line;
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expression();
+        expect_punct("]");
+        e = std::move(idx);
+      } else if (peek().is_punct(".") || peek().is_punct("->")) {
+        auto mem = std::make_unique<Expr>();
+        mem->kind = ExprKind::kMember;
+        mem->text = next().text;
+        mem->line = peek().line;
+        if (!peek().is_ident()) fail("expected member name");
+        mem->member = next().text;
+        mem->lhs = std::move(e);
+        e = std::move(mem);
+      } else if (peek().is_punct("++") || peek().is_punct("--")) {
+        auto post = std::make_unique<Expr>();
+        post->kind = ExprKind::kPostfix;
+        post->text = next().text;
+        post->line = peek().line;
+        post->lhs = std::move(e);
+        e = std::move(post);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    if (t.is_punct("(")) {
+      next();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kParen;
+      e->line = t.line;
+      e->lhs = parse_expression();
+      expect_punct(")");
+      return e;
+    }
+    if (t.is_ident()) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIdentifier;
+      e->text = next().text;
+      e->line = t.line;
+      return e;
+    }
+    if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kString ||
+        t.kind == TokenKind::kCharLit) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->text = next().text;
+      e->line = t.line;
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TranslationUnit parse(const std::string& source) {
+  Parser parser(lex(source));
+  return parser.parse_unit();
+}
+
+}  // namespace c3::ccift

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the CCIFT C subset.
+#pragma once
+
+#include <string>
+
+#include "ccift/ast.hpp"
+#include "ccift/lexer.hpp"
+
+namespace c3::ccift {
+
+/// Parse a translation unit. Throws ParseError on malformed input.
+TranslationUnit parse(const std::string& source);
+
+}  // namespace c3::ccift

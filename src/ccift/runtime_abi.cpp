@@ -1,0 +1,51 @@
+#include "ccift/runtime_abi.hpp"
+
+#include "util/error.hpp"
+
+namespace c3::ccift {
+namespace {
+thread_local statesave::SaveContext* t_ctx = nullptr;
+}
+
+RuntimeBinding::RuntimeBinding(statesave::SaveContext& ctx) {
+  if (t_ctx != nullptr) {
+    throw util::UsageError("nested ccift RuntimeBinding on one thread");
+  }
+  t_ctx = &ctx;
+}
+
+RuntimeBinding::~RuntimeBinding() { t_ctx = nullptr; }
+
+statesave::SaveContext& RuntimeBinding::current() {
+  if (t_ctx == nullptr) {
+    throw util::UsageError("ccift runtime used without a RuntimeBinding");
+  }
+  return *t_ctx;
+}
+
+}  // namespace c3::ccift
+
+using c3::ccift::RuntimeBinding;
+
+extern "C" {
+
+void ccift_ps_push(int label) { RuntimeBinding::current().ps().push(label); }
+void ccift_ps_pop(void) { RuntimeBinding::current().ps().pop(); }
+int ccift_restoring(void) {
+  return RuntimeBinding::current().ps().restoring() ? 1 : 0;
+}
+int ccift_ps_next(void) { return RuntimeBinding::current().ps().restore_next(); }
+void ccift_restore_error(void) {
+  throw c3::util::CorruptionError("ccift: position stack restore mismatch");
+}
+void ccift_vds_push(void* addr, std::size_t size) {
+  RuntimeBinding::current().vds().push(addr, size);
+}
+void ccift_vds_pop(int count) {
+  RuntimeBinding::current().vds().pop(static_cast<std::size_t>(count));
+}
+void ccift_register_global(const char* name, void* addr, std::size_t size) {
+  RuntimeBinding::current().globals().register_global(name, addr, size);
+}
+
+}  // extern "C"

@@ -1,0 +1,38 @@
+// The small C ABI that ccift-emitted code targets, implemented over the
+// statesave library. A transformed program is linked against these symbols
+// plus the C3 protocol layer; the instrumented example in examples/
+// demonstrates the same idiom through the C++ API directly.
+#pragma once
+
+#include <cstddef>
+
+#include "statesave/save_context.hpp"
+
+namespace c3::ccift {
+
+/// Binds the ccift_* ABI to one SaveContext for the current thread (rank).
+/// The emitted C calls are free functions; in this reproduction each rank
+/// thread installs its context before running instrumented code.
+class RuntimeBinding {
+ public:
+  explicit RuntimeBinding(statesave::SaveContext& ctx);
+  ~RuntimeBinding();
+  RuntimeBinding(const RuntimeBinding&) = delete;
+  RuntimeBinding& operator=(const RuntimeBinding&) = delete;
+
+  static statesave::SaveContext& current();
+};
+
+}  // namespace c3::ccift
+
+// --- the ABI itself (extern "C" so emitted C can link against it) ---
+extern "C" {
+void ccift_ps_push(int label);
+void ccift_ps_pop(void);
+int ccift_restoring(void);
+int ccift_ps_next(void);
+void ccift_restore_error(void);
+void ccift_vds_push(void* addr, std::size_t size);
+void ccift_vds_pop(int count);
+void ccift_register_global(const char* name, void* addr, std::size_t size);
+}

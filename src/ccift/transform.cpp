@@ -1,0 +1,506 @@
+#include "ccift/transform.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "ccift/analysis.hpp"
+#include "ccift/emit.hpp"
+#include "ccift/parser.hpp"
+#include "util/error.hpp"
+
+namespace c3::ccift {
+namespace {
+
+ExprPtr make_ident(const std::string& name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIdentifier;
+  e->text = name;
+  return e;
+}
+
+StmtPtr make_raw(const std::string& text) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kRaw;
+  s->text = text;
+  return s;
+}
+
+StmtPtr make_expr_stmt(ExprPtr e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kExpr;
+  s->expr = std::move(e);
+  return s;
+}
+
+/// Rewrites one checkpointable function.
+class FunctionTransformer {
+ public:
+  FunctionTransformer(Function& fn, const Analysis& analysis,
+                      const std::map<std::string, std::string>& return_types,
+                      const TransformOptions& options)
+      : fn_(fn),
+        analysis_(analysis),
+        return_types_(return_types),
+        options_(options) {}
+
+  void run() {
+    if (!fn_.body) return;
+    decompose_block(*fn_.body);
+    instrument_block(*fn_.body, /*scope_chain=*/{}, /*loop_scope_base=*/0);
+    insert_dispatch();
+  }
+
+ private:
+  bool is_checkpointable_call(const Expr& e) const {
+    return e.kind == ExprKind::kCall &&
+           analysis_.checkpointable.count(e.text) != 0;
+  }
+
+  std::string fresh_temp() {
+    return options_.prefix + "_t" + std::to_string(temp_counter_++);
+  }
+  int fresh_label() { return label_counter_++; }
+  std::string label_name(int k) const {
+    return options_.prefix + "_label_" + std::to_string(k) + "_" + fn_.name;
+  }
+
+  const std::string& return_type_of(const Expr& call) const {
+    auto it = return_types_.find(call.text);
+    if (it == return_types_.end()) {
+      throw util::UsageError(
+          "ccift: cannot decompose call to '" + call.text +
+          "' with unknown return type (declare a prototype)");
+    }
+    return it->second;
+  }
+
+  // -------------------------------------------------- statement decomposition
+
+  /// Hoist every checkpointable call nested inside `e` (except when `e`
+  /// itself is allowed to stay, controlled by `allow_top`) into temporaries
+  /// prepended to `pre`.
+  void hoist_calls(ExprPtr& e, std::vector<StmtPtr>& pre, bool allow_top) {
+    if (!e) return;
+    if (is_checkpointable_call(*e) && allow_top) {
+      // Arguments may still contain nested checkpointable calls.
+      for (auto& arg : e->args) hoist_calls(arg, pre, false);
+      return;
+    }
+    if (e->kind == ExprKind::kBinary &&
+        (e->text == "&&" || e->text == "||")) {
+      // Hoisting out of a short-circuit RHS would change evaluation; the
+      // paper's subset forbids it, and so do we.
+      hoist_calls(e->lhs, pre, false);
+      if (e->rhs && contains_call_to(*e->rhs, analysis_.checkpointable)) {
+        throw util::UsageError(
+            "ccift: checkpointable call in short-circuit right-hand side "
+            "(line " +
+            std::to_string(e->line) + "); rewrite as an if statement");
+      }
+      return;
+    }
+    if (is_checkpointable_call(*e)) {
+      for (auto& arg : e->args) hoist_calls(arg, pre, false);
+      const std::string type = return_type_of(*e);
+      if (type == "void") {
+        throw util::UsageError(
+            "ccift: void checkpointable call '" + e->text +
+            "' used as a value (line " + std::to_string(e->line) + ")");
+      }
+      // Split into `T temp; temp = call;` so the call lands in a plain
+      // assignment statement the PS instrumentation can label.
+      const std::string temp = fresh_temp();
+      auto decl = std::make_unique<Stmt>();
+      decl->kind = StmtKind::kDecl;
+      decl->text = type;
+      Declarator d;
+      d.name = temp;
+      decl->decls.push_back(std::move(d));
+      pre.push_back(std::move(decl));
+      auto assign = std::make_unique<Expr>();
+      assign->kind = ExprKind::kBinary;
+      assign->text = "=";
+      assign->lhs = make_ident(temp);
+      assign->rhs = std::move(e);
+      pre.push_back(make_expr_stmt(std::move(assign)));
+      e = make_ident(temp);
+      return;
+    }
+    hoist_calls(e->lhs, pre, false);
+    hoist_calls(e->rhs, pre, false);
+    for (auto& arg : e->args) hoist_calls(arg, pre, false);
+  }
+
+  bool stmt_has_checkpointable_call(const Stmt& s) const {
+    bool found = false;
+    auto check = [&](const ExprPtr& e) {
+      if (e && contains_call_to(*e, analysis_.checkpointable)) found = true;
+    };
+    check(s.expr);
+    check(s.cond);
+    check(s.step);
+    for (const auto& d : s.decls) check(d.init);
+    return found;
+  }
+
+  void decompose_block(Stmt& block) {
+    std::vector<StmtPtr> out;
+    for (auto& child : block.body) {
+      decompose_stmt(child, out);
+    }
+    block.body = std::move(out);
+  }
+
+  void decompose_stmt(StmtPtr& s, std::vector<StmtPtr>& out) {
+    switch (s->kind) {
+      case StmtKind::kBlock:
+        decompose_block(*s);
+        out.push_back(std::move(s));
+        return;
+      case StmtKind::kExpr: {
+        if (!s->expr) {
+          out.push_back(std::move(s));
+          return;
+        }
+        std::vector<StmtPtr> pre;
+        // A plain call, or `lhs = call`, may stay at statement level.
+        bool allow_top = is_checkpointable_call(*s->expr);
+        if (s->expr->kind == ExprKind::kBinary && s->expr->text == "=" &&
+            s->expr->rhs && is_checkpointable_call(*s->expr->rhs)) {
+          hoist_calls(s->expr->lhs, pre, false);
+          for (auto& arg : s->expr->rhs->args) hoist_calls(arg, pre, false);
+        } else {
+          hoist_calls(s->expr, pre, allow_top);
+        }
+        for (auto& p : pre) decompose_stmt(p, out);
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kDecl: {
+        bool any_call = false;
+        for (const auto& d : s->decls) {
+          if (d.init &&
+              contains_call_to(*d.init, analysis_.checkpointable)) {
+            any_call = true;
+          }
+        }
+        if (!any_call) {
+          out.push_back(std::move(s));
+          return;
+        }
+        // Split into per-declarator statements so each initializer call
+        // becomes a labelable assignment: `T x = f();` -> `T x; x = f();`.
+        for (auto& d : s->decls) {
+          auto decl = std::make_unique<Stmt>();
+          decl->kind = StmtKind::kDecl;
+          decl->text = s->text;
+          ExprPtr init = std::move(d.init);
+          decl->decls.push_back(std::move(d));
+          if (init &&
+              contains_call_to(*init, analysis_.checkpointable)) {
+            std::vector<StmtPtr> pre;
+            hoist_calls(init, pre, /*allow_top=*/true);
+            const std::string name = decl->decls.front().name;
+            out.push_back(std::move(decl));
+            for (auto& p : pre) out.push_back(std::move(p));
+            auto assign = std::make_unique<Expr>();
+            assign->kind = ExprKind::kBinary;
+            assign->text = "=";
+            assign->lhs = make_ident(name);
+            assign->rhs = std::move(init);
+            out.push_back(make_expr_stmt(std::move(assign)));
+          } else {
+            decl->decls.front().init = std::move(init);
+            out.push_back(std::move(decl));
+          }
+        }
+        return;
+      }
+      case StmtKind::kReturn: {
+        if (s->expr && contains_call_to(*s->expr, analysis_.checkpointable)) {
+          std::vector<StmtPtr> pre;
+          hoist_calls(s->expr, pre, false);
+          for (auto& p : pre) decompose_stmt(p, out);
+        }
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kIf: {
+        if (s->expr && contains_call_to(*s->expr, analysis_.checkpointable)) {
+          std::vector<StmtPtr> pre;
+          hoist_calls(s->expr, pre, false);
+          for (auto& p : pre) decompose_stmt(p, out);
+        }
+        decompose_block(*s->then_branch);
+        if (s->else_branch) decompose_block(*s->else_branch);
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kWhile: {
+        if (s->expr && contains_call_to(*s->expr, analysis_.checkpointable)) {
+          rewrite_loop(std::move(s), out);
+          return;
+        }
+        decompose_block(*s->body.front());
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kFor: {
+        const bool cond_has = s->cond && contains_call_to(
+                                             *s->cond, analysis_.checkpointable);
+        const bool step_has = s->step && contains_call_to(
+                                             *s->step, analysis_.checkpointable);
+        if (s->init && stmt_has_checkpointable_call(*s->init)) {
+          StmtPtr init = std::move(s->init);
+          decompose_stmt(init, out);  // runs once before the loop
+        }
+        if (cond_has || step_has) {
+          rewrite_loop(std::move(s), out);
+          return;
+        }
+        decompose_block(*s->body.front());
+        out.push_back(std::move(s));
+        return;
+      }
+      default:
+        out.push_back(std::move(s));
+        return;
+    }
+  }
+
+  /// Rewrite a while/for whose condition or step contains checkpointable
+  /// calls into: for(init;;) { <hoists>; if (!(cond)) break; body; step; }
+  void rewrite_loop(StmtPtr loop, std::vector<StmtPtr>& out) {
+    auto result = std::make_unique<Stmt>();
+    result->kind = StmtKind::kFor;
+    result->line = loop->line;
+    if (loop->kind == StmtKind::kFor) result->init = std::move(loop->init);
+
+    auto body = std::make_unique<Stmt>();
+    body->kind = StmtKind::kBlock;
+
+    ExprPtr cond = std::move(loop->kind == StmtKind::kWhile ? loop->expr
+                                                            : loop->cond);
+    if (cond) {
+      std::vector<StmtPtr> pre;
+      hoist_calls(cond, pre, false);
+      for (auto& p : pre) body->body.push_back(std::move(p));
+      auto brk = std::make_unique<Stmt>();
+      brk->kind = StmtKind::kIf;
+      auto neg = std::make_unique<Expr>();
+      neg->kind = ExprKind::kUnary;
+      neg->text = "!";
+      auto paren = std::make_unique<Expr>();
+      paren->kind = ExprKind::kParen;
+      paren->lhs = std::move(cond);
+      neg->lhs = std::move(paren);
+      brk->expr = std::move(neg);
+      auto then_block = std::make_unique<Stmt>();
+      then_block->kind = StmtKind::kBlock;
+      auto b = std::make_unique<Stmt>();
+      b->kind = StmtKind::kBreak;
+      then_block->body.push_back(std::move(b));
+      brk->then_branch = std::move(then_block);
+      body->body.push_back(std::move(brk));
+    }
+
+    StmtPtr original_body = std::move(loop->body.front());
+    decompose_block(*original_body);
+    body->body.push_back(std::move(original_body));
+
+    if (loop->kind == StmtKind::kFor && loop->step) {
+      auto step_stmt = make_expr_stmt(std::move(loop->step));
+      StmtPtr owned = std::move(step_stmt);
+      std::vector<StmtPtr> step_out;
+      decompose_stmt(owned, step_out);
+      for (auto& p : step_out) body->body.push_back(std::move(p));
+    }
+
+    result->body.push_back(std::move(body));
+    out.push_back(std::move(result));
+  }
+
+  // ------------------------------------------------------ PS / VDS weaving
+
+  void instrument_block(Stmt& block, std::vector<int> scope_chain,
+                        std::size_t loop_scope_base) {
+    scope_chain.push_back(0);
+    std::vector<StmtPtr> out;
+    for (auto& child : block.body) {
+      instrument_stmt(child, out, scope_chain, loop_scope_base);
+    }
+    // Pop this block's declarations on normal exit.
+    if (scope_chain.back() > 0) {
+      out.push_back(make_raw("ccift_vds_pop(" +
+                             std::to_string(scope_chain.back()) + ");"));
+    }
+    block.body = std::move(out);
+  }
+
+  void instrument_stmt(StmtPtr& s, std::vector<StmtPtr>& out,
+                       std::vector<int>& scope_chain,
+                       std::size_t loop_scope_base) {
+    switch (s->kind) {
+      case StmtKind::kDecl: {
+        const auto names = [&] {
+          std::vector<std::string> v;
+          for (const auto& d : s->decls) v.push_back(d.name);
+          return v;
+        }();
+        out.push_back(std::move(s));
+        for (const auto& name : names) {
+          out.push_back(make_raw("ccift_vds_push(&" + name + ", sizeof(" +
+                                 name + "));"));
+          scope_chain.back()++;
+        }
+        return;
+      }
+      case StmtKind::kExpr: {
+        if (s->expr && top_level_checkpointable(*s->expr)) {
+          wrap_call_site(std::move(s), out);
+          return;
+        }
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kReturn: {
+        // Pop everything still in scope before leaving the function.
+        int total = 0;
+        for (int n : scope_chain) total += n;
+        if (total > 0) {
+          out.push_back(make_raw("ccift_vds_pop(" + std::to_string(total) +
+                                 ");"));
+        }
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue: {
+        // Pop the scopes between here and the loop body (inclusive).
+        int total = 0;
+        for (std::size_t i = loop_scope_base; i < scope_chain.size(); ++i) {
+          total += scope_chain[i];
+        }
+        if (total > 0) {
+          out.push_back(make_raw("ccift_vds_pop(" + std::to_string(total) +
+                                 ");"));
+        }
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::kBlock:
+        instrument_block(*s, scope_chain, loop_scope_base);
+        out.push_back(std::move(s));
+        return;
+      case StmtKind::kIf:
+        instrument_block(*s->then_branch, scope_chain, loop_scope_base);
+        if (s->else_branch) {
+          instrument_block(*s->else_branch, scope_chain, loop_scope_base);
+        }
+        out.push_back(std::move(s));
+        return;
+      case StmtKind::kWhile:
+      case StmtKind::kFor:
+        // The loop body starts a new break/continue scope base.
+        instrument_block(*s->body.front(), scope_chain, scope_chain.size());
+        out.push_back(std::move(s));
+        return;
+      default:
+        out.push_back(std::move(s));
+        return;
+    }
+  }
+
+  /// Is this expression exactly a checkpointable call, or `lhs = call`?
+  bool top_level_checkpointable(const Expr& e) const {
+    if (is_checkpointable_call(e)) return true;
+    return e.kind == ExprKind::kBinary && e.text == "=" && e.rhs &&
+           is_checkpointable_call(*e.rhs);
+  }
+
+  void wrap_call_site(StmtPtr call_stmt, std::vector<StmtPtr>& out) {
+    const Expr& call = is_checkpointable_call(*call_stmt->expr)
+                           ? *call_stmt->expr
+                           : *call_stmt->expr->rhs;
+    const bool is_checkpoint = (call.text == kPotentialCheckpoint);
+    const int k = fresh_label();
+    labels_.push_back(k);
+    out.push_back(make_raw("ccift_ps_push(" + std::to_string(k) + ");"));
+    if (is_checkpoint) {
+      // Resume point is *after* the checkpoint call (Figure 6, label_2).
+      out.push_back(std::move(call_stmt));
+      out.push_back(make_raw(label_name(k) + ": ;"));
+    } else {
+      // Resume point re-invokes the callee, whose own dispatch descends.
+      out.push_back(make_raw(label_name(k) + ": ;"));
+      out.push_back(std::move(call_stmt));
+    }
+    out.push_back(make_raw("ccift_ps_pop();"));
+  }
+
+  void insert_dispatch() {
+    if (labels_.empty()) return;
+    std::string dispatch = "if (ccift_restoring()) {\n";
+    dispatch += "    switch (ccift_ps_next()) {\n";
+    for (int k : labels_) {
+      dispatch += "      case " + std::to_string(k) + ": goto " +
+                  label_name(k) + ";\n";
+    }
+    dispatch += "      default: ccift_restore_error();\n";
+    dispatch += "    }\n  }";
+    fn_.body->body.insert(fn_.body->body.begin(), make_raw(dispatch));
+  }
+
+  Function& fn_;
+  const Analysis& analysis_;
+  const std::map<std::string, std::string>& return_types_;
+  const TransformOptions& options_;
+  int temp_counter_ = 0;
+  int label_counter_ = 1;
+  std::vector<int> labels_;
+};
+
+}  // namespace
+
+void transform(TranslationUnit& unit, const TransformOptions& options) {
+  const Analysis analysis = analyze(unit);
+
+  std::map<std::string, std::string> return_types;
+  for (const auto& fn : unit.functions) return_types[fn.name] = fn.return_type;
+  return_types[kPotentialCheckpoint] = "void";
+
+  for (auto& fn : unit.functions) {
+    if (analysis.checkpointable.count(fn.name) == 0) continue;
+    FunctionTransformer transformer(fn, analysis, return_types, options);
+    transformer.run();
+  }
+
+  if (options.emit_global_registration) {
+    Function reg;
+    reg.return_type = "void";
+    reg.name = "ccift_register_globals";
+    reg.body = std::make_unique<Stmt>();
+    reg.body->kind = StmtKind::kBlock;
+    for (const auto& g : unit.globals) {
+      reg.body->body.push_back(
+          make_raw("ccift_register_global(\"" + g.decl.name + "\", &" +
+                   g.decl.name + ", sizeof(" + g.decl.name + "));"));
+    }
+    unit.functions.push_back(std::move(reg));
+    unit.order.push_back({TranslationUnit::Item::Kind::kFunction,
+                          unit.functions.size() - 1});
+  }
+}
+
+std::string transform_source(const std::string& source,
+                             const TransformOptions& options) {
+  TranslationUnit unit = parse(source);
+  transform(unit, options);
+  std::string out =
+      "/* Instrumented by ccift (C3 precompiler reproduction). */\n";
+  out += emit_unit(unit);
+  return out;
+}
+
+}  // namespace c3::ccift

@@ -1,0 +1,59 @@
+// The CCIFT instrumentation pass (paper Section 5.1).
+//
+// Given a parsed translation unit, rewrites every *checkpointable* function
+// (one whose call chain can reach potentialCheckpoint) so the emitted C
+// saves and restores its own position and stack state:
+//
+//  1. Statement decomposition: a checkpointable call may only appear as a
+//     standalone statement or the full right-hand side of an assignment /
+//     return, so each call site has a unique program point. Nested calls
+//     are hoisted into fresh temporaries ("the precompiler needs to
+//     decompose certain complex statements"); loop conditions containing
+//     such calls are rewritten into explicit for(;;)+break form so the
+//     hoisted call re-executes every iteration.
+//
+//  2. Position Stack instrumentation (Figure 6): every checkpointable call
+//     site K becomes
+//         ccift_ps_push(K);  ccift_label_K: <call>;  ccift_ps_pop();
+//     and every potentialCheckpoint site K becomes
+//         ccift_ps_push(K);  potentialCheckpoint();  ccift_label_K:
+//         ccift_ps_pop();
+//     (the resume point is *after* the checkpoint). A restart dispatch
+//     switch at function entry consumes one PS entry and jumps to the
+//     recorded label, rebuilding the activation stack outermost-first.
+//
+//  3. VDS instrumentation: each local declaration is followed by
+//     ccift_vds_push(&var, sizeof(var)); scope exits (block ends, returns,
+//     break/continue) emit the matching pops. The VDS contents themselves
+//     are saved/restored with the checkpoint (the restored process reuses
+//     identical stack addresses), so the restart goto legitimately skips
+//     re-execution of the pushes.
+//
+//  4. Global registration: a generated ccift_register_globals() registers
+//     every global variable discovered across the unit.
+//
+// The emitted code targets the small ccift_* runtime ABI declared in
+// runtime_abi.hpp, implemented over the statesave library.
+#pragma once
+
+#include <string>
+
+#include "ccift/ast.hpp"
+
+namespace c3::ccift {
+
+struct TransformOptions {
+  /// Also emit the ccift_register_globals() definition.
+  bool emit_global_registration = true;
+  /// Prefix for generated temporaries and labels.
+  std::string prefix = "__ccift";
+};
+
+/// Instrument `unit` in place.
+void transform(TranslationUnit& unit, const TransformOptions& options = {});
+
+/// Convenience: parse, transform, emit.
+std::string transform_source(const std::string& source,
+                             const TransformOptions& options = {});
+
+}  // namespace c3::ccift

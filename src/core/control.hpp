@@ -1,0 +1,36 @@
+// Protocol control messages (Section 4.1).
+//
+// Control traffic flows on the communicator's control context, so it can
+// never be matched by application receives. The message kind doubles as
+// the tag; payloads are Archive-encoded.
+#pragma once
+
+#include <cstdint>
+
+#include "simmpi/types.hpp"
+
+namespace c3::core {
+
+enum class ControlKind : simmpi::Tag {
+  /// initiator -> all: please take a local checkpoint when you can (Phase 1)
+  kPleaseCheckpoint = 1,
+  /// checkpointer -> every receiver: how many messages I sent you in the
+  /// epoch that just ended (Section 4.3)
+  kMySendCount = 2,
+  /// process -> initiator: I have received all my late messages (Phase 2)
+  kReadyToStopLogging = 3,
+  /// initiator -> all: every process has checkpointed; stop logging (Phase 3)
+  kStopLogging = 4,
+  /// process -> initiator: my log is on stable storage (Phase 4)
+  kStoppedLogging = 5,
+  /// recovery: receiver -> sender, the early-message IDs to suppress
+  kSuppressList = 6,
+  /// initiator -> all: the job is complete, protocol layer may exit
+  kShutdown = 7,
+};
+
+inline simmpi::Tag control_tag(ControlKind k) {
+  return static_cast<simmpi::Tag>(k);
+}
+
+}  // namespace c3::core

@@ -1,0 +1,82 @@
+#include "core/job.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace c3::core {
+
+Job::Job(JobConfig config) : config_(std::move(config)) {
+  if (config_.ranks <= 0) {
+    throw util::UsageError("JobConfig.ranks must be positive");
+  }
+  if (!config_.storage) {
+    config_.storage = std::make_shared<util::MemoryStorage>();
+  }
+}
+
+JobReport Job::run(const std::function<void(Process&)>& app_main) {
+  JobReport report;
+  // Injectors are shared across executions: each is one-shot, so a
+  // recovery run does not re-kill the victim at the same event count.
+  std::vector<std::shared_ptr<net::FailureInjector>> injectors;
+  if (config_.failure) {
+    injectors.push_back(
+        std::make_shared<net::FailureInjector>(*config_.failure));
+  }
+  for (const auto& spec : config_.extra_failures) {
+    injectors.push_back(std::make_shared<net::FailureInjector>(spec));
+  }
+
+  simmpi::Runtime runtime(config_.ranks, config_.net);
+  bool recovering = false;
+
+  for (;;) {
+    report.executions++;
+    Process::Shared shared;
+    shared.storage = config_.storage;
+    shared.injectors = injectors;
+    shared.level = config_.level;
+    shared.piggyback = config_.piggyback;
+    shared.policy = config_.policy;
+    shared.seed = config_.seed;
+    shared.heap_capacity = config_.heap_capacity;
+    shared.recovering = recovering;
+    shared.validate_classification = config_.validate_classification;
+
+    try {
+      runtime.run([&](simmpi::Api& api) {
+        Process process(api, shared);
+        app_main(process);
+        process.shutdown();
+      });
+      if (recovering) report.recovered = true;
+      break;
+    } catch (const util::StoppingFailure& f) {
+      report.failures++;
+      C3_LOG(kInfo) << "stopping failure at rank " << f.rank()
+                    << "; rolling back";
+      if (report.executions > config_.max_restarts) {
+        throw;
+      }
+      const auto committed = config_.storage->committed_epoch();
+      if (!committed.has_value()) {
+        // No global checkpoint yet: the computation restarts from scratch
+        // (epoch 0), exactly as a real deployment would.
+        recovering = false;
+      } else {
+        if (config_.level != InstrumentLevel::kFull) {
+          throw util::UsageError(
+              "cannot recover: checkpoints were taken without application "
+              "state (InstrumentLevel::kNoAppState)");
+        }
+        recovering = true;
+      }
+    }
+  }
+
+  report.last_committed_epoch = config_.storage->committed_epoch();
+  report.storage_bytes_written = config_.storage->bytes_written();
+  return report;
+}
+
+}  // namespace c3::core

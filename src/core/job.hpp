@@ -1,0 +1,64 @@
+// Top-level job runner: executes an application under the C3 protocol,
+// injecting stopping failures and restarting the whole job from the last
+// committed global checkpoint -- the paper's recovery model, where every
+// process rolls back together.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/process.hpp"
+#include "core/types.hpp"
+#include "net/failure.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/stable_storage.hpp"
+
+namespace c3::core {
+
+struct JobConfig {
+  int ranks = 4;
+  simmpi::NetConfig net;
+  InstrumentLevel level = InstrumentLevel::kFull;
+  PiggybackMode piggyback = PiggybackMode::kPacked;
+  CheckpointPolicy policy;
+  std::uint64_t seed = 1;
+  std::size_t heap_capacity = 0;
+  /// Storage backend; a fresh MemoryStorage is created when null.
+  std::shared_ptr<util::StableStorage> storage;
+  /// Optional injected stopping failure.
+  std::optional<net::FailureSpec> failure;
+  /// Additional stopping failures (each fires once; combined with
+  /// `failure`). Event counts accumulate over the whole job lifetime, so a
+  /// later trigger fires during a later execution.
+  std::vector<net::FailureSpec> extra_failures;
+  /// Give up after this many restarts (failures without a new checkpoint).
+  int max_restarts = 8;
+  bool validate_classification = false;
+};
+
+/// What happened over the job's whole life (including restarts).
+struct JobReport {
+  int executions = 0;     ///< 1 = no failure; 2 = one rollback; ...
+  int failures = 0;       ///< stopping failures observed
+  bool recovered = false; ///< at least one execution resumed from a checkpoint
+  std::optional<int> last_committed_epoch;
+  std::uint64_t storage_bytes_written = 0;
+};
+
+class Job {
+ public:
+  explicit Job(JobConfig config);
+
+  /// Run `app_main` on every rank to completion, transparently rolling back
+  /// and restarting on injected failures. Returns the execution report.
+  JobReport run(const std::function<void(Process&)>& app_main);
+
+  util::StableStorage& storage() noexcept { return *config_.storage; }
+  const JobConfig& config() const noexcept { return config_; }
+
+ private:
+  JobConfig config_;
+};
+
+}  // namespace c3::core

@@ -1,0 +1,88 @@
+#include "core/logrec.hpp"
+
+#include "util/error.hpp"
+
+namespace c3::core {
+
+namespace {
+constexpr std::uint32_t kLogMagic = 0xC3106001u;
+
+void put_recv(util::Writer& w, const RecvOutcome& rec) {
+  w.put<std::int32_t>(rec.pattern_src);
+  w.put<std::int32_t>(rec.pattern_tag);
+  w.put<std::int32_t>(rec.src);
+  w.put<std::int32_t>(rec.tag);
+  w.put<std::uint32_t>(rec.message_id);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(rec.cls));
+  w.put_bytes(rec.payload);
+}
+
+RecvOutcome get_recv(util::Reader& r) {
+  RecvOutcome rec;
+  rec.pattern_src = r.get<std::int32_t>();
+  rec.pattern_tag = r.get<std::int32_t>();
+  rec.src = r.get<std::int32_t>();
+  rec.tag = r.get<std::int32_t>();
+  rec.message_id = r.get<std::uint32_t>();
+  rec.cls = static_cast<MessageClass>(r.get<std::uint8_t>());
+  rec.payload = r.get_bytes();
+  return rec;
+}
+}  // namespace
+
+util::Bytes EventLog::serialize() const {
+  util::Writer w;
+  w.put<std::uint32_t>(kLogMagic);
+  w.put<std::uint64_t>(recvs_.size());
+  for (const auto& rec : recvs_) put_recv(w, rec);
+  w.put<std::uint64_t>(nondets_.size());
+  for (const auto& e : nondets_) w.put<std::uint64_t>(e.value);
+  w.put<std::uint64_t>(collectives_.size());
+  for (const auto& c : collectives_) w.put_bytes(c.payload);
+  return w.take();
+}
+
+ReplayLog::ReplayLog(std::span<const std::byte> blob) {
+  util::Reader r(blob);
+  if (r.get<std::uint32_t>() != kLogMagic) {
+    throw util::CorruptionError("event log: bad magic");
+  }
+  const auto nrecv = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nrecv; ++i) recvs_.push_back(get_recv(r));
+  const auto nnd = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nnd; ++i) {
+    nondets_.push_back({r.get<std::uint64_t>()});
+  }
+  const auto ncoll = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < ncoll; ++i) {
+    collectives_.push_back({r.get_bytes()});
+  }
+}
+
+std::optional<RecvOutcome> ReplayLog::take_recv(simmpi::Rank pattern_src,
+                                                simmpi::Tag pattern_tag) {
+  for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+    if (it->pattern_src == pattern_src && it->pattern_tag == pattern_tag) {
+      RecvOutcome rec = std::move(*it);
+      recvs_.erase(it);
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> ReplayLog::take_nondet() {
+  if (nondets_.empty()) return std::nullopt;
+  const auto v = nondets_.front().value;
+  nondets_.pop_front();
+  return v;
+}
+
+std::optional<util::Bytes> ReplayLog::take_collective() {
+  if (collectives_.empty()) return std::nullopt;
+  auto v = std::move(collectives_.front().payload);
+  collectives_.pop_front();
+  return v;
+}
+
+}  // namespace c3::core

@@ -1,0 +1,110 @@
+// The protocol's event log and its recovery-time replay view.
+//
+// While a process is logging (between its local checkpoint and the moment
+// it learns that every process has checkpointed), it records everything the
+// new global checkpoint may causally depend on:
+//
+//  - every application receive it performs, as a RecvOutcome: the posted
+//    pattern, the concrete (source, tag, id) that matched, its late /
+//    intra-epoch classification, and -- for late messages -- the payload.
+//    Late payloads are what recovery replays (the sender will not resend
+//    them); intra-epoch outcomes pin down the *matching order*, which
+//    resolves the non-determinism of wildcard receives;
+//  - every non-deterministic event (random draws, time reads);
+//  - every collective result logged under the conjunction rule (Sec. 4.5).
+//
+// On recovery the saved log becomes a ReplayLog with one FIFO cursor per
+// category; re-executed operations consume entries until the log runs dry,
+// after which execution is live again (nothing saved depends on it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/piggyback.hpp"
+#include "simmpi/types.hpp"
+#include "util/archive.hpp"
+
+namespace c3::core {
+
+/// One application receive performed while logging.
+struct RecvOutcome {
+  // The pattern the application posted (world rank or kAnySource / kAnyTag).
+  simmpi::Rank pattern_src = simmpi::kAnySource;
+  simmpi::Tag pattern_tag = simmpi::kAnyTag;
+  // What actually matched.
+  simmpi::Rank src = 0;  ///< world rank of the sender
+  simmpi::Tag tag = 0;
+  std::uint32_t message_id = 0;
+  MessageClass cls = MessageClass::kIntraEpoch;
+  /// Payload, recorded only for late messages (cls == kLate).
+  util::Bytes payload;
+};
+
+/// One logged non-deterministic event.
+struct NondetEvent {
+  std::uint64_t value = 0;
+};
+
+/// One logged collective result.
+struct CollectiveResult {
+  util::Bytes payload;
+};
+
+/// Append-only log written while amLogging is true.
+class EventLog {
+ public:
+  void add_recv(RecvOutcome rec) { recvs_.push_back(std::move(rec)); }
+  void add_nondet(std::uint64_t value) { nondets_.push_back({value}); }
+  void add_collective(util::Bytes result) {
+    collectives_.push_back({std::move(result)});
+  }
+
+  std::size_t recv_count() const noexcept { return recvs_.size(); }
+  std::size_t nondet_count() const noexcept { return nondets_.size(); }
+  std::size_t collective_count() const noexcept { return collectives_.size(); }
+
+  void clear() {
+    recvs_.clear();
+    nondets_.clear();
+    collectives_.clear();
+  }
+
+  /// Serialize for stable storage (finalizeLog writes this blob).
+  util::Bytes serialize() const;
+
+ private:
+  std::vector<RecvOutcome> recvs_;
+  std::vector<NondetEvent> nondets_;
+  std::vector<CollectiveResult> collectives_;
+};
+
+/// Recovery-time view over a saved EventLog blob.
+class ReplayLog {
+ public:
+  ReplayLog() = default;
+  explicit ReplayLog(std::span<const std::byte> blob);
+
+  /// Next receive outcome whose posted pattern equals (src, tag); consumed
+  /// if found. Entries are matched in log order per pattern, which makes
+  /// replay of deterministic programs exact.
+  std::optional<RecvOutcome> take_recv(simmpi::Rank pattern_src,
+                                       simmpi::Tag pattern_tag);
+
+  std::optional<std::uint64_t> take_nondet();
+  std::optional<util::Bytes> take_collective();
+
+  bool recvs_exhausted() const noexcept { return recvs_.empty(); }
+  bool nondets_exhausted() const noexcept { return nondets_.empty(); }
+  bool collectives_exhausted() const noexcept { return collectives_.empty(); }
+  std::size_t pending_recvs() const noexcept { return recvs_.size(); }
+
+ private:
+  std::deque<RecvOutcome> recvs_;
+  std::deque<NondetEvent> nondets_;
+  std::deque<CollectiveResult> collectives_;
+};
+
+}  // namespace c3::core

@@ -1,0 +1,73 @@
+#include "core/mpistate.hpp"
+
+namespace c3::core {
+
+void serialize_comm_calls(const std::vector<CommCallRecord>& calls,
+                          util::Writer& w) {
+  w.put<std::uint64_t>(calls.size());
+  for (const auto& c : calls) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(c.kind));
+    w.put<std::int64_t>(c.parent);
+    w.put<std::int32_t>(c.color);
+    w.put<std::int32_t>(c.key);
+    w.put<std::int64_t>(c.result);
+  }
+}
+
+std::vector<CommCallRecord> deserialize_comm_calls(util::Reader& r) {
+  const auto n = r.get<std::uint64_t>();
+  std::vector<CommCallRecord> calls;
+  calls.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CommCallRecord c;
+    c.kind = static_cast<CommCallRecord::Kind>(r.get<std::uint8_t>());
+    c.parent = r.get<std::int64_t>();
+    c.color = r.get<std::int32_t>();
+    c.key = r.get<std::int32_t>();
+    c.result = r.get<std::int64_t>();
+    calls.push_back(c);
+  }
+  return calls;
+}
+
+void serialize_saved_requests(const std::vector<SavedRequest>& reqs,
+                              util::Writer& w) {
+  w.put<std::uint64_t>(reqs.size());
+  for (const auto& q : reqs) {
+    w.put<std::int64_t>(q.id);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(q.kind));
+    w.put<std::uint8_t>(q.complete ? 1 : 0);
+    w.put<std::int32_t>(q.status.source);
+    w.put<std::int32_t>(q.status.tag);
+    w.put<std::uint64_t>(q.status.size);
+    w.put<std::int64_t>(q.comm);
+    w.put<std::int32_t>(q.pattern_src);
+    w.put<std::int32_t>(q.pattern_tag);
+    w.put<std::uint64_t>(q.out_addr);
+    w.put<std::uint64_t>(q.out_size);
+  }
+}
+
+std::vector<SavedRequest> deserialize_saved_requests(util::Reader& r) {
+  const auto n = r.get<std::uint64_t>();
+  std::vector<SavedRequest> reqs;
+  reqs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SavedRequest q;
+    q.id = r.get<std::int64_t>();
+    q.kind = static_cast<PseudoRequest::Kind>(r.get<std::uint8_t>());
+    q.complete = r.get<std::uint8_t>() != 0;
+    q.status.source = r.get<std::int32_t>();
+    q.status.tag = r.get<std::int32_t>();
+    q.status.size = r.get<std::uint64_t>();
+    q.comm = r.get<std::int64_t>();
+    q.pattern_src = r.get<std::int32_t>();
+    q.pattern_tag = r.get<std::int32_t>();
+    q.out_addr = r.get<std::uint64_t>();
+    q.out_size = r.get<std::uint64_t>();
+    reqs.push_back(q);
+  }
+  return reqs;
+}
+
+}  // namespace c3::core

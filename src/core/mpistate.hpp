@@ -1,0 +1,93 @@
+// MPI library state saving through the MPI interface only (Section 5.2).
+//
+// The protocol layer never sees inside the MPI library; it records and
+// recovers library state via pseudo-handles:
+//
+//  - Persistent opaque objects (communicators, and by extension groups /
+//    datatypes / ops) are recreated on recovery by replaying the record of
+//    every call that created or manipulated them.
+//  - Transient objects (requests) follow the paper's reinitialization
+//    rules: a pre-checkpoint Isend's pseudo-handle completes immediately
+//    after recovery; a pre-checkpoint Irecv either matches a late message
+//    in the log (deliver + complete) or is re-issued live with identical
+//    arguments.
+//
+// Application code holds plain integer pseudo-handles, which are trivially
+// copyable and therefore safe to save/restore as raw bytes by the VDS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+#include "util/archive.hpp"
+
+namespace c3::core {
+
+/// Pseudo-handle to a communicator. Handle 0 is always the world
+/// communicator; others are allocated by comm_dup / comm_split.
+using CommHandle = std::int64_t;
+inline constexpr CommHandle kWorldComm = 0;
+
+/// Pseudo-handle to a request. 0 is "invalid".
+using RequestId = std::int64_t;
+inline constexpr RequestId kNullRequest = 0;
+
+/// One recorded call that created or destroyed a persistent opaque object.
+struct CommCallRecord {
+  enum class Kind : std::uint8_t { kDup = 0, kSplit = 1, kFree = 2 };
+  Kind kind = Kind::kDup;
+  CommHandle parent = kWorldComm;  ///< input communicator
+  std::int32_t color = 0;          ///< split only
+  std::int32_t key = 0;            ///< split only
+  CommHandle result = kWorldComm;  ///< handle assigned to the new object
+};
+
+void serialize_comm_calls(const std::vector<CommCallRecord>& calls,
+                          util::Writer& w);
+std::vector<CommCallRecord> deserialize_comm_calls(util::Reader& r);
+
+/// Protocol-layer request state behind a RequestId.
+struct PseudoRequest {
+  enum class Kind : std::uint8_t { kSend = 0, kRecv = 1 };
+  Kind kind = Kind::kSend;
+  bool complete = false;
+  /// Set when the protocol has examined the piggyback of the completed
+  /// receive (classification, counting, logging).
+  bool processed = false;
+  simmpi::Status status;  ///< app-facing status (header stripped)
+
+  // Receive bookkeeping.
+  CommHandle comm = kWorldComm;
+  simmpi::Rank pattern_src = simmpi::kAnySource;  ///< as posted (comm-local)
+  simmpi::Tag pattern_tag = simmpi::kAnyTag;
+  std::byte* out = nullptr;
+  std::size_t out_size = 0;
+  util::Bytes staging;     ///< framed network buffer (header + payload)
+  simmpi::Request real;    ///< live simmpi request, when posted
+  util::Bytes replay_payload;  ///< payload delivered from the log
+  bool from_replay = false;
+
+  // Send bookkeeping.
+  std::uint32_t message_id = 0;
+};
+
+/// Checkpointed form of a live pseudo-request (Section 5.2 reinit rules).
+struct SavedRequest {
+  RequestId id = kNullRequest;
+  PseudoRequest::Kind kind = PseudoRequest::Kind::kSend;
+  bool complete = false;
+  simmpi::Status status;
+  CommHandle comm = kWorldComm;
+  simmpi::Rank pattern_src = simmpi::kAnySource;
+  simmpi::Tag pattern_tag = simmpi::kAnyTag;
+  std::uint64_t out_addr = 0;  ///< must be heap-arena-backed to cross a restart
+  std::uint64_t out_size = 0;
+};
+
+void serialize_saved_requests(const std::vector<SavedRequest>& reqs,
+                              util::Writer& w);
+std::vector<SavedRequest> deserialize_saved_requests(util::Reader& r);
+
+}  // namespace c3::core

@@ -1,0 +1,62 @@
+#include "core/piggyback.hpp"
+
+#include "util/error.hpp"
+
+namespace c3::core {
+
+std::size_t piggyback_size(PiggybackMode mode) {
+  return mode == PiggybackMode::kPacked ? 4 : 9;
+}
+
+void encode_piggyback(PiggybackMode mode, const Piggyback& pb,
+                      util::Writer& w) {
+  if (mode == PiggybackMode::kPacked) {
+    if (pb.message_id > kMaxPackedMessageId) {
+      // "...it is unlikely that a single process will send more than a
+      // billion messages between checkpoints!" -- but fail loudly if it does.
+      throw util::UsageError("packed piggyback: message ID exceeds 30 bits");
+    }
+    std::uint32_t word = pb.message_id;
+    if (pb.color()) word |= (1u << 31);
+    if (pb.logging) word |= (1u << 30);
+    w.put<std::uint32_t>(word);
+  } else {
+    w.put<std::int32_t>(pb.epoch);
+    w.put<std::uint8_t>(pb.logging ? 1 : 0);
+    w.put<std::uint32_t>(pb.message_id);
+  }
+}
+
+Piggyback decode_piggyback(PiggybackMode mode, util::Reader& r) {
+  Piggyback pb;
+  if (mode == PiggybackMode::kPacked) {
+    const auto word = r.get<std::uint32_t>();
+    pb.epoch = (word >> 31) & 1u;  // color bit only
+    pb.logging = ((word >> 30) & 1u) != 0;
+    pb.message_id = word & kMaxPackedMessageId;
+  } else {
+    pb.epoch = r.get<std::int32_t>();
+    pb.logging = r.get<std::uint8_t>() != 0;
+    pb.message_id = r.get<std::uint32_t>();
+  }
+  return pb;
+}
+
+MessageClass classify(bool sender_color, bool receiver_color,
+                      bool receiver_logging) {
+  if (sender_color == receiver_color) return MessageClass::kIntraEpoch;
+  // Colors differ: epochs differ by exactly one. If the receiver is still
+  // logging it has already taken its checkpoint, so the sender must be one
+  // epoch behind => late. If the receiver is not logging it has not yet
+  // taken its checkpoint, so the sender is one ahead => early.
+  return receiver_logging ? MessageClass::kLate : MessageClass::kEarly;
+}
+
+MessageClass classify_by_epoch(std::int32_t sender_epoch,
+                               std::int32_t receiver_epoch) {
+  if (sender_epoch < receiver_epoch) return MessageClass::kLate;
+  if (sender_epoch > receiver_epoch) return MessageClass::kEarly;
+  return MessageClass::kIntraEpoch;
+}
+
+}  // namespace c3::core

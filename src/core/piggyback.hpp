@@ -1,0 +1,57 @@
+// Piggybacked protocol information on application messages (Section 4.2).
+//
+// Every application message carries <epoch, amLogging, messageID>. The
+// receiver uses it to classify the message as late / intra-epoch / early,
+// to learn whether the sender stopped logging, and (for early messages) to
+// record the ID for resend suppression during recovery.
+//
+// Two encodings are implemented, matching the paper's discussion:
+//  - kFull:   the whole triple (9 bytes): epoch i32, logging u8, id u32.
+//  - kPacked: a single 32-bit word. Because at most one global checkpoint
+//    is in flight, epochs differ by at most one, so one "color" bit
+//    (epoch parity) suffices; one more bit carries amLogging; the low 30
+//    bits carry the message ID.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/archive.hpp"
+
+namespace c3::core {
+
+struct Piggyback {
+  std::int32_t epoch = 0;     ///< sender's epoch (kPacked keeps parity only)
+  bool logging = false;       ///< sender's amLogging flag
+  std::uint32_t message_id = 0;
+
+  bool color() const noexcept { return (epoch & 1) != 0; }
+};
+
+/// Maximum message ID representable in packed mode (30 bits).
+inline constexpr std::uint32_t kMaxPackedMessageId = (1u << 30) - 1;
+
+/// Encoded size in bytes for a mode.
+std::size_t piggyback_size(PiggybackMode mode);
+
+/// Append the header to `w`.
+void encode_piggyback(PiggybackMode mode, const Piggyback& pb, util::Writer& w);
+
+/// Decode a header from `r`. In kPacked mode the returned epoch is the
+/// color bit (0 or 1); classification uses parity only.
+Piggyback decode_piggyback(PiggybackMode mode, util::Reader& r);
+
+/// Message classification relative to the receiving process (Definition 1).
+enum class MessageClass : std::uint8_t { kLate, kIntraEpoch, kEarly };
+
+/// Classify using the packed-mode rule: same color => intra-epoch; different
+/// color => late if the receiver is logging, early otherwise. With full
+/// epochs this agrees with the direct epoch comparison (asserted in tests).
+MessageClass classify(bool sender_color, bool receiver_color,
+                      bool receiver_logging);
+
+/// Direct classification from full epoch numbers (Definition 1).
+MessageClass classify_by_epoch(std::int32_t sender_epoch,
+                               std::int32_t receiver_epoch);
+
+}  // namespace c3::core

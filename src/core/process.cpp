@@ -1,0 +1,1248 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace c3::core {
+
+namespace {
+constexpr auto kIdleSlice = std::chrono::microseconds(200);
+constexpr auto kCtrl = simmpi::ContextClass::kCtrl;
+
+void protocol_invariant(bool cond, const char* what) {
+  if (!cond) {
+    throw util::CorruptionError(std::string("protocol invariant violated: ") +
+                                what);
+  }
+}
+}  // namespace
+
+Process::Process(simmpi::Api& api, Shared& shared)
+    : api_(api),
+      shared_(shared),
+      me_(api.world_rank()),
+      nranks_(api.world_size()),
+      rng_(util::Rng(shared.seed).fork(static_cast<std::uint64_t>(me_))),
+      save_ctx_(shared.heap_capacity) {
+  const auto n = static_cast<std::size_t>(nranks_);
+  send_count_.assign(n, 0);
+  early_ids_.assign(n, {});
+  current_receive_count_.assign(n, 0);
+  previous_receive_count_.assign(n, 0);
+  total_sent_.assign(n, -1);
+  suppress_.assign(n, {});
+  comms_[kWorldComm] = api_.world();
+  last_ckpt_time_ = std::chrono::steady_clock::now();
+  if (shared_.recovering && checkpoints_enabled()) {
+    recover_from_checkpoint();
+  }
+}
+
+Process::~Process() = default;
+
+// ----------------------------------------------------------------- helpers
+
+void Process::event() {
+  for (const auto& injector : shared_.injectors) {
+    if (injector && injector->on_event(me_)) {
+      throw util::StoppingFailure(me_);
+    }
+  }
+}
+
+const simmpi::Comm& Process::resolve(CommHandle handle) const {
+  auto it = comms_.find(handle);
+  if (it == comms_.end()) {
+    throw util::UsageError("unknown communicator pseudo-handle " +
+                           std::to_string(handle));
+  }
+  return it->second;
+}
+
+simmpi::Rank Process::comm_rank(CommHandle handle) const {
+  return resolve(handle).rank();
+}
+
+int Process::comm_size(CommHandle handle) const {
+  return resolve(handle).size();
+}
+
+void Process::block_until(const std::function<bool()>& done) {
+  for (;;) {
+    pump();
+    if (done()) return;
+    api_.check_abort();
+    api_.idle_wait(kIdleSlice);
+  }
+}
+
+void Process::pump() {
+  api_.poll();
+  process_completed_recvs();
+  drain_control();
+}
+
+// -------------------------------------------------------------------- send
+
+void Process::send(std::span<const std::byte> data, simmpi::Rank dst,
+                   simmpi::Tag tag, CommHandle comm) {
+  (void)isend(data, dst, tag, comm);
+}
+
+RequestId Process::isend(std::span<const std::byte> data, simmpi::Rank dst,
+                         simmpi::Tag tag, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  // The failure-injection hook fires at every instrumentation level: a
+  // stopping failure is a property of the machine, not of the protocol.
+  event();
+  if (passthrough()) {
+    simmpi::Request r = api_.isend(c, data, dst, tag);
+    PseudoRequest pr;
+    pr.kind = PseudoRequest::Kind::kSend;
+    pr.complete = true;
+    pr.processed = true;
+    pr.status = r.status();
+    const RequestId id = next_request_id_++;
+    requests_[id] = std::move(pr);
+    return id;
+  }
+  pump();
+  stats_.app_sends++;
+  const simmpi::Rank dst_world = c.to_world(dst);
+  const std::uint32_t msg_id = next_message_id_++;
+  send_count_[static_cast<std::size_t>(dst_world)]++;
+
+  PseudoRequest pr;
+  pr.kind = PseudoRequest::Kind::kSend;
+  pr.complete = true;
+  pr.processed = true;
+  pr.message_id = msg_id;
+  pr.status = simmpi::Status{dst, tag, data.size()};
+
+  // Early-message suppression (Section 3.2): the receiver's checkpointed
+  // state already contains this message, so it must not be resent.
+  auto& sup = suppress_[static_cast<std::size_t>(dst_world)];
+  if (auto it = sup.find(msg_id); it != sup.end()) {
+    sup.erase(it);
+    stats_.suppressed_sends++;
+  } else {
+    util::Writer w;
+    encode_piggyback(shared_.piggyback,
+                     Piggyback{epoch_, am_logging_, msg_id}, w);
+    w.put_raw(data);
+    api_.send(c, w.bytes(), dst, tag);
+    stats_.piggyback_bytes += piggyback_size(shared_.piggyback);
+  }
+
+  const RequestId id = next_request_id_++;
+  requests_[id] = std::move(pr);
+  return id;
+}
+
+// -------------------------------------------------------------------- recv
+
+simmpi::Status Process::recv(std::span<std::byte> out, simmpi::Rank src,
+                             simmpi::Tag tag, CommHandle comm) {
+  RequestId id = irecv(out, src, tag, comm);
+  return wait(id);
+}
+
+RequestId Process::irecv(std::span<std::byte> out, simmpi::Rank src,
+                         simmpi::Tag tag, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  event();
+  if (passthrough()) {
+    PseudoRequest pr;
+    pr.kind = PseudoRequest::Kind::kRecv;
+    pr.real = api_.irecv(c, out, src, tag);
+    pr.processed = true;  // no piggyback to strip
+    pr.out = out.data();
+    pr.out_size = out.size();
+    const RequestId id = next_request_id_++;
+    requests_[id] = std::move(pr);
+    outstanding_recvs_.push_back(id);
+    return id;
+  }
+  return post_recv(out, src, tag, comm);
+}
+
+RequestId Process::post_recv(std::span<std::byte> out, simmpi::Rank src,
+                             simmpi::Tag tag, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  PseudoRequest pr;
+  pr.kind = PseudoRequest::Kind::kRecv;
+  pr.comm = comm;
+  pr.pattern_src = src;
+  pr.pattern_tag = tag;
+  pr.out = out.data();
+  pr.out_size = out.size();
+
+  const simmpi::Rank pattern_world =
+      (src == simmpi::kAnySource) ? simmpi::kAnySource : c.to_world(src);
+
+  if (shared_.recovering && !registration_complete_) {
+    throw util::UsageError(
+        "point-to-point communication before complete_registration() is not "
+        "supported on a recovery run (message IDs would not line up with "
+        "the suppression lists)");
+  }
+  // Recovery replay: the log pins down which message this receive got.
+  if (replay_armed() && !replay_.recvs_exhausted()) {
+    if (auto entry = replay_.take_recv(pattern_world, tag)) {
+      if (entry->cls == MessageClass::kLate) {
+        // The sender will not resend a late message (its send happened
+        // before its checkpoint); deliver the logged payload.
+        if (entry->payload.size() > out.size()) {
+          throw util::UsageError("replayed late message larger than buffer");
+        }
+        if (!entry->payload.empty()) {
+          std::memcpy(out.data(), entry->payload.data(),
+                      entry->payload.size());
+        }
+        pr.complete = true;
+        pr.processed = true;
+        pr.from_replay = true;
+        pr.status = simmpi::Status{c.from_world(entry->src), entry->tag,
+                                   entry->payload.size()};
+        stats_.replayed_recvs++;
+        stats_.app_recvs++;
+        const RequestId id = next_request_id_++;
+        requests_[id] = std::move(pr);
+        return id;
+      }
+      // Intra-epoch outcome: the sender re-executes the matching send, so
+      // receive it live -- but pinned to the logged (source, tag), which
+      // resolves any wildcard non-determinism exactly as in the original
+      // execution.
+      pr.staging.resize(out.size() + piggyback_size(shared_.piggyback));
+      pr.real =
+          api_.irecv(c, pr.staging, c.from_world(entry->src), entry->tag);
+      const RequestId id = next_request_id_++;
+      requests_[id] = std::move(pr);
+      outstanding_recvs_.push_back(id);
+      return id;
+    }
+  }
+
+  pr.staging.resize(out.size() + piggyback_size(shared_.piggyback));
+  pr.real = api_.irecv(c, pr.staging, src, tag);
+  const RequestId id = next_request_id_++;
+  requests_[id] = std::move(pr);
+  outstanding_recvs_.push_back(id);
+  return id;
+}
+
+void Process::process_completed_recvs() {
+  for (auto it = outstanding_recvs_.begin(); it != outstanding_recvs_.end();) {
+    auto rit = requests_.find(*it);
+    if (rit == requests_.end()) {
+      it = outstanding_recvs_.erase(it);
+      continue;
+    }
+    PseudoRequest& pr = rit->second;
+    if (pr.real.valid() && pr.real.complete() && !pr.complete) {
+      if (passthrough()) {
+        // kRaw receives have no piggyback header to strip.
+        pr.status = pr.real.status();
+        pr.complete = true;
+      } else {
+        process_one_recv(pr);
+      }
+      it = outstanding_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Process::process_one_recv(PseudoRequest& pr) {
+  const simmpi::Status& net_status = pr.real.status();
+  const std::size_t header = piggyback_size(shared_.piggyback);
+  protocol_invariant(net_status.size >= header, "message without piggyback");
+
+  util::Reader r(std::span(pr.staging).first(net_status.size));
+  const Piggyback pb = decode_piggyback(shared_.piggyback, r);
+  const std::size_t payload_size = net_status.size - header;
+  if (payload_size > 0) {
+    std::memcpy(pr.out, pr.staging.data() + header, payload_size);
+  }
+  pr.status = simmpi::Status{net_status.source, net_status.tag, payload_size};
+  pr.complete = true;
+  pr.processed = true;
+  stats_.app_recvs++;
+
+  const simmpi::Comm& c = resolve(pr.comm);
+  const simmpi::Rank src_world = c.to_world(net_status.source);
+
+  MessageClass cls;
+  if (shared_.piggyback == PiggybackMode::kFull) {
+    cls = classify_by_epoch(pb.epoch, epoch_);
+    if (shared_.validate_classification) {
+      const MessageClass packed =
+          classify(pb.color(), (epoch_ & 1) != 0, am_logging_);
+      protocol_invariant(packed == cls,
+                         "packed color classification disagrees with epochs");
+    }
+  } else {
+    cls = classify(pb.color(), (epoch_ & 1) != 0, am_logging_);
+  }
+
+  const simmpi::Rank pattern_world =
+      (pr.pattern_src == simmpi::kAnySource) ? simmpi::kAnySource
+                                             : c.to_world(pr.pattern_src);
+
+  switch (cls) {
+    case MessageClass::kEarly: {
+      // The receiver has not checkpointed yet but the sender has: record
+      // the ID so the resend is suppressed after recovery.
+      protocol_invariant(!am_logging_, "early message while logging");
+      early_ids_[static_cast<std::size_t>(src_world)].push_back(pb.message_id);
+      stats_.early_messages++;
+      break;
+    }
+    case MessageClass::kIntraEpoch: {
+      // Phase 4 rule: hearing from a process that has stopped logging means
+      // every process has checkpointed -- stop logging *before* this
+      // message's consequences can enter the log.
+      if (am_logging_ && !pb.logging) finalize_log();
+      current_receive_count_[static_cast<std::size_t>(src_world)]++;
+      stats_.intra_epoch_messages++;
+      if (am_logging_) {
+        log_.add_recv(RecvOutcome{pattern_world, pr.pattern_tag, src_world,
+                                  net_status.tag, pb.message_id,
+                                  MessageClass::kIntraEpoch,
+                                  {}});
+      }
+      break;
+    }
+    case MessageClass::kLate: {
+      protocol_invariant(am_logging_, "late message while not logging");
+      previous_receive_count_[static_cast<std::size_t>(src_world)]++;
+      stats_.late_messages++;
+      util::Bytes payload(pr.staging.begin() + static_cast<std::ptrdiff_t>(header),
+                          pr.staging.begin() +
+                              static_cast<std::ptrdiff_t>(net_status.size));
+      log_.add_recv(RecvOutcome{pattern_world, pr.pattern_tag, src_world,
+                                net_status.tag, pb.message_id,
+                                MessageClass::kLate, std::move(payload)});
+      maybe_ready();
+      break;
+    }
+  }
+}
+
+simmpi::Status Process::wait(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    throw util::UsageError("wait on unknown request " + std::to_string(id));
+  }
+  block_until([&] {
+    auto i = requests_.find(id);
+    return i == requests_.end() || i->second.complete;
+  });
+  it = requests_.find(id);
+  protocol_invariant(it != requests_.end(), "request vanished during wait");
+  const simmpi::Status st = it->second.status;
+  requests_.erase(it);
+  return st;
+}
+
+bool Process::test(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    throw util::UsageError("test on unknown request " + std::to_string(id));
+  }
+  pump();
+  it = requests_.find(id);
+  return it != requests_.end() && it->second.complete;
+}
+
+void Process::waitall(std::span<RequestId> ids) {
+  for (RequestId id : ids) (void)wait(id);
+}
+
+// ----------------------------------------------------------------- control
+
+void Process::drain_control() {
+  if (passthrough() || !checkpoints_enabled()) return;
+  const simmpi::Comm& world = resolve(kWorldComm);
+  for (;;) {
+    auto info = api_.iprobe(world, simmpi::kAnySource, simmpi::kAnyTag, kCtrl);
+    if (!info) break;
+    auto [bytes, st] = api_.recv_any(world, info->source, info->tag, kCtrl);
+    stats_.control_messages++;
+    handle_control(static_cast<ControlKind>(st.tag), st.source, bytes);
+  }
+}
+
+void Process::handle_control(ControlKind kind, simmpi::Rank from,
+                             std::span<const std::byte> payload) {
+  util::Reader r(payload);
+  switch (kind) {
+    case ControlKind::kPleaseCheckpoint: {
+      const auto target = r.get<std::int32_t>();
+      if (epoch_ < target) {
+        checkpoint_requested_ = true;
+        requested_target_epoch_ = target;
+      }
+      break;
+    }
+    case ControlKind::kMySendCount: {
+      const auto count = r.get<std::int64_t>();
+      total_sent_[static_cast<std::size_t>(from)] = count;
+      if (am_logging_) maybe_ready();
+      break;
+    }
+    case ControlKind::kReadyToStopLogging:
+      protocol_invariant(me_ == 0, "readyToStopLogging at non-initiator");
+      initiator_note_ready();
+      break;
+    case ControlKind::kStopLogging:
+      finalize_log();
+      break;
+    case ControlKind::kStoppedLogging:
+      protocol_invariant(me_ == 0, "stoppedLogging at non-initiator");
+      initiator_note_stopped();
+      break;
+    case ControlKind::kSuppressList: {
+      const auto ids = r.get_vector<std::uint32_t>();
+      suppress_[static_cast<std::size_t>(from)].insert(ids.begin(), ids.end());
+      break;
+    }
+    case ControlKind::kShutdown:
+      shutdown_received_ = true;
+      break;
+  }
+}
+
+namespace {
+util::Bytes empty_payload() { return {}; }
+}  // namespace
+
+void Process::maybe_ready() {
+  if (!am_logging_ || ready_sent_) return;
+  for (int q = 0; q < nranks_; ++q) {
+    const auto idx = static_cast<std::size_t>(q);
+    if (total_sent_[idx] < 0) return;
+    if (previous_receive_count_[idx] > total_sent_[idx]) {
+      throw util::CorruptionError(
+          "protocol invariant violated: rank " + std::to_string(me_) +
+          " received " + std::to_string(previous_receive_count_[idx]) +
+          " previous-epoch messages from rank " + std::to_string(q) +
+          " which only sent " + std::to_string(total_sent_[idx]) +
+          " (epoch " + std::to_string(epoch_) + ")");
+    }
+    if (previous_receive_count_[idx] != total_sent_[idx]) return;
+  }
+  // All late messages are in: tell the initiator (Phase 2), and forget the
+  // totals so the next epoch starts unknown again.
+  ready_sent_ = true;
+  std::fill(total_sent_.begin(), total_sent_.end(), -1);
+  if (me_ == 0) {
+    initiator_note_ready();
+  } else {
+    const simmpi::Comm& world = resolve(kWorldComm);
+    api_.send(world, empty_payload(), 0,
+              control_tag(ControlKind::kReadyToStopLogging), kCtrl);
+    stats_.control_messages++;
+  }
+}
+
+void Process::finalize_log() {
+  if (!am_logging_) return;
+  am_logging_ = false;
+  auto blob = log_.serialize();
+  shared_.storage->put(
+      {.epoch = epoch_, .rank = me_, .section = "log"}, blob);
+  stats_.log_bytes += blob.size();
+  log_.clear();
+  if (me_ == 0) {
+    initiator_note_stopped();
+  } else {
+    const simmpi::Comm& world = resolve(kWorldComm);
+    api_.send(world, empty_payload(), 0,
+              control_tag(ControlKind::kStoppedLogging), kCtrl);
+    stats_.control_messages++;
+  }
+}
+
+void Process::initiator_note_ready() {
+  ready_count_++;
+  if (ready_count_ == nranks_) {
+    // Phase 3: every process has checkpointed; no message sent from now on
+    // can be early, so logging may stop everywhere.
+    const simmpi::Comm& world = resolve(kWorldComm);
+    for (int q = 1; q < nranks_; ++q) {
+      api_.send(world, empty_payload(), q,
+                control_tag(ControlKind::kStopLogging), kCtrl);
+      stats_.control_messages++;
+    }
+    finalize_log();
+  }
+}
+
+void Process::initiator_note_stopped() {
+  stopped_count_++;
+  if (stopped_count_ == nranks_) {
+    // Phase 4 complete: this checkpoint becomes the recovery point.
+    shared_.storage->commit(epoch_);
+    if (epoch_ >= 2) shared_.storage->drop_epoch(epoch_ - 1);
+    ckpt_in_progress_ = false;
+  }
+}
+
+// -------------------------------------------------------------- checkpoint
+
+bool Process::recovery_quiesced() const {
+  if (!shared_.recovering) return true;
+  if (!replay_.recvs_exhausted() || !replay_.nondets_exhausted() ||
+      !replay_.collectives_exhausted()) {
+    return false;
+  }
+  for (const auto& s : suppress_) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+bool Process::policy_fires() {
+  const auto& p = shared_.policy;
+  if (p.max_checkpoints > 0 && checkpoints_started_ >= p.max_checkpoints) {
+    return false;
+  }
+  if (p.every_calls > 0 && potential_calls_ % p.every_calls == 0) return true;
+  if (p.interval.count() > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_ckpt_time_ >= p.interval) return true;
+  }
+  return false;
+}
+
+void Process::initiate_checkpoint() {
+  ckpt_in_progress_ = true;
+  ready_count_ = 0;
+  stopped_count_ = 0;
+  checkpoints_started_++;
+  last_ckpt_time_ = std::chrono::steady_clock::now();
+  const std::int32_t target = epoch_ + 1;
+  const simmpi::Comm& world = resolve(kWorldComm);
+  for (int q = 1; q < nranks_; ++q) {
+    util::Writer w;
+    w.put<std::int32_t>(target);
+    api_.send(world, w.bytes(), q,
+              control_tag(ControlKind::kPleaseCheckpoint), kCtrl);
+    stats_.control_messages++;
+  }
+  checkpoint_requested_ = true;
+  requested_target_epoch_ = target;
+}
+
+void Process::potential_checkpoint() {
+  event();
+  if (passthrough()) return;
+  pump();
+  if (!checkpoints_enabled()) return;
+  potential_calls_++;
+  if (me_ == 0 && !ckpt_in_progress_ && recovery_quiesced() &&
+      policy_fires()) {
+    initiate_checkpoint();
+  }
+  if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
+}
+
+void Process::do_checkpoint() {
+  checkpoint_requested_ = false;
+  const std::int32_t new_epoch = epoch_ + 1;
+  stats_.checkpoints_taken++;
+
+  // Old-epoch send counts, captured before the reset; they travel in
+  // mySendCount control messages (Section 4.3).
+  const std::vector<std::int64_t> old_send = send_count_;
+
+  statesave::CheckpointBuilder builder;
+  {
+    util::Writer w;
+    w.put<std::int32_t>(new_epoch);
+    const auto rst = rng_.state();
+    for (const auto word : rst.s) w.put<std::uint64_t>(word);
+    w.put<std::int64_t>(next_request_id_);
+    // Early-message IDs per sender: the recovery run sends these to the
+    // senders so the resends are suppressed.
+    w.put<std::uint64_t>(early_ids_.size());
+    for (const auto& ids : early_ids_) w.put_vector(ids);
+    // Live pseudo-requests (Section 5.2 transient objects). A receive that
+    // is still pending must target a heap-arena buffer (fixed virtual
+    // address after a restart); reject other buffers eagerly so the error
+    // surfaces at checkpoint time, not at a later recovery.
+    std::vector<SavedRequest> saved;
+    for (const auto& [rid, pr] : requests_) {
+      if (shared_.level == InstrumentLevel::kFull && !pr.complete &&
+          pr.kind == PseudoRequest::Kind::kRecv &&
+          (!save_ctx_.has_heap() || !save_ctx_.heap().contains(pr.out))) {
+        throw util::UsageError(
+            "a receive pending across a checkpoint must target a heap-arena "
+            "buffer (fixed virtual address); request " + std::to_string(rid));
+      }
+      SavedRequest sq;
+      sq.id = rid;
+      sq.kind = pr.kind;
+      sq.complete = pr.complete;
+      sq.status = pr.status;
+      sq.comm = pr.comm;
+      sq.pattern_src = pr.pattern_src;
+      sq.pattern_tag = pr.pattern_tag;
+      sq.out_addr = reinterpret_cast<std::uintptr_t>(pr.out);
+      sq.out_size = pr.out_size;
+      saved.push_back(sq);
+    }
+    serialize_saved_requests(saved, w);
+    // Persistent opaque-object call records (Section 5.2).
+    serialize_comm_calls(comm_calls_, w);
+    builder.add_section("protocol", w.take());
+  }
+  if (shared_.level == InstrumentLevel::kFull) {
+    util::Writer w;
+    w.put<std::uint64_t>(registry_.size());
+    for (const auto& e : registry_) {
+      w.put_string(e.name);
+      w.put<std::uint8_t>(e.readonly ? 1 : 0);
+      const std::span<const std::byte> bytes{
+          static_cast<const std::byte*>(e.addr), e.size};
+      if (e.readonly) {
+        // Recomputation checkpointing (Section 7): the application's own
+        // initialization regenerates these bytes; store only a fingerprint.
+        w.put<std::uint64_t>(e.size);
+        w.put<std::uint32_t>(util::crc32(bytes));
+      } else {
+        w.put_bytes(bytes);
+      }
+    }
+    builder.add_section("appstate", w.take());
+    save_ctx_.capture(builder);
+  }
+  auto blob = builder.finish();
+  shared_.storage->put(
+      {.epoch = new_epoch, .rank = me_, .section = "state"}, blob);
+  stats_.checkpoint_bytes += blob.size();
+
+  // Enter the new epoch (the paper's potentialCheckpoint pseudo-code).
+  epoch_ = new_epoch;
+  am_logging_ = true;
+  ready_sent_ = false;
+  next_message_id_ = 0;
+  for (int q = 0; q < nranks_; ++q) {
+    const auto idx = static_cast<std::size_t>(q);
+    previous_receive_count_[idx] = current_receive_count_[idx];
+    current_receive_count_[idx] =
+        static_cast<std::int64_t>(early_ids_[idx].size());
+    early_ids_[idx].clear();
+    send_count_[idx] = 0;
+    suppress_[idx].clear();
+  }
+  // Tell every receiver how many messages I sent it in the ended epoch.
+  const simmpi::Comm& world = resolve(kWorldComm);
+  for (int q = 0; q < nranks_; ++q) {
+    if (q == me_) {
+      total_sent_[static_cast<std::size_t>(q)] =
+          old_send[static_cast<std::size_t>(q)];
+      continue;
+    }
+    util::Writer w;
+    w.put<std::int64_t>(old_send[static_cast<std::size_t>(q)]);
+    api_.send(world, w.bytes(), q, control_tag(ControlKind::kMySendCount),
+              kCtrl);
+    stats_.control_messages++;
+  }
+  maybe_ready();
+}
+
+// ------------------------------------------------------------- collectives
+
+Process::CollectiveFlags Process::exchange_collective_control(
+    const simmpi::Comm& comm) {
+  // The paper precedes each data collective with a control collective that
+  // circulates <epoch, amLogging>; the conjunction decides result logging.
+  const std::uint32_t mine = (static_cast<std::uint32_t>(epoch_) << 1) |
+                             (am_logging_ ? 1u : 0u);
+  std::vector<std::uint32_t> all(static_cast<std::size_t>(comm.size()));
+  api_.allgather(comm, util::as_bytes(mine),
+                 {reinterpret_cast<std::byte*>(all.data()), all.size() * 4});
+  stats_.control_messages += static_cast<std::uint64_t>(comm.size());
+  CollectiveFlags flags;
+  flags.max_epoch = epoch_;
+  const bool my_color = (epoch_ & 1) != 0;
+  for (const auto word : all) {
+    const auto their_epoch = static_cast<std::int32_t>(word >> 1);
+    const bool their_logging = (word & 1u) != 0;
+    const bool their_color = (their_epoch & 1) != 0;
+    flags.max_epoch = std::max(flags.max_epoch, their_epoch);
+    // A peer in my (new) epoch that is not logging has *stopped* logging;
+    // a peer in the old epoch simply has not checkpointed yet.
+    if (their_color == my_color && !their_logging) {
+      flags.someone_stopped_logging = true;
+    }
+  }
+  return flags;
+}
+
+std::optional<util::Bytes> Process::replay_collective() {
+  // Replay arms at complete_registration(): everything before it is
+  // initialization the application re-executes live on recovery (its
+  // collectives predate the restored checkpoint and are in nobody's log).
+  if (!replay_armed() || replay_.collectives_exhausted()) {
+    return std::nullopt;
+  }
+  auto logged = replay_.take_collective();
+  protocol_invariant(logged.has_value(), "collective replay underflow");
+  stats_.replayed_collectives++;
+  return logged;
+}
+
+void Process::after_collective(const CollectiveFlags& flags,
+                               std::span<const std::byte> result) {
+  if (!am_logging_) return;
+  if (flags.someone_stopped_logging) {
+    // Section 4.5: some participant had already stopped logging, so the
+    // global checkpoint cannot depend on this call -- do not log the
+    // result, and stop logging ourselves.
+    finalize_log();
+    return;
+  }
+  log_.add_collective(util::Bytes(result.begin(), result.end()));
+  stats_.logged_collectives++;
+}
+
+void Process::allreduce(std::span<const std::byte> in,
+                        std::span<std::byte> out, simmpi::Datatype type,
+                        simmpi::Op op, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.allreduce(c, in, out, type, op);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  if (auto logged = replay_collective()) {
+    protocol_invariant(logged->size() == out.size(),
+                       "replayed collective size mismatch");
+    std::memcpy(out.data(), logged->data(), logged->size());
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.allreduce(c, in, out, type, op);
+  after_collective(flags, out);
+}
+
+void Process::reduce(std::span<const std::byte> in, std::span<std::byte> out,
+                     simmpi::Datatype type, simmpi::Op op, simmpi::Rank root,
+                     CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.reduce(c, in, out, type, op, root);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  const bool has_result = (c.rank() == root);
+  if (auto logged = replay_collective()) {
+    if (has_result) {
+      protocol_invariant(logged->size() == out.size(),
+                         "replayed collective size mismatch");
+      std::memcpy(out.data(), logged->data(), logged->size());
+    }
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.reduce(c, in, out, type, op, root);
+  after_collective(flags, has_result ? out : std::span<std::byte>{});
+}
+
+void Process::bcast(std::span<std::byte> data, simmpi::Rank root,
+                    CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.bcast(c, data, root);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  if (auto logged = replay_collective()) {
+    protocol_invariant(logged->size() == data.size(),
+                       "replayed collective size mismatch");
+    std::memcpy(data.data(), logged->data(), logged->size());
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.bcast(c, data, root);
+  after_collective(flags, data);
+}
+
+void Process::gather(std::span<const std::byte> in, std::span<std::byte> out,
+                     simmpi::Rank root, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.gather(c, in, out, root);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  const bool has_result = (c.rank() == root);
+  if (auto logged = replay_collective()) {
+    if (has_result) {
+      protocol_invariant(logged->size() == out.size(),
+                         "replayed collective size mismatch");
+      std::memcpy(out.data(), logged->data(), logged->size());
+    }
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.gather(c, in, out, root);
+  after_collective(flags, has_result ? out : std::span<std::byte>{});
+}
+
+void Process::allgather(std::span<const std::byte> in,
+                        std::span<std::byte> out, CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.allgather(c, in, out);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  if (auto logged = replay_collective()) {
+    protocol_invariant(logged->size() == out.size(),
+                       "replayed collective size mismatch");
+    std::memcpy(out.data(), logged->data(), logged->size());
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.allgather(c, in, out);
+  after_collective(flags, out);
+}
+
+void Process::alltoall(std::span<const std::byte> in, std::span<std::byte> out,
+                       CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.alltoall(c, in, out);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  if (auto logged = replay_collective()) {
+    protocol_invariant(logged->size() == out.size(),
+                       "replayed collective size mismatch");
+    std::memcpy(out.data(), logged->data(), logged->size());
+    return;
+  }
+  const auto flags = exchange_collective_control(c);
+  api_.alltoall(c, in, out);
+  after_collective(flags, out);
+}
+
+void Process::barrier(CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    api_.barrier(c);
+    return;
+  }
+  event();
+  pump();
+  stats_.app_collectives++;
+  // Section 4.5: a barrier must execute with every participant in the same
+  // epoch (replaying it as a no-op would erase its synchronization
+  // semantics). The pre-barrier control exchange detects epoch skew and
+  // forces laggards to take their local checkpoint first.
+  const auto flags = exchange_collective_control(c);
+  if (checkpoints_enabled() && epoch_ < flags.max_epoch) {
+    // A peer can only be an epoch ahead at a barrier once its own replay
+    // has drained, and the conjunction rule closes every logging window no
+    // later than this barrier -- so the laggard is quiesced too (asserted,
+    // not assumed).
+    protocol_invariant(recovery_quiesced(),
+                       "barrier-forced checkpoint while replay pending");
+    do_checkpoint();
+  }
+  api_.barrier(c);
+  if (am_logging_ && flags.someone_stopped_logging) finalize_log();
+}
+
+// --------------------------------------------------------- opaque objects
+
+CommHandle Process::comm_dup(CommHandle parent) {
+  const simmpi::Comm dup = api_.comm_dup(resolve(parent));
+  const CommHandle handle = next_comm_handle_++;
+  comms_[handle] = dup;
+  if (!replaying_comm_calls_) {
+    comm_calls_.push_back(CommCallRecord{CommCallRecord::Kind::kDup, parent,
+                                         0, 0, handle});
+  }
+  return handle;
+}
+
+CommHandle Process::comm_split(CommHandle parent, int color, int key) {
+  const simmpi::Comm sub = api_.comm_split(resolve(parent), color, key);
+  const CommHandle handle = next_comm_handle_++;
+  comms_[handle] = sub;
+  if (!replaying_comm_calls_) {
+    comm_calls_.push_back(CommCallRecord{CommCallRecord::Kind::kSplit, parent,
+                                         color, key, handle});
+  }
+  return handle;
+}
+
+void Process::comm_free(CommHandle handle) {
+  if (handle == kWorldComm) {
+    throw util::UsageError("cannot free the world communicator");
+  }
+  if (comms_.erase(handle) == 0) {
+    throw util::UsageError("comm_free of unknown handle");
+  }
+  if (!replaying_comm_calls_) {
+    comm_calls_.push_back(CommCallRecord{CommCallRecord::Kind::kFree, handle,
+                                         0, 0, kNullRequest});
+  }
+}
+
+// -------------------------------------------------------- non-determinism
+
+std::uint64_t Process::random_u64() {
+  // Advance the deterministic stream unconditionally so that its state
+  // stays in lock-step between the original and the recovered execution.
+  const std::uint64_t fresh = rng_.next_u64();
+  if (passthrough()) return fresh;
+  if (replay_armed()) {
+    if (auto logged = replay_.take_nondet()) {
+      stats_.replayed_nondet_events++;
+      return *logged;
+    }
+  }
+  if (am_logging_) {
+    log_.add_nondet(fresh);
+    stats_.logged_nondet_events++;
+  }
+  return fresh;
+}
+
+double Process::random_double() {
+  return static_cast<double>(random_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Process::nondet(const std::function<std::uint64_t()>& source) {
+  if (passthrough()) return source();
+  if (replay_armed()) {
+    if (auto logged = replay_.take_nondet()) {
+      stats_.replayed_nondet_events++;
+      return *logged;
+    }
+  }
+  const std::uint64_t v = source();
+  if (am_logging_) {
+    log_.add_nondet(v);
+    stats_.logged_nondet_events++;
+  }
+  return v;
+}
+
+// ------------------------------------------------------ state registration
+
+void Process::register_state(std::string name, void* addr, std::size_t size) {
+  if (registration_complete_) {
+    throw util::UsageError(
+        "register_state after complete_registration (register everything "
+        "before finishing registration)");
+  }
+  for (const auto& e : registry_) {
+    if (e.name == name) {
+      throw util::UsageError("state '" + name + "' registered twice");
+    }
+  }
+  registry_.push_back(RegEntry{std::move(name), addr, size, false});
+}
+
+void Process::register_readonly_state(std::string name, const void* addr,
+                                      std::size_t size) {
+  register_state(std::move(name), const_cast<void*>(addr), size);
+  registry_.back().readonly = true;
+}
+
+void Process::complete_registration() {
+  registration_complete_ = true;
+  if (!shared_.recovering || !checkpoints_enabled()) return;
+  if (shared_.level != InstrumentLevel::kFull) {
+    throw util::UsageError(
+        "recovery requires full checkpoints (InstrumentLevel::kFull)");
+  }
+  protocol_invariant(pending_appstate_.has_value(),
+                     "recovering without application state");
+  util::Reader r(*pending_appstate_);
+  const auto count = r.get<std::uint64_t>();
+  if (count != registry_.size()) {
+    throw util::CorruptionError(
+        "checkpoint has " + std::to_string(count) +
+        " registered buffers, application registered " +
+        std::to_string(registry_.size()));
+  }
+  for (const auto& e : registry_) {
+    const auto name = r.get_string();
+    const bool readonly = r.get<std::uint8_t>() != 0;
+    if (name != e.name || readonly != e.readonly) {
+      throw util::CorruptionError("registered state mismatch at '" + name +
+                                  "'");
+    }
+    if (readonly) {
+      const auto size = r.get<std::uint64_t>();
+      const auto crc = r.get<std::uint32_t>();
+      if (size != e.size) {
+        throw util::CorruptionError("read-only state '" + name +
+                                    "' size mismatch");
+      }
+      // The application's re-run initialization must have recomputed the
+      // identical contents; a mismatch means the data was not read-only.
+      const std::span<const std::byte> bytes{
+          static_cast<const std::byte*>(e.addr), e.size};
+      if (util::crc32(bytes) != crc) {
+        throw util::CorruptionError(
+            "read-only state '" + name +
+            "' was not recomputed identically on recovery");
+      }
+      continue;
+    }
+    const auto bytes = r.get_bytes();
+    if (bytes.size() != e.size) {
+      throw util::CorruptionError("registered state '" + name +
+                                  "' size mismatch");
+    }
+    std::memcpy(e.addr, bytes.data(), bytes.size());
+  }
+  pending_appstate_.reset();
+  restored_ = true;
+}
+
+// ---------------------------------------------------------------- recovery
+
+void Process::recover_from_checkpoint() {
+  const auto committed = shared_.storage->committed_epoch();
+  protocol_invariant(committed.has_value(), "recovery without a commit");
+  const auto blob = shared_.storage->get(
+      {.epoch = *committed, .rank = me_, .section = "state"});
+  protocol_invariant(blob.has_value(), "committed checkpoint blob missing");
+  statesave::CheckpointView view(*blob);
+
+  std::vector<std::vector<std::uint32_t>> saved_early;
+  std::vector<SavedRequest> saved_requests;
+  {
+    const auto proto = view.require_section("protocol");
+    util::Reader r(proto);
+    epoch_ = r.get<std::int32_t>();
+    protocol_invariant(epoch_ == *committed, "epoch/commit mismatch");
+    util::Rng::State rst;
+    for (auto& word : rst.s) word = r.get<std::uint64_t>();
+    rng_.set_state(rst);
+    next_request_id_ = r.get<std::int64_t>();
+    const auto npeer = r.get<std::uint64_t>();
+    protocol_invariant(npeer == static_cast<std::uint64_t>(nranks_),
+                       "peer count mismatch in checkpoint");
+    saved_early.resize(npeer);
+    for (auto& ids : saved_early) ids = r.get_vector<std::uint32_t>();
+    saved_requests = deserialize_saved_requests(r);
+    comm_calls_ = deserialize_comm_calls(r);
+  }
+
+  // The log of the committed epoch (finalizeLog wrote it before the commit).
+  const auto logblob = shared_.storage->get(
+      {.epoch = epoch_, .rank = me_, .section = "log"});
+  protocol_invariant(logblob.has_value(), "committed log blob missing");
+  replay_ = ReplayLog(*logblob);
+
+  if (shared_.level == InstrumentLevel::kFull) {
+    pending_appstate_ = view.require_section("appstate");
+    save_ctx_.begin_restore(view);
+  }
+
+  // Counter state at the instant just after the checkpoint was taken.
+  am_logging_ = false;  // the saved log already covers the logged window
+  next_message_id_ = 0;
+  for (int q = 0; q < nranks_; ++q) {
+    const auto idx = static_cast<std::size_t>(q);
+    send_count_[idx] = 0;
+    previous_receive_count_[idx] = 0;
+    current_receive_count_[idx] =
+        static_cast<std::int64_t>(saved_early[idx].size());
+    total_sent_[idx] = -1;
+    early_ids_[idx].clear();
+  }
+  ckpt_in_progress_ = false;
+  checkpoint_requested_ = false;
+
+  // Any partially written next checkpoint is abandoned.
+  shared_.storage->drop_epoch(epoch_ + 1);
+
+  // Recreate persistent opaque objects by replaying the recorded calls
+  // (collective across ranks: every rank replays in the same order).
+  replaying_comm_calls_ = true;
+  for (const auto& call : comm_calls_) {
+    switch (call.kind) {
+      case CommCallRecord::Kind::kDup: {
+        const simmpi::Comm dup = api_.comm_dup(resolve(call.parent));
+        comms_[call.result] = dup;
+        next_comm_handle_ = std::max(next_comm_handle_, call.result + 1);
+        break;
+      }
+      case CommCallRecord::Kind::kSplit: {
+        const simmpi::Comm sub =
+            api_.comm_split(resolve(call.parent), call.color, call.key);
+        comms_[call.result] = sub;
+        next_comm_handle_ = std::max(next_comm_handle_, call.result + 1);
+        break;
+      }
+      case CommCallRecord::Kind::kFree:
+        comms_.erase(call.parent);
+        break;
+    }
+  }
+  replaying_comm_calls_ = false;
+
+  exchange_suppression_lists(saved_early);
+  reinit_pending_requests(saved_requests);
+}
+
+void Process::exchange_suppression_lists(
+    const std::vector<std::vector<std::uint32_t>>& saved_early) {
+  const simmpi::Comm& world = resolve(kWorldComm);
+  // Tell each sender which of its epoch-local message IDs I already hold.
+  for (int q = 0; q < nranks_; ++q) {
+    if (q == me_) {
+      suppress_[static_cast<std::size_t>(q)].insert(
+          saved_early[static_cast<std::size_t>(q)].begin(),
+          saved_early[static_cast<std::size_t>(q)].end());
+      continue;
+    }
+    util::Writer w;
+    w.put_vector(saved_early[static_cast<std::size_t>(q)]);
+    api_.send(world, w.bytes(), q, control_tag(ControlKind::kSuppressList),
+              kCtrl);
+    stats_.control_messages++;
+  }
+  // And collect every receiver's list for my own outgoing messages.
+  for (int q = 0; q < nranks_; ++q) {
+    if (q == me_) continue;
+    auto [bytes, st] = api_.recv_any(
+        world, q, control_tag(ControlKind::kSuppressList), kCtrl);
+    util::Reader r(bytes);
+    const auto ids = r.get_vector<std::uint32_t>();
+    suppress_[static_cast<std::size_t>(q)].insert(ids.begin(), ids.end());
+    stats_.control_messages++;
+  }
+}
+
+void Process::reinit_pending_requests(
+    const std::vector<SavedRequest>& saved) {
+  for (const auto& sq : saved) {
+    PseudoRequest pr;
+    pr.kind = sq.kind;
+    pr.comm = sq.comm;
+    pr.pattern_src = sq.pattern_src;
+    pr.pattern_tag = sq.pattern_tag;
+    if (sq.complete || sq.kind == PseudoRequest::Kind::kSend) {
+      // Paper rule: a pre-checkpoint Isend's pseudo-handle is reinitialized
+      // so that MPI_Wait returns immediately (the data is either in the
+      // receiver's checkpoint or in its log). Completed receives likewise
+      // just report their saved status; the delivered bytes are part of the
+      // restored application state.
+      pr.complete = true;
+      pr.processed = true;
+      pr.status = sq.status;
+      requests_[sq.id] = std::move(pr);
+      continue;
+    }
+    // Incomplete pre-checkpoint Irecv. The buffer must live at its original
+    // virtual address, which we can only guarantee for heap-arena storage.
+    auto* out = reinterpret_cast<std::byte*>(
+        static_cast<std::uintptr_t>(sq.out_addr));
+    if (!save_ctx_.has_heap() || !save_ctx_.heap().contains(out)) {
+      throw util::UsageError(
+          "a receive pending across a checkpoint must target a heap-arena "
+          "buffer (fixed virtual address)");
+    }
+    pr.out = out;
+    pr.out_size = sq.out_size;
+    const simmpi::Comm& c = resolve(sq.comm);
+    const simmpi::Rank pattern_world =
+        (sq.pattern_src == simmpi::kAnySource)
+            ? simmpi::kAnySource
+            : c.to_world(sq.pattern_src);
+    if (auto entry = replay_.take_recv(pattern_world, sq.pattern_tag)) {
+      if (entry->cls == MessageClass::kLate) {
+        // Matches a late message in the log: copy to the buffer, and the
+        // wait will return immediately (Section 5.2).
+        protocol_invariant(entry->payload.size() <= sq.out_size,
+                           "pending recv replay larger than buffer");
+        if (!entry->payload.empty()) {
+          std::memcpy(out, entry->payload.data(), entry->payload.size());
+        }
+        pr.complete = true;
+        pr.processed = true;
+        pr.from_replay = true;
+        pr.status = simmpi::Status{c.from_world(entry->src), entry->tag,
+                                   entry->payload.size()};
+        stats_.replayed_recvs++;
+        requests_[sq.id] = std::move(pr);
+        continue;
+      }
+      // Completed during logging from a live (re-sent) message: re-issue
+      // pinned to the logged source/tag.
+      pr.staging.resize(sq.out_size + piggyback_size(shared_.piggyback));
+      pr.real =
+          api_.irecv(c, pr.staging, c.from_world(entry->src), entry->tag);
+      requests_[sq.id] = std::move(pr);
+      outstanding_recvs_.push_back(sq.id);
+      continue;
+    }
+    // No logged outcome: re-issue with exactly the original arguments.
+    pr.staging.resize(sq.out_size + piggyback_size(shared_.piggyback));
+    pr.real = api_.irecv(c, pr.staging, sq.pattern_src, sq.pattern_tag);
+    requests_[sq.id] = std::move(pr);
+    outstanding_recvs_.push_back(sq.id);
+  }
+}
+
+// ---------------------------------------------------------------- shutdown
+
+void Process::shutdown() {
+  if (passthrough() || !checkpoints_enabled()) return;
+  if (me_ == 0) {
+    for (;;) {
+      pump();
+      if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
+      if (!ckpt_in_progress_) break;
+      api_.check_abort();
+      api_.idle_wait(kIdleSlice);
+    }
+    const simmpi::Comm& world = resolve(kWorldComm);
+    for (int q = 1; q < nranks_; ++q) {
+      api_.send(world, empty_payload(), q,
+                control_tag(ControlKind::kShutdown), kCtrl);
+      stats_.control_messages++;
+    }
+  } else {
+    while (!shutdown_received_) {
+      pump();
+      if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
+      api_.check_abort();
+      api_.idle_wait(kIdleSlice);
+    }
+  }
+}
+
+}  // namespace c3::core

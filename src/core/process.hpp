@@ -1,0 +1,315 @@
+// The C3 protocol layer: one Process object per rank, sitting between the
+// application and the (sim)MPI library, intercepting every call -- exactly
+// the architecture of Figure 2 in the paper.
+//
+// Responsibilities:
+//  * piggyback <epoch, amLogging, messageID> on application messages and
+//    classify incoming messages as late / intra-epoch / early (Section 4.2);
+//  * run the four-phase non-blocking coordination protocol (Section 4.1):
+//    pleaseCheckpoint -> local checkpoints, logging -> readyToStopLogging ->
+//    stopLogging -> stoppedLogging -> commit;
+//  * detect completion of late-message receipt with per-peer send/receive
+//    counts (mySendCount control messages, Section 4.3);
+//  * log late-message payloads, receive-matching order, non-deterministic
+//    events, and collective results while logging; replay them on recovery;
+//  * suppress the resend of early messages during recovery using the
+//    receiver-saved message IDs;
+//  * handle collectives with the control-exchange conjunction rule and the
+//    barrier epoch-agreement special case (Section 4.5);
+//  * save and reconstruct MPI library state through pseudo-handles
+//    (Section 5.2) and application state through either the registration
+//    API or the statesave instrumentation structures (Section 5.1).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/logrec.hpp"
+#include "core/mpistate.hpp"
+#include "core/piggyback.hpp"
+#include "core/types.hpp"
+#include "net/failure.hpp"
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+#include "statesave/save_context.hpp"
+#include "util/rng.hpp"
+#include "util/stable_storage.hpp"
+
+namespace c3::core {
+
+class Process {
+ public:
+  /// Job-wide configuration and services shared by every rank's Process.
+  struct Shared {
+    std::shared_ptr<util::StableStorage> storage;
+    /// Every injector is consulted on each operation; each is one-shot.
+    std::vector<std::shared_ptr<net::FailureInjector>> injectors;
+    InstrumentLevel level = InstrumentLevel::kFull;
+    PiggybackMode piggyback = PiggybackMode::kPacked;
+    CheckpointPolicy policy;
+    std::uint64_t seed = 1;
+    std::size_t heap_capacity = 0;
+    /// True when this execution is a restart from a committed checkpoint.
+    bool recovering = false;
+    /// kFull piggyback only: cross-check the packed color classification
+    /// against the direct epoch comparison (property-testing aid).
+    bool validate_classification = false;
+  };
+
+  Process(simmpi::Api& api, Shared& shared);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  // ------------------------------------------------------------ identity
+  simmpi::Rank rank() const noexcept { return me_; }
+  int nranks() const noexcept { return nranks_; }
+  std::int32_t epoch() const noexcept { return epoch_; }
+  bool logging() const noexcept { return am_logging_; }
+  bool checkpoint_in_progress() const noexcept { return ckpt_in_progress_; }
+  const ProcessStats& stats() const noexcept { return stats_; }
+  simmpi::Api& api() noexcept { return api_; }
+  InstrumentLevel level() const noexcept { return shared_.level; }
+
+  // ------------------------------------------------- point-to-point API
+  void send(std::span<const std::byte> data, simmpi::Rank dst, simmpi::Tag tag,
+            CommHandle comm = kWorldComm);
+  simmpi::Status recv(std::span<std::byte> out, simmpi::Rank src,
+                      simmpi::Tag tag, CommHandle comm = kWorldComm);
+  RequestId isend(std::span<const std::byte> data, simmpi::Rank dst,
+                  simmpi::Tag tag, CommHandle comm = kWorldComm);
+  RequestId irecv(std::span<std::byte> out, simmpi::Rank src, simmpi::Tag tag,
+                  CommHandle comm = kWorldComm);
+  simmpi::Status wait(RequestId id);
+  bool test(RequestId id);
+  void waitall(std::span<RequestId> ids);
+
+  template <typename T>
+  void send_value(const T& v, simmpi::Rank dst, simmpi::Tag tag,
+                  CommHandle comm = kWorldComm) {
+    send(util::as_bytes(v), dst, tag, comm);
+  }
+  template <typename T>
+  T recv_value(simmpi::Rank src, simmpi::Tag tag, CommHandle comm = kWorldComm) {
+    T v{};
+    recv({reinterpret_cast<std::byte*>(&v), sizeof(T)}, src, tag, comm);
+    return v;
+  }
+
+  // ---------------------------------------------------------- collectives
+  void barrier(CommHandle comm = kWorldComm);
+  void bcast(std::span<std::byte> data, simmpi::Rank root,
+             CommHandle comm = kWorldComm);
+  void reduce(std::span<const std::byte> in, std::span<std::byte> out,
+              simmpi::Datatype type, simmpi::Op op, simmpi::Rank root,
+              CommHandle comm = kWorldComm);
+  void allreduce(std::span<const std::byte> in, std::span<std::byte> out,
+                 simmpi::Datatype type, simmpi::Op op,
+                 CommHandle comm = kWorldComm);
+  void gather(std::span<const std::byte> in, std::span<std::byte> out,
+              simmpi::Rank root, CommHandle comm = kWorldComm);
+  void allgather(std::span<const std::byte> in, std::span<std::byte> out,
+                 CommHandle comm = kWorldComm);
+  void alltoall(std::span<const std::byte> in, std::span<std::byte> out,
+                CommHandle comm = kWorldComm);
+
+  // ------------------------------------------- persistent opaque objects
+  CommHandle comm_dup(CommHandle parent);
+  CommHandle comm_split(CommHandle parent, int color, int key);
+  void comm_free(CommHandle handle);
+  const simmpi::Comm& resolve(CommHandle handle) const;
+  simmpi::Rank comm_rank(CommHandle handle) const;
+  int comm_size(CommHandle handle) const;
+
+  // --------------------------------------------------- non-determinism
+  /// Deterministic per-rank stream whose draws are logged while logging and
+  /// replayed on recovery (state is part of every checkpoint).
+  std::uint64_t random_u64();
+  double random_double();
+  /// A genuinely non-deterministic event (clock read, external input...):
+  /// `source` is consulted live, but the observed value is logged while
+  /// amLogging and replayed during recovery.
+  std::uint64_t nondet(const std::function<std::uint64_t()>& source);
+
+  // ------------------------------------------------ state & checkpoints
+  /// Register an application buffer to be saved with every checkpoint and
+  /// restored on recovery. Must be called before complete_registration().
+  void register_state(std::string name, void* addr, std::size_t size);
+  template <typename T>
+  void register_value(std::string name, T& v) {
+    register_state(std::move(name), &v, sizeof(T));
+  }
+
+  /// Register a buffer whose contents are *recomputed* by the application's
+  /// own initialization on every (re)start -- e.g. a deterministically
+  /// generated matrix. Checkpoints store only a CRC, not the bytes (the
+  /// paper's Section 7 "recomputation checkpointing" for read-only data);
+  /// recovery verifies the recomputed contents against the saved CRC.
+  void register_readonly_state(std::string name, const void* addr,
+                               std::size_t size);
+  /// Finish registration. On a recovery run this restores all registered
+  /// buffers (and the instrumentation structures) from the committed
+  /// checkpoint; afterwards restored() reports true.
+  void complete_registration();
+  /// True when this execution resumed from a checkpoint.
+  bool restored() const noexcept { return restored_; }
+
+  /// The paper's potentialCheckpoint(): take a local checkpoint here if one
+  /// was requested. On the initiator this is also where the checkpoint
+  /// policy may start a new global checkpoint.
+  void potential_checkpoint();
+
+  /// Drive the protocol to quiescence after the application's main returns:
+  /// finish any in-flight global checkpoint (taking a final local
+  /// checkpoint if one is pending) and wait for the initiator's shutdown
+  /// broadcast. Called by the Job runner.
+  void shutdown();
+
+  /// Instrumentation structures (Position Stack, VDS, globals, heap) used
+  /// by precompiler-emitted code.
+  statesave::SaveContext& save_context() noexcept { return save_ctx_; }
+
+  /// Checkpointable heap arena (only when Shared.heap_capacity > 0).
+  statesave::HeapArena& heap() { return save_ctx_.heap(); }
+
+  /// Make protocol progress without blocking (control messages, staged
+  /// receives, initiator duties). Exposed for tests.
+  void pump();
+
+ private:
+  bool passthrough() const noexcept {
+    return shared_.level == InstrumentLevel::kRaw;
+  }
+  bool checkpoints_enabled() const noexcept {
+    return shared_.level == InstrumentLevel::kNoAppState ||
+           shared_.level == InstrumentLevel::kFull;
+  }
+
+  // Failure-injection hook, called on every application-level operation.
+  void event();
+
+  // Progress engine.
+  void drain_control();
+  void process_completed_recvs();
+  void handle_control(ControlKind kind, simmpi::Rank from,
+                      std::span<const std::byte> payload);
+  void block_until(const std::function<bool()>& done);
+
+  // Receive plumbing.
+  RequestId post_recv(std::span<std::byte> out, simmpi::Rank src,
+                      simmpi::Tag tag, CommHandle comm);
+  void process_one_recv(PseudoRequest& pr);
+
+  // Protocol actions.
+  void initiate_checkpoint();
+  void do_checkpoint();
+  void maybe_ready();
+  void finalize_log();
+  void initiator_note_ready();
+  void initiator_note_stopped();
+
+  // Collective helpers.
+  struct CollectiveFlags {
+    bool someone_stopped_logging = false;
+    std::int32_t max_epoch = 0;  ///< highest participant epoch (barrier rule)
+  };
+  CollectiveFlags exchange_collective_control(const simmpi::Comm& comm);
+  void after_collective(const CollectiveFlags& flags,
+                        std::span<const std::byte> result);
+  /// Returns logged result if this collective call replays from the log.
+  std::optional<util::Bytes> replay_collective();
+
+  // Recovery.
+  void recover_from_checkpoint();
+  void exchange_suppression_lists(
+      const std::vector<std::vector<std::uint32_t>>& saved_early);
+  void reinit_pending_requests(const std::vector<SavedRequest>& saved);
+
+  // Checkpoint policy (initiator only).
+  bool policy_fires();
+
+  /// True once this process's recovery replay has fully drained: all logged
+  /// receive outcomes, non-deterministic events and collective results have
+  /// been consumed, and every suppressed early send has been re-executed.
+  /// Taking a *new* local checkpoint before this point would break the
+  /// send/receive-count agreement (the receiver's seeded counts include
+  /// early messages the sender has not yet re-counted) and would split the
+  /// replay window across epochs; checkpoint requests are deferred until
+  /// quiescence. In the paper's model this ordering is implicit: recovery
+  /// resumes *after* the restored potentialCheckpoint, and every logging
+  /// window closes no later than the next global synchronization point.
+  bool recovery_quiesced() const;
+
+  /// Replay entries may only be consumed once the application has passed
+  /// complete_registration(): operations before it are re-executed
+  /// initialization, not re-execution of the logged window.
+  bool replay_armed() const noexcept {
+    return shared_.recovering && registration_complete_;
+  }
+
+  simmpi::Api& api_;
+  Shared& shared_;
+  simmpi::Rank me_;
+  int nranks_;
+
+  // Protocol state (Section 4.4 variable list).
+  std::int32_t epoch_ = 0;
+  bool am_logging_ = false;
+  std::uint32_t next_message_id_ = 0;
+  bool checkpoint_requested_ = false;
+  std::int32_t requested_target_epoch_ = -1;
+  std::vector<std::int64_t> send_count_;
+  std::vector<std::vector<std::uint32_t>> early_ids_;
+  std::vector<std::int64_t> current_receive_count_;
+  std::vector<std::int64_t> previous_receive_count_;
+  std::vector<std::int64_t> total_sent_;  // -1 = unknown
+  bool ready_sent_ = false;
+  EventLog log_;
+  util::Rng rng_;
+
+  // Initiator state (rank 0).
+  bool ckpt_in_progress_ = false;
+  int ready_count_ = 0;
+  int stopped_count_ = 0;
+  std::uint64_t potential_calls_ = 0;
+  std::uint64_t checkpoints_started_ = 0;
+  std::chrono::steady_clock::time_point last_ckpt_time_;
+  bool shutdown_received_ = false;
+
+  // Recovery state.
+  bool restored_ = false;
+  ReplayLog replay_;
+  std::vector<std::set<std::uint32_t>> suppress_;  // per destination
+  std::optional<util::Bytes> pending_appstate_;
+  std::optional<statesave::CheckpointView> pending_view_;
+
+  // Application state registry.
+  struct RegEntry {
+    std::string name;
+    void* addr;
+    std::size_t size;
+    bool readonly = false;  ///< checkpoint stores a CRC instead of bytes
+  };
+  std::vector<RegEntry> registry_;
+  bool registration_complete_ = false;
+
+  // Pseudo-handles.
+  std::map<RequestId, PseudoRequest> requests_;
+  RequestId next_request_id_ = 1;
+  std::vector<RequestId> outstanding_recvs_;
+  std::map<CommHandle, simmpi::Comm> comms_;
+  CommHandle next_comm_handle_ = 1;
+  std::vector<CommCallRecord> comm_calls_;
+  bool replaying_comm_calls_ = false;
+
+  statesave::SaveContext save_ctx_;
+  ProcessStats stats_;
+};
+
+}  // namespace c3::core

@@ -1,0 +1,70 @@
+// Shared types of the C3 protocol layer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace c3::core {
+
+/// The four instrumentation levels measured in the paper's Figure 8.
+enum class InstrumentLevel : std::uint8_t {
+  kRaw = 0,            ///< "Unmodified program": protocol layer passes through
+  kPiggybackOnly = 1,  ///< Version #1: piggyback data on messages, no checkpoints
+  kNoAppState = 2,     ///< Version #2: protocol logs + MPI library state only
+  kFull = 3,           ///< Version #3: full checkpoints incl. application state
+};
+
+/// Piggyback encoding (Section 4.2): the straightforward triple, or the
+/// optimized single 32-bit word (1 color bit + 1 logging bit + 30-bit
+/// message ID).
+enum class PiggybackMode : std::uint8_t { kFull, kPacked };
+
+/// When the initiator starts a new global checkpoint. The paper uses a
+/// 30-second wall-clock interval; tests prefer deterministic counts of
+/// potentialCheckpoint calls at the initiator.
+struct CheckpointPolicy {
+  /// Start a checkpoint every `every_calls` potentialCheckpoint calls seen
+  /// by the initiator (0 = disabled).
+  std::uint64_t every_calls = 0;
+  /// Start a checkpoint when this much wall time passed since the last one
+  /// (zero = disabled).
+  std::chrono::milliseconds interval{0};
+  /// Upper bound on checkpoints per job execution (0 = unlimited).
+  std::uint64_t max_checkpoints = 0;
+
+  static CheckpointPolicy none() { return {}; }
+  static CheckpointPolicy every(std::uint64_t calls) {
+    CheckpointPolicy p;
+    p.every_calls = calls;
+    return p;
+  }
+  static CheckpointPolicy timed(std::chrono::milliseconds ms) {
+    CheckpointPolicy p;
+    p.interval = ms;
+    return p;
+  }
+};
+
+/// Per-process protocol counters, exposed for tests and benchmarks.
+struct ProcessStats {
+  std::uint64_t app_sends = 0;
+  std::uint64_t app_recvs = 0;
+  std::uint64_t app_collectives = 0;
+  std::uint64_t late_messages = 0;
+  std::uint64_t early_messages = 0;
+  std::uint64_t intra_epoch_messages = 0;
+  std::uint64_t suppressed_sends = 0;
+  std::uint64_t replayed_recvs = 0;
+  std::uint64_t logged_nondet_events = 0;
+  std::uint64_t replayed_nondet_events = 0;
+  std::uint64_t logged_collectives = 0;
+  std::uint64_t replayed_collectives = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t piggyback_bytes = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t log_bytes = 0;
+};
+
+}  // namespace c3::core

@@ -1,0 +1,70 @@
+// Delivery policies for the simulated transport.
+//
+// The transport is *reliable* (the paper assumes a reliable message layer,
+// e.g. LA-MPI) but need not be globally FIFO. We always preserve per-source
+// FIFO order -- MPI's non-overtaking guarantee -- while policies may
+// interleave different sources adversarially. Application-level non-FIFO
+// behaviour (the paper's Section 3.3) additionally arises from tag matching
+// in simmpi regardless of policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace c3::net {
+
+/// Decides how long the head packet of a (src -> dst) stream is held back
+/// before becoming visible to the receiver. A hold of n means the packet is
+/// released after n further "events" at the destination inbox (arrivals from
+/// other sources or failed drain attempts), guaranteeing liveness.
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+  /// Hold count for a newly arrived head-of-stream packet.
+  virtual std::uint32_t hold_for(int src, int dst) = 0;
+  /// Deep copy (each inbox gets an independent policy instance).
+  virtual std::unique_ptr<DeliveryPolicy> clone() const = 0;
+};
+
+/// Immediate delivery: classic FIFO network.
+class FifoDelivery final : public DeliveryPolicy {
+ public:
+  std::uint32_t hold_for(int, int) override { return 0; }
+  std::unique_ptr<DeliveryPolicy> clone() const override {
+    return std::make_unique<FifoDelivery>();
+  }
+};
+
+/// Randomly delays streams to interleave sources out of order.
+class RandomReorderDelivery final : public DeliveryPolicy {
+ public:
+  /// @param seed      determinism seed (forked per inbox)
+  /// @param p_hold    probability a head packet is held at all
+  /// @param max_hold  maximum number of inbox events to hold for
+  RandomReorderDelivery(std::uint64_t seed, double p_hold,
+                        std::uint32_t max_hold)
+      : rng_(seed), p_hold_(p_hold), max_hold_(max_hold) {}
+
+  std::uint32_t hold_for(int src, int dst) override {
+    (void)src;
+    (void)dst;
+    if (!rng_.next_bool(p_hold_)) return 0;
+    return static_cast<std::uint32_t>(rng_.next_below(max_hold_ + 1));
+  }
+
+  std::unique_ptr<DeliveryPolicy> clone() const override {
+    // Clones fork the seed so inboxes do not share one stream.
+    auto copy = std::make_unique<RandomReorderDelivery>(*this);
+    copy->rng_ = rng_.fork(0xC10E);
+    return copy;
+  }
+
+ private:
+  util::Rng rng_;
+  double p_hold_;
+  std::uint32_t max_hold_;
+};
+
+}  // namespace c3::net

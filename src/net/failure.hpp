@@ -1,0 +1,55 @@
+// Stopping-failure injection and detection.
+//
+// The paper's fault model: a faulty process hangs and stops responding
+// (no Byzantine behaviour), and a distributed failure detector notices.
+// In this single-process simulation, an injected failure makes the victim
+// rank throw StoppingFailure at a chosen trigger point; the detector (the
+// job runner observing the fabric abort flag) then tears the job down and
+// restarts every rank from the last committed global checkpoint -- exactly
+// the paper's recovery semantics, where all processes roll back together.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace c3::net {
+
+/// Where a failure fires: after the victim has performed `trigger_events`
+/// protocol-layer operations (sends, receives, collectives, checkpoints).
+struct FailureSpec {
+  int victim_rank = 0;
+  std::uint64_t trigger_events = 0;
+};
+
+/// Shared between the job runner and the victim's protocol layer.
+/// One-shot: fires at most once per process lifetime (recovery runs must
+/// not re-kill the victim at the same event count).
+class FailureInjector {
+ public:
+  FailureInjector() = default;
+  explicit FailureInjector(FailureSpec spec) : spec_(spec) {}
+
+  /// Called by the protocol layer on each event at `rank`. Returns true
+  /// exactly once, when the victim reaches its trigger point.
+  bool on_event(int rank) {
+    if (!spec_ || fired_.load(std::memory_order_acquire)) return false;
+    if (rank != spec_->victim_rank) return false;
+    const auto n = count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (n >= spec_->trigger_events) {
+      bool expected = false;
+      return fired_.compare_exchange_strong(expected, true);
+    }
+    return false;
+  }
+
+  bool fired() const noexcept { return fired_.load(std::memory_order_acquire); }
+  const std::optional<FailureSpec>& spec() const noexcept { return spec_; }
+
+ private:
+  std::optional<FailureSpec> spec_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace c3::net

@@ -1,0 +1,27 @@
+// Wire-level packet exchanged between simulated ranks.
+//
+// `context` namespaces traffic the way real MPI implementations use
+// communicator context ids: application point-to-point, protocol control
+// messages, and collective-internal messages never match each other even if
+// tags collide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/archive.hpp"
+
+namespace c3::net {
+
+using util::Bytes;
+
+struct Packet {
+  int src = -1;
+  int dst = -1;
+  int context = 0;  ///< communicator context id (see simmpi::ContextId)
+  int tag = 0;
+  std::uint64_t seq = 0;  ///< per-(src,dst,context) send sequence number
+  Bytes payload;
+};
+
+}  // namespace c3::net

@@ -1,0 +1,84 @@
+#include "net/transport.hpp"
+
+#include "util/error.hpp"
+
+namespace c3::net {
+
+Inbox::Inbox(int owner, std::unique_ptr<DeliveryPolicy> policy)
+    : owner_(owner), policy_(std::move(policy)) {}
+
+void Inbox::deliver(Packet p) {
+  {
+    std::lock_guard lock(mu_);
+    const int src = p.src;
+    auto& stream = streams_[src];
+    const bool was_empty = stream.staged.empty();
+    stream.staged.push_back(std::move(p));
+    if (was_empty) stream.hold = policy_->hold_for(src, owner_);
+    on_event_locked(src);
+  }
+  cv_.notify_all();
+}
+
+void Inbox::on_event_locked(int arriving_src) {
+  for (auto& [src, stream] : streams_) {
+    if (stream.staged.empty()) continue;
+    if (src != arriving_src && stream.hold > 0) --stream.hold;
+    // Release every packet whose hold has expired; packets behind a released
+    // head draw a fresh hold so reordering opportunities recur mid-stream.
+    while (!stream.staged.empty() && stream.hold == 0) {
+      released_.push_back(std::move(stream.staged.front()));
+      stream.staged.pop_front();
+      if (!stream.staged.empty()) stream.hold = policy_->hold_for(src, owner_);
+    }
+  }
+}
+
+std::vector<Packet> Inbox::drain() {
+  std::lock_guard lock(mu_);
+  // A drain attempt is an inbox event: it ages all held streams, which
+  // guarantees a blocked receiver eventually sees every staged packet.
+  on_event_locked(/*arriving_src=*/-1);
+  std::vector<Packet> out;
+  out.reserve(released_.size());
+  while (!released_.empty()) {
+    out.push_back(std::move(released_.front()));
+    released_.pop_front();
+  }
+  return out;
+}
+
+void Inbox::wait(std::chrono::microseconds timeout,
+                 const std::atomic<bool>& stop) {
+  std::unique_lock lock(mu_);
+  if (!released_.empty() || stop.load(std::memory_order_acquire)) return;
+  cv_.wait_for(lock, timeout, [&] {
+    return !released_.empty() || stop.load(std::memory_order_acquire);
+  });
+}
+
+void Inbox::interrupt() { cv_.notify_all(); }
+
+Fabric::Fabric(int nranks, const DeliveryPolicy& policy_prototype) {
+  if (nranks <= 0) throw util::UsageError("Fabric needs at least one rank");
+  inboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    inboxes_.push_back(std::make_unique<Inbox>(r, policy_prototype.clone()));
+  }
+}
+
+void Fabric::send(Packet p) {
+  if (p.dst < 0 || p.dst >= size()) {
+    throw util::UsageError("send to invalid rank " + std::to_string(p.dst));
+  }
+  stats_.packets.fetch_add(1, std::memory_order_relaxed);
+  stats_.payload_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+  inboxes_[static_cast<std::size_t>(p.dst)]->deliver(std::move(p));
+}
+
+void Fabric::abort() {
+  abort_.store(true, std::memory_order_release);
+  for (auto& box : inboxes_) box->interrupt();
+}
+
+}  // namespace c3::net

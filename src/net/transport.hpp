@@ -1,0 +1,95 @@
+// Reliable in-memory transport connecting simulated ranks.
+//
+// Each rank owns an Inbox. Senders call Fabric::send() from their own
+// thread; the packet is staged in the destination inbox and becomes visible
+// ("released") according to the inbox's DeliveryPolicy. Per-source FIFO is
+// always preserved; policies only control cross-source interleaving.
+//
+// The Fabric also carries the job-wide abort signal: when a stopping failure
+// is injected, every blocked rank must wake up and unwind so the job runner
+// can roll back to the last committed global checkpoint.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/delivery.hpp"
+#include "net/packet.hpp"
+
+namespace c3::net {
+
+/// Aggregate traffic statistics (approximate; relaxed atomics).
+struct FabricStats {
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> payload_bytes{0};
+};
+
+/// Per-rank receive queue with policy-driven release of staged packets.
+class Inbox {
+ public:
+  Inbox(int owner, std::unique_ptr<DeliveryPolicy> policy);
+
+  /// Called from sender threads.
+  void deliver(Packet p);
+
+  /// Move all currently released packets out (receiver thread only).
+  /// Counts as an inbox event: held streams make progress on every call.
+  std::vector<Packet> drain();
+
+  /// Block until a released packet may be available, the timeout elapses,
+  /// or `stop` becomes true. Returns immediately if something is released.
+  void wait(std::chrono::microseconds timeout, const std::atomic<bool>& stop);
+
+  /// Wake any waiter (used on abort).
+  void interrupt();
+
+ private:
+  struct Stream {
+    std::deque<Packet> staged;
+    std::uint32_t hold = 0;  ///< events left before the head is released
+  };
+
+  // Pre: mu_ held. Decrement holds and move eligible packets to released_.
+  void on_event_locked(int arriving_src);
+
+  int owner_;
+  std::unique_ptr<DeliveryPolicy> policy_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int, Stream> streams_;
+  std::deque<Packet> released_;
+};
+
+/// The whole interconnect: N inboxes plus the abort signal.
+class Fabric {
+ public:
+  Fabric(int nranks, const DeliveryPolicy& policy_prototype);
+
+  int size() const noexcept { return static_cast<int>(inboxes_.size()); }
+
+  /// Reliable, asynchronous delivery (never blocks, never drops).
+  void send(Packet p);
+
+  Inbox& inbox(int rank) { return *inboxes_.at(static_cast<std::size_t>(rank)); }
+
+  /// Signal job teardown; wakes every blocked receiver.
+  void abort();
+  bool aborted() const noexcept { return abort_.load(std::memory_order_acquire); }
+  const std::atomic<bool>& abort_flag() const noexcept { return abort_; }
+
+  const FabricStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::atomic<bool> abort_{false};
+  FabricStats stats_;
+};
+
+}  // namespace c3::net

@@ -1,0 +1,291 @@
+#include "simmpi/api.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simmpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace c3::simmpi {
+
+namespace {
+constexpr auto kIdleSlice = std::chrono::microseconds(200);
+
+std::vector<Rank> iota_group(int n) {
+  std::vector<Rank> g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g[static_cast<std::size_t>(i)] = i;
+  return g;
+}
+}  // namespace
+
+Api::Api(Runtime& rt, Rank world_rank)
+    : rt_(rt),
+      rank_(world_rank),
+      world_(/*context_base=*/0, iota_group(rt.size()), world_rank) {}
+
+int Api::world_size() const noexcept { return rt_.size(); }
+
+void Api::check_abort() const {
+  if (rt_.fabric().aborted()) throw util::JobAborted();
+}
+
+std::uint64_t Api::next_seq(int dst, int context) {
+  return send_seq_[{dst, context}]++;
+}
+
+Tag Api::next_coll_tag(const Comm& comm) {
+  return static_cast<Tag>(coll_seq_[comm.context_base()]++ % (kMaxTag + 1));
+}
+
+// ------------------------------------------------------------------- p2p
+
+void Api::send(const Comm& comm, std::span<const std::byte> data, Rank dst,
+               Tag tag, ContextClass ctx) {
+  Request r = isend(comm, data, dst, tag, ctx);
+  wait(r);
+}
+
+Request Api::isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
+                   Tag tag, ContextClass ctx) {
+  require(comm.member(), "isend on a communicator this rank is not in");
+  require(tag >= 0 && tag <= kMaxTag, "tag out of range");
+  check_abort();
+  const Rank world_dst = comm.to_world(dst);
+  const int context = comm.context(ctx);
+  net::Packet pkt;
+  pkt.src = rank_;
+  pkt.dst = world_dst;
+  pkt.context = context;
+  pkt.tag = tag;
+  pkt.seq = next_seq(world_dst, context);
+  pkt.payload.assign(data.begin(), data.end());
+  rt_.fabric().send(std::move(pkt));
+  stats_.sends++;
+  stats_.send_bytes += data.size();
+  // Buffered semantics: the payload was copied, the buffer is reusable now.
+  auto st = std::make_shared<RequestState>();
+  st->kind = RequestKind::kSend;
+  st->complete = true;
+  st->status = Status{comm.rank(), tag, data.size()};
+  return Request(std::move(st));
+}
+
+Request Api::irecv(const Comm& comm, std::span<std::byte> out, Rank src,
+                   Tag tag, ContextClass ctx) {
+  require(comm.member(), "irecv on a communicator this rank is not in");
+  require(tag == kAnyTag || (tag >= 0 && tag <= kMaxTag), "tag out of range");
+  check_abort();
+  auto st = std::make_shared<RequestState>();
+  st->kind = RequestKind::kRecv;
+  st->out = out;
+  st->comm = comm;
+  st->context = comm.context(ctx);
+  st->src_world = (src == kAnySource) ? kAnySource : comm.to_world(src);
+  st->tag = tag;
+  st->post_order = post_counter_++;
+  // An already-arrived unexpected message may satisfy this receive.
+  if (!try_match_unexpected(*st)) {
+    posted_.push_back(st);
+  }
+  return Request(std::move(st));
+}
+
+Status Api::recv(const Comm& comm, std::span<std::byte> out, Rank src, Tag tag,
+                 ContextClass ctx) {
+  Request r = irecv(comm, out, src, tag, ctx);
+  return wait(r);
+}
+
+Status Api::wait(Request& req) {
+  require(req.valid(), "wait on an invalid request");
+  RequestState* rs = req.state();
+  block_until([rs] { return rs->complete; });
+  return rs->status;
+}
+
+bool Api::test(Request& req) {
+  require(req.valid(), "test on an invalid request");
+  poll();
+  return req.complete();
+}
+
+void Api::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void Api::cancel(Request& req) {
+  require(req.valid(), "cancel on an invalid request");
+  RequestState* rs = req.state();
+  if (rs->complete) return;
+  rs->cancelled = true;
+  rs->complete = true;
+  std::erase_if(posted_, [rs](const auto& p) { return p.get() == rs; });
+}
+
+std::optional<ProbeInfo> Api::iprobe(const Comm& comm, Rank src, Tag tag,
+                                     ContextClass ctx) {
+  require(comm.member(), "iprobe on a communicator this rank is not in");
+  poll();
+  const int context = comm.context(ctx);
+  const Rank src_world = (src == kAnySource) ? kAnySource : comm.to_world(src);
+  for (const auto& pkt : unexpected_) {
+    if (pkt.context != context) continue;
+    if (src_world != kAnySource && pkt.src != src_world) continue;
+    if (tag != kAnyTag && pkt.tag != tag) continue;
+    return ProbeInfo{comm.from_world(pkt.src), pkt.tag, pkt.payload.size()};
+  }
+  return std::nullopt;
+}
+
+ProbeInfo Api::probe(const Comm& comm, Rank src, Tag tag, ContextClass ctx) {
+  for (;;) {
+    if (auto info = iprobe(comm, src, tag, ctx)) return *info;
+    check_abort();
+    idle_wait(kIdleSlice);
+  }
+}
+
+std::pair<util::Bytes, Status> Api::recv_any(const Comm& comm, Rank src,
+                                             Tag tag, ContextClass ctx) {
+  const ProbeInfo info = probe(comm, src, tag, ctx);
+  util::Bytes buf(info.size);
+  // Receive exactly the probed message: its (source, tag) pair is now
+  // concrete, and it is the earliest arrival matching that pair, so the
+  // matching engine will pick it first.
+  Status st = recv(comm, buf, info.source, info.tag, ctx);
+  return {std::move(buf), st};
+}
+
+// -------------------------------------------------------------- progress
+
+bool Api::matches(const RequestState& rs, const net::Packet& pkt) {
+  if (rs.context != pkt.context) return false;
+  if (rs.src_world != kAnySource && rs.src_world != pkt.src) return false;
+  if (rs.tag != kAnyTag && rs.tag != pkt.tag) return false;
+  return true;
+}
+
+void Api::deliver_into(RequestState& rs, net::Packet& pkt) {
+  if (pkt.payload.size() > rs.out.size()) {
+    throw util::UsageError(
+        "message truncation: recv buffer " + std::to_string(rs.out.size()) +
+        " bytes, message " + std::to_string(pkt.payload.size()) + " bytes");
+  }
+  if (!pkt.payload.empty()) {
+    std::memcpy(rs.out.data(), pkt.payload.data(), pkt.payload.size());
+  }
+  rs.status.source = rs.comm.from_world(pkt.src);
+  rs.status.tag = pkt.tag;
+  rs.status.size = pkt.payload.size();
+  rs.complete = true;
+  stats_.recvs++;
+  stats_.recv_bytes += pkt.payload.size();
+}
+
+bool Api::try_match_posted(net::Packet& pkt) {
+  // Posted receives match in post order (MPI semantics).
+  auto best = posted_.end();
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (!matches(**it, pkt)) continue;
+    if (best == posted_.end() || (*it)->post_order < (*best)->post_order) {
+      best = it;
+    }
+  }
+  if (best == posted_.end()) return false;
+  deliver_into(**best, pkt);
+  posted_.erase(best);
+  return true;
+}
+
+bool Api::try_match_unexpected(RequestState& rs) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(rs, *it)) {
+      deliver_into(rs, *it);
+      unexpected_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Api::poll() {
+  auto arrivals = rt_.fabric().inbox(rank_).drain();
+  for (auto& pkt : arrivals) {
+    if (!try_match_posted(pkt)) {
+      unexpected_.push_back(std::move(pkt));
+    }
+  }
+}
+
+void Api::idle_wait(std::chrono::microseconds timeout) {
+  rt_.fabric().inbox(rank_).wait(timeout, rt_.fabric().abort_flag());
+}
+
+void Api::block_until(const std::function<bool()>& done) {
+  for (;;) {
+    poll();
+    if (done()) return;
+    check_abort();
+    idle_wait(kIdleSlice);
+  }
+}
+
+// ---------------------------------------------------------- communicators
+
+Comm Api::comm_dup(const Comm& comm) {
+  require(comm.member(), "comm_dup on a communicator this rank is not in");
+  std::int32_t cand = rt_.fresh_context();
+  std::int32_t base = 0;
+  allreduce(comm, util::as_bytes(cand),
+            {reinterpret_cast<std::byte*>(&base), sizeof(base)},
+            Datatype::kInt32, Op::kMax);
+  return Comm(base, comm.group(), rank_);
+}
+
+Comm Api::comm_split(const Comm& comm, int color, int key) {
+  require(comm.member(), "comm_split on a communicator this rank is not in");
+  struct Entry {
+    std::int32_t color, key, world;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(comm.size()));
+  allgather(comm, util::as_bytes(mine),
+            {reinterpret_cast<std::byte*>(all.data()),
+             all.size() * sizeof(Entry)});
+  std::int32_t cand = rt_.fresh_context();
+  std::int32_t base = 0;
+  allreduce(comm, util::as_bytes(cand),
+            {reinterpret_cast<std::byte*>(&base), sizeof(base)},
+            Datatype::kInt32, Op::kMax);
+  if (color < 0) return Comm();  // MPI_UNDEFINED: no new communicator
+  std::vector<Entry> members;
+  for (const auto& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return std::tie(a.key, a.world) < std::tie(b.key, b.world);
+                   });
+  std::vector<Rank> group;
+  group.reserve(members.size());
+  for (const auto& e : members) group.push_back(e.world);
+  // Disjoint color groups may share the context base: their member sets do
+  // not overlap, so no packet can be matched by the wrong communicator.
+  return Comm(base, std::move(group), rank_);
+}
+
+// ---------------------------------------------------------------- user ops
+
+OpHandle Api::op_create(ReduceFn fn) {
+  require(static_cast<bool>(fn), "op_create with empty function");
+  const std::int32_t id = next_op_id_++;
+  user_ops_[id] = std::move(fn);
+  return OpHandle{id};
+}
+
+void Api::op_free(OpHandle op) {
+  require(user_ops_.erase(op.id) == 1, "op_free of unknown op");
+}
+
+}  // namespace c3::simmpi

@@ -1,0 +1,184 @@
+// Per-rank MPI-like interface.
+//
+// One Api object is handed to each rank's main function and must only be
+// used from that rank's thread (matching MPI's process model). It owns the
+// rank's matching engine: a queue of unexpected messages and a list of
+// posted receives, advanced by progress() which drains the rank's fabric
+// inbox. Posted receives match in post order; unexpected messages match in
+// arrival order; per-source order is never violated (MPI non-overtaking).
+//
+// The C3 protocol layer (core/) wraps this class and intercepts every call,
+// exactly as the paper's protocol layer sits between the application and
+// the MPI library.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/reduce.hpp"
+#include "simmpi/request.hpp"
+#include "simmpi/types.hpp"
+
+namespace c3::simmpi {
+
+class Runtime;
+
+/// Result of a (non-consuming) probe.
+struct ProbeInfo {
+  Rank source = kAnySource;  ///< comm-local source rank
+  Tag tag = kAnyTag;
+  std::size_t size = 0;
+};
+
+/// Per-rank traffic counters (application-visible sends/receives).
+struct ApiStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t send_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint64_t collectives = 0;
+};
+
+class Api {
+ public:
+  Api(Runtime& rt, Rank world_rank);
+  Api(const Api&) = delete;
+  Api& operator=(const Api&) = delete;
+
+  Rank world_rank() const noexcept { return rank_; }
+  int world_size() const noexcept;
+  const Comm& world() const noexcept { return world_; }
+  Runtime& runtime() noexcept { return rt_; }
+
+  // ------------------------------------------------------------- p2p
+  /// Blocking standard send (buffered semantics: the payload is copied, so
+  /// the call returns as soon as the copy is handed to the fabric).
+  void send(const Comm& comm, std::span<const std::byte> data, Rank dst,
+            Tag tag, ContextClass ctx = ContextClass::kP2p);
+
+  /// Blocking receive into `out`; the message must fit. Returns the status
+  /// with the comm-local source, tag, and actual size.
+  Status recv(const Comm& comm, std::span<std::byte> out, Rank src, Tag tag,
+              ContextClass ctx = ContextClass::kP2p);
+
+  /// Non-blocking send; completes immediately under buffered semantics but
+  /// still returns a Request so code is shaped like real MPI.
+  Request isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
+                Tag tag, ContextClass ctx = ContextClass::kP2p);
+
+  /// Non-blocking receive. `out` must stay alive until wait/test completes.
+  Request irecv(const Comm& comm, std::span<std::byte> out, Rank src, Tag tag,
+                ContextClass ctx = ContextClass::kP2p);
+
+  Status wait(Request& req);
+  bool test(Request& req);
+  void waitall(std::span<Request> reqs);
+  /// Cancel a posted, incomplete receive (used during recovery teardown).
+  void cancel(Request& req);
+
+  std::optional<ProbeInfo> iprobe(const Comm& comm, Rank src, Tag tag,
+                                  ContextClass ctx = ContextClass::kP2p);
+  ProbeInfo probe(const Comm& comm, Rank src, Tag tag,
+                  ContextClass ctx = ContextClass::kP2p);
+
+  /// Probe then receive a message of unknown size.
+  std::pair<util::Bytes, Status> recv_any(const Comm& comm, Rank src, Tag tag,
+                                          ContextClass ctx = ContextClass::kP2p);
+
+  // ------------------------------------------------------- collectives
+  void barrier(const Comm& comm);
+  void bcast(const Comm& comm, std::span<std::byte> data, Rank root);
+  /// out must be `in.size()` bytes at the root (ignored elsewhere).
+  void reduce(const Comm& comm, std::span<const std::byte> in,
+              std::span<std::byte> out, Datatype type, Op op, Rank root);
+  void allreduce(const Comm& comm, std::span<const std::byte> in,
+                 std::span<std::byte> out, Datatype type, Op op);
+  /// User-defined-op variants (elem_size bytes per element).
+  void reduce_user(const Comm& comm, std::span<const std::byte> in,
+                   std::span<std::byte> out, std::size_t elem_size,
+                   OpHandle op, Rank root);
+  void allreduce_user(const Comm& comm, std::span<const std::byte> in,
+                      std::span<std::byte> out, std::size_t elem_size,
+                      OpHandle op);
+  /// out must be comm.size()*in.size() bytes at the root.
+  void gather(const Comm& comm, std::span<const std::byte> in,
+              std::span<std::byte> out, Rank root);
+  void allgather(const Comm& comm, std::span<const std::byte> in,
+                 std::span<std::byte> out);
+  /// in and out are comm.size() equal blocks.
+  void alltoall(const Comm& comm, std::span<const std::byte> in,
+                std::span<std::byte> out);
+  /// Inclusive prefix scan.
+  void scan(const Comm& comm, std::span<const std::byte> in,
+            std::span<std::byte> out, Datatype type, Op op);
+
+  // --------------------------------------------------- communicators
+  /// Collective over `comm`: duplicate with a fresh context.
+  Comm comm_dup(const Comm& comm);
+  /// Collective over `comm`: split by color, ordered by (key, world rank).
+  /// color < 0 means "not a member of any new communicator".
+  Comm comm_split(const Comm& comm, int color, int key);
+
+  // -------------------------------------------------- user-defined ops
+  OpHandle op_create(ReduceFn fn);
+  void op_free(OpHandle op);
+
+  // ------------------------------------------------------ progress
+  /// Drain the inbox and match posted receives (never blocks).
+  void poll();
+  /// Sleep until inbox activity or timeout; checks the abort flag.
+  void idle_wait(std::chrono::microseconds timeout);
+  /// Throw JobAborted if the job is being torn down.
+  void check_abort() const;
+
+  const ApiStats& stats() const noexcept { return stats_; }
+
+  // Typed conveniences -------------------------------------------------
+  template <typename T>
+  void send_value(const Comm& comm, const T& v, Rank dst, Tag tag) {
+    send(comm, util::as_bytes(v), dst, tag);
+  }
+  template <typename T>
+  T recv_value(const Comm& comm, Rank src, Tag tag, Status* st = nullptr) {
+    T v{};
+    Status s = recv(comm, {reinterpret_cast<std::byte*>(&v), sizeof(T)}, src, tag);
+    if (st) *st = s;
+    return v;
+  }
+
+ private:
+  friend class Runtime;
+
+  /// Try to complete posted receives with `pkt`; true if consumed.
+  bool try_match_posted(net::Packet& pkt);
+  /// Scan unexpected messages for the first match of a posted receive.
+  bool try_match_unexpected(RequestState& rs);
+  static bool matches(const RequestState& rs, const net::Packet& pkt);
+  void deliver_into(RequestState& rs, net::Packet& pkt);
+  void block_until(const std::function<bool()>& done);
+  std::uint64_t next_seq(int dst, int context);
+  Tag next_coll_tag(const Comm& comm);
+
+  Runtime& rt_;
+  Rank rank_;
+  Comm world_;
+  std::deque<net::Packet> unexpected_;
+  std::vector<std::shared_ptr<RequestState>> posted_;
+  std::map<std::pair<int, int>, std::uint64_t> send_seq_;
+  std::map<int, std::uint32_t> coll_seq_;  ///< per-comm collective counter
+  std::map<std::int32_t, ReduceFn> user_ops_;
+  std::int32_t next_op_id_ = 0;
+  std::uint64_t post_counter_ = 0;
+  ApiStats stats_;
+};
+
+}  // namespace c3::simmpi

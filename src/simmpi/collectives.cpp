@@ -1,0 +1,246 @@
+// Collective communication, built entirely on point-to-point messages over
+// the communicator's collective context -- matching the paper's observation
+// that "each collective communication call is actually implemented by the
+// MPI layer using many point-to-point messages". Algorithms:
+//   barrier    dissemination (ceil(log2 p) rounds)
+//   bcast      binomial tree
+//   reduce     binomial tree toward the root
+//   allreduce  reduce to rank 0 + bcast
+//   gather     direct sends to the root
+//   allgather  ring (p-1 steps, overlapped isend/recv)
+//   alltoall   posted irecvs + isends, then waitall
+//   scan       linear chain (inclusive prefix)
+// Every invocation draws a fresh tag from a per-communicator counter, so
+// back-to-back collectives on one communicator can never cross-match.
+#include <cstring>
+
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/error.hpp"
+
+namespace c3::simmpi {
+
+namespace {
+constexpr ContextClass kColl = ContextClass::kColl;
+}
+
+void Api::barrier(const Comm& comm) {
+  require(comm.member(), "barrier on a communicator this rank is not in");
+  stats_.collectives++;
+  const int p = comm.size();
+  const Rank r = comm.rank();
+  const Tag tag = next_coll_tag(comm);
+  std::byte token{0};
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const Rank to = (r + dist) % p;
+    const Rank from = (r - dist % p + p) % p;
+    Request sreq = isend(comm, {&token, 1}, to, tag, kColl);
+    std::byte in{};
+    recv(comm, {&in, 1}, from, tag, kColl);
+    wait(sreq);
+  }
+}
+
+void Api::bcast(const Comm& comm, std::span<std::byte> data, Rank root) {
+  require(comm.member(), "bcast on a communicator this rank is not in");
+  require(root >= 0 && root < comm.size(), "bcast root out of range");
+  stats_.collectives++;
+  const int p = comm.size();
+  const Rank rel = (comm.rank() - root + p) % p;
+  const Tag tag = next_coll_tag(comm);
+  auto abs = [&](Rank relr) { return (relr + root) % p; };
+
+  // Receive from the parent (the rank that differs in the lowest set bit).
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      recv(comm, data, abs(rel ^ mask), tag, kColl);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children in decreasing-mask order.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((rel | mask) < p && !(rel & mask)) {
+      send(comm, data, abs(rel | mask), tag, kColl);
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+/// Shared binomial-tree reduction skeleton. `combine(incoming, accum)`
+/// folds a child's contribution into the local accumulator.
+template <typename Combine>
+void tree_reduce(Api& api, const Comm& comm, std::span<const std::byte> in,
+                 std::span<std::byte> out, Rank root, Tag tag,
+                 const Combine& combine) {
+  const int p = comm.size();
+  const Rank rel = (comm.rank() - root + p) % p;
+  auto abs = [&](Rank relr) { return (relr + root) % p; };
+  util::Bytes accum(in.begin(), in.end());
+  util::Bytes incoming(in.size());
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rel & mask) {
+      api.send(comm, accum, abs(rel ^ mask), tag, ContextClass::kColl);
+      break;
+    }
+    const int child = rel | mask;
+    if (child < p) {
+      api.recv(comm, incoming, abs(child), tag, ContextClass::kColl);
+      combine(incoming.data(), accum.data());
+    }
+  }
+  if (comm.rank() == root) {
+    require(out.size() >= accum.size(), "reduce output buffer too small");
+    std::memcpy(out.data(), accum.data(), accum.size());
+  }
+}
+}  // namespace
+
+void Api::reduce(const Comm& comm, std::span<const std::byte> in,
+                 std::span<std::byte> out, Datatype type, Op op, Rank root) {
+  require(comm.member(), "reduce on a communicator this rank is not in");
+  require(in.size() % datatype_size(type) == 0,
+          "reduce buffer not a whole number of elements");
+  stats_.collectives++;
+  const std::size_t count = in.size() / datatype_size(type);
+  const Tag tag = next_coll_tag(comm);
+  tree_reduce(*this, comm, in, out, root, tag,
+              [&](const std::byte* from, std::byte* accum) {
+                apply_op(op, type, from, accum, count);
+              });
+}
+
+void Api::allreduce(const Comm& comm, std::span<const std::byte> in,
+                    std::span<std::byte> out, Datatype type, Op op) {
+  require(out.size() >= in.size(), "allreduce output buffer too small");
+  reduce(comm, in, out, type, op, /*root=*/0);
+  bcast(comm, out.first(in.size()), /*root=*/0);
+}
+
+void Api::reduce_user(const Comm& comm, std::span<const std::byte> in,
+                      std::span<std::byte> out, std::size_t elem_size,
+                      OpHandle op, Rank root) {
+  require(comm.member(), "reduce_user on a communicator this rank is not in");
+  require(elem_size > 0 && in.size() % elem_size == 0,
+          "reduce_user buffer not a whole number of elements");
+  auto it = user_ops_.find(op.id);
+  require(it != user_ops_.end(), "reduce_user with unknown op handle");
+  stats_.collectives++;
+  const std::size_t count = in.size() / elem_size;
+  const Tag tag = next_coll_tag(comm);
+  const ReduceFn& fn = it->second;
+  tree_reduce(*this, comm, in, out, root, tag,
+              [&](const std::byte* from, std::byte* accum) {
+                fn(from, accum, count);
+              });
+}
+
+void Api::allreduce_user(const Comm& comm, std::span<const std::byte> in,
+                         std::span<std::byte> out, std::size_t elem_size,
+                         OpHandle op) {
+  require(out.size() >= in.size(), "allreduce_user output buffer too small");
+  reduce_user(comm, in, out, elem_size, op, /*root=*/0);
+  bcast(comm, out.first(in.size()), /*root=*/0);
+}
+
+void Api::gather(const Comm& comm, std::span<const std::byte> in,
+                 std::span<std::byte> out, Rank root) {
+  require(comm.member(), "gather on a communicator this rank is not in");
+  stats_.collectives++;
+  const int p = comm.size();
+  const std::size_t block = in.size();
+  const Tag tag = next_coll_tag(comm);
+  if (comm.rank() == root) {
+    require(out.size() >= block * static_cast<std::size_t>(p),
+            "gather output buffer too small");
+    std::memcpy(out.data() + block * static_cast<std::size_t>(root), in.data(),
+                block);
+    for (Rank r = 0; r < p; ++r) {
+      if (r == root) continue;
+      recv(comm, out.subspan(block * static_cast<std::size_t>(r), block), r,
+           tag, kColl);
+    }
+  } else {
+    send(comm, in, root, tag, kColl);
+  }
+}
+
+void Api::allgather(const Comm& comm, std::span<const std::byte> in,
+                    std::span<std::byte> out) {
+  require(comm.member(), "allgather on a communicator this rank is not in");
+  stats_.collectives++;
+  const int p = comm.size();
+  const Rank r = comm.rank();
+  const std::size_t block = in.size();
+  require(out.size() >= block * static_cast<std::size_t>(p),
+          "allgather output buffer too small");
+  const Tag tag = next_coll_tag(comm);
+  std::memcpy(out.data() + block * static_cast<std::size_t>(r), in.data(),
+              block);
+  if (p == 1) return;
+  const Rank right = (r + 1) % p;
+  const Rank left = (r - 1 + p) % p;
+  // Ring: in step s we forward the block that originated s hops upstream.
+  for (int s = 0; s < p - 1; ++s) {
+    const std::size_t send_idx = static_cast<std::size_t>((r - s + p) % p);
+    const std::size_t recv_idx = static_cast<std::size_t>((r - s - 1 + p) % p);
+    Request sreq =
+        isend(comm, out.subspan(send_idx * block, block), right, tag, kColl);
+    recv(comm, out.subspan(recv_idx * block, block), left, tag, kColl);
+    wait(sreq);
+  }
+}
+
+void Api::alltoall(const Comm& comm, std::span<const std::byte> in,
+                   std::span<std::byte> out) {
+  require(comm.member(), "alltoall on a communicator this rank is not in");
+  stats_.collectives++;
+  const int p = comm.size();
+  require(in.size() % static_cast<std::size_t>(p) == 0,
+          "alltoall input not divisible into p blocks");
+  const std::size_t block = in.size() / static_cast<std::size_t>(p);
+  require(out.size() >= in.size(), "alltoall output buffer too small");
+  const Tag tag = next_coll_tag(comm);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(2 * p));
+  for (Rank r = 0; r < p; ++r) {
+    const auto dst_block = out.subspan(static_cast<std::size_t>(r) * block, block);
+    if (r == comm.rank()) {
+      std::memcpy(dst_block.data(),
+                  in.data() + static_cast<std::size_t>(r) * block, block);
+    } else {
+      reqs.push_back(irecv(comm, dst_block, r, tag, kColl));
+    }
+  }
+  for (Rank r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    reqs.push_back(isend(comm, in.subspan(static_cast<std::size_t>(r) * block, block),
+                         r, tag, kColl));
+  }
+  waitall(reqs);
+}
+
+void Api::scan(const Comm& comm, std::span<const std::byte> in,
+               std::span<std::byte> out, Datatype type, Op op) {
+  require(comm.member(), "scan on a communicator this rank is not in");
+  require(out.size() >= in.size(), "scan output buffer too small");
+  require(in.size() % datatype_size(type) == 0,
+          "scan buffer not a whole number of elements");
+  stats_.collectives++;
+  const std::size_t count = in.size() / datatype_size(type);
+  const Tag tag = next_coll_tag(comm);
+  std::memcpy(out.data(), in.data(), in.size());
+  if (comm.rank() > 0) {
+    util::Bytes prefix(in.size());
+    recv(comm, prefix, comm.rank() - 1, tag, kColl);
+    apply_op(op, type, prefix.data(), out.data(), count);
+  }
+  if (comm.rank() + 1 < comm.size()) {
+    send(comm, out.first(in.size()), comm.rank() + 1, tag, kColl);
+  }
+}
+
+}  // namespace c3::simmpi

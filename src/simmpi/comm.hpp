@@ -1,0 +1,67 @@
+// Communicators and groups.
+//
+// A Comm is a value type naming (a) an ordered group of world ranks and
+// (b) a context-id base. Each communicator separates three traffic classes
+// by context: application point-to-point, collective-internal messages, and
+// the C3 protocol layer's control messages. Tag collisions across classes
+// are therefore impossible, mirroring how real MPI implementations isolate
+// collectives from user traffic.
+#pragma once
+
+#include <vector>
+
+#include "simmpi/types.hpp"
+
+namespace c3::simmpi {
+
+/// Context-id classes within one communicator.
+enum class ContextClass : int { kP2p = 0, kColl = 1, kCtrl = 2 };
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(int context_base, std::vector<Rank> group, Rank my_world_rank)
+      : context_base_(context_base), group_(std::move(group)) {
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      if (group_[i] == my_world_rank) {
+        my_rank_ = static_cast<Rank>(i);
+        break;
+      }
+    }
+  }
+
+  /// This process's rank within the communicator (-1 if not a member).
+  Rank rank() const noexcept { return my_rank_; }
+  int size() const noexcept { return static_cast<int>(group_.size()); }
+  bool member() const noexcept { return my_rank_ >= 0; }
+
+  /// Translate a communicator rank to a world rank.
+  Rank to_world(Rank r) const {
+    require(r >= 0 && r < size(), "rank out of range in communicator");
+    return group_[static_cast<std::size_t>(r)];
+  }
+
+  /// Translate a world rank to a communicator rank (-1 if not a member).
+  Rank from_world(Rank world) const noexcept {
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      if (group_[i] == world) return static_cast<Rank>(i);
+    }
+    return -1;
+  }
+
+  const std::vector<Rank>& group() const noexcept { return group_; }
+
+  int context(ContextClass c) const noexcept {
+    return context_base_ * 4 + static_cast<int>(c);
+  }
+  int context_base() const noexcept { return context_base_; }
+
+  bool operator==(const Comm& other) const = default;
+
+ private:
+  int context_base_ = 0;
+  std::vector<Rank> group_;
+  Rank my_rank_ = -1;
+};
+
+}  // namespace c3::simmpi

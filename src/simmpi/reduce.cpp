@@ -1,0 +1,85 @@
+#include "simmpi/reduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace c3::simmpi {
+namespace {
+
+template <typename T>
+void apply_typed(Op op, const std::byte* in_raw, std::byte* inout_raw,
+                 std::size_t count) {
+  const T* in = reinterpret_cast<const T*>(in_raw);
+  T* inout = reinterpret_cast<T*>(inout_raw);
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = in[i] + inout[i];
+      break;
+    case Op::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = in[i] * inout[i];
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(in[i], inout[i]);
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(in[i], inout[i]);
+      break;
+    case Op::kLand:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((in[i] != T{}) && (inout[i] != T{}));
+      break;
+    case Op::kLor:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((in[i] != T{}) || (inout[i] != T{}));
+      break;
+    default:
+      throw util::UsageError("bitwise op on non-integer type");
+  }
+}
+
+template <typename T>
+void apply_bitwise(Op op, const std::byte* in_raw, std::byte* inout_raw,
+                   std::size_t count) {
+  const T* in = reinterpret_cast<const T*>(in_raw);
+  T* inout = reinterpret_cast<T*>(inout_raw);
+  switch (op) {
+    case Op::kBand:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = in[i] & inout[i];
+      break;
+    case Op::kBor:
+      for (std::size_t i = 0; i < count; ++i) inout[i] = in[i] | inout[i];
+      break;
+    default:
+      apply_typed<T>(op, in_raw, inout_raw, count);
+  }
+}
+
+}  // namespace
+
+void apply_op(Op op, Datatype type, const std::byte* in, std::byte* inout,
+              std::size_t count) {
+  switch (type) {
+    case Datatype::kByte:
+      apply_bitwise<std::uint8_t>(op, in, inout, count);
+      break;
+    case Datatype::kInt32:
+      apply_bitwise<std::int32_t>(op, in, inout, count);
+      break;
+    case Datatype::kInt64:
+      apply_bitwise<std::int64_t>(op, in, inout, count);
+      break;
+    case Datatype::kUInt64:
+      apply_bitwise<std::uint64_t>(op, in, inout, count);
+      break;
+    case Datatype::kFloat:
+      apply_typed<float>(op, in, inout, count);
+      break;
+    case Datatype::kDouble:
+      apply_typed<double>(op, in, inout, count);
+      break;
+  }
+}
+
+}  // namespace c3::simmpi

@@ -1,0 +1,21 @@
+// Reduction kernels for built-in and user-defined operations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "simmpi/types.hpp"
+
+namespace c3::simmpi {
+
+/// User-defined elementwise reduction: combine `count` elements of `in`
+/// into `inout` (inout = in OP inout). Must be associative and commutative,
+/// as required of MPI_Op in the paper's target programs.
+using ReduceFn =
+    std::function<void(const std::byte* in, std::byte* inout, std::size_t count)>;
+
+/// Apply a built-in op elementwise: inout[i] = in[i] OP inout[i].
+void apply_op(Op op, Datatype type, const std::byte* in, std::byte* inout,
+              std::size_t count);
+
+}  // namespace c3::simmpi

@@ -1,0 +1,51 @@
+// Non-blocking communication requests.
+//
+// A Request is a shared handle to the state of one outstanding Isend or
+// Irecv, completed by the owning rank's progress engine. Requests are only
+// touched by their owning rank's thread (as in MPI, where a request may not
+// be waited on by a different process).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/types.hpp"
+
+namespace c3::simmpi {
+
+enum class RequestKind : std::uint8_t { kSend, kRecv };
+
+struct RequestState {
+  RequestKind kind = RequestKind::kSend;
+  bool complete = false;
+  bool cancelled = false;
+  // Recv-only fields:
+  std::span<std::byte> out;     ///< destination buffer
+  Comm comm;                    ///< communicator the receive was posted on
+  int context = 0;              ///< matching context id
+  Rank src_world = kAnySource;  ///< matching source as a world rank (or any)
+  Tag tag = kAnyTag;            ///< matching tag
+  std::uint64_t post_order = 0; ///< order the receive was posted in
+  Status status;                ///< filled on completion (comm-local source)
+};
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<RequestState> st) : st_(std::move(st)) {}
+
+  bool valid() const noexcept { return st_ != nullptr; }
+  bool complete() const noexcept { return st_ && st_->complete; }
+  const Status& status() const {
+    require(st_ && st_->complete, "status of incomplete request");
+    return st_->status;
+  }
+  RequestState* state() const noexcept { return st_.get(); }
+
+ private:
+  std::shared_ptr<RequestState> st_;
+};
+
+}  // namespace c3::simmpi

@@ -1,0 +1,69 @@
+#include "simmpi/runtime.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "simmpi/api.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace c3::simmpi {
+
+Runtime::Runtime(int nranks, NetConfig cfg) : nranks_(nranks), cfg_(cfg) {
+  if (nranks <= 0) throw util::UsageError("Runtime needs at least one rank");
+}
+
+Runtime::~Runtime() = default;
+
+net::Fabric& Runtime::fabric() {
+  if (!fabric_) throw util::UsageError("fabric() outside of run()");
+  return *fabric_;
+}
+
+void Runtime::run(const std::function<void(Api&)>& rank_main) {
+  // A fresh fabric per job execution: clean queues, cleared abort flag.
+  std::unique_ptr<net::DeliveryPolicy> policy;
+  if (cfg_.order == NetConfig::Order::kRandomReorder) {
+    policy = std::make_unique<net::RandomReorderDelivery>(cfg_.seed, cfg_.p_hold,
+                                                          cfg_.max_hold);
+  } else {
+    policy = std::make_unique<net::FifoDelivery>();
+  }
+  fabric_ = std::make_unique<net::Fabric>(nranks_, *policy);
+  first_error_ = nullptr;
+  failure_ = nullptr;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &rank_main] {
+      try {
+        Api api(*this, r);
+        rank_main(api);
+      } catch (const util::StoppingFailure&) {
+        // The victim "hangs": it stops participating. The failure detector
+        // (modelled by the fabric abort flag) tears the job down so the
+        // runner can roll back to the last committed checkpoint.
+        {
+          std::lock_guard lock(err_mu_);
+          if (!failure_) failure_ = std::current_exception();
+        }
+        fabric_->abort();
+      } catch (const util::JobAborted&) {
+        // Normal unwind of a surviving rank during teardown.
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        fabric_->abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (failure_) std::rethrow_exception(failure_);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace c3::simmpi

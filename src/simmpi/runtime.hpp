@@ -1,0 +1,60 @@
+// The simmpi job runtime: spawns one thread per rank over a fresh fabric.
+//
+// run() may be called repeatedly on the same Runtime; each call builds a new
+// fabric (clean queues, cleared abort flag). This is how the C3 job runner
+// implements rollback: when a stopping failure fires, run() unwinds with
+// StoppingFailure and the caller invokes run() again with the ranks' main
+// functions in recovery mode.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+#include "simmpi/types.hpp"
+
+namespace c3::simmpi {
+
+class Api;
+
+/// Network behaviour knobs.
+struct NetConfig {
+  enum class Order { kFifo, kRandomReorder };
+  Order order = Order::kFifo;
+  std::uint64_t seed = 1;
+  double p_hold = 0.5;       ///< reorder: probability a stream head is held
+  std::uint32_t max_hold = 8;  ///< reorder: max inbox events to hold for
+};
+
+class Runtime {
+ public:
+  explicit Runtime(int nranks, NetConfig cfg = {});
+  ~Runtime();
+
+  int size() const noexcept { return nranks_; }
+
+  /// Execute one parallel job: every rank runs `rank_main`. Blocks until
+  /// all ranks return or the job aborts. Throws StoppingFailure if a fault
+  /// was injected, or rethrows the first rank error otherwise.
+  void run(const std::function<void(Api&)>& rank_main);
+
+  /// Valid only during run() (used by Api).
+  net::Fabric& fabric();
+
+  /// Allocate a globally fresh communicator context base.
+  int fresh_context() { return next_context_.fetch_add(1); }
+
+ private:
+  int nranks_;
+  NetConfig cfg_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::atomic<int> next_context_{1};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace c3::simmpi

@@ -1,0 +1,82 @@
+// Core types of the simulated MPI ("simmpi") runtime.
+//
+// simmpi reproduces the slice of MPI-1 the paper's system sits on: blocking
+// and non-blocking point-to-point with tag matching and wildcards, the
+// standard collectives, communicator management, reduction operations, and
+// opaque-object handles. It executes N ranks as threads in one process over
+// the reliable c3::net fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace c3::simmpi {
+
+using Rank = int;
+using Tag = int;
+
+/// Wildcards (match MPI's semantics).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -2;
+
+/// Tags must be non-negative and below this bound (the protocol layer and
+/// collectives use private context ids, not reserved tags, so the full app
+/// tag space is available).
+inline constexpr Tag kMaxTag = (1 << 24) - 1;
+
+/// Outcome of a completed receive.
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  std::size_t size = 0;  ///< payload bytes actually received
+};
+
+/// Element type for reductions and typed convenience wrappers.
+enum class Datatype : std::uint8_t {
+  kByte,
+  kInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element of `t`.
+constexpr std::size_t datatype_size(Datatype t) {
+  switch (t) {
+    case Datatype::kByte: return 1;
+    case Datatype::kInt32: return 4;
+    case Datatype::kInt64: return 8;
+    case Datatype::kUInt64: return 8;
+    case Datatype::kFloat: return 4;
+    case Datatype::kDouble: return 8;
+  }
+  return 0;
+}
+
+/// Built-in reduction operations (user-defined ops are registered through
+/// Api::op_create and addressed by OpHandle).
+enum class Op : std::uint8_t {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kLand,
+  kLor,
+  kBand,
+  kBor,
+};
+
+/// Handle to a user-defined reduction (see Api::op_create).
+struct OpHandle {
+  std::int32_t id = -1;
+  bool valid() const noexcept { return id >= 0; }
+};
+
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw util::UsageError(what);
+}
+
+}  // namespace c3::simmpi

@@ -1,0 +1,98 @@
+// Versioned, checksummed container format for a rank's local checkpoint.
+//
+// A checkpoint is a set of named sections (position stack, stack variables,
+// globals, heap image, protocol state, MPI call records...). Each section
+// carries a CRC-32 so a torn or corrupted blob is detected at restore time
+// rather than silently resuming from garbage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/archive.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace c3::statesave {
+
+class CheckpointBuilder {
+ public:
+  void add_section(const std::string& name, util::Bytes data) {
+    if (sections_.count(name) != 0) {
+      throw util::UsageError("duplicate checkpoint section '" + name + "'");
+    }
+    sections_[name] = std::move(data);
+  }
+
+  bool has_section(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+
+  /// Serialize all sections into one blob.
+  util::Bytes finish() const {
+    util::Writer w;
+    w.put<std::uint32_t>(kMagic);
+    w.put<std::uint32_t>(kVersion);
+    w.put<std::uint64_t>(sections_.size());
+    for (const auto& [name, data] : sections_) {
+      w.put_string(name);
+      w.put<std::uint32_t>(util::crc32(data));
+      w.put_bytes(data);
+    }
+    return w.take();
+  }
+
+  static constexpr std::uint32_t kMagic = 0xC3C4'0001u;
+  static constexpr std::uint32_t kVersion = 1;
+
+ private:
+  std::map<std::string, util::Bytes> sections_;
+};
+
+class CheckpointView {
+ public:
+  /// Parse and validate a checkpoint blob (CRC of every section checked).
+  explicit CheckpointView(std::span<const std::byte> blob) {
+    util::Reader r(blob);
+    if (r.get<std::uint32_t>() != CheckpointBuilder::kMagic) {
+      throw util::CorruptionError("checkpoint: bad magic");
+    }
+    if (r.get<std::uint32_t>() != CheckpointBuilder::kVersion) {
+      throw util::CorruptionError("checkpoint: unsupported version");
+    }
+    const auto count = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto name = r.get_string();
+      const auto crc = r.get<std::uint32_t>();
+      auto data = r.get_bytes();
+      if (util::crc32(data) != crc) {
+        throw util::CorruptionError("checkpoint section '" + name +
+                                    "' failed CRC validation");
+      }
+      sections_[name] = std::move(data);
+    }
+  }
+
+  std::optional<util::Bytes> section(const std::string& name) const {
+    auto it = sections_.find(name);
+    if (it == sections_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Like section() but required: throws CorruptionError if missing.
+  util::Bytes require_section(const std::string& name) const {
+    auto s = section(name);
+    if (!s) {
+      throw util::CorruptionError("checkpoint missing section '" + name + "'");
+    }
+    return *s;
+  }
+
+  std::size_t section_count() const noexcept { return sections_.size(); }
+
+ private:
+  std::map<std::string, util::Bytes> sections_;
+};
+
+}  // namespace c3::statesave

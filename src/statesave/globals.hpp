@@ -1,0 +1,88 @@
+// Global variable registry -- paper Section 5.1.2 ("A similar mechanism can
+// be used to handle global variables").
+//
+// The precompiler discovers every global in the program (it sees all source
+// files at once) and emits one registration per global at startup. Entries
+// are keyed by name so a checkpoint written by one run can be validated
+// against the registrations of the restarted run.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace c3::statesave {
+
+class GlobalRegistry {
+ public:
+  void register_global(std::string name, void* addr, std::size_t size) {
+    for (const auto& g : globals_) {
+      if (g.name == name) {
+        throw util::UsageError("global '" + name + "' registered twice");
+      }
+    }
+    globals_.push_back({std::move(name), addr, size});
+  }
+
+  template <typename T>
+  void register_global(std::string name, T& var) {
+    register_global(std::move(name), &var, sizeof(T));
+  }
+
+  std::size_t count() const noexcept { return globals_.size(); }
+
+  std::size_t payload_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& g : globals_) n += g.size;
+    return n;
+  }
+
+  void save_values(util::Writer& w) const {
+    w.put<std::uint64_t>(globals_.size());
+    for (const auto& g : globals_) {
+      w.put_string(g.name);
+      w.put_bytes({static_cast<const std::byte*>(g.addr), g.size});
+    }
+  }
+
+  void restore_values(util::Reader& r) const {
+    const auto count = r.get<std::uint64_t>();
+    if (count != globals_.size()) {
+      throw util::CorruptionError("global registry count mismatch");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto name = r.get_string();
+      const auto bytes = r.get_bytes();
+      const Entry* entry = find(name);
+      if (entry == nullptr) {
+        throw util::CorruptionError("checkpoint has unknown global '" + name +
+                                    "'");
+      }
+      if (bytes.size() != entry->size) {
+        throw util::CorruptionError("global '" + name + "' size mismatch");
+      }
+      std::memcpy(entry->addr, bytes.data(), bytes.size());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    void* addr;
+    std::size_t size;
+  };
+
+  const Entry* find(const std::string& name) const {
+    for (const auto& g : globals_) {
+      if (g.name == name) return &g;
+    }
+    return nullptr;
+  }
+
+  std::vector<Entry> globals_;
+};
+
+}  // namespace c3::statesave

@@ -1,0 +1,124 @@
+#include "statesave/heap.hpp"
+
+#include <cstring>
+#include <new>
+
+namespace c3::statesave {
+
+namespace {
+constexpr std::uint32_t kHeapMagic = 0xC3000405u;  // "C3", HOS section
+}  // namespace
+
+HeapArena::HeapArena(std::size_t capacity)
+    : capacity_(capacity), region_(new std::byte[capacity]) {
+  if (capacity_ < kAlign) {
+    throw util::UsageError("HeapArena capacity too small");
+  }
+  free_[0] = capacity_;
+}
+
+void* HeapArena::alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  const std::size_t need = (size + kAlign - 1) / kAlign * kAlign;
+  // First fit over the coalesced free list.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const auto [off, len] = *it;
+    if (len < need) continue;
+    free_.erase(it);
+    if (len > need) free_[off + need] = len - need;
+    live_[off] = need;
+    in_use_ += need;
+    return region_.get() + off;
+  }
+  throw std::bad_alloc();
+}
+
+void HeapArena::free(void* p) {
+  if (!contains(p)) {
+    throw util::UsageError("HeapArena::free of pointer outside arena");
+  }
+  const auto off =
+      static_cast<std::size_t>(static_cast<std::byte*>(p) - region_.get());
+  auto it = live_.find(off);
+  if (it == live_.end()) {
+    throw util::UsageError("HeapArena::free of unallocated pointer");
+  }
+  std::size_t len = it->second;
+  live_.erase(it);
+  in_use_ -= len;
+  // Insert into the free list, coalescing with neighbours.
+  std::size_t start = off;
+  auto next = free_.lower_bound(start);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  if (next != free_.end() && start + len == next->first) {
+    len += next->second;
+    free_.erase(next);
+  }
+  free_[start] = len;
+}
+
+bool HeapArena::contains(const void* p) const noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= region_.get() && b < region_.get() + capacity_;
+}
+
+void HeapArena::save(util::Writer& w) const {
+  w.put<std::uint32_t>(kHeapMagic);
+  w.put<std::uint64_t>(capacity_);
+  w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(region_.get()));
+  w.put<std::uint64_t>(live_.size());
+  for (const auto& [off, len] : live_) {
+    w.put<std::uint64_t>(off);
+    w.put<std::uint64_t>(len);
+    w.put_raw({region_.get() + off, len});
+  }
+}
+
+void HeapArena::load(util::Reader& r) {
+  if (r.get<std::uint32_t>() != kHeapMagic) {
+    throw util::CorruptionError("heap checkpoint: bad magic");
+  }
+  const auto cap = r.get<std::uint64_t>();
+  if (cap != capacity_) {
+    throw util::CorruptionError("heap checkpoint: capacity mismatch");
+  }
+  const auto saved_base = r.get<std::uint64_t>();
+  if (saved_base != reinterpret_cast<std::uintptr_t>(region_.get())) {
+    // In-process recovery reuses the same arena, so this indicates the
+    // caller attached a different arena; raw data pointers inside objects
+    // would dangle. (A real restart would MAP_FIXED the saved base.)
+    throw util::CorruptionError(
+        "heap checkpoint: arena base moved; pointer fidelity lost");
+  }
+  live_.clear();
+  free_.clear();
+  in_use_ = 0;
+  const auto count = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto off = r.get<std::uint64_t>();
+    const auto len = r.get<std::uint64_t>();
+    if (off + len > capacity_) {
+      throw util::CorruptionError("heap checkpoint: object out of bounds");
+    }
+    const auto bytes = r.get_raw(len);
+    std::memcpy(region_.get() + off, bytes.data(), len);
+    live_[off] = len;
+    in_use_ += len;
+  }
+  // Free space is the complement of the live set.
+  std::size_t cursor = 0;
+  for (const auto& [off, len] : live_) {
+    if (off > cursor) free_[cursor] = off - cursor;
+    cursor = off + len;
+  }
+  if (cursor < capacity_) free_[cursor] = capacity_ - cursor;
+}
+
+}  // namespace c3::statesave

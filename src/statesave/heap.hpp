@@ -1,0 +1,79 @@
+// Checkpointable heap manager with the Heap Object Structure (HOS) --
+// paper Section 5.1.3.
+//
+// The precompiler redirects the application's malloc/free to this arena.
+// The HOS records the starting offset and length of every live object; at
+// checkpoint time the live objects (and the HOS itself) are written out,
+// and on restart the objects are recreated at the *same virtual addresses*,
+// so data pointers into the heap are saved as ordinary bytes and remain
+// valid after recovery (Section 5.1.4 -- the deliberate anti-PORCH choice).
+//
+// Address fidelity: the arena requests one contiguous region up front and
+// the recovered process re-attaches to a region at the same base. In this
+// in-process simulation the arena object simply outlives the simulated
+// restart; a real cross-process restart would mmap(MAP_FIXED) the recorded
+// base, which restore() validates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace c3::statesave {
+
+class HeapArena {
+ public:
+  /// Reserve a contiguous region of `capacity` bytes.
+  explicit HeapArena(std::size_t capacity);
+
+  HeapArena(const HeapArena&) = delete;
+  HeapArena& operator=(const HeapArena&) = delete;
+
+  /// Allocate `size` bytes (16-byte aligned). Throws std::bad_alloc when
+  /// the arena is exhausted.
+  void* alloc(std::size_t size);
+
+  /// Typed convenience: allocate and value-initialize an array of T.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    void* p = alloc(count * sizeof(T));
+    return new (p) T[count]();
+  }
+
+  /// Release a pointer previously returned by alloc().
+  void free(void* p);
+
+  /// True if `p` points into the arena region.
+  bool contains(const void* p) const noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t bytes_in_use() const noexcept { return in_use_; }
+  std::size_t live_objects() const noexcept { return live_.size(); }
+  void* base() noexcept { return region_.get(); }
+  const void* base() const noexcept { return region_.get(); }
+
+  /// Serialize the HOS and every live object's bytes.
+  void save(util::Writer& w) const;
+
+  /// Recreate the saved heap image: every object reappears at its original
+  /// offset (hence original virtual address), and the allocator's free
+  /// space is recomputed as the complement of the live set.
+  void load(util::Reader& r);
+
+ private:
+  static constexpr std::size_t kAlign = 16;
+
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> region_;
+  /// HOS: live objects as offset -> length.
+  std::map<std::size_t, std::size_t> live_;
+  /// Free list as offset -> length (kept coalesced).
+  std::map<std::size_t, std::size_t> free_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace c3::statesave

@@ -1,0 +1,84 @@
+// Position Stack (PS) -- paper Section 5.1.1.
+//
+// Records a trace of the program's position in its dynamic execution: every
+// call site that can lead to a potentialCheckpoint, and the checkpoint
+// location itself, pushes a label. The PS is saved with the checkpoint; on
+// restart each instrumented function consumes one entry ("goto
+// PS.item(i++)") to jump to the call site it was in, rebuilding the
+// activation stack until execution resumes right after the
+// potentialCheckpoint that took the checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace c3::statesave {
+
+class PositionStack {
+ public:
+  /// Normal execution: record entering a labelled region (a call site or a
+  /// potentialCheckpoint location).
+  void push(std::int32_t label) {
+    require_not_restoring("push");
+    items_.push_back(label);
+  }
+
+  /// Normal execution: the labelled region completed.
+  void pop() {
+    require_not_restoring("pop");
+    if (items_.empty()) {
+      throw util::UsageError("PositionStack::pop on empty stack");
+    }
+    items_.pop_back();
+  }
+
+  /// Begin replaying the recorded position (after restoring from a
+  /// checkpoint). Subsequent restore_next() calls walk the trace outermost
+  /// frame first, exactly the order instrumented functions re-enter.
+  void begin_restore() {
+    cursor_ = 0;
+    restoring_ = !items_.empty();
+  }
+
+  bool restoring() const noexcept { return restoring_; }
+
+  /// Label the currently re-entered function should jump to. Consumes one
+  /// entry; restoration ends automatically when the innermost entry (the
+  /// potentialCheckpoint label) has been consumed.
+  std::int32_t restore_next() {
+    if (!restoring_) {
+      throw util::UsageError("PositionStack::restore_next outside restore");
+    }
+    const std::int32_t label = items_[cursor_++];
+    if (cursor_ == items_.size()) restoring_ = false;
+    return label;
+  }
+
+  std::size_t depth() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  const std::vector<std::int32_t>& items() const noexcept { return items_; }
+
+  void save(util::Writer& w) const { w.put_vector(items_); }
+  void load(util::Reader& r) {
+    items_ = r.get_vector<std::int32_t>();
+    cursor_ = 0;
+    restoring_ = false;
+  }
+
+ private:
+  void require_not_restoring(const char* op) const {
+    if (restoring_) {
+      throw util::UsageError(std::string("PositionStack::") + op +
+                             " while restoring");
+    }
+  }
+
+  std::vector<std::int32_t> items_;
+  std::size_t cursor_ = 0;
+  bool restoring_ = false;
+};
+
+}  // namespace c3::statesave

@@ -1,0 +1,112 @@
+// Per-rank state-saving context: the object the precompiler-emitted code
+// (and hand-instrumented applications) manipulate. Bundles the Position
+// Stack, Variable Descriptor Stack, global registry and heap arena, and
+// produces / consumes the "appstate" sections of a local checkpoint.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "statesave/checkpoint.hpp"
+#include "statesave/globals.hpp"
+#include "statesave/heap.hpp"
+#include "statesave/position_stack.hpp"
+#include "statesave/vds.hpp"
+
+namespace c3::statesave {
+
+class SaveContext {
+ public:
+  /// @param heap_capacity size of the checkpointable heap arena (0 = no heap)
+  explicit SaveContext(std::size_t heap_capacity = 0) {
+    if (heap_capacity > 0) heap_ = std::make_unique<HeapArena>(heap_capacity);
+  }
+
+  PositionStack& ps() noexcept { return ps_; }
+  VariableDescriptorStack& vds() noexcept { return vds_; }
+  GlobalRegistry& globals() noexcept { return globals_; }
+  HeapArena& heap() {
+    if (!heap_) throw util::UsageError("SaveContext has no heap arena");
+    return *heap_;
+  }
+  bool has_heap() const noexcept { return heap_ != nullptr; }
+
+  /// Total application-state bytes a checkpoint would contain right now.
+  std::size_t state_bytes() const noexcept {
+    std::size_t n = vds_.payload_bytes() + globals_.payload_bytes();
+    if (heap_) n += heap_->bytes_in_use();
+    return n;
+  }
+
+  /// Capture PS + VDS values + globals + heap into checkpoint sections.
+  void capture(CheckpointBuilder& builder) const {
+    {
+      util::Writer w;
+      ps_.save(w);
+      builder.add_section("ps", w.take());
+    }
+    {
+      util::Writer w;
+      vds_.save_values(w);
+      builder.add_section("vds", w.take());
+    }
+    {
+      util::Writer w;
+      globals_.save_values(w);
+      builder.add_section("globals", w.take());
+    }
+    if (heap_) {
+      util::Writer w;
+      heap_->save(w);
+      builder.add_section("heap", w.take());
+    }
+  }
+
+  /// Phase 1 of restore, before re-entering the program: reload the PS (and
+  /// arm it for replay), the globals, and the heap image. Stack variable
+  /// values are held until the activation stack has been rebuilt. Any VDS
+  /// entries left over from the failed execution are dropped -- a restarted
+  /// process begins with an empty stack.
+  void begin_restore(const CheckpointView& view) {
+    vds_.clear();
+    {
+      auto blob = view.require_section("ps");
+      util::Reader r(blob);
+      ps_.load(r);
+    }
+    {
+      auto blob = view.require_section("globals");
+      util::Reader r(blob);
+      globals_.restore_values(r);
+    }
+    if (heap_) {
+      auto blob = view.require_section("heap");
+      util::Reader r(blob);
+      heap_->load(r);
+    }
+    pending_vds_ = view.require_section("vds");
+    ps_.begin_restore();
+  }
+
+  /// Phase 2 of restore, called at the re-reached potentialCheckpoint once
+  /// every frame has re-pushed its descriptors: copy saved values back.
+  void finish_restore() {
+    if (!pending_vds_) {
+      throw util::UsageError("finish_restore without begin_restore");
+    }
+    util::Reader r(*pending_vds_);
+    vds_.restore_values(r);
+    pending_vds_.reset();
+  }
+
+  bool restore_pending() const noexcept { return pending_vds_.has_value(); }
+
+ private:
+  PositionStack ps_;
+  VariableDescriptorStack vds_;
+  GlobalRegistry globals_;
+  std::unique_ptr<HeapArena> heap_;
+  std::optional<util::Bytes> pending_vds_;
+};
+
+}  // namespace c3::statesave

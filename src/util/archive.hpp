@@ -1,0 +1,146 @@
+// Binary serialization used for checkpoints, message logs, piggyback
+// headers and control messages.
+//
+// `Writer` appends little-endian primitives / strings / vectors to a byte
+// buffer; `Reader` consumes them, throwing CorruptionError on underflow so a
+// truncated checkpoint never silently yields garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace c3::util {
+
+using Bytes = std::vector<std::byte>;
+
+/// Append-only binary encoder.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Write a trivially-copyable scalar (integers, floats, enums, bool).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Write a length-prefixed string.
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Write a length-prefixed raw byte span.
+  void put_bytes(std::span<const std::byte> b) {
+    put<std::uint64_t>(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Write a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  /// Append raw bytes with no length prefix (caller knows the framing).
+  void put_raw(std::span<const std::byte> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const Bytes& bytes() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consuming binary decoder over a borrowed byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    auto n = get<std::uint64_t>();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes get_bytes() {
+    auto n = get<std::uint64_t>();
+    need(n);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    auto n = get<std::uint64_t>();
+    need(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  /// Read `n` raw bytes with no length prefix.
+  Bytes get_raw(std::size_t n) {
+    need(n);
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool empty() const noexcept { return remaining() == 0; }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw CorruptionError("archive underflow: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: view any trivially-copyable value as bytes.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const std::byte> as_bytes(const T& v) {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+}  // namespace c3::util

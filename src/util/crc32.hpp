@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial) used to validate checkpoint sections and
+// message logs on read-back. Table-driven, no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace c3::util {
+
+/// Compute the CRC-32 of `data`, continuing from `seed` (pass the previous
+/// result to checksum data in chunks; start with the default seed).
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace c3::util

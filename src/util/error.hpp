@@ -1,0 +1,52 @@
+// Error types shared across the C3 reproduction.
+//
+// The library distinguishes three failure categories:
+//  - UsageError:    the caller violated an API contract (a bug in the
+//                   application or test, not in the runtime).
+//  - CorruptionError: a checkpoint or log failed validation on read.
+//  - JobAborted:    cooperative teardown after an injected stopping failure;
+//                   rank threads unwind with this exception so the job runner
+//                   can roll the computation back to the last committed
+//                   global checkpoint.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace c3::util {
+
+/// API misuse by the caller (wrong rank, negative tag, mismatched sizes...).
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// A checkpoint, log, or piggyback record failed validation on read.
+class CorruptionError : public std::runtime_error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown inside rank threads when the job is being torn down after an
+/// injected stopping failure. Caught by the runtime's thread trampoline.
+class JobAborted : public std::runtime_error {
+ public:
+  JobAborted() : std::runtime_error("job aborted") {}
+  explicit JobAborted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the failure injector at the victim's trigger point.
+class StoppingFailure : public std::runtime_error {
+ public:
+  explicit StoppingFailure(int rank)
+      : std::runtime_error("stopping failure injected at rank " +
+                           std::to_string(rank)),
+        rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+}  // namespace c3::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace c3::util {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mu;
+const char* name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_mu);
+  std::fprintf(stderr, "[c3 %s] %s\n", name(level), msg.c_str());
+}
+
+}  // namespace c3::util

@@ -1,0 +1,44 @@
+// Minimal leveled diagnostic logging (not the protocol's message log --
+// that lives in core/logrec.hpp). Disabled below the configured level with
+// near-zero cost; output is line-atomic across rank threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace c3::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level; default kWarn so tests stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe). Prefer the C3_LOG macro below.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace c3::util
+
+/// Usage: C3_LOG(kDebug) << "rank " << r << " took checkpoint " << e;
+#define C3_LOG(level)                                            \
+  if (::c3::util::LogLevel::level < ::c3::util::log_level()) {   \
+  } else                                                         \
+    ::c3::util::detail::LineBuilder(::c3::util::LogLevel::level)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every rank derives its generator from (job seed, rank), so a failure-free
+// run and a run that recovers from a checkpoint see the same stream --
+// *provided* the protocol layer replays logged non-deterministic draws (the
+// paper's "non-deterministic event" log). The generator is splitmix64-seeded
+// xoshiro256**, chosen for statistical quality with trivial state
+// serialization (4 u64 words, saved inside checkpoints).
+#pragma once
+
+#include <cstdint>
+
+namespace c3::util {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with serializable state.
+class Rng {
+ public:
+  Rng() : Rng(0x9E3779B97F4A7C15ull) {}
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent stream, e.g. `Rng(seed).fork(rank)`.
+  Rng fork(std::uint64_t stream) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Bernoulli with probability p.
+  bool next_bool(double p);
+
+  struct State {
+    std::uint64_t s[4];
+  };
+  State state() const noexcept { return st_; }
+  void set_state(const State& s) noexcept { st_ = s; }
+
+ private:
+  State st_{};
+};
+
+}  // namespace c3::util

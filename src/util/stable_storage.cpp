@@ -1,0 +1,156 @@
+#include "util/stable_storage.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace c3::util {
+
+// ---------------------------------------------------------------- memory
+
+void MemoryStorage::put(const BlobKey& key, const Bytes& data) {
+  {
+    std::lock_guard lock(mu_);
+    written_ += data.size();
+    blobs_[key] = data;
+  }
+  // Bandwidth model: sleep outside the lock so ranks "write" in parallel,
+  // as they would to per-node local disks.
+  if (throttle_ > 0 && !data.empty()) {
+    const double secs =
+        static_cast<double>(data.size()) / static_cast<double>(throttle_);
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  }
+}
+
+std::optional<Bytes> MemoryStorage::get(const BlobKey& key) const {
+  std::lock_guard lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryStorage::commit(int epoch) {
+  std::lock_guard lock(mu_);
+  committed_ = epoch;
+}
+
+std::optional<int> MemoryStorage::committed_epoch() const {
+  std::lock_guard lock(mu_);
+  return committed_;
+}
+
+void MemoryStorage::drop_epoch(int epoch) {
+  std::lock_guard lock(mu_);
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    if (it->first.epoch == epoch) {
+      it = blobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t MemoryStorage::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [k, v] : blobs_) n += v.size();
+  return n;
+}
+
+std::uint64_t MemoryStorage::bytes_written() const {
+  std::lock_guard lock(mu_);
+  return written_;
+}
+
+// ------------------------------------------------------------------ disk
+
+DiskStorage::DiskStorage(std::filesystem::path root,
+                         std::uint64_t throttle_bytes_per_sec)
+    : root_(std::move(root)), throttle_(throttle_bytes_per_sec) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path DiskStorage::blob_path(const BlobKey& key) const {
+  return root_ / ("ep" + std::to_string(key.epoch)) /
+         ("rank" + std::to_string(key.rank)) / (key.section + ".blob");
+}
+
+void DiskStorage::put(const BlobKey& key, const Bytes& data) {
+  const auto path = blob_path(key);
+  {
+    std::lock_guard lock(mu_);
+    std::filesystem::create_directories(path.parent_path());
+    written_ += data.size();
+  }
+  // Write to a temp name then rename, so a torn write never looks valid.
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw CorruptionError("cannot open " + tmp + " for write");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) throw CorruptionError("short write to " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+  if (throttle_ > 0 && !data.empty()) {
+    const double secs = static_cast<double>(data.size()) /
+                        static_cast<double>(throttle_);
+    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  }
+}
+
+std::optional<Bytes> DiskStorage::get(const BlobKey& key) const {
+  const auto path = blob_path(key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw CorruptionError("short read from " + path.string());
+  return data;
+}
+
+void DiskStorage::commit(int epoch) {
+  const auto tmp = root_ / "COMMIT.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << epoch << "\n";
+  }
+  std::filesystem::rename(tmp, root_ / "COMMIT");
+}
+
+std::optional<int> DiskStorage::committed_epoch() const {
+  std::ifstream in(root_ / "COMMIT");
+  if (!in) return std::nullopt;
+  int epoch = -1;
+  in >> epoch;
+  if (!in) return std::nullopt;
+  return epoch;
+}
+
+void DiskStorage::drop_epoch(int epoch) {
+  std::error_code ec;
+  std::filesystem::remove_all(root_ / ("ep" + std::to_string(epoch)), ec);
+}
+
+std::uint64_t DiskStorage::total_bytes() const {
+  std::uint64_t n = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(root_, ec);
+       it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file(ec)) n += it->file_size(ec);
+  }
+  return n;
+}
+
+std::uint64_t DiskStorage::bytes_written() const {
+  std::lock_guard lock(mu_);
+  return written_;
+}
+
+}  // namespace c3::util

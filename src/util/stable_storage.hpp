@@ -1,0 +1,121 @@
+// Stable storage abstraction for checkpoints and message logs.
+//
+// The protocol writes, per rank and per epoch, named blobs: "state" (the
+// local checkpoint: application state, early-message IDs, pending-request
+// table, MPI call records, protocol counters) and "log" (the late-message /
+// non-determinism / collective-result event log, written at finalizeLog).
+// A global checkpoint becomes the recovery point only when the initiator
+// *commits* it -- mirroring the paper's "records on stable storage that the
+// checkpoint that was just created is the one to be used for recovery".
+//
+// Two backends:
+//   MemoryStorage -- lock-protected map; used by tests and most benchmarks.
+//   DiskStorage   -- one file per blob under a root directory, with an
+//                    atomically renamed COMMIT marker; optional write
+//                    bandwidth throttle to model the paper's 40 MB/s local
+//                    disks.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/archive.hpp"
+
+namespace c3::util {
+
+/// Identifies one blob within a global checkpoint.
+struct BlobKey {
+  int epoch = 0;        ///< global checkpoint number the blob belongs to
+  int rank = 0;         ///< owning rank
+  std::string section;  ///< e.g. "state", "log", "early", "mpi-calls"
+
+  auto operator<=>(const BlobKey&) const = default;
+};
+
+/// Interface shared by all storage backends. Thread-safe.
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  /// Durably store `data` under `key`, replacing any previous blob.
+  virtual void put(const BlobKey& key, const Bytes& data) = 0;
+
+  /// Retrieve a blob; nullopt if absent.
+  virtual std::optional<Bytes> get(const BlobKey& key) const = 0;
+
+  /// Mark `epoch` as the committed recovery point (atomic).
+  virtual void commit(int epoch) = 0;
+
+  /// The last committed epoch, or nullopt if no checkpoint committed yet.
+  virtual std::optional<int> committed_epoch() const = 0;
+
+  /// Drop all blobs belonging to `epoch` (e.g. superseded checkpoints).
+  virtual void drop_epoch(int epoch) = 0;
+
+  /// Total bytes currently stored (for tests / size accounting).
+  virtual std::uint64_t total_bytes() const = 0;
+
+  /// Bytes written over the lifetime of this object (monotonic; includes
+  /// overwritten blobs). Used by benchmarks to report checkpoint volume.
+  virtual std::uint64_t bytes_written() const = 0;
+};
+
+/// In-memory backend. An optional write-bandwidth throttle models the
+/// paper's 40 MB/s local checkpoint disks without performing real I/O
+/// (each put() sleeps for size/bandwidth).
+class MemoryStorage final : public StableStorage {
+ public:
+  MemoryStorage() = default;
+  explicit MemoryStorage(std::uint64_t throttle_bytes_per_sec)
+      : throttle_(throttle_bytes_per_sec) {}
+
+  void put(const BlobKey& key, const Bytes& data) override;
+  std::optional<Bytes> get(const BlobKey& key) const override;
+  void commit(int epoch) override;
+  std::optional<int> committed_epoch() const override;
+  void drop_epoch(int epoch) override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t bytes_written() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<BlobKey, Bytes> blobs_;
+  std::optional<int> committed_;
+  std::uint64_t written_ = 0;
+  std::uint64_t throttle_ = 0;
+};
+
+/// Directory-backed backend. Layout:
+///   root/ep<epoch>/rank<rank>/<section>.blob
+///   root/COMMIT            (contains the committed epoch number)
+class DiskStorage final : public StableStorage {
+ public:
+  /// @param throttle_bytes_per_sec 0 = unthrottled; otherwise each put()
+  ///        sleeps to emulate the given write bandwidth.
+  explicit DiskStorage(std::filesystem::path root,
+                       std::uint64_t throttle_bytes_per_sec = 0);
+
+  void put(const BlobKey& key, const Bytes& data) override;
+  std::optional<Bytes> get(const BlobKey& key) const override;
+  void commit(int epoch) override;
+  std::optional<int> committed_epoch() const override;
+  void drop_epoch(int epoch) override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t bytes_written() const override;
+
+ private:
+  std::filesystem::path blob_path(const BlobKey& key) const;
+
+  std::filesystem::path root_;
+  std::uint64_t throttle_;
+  mutable std::mutex mu_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace c3::util

@@ -1,0 +1,252 @@
+// The three paper applications: numerical sanity, determinism across
+// instrumentation levels (the protocol must never change results), and
+// exact recovery from injected failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "apps/cg.hpp"
+#include "apps/laplace.hpp"
+#include "apps/neurosys.hpp"
+#include "core/job.hpp"
+
+namespace c3::apps {
+namespace {
+
+using core::InstrumentLevel;
+using core::Job;
+using core::JobConfig;
+using core::Process;
+
+template <typename Result>
+struct Collected {
+  std::mutex mu;
+  Result root;  ///< rank 0's result
+  void put(int rank, const Result& r) {
+    std::lock_guard lock(mu);
+    if (rank == 0) root = r;
+  }
+};
+
+// ------------------------------------------------------------------- CG
+
+CgResult run_cg_job(int ranks, std::size_t n, int iters, InstrumentLevel level,
+                    std::optional<net::FailureSpec> failure = std::nullopt) {
+  auto collected = std::make_shared<Collected<CgResult>>();
+  JobConfig cfg;
+  cfg.ranks = ranks;
+  cfg.level = level;
+  cfg.policy = core::CheckpointPolicy::every(3);
+  cfg.failure = failure;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    CgConfig app;
+    app.n = n;
+    app.iterations = iters;
+    app.checkpoints = (level == InstrumentLevel::kFull ||
+                       level == InstrumentLevel::kNoAppState);
+    collected->put(p.rank(), run_cg(p, app));
+  });
+  return collected->root;
+}
+
+TEST(CgApp, ConvergesOnSpdSystem) {
+  const auto r = run_cg_job(4, 64, 40, InstrumentLevel::kRaw);
+  EXPECT_LT(r.residual, 1e-8) << "CG failed to converge on an SPD matrix";
+  EXPECT_EQ(r.iterations_done, 40);
+  EXPECT_TRUE(std::isfinite(r.checksum));
+}
+
+TEST(CgApp, ResultIndependentOfRankCount) {
+  const auto r2 = run_cg_job(2, 48, 30, InstrumentLevel::kRaw);
+  const auto r4 = run_cg_job(4, 48, 30, InstrumentLevel::kRaw);
+  // Identical allgather/allreduce arithmetic order is not guaranteed across
+  // layouts; require agreement to tight tolerance.
+  EXPECT_NEAR(r2.checksum, r4.checksum, 1e-9 * std::abs(r2.checksum) + 1e-12);
+}
+
+TEST(CgApp, ProtocolLevelsPreserveResult) {
+  const auto raw = run_cg_job(3, 45, 25, InstrumentLevel::kRaw);
+  const auto pb = run_cg_job(3, 45, 25, InstrumentLevel::kPiggybackOnly);
+  const auto full = run_cg_job(3, 45, 25, InstrumentLevel::kFull);
+  EXPECT_EQ(raw.checksum, pb.checksum)
+      << "piggybacking must be invisible to the application";
+  EXPECT_EQ(raw.checksum, full.checksum)
+      << "checkpointing must be invisible to the application";
+}
+
+TEST(CgApp, RecoversExactlyFromFailure) {
+  const auto clean = run_cg_job(3, 36, 24, InstrumentLevel::kFull);
+  const auto recovered =
+      run_cg_job(3, 36, 24, InstrumentLevel::kFull,
+                 net::FailureSpec{.victim_rank = 1, .trigger_events = 60});
+  EXPECT_EQ(clean.checksum, recovered.checksum);
+  EXPECT_EQ(clean.residual, recovered.residual);
+}
+
+TEST(CgApp, RaggedBlockRowsWork) {
+  // 50 rows over 4 ranks: 13/13/12/12 -- exercises the non-divisible path.
+  const auto r = run_cg_job(4, 50, 30, InstrumentLevel::kFull);
+  EXPECT_LT(r.residual, 1e-6);
+}
+
+// -------------------------------------------------------------- Laplace
+
+LaplaceResult run_laplace_job(int ranks, std::size_t n, int iters,
+                              InstrumentLevel level,
+                              std::optional<net::FailureSpec> failure =
+                                  std::nullopt) {
+  auto collected = std::make_shared<Collected<LaplaceResult>>();
+  JobConfig cfg;
+  cfg.ranks = ranks;
+  cfg.level = level;
+  cfg.policy = core::CheckpointPolicy::every(5);
+  cfg.failure = failure;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    LaplaceConfig app;
+    app.n = n;
+    app.iterations = iters;
+    app.checkpoints = (level == InstrumentLevel::kFull ||
+                       level == InstrumentLevel::kNoAppState);
+    collected->put(p.rank(), run_laplace(p, app));
+  });
+  return collected->root;
+}
+
+TEST(LaplaceApp, HeatSpreadsFromTopEdge) {
+  const auto r = run_laplace_job(4, 32, 200, InstrumentLevel::kRaw);
+  // The interior warms up: checksum strictly between 0 and the edge total.
+  EXPECT_GT(r.checksum, 100.0 * 32);  // more than just the heated edge
+  EXPECT_LT(r.checksum, 100.0 * 32 * 32);
+  // Jacobi contraction: later deltas must be small.
+  EXPECT_LT(r.max_delta, 1.0);
+}
+
+TEST(LaplaceApp, ResultIndependentOfRankCount) {
+  const auto r1 = run_laplace_job(1, 24, 80, InstrumentLevel::kRaw);
+  const auto r3 = run_laplace_job(3, 24, 80, InstrumentLevel::kRaw);
+  // The stencil arithmetic is identical; only the final checksum allreduce
+  // groups partial sums differently (floating-point non-associativity).
+  EXPECT_NEAR(r1.checksum, r3.checksum,
+              1e-12 * std::abs(r1.checksum) + 1e-12);
+}
+
+TEST(LaplaceApp, ProtocolLevelsPreserveResult) {
+  const auto raw = run_laplace_job(4, 24, 60, InstrumentLevel::kRaw);
+  const auto full = run_laplace_job(4, 24, 60, InstrumentLevel::kFull);
+  EXPECT_EQ(raw.checksum, full.checksum);
+}
+
+TEST(LaplaceApp, RecoversExactlyFromFailure) {
+  const auto clean = run_laplace_job(4, 24, 50, InstrumentLevel::kFull);
+  for (std::uint64_t trigger : {30ull, 75ull, 140ull}) {
+    const auto recovered = run_laplace_job(
+        4, 24, 50, InstrumentLevel::kFull,
+        net::FailureSpec{.victim_rank = 2, .trigger_events = trigger});
+    EXPECT_EQ(clean.checksum, recovered.checksum) << "trigger " << trigger;
+  }
+}
+
+// ------------------------------------------------------------- Neurosys
+
+NeurosysResult run_neurosys_job(int ranks, std::size_t neurons, int iters,
+                                InstrumentLevel level,
+                                std::optional<net::FailureSpec> failure =
+                                    std::nullopt) {
+  auto collected = std::make_shared<Collected<NeurosysResult>>();
+  JobConfig cfg;
+  cfg.ranks = ranks;
+  cfg.level = level;
+  cfg.policy = core::CheckpointPolicy::every(4);
+  cfg.failure = failure;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    NeurosysConfig app;
+    app.neurons = neurons;
+    app.iterations = iters;
+    app.checkpoints = (level == InstrumentLevel::kFull ||
+                       level == InstrumentLevel::kNoAppState);
+    collected->put(p.rank(), run_neurosys(p, app));
+  });
+  return collected->root;
+}
+
+TEST(NeurosysApp, PotentialsStayBounded) {
+  const auto r = run_neurosys_job(4, 128, 60, InstrumentLevel::kRaw);
+  // tanh drive + leak keeps potentials in a modest range; the checksum of
+  // 128 neurons must reflect that.
+  EXPECT_LT(std::abs(r.checksum), 128.0 * 3.0);
+  EXPECT_TRUE(std::isfinite(r.root_probe));
+}
+
+TEST(NeurosysApp, ResultIndependentOfRankCount) {
+  const auto r2 = run_neurosys_job(2, 96, 40, InstrumentLevel::kRaw);
+  const auto r3 = run_neurosys_job(3, 96, 40, InstrumentLevel::kRaw);
+  EXPECT_NEAR(r2.checksum, r3.checksum,
+              1e-9 * std::abs(r2.checksum) + 1e-12);
+}
+
+TEST(NeurosysApp, ProtocolLevelsPreserveResult) {
+  const auto raw = run_neurosys_job(4, 64, 30, InstrumentLevel::kRaw);
+  const auto pb = run_neurosys_job(4, 64, 30, InstrumentLevel::kPiggybackOnly);
+  const auto full = run_neurosys_job(4, 64, 30, InstrumentLevel::kFull);
+  EXPECT_EQ(raw.checksum, pb.checksum);
+  EXPECT_EQ(raw.checksum, full.checksum);
+}
+
+TEST(NeurosysApp, RecoversExactlyFromFailure) {
+  const auto clean = run_neurosys_job(3, 60, 24, InstrumentLevel::kFull);
+  for (std::uint64_t trigger : {40ull, 90ull}) {
+    const auto recovered = run_neurosys_job(
+        3, 60, 24, InstrumentLevel::kFull,
+        net::FailureSpec{.victim_rank = 0, .trigger_events = trigger});
+    EXPECT_EQ(clean.checksum, recovered.checksum) << "trigger " << trigger;
+    EXPECT_EQ(clean.root_probe, recovered.root_probe);
+  }
+}
+
+TEST(NeurosysApp, CollectiveHeavyProfile) {
+  // Per paper: 5 allgathers + 1 gather per iteration. Verify the traffic
+  // profile through process stats (on any rank; use root).
+  auto stats = std::make_shared<Collected<core::ProcessStats>>();
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.level = InstrumentLevel::kRaw;
+  Job job(cfg);
+  constexpr int kIters = 10;
+  job.run([&](Process& p) {
+    NeurosysConfig app;
+    app.neurons = 32;
+    app.iterations = kIters;
+    app.checkpoints = false;
+    run_neurosys(p, app);
+    stats->put(p.rank(), p.stats());
+  });
+  const auto collectives = stats->root.app_collectives;
+  // kRaw passthrough does not count in ProcessStats; use simmpi-level
+  // counting instead via a full-level run.
+  (void)collectives;
+  auto stats2 = std::make_shared<Collected<core::ProcessStats>>();
+  JobConfig cfg2;
+  cfg2.ranks = 2;
+  cfg2.level = InstrumentLevel::kPiggybackOnly;
+  Job job2(cfg2);
+  job2.run([&](Process& p) {
+    NeurosysConfig app;
+    app.neurons = 32;
+    app.iterations = kIters;
+    app.checkpoints = false;
+    run_neurosys(p, app);
+    stats2->put(p.rank(), p.stats());
+  });
+  // 5 allgathers + 1 gather per iteration, plus the final allreduce and
+  // the initial nothing: 6 per iter + 1.
+  EXPECT_EQ(stats2->root.app_collectives,
+            static_cast<std::uint64_t>(6 * kIters + 1));
+}
+
+}  // namespace
+}  // namespace c3::apps

@@ -1,0 +1,176 @@
+// End-to-end validation of the precompiler's output: the instrumented
+// source must be *real, compilable C*. Each case is transformed, prefixed
+// with the ccift runtime ABI declarations, and handed to the system C
+// compiler in syntax-check mode. (Jumping over declarations is legal in C
+// -- the variables are simply uninitialized until the VDS restore -- which
+// is exactly the paper's model; these tests compile as C, not C++.)
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "ccift/transform.hpp"
+
+namespace c3::ccift {
+namespace {
+
+const char* kAbiPrelude = R"(
+typedef unsigned long size_t;
+void ccift_ps_push(int label);
+void ccift_ps_pop(void);
+int ccift_restoring(void);
+int ccift_ps_next(void);
+void ccift_restore_error(void);
+void ccift_vds_push(void* addr, size_t size);
+void ccift_vds_pop(int count);
+void ccift_register_global(const char* name, void* addr, size_t size);
+void potentialCheckpoint(void);
+)";
+
+bool has_cc() {
+  static const int rc = std::system("cc --version > /dev/null 2>&1");
+  return rc == 0;
+}
+
+/// Transform `source` and run `cc -x c -fsyntax-only` on the result.
+::testing::AssertionResult compiles_as_c(const std::string& source) {
+  const std::string transformed = transform_source(source);
+  // PID-unique names: ctest runs each test case in its own process, in
+  // parallel, so a per-process counter alone would collide.
+  static int counter = 0;
+  const std::string path = "/tmp/c3_ccift_compile_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(counter++) + ".c";
+  {
+    std::ofstream out(path);
+    out << kAbiPrelude << transformed;
+  }
+  const std::string cmd =
+      "cc -x c -std=c11 -fsyntax-only -Wall -Werror=implicit-function-"
+      "declaration " +
+      path + " 2> " + path + ".err";
+  const int rc = std::system(cmd.c_str());
+  if (rc == 0) {
+    std::remove(path.c_str());
+    std::remove((path + ".err").c_str());
+    return ::testing::AssertionSuccess();
+  }
+  std::ifstream err(path + ".err");
+  std::string diagnostics((std::istreambuf_iterator<char>(err)),
+                          std::istreambuf_iterator<char>());
+  return ::testing::AssertionFailure()
+         << "compiler rejected instrumented output of:\n"
+         << source << "\n--- instrumented ---\n"
+         << transformed << "\n--- diagnostics ---\n"
+         << diagnostics;
+}
+
+#define SKIP_WITHOUT_CC() \
+  if (!has_cc()) GTEST_SKIP() << "no system C compiler available"
+
+TEST(CcifCompile, SimpleCheckpointFunction) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    void work(void) {
+      int x = 1;
+      potentialCheckpoint();
+      x = x + 1;
+    })"));
+}
+
+TEST(CcifCompile, NestedCallChain) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    void leaf(void) { potentialCheckpoint(); }
+    void middle(int depth) { if (depth > 0) { leaf(); } }
+    void outer(void) {
+      int i;
+      for (i = 0; i < 10; i++) { middle(i); }
+    })"));
+}
+
+TEST(CcifCompile, DecomposedExpressions) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    int produce(int k) { potentialCheckpoint(); return k * 2; }
+    int work(int n) {
+      int total = produce(n) + produce(n + 1);
+      total += produce(total);
+      return produce(total) * 3;
+    })"));
+}
+
+TEST(CcifCompile, LoopConditionRewrite) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    int step(void) { potentialCheckpoint(); return 0; }
+    void work(int n) {
+      while (step() < n) { n--; }
+      int i;
+      for (i = 0; step() < n; i++) { n--; }
+    })"));
+}
+
+TEST(CcifCompile, GlobalsAndRegistration) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    int iteration;
+    double grid[64];
+    double *cursor;
+    void work(void) {
+      iteration = iteration + 1;
+      potentialCheckpoint();
+    })"));
+}
+
+TEST(CcifCompile, ScopesBreaksReturns) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    void work(int n) {
+      int outer_var = n;
+      while (n > 0) {
+        int loop_var = n * 2;
+        if (loop_var > 10) { break; }
+        if (loop_var < 0) { continue; }
+        {
+          int inner = loop_var + outer_var;
+          if (inner == 42) { return; }
+        }
+        potentialCheckpoint();
+        n--;
+      }
+    })"));
+}
+
+TEST(CcifCompile, MixedInstrumentedAndPlainFunctions) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    int plain_helper(int v) { return v * v; }
+    void checkpointer(void) { potentialCheckpoint(); }
+    void work(int n) {
+      int a = plain_helper(n);
+      checkpointer();
+      a = plain_helper(a);
+    })"));
+}
+
+TEST(CcifCompile, PointerAndArrayLocals) {
+  SKIP_WITHOUT_CC();
+  EXPECT_TRUE(compiles_as_c(R"(
+    void work(int n) {
+      double values[16];
+      double *p = values;
+      int i;
+      for (i = 0; i < 16; i++) { values[i] = i * 1.5; }
+      p = p + 1;
+      potentialCheckpoint();
+      values[0] = *p;
+    })"));
+}
+
+}  // namespace
+}  // namespace c3::ccift

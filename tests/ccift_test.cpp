@@ -1,0 +1,433 @@
+// CCIFT precompiler: lexing, parsing, checkpoint-reachability analysis,
+// the instrumentation transformation (paper Section 5.1 / Figure 6), and
+// the runtime ABI the emitted code targets.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ccift/analysis.hpp"
+#include "ccift/emit.hpp"
+#include "ccift/lexer.hpp"
+#include "ccift/parser.hpp"
+#include "ccift/runtime_abi.hpp"
+#include "ccift/transform.hpp"
+
+namespace c3::ccift {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(Lexer, TokenizesIdentifiersKeywordsNumbers) {
+  auto tokens = lex("int x = 42;");
+  ASSERT_EQ(tokens.size(), 6u);  // int x = 42 ; EOF
+  EXPECT_TRUE(tokens[0].is_keyword("int"));
+  EXPECT_TRUE(tokens[1].is_ident());
+  EXPECT_TRUE(tokens[2].is_punct("="));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_TRUE(tokens[4].is_punct(";"));
+  EXPECT_EQ(tokens[5].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, MaximalMunchOperators) {
+  auto tokens = lex("a <<= b >> c <= d -> e ++f");
+  std::vector<std::string> ops;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kPunct) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<<=", ">>", "<=", "->", "++"}));
+}
+
+TEST(Lexer, SkipsComments) {
+  auto tokens = lex("int a; // trailing\n/* block\ncomment */ int b;");
+  std::size_t idents = 0;
+  for (const auto& t : tokens) {
+    if (t.is_ident()) ++idents;
+  }
+  EXPECT_EQ(idents, 2u);
+}
+
+TEST(Lexer, PreservesPreprocessorLines) {
+  auto tokens = lex("#include <stdio.h>\nint x;");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "#include <stdio.h>");
+}
+
+TEST(Lexer, FloatLiteralsWithExponents) {
+  auto tokens = lex("1.5e-3 0x1F 2.0f");
+  EXPECT_EQ(tokens[0].text, "1.5e-3");
+  EXPECT_EQ(tokens[1].text, "0x1F");
+  EXPECT_EQ(tokens[2].text, "2.0f");
+}
+
+TEST(Lexer, StringAndCharLiteralsWithEscapes) {
+  auto tokens = lex(R"("a\"b" 'c')");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, R"("a\"b")");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kCharLit);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), ParseError);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("int a;\nint b;");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[3].line, 2);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(Parser, FunctionWithParamsAndBody) {
+  auto unit = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(unit.functions.size(), 1u);
+  const auto& fn = unit.functions[0];
+  EXPECT_EQ(fn.name, "add");
+  EXPECT_EQ(fn.return_type, "int");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[1].name, "b");
+  ASSERT_TRUE(fn.body != nullptr);
+  EXPECT_EQ(fn.body->body.size(), 1u);
+  EXPECT_EQ(fn.body->body[0]->kind, StmtKind::kReturn);
+}
+
+TEST(Parser, GlobalsWithInitializersAndArrays) {
+  auto unit = parse("int counter = 7;\ndouble table[100];\nint *ptr;");
+  ASSERT_EQ(unit.globals.size(), 3u);
+  EXPECT_EQ(unit.globals[0].decl.name, "counter");
+  ASSERT_TRUE(unit.globals[0].decl.init != nullptr);
+  EXPECT_EQ(unit.globals[1].decl.array_dims.size(), 1u);
+  EXPECT_EQ(unit.globals[1].decl.array_dims[0], "100");
+  EXPECT_EQ(unit.globals[2].decl.pointer, "*");
+}
+
+TEST(Parser, ControlFlowShapes) {
+  auto unit = parse(R"(
+    void f(int n) {
+      int i;
+      for (i = 0; i < n; i++) {
+        if (i % 2 == 0) continue;
+        while (n > 0) { n--; }
+      }
+      return;
+    })");
+  const auto& body = unit.functions[0].body->body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, StmtKind::kDecl);
+  EXPECT_EQ(body[1]->kind, StmtKind::kFor);
+  EXPECT_EQ(body[2]->kind, StmtKind::kReturn);
+}
+
+TEST(Parser, SingleStatementBodiesNormalizedToBlocks) {
+  auto unit = parse("void f(int n) { if (n) n--; else n++; while(n) n--; }");
+  const auto& body = unit.functions[0].body->body;
+  EXPECT_EQ(body[0]->then_branch->kind, StmtKind::kBlock);
+  EXPECT_EQ(body[0]->else_branch->kind, StmtKind::kBlock);
+  EXPECT_EQ(body[1]->body.front()->kind, StmtKind::kBlock);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto unit = parse("int f(void) { return 1 + 2 * 3; }");
+  const auto& ret = unit.functions[0].body->body[0];
+  // 1 + (2 * 3): root is '+', rhs is '*'.
+  ASSERT_EQ(ret->expr->kind, ExprKind::kBinary);
+  EXPECT_EQ(ret->expr->text, "+");
+  EXPECT_EQ(ret->expr->rhs->text, "*");
+}
+
+TEST(Parser, CallsIndexMembersCasts) {
+  auto unit = parse(
+      "void f(void) { g(a[1], b->c, (double)d, sizeof(int), h.k); }");
+  const auto& call = unit.functions[0].body->body[0]->expr;
+  ASSERT_EQ(call->kind, ExprKind::kCall);
+  EXPECT_EQ(call->args.size(), 5u);
+  EXPECT_EQ(call->args[0]->kind, ExprKind::kIndex);
+  EXPECT_EQ(call->args[1]->kind, ExprKind::kMember);
+  EXPECT_EQ(call->args[2]->kind, ExprKind::kCast);
+  EXPECT_EQ(call->args[3]->kind, ExprKind::kSizeof);
+  EXPECT_EQ(call->args[4]->kind, ExprKind::kMember);
+}
+
+TEST(Parser, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse("int f( { }"), ParseError);
+  EXPECT_THROW(parse("int 5x;"), ParseError);
+  EXPECT_THROW(parse("void f(void) { if }"), ParseError);
+}
+
+TEST(Parser, EmitRoundTripCompilesShape) {
+  const std::string src = R"(
+    int total = 0;
+    int square(int x) { return x * x; }
+    void run(int n) {
+      int i;
+      for (i = 0; i < n; i++) { total += square(i); }
+    })";
+  auto unit = parse(src);
+  const std::string emitted = emit_unit(unit);
+  // Emitted source must re-parse to the same shape.
+  auto unit2 = parse(emitted);
+  EXPECT_EQ(unit2.functions.size(), unit.functions.size());
+  EXPECT_EQ(unit2.globals.size(), unit.globals.size());
+  EXPECT_EQ(emit_unit(unit2), emitted) << "emitter must be a fixed point";
+}
+
+// --------------------------------------------------------------- analysis
+
+TEST(Analysis, CheckpointReachabilityIsTransitive) {
+  auto unit = parse(R"(
+    void leaf(void) { potentialCheckpoint(); }
+    void middle(void) { leaf(); }
+    void outer(void) { middle(); }
+    void unrelated(void) { }
+  )");
+  const auto a = analyze(unit);
+  EXPECT_TRUE(a.checkpointable.count("leaf"));
+  EXPECT_TRUE(a.checkpointable.count("middle"));
+  EXPECT_TRUE(a.checkpointable.count("outer"));
+  EXPECT_FALSE(a.checkpointable.count("unrelated"));
+}
+
+TEST(Analysis, RecursionHandled) {
+  auto unit = parse(R"(
+    void a(int n) { if (n) b(n - 1); }
+    void b(int n) { a(n); potentialCheckpoint(); }
+  )");
+  const auto an = analyze(unit);
+  EXPECT_TRUE(an.checkpointable.count("a"));
+  EXPECT_TRUE(an.checkpointable.count("b"));
+}
+
+TEST(Analysis, CollectsGlobals) {
+  auto unit = parse("int a; double b[4]; char c;");
+  const auto an = analyze(unit);
+  EXPECT_EQ(an.globals, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ---------------------------------------------------------- transformation
+
+TEST(Transform, InsertsFigure6Instrumentation) {
+  const std::string out = transform_source(R"(
+    void work(void) {
+      int x = 1;
+      potentialCheckpoint();
+      x = x + 1;
+    })");
+  // PS push/label/pop around the checkpoint, VDS push for the local, and a
+  // restart dispatch at function entry.
+  EXPECT_TRUE(contains(out, "ccift_ps_push(1);"));
+  EXPECT_TRUE(contains(out, "potentialCheckpoint()"));
+  EXPECT_TRUE(contains(out, "__ccift_label_1_work: ;"));
+  EXPECT_TRUE(contains(out, "ccift_ps_pop();"));
+  EXPECT_TRUE(contains(out, "ccift_vds_push(&x, sizeof(x));"));
+  EXPECT_TRUE(contains(out, "if (ccift_restoring())"));
+  EXPECT_TRUE(contains(out, "goto __ccift_label_1_work;"));
+}
+
+TEST(Transform, CheckpointLabelAfterCallButCallLabelBefore) {
+  const std::string out = transform_source(R"(
+    void inner(void) { potentialCheckpoint(); }
+    void outer(void) { inner(); }
+  )");
+  // In inner: label comes AFTER potentialCheckpoint (resume past it).
+  const auto ckpt_pos = out.find("potentialCheckpoint()");
+  const auto inner_label = out.find("__ccift_label_1_inner: ;");
+  ASSERT_NE(ckpt_pos, std::string::npos);
+  ASSERT_NE(inner_label, std::string::npos);
+  EXPECT_LT(ckpt_pos, inner_label);
+  // In outer: label comes BEFORE the call to inner (re-invoke and descend).
+  const auto outer_label = out.find("__ccift_label_1_outer: ;");
+  const auto inner_call = out.find("inner();", outer_label);
+  ASSERT_NE(outer_label, std::string::npos);
+  ASSERT_NE(inner_call, std::string::npos);
+  EXPECT_LT(outer_label, inner_call);
+}
+
+TEST(Transform, OnlyCheckpointableFunctionsInstrumented) {
+  const std::string out = transform_source(R"(
+    void helper(int v) { v = v * 2; }
+    void work(void) { helper(1); potentialCheckpoint(); }
+  )");
+  // helper cannot reach a checkpoint: no dispatch, no labels inside it.
+  EXPECT_FALSE(contains(out, "__ccift_label_1_helper"));
+  // The call to helper inside work is not a checkpointable site either.
+  EXPECT_EQ(count_of(out, "ccift_ps_push"), 1u);
+}
+
+TEST(Transform, DecomposesNestedCalls) {
+  const std::string out = transform_source(R"(
+    int produce(void) { potentialCheckpoint(); return 1; }
+    void work(void) {
+      int y = produce() + produce();
+    })");
+  // Two hoisted temporaries, each a standalone instrumented call site.
+  EXPECT_TRUE(contains(out, "__ccift_t0"));
+  EXPECT_TRUE(contains(out, "__ccift_t1"));
+  EXPECT_EQ(count_of(out, "ccift_ps_push"), 3u)  // 1 in produce + 2 in work
+      << out;
+}
+
+TEST(Transform, DecomposesReturnOfCall) {
+  const std::string out = transform_source(R"(
+    int produce(void) { potentialCheckpoint(); return 1; }
+    int work(void) { return produce() * 2; }
+  )");
+  // Hoisted as `int t; t = produce();` so the call is a labelable site.
+  EXPECT_TRUE(contains(out, "int __ccift_t0;"));
+  EXPECT_TRUE(contains(out, "__ccift_t0 = produce()"));
+  EXPECT_TRUE(contains(out, "return __ccift_t0 * 2;"));
+}
+
+TEST(Transform, RewritesWhileConditionWithCall) {
+  const std::string out = transform_source(R"(
+    int step(void) { potentialCheckpoint(); return 0; }
+    void work(void) {
+      while (step()) { }
+    })");
+  // while becomes for(;;) { t = step(); if (!(t)) break; ... }.
+  EXPECT_TRUE(contains(out, "for (; ; )"));
+  EXPECT_TRUE(contains(out, "if (!(__ccift_t0))"));
+  EXPECT_TRUE(contains(out, "break;"));
+}
+
+TEST(Transform, RejectsShortCircuitCalls) {
+  EXPECT_THROW(transform_source(R"(
+    int step(void) { potentialCheckpoint(); return 0; }
+    void work(int a) { if (a && step()) { } }
+  )"),
+               util::UsageError);
+}
+
+TEST(Transform, VdsPopsOnReturnAndBlockExit) {
+  const std::string out = transform_source(R"(
+    void work(int n) {
+      int a;
+      {
+        int b;
+        if (n) { return; }
+      }
+      potentialCheckpoint();
+    })");
+  // The inner return pops both a and b (2); the inner block pops b (1); the
+  // function end pops a (1).
+  EXPECT_TRUE(contains(out, "ccift_vds_pop(2);"));
+  EXPECT_GE(count_of(out, "ccift_vds_pop(1);"), 2u);
+}
+
+TEST(Transform, BreakPopsLoopScopes) {
+  const std::string out = transform_source(R"(
+    void work(int n) {
+      while (n) {
+        int local;
+        if (n > 2) { break; }
+        potentialCheckpoint();
+      }
+    })");
+  const auto brk = out.find("break;");
+  ASSERT_NE(brk, std::string::npos);
+  const auto pop_before = out.rfind("ccift_vds_pop(1);", brk);
+  EXPECT_NE(pop_before, std::string::npos)
+      << "break must pop the loop body's declarations first:\n" << out;
+}
+
+TEST(Transform, EmitsGlobalRegistration) {
+  const std::string out = transform_source(R"(
+    int counter;
+    double grid[64];
+    void work(void) { potentialCheckpoint(); }
+  )");
+  EXPECT_TRUE(contains(out, "void ccift_register_globals(void)"));
+  EXPECT_TRUE(contains(
+      out, "ccift_register_global(\"counter\", &counter, sizeof(counter));"));
+  EXPECT_TRUE(contains(
+      out, "ccift_register_global(\"grid\", &grid, sizeof(grid));"));
+}
+
+TEST(Transform, OutputReparses) {
+  const std::string out = transform_source(R"(
+    int total;
+    int produce(int k) { potentialCheckpoint(); return k; }
+    void work(int n) {
+      int i;
+      for (i = 0; i < n; i++) {
+        total = total + produce(i);
+      }
+    })");
+  // The instrumented output contains labels/gotos our C-subset parser does
+  // not model, so instead of re-parsing, sanity-check structural pairing.
+  EXPECT_EQ(count_of(out, "ccift_ps_push"), count_of(out, "ccift_ps_pop"));
+  EXPECT_GE(count_of(out, "ccift_vds_push"), 1u);
+}
+
+// --------------------------------------------------------- runtime ABI
+
+// Simulate the emitted idiom end-to-end against the real ABI: run an
+// "instrumented" nest, capture at the checkpoint, then restore and verify
+// the dispatch path and VDS values.
+TEST(RuntimeAbi, EmittedIdiomSavesAndRestores) {
+  statesave::SaveContext ctx;
+  util::Bytes checkpoint_blob;
+
+  {
+    RuntimeBinding binding(ctx);
+    int outer_var = 5;
+    ccift_vds_push(&outer_var, sizeof(outer_var));
+    ccift_ps_push(1);  // call site of 'inner' in 'outer'
+    {
+      int inner_var = 7;
+      ccift_vds_push(&inner_var, sizeof(inner_var));
+      ccift_ps_push(2);  // potentialCheckpoint site in 'inner'
+      {                  // potentialCheckpoint() body:
+        statesave::CheckpointBuilder b;
+        ctx.capture(b);
+        checkpoint_blob = b.finish();
+      }
+      ccift_ps_pop();
+      ccift_vds_pop(1);
+    }
+    ccift_ps_pop();
+    ccift_vds_pop(1);
+    EXPECT_EQ(ctx.ps().depth(), 0u);
+    EXPECT_EQ(ctx.vds().depth(), 0u);
+  }
+
+  // "Restart": rebuild the activation stack by consuming PS entries, then
+  // restore VDS values into the re-pushed variables.
+  {
+    RuntimeBinding binding(ctx);
+    statesave::CheckpointView view(checkpoint_blob);
+    ctx.begin_restore(view);
+    ASSERT_EQ(ccift_restoring(), 1);
+    EXPECT_EQ(ccift_ps_next(), 1);  // outer jumps to its call site
+    int outer_var = 0;
+    ccift_vds_push(&outer_var, sizeof(outer_var));
+    ASSERT_EQ(ccift_restoring(), 1);
+    EXPECT_EQ(ccift_ps_next(), 2);  // inner jumps past the checkpoint
+    int inner_var = 0;
+    ccift_vds_push(&inner_var, sizeof(inner_var));
+    EXPECT_EQ(ccift_restoring(), 0);
+    ctx.finish_restore();
+    EXPECT_EQ(outer_var, 5);
+    EXPECT_EQ(inner_var, 7);
+    ccift_vds_pop(2);
+  }
+}
+
+TEST(RuntimeAbi, UnboundThreadThrows) {
+  EXPECT_THROW(ccift_ps_push(1), util::UsageError);
+}
+
+}  // namespace
+}  // namespace c3::ccift

@@ -1,0 +1,347 @@
+// Extensions beyond the paper's core protocol:
+//  - recomputation checkpointing for read-only state (paper Section 7
+//    future work): checkpoints store a CRC instead of the bytes;
+//  - multiple successive stopping failures in one job;
+//  - pending non-blocking requests crossing a checkpoint (paper Section
+//    5.2 transient-object reinitialization rules);
+//  - disk-backed stable storage end to end;
+//  - error paths: recovery refused without application state, misuse of
+//    the registration API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+
+#include "apps/cg.hpp"
+#include "core/job.hpp"
+
+namespace c3::core {
+namespace {
+
+struct Sink {
+  std::mutex mu;
+  std::vector<long long> values;
+  std::vector<ProcessStats> stats;
+  void put(int rank, long long v, const ProcessStats& s) {
+    std::lock_guard lock(mu);
+    if (values.size() <= static_cast<std::size_t>(rank)) {
+      values.resize(static_cast<std::size_t>(rank) + 1);
+      stats.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    values[static_cast<std::size_t>(rank)] = v;
+    stats[static_cast<std::size_t>(rank)] = s;
+  }
+};
+
+// ------------------------------------------- recomputation checkpointing
+
+TEST(ReadonlyState, CheckpointsShrinkByTheReadonlyBytes) {
+  auto run = [](bool readonly) {
+    auto storage = std::make_shared<util::MemoryStorage>();
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.policy = CheckpointPolicy::every(1);
+    cfg.policy.max_checkpoints = 1;
+    cfg.storage = storage;
+    Job job(cfg);
+    job.run([&](Process& p) {
+      apps::CgConfig app;
+      app.n = 64;
+      app.iterations = 4;
+      app.readonly_matrix = readonly;
+      apps::run_cg(p, app);
+    });
+    return storage->bytes_written();
+  };
+  const auto full = run(false);
+  const auto slim = run(true);
+  // The 64x64 matrix (32KB split over 2 ranks = 16KB each) dominates.
+  EXPECT_LT(slim, full / 2)
+      << "read-only registration failed to shrink the checkpoint";
+}
+
+TEST(ReadonlyState, RecoveryVerifiesRecomputedContents) {
+  // CG with a read-only matrix must survive a failure: the recovery run
+  // regenerates the matrix in its prologue and the CRC check passes.
+  auto run = [](std::optional<net::FailureSpec> failure) {
+    std::mutex mu;
+    apps::CgResult root;
+    JobConfig cfg;
+    cfg.ranks = 3;
+    cfg.policy = CheckpointPolicy::every(3);
+    cfg.failure = failure;
+    Job job(cfg);
+    job.run([&](Process& p) {
+      apps::CgConfig app;
+      app.n = 48;
+      app.iterations = 20;
+      app.readonly_matrix = true;
+      auto r = apps::run_cg(p, app);
+      if (p.rank() == 0) {
+        std::lock_guard lock(mu);
+        root = r;
+      }
+    });
+    return root;
+  };
+  const auto clean = run(std::nullopt);
+  const auto recovered =
+      run(net::FailureSpec{.victim_rank = 1, .trigger_events = 40});
+  EXPECT_EQ(clean.checksum, recovered.checksum);
+}
+
+TEST(ReadonlyState, CorruptedRecomputationDetected) {
+  // An app that claims state is read-only but recomputes it differently on
+  // restart must be caught by the CRC validation.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.policy = CheckpointPolicy::every(1);
+  // Late trigger: a checkpoint must have committed, or the job restarts
+  // from scratch and never reaches the recovery-time CRC validation.
+  cfg.failure = net::FailureSpec{.victim_rank = 0, .trigger_events = 20};
+  Job job(cfg);
+  EXPECT_THROW(
+      job.run([&](Process& p) {
+        // "Read-only" data that differs per execution: execution counter.
+        int not_actually_readonly = counter->fetch_add(1);
+        int iter = 0;
+        p.register_readonly_state("bogus", &not_actually_readonly,
+                                  sizeof(int));
+        p.register_value("iter", iter);
+        p.complete_registration();
+        while (iter < 8) {
+          p.send_value(iter, (p.rank() + 1) % 2, 0);
+          (void)p.recv_value<int>((p.rank() + 1) % 2, 0);
+          ++iter;
+          p.potential_checkpoint();
+        }
+      }),
+      util::CorruptionError);
+}
+
+// ------------------------------------------------------ multiple failures
+
+TEST(MultiFailure, TwoFailuresTwoRecoveries) {
+  auto run = [](bool with_failures) {
+    auto sink = std::make_shared<Sink>();
+    JobConfig cfg;
+    cfg.ranks = 3;
+    cfg.policy = CheckpointPolicy::every(2);
+    if (with_failures) {
+      cfg.failure = net::FailureSpec{.victim_rank = 1, .trigger_events = 14};
+      cfg.extra_failures.push_back(
+          net::FailureSpec{.victim_rank = 2, .trigger_events = 40});
+    }
+    Job job(cfg);
+    auto report = job.run([&](Process& p) {
+      long long acc = p.rank() + 1;
+      int iter = 0;
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+      const int right = (p.rank() + 1) % p.nranks();
+      const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+      while (iter < 12) {
+        p.send_value(acc, right, 0);
+        acc = acc * 3 + p.recv_value<long long>(left, 0);
+        ++iter;
+        p.potential_checkpoint();
+      }
+      sink->put(p.rank(), acc, p.stats());
+    });
+    if (with_failures) {
+      EXPECT_EQ(report.failures, 2) << "both failures must fire";
+      EXPECT_GE(report.executions, 3);
+    }
+    return sink->values;
+  };
+  const auto clean = run(false);
+  const auto recovered = run(true);
+  EXPECT_EQ(clean, recovered);
+}
+
+// --------------------------- pending requests across a checkpoint (S5.2)
+
+TEST(PendingRequests, IrecvCrossingCheckpointReinitializes) {
+  // Rank 0 posts an irecv into a heap-arena buffer and only waits for it in
+  // the *next* iteration, so checkpoints routinely capture a pending (or
+  // complete-but-unwaited) request. The pseudo-handle is a plain integer and
+  // is itself registered state -- exactly why Section 5.2 introduces
+  // pseudo-handles. Failures at several points force each reinitialization
+  // rule: complete-at-checkpoint, matched-late-in-log, and re-issue-live.
+  auto run = [](std::optional<net::FailureSpec> failure) {
+    auto sink = std::make_shared<Sink>();
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.policy = CheckpointPolicy::every(2);
+    cfg.heap_capacity = 1 << 16;
+    cfg.failure = failure;
+    Job job(cfg);
+    job.run([&](Process& p) {
+      long long acc = 0;
+      int iter = 0;
+      RequestId pending = kNullRequest;
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.register_value("pending", pending);
+      p.complete_registration();
+      if (p.rank() == 0) {
+        // Arena-backed receive buffer: same virtual address after recovery.
+        auto* buf = static_cast<long long*>(
+            p.restored() ? p.heap().base()
+                         : p.heap().alloc(sizeof(long long)));
+        // 9 posts for rank 1's 9 sends: the protocol's liveness depends on
+        // the paper's assumption that the application eventually receives
+        // every message sent to it (an unreceived message would keep the
+        // final checkpoint's late-message collection incomplete forever).
+        while (iter < 9) {
+          if (pending != kNullRequest) {
+            p.wait(pending);
+            acc = acc * 7 + *buf;
+          }
+          pending = p.irecv(
+              {reinterpret_cast<std::byte*>(buf), sizeof(long long)}, 1, 3);
+          ++iter;
+          p.potential_checkpoint();  // `pending` may be incomplete here
+        }
+        p.wait(pending);
+        acc = acc * 7 + *buf;
+      } else {
+        while (iter < 9) {
+          p.send_value(static_cast<long long>(iter * 11 + 5), 0, 3);
+          ++iter;
+          p.potential_checkpoint();
+        }
+      }
+      sink->put(p.rank(), acc, p.stats());
+    });
+    return sink->values;
+  };
+  const auto clean = run(std::nullopt);
+  for (std::uint64_t trigger : {9ull, 13ull, 17ull, 21ull}) {
+    const auto recovered = run(
+        net::FailureSpec{.victim_rank = 1, .trigger_events = trigger});
+    EXPECT_EQ(clean, recovered) << "trigger " << trigger;
+  }
+}
+
+TEST(PendingRequests, NonArenaBufferAcrossCheckpointRejected) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.policy = CheckpointPolicy::every(1);
+  Job job(cfg);
+  EXPECT_THROW(
+      job.run([&](Process& p) {
+        p.complete_registration();
+        long long stack_buf = 0;  // NOT in the heap arena
+        if (p.rank() == 0) {
+          RequestId req = p.irecv(
+              {reinterpret_cast<std::byte*>(&stack_buf), sizeof(stack_buf)},
+              1, 0);
+          p.potential_checkpoint();  // must refuse to serialize this request
+          p.wait(req);
+        } else {
+          p.potential_checkpoint();
+          p.send_value(1LL, 0, 0);
+        }
+      }),
+      util::UsageError);
+}
+
+// ------------------------------------------------------------ disk-backed
+
+TEST(DiskBacked, RecoveryThroughRealFiles) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_disk_recovery_test";
+  std::filesystem::remove_all(dir);
+  auto run = [&](std::optional<net::FailureSpec> failure) {
+    auto sink = std::make_shared<Sink>();
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.policy = CheckpointPolicy::every(2);
+    cfg.failure = failure;
+    cfg.storage = std::make_shared<util::DiskStorage>(dir);
+    Job job(cfg);
+    job.run([&](Process& p) {
+      long long acc = 0;
+      int iter = 0;
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+      while (iter < 8) {
+        p.send_value(acc + iter, (p.rank() + 1) % 2, 0);
+        acc += p.recv_value<long long>((p.rank() + 1) % 2, 0);
+        ++iter;
+        p.potential_checkpoint();
+      }
+      sink->put(p.rank(), acc, p.stats());
+    });
+    return sink->values;
+  };
+  const auto clean = run(std::nullopt);
+  std::filesystem::remove_all(dir);
+  const auto recovered =
+      run(net::FailureSpec{.victim_rank = 0, .trigger_events = 18});
+  EXPECT_EQ(clean, recovered);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(Errors, NoAppStateRecoveryRefused) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.level = InstrumentLevel::kNoAppState;
+  cfg.policy = CheckpointPolicy::every(1);
+  cfg.failure = net::FailureSpec{.victim_rank = 0, .trigger_events = 20};
+  Job job(cfg);
+  EXPECT_THROW(job.run([&](Process& p) {
+                 p.complete_registration();
+                 for (int i = 0; i < 8; ++i) {
+                   p.send_value(i, (p.rank() + 1) % 2, 0);
+                   (void)p.recv_value<int>((p.rank() + 1) % 2, 0);
+                   p.potential_checkpoint();
+                 }
+               }),
+               util::UsageError)
+      << "recovery without application state must be refused loudly";
+}
+
+TEST(Errors, RegisterAfterCompleteRejected) {
+  JobConfig cfg;
+  cfg.ranks = 1;
+  Job job(cfg);
+  EXPECT_THROW(job.run([&](Process& p) {
+                 int x = 0;
+                 p.complete_registration();
+                 p.register_value("late", x);
+               }),
+               util::UsageError);
+}
+
+TEST(Errors, DuplicateRegistrationRejected) {
+  JobConfig cfg;
+  cfg.ranks = 1;
+  Job job(cfg);
+  EXPECT_THROW(job.run([&](Process& p) {
+                 int x = 0, y = 0;
+                 p.register_value("name", x);
+                 p.register_value("name", y);
+               }),
+               util::UsageError);
+}
+
+TEST(Errors, WaitOnUnknownRequestRejected) {
+  JobConfig cfg;
+  cfg.ranks = 1;
+  Job job(cfg);
+  EXPECT_THROW(job.run([&](Process& p) {
+                 p.complete_registration();
+                 (void)p.wait(999);
+               }),
+               util::UsageError);
+}
+
+}  // namespace
+}  // namespace c3::core

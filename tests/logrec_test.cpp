@@ -1,0 +1,128 @@
+// EventLog serialization and ReplayLog consumption semantics.
+#include <gtest/gtest.h>
+
+#include "core/logrec.hpp"
+
+namespace c3::core {
+namespace {
+
+util::Bytes payload_of(std::initializer_list<int> vals) {
+  util::Bytes b;
+  for (int v : vals) b.push_back(static_cast<std::byte>(v));
+  return b;
+}
+
+TEST(EventLog, EmptyRoundTrip) {
+  EventLog log;
+  ReplayLog replay(log.serialize());
+  EXPECT_TRUE(replay.recvs_exhausted());
+  EXPECT_TRUE(replay.nondets_exhausted());
+  EXPECT_TRUE(replay.collectives_exhausted());
+  EXPECT_FALSE(replay.take_nondet().has_value());
+  EXPECT_FALSE(replay.take_collective().has_value());
+  EXPECT_FALSE(replay.take_recv(0, 0).has_value());
+}
+
+TEST(EventLog, NondetFifoOrder) {
+  EventLog log;
+  log.add_nondet(10);
+  log.add_nondet(20);
+  log.add_nondet(30);
+  ReplayLog replay(log.serialize());
+  EXPECT_EQ(replay.take_nondet(), 10u);
+  EXPECT_EQ(replay.take_nondet(), 20u);
+  EXPECT_EQ(replay.take_nondet(), 30u);
+  EXPECT_FALSE(replay.take_nondet().has_value());
+}
+
+TEST(EventLog, CollectiveFifoOrder) {
+  EventLog log;
+  log.add_collective(payload_of({1}));
+  log.add_collective(payload_of({2, 2}));
+  ReplayLog replay(log.serialize());
+  EXPECT_EQ(replay.take_collective()->size(), 1u);
+  EXPECT_EQ(replay.take_collective()->size(), 2u);
+  EXPECT_TRUE(replay.collectives_exhausted());
+}
+
+TEST(EventLog, RecvMatchedByPatternInOrder) {
+  EventLog log;
+  // Two patterns interleaved; per-pattern order must be preserved.
+  log.add_recv({.pattern_src = 1, .pattern_tag = 5, .src = 1, .tag = 5,
+                .message_id = 0, .cls = MessageClass::kLate,
+                .payload = payload_of({1})});
+  log.add_recv({.pattern_src = 2, .pattern_tag = 5, .src = 2, .tag = 5,
+                .message_id = 0, .cls = MessageClass::kIntraEpoch,
+                .payload = {}});
+  log.add_recv({.pattern_src = 1, .pattern_tag = 5, .src = 1, .tag = 5,
+                .message_id = 1, .cls = MessageClass::kLate,
+                .payload = payload_of({2})});
+  ReplayLog replay(log.serialize());
+
+  auto a = replay.take_recv(1, 5);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->message_id, 0u);
+  EXPECT_EQ(a->payload, payload_of({1}));
+
+  auto b = replay.take_recv(1, 5);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->message_id, 1u);
+
+  auto c = replay.take_recv(2, 5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->cls, MessageClass::kIntraEpoch);
+
+  EXPECT_FALSE(replay.take_recv(1, 5).has_value());
+  EXPECT_TRUE(replay.recvs_exhausted());
+}
+
+TEST(EventLog, WildcardPatternIsItsOwnKey) {
+  EventLog log;
+  log.add_recv({.pattern_src = simmpi::kAnySource,
+                .pattern_tag = simmpi::kAnyTag, .src = 3, .tag = 7,
+                .message_id = 4, .cls = MessageClass::kIntraEpoch,
+                .payload = {}});
+  ReplayLog replay(log.serialize());
+  // A concrete pattern does not consume the wildcard entry...
+  EXPECT_FALSE(replay.take_recv(3, 7).has_value());
+  // ...but the wildcard pattern does, and reveals the concrete match.
+  auto e = replay.take_recv(simmpi::kAnySource, simmpi::kAnyTag);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->src, 3);
+  EXPECT_EQ(e->tag, 7);
+}
+
+TEST(EventLog, LatePayloadSurvivesSerialization) {
+  EventLog log;
+  util::Bytes big(10000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  log.add_recv({.pattern_src = 0, .pattern_tag = 0, .src = 0, .tag = 0,
+                .message_id = 9, .cls = MessageClass::kLate, .payload = big});
+  ReplayLog replay(log.serialize());
+  auto e = replay.take_recv(0, 0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->payload, big);
+}
+
+TEST(EventLog, ClearEmptiesEverything) {
+  EventLog log;
+  log.add_nondet(1);
+  log.add_collective(payload_of({1}));
+  log.add_recv({.pattern_src = 0, .pattern_tag = 0, .src = 0, .tag = 0,
+                .message_id = 0, .cls = MessageClass::kLate,
+                .payload = payload_of({1})});
+  log.clear();
+  EXPECT_EQ(log.recv_count(), 0u);
+  EXPECT_EQ(log.nondet_count(), 0u);
+  EXPECT_EQ(log.collective_count(), 0u);
+}
+
+TEST(ReplayLog, BadMagicThrows) {
+  util::Bytes garbage(16, std::byte{0x42});
+  EXPECT_THROW(ReplayLog{garbage}, util::CorruptionError);
+}
+
+}  // namespace
+}  // namespace c3::core

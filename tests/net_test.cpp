@@ -1,0 +1,179 @@
+// Tests for the simulated transport: reliability, per-source FIFO under
+// adversarial reordering, cross-source interleaving, and abort wakeups.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "net/delivery.hpp"
+#include "net/failure.hpp"
+#include "net/transport.hpp"
+
+namespace c3::net {
+namespace {
+
+Packet make_packet(int src, int dst, int tag, std::uint64_t seq,
+                   std::uint8_t marker = 0) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.context = 0;
+  p.tag = tag;
+  p.seq = seq;
+  p.payload = {std::byte{marker}};
+  return p;
+}
+
+TEST(FifoDelivery, DeliversInOrder) {
+  Fabric fabric(2, FifoDelivery{});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    fabric.send(make_packet(0, 1, 0, i));
+  }
+  auto got = fabric.inbox(1).drain();
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[i].seq, i);
+}
+
+TEST(FifoDelivery, MultipleSourcesAllArrive) {
+  Fabric fabric(4, FifoDelivery{});
+  for (int src = 0; src < 3; ++src) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      fabric.send(make_packet(src, 3, 0, i));
+    }
+  }
+  auto got = fabric.inbox(3).drain();
+  EXPECT_EQ(got.size(), 15u);
+}
+
+TEST(Fabric, StatsCountPacketsAndBytes) {
+  Fabric fabric(2, FifoDelivery{});
+  Packet p = make_packet(0, 1, 0, 0);
+  p.payload.resize(100);
+  fabric.send(std::move(p));
+  fabric.send(make_packet(0, 1, 0, 1));
+  EXPECT_EQ(fabric.stats().packets.load(), 2u);
+  EXPECT_EQ(fabric.stats().payload_bytes.load(), 101u);
+}
+
+TEST(Fabric, SendToInvalidRankThrows) {
+  Fabric fabric(2, FifoDelivery{});
+  EXPECT_THROW(fabric.send(make_packet(0, 5, 0, 0)), util::UsageError);
+  EXPECT_THROW(fabric.send(make_packet(0, -1, 0, 0)), util::UsageError);
+}
+
+class ReorderTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderTest, ReliableAndPerSourceFifo) {
+  RandomReorderDelivery policy(GetParam(), /*p_hold=*/0.7, /*max_hold=*/6);
+  Fabric fabric(3, policy);
+  constexpr std::uint64_t kPerSource = 50;
+  // Interleave sends from two sources to rank 2.
+  for (std::uint64_t i = 0; i < kPerSource; ++i) {
+    fabric.send(make_packet(0, 2, 0, i));
+    fabric.send(make_packet(1, 2, 0, i));
+  }
+  std::vector<Packet> got;
+  while (got.size() < 2 * kPerSource) {
+    for (auto& p : fabric.inbox(2).drain()) got.push_back(std::move(p));
+  }
+  // Reliability: everything arrives exactly once.
+  std::map<int, std::vector<std::uint64_t>> by_src;
+  for (const auto& p : got) by_src[p.src].push_back(p.seq);
+  ASSERT_EQ(by_src[0].size(), kPerSource);
+  ASSERT_EQ(by_src[1].size(), kPerSource);
+  // Non-overtaking: per-source sequence numbers are strictly increasing.
+  for (const auto& [src, seqs] : by_src) {
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      EXPECT_EQ(seqs[i], i) << "per-source FIFO violated for src " << src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderTest,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull));
+
+// Reordering is statistical per seed; require that it happens at least once
+// across a set of seeds (a policy that never reorders would defeat the
+// adversarial tests built on top of it).
+TEST(Reorder, CrossSourceReorderingHappensAcrossSeeds) {
+  constexpr int kRounds = 30;
+  int inversions = 0;
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    RandomReorderDelivery policy(seed, /*p_hold=*/0.9, /*max_hold=*/8);
+    Fabric fabric(3, policy);
+    for (int round = 0; round < kRounds; ++round) {
+      fabric.send(make_packet(0, 2, 0, static_cast<std::uint64_t>(round), 0));
+      fabric.send(make_packet(1, 2, 0, static_cast<std::uint64_t>(round), 1));
+    }
+    std::vector<Packet> got;
+    while (got.size() < 2 * kRounds) {
+      for (auto& p : fabric.inbox(2).drain()) got.push_back(std::move(p));
+    }
+    std::map<std::pair<int, std::uint64_t>, std::size_t> pos;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      pos[{got[i].src, got[i].seq}] = i;
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      const auto r = static_cast<std::uint64_t>(round);
+      // Inversion: src 1's packet of round k (sent after src 0's) delivered
+      // before src 0's packet of the same round.
+      if (pos[{1, r}] < pos[{0, r}]) ++inversions;
+    }
+  }
+  EXPECT_GT(inversions, 0);
+}
+
+TEST(Inbox, WaitReturnsOnDelivery) {
+  Fabric fabric(2, FifoDelivery{});
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    fabric.inbox(1).wait(std::chrono::microseconds(500000),
+                         fabric.abort_flag());
+    got.store(!fabric.inbox(1).drain().empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fabric.send(make_packet(0, 1, 0, 0));
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Inbox, AbortWakesWaiter) {
+  Fabric fabric(2, FifoDelivery{});
+  std::atomic<bool> woke{false};
+  std::thread receiver([&] {
+    // Long timeout: only the abort should end this quickly.
+    fabric.inbox(1).wait(std::chrono::microseconds(10'000'000),
+                         fabric.abort_flag());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  fabric.abort();
+  receiver.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(woke.load());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_TRUE(fabric.aborted());
+}
+
+TEST(FailureInjector, FiresExactlyOnceAtTrigger) {
+  FailureInjector inj(FailureSpec{.victim_rank = 1, .trigger_events = 3});
+  EXPECT_FALSE(inj.on_event(0));  // wrong rank never counts
+  EXPECT_FALSE(inj.on_event(1));  // 1
+  EXPECT_FALSE(inj.on_event(1));  // 2
+  EXPECT_TRUE(inj.on_event(1));   // 3 -> fire
+  EXPECT_TRUE(inj.fired());
+  EXPECT_FALSE(inj.on_event(1));  // one-shot
+}
+
+TEST(FailureInjector, DisabledNeverFires) {
+  FailureInjector inj;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.on_event(0));
+  EXPECT_FALSE(inj.fired());
+}
+
+}  // namespace
+}  // namespace c3::net

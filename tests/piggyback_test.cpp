@@ -1,0 +1,108 @@
+// Piggyback codec and message classification (paper Section 4.2).
+#include <gtest/gtest.h>
+
+#include "core/piggyback.hpp"
+#include "util/error.hpp"
+
+namespace c3::core {
+namespace {
+
+TEST(PiggybackCodec, FullRoundTrip) {
+  Piggyback pb{.epoch = 1234, .logging = true, .message_id = 987654};
+  util::Writer w;
+  encode_piggyback(PiggybackMode::kFull, pb, w);
+  EXPECT_EQ(w.size(), piggyback_size(PiggybackMode::kFull));
+  util::Reader r(w.bytes());
+  const Piggyback back = decode_piggyback(PiggybackMode::kFull, r);
+  EXPECT_EQ(back.epoch, 1234);
+  EXPECT_TRUE(back.logging);
+  EXPECT_EQ(back.message_id, 987654u);
+}
+
+TEST(PiggybackCodec, PackedRoundTripKeepsColorAndId) {
+  for (std::int32_t epoch : {0, 1, 2, 3, 41, 1000}) {
+    for (bool logging : {false, true}) {
+      Piggyback pb{.epoch = epoch, .logging = logging, .message_id = 123456};
+      util::Writer w;
+      encode_piggyback(PiggybackMode::kPacked, pb, w);
+      EXPECT_EQ(w.size(), 4u) << "packed mode must be one 32-bit word";
+      util::Reader r(w.bytes());
+      const Piggyback back = decode_piggyback(PiggybackMode::kPacked, r);
+      EXPECT_EQ(back.color(), pb.color());
+      EXPECT_EQ(back.logging, logging);
+      EXPECT_EQ(back.message_id, 123456u);
+    }
+  }
+}
+
+TEST(PiggybackCodec, PackedMaxMessageId) {
+  Piggyback pb{.epoch = 0, .logging = false, .message_id = kMaxPackedMessageId};
+  util::Writer w;
+  encode_piggyback(PiggybackMode::kPacked, pb, w);
+  util::Reader r(w.bytes());
+  EXPECT_EQ(decode_piggyback(PiggybackMode::kPacked, r).message_id,
+            kMaxPackedMessageId);
+}
+
+TEST(PiggybackCodec, PackedOverflowThrows) {
+  Piggyback pb{.epoch = 0, .logging = false,
+               .message_id = kMaxPackedMessageId + 1};
+  util::Writer w;
+  EXPECT_THROW(encode_piggyback(PiggybackMode::kPacked, pb, w),
+               util::UsageError);
+}
+
+TEST(Classification, ByEpochMatchesDefinition1) {
+  EXPECT_EQ(classify_by_epoch(0, 1), MessageClass::kLate);
+  EXPECT_EQ(classify_by_epoch(1, 1), MessageClass::kIntraEpoch);
+  EXPECT_EQ(classify_by_epoch(2, 1), MessageClass::kEarly);
+}
+
+// Property sweep: the packed color rule must agree with the direct epoch
+// comparison in every state the protocol can reach (epochs differ by at
+// most one; a receiver one epoch ahead of the sender is logging iff it has
+// not finished collecting late messages -- the rule's precondition).
+class ClassificationAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ClassificationAgreement, PackedAgreesWithEpochs) {
+  const int receiver_epoch = std::get<0>(GetParam());
+  const int delta = std::get<1>(GetParam());  // sender - receiver: -1, 0, +1
+  const int sender_epoch = receiver_epoch + delta;
+  if (sender_epoch < 0) return;
+
+  const auto by_epoch = classify_by_epoch(sender_epoch, receiver_epoch);
+  // Reachable logging states: a receiver with a sender one epoch behind is
+  // still logging (it cannot have stopped before hearing from everyone);
+  // a receiver one epoch behind the sender has not checkpointed and is
+  // therefore not logging.
+  const bool receiver_logging = (delta == -1);
+  const auto packed = classify((sender_epoch & 1) != 0,
+                               (receiver_epoch & 1) != 0, receiver_logging);
+  EXPECT_EQ(packed, by_epoch)
+      << "sender epoch " << sender_epoch << ", receiver epoch "
+      << receiver_epoch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpochSweep, ClassificationAgreement,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 100, 101),
+                       ::testing::Values(-1, 0, 1)));
+
+// Intra-epoch classification is independent of the logging flag.
+TEST(Classification, IntraEpochIgnoresLogging) {
+  EXPECT_EQ(classify(true, true, true), MessageClass::kIntraEpoch);
+  EXPECT_EQ(classify(true, true, false), MessageClass::kIntraEpoch);
+  EXPECT_EQ(classify(false, false, true), MessageClass::kIntraEpoch);
+  EXPECT_EQ(classify(false, false, false), MessageClass::kIntraEpoch);
+}
+
+TEST(Classification, ColorMismatchUsesLoggingFlag) {
+  EXPECT_EQ(classify(false, true, true), MessageClass::kLate);
+  EXPECT_EQ(classify(true, false, true), MessageClass::kLate);
+  EXPECT_EQ(classify(false, true, false), MessageClass::kEarly);
+  EXPECT_EQ(classify(true, false, false), MessageClass::kEarly);
+}
+
+}  // namespace
+}  // namespace c3::core

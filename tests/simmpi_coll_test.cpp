@@ -1,0 +1,312 @@
+// Collective communication correctness, parameterized over rank count and
+// network ordering (FIFO vs adversarial reordering). Collectives are built
+// on point-to-point inside simmpi, so these sweeps also stress matching.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace c3::simmpi {
+namespace {
+
+struct CollParam {
+  int ranks;
+  bool reorder;
+};
+
+class CollTest : public ::testing::TestWithParam<CollParam> {
+ protected:
+  Runtime make_runtime() const {
+    NetConfig cfg;
+    if (GetParam().reorder) {
+      cfg.order = NetConfig::Order::kRandomReorder;
+      cfg.seed = 77;
+      cfg.p_hold = 0.6;
+      cfg.max_hold = 5;
+    }
+    return Runtime(GetParam().ranks, cfg);
+  }
+  int ranks() const { return GetParam().ranks; }
+};
+
+TEST_P(CollTest, BarrierCompletes) {
+  auto rt = make_runtime();
+  rt.run([](Api& api) {
+    for (int i = 0; i < 5; ++i) api.barrier(api.world());
+  });
+}
+
+TEST_P(CollTest, BcastFromEveryRoot) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    for (Rank root = 0; root < p; ++root) {
+      std::int64_t v = (api.world_rank() == root) ? 1000 + root : -1;
+      api.bcast(api.world(), {reinterpret_cast<std::byte*>(&v), 8}, root);
+      EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST_P(CollTest, ReduceSumToEveryRoot) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    for (Rank root = 0; root < p; ++root) {
+      const std::int64_t mine = api.world_rank() + 1;
+      std::int64_t out = 0;
+      api.reduce(api.world(), util::as_bytes(mine),
+                 {reinterpret_cast<std::byte*>(&out), 8}, Datatype::kInt64,
+                 Op::kSum, root);
+      if (api.world_rank() == root) {
+        EXPECT_EQ(out, static_cast<std::int64_t>(p) * (p + 1) / 2);
+      }
+    }
+  });
+}
+
+TEST_P(CollTest, AllreduceMinMax) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    const std::int32_t mine = 100 - api.world_rank();
+    std::int32_t mn = 0, mx = 0;
+    api.allreduce(api.world(), util::as_bytes(mine),
+                  {reinterpret_cast<std::byte*>(&mn), 4}, Datatype::kInt32,
+                  Op::kMin);
+    api.allreduce(api.world(), util::as_bytes(mine),
+                  {reinterpret_cast<std::byte*>(&mx), 4}, Datatype::kInt32,
+                  Op::kMax);
+    EXPECT_EQ(mn, 100 - (p - 1));
+    EXPECT_EQ(mx, 100);
+  });
+}
+
+TEST_P(CollTest, AllreduceVectorDouble) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    std::vector<double> in(16);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<double>(api.world_rank()) + static_cast<double>(i);
+    }
+    std::vector<double> out(16);
+    api.allreduce(api.world(),
+                  {reinterpret_cast<const std::byte*>(in.data()), 16 * 8},
+                  {reinterpret_cast<std::byte*>(out.data()), 16 * 8},
+                  Datatype::kDouble, Op::kSum);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double expect =
+          static_cast<double>(p) * (static_cast<double>(p) - 1) / 2 +
+          static_cast<double>(p) * static_cast<double>(i);
+      EXPECT_DOUBLE_EQ(out[i], expect);
+    }
+  });
+}
+
+TEST_P(CollTest, GatherToEveryRoot) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    for (Rank root = 0; root < p; ++root) {
+      const std::int32_t mine = api.world_rank() * 3;
+      std::vector<std::int32_t> all(static_cast<std::size_t>(p), -1);
+      api.gather(api.world(), util::as_bytes(mine),
+                 {reinterpret_cast<std::byte*>(all.data()),
+                  all.size() * 4},
+                 root);
+      if (api.world_rank() == root) {
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 3);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollTest, AllgatherRing) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    struct Block {
+      std::int32_t rank;
+      std::int32_t value;
+    };
+    const Block mine{api.world_rank(), api.world_rank() * api.world_rank()};
+    std::vector<Block> all(static_cast<std::size_t>(p));
+    api.allgather(api.world(), util::as_bytes(mine),
+                  {reinterpret_cast<std::byte*>(all.data()),
+                   all.size() * sizeof(Block)});
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].rank, r);
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].value, r * r);
+    }
+  });
+}
+
+TEST_P(CollTest, AlltoallTransposes) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    // Block sent from r to q carries value 100*r + q.
+    std::vector<std::int32_t> in(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) {
+      in[static_cast<std::size_t>(q)] = 100 * api.world_rank() + q;
+    }
+    std::vector<std::int32_t> out(static_cast<std::size_t>(p), -1);
+    api.alltoall(api.world(),
+                 {reinterpret_cast<const std::byte*>(in.data()),
+                  in.size() * 4},
+                 {reinterpret_cast<std::byte*>(out.data()), out.size() * 4});
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(out[static_cast<std::size_t>(r)], 100 * r + api.world_rank());
+    }
+  });
+}
+
+TEST_P(CollTest, InclusiveScan) {
+  auto rt = make_runtime();
+  rt.run([](Api& api) {
+    const std::int64_t mine = api.world_rank() + 1;
+    std::int64_t out = 0;
+    api.scan(api.world(), util::as_bytes(mine),
+             {reinterpret_cast<std::byte*>(&out), 8}, Datatype::kInt64,
+             Op::kSum);
+    const std::int64_t r = api.world_rank() + 1;
+    EXPECT_EQ(out, r * (r + 1) / 2);
+  });
+}
+
+TEST_P(CollTest, UserDefinedOpAllreduce) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    // Custom op over a struct: componentwise (sum, max).
+    struct Pair {
+      std::int64_t sum;
+      std::int64_t max;
+    };
+    OpHandle op = api.op_create([](const std::byte* in, std::byte* inout,
+                                   std::size_t count) {
+      const Pair* a = reinterpret_cast<const Pair*>(in);
+      Pair* b = reinterpret_cast<Pair*>(inout);
+      for (std::size_t i = 0; i < count; ++i) {
+        b[i].sum += a[i].sum;
+        b[i].max = std::max(b[i].max, a[i].max);
+      }
+    });
+    const Pair mine{api.world_rank() + 1, api.world_rank() * 7};
+    Pair out{};
+    api.allreduce_user(api.world(), util::as_bytes(mine),
+                       {reinterpret_cast<std::byte*>(&out), sizeof(Pair)},
+                       sizeof(Pair), op);
+    EXPECT_EQ(out.sum, static_cast<std::int64_t>(p) * (p + 1) / 2);
+    EXPECT_EQ(out.max, static_cast<std::int64_t>(p - 1) * 7);
+    api.op_free(op);
+  });
+}
+
+TEST_P(CollTest, BackToBackCollectivesDoNotCrossMatch) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    for (int round = 0; round < 20; ++round) {
+      std::int32_t v = api.world_rank() + round;
+      std::int32_t sum = 0;
+      api.allreduce(api.world(), util::as_bytes(v),
+                    {reinterpret_cast<std::byte*>(&sum), 4}, Datatype::kInt32,
+                    Op::kSum);
+      EXPECT_EQ(sum, p * (p - 1) / 2 + p * round);
+    }
+  });
+}
+
+TEST_P(CollTest, CommDupIsolatesTraffic) {
+  auto rt = make_runtime();
+  rt.run([](Api& api) {
+    Comm dup = api.comm_dup(api.world());
+    EXPECT_EQ(dup.size(), api.world().size());
+    EXPECT_EQ(dup.rank(), api.world().rank());
+    EXPECT_NE(dup.context_base(), api.world().context_base());
+    // Same tag on both comms; each recv must get its own comm's message.
+    if (api.world_rank() == 0 && api.world_size() > 1) {
+      const std::int32_t on_world = 1, on_dup = 2;
+      api.send(api.world(), util::as_bytes(on_world), 1, 0);
+      api.send(dup, util::as_bytes(on_dup), 1, 0);
+    } else if (api.world_rank() == 1) {
+      std::int32_t got_dup = 0, got_world = 0;
+      // Receive dup first even though world's message was sent first.
+      api.recv(dup, {reinterpret_cast<std::byte*>(&got_dup), 4}, 0, 0);
+      api.recv(api.world(), {reinterpret_cast<std::byte*>(&got_world), 4}, 0, 0);
+      EXPECT_EQ(got_dup, 2);
+      EXPECT_EQ(got_world, 1);
+    }
+    api.barrier(dup);
+  });
+}
+
+TEST_P(CollTest, CommSplitEvenOdd) {
+  auto rt = make_runtime();
+  const int p = ranks();
+  rt.run([p](Api& api) {
+    const int color = api.world_rank() % 2;
+    Comm half = api.comm_split(api.world(), color, api.world_rank());
+    const int expect_size = (p + (color == 0 ? 1 : 0)) / 2;
+    EXPECT_EQ(half.size(), expect_size);
+    EXPECT_EQ(half.rank(), api.world_rank() / 2);
+    // A reduction within each half sums only that half's ranks.
+    std::int64_t mine = api.world_rank();
+    std::int64_t sum = 0;
+    api.allreduce(half, util::as_bytes(mine),
+                  {reinterpret_cast<std::byte*>(&sum), 8}, Datatype::kInt64,
+                  Op::kSum);
+    std::int64_t expect = 0;
+    for (int r = color; r < p; r += 2) expect += r;
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollTest,
+    ::testing::Values(CollParam{1, false}, CollParam{2, false},
+                      CollParam{3, false}, CollParam{4, false},
+                      CollParam{5, false}, CollParam{8, false},
+                      CollParam{2, true}, CollParam{3, true},
+                      CollParam{4, true}, CollParam{7, true},
+                      CollParam{8, true}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.ranks) +
+             (info.param.reorder ? "_reorder" : "_fifo");
+    });
+
+TEST(CommSplit, NegativeColorGetsNoComm) {
+  Runtime rt(4);
+  rt.run([](Api& api) {
+    const int color = (api.world_rank() == 3) ? -1 : 0;
+    Comm c = api.comm_split(api.world(), color, 0);
+    if (api.world_rank() == 3) {
+      EXPECT_FALSE(c.member());
+    } else {
+      EXPECT_EQ(c.size(), 3);
+      api.barrier(c);
+    }
+  });
+}
+
+TEST(CollErrors, ReduceBufferNotWholeElements) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Api& api) {
+    util::Bytes in(7);  // not divisible by sizeof(int64)
+    util::Bytes out(7);
+    api.reduce(api.world(), in, out, Datatype::kInt64, Op::kSum, 0);
+  }),
+               util::UsageError);
+}
+
+}  // namespace
+}  // namespace c3::simmpi

@@ -1,0 +1,220 @@
+// Edge-case semantics of the simulated MPI runtime: degenerate communicator
+// sizes, zero-length payloads, request lifecycle corners, deep communicator
+// chains, and mixed non-blocking patterns.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace c3::simmpi {
+namespace {
+
+TEST(Edge, SingleRankCollectivesAreLocal) {
+  Runtime rt(1);
+  rt.run([](Api& api) {
+    api.barrier(api.world());
+    std::int64_t v = 5, out = 0;
+    api.allreduce(api.world(), util::as_bytes(v),
+                  {reinterpret_cast<std::byte*>(&out), 8}, Datatype::kInt64,
+                  Op::kSum);
+    EXPECT_EQ(out, 5);
+    std::int64_t g = 0;
+    api.allgather(api.world(), util::as_bytes(v),
+                  {reinterpret_cast<std::byte*>(&g), 8});
+    EXPECT_EQ(g, 5);
+    std::int64_t a2a = 0;
+    api.alltoall(api.world(), util::as_bytes(v),
+                 {reinterpret_cast<std::byte*>(&a2a), 8});
+    EXPECT_EQ(a2a, 5);
+    std::int64_t sc = 0;
+    api.scan(api.world(), util::as_bytes(v),
+             {reinterpret_cast<std::byte*>(&sc), 8}, Datatype::kInt64,
+             Op::kSum);
+    EXPECT_EQ(sc, 5);
+  });
+}
+
+TEST(Edge, ZeroLengthCollectives) {
+  Runtime rt(3);
+  rt.run([](Api& api) {
+    api.bcast(api.world(), {}, 0);
+    api.allgather(api.world(), {}, {});
+    api.gather(api.world(), {}, {}, 1);
+  });
+}
+
+TEST(Edge, DeepCommDupChain) {
+  Runtime rt(3);
+  rt.run([](Api& api) {
+    Comm c = api.world();
+    for (int depth = 0; depth < 8; ++depth) {
+      c = api.comm_dup(c);
+      EXPECT_EQ(c.size(), 3);
+      EXPECT_EQ(c.rank(), api.world_rank());
+    }
+    // The deepest communicator still works for traffic.
+    std::int32_t v = api.world_rank(), sum = 0;
+    api.allreduce(c, util::as_bytes(v), {reinterpret_cast<std::byte*>(&sum), 4},
+                  Datatype::kInt32, Op::kSum);
+    EXPECT_EQ(sum, 3);
+  });
+}
+
+TEST(Edge, SplitOfSplit) {
+  Runtime rt(8);
+  rt.run([](Api& api) {
+    // First split: evens/odds; second split within each: low/high.
+    Comm half = api.comm_split(api.world(), api.world_rank() % 2,
+                               api.world_rank());
+    Comm quarter = api.comm_split(half, half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    std::int32_t v = api.world_rank(), sum = 0;
+    api.allreduce(quarter, util::as_bytes(v),
+                  {reinterpret_cast<std::byte*>(&sum), 4}, Datatype::kInt32,
+                  Op::kSum);
+    // Members of each quarter are world ranks {0,2},{4,6},{1,3},{5,7}.
+    const int base = api.world_rank() % 2;
+    const int group = (api.world_rank() / 2) / 2;
+    const int expect = (base + 4 * group) + (base + 4 * group + 2);
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+TEST(Edge, WaitOnCompletedSendIsIdempotentUntilFreed) {
+  Runtime rt(2);
+  rt.run([](Api& api) {
+    if (api.world_rank() == 0) {
+      const std::int32_t v = 1;
+      Request r = api.isend(api.world(), util::as_bytes(v), 1, 0);
+      EXPECT_TRUE(r.complete());
+      api.wait(r);  // wait on an already-complete request is fine
+      EXPECT_TRUE(r.complete());
+    } else {
+      std::int32_t v = 0;
+      api.recv(api.world(), {reinterpret_cast<std::byte*>(&v), 4}, 0, 0);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Edge, ManyOutstandingIrecvsCompleteInPostOrder) {
+  Runtime rt(2);
+  constexpr int kN = 32;
+  rt.run([](Api& api) {
+    if (api.world_rank() == 0) {
+      for (std::int32_t i = 0; i < kN; ++i) {
+        api.send(api.world(), util::as_bytes(i), 1, 0);
+      }
+    } else {
+      std::vector<std::int32_t> got(kN, -1);
+      std::vector<Request> reqs;
+      for (int i = 0; i < kN; ++i) {
+        reqs.push_back(api.irecv(
+            api.world(),
+            {reinterpret_cast<std::byte*>(&got[static_cast<std::size_t>(i)]), 4},
+            0, 0));
+      }
+      api.waitall(reqs);
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i)
+            << "posted receives must match same-tag messages in post order";
+      }
+    }
+  });
+}
+
+TEST(Edge, ScanWithMaxOperator) {
+  Runtime rt(5);
+  rt.run([](Api& api) {
+    // Values 4,1,3,0,2 by rank -> inclusive max-scan 4,4,4,4,4? No:
+    // rank r's value is (7 * r) % 5: 0,2,4,1,3 -> scan max: 0,2,4,4,4.
+    const std::int64_t mine = (7 * api.world_rank()) % 5;
+    std::int64_t out = -1;
+    api.scan(api.world(), util::as_bytes(mine),
+             {reinterpret_cast<std::byte*>(&out), 8}, Datatype::kInt64,
+             Op::kMax);
+    const std::int64_t expect[5] = {0, 2, 4, 4, 4};
+    EXPECT_EQ(out, expect[api.world_rank()]);
+  });
+}
+
+TEST(Edge, ReduceWithProdAndFloat) {
+  Runtime rt(3);
+  rt.run([](Api& api) {
+    const float mine = static_cast<float>(api.world_rank() + 2);  // 2,3,4
+    float out = 0;
+    api.reduce(api.world(), util::as_bytes(mine),
+               {reinterpret_cast<std::byte*>(&out), 4}, Datatype::kFloat,
+               Op::kProd, 2);
+    if (api.world_rank() == 2) EXPECT_FLOAT_EQ(out, 24.0f);
+  });
+}
+
+TEST(Edge, BitwiseOpsOnIntegers) {
+  Runtime rt(3);
+  rt.run([](Api& api) {
+    const std::int32_t mine = 1 << api.world_rank();  // 1,2,4
+    std::int32_t ored = 0, anded = 0;
+    api.allreduce(api.world(), util::as_bytes(mine),
+                  {reinterpret_cast<std::byte*>(&ored), 4}, Datatype::kInt32,
+                  Op::kBor);
+    EXPECT_EQ(ored, 7);
+    const std::int32_t mask = 6 | (1 << api.world_rank());
+    api.allreduce(api.world(), util::as_bytes(mask),
+                  {reinterpret_cast<std::byte*>(&anded), 4}, Datatype::kInt32,
+                  Op::kBand);
+    EXPECT_EQ(anded, 6);
+  });
+}
+
+TEST(Edge, ProbeSpecificSourceLeavesOthersQueued) {
+  Runtime rt(3);
+  rt.run([](Api& api) {
+    if (api.world_rank() == 0) {
+      // Wait until both messages are available, then probe selectively.
+      std::int32_t from1 = 0, from2 = 0;
+      ProbeInfo info2 = api.probe(api.world(), 2, kAnyTag);
+      EXPECT_EQ(info2.source, 2);
+      api.recv(api.world(), {reinterpret_cast<std::byte*>(&from2), 4}, 2,
+               kAnyTag);
+      EXPECT_EQ(from2, 22);
+      api.recv(api.world(), {reinterpret_cast<std::byte*>(&from1), 4}, 1,
+               kAnyTag);
+      EXPECT_EQ(from1, 11);
+    } else {
+      const std::int32_t v = api.world_rank() * 11;
+      api.send(api.world(), util::as_bytes(v), 0, 5);
+    }
+  });
+}
+
+TEST(Edge, RuntimeIsReusableAcrossRuns) {
+  Runtime rt(2);
+  for (int round = 0; round < 3; ++round) {
+    rt.run([round](Api& api) {
+      std::int32_t v = round, sum = 0;
+      api.allreduce(api.world(), util::as_bytes(v),
+                    {reinterpret_cast<std::byte*>(&sum), 4}, Datatype::kInt32,
+                    Op::kSum);
+      EXPECT_EQ(sum, 2 * round);
+    });
+  }
+}
+
+TEST(Edge, RankErrorPropagatesOutOfRun) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([](Api& api) {
+    if (api.world_rank() == 1) {
+      throw std::runtime_error("application bug");
+    }
+    // Rank 0 blocks forever; the abort must wake it.
+    std::int32_t v;
+    api.recv(api.world(), {reinterpret_cast<std::byte*>(&v), 4}, 1, 0);
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace c3::simmpi

@@ -1,0 +1,367 @@
+// State-saving machinery: Position Stack, VDS, global registry, heap arena
+// with HOS, checkpoint container (paper Section 5.1).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "statesave/checkpoint.hpp"
+#include "statesave/globals.hpp"
+#include "statesave/heap.hpp"
+#include "statesave/position_stack.hpp"
+#include "statesave/save_context.hpp"
+#include "statesave/vds.hpp"
+
+namespace c3::statesave {
+namespace {
+
+// ----------------------------------------------------------- PositionStack
+
+TEST(PositionStack, PushPopTracksDepth) {
+  PositionStack ps;
+  EXPECT_TRUE(ps.empty());
+  ps.push(1);
+  ps.push(2);
+  EXPECT_EQ(ps.depth(), 2u);
+  ps.pop();
+  EXPECT_EQ(ps.depth(), 1u);
+}
+
+TEST(PositionStack, PopEmptyThrows) {
+  PositionStack ps;
+  EXPECT_THROW(ps.pop(), util::UsageError);
+}
+
+TEST(PositionStack, RestoreWalksOutermostFirst) {
+  PositionStack ps;
+  ps.push(10);  // main's call site
+  ps.push(20);  // nested call site
+  ps.push(30);  // the potentialCheckpoint label
+  util::Writer w;
+  ps.save(w);
+
+  PositionStack restored;
+  util::Reader r(w.bytes());
+  restored.load(r);
+  restored.begin_restore();
+  EXPECT_TRUE(restored.restoring());
+  EXPECT_EQ(restored.restore_next(), 10);
+  EXPECT_TRUE(restored.restoring());
+  EXPECT_EQ(restored.restore_next(), 20);
+  EXPECT_EQ(restored.restore_next(), 30);
+  EXPECT_FALSE(restored.restoring()) << "restore ends at the innermost label";
+}
+
+TEST(PositionStack, EmptyStackDoesNotEnterRestore) {
+  PositionStack ps;
+  ps.begin_restore();
+  EXPECT_FALSE(ps.restoring());
+}
+
+TEST(PositionStack, MutationWhileRestoringThrows) {
+  PositionStack ps;
+  ps.push(1);
+  ps.push(2);
+  util::Writer w;
+  ps.save(w);
+  PositionStack restored;
+  util::Reader r(w.bytes());
+  restored.load(r);
+  restored.begin_restore();
+  EXPECT_THROW(restored.push(3), util::UsageError);
+  EXPECT_THROW(restored.pop(), util::UsageError);
+}
+
+// -------------------------------------------------------------------- VDS
+
+TEST(Vds, SaveRestoreValuesInStackOrder) {
+  VariableDescriptorStack vds;
+  int a = 42;
+  double b = 2.5;
+  char buf[8] = "hello";
+  vds.push(&a, sizeof(a));
+  vds.push(&b, sizeof(b));
+  vds.push(buf, sizeof(buf));
+  EXPECT_EQ(vds.payload_bytes(), sizeof(a) + sizeof(b) + sizeof(buf));
+
+  util::Writer w;
+  vds.save_values(w);
+
+  a = 0;
+  b = 0;
+  std::memset(buf, 0, sizeof(buf));
+  util::Reader r(w.bytes());
+  vds.restore_values(r);
+  EXPECT_EQ(a, 42);
+  EXPECT_EQ(b, 2.5);
+  EXPECT_STREQ(buf, "hello");
+}
+
+TEST(Vds, ShapeMismatchThrows) {
+  VariableDescriptorStack vds;
+  int a = 1;
+  vds.push(&a, sizeof(a));
+  util::Writer w;
+  vds.save_values(w);
+  vds.pop();  // restored stack has different shape
+  util::Reader r(w.bytes());
+  EXPECT_THROW(vds.restore_values(r), util::CorruptionError);
+}
+
+TEST(Vds, PopPastBottomThrows) {
+  VariableDescriptorStack vds;
+  int a = 1;
+  vds.push(&a, sizeof(a));
+  EXPECT_THROW(vds.pop(2), util::UsageError);
+}
+
+TEST(Vds, ScopedVarPairsPushPop) {
+  VariableDescriptorStack vds;
+  {
+    int x = 7;
+    ScopedVar guard(vds, x);
+    EXPECT_EQ(vds.depth(), 1u);
+    {
+      double y = 1.5;
+      ScopedVar inner(vds, y);
+      EXPECT_EQ(vds.depth(), 2u);
+    }
+    EXPECT_EQ(vds.depth(), 1u);
+  }
+  EXPECT_EQ(vds.depth(), 0u);
+}
+
+// ---------------------------------------------------------- GlobalRegistry
+
+TEST(Globals, SaveRestoreByName) {
+  GlobalRegistry reg;
+  int counter = 5;
+  double coeffs[3] = {1, 2, 3};
+  reg.register_global("counter", counter);
+  reg.register_global("coeffs", coeffs, sizeof(coeffs));
+  util::Writer w;
+  reg.save_values(w);
+
+  counter = 0;
+  coeffs[0] = coeffs[1] = coeffs[2] = 0;
+  util::Reader r(w.bytes());
+  reg.restore_values(r);
+  EXPECT_EQ(counter, 5);
+  EXPECT_EQ(coeffs[2], 3);
+}
+
+TEST(Globals, DuplicateNameThrows) {
+  GlobalRegistry reg;
+  int a = 0, b = 0;
+  reg.register_global("x", a);
+  EXPECT_THROW(reg.register_global("x", b), util::UsageError);
+}
+
+TEST(Globals, UnknownGlobalInCheckpointThrows) {
+  GlobalRegistry writer_side;
+  int v = 1;
+  writer_side.register_global("old_name", v);
+  util::Writer w;
+  writer_side.save_values(w);
+
+  GlobalRegistry reader_side;
+  int u = 0;
+  reader_side.register_global("new_name", u);
+  util::Reader r(w.bytes());
+  EXPECT_THROW(reader_side.restore_values(r), util::CorruptionError);
+}
+
+// ---------------------------------------------------------------- HeapArena
+
+TEST(Heap, AllocFreeReuse) {
+  HeapArena arena(4096);
+  void* a = arena.alloc(100);
+  void* b = arena.alloc(200);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_EQ(arena.live_objects(), 2u);
+  arena.free(a);
+  EXPECT_EQ(arena.live_objects(), 1u);
+  // First-fit should reuse the freed block for an equal-size request.
+  void* c = arena.alloc(100);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Heap, CoalescingAllowsFullReuse) {
+  HeapArena arena(1024);
+  void* a = arena.alloc(256);
+  void* b = arena.alloc(256);
+  void* c = arena.alloc(256);
+  arena.free(b);
+  arena.free(a);  // coalesce left neighbour
+  arena.free(c);  // coalesce both sides -> whole arena free again
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  void* big = arena.alloc(1024);
+  EXPECT_NE(big, nullptr);
+}
+
+TEST(Heap, ExhaustionThrowsBadAlloc) {
+  HeapArena arena(256);
+  (void)arena.alloc(200);
+  EXPECT_THROW((void)arena.alloc(200), std::bad_alloc);
+}
+
+TEST(Heap, FreeOfForeignPointerThrows) {
+  HeapArena arena(256);
+  int x;
+  EXPECT_THROW(arena.free(&x), util::UsageError);
+}
+
+TEST(Heap, DoubleFreeThrows) {
+  HeapArena arena(256);
+  void* p = arena.alloc(16);
+  arena.free(p);
+  EXPECT_THROW(arena.free(p), util::UsageError);
+}
+
+TEST(Heap, SaveLoadRestoresObjectsAtSameAddresses) {
+  HeapArena arena(8192);
+  auto* xs = arena.alloc_array<int>(10);
+  auto* ys = arena.alloc_array<double>(5);
+  for (int i = 0; i < 10; ++i) xs[i] = i * i;
+  for (int i = 0; i < 5; ++i) ys[i] = i + 0.5;
+  // A raw pointer stored *inside* a heap object must survive recovery
+  // (Section 5.1.4: pointers are saved as ordinary data).
+  struct Node {
+    int* data;
+    double* other;
+  };
+  auto* node = static_cast<Node*>(arena.alloc(sizeof(Node)));
+  node->data = xs;
+  node->other = ys;
+
+  util::Writer w;
+  arena.save(w);
+
+  // Trash everything, then restore.
+  for (int i = 0; i < 10; ++i) xs[i] = -1;
+  node->data = nullptr;
+  arena.free(ys);
+  util::Reader r(w.bytes());
+  arena.load(r);
+
+  EXPECT_EQ(arena.live_objects(), 3u);
+  EXPECT_EQ(xs[7], 49);
+  EXPECT_EQ(node->data, xs) << "pointer fidelity lost";
+  EXPECT_EQ(node->other[4], 4.5);
+}
+
+TEST(Heap, LoadRecomputesFreeList) {
+  HeapArena arena(4096);
+  void* a = arena.alloc(512);
+  (void)arena.alloc(512);
+  arena.free(a);  // hole at the front
+  util::Writer w;
+  arena.save(w);
+  util::Reader r(w.bytes());
+  arena.load(r);
+  // The hole must be allocatable again.
+  void* c = arena.alloc(512);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Heap, AllocationsAreAligned) {
+  HeapArena arena(1024);
+  for (std::size_t size : {1u, 3u, 17u, 31u}) {
+    void* p = arena.alloc(size);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  }
+}
+
+// --------------------------------------------------------------- Checkpoint
+
+TEST(Checkpoint, BuildAndReadSections) {
+  CheckpointBuilder b;
+  b.add_section("alpha", util::Bytes(10, std::byte{1}));
+  b.add_section("beta", util::Bytes(20, std::byte{2}));
+  const auto blob = b.finish();
+
+  CheckpointView view(blob);
+  EXPECT_EQ(view.section_count(), 2u);
+  ASSERT_TRUE(view.section("alpha").has_value());
+  EXPECT_EQ(view.section("alpha")->size(), 10u);
+  EXPECT_FALSE(view.section("gamma").has_value());
+  EXPECT_THROW(view.require_section("gamma"), util::CorruptionError);
+}
+
+TEST(Checkpoint, DuplicateSectionThrows) {
+  CheckpointBuilder b;
+  b.add_section("s", {});
+  EXPECT_THROW(b.add_section("s", {}), util::UsageError);
+}
+
+TEST(Checkpoint, CorruptionDetectedByCrc) {
+  CheckpointBuilder b;
+  b.add_section("data", util::Bytes(100, std::byte{7}));
+  auto blob = b.finish();
+  blob[blob.size() - 5] ^= std::byte{0xFF};  // flip a payload byte
+  EXPECT_THROW(CheckpointView{blob}, util::CorruptionError);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  util::Bytes junk(64, std::byte{0});
+  EXPECT_THROW(CheckpointView{junk}, util::CorruptionError);
+}
+
+// -------------------------------------------------------------- SaveContext
+
+TEST(SaveContext, FullCycleWithHeap) {
+  SaveContext ctx(4096);
+  int stack_var = 11;
+  ctx.vds().push(&stack_var, sizeof(stack_var));
+  int global_var = 22;
+  ctx.globals().register_global("g", global_var);
+  auto* heap_obj = ctx.heap().alloc_array<int>(4);
+  heap_obj[0] = 33;
+  ctx.ps().push(1);
+  ctx.ps().push(2);
+
+  CheckpointBuilder b;
+  ctx.capture(b);
+  const auto blob = b.finish();
+
+  // Mutate, then restore.
+  stack_var = 0;
+  global_var = 0;
+  heap_obj[0] = 0;
+
+  CheckpointView view(blob);
+  ctx.begin_restore(view);
+  EXPECT_TRUE(ctx.restore_pending());
+  EXPECT_EQ(global_var, 22) << "globals restore in phase 1";
+  EXPECT_EQ(heap_obj[0], 33) << "heap restores in phase 1";
+  EXPECT_EQ(ctx.vds().depth(), 0u)
+      << "a restarted process begins with an empty VDS";
+  EXPECT_TRUE(ctx.ps().restoring());
+  EXPECT_EQ(ctx.ps().restore_next(), 1);
+  EXPECT_EQ(ctx.ps().restore_next(), 2);
+  // Re-entering the instrumented function re-pushes its descriptors,
+  // rebuilding the stack shape; then the saved values are copied back.
+  ctx.vds().push(&stack_var, sizeof(stack_var));
+  ctx.finish_restore();
+  EXPECT_EQ(stack_var, 11) << "VDS values restore in phase 2";
+  EXPECT_FALSE(ctx.restore_pending());
+}
+
+TEST(SaveContext, StateBytesAccounting) {
+  SaveContext ctx(1024);
+  EXPECT_EQ(ctx.state_bytes(), 0u);
+  int v = 0;
+  ctx.vds().push(&v, sizeof(v));
+  (void)ctx.heap().alloc(64);
+  EXPECT_EQ(ctx.state_bytes(), sizeof(v) + 64);
+}
+
+TEST(SaveContext, NoHeapConfigured) {
+  SaveContext ctx;
+  EXPECT_FALSE(ctx.has_heap());
+  EXPECT_THROW(ctx.heap(), util::UsageError);
+}
+
+}  // namespace
+}  // namespace c3::statesave

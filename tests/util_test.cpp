@@ -1,0 +1,277 @@
+// Unit tests for the util module: archives, CRC, RNG, stable storage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+
+#include "util/archive.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stable_storage.hpp"
+
+namespace c3::util {
+namespace {
+
+// ---------------------------------------------------------------- Archive
+
+TEST(Archive, ScalarRoundTrip) {
+  Writer w;
+  w.put<std::int32_t>(-7);
+  w.put<std::uint64_t>(0xDEADBEEFCAFEBABEull);
+  w.put<double>(3.25);
+  w.put<bool>(true);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<bool>(), true);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Archive, StringAndBytesRoundTrip) {
+  Writer w;
+  w.put_string("hello checkpoint");
+  w.put_string("");
+  Bytes blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.put_bytes(blob);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello checkpoint");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_bytes(), blob);
+}
+
+TEST(Archive, VectorRoundTrip) {
+  Writer w;
+  std::vector<std::int64_t> v{1, -2, 3, -4};
+  w.put_vector(v);
+  std::vector<float> empty;
+  w.put_vector(empty);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_vector<std::int64_t>(), v);
+  EXPECT_TRUE(r.get_vector<float>().empty());
+}
+
+TEST(Archive, UnderflowThrowsCorruption) {
+  Writer w;
+  w.put<std::int32_t>(1);
+  Reader r(w.bytes());
+  (void)r.get<std::int32_t>();
+  EXPECT_THROW((void)r.get<std::int32_t>(), CorruptionError);
+}
+
+TEST(Archive, TruncatedStringThrows) {
+  Writer w;
+  w.put_string("0123456789");
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 3);
+  Reader r(bytes);
+  EXPECT_THROW((void)r.get_string(), CorruptionError);
+}
+
+TEST(Archive, RawBytesNoPrefix) {
+  Writer w;
+  Bytes raw{std::byte{9}, std::byte{8}};
+  w.put_raw(raw);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_raw(2), raw);
+  EXPECT_TRUE(r.empty());
+}
+
+// ------------------------------------------------------------------ CRC32
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926, the classic check value.
+  const char* s = "123456789";
+  std::span<const std::byte> b{reinterpret_cast<const std::byte*>(s), 9};
+  EXPECT_EQ(crc32(b), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, ChunkedEqualsWhole) {
+  Bytes data(1000);
+  Rng rng(42);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  const auto whole = crc32(data);
+  std::uint32_t chunked = 0;
+  chunked = crc32(std::span(data).first(137), chunked);
+  chunked = crc32(std::span(data).subspan(137), chunked);
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  Bytes data(64, std::byte{0x5A});
+  const auto before = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), before);
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng base(7);
+  Rng f0 = base.fork(0), f1 = base.fork(1);
+  EXPECT_NE(f0.next_u64(), f1.next_u64());
+}
+
+TEST(Rng, StateRoundTrip) {
+  Rng a(99);
+  (void)a.next_u64();
+  const auto st = a.state();
+  const auto expect = a.next_u64();
+  Rng b;
+  b.set_state(st);
+  EXPECT_EQ(b.next_u64(), expect);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --------------------------------------------------------- StableStorage
+
+// Both backends must satisfy the same contract; run the suite over each.
+class StorageTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      storage_ = std::make_unique<MemoryStorage>();
+    } else {
+      static int counter = 0;
+      dir_ = std::filesystem::temp_directory_path() /
+             ("c3_storage_test_" + std::to_string(counter++));
+      std::filesystem::remove_all(dir_);
+      storage_ = std::make_unique<DiskStorage>(dir_);
+    }
+  }
+  void TearDown() override {
+    storage_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<StableStorage> storage_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(StorageTest, PutGetRoundTrip) {
+  Bytes data{std::byte{1}, std::byte{2}, std::byte{3}};
+  BlobKey key{.epoch = 1, .rank = 2, .section = "state"};
+  storage_->put(key, data);
+  auto back = storage_->get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_P(StorageTest, MissingBlobIsNullopt) {
+  EXPECT_FALSE(storage_->get({.epoch = 9, .rank = 0, .section = "nope"}));
+}
+
+TEST_P(StorageTest, OverwriteReplaces) {
+  BlobKey key{.epoch = 0, .rank = 0, .section = "log"};
+  storage_->put(key, Bytes(10, std::byte{0xAA}));
+  storage_->put(key, Bytes(3, std::byte{0xBB}));
+  auto back = storage_->get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[0], std::byte{0xBB});
+}
+
+TEST_P(StorageTest, KeysAreIndependent) {
+  storage_->put({.epoch = 1, .rank = 0, .section = "s"}, Bytes(1, std::byte{1}));
+  storage_->put({.epoch = 1, .rank = 1, .section = "s"}, Bytes(1, std::byte{2}));
+  storage_->put({.epoch = 2, .rank = 0, .section = "s"}, Bytes(1, std::byte{3}));
+  EXPECT_EQ((*storage_->get({.epoch = 1, .rank = 0, .section = "s"}))[0],
+            std::byte{1});
+  EXPECT_EQ((*storage_->get({.epoch = 1, .rank = 1, .section = "s"}))[0],
+            std::byte{2});
+  EXPECT_EQ((*storage_->get({.epoch = 2, .rank = 0, .section = "s"}))[0],
+            std::byte{3});
+}
+
+TEST_P(StorageTest, CommitIsSticky) {
+  EXPECT_FALSE(storage_->committed_epoch().has_value());
+  storage_->commit(3);
+  ASSERT_TRUE(storage_->committed_epoch().has_value());
+  EXPECT_EQ(*storage_->committed_epoch(), 3);
+  storage_->commit(4);
+  EXPECT_EQ(*storage_->committed_epoch(), 4);
+}
+
+TEST_P(StorageTest, DropEpochRemovesOnlyThatEpoch) {
+  storage_->put({.epoch = 1, .rank = 0, .section = "s"}, Bytes(5, std::byte{1}));
+  storage_->put({.epoch = 2, .rank = 0, .section = "s"}, Bytes(5, std::byte{2}));
+  storage_->drop_epoch(1);
+  EXPECT_FALSE(storage_->get({.epoch = 1, .rank = 0, .section = "s"}));
+  EXPECT_TRUE(storage_->get({.epoch = 2, .rank = 0, .section = "s"}));
+}
+
+TEST_P(StorageTest, BytesWrittenAccumulates) {
+  const auto before = storage_->bytes_written();
+  storage_->put({.epoch = 0, .rank = 0, .section = "a"}, Bytes(100));
+  storage_->put({.epoch = 0, .rank = 0, .section = "a"}, Bytes(50));
+  EXPECT_EQ(storage_->bytes_written() - before, 150u);
+}
+
+TEST_P(StorageTest, EmptyBlobRoundTrip) {
+  BlobKey key{.epoch = 0, .rank = 0, .section = "empty"};
+  storage_->put(key, Bytes{});
+  auto back = storage_->get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
+                         ::testing::Values("memory", "disk"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DiskStorage, CommitSurvivesReopen) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_storage_reopen_test";
+  std::filesystem::remove_all(dir);
+  {
+    DiskStorage s(dir);
+    s.put({.epoch = 5, .rank = 1, .section = "state"}, Bytes(7, std::byte{9}));
+    s.commit(5);
+  }
+  {
+    DiskStorage s(dir);
+    ASSERT_TRUE(s.committed_epoch().has_value());
+    EXPECT_EQ(*s.committed_epoch(), 5);
+    auto blob = s.get({.epoch = 5, .rank = 1, .section = "state"});
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(blob->size(), 7u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace c3::util
