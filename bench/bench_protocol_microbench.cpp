@@ -1,7 +1,17 @@
 // Protocol-layer microbenchmarks: message classification (Figure 3 /
-// Definition 1), event-log append/serialize throughput, and recovery
-// rollback cost (time from failure to resumed execution).
+// Definition 1), event-log append/serialize throughput, message-path
+// throughput over the pooled zero-copy path, and recovery rollback cost
+// (time from failure to resumed execution).
+//
+// Besides the google-benchmark tables, the binary always writes
+// BENCH_protocol.json -- machine-readable steady-state message-path
+// numbers (msgs/sec, copied bytes and allocations per message) so the
+// perf trajectory of the send/receive path is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
 
 #include "bench/bench_common.hpp"
 #include "core/logrec.hpp"
@@ -11,6 +21,88 @@ namespace {
 
 using namespace c3;
 using namespace c3::bench;
+
+/// Steady-state message-path result at one payload size.
+struct MsgPathResult {
+  std::size_t payload = 0;
+  std::uint64_t msgs = 0;
+  double seconds = 0;
+  double copied_bytes_per_msg = 0;
+  double allocs_per_msg = 0;
+  double msgs_per_sec() const { return seconds > 0 ? msgs / seconds : 0; }
+};
+
+/// Windowed two-rank stream through the full protocol layer (kFull level,
+/// piggyback framing, pooled buffers); measures the steady state after a
+/// warmup that populates the pool.
+MsgPathResult run_message_path(std::size_t payload, int rounds,
+                               int window = 32) {
+  MsgPathResult res;
+  res.payload = payload;
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.level = InstrumentLevel::kFull;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    std::vector<std::byte> buf(payload, std::byte{0x42});
+    std::byte ack{};
+    p.complete_registration();
+    auto& fabric = p.api().runtime().fabric();
+    std::uint64_t copied_mark = 0, allocs_mark = 0;
+    std::chrono::steady_clock::time_point t0;
+    for (int phase = 0; phase < 2; ++phase) {
+      const int n = (phase == 0) ? 4 : rounds;
+      if (phase == 1 && p.rank() == 0) {
+        copied_mark = fabric.stats().copied_bytes.load();
+        allocs_mark = fabric.stats().allocs.load();
+        t0 = std::chrono::steady_clock::now();
+      }
+      for (int r = 0; r < n; ++r) {
+        if (p.rank() == 0) {
+          for (int i = 0; i < window; ++i) p.send(buf, 1, 7);
+          p.recv({&ack, 1}, 1, 8);
+        } else {
+          for (int i = 0; i < window; ++i) p.recv(buf, 0, 7);
+          p.send({&ack, 1}, 0, 8);
+        }
+      }
+      if (phase == 1 && p.rank() == 0) {
+        const auto t1 = std::chrono::steady_clock::now();
+        res.seconds = std::chrono::duration<double>(t1 - t0).count();
+        res.msgs = static_cast<std::uint64_t>(rounds) * window;
+        res.copied_bytes_per_msg =
+            static_cast<double>(fabric.stats().copied_bytes.load() -
+                                copied_mark) /
+            static_cast<double>(res.msgs);
+        res.allocs_per_msg =
+            static_cast<double>(fabric.stats().allocs.load() - allocs_mark) /
+            static_cast<double>(res.msgs);
+      }
+    }
+  });
+  return res;
+}
+
+void write_protocol_json(const std::vector<MsgPathResult>& results) {
+  std::FILE* f = std::fopen("BENCH_protocol.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"protocol_message_path\",\n");
+  std::fprintf(f, "  \"ranks\": 2,\n  \"level\": \"full-ckpt\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"payload_bytes\": %zu, \"msgs\": %llu, "
+                 "\"seconds\": %.6f, \"msgs_per_sec\": %.0f, "
+                 "\"copied_bytes_per_msg\": %.2f, "
+                 "\"allocs_per_msg\": %.4f}%s\n",
+                 r.payload, static_cast<unsigned long long>(r.msgs), r.seconds,
+                 r.msgs_per_sec(), r.copied_bytes_per_msg, r.allocs_per_msg,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
 
 void BM_Classify(benchmark::State& state) {
   // Sweep the classification over all reachable protocol states.
@@ -27,6 +119,20 @@ void BM_Classify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Classify);
+
+void BM_MessagePath(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    const auto res = run_message_path(payload, /*rounds=*/64);
+    msgs += res.msgs;
+    state.counters["msgs_per_sec"] = res.msgs_per_sec();
+    state.counters["copied_bytes_per_msg"] = res.copied_bytes_per_msg;
+    state.counters["allocs_per_msg"] = res.allocs_per_msg;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(msgs * payload));
+}
+BENCHMARK(BM_MessagePath)->Arg(64)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_EventLogAppendLate(benchmark::State& state) {
   const auto payload_size = static_cast<std::size_t>(state.range(0));
@@ -90,4 +196,37 @@ BENCHMARK(BM_RecoveryRollback)->Arg(16)->Arg(1024)->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --benchmark_list_tests must only list; don't run workloads or touch
+  // BENCH_protocol.json in that mode.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--benchmark_list_tests" ||
+        arg == "--benchmark_list_tests=true" ||
+        arg == "--benchmark_list_tests=1") {
+      list_only = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (list_only) return 0;
+  // Emit the machine-readable message-path numbers, independent of
+  // whatever --benchmark_filter selected above.
+  std::vector<MsgPathResult> results;
+  for (const std::size_t payload : {std::size_t{64}, std::size_t{4096},
+                                    std::size_t{65536}}) {
+    results.push_back(run_message_path(payload, /*rounds=*/512));
+  }
+  write_protocol_json(results);
+  std::printf("\nwrote BENCH_protocol.json:\n");
+  for (const auto& r : results) {
+    std::printf("  payload %6zu B: %10.0f msgs/s, %8.1f copied B/msg, "
+                "%6.4f allocs/msg\n",
+                r.payload, r.msgs_per_sec(), r.copied_bytes_per_msg,
+                r.allocs_per_msg);
+  }
+  return 0;
+}

@@ -31,7 +31,12 @@ RecvOutcome get_recv(util::Reader& r) {
 }  // namespace
 
 util::Bytes EventLog::serialize() const {
-  util::Writer w;
+  // Exact encoded size, so the Writer never regrows mid-serialization.
+  constexpr std::size_t kRecvFixed = 4 * 4 + 4 + 1 + 8;
+  std::size_t total = 4 + 8 + 8 + 8 + 8 * nondets_.size();
+  for (const auto& rec : recvs_) total += kRecvFixed + rec.payload.size();
+  for (const auto& c : collectives_) total += 8 + c.payload.size();
+  util::Writer w(total);
   w.put<std::uint32_t>(kLogMagic);
   w.put<std::uint64_t>(recvs_.size());
   for (const auto& rec : recvs_) put_recv(w, rec);

@@ -64,13 +64,12 @@ struct PseudoRequest {
   simmpi::Tag pattern_tag = simmpi::kAnyTag;
   std::byte* out = nullptr;
   std::size_t out_size = 0;
-  util::Bytes staging;     ///< framed network buffer (header + payload)
-  simmpi::Request real;    ///< live simmpi request, when posted
+  /// Live simmpi request, when posted. Posted in owned-payload mode: on
+  /// completion its state holds the framed wire buffer (header + payload)
+  /// moved straight off the packet -- there is no staging copy.
+  simmpi::Request real;
   util::Bytes replay_payload;  ///< payload delivered from the log
   bool from_replay = false;
-
-  // Send bookkeeping.
-  std::uint32_t message_id = 0;
 };
 
 /// Checkpointed form of a live pseudo-request (Section 5.2 reinit rules).

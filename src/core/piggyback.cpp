@@ -8,8 +8,11 @@ std::size_t piggyback_size(PiggybackMode mode) {
   return mode == PiggybackMode::kPacked ? 4 : 9;
 }
 
-void encode_piggyback(PiggybackMode mode, const Piggyback& pb,
-                      util::Writer& w) {
+void encode_piggyback_into(PiggybackMode mode, const Piggyback& pb,
+                           std::span<std::byte> out) {
+  if (out.size() != piggyback_size(mode)) {
+    throw util::UsageError("piggyback headroom size mismatch");
+  }
   if (mode == PiggybackMode::kPacked) {
     if (pb.message_id > kMaxPackedMessageId) {
       // "...it is unlikely that a single process will send more than a
@@ -19,12 +22,22 @@ void encode_piggyback(PiggybackMode mode, const Piggyback& pb,
     std::uint32_t word = pb.message_id;
     if (pb.color()) word |= (1u << 31);
     if (pb.logging) word |= (1u << 30);
-    w.put<std::uint32_t>(word);
+    std::memcpy(out.data(), &word, sizeof(word));
   } else {
-    w.put<std::int32_t>(pb.epoch);
-    w.put<std::uint8_t>(pb.logging ? 1 : 0);
-    w.put<std::uint32_t>(pb.message_id);
+    std::memcpy(out.data(), &pb.epoch, sizeof(pb.epoch));
+    out[4] = std::byte{pb.logging ? std::uint8_t{1} : std::uint8_t{0}};
+    std::memcpy(out.data() + 5, &pb.message_id, sizeof(pb.message_id));
   }
+}
+
+void encode_piggyback(PiggybackMode mode, const Piggyback& pb,
+                      util::Writer& w) {
+  // Single source of truth for the wire layout: encode into a scratch
+  // frame exactly as the headroom path does, then append it.
+  std::byte buf[9];
+  const std::span<std::byte> frame(buf, piggyback_size(mode));
+  encode_piggyback_into(mode, pb, frame);
+  w.put_raw(frame);
 }
 
 Piggyback decode_piggyback(PiggybackMode mode, util::Reader& r) {

@@ -37,6 +37,11 @@ std::size_t piggyback_size(PiggybackMode mode);
 /// Append the header to `w`.
 void encode_piggyback(PiggybackMode mode, const Piggyback& pb, util::Writer& w);
 
+/// Encode the header in place into `out`, which must be exactly
+/// piggyback_size(mode) bytes (the headroom of a pooled message buffer).
+void encode_piggyback_into(PiggybackMode mode, const Piggyback& pb,
+                           std::span<std::byte> out);
+
 /// Decode a header from `r`. In kPacked mode the returned epoch is the
 /// color bit (0 or 1); classification uses parity only.
 Piggyback decode_piggyback(PiggybackMode mode, util::Reader& r);

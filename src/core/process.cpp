@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/buffer_pool.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -90,38 +91,28 @@ void Process::pump() {
 
 void Process::send(std::span<const std::byte> data, simmpi::Rank dst,
                    simmpi::Tag tag, CommHandle comm) {
-  (void)isend(data, dst, tag, comm);
+  // A blocking send is complete the moment the protocol hands the buffer
+  // to the fabric; no pseudo-request is registered (isend-then-forget used
+  // to leave a completed request in the table forever).
+  (void)send_now(data, dst, tag, comm);
 }
 
-RequestId Process::isend(std::span<const std::byte> data, simmpi::Rank dst,
-                         simmpi::Tag tag, CommHandle comm) {
+simmpi::Status Process::send_now(std::span<const std::byte> data,
+                                 simmpi::Rank dst, simmpi::Tag tag,
+                                 CommHandle comm) {
   const simmpi::Comm& c = resolve(comm);
   // The failure-injection hook fires at every instrumentation level: a
   // stopping failure is a property of the machine, not of the protocol.
   event();
   if (passthrough()) {
     simmpi::Request r = api_.isend(c, data, dst, tag);
-    PseudoRequest pr;
-    pr.kind = PseudoRequest::Kind::kSend;
-    pr.complete = true;
-    pr.processed = true;
-    pr.status = r.status();
-    const RequestId id = next_request_id_++;
-    requests_[id] = std::move(pr);
-    return id;
+    return r.status();
   }
   pump();
   stats_.app_sends++;
   const simmpi::Rank dst_world = c.to_world(dst);
   const std::uint32_t msg_id = next_message_id_++;
   send_count_[static_cast<std::size_t>(dst_world)]++;
-
-  PseudoRequest pr;
-  pr.kind = PseudoRequest::Kind::kSend;
-  pr.complete = true;
-  pr.processed = true;
-  pr.message_id = msg_id;
-  pr.status = simmpi::Status{dst, tag, data.size()};
 
   // Early-message suppression (Section 3.2): the receiver's checkpointed
   // state already contains this message, so it must not be resent.
@@ -130,14 +121,32 @@ RequestId Process::isend(std::span<const std::byte> data, simmpi::Rank dst,
     sup.erase(it);
     stats_.suppressed_sends++;
   } else {
-    util::Writer w;
-    encode_piggyback(shared_.piggyback,
-                     Piggyback{epoch_, am_logging_, msg_id}, w);
-    w.put_raw(data);
-    api_.send(c, w.bytes(), dst, tag);
-    stats_.piggyback_bytes += piggyback_size(shared_.piggyback);
+    // Frame the message in one pooled buffer: the piggyback header is
+    // encoded directly into the headroom and the buffer is *moved* through
+    // the MPI layer into the wire packet -- the payload is touched exactly
+    // once on the send side (the buffered-semantics capture).
+    const std::size_t header = piggyback_size(shared_.piggyback);
+    util::MsgBuffer mb(api_.runtime().fabric().acquire_buffer(header +
+                                                              data.size()),
+                       header);
+    encode_piggyback_into(shared_.piggyback,
+                          Piggyback{epoch_, am_logging_, msg_id}, mb.header());
+    if (!data.empty()) {
+      std::memcpy(mb.payload().data(), data.data(), data.size());
+    }
+    api_.send(c, mb.take(), dst, tag);
+    stats_.piggyback_bytes += header;
   }
+  return simmpi::Status{dst, tag, data.size()};
+}
 
+RequestId Process::isend(std::span<const std::byte> data, simmpi::Rank dst,
+                         simmpi::Tag tag, CommHandle comm) {
+  PseudoRequest pr;
+  pr.kind = PseudoRequest::Kind::kSend;
+  pr.complete = true;
+  pr.processed = true;
+  pr.status = send_now(data, dst, tag, comm);
   const RequestId id = next_request_id_++;
   requests_[id] = std::move(pr);
   return id;
@@ -158,6 +167,7 @@ RequestId Process::irecv(std::span<std::byte> out, simmpi::Rank src,
   if (passthrough()) {
     PseudoRequest pr;
     pr.kind = PseudoRequest::Kind::kRecv;
+    pr.comm = comm;  // comm_free's pending-receive guard must see this
     pr.real = api_.irecv(c, out, src, tag);
     pr.processed = true;  // no piggyback to strip
     pr.out = out.data();
@@ -218,9 +228,7 @@ RequestId Process::post_recv(std::span<std::byte> out, simmpi::Rank src,
       // receive it live -- but pinned to the logged (source, tag), which
       // resolves any wildcard non-determinism exactly as in the original
       // execution.
-      pr.staging.resize(out.size() + piggyback_size(shared_.piggyback));
-      pr.real =
-          api_.irecv(c, pr.staging, c.from_world(entry->src), entry->tag);
+      pr.real = api_.irecv_owned(c, c.from_world(entry->src), entry->tag);
       const RequestId id = next_request_id_++;
       requests_[id] = std::move(pr);
       outstanding_recvs_.push_back(id);
@@ -228,8 +236,7 @@ RequestId Process::post_recv(std::span<std::byte> out, simmpi::Rank src,
     }
   }
 
-  pr.staging.resize(out.size() + piggyback_size(shared_.piggyback));
-  pr.real = api_.irecv(c, pr.staging, src, tag);
+  pr.real = api_.irecv_owned(c, src, tag);
   const RequestId id = next_request_id_++;
   requests_[id] = std::move(pr);
   outstanding_recvs_.push_back(id);
@@ -264,11 +271,21 @@ void Process::process_one_recv(PseudoRequest& pr) {
   const std::size_t header = piggyback_size(shared_.piggyback);
   protocol_invariant(net_status.size >= header, "message without piggyback");
 
-  util::Reader r(std::span(pr.staging).first(net_status.size));
+  // The owned wire buffer, moved off the packet by the matching engine:
+  // decode the piggyback in place and copy the payload *once*, straight
+  // into the application's buffer.
+  util::Bytes wire = std::move(pr.real.state()->payload);
+  util::Reader r(wire);
   const Piggyback pb = decode_piggyback(shared_.piggyback, r);
   const std::size_t payload_size = net_status.size - header;
+  if (payload_size > pr.out_size) {
+    throw util::UsageError(
+        "message truncation: recv buffer " + std::to_string(pr.out_size) +
+        " bytes, message " + std::to_string(payload_size) + " bytes");
+  }
   if (payload_size > 0) {
-    std::memcpy(pr.out, pr.staging.data() + header, payload_size);
+    std::memcpy(pr.out, wire.data() + header, payload_size);
+    api_.runtime().fabric().count_copied(payload_size);
   }
   pr.status = simmpi::Status{net_status.source, net_status.tag, payload_size};
   pr.complete = true;
@@ -323,15 +340,23 @@ void Process::process_one_recv(PseudoRequest& pr) {
       protocol_invariant(am_logging_, "late message while not logging");
       previous_receive_count_[static_cast<std::size_t>(src_world)]++;
       stats_.late_messages++;
-      util::Bytes payload(pr.staging.begin() + static_cast<std::ptrdiff_t>(header),
-                          pr.staging.begin() +
-                              static_cast<std::ptrdiff_t>(net_status.size));
+      // Strip the header in place and *move* the wire buffer into the log
+      // instead of re-slicing into a fresh allocation. The erase memmoves
+      // the payload over the header (counted), but late messages are rare:
+      // the steady-state intra-epoch path never pays it.
+      wire.erase(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(header));
+      api_.runtime().fabric().count_copied(wire.size());
       log_.add_recv(RecvOutcome{pattern_world, pr.pattern_tag, src_world,
                                 net_status.tag, pb.message_id,
-                                MessageClass::kLate, std::move(payload)});
+                                MessageClass::kLate, std::move(wire)});
       maybe_ready();
       break;
     }
+  }
+  // Intra-epoch and early messages are done with the wire buffer; recycle
+  // it for this rank's later sends. (A late message moved it into the log.)
+  if (cls != MessageClass::kLate) {
+    api_.runtime().fabric().release_buffer(std::move(wire));
   }
 }
 
@@ -371,11 +396,15 @@ void Process::drain_control() {
   if (passthrough() || !checkpoints_enabled()) return;
   const simmpi::Comm& world = resolve(kWorldComm);
   for (;;) {
-    auto info = api_.iprobe(world, simmpi::kAnySource, simmpi::kAnyTag, kCtrl);
+    // pump() polled just before this call (and recv_any polls while it
+    // waits), so peek at the unexpected queue instead of draining again.
+    auto info = api_.peek(world, simmpi::kAnySource, simmpi::kAnyTag, kCtrl);
     if (!info) break;
     auto [bytes, st] = api_.recv_any(world, info->source, info->tag, kCtrl);
     stats_.control_messages++;
     handle_control(static_cast<ControlKind>(st.tag), st.source, bytes);
+    // Control payloads arrive zero-copy in a pooled wire buffer; recycle it.
+    api_.runtime().fabric().release_buffer(std::move(bytes));
   }
 }
 
@@ -605,7 +634,11 @@ void Process::do_checkpoint() {
     builder.add_section("protocol", w.take());
   }
   if (shared_.level == InstrumentLevel::kFull) {
-    util::Writer w;
+    std::size_t appstate_bytes = 8;
+    for (const auto& e : registry_) {
+      appstate_bytes += 8 + e.name.size() + 1 + (e.readonly ? 12 : 8 + e.size);
+    }
+    util::Writer w(appstate_bytes);
     w.put<std::uint64_t>(registry_.size());
     for (const auto& e : registry_) {
       w.put_string(e.name);
@@ -905,6 +938,18 @@ void Process::comm_free(CommHandle handle) {
   if (handle == kWorldComm) {
     throw util::UsageError("cannot free the world communicator");
   }
+  // Pending receives borrow the Comm object (simmpi requests hold it by
+  // pointer); destroying it under them would be a use-after-free at match
+  // time. Real MPI defers the free until pending ops complete -- we fail
+  // loudly instead of deferring silently.
+  for (const auto& [rid, pr] : requests_) {
+    if (pr.kind == PseudoRequest::Kind::kRecv && !pr.complete &&
+        pr.comm == handle) {
+      throw util::UsageError(
+          "comm_free with a pending receive on the communicator (request " +
+          std::to_string(rid) + ")");
+    }
+  }
   if (comms_.erase(handle) == 0) {
     throw util::UsageError("comm_free of unknown handle");
   }
@@ -1143,6 +1188,7 @@ void Process::exchange_suppression_lists(
     const auto ids = r.get_vector<std::uint32_t>();
     suppress_[static_cast<std::size_t>(q)].insert(ids.begin(), ids.end());
     stats_.control_messages++;
+    api_.runtime().fabric().release_buffer(std::move(bytes));
   }
 }
 
@@ -1202,16 +1248,13 @@ void Process::reinit_pending_requests(
       }
       // Completed during logging from a live (re-sent) message: re-issue
       // pinned to the logged source/tag.
-      pr.staging.resize(sq.out_size + piggyback_size(shared_.piggyback));
-      pr.real =
-          api_.irecv(c, pr.staging, c.from_world(entry->src), entry->tag);
+      pr.real = api_.irecv_owned(c, c.from_world(entry->src), entry->tag);
       requests_[sq.id] = std::move(pr);
       outstanding_recvs_.push_back(sq.id);
       continue;
     }
     // No logged outcome: re-issue with exactly the original arguments.
-    pr.staging.resize(sq.out_size + piggyback_size(shared_.piggyback));
-    pr.real = api_.irecv(c, pr.staging, sq.pattern_src, sq.pattern_tag);
+    pr.real = api_.irecv_owned(c, sq.pattern_src, sq.pattern_tag);
     requests_[sq.id] = std::move(pr);
     outstanding_recvs_.push_back(sq.id);
   }

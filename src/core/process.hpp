@@ -201,7 +201,9 @@ class Process {
                       std::span<const std::byte> payload);
   void block_until(const std::function<bool()>& done);
 
-  // Receive plumbing.
+  // Send/receive plumbing.
+  simmpi::Status send_now(std::span<const std::byte> data, simmpi::Rank dst,
+                          simmpi::Tag tag, CommHandle comm);
   RequestId post_recv(std::span<std::byte> out, simmpi::Rank src,
                       simmpi::Tag tag, CommHandle comm);
   void process_one_recv(PseudoRequest& pr);

@@ -8,6 +8,7 @@ Inbox::Inbox(int owner, std::unique_ptr<DeliveryPolicy> policy)
     : owner_(owner), policy_(std::move(policy)) {}
 
 void Inbox::deliver(Packet p) {
+  bool wake;
   {
     std::lock_guard lock(mu_);
     const int src = p.src;
@@ -16,8 +17,12 @@ void Inbox::deliver(Packet p) {
     stream.staged.push_back(std::move(p));
     if (was_empty) stream.hold = policy_->hold_for(src, owner_);
     on_event_locked(src);
+    // Only signal when the receiver is actually parked in wait(): a busy
+    // receiver polls the queue itself, and the wakeup syscall is the single
+    // most expensive step of an uncontended delivery.
+    wake = waiters_ > 0;
   }
-  cv_.notify_all();
+  if (wake) cv_.notify_all();
 }
 
 void Inbox::on_event_locked(int arriving_src) {
@@ -35,26 +40,31 @@ void Inbox::on_event_locked(int arriving_src) {
 }
 
 std::vector<Packet> Inbox::drain() {
+  std::vector<Packet> out;
+  drain(out);
+  return out;
+}
+
+void Inbox::drain(std::vector<Packet>& out) {
+  out.clear();
   std::lock_guard lock(mu_);
   // A drain attempt is an inbox event: it ages all held streams, which
   // guarantees a blocked receiver eventually sees every staged packet.
   on_event_locked(/*arriving_src=*/-1);
-  std::vector<Packet> out;
-  out.reserve(released_.size());
-  while (!released_.empty()) {
-    out.push_back(std::move(released_.front()));
-    released_.pop_front();
-  }
-  return out;
+  // Swap the whole released queue out instead of popping packet-by-packet
+  // through a second move; the caller's vector donates its capacity back.
+  out.swap(released_);
 }
 
 void Inbox::wait(std::chrono::microseconds timeout,
                  const std::atomic<bool>& stop) {
   std::unique_lock lock(mu_);
   if (!released_.empty() || stop.load(std::memory_order_acquire)) return;
+  ++waiters_;
   cv_.wait_for(lock, timeout, [&] {
     return !released_.empty() || stop.load(std::memory_order_acquire);
   });
+  --waiters_;
 }
 
 void Inbox::interrupt() { cv_.notify_all(); }

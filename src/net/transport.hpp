@@ -22,6 +22,7 @@
 
 #include "net/delivery.hpp"
 #include "net/packet.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace c3::net {
 
@@ -29,6 +30,15 @@ namespace c3::net {
 struct FabricStats {
   std::atomic<std::uint64_t> packets{0};
   std::atomic<std::uint64_t> payload_bytes{0};
+  /// Fresh heap allocations for message buffers (pool misses). In steady
+  /// state this stops growing: sends recycle the buffers receives release.
+  std::atomic<std::uint64_t> allocs{0};
+  /// Bytes memcpy'd from an already-framed wire buffer into another buffer.
+  /// The framing capture of user data into a fresh message buffer (inherent
+  /// to MPI buffered-send semantics) is not counted; the zero-copy path's
+  /// invariant is exactly one counted copy per delivered message -- the
+  /// final header-strip memcpy into the application's receive buffer.
+  std::atomic<std::uint64_t> copied_bytes{0};
 };
 
 /// Per-rank receive queue with policy-driven release of staged packets.
@@ -39,9 +49,15 @@ class Inbox {
   /// Called from sender threads.
   void deliver(Packet p);
 
-  /// Move all currently released packets out (receiver thread only).
-  /// Counts as an inbox event: held streams make progress on every call.
+  /// Move all currently released packets out in one container swap
+  /// (receiver thread only). Counts as an inbox event: held streams make
+  /// progress on every call.
   std::vector<Packet> drain();
+
+  /// Swap-based drain into a caller-owned container: `out` is cleared and
+  /// exchanged with the released queue, so the capacity of both vectors is
+  /// recycled between calls (no per-drain allocation in steady state).
+  void drain(std::vector<Packet>& out);
 
   /// Block until a released packet may be available, the timeout elapses,
   /// or `stop` becomes true. Returns immediately if something is released.
@@ -64,7 +80,8 @@ class Inbox {
   std::mutex mu_;
   std::condition_variable cv_;
   std::map<int, Stream> streams_;
-  std::deque<Packet> released_;
+  std::vector<Packet> released_;
+  int waiters_ = 0;  ///< receivers parked in wait() (guarded by mu_)
 };
 
 /// The whole interconnect: N inboxes plus the abort signal.
@@ -86,10 +103,31 @@ class Fabric {
 
   const FabricStats& stats() const noexcept { return stats_; }
 
+  // ------------------------------------------------ pooled message buffers
+  /// Acquire a message buffer of `n` bytes from the fabric-wide pool
+  /// (counts a fresh allocation in stats().allocs on a pool miss).
+  util::Bytes acquire_buffer(std::size_t n) {
+    bool fresh = false;
+    util::Bytes b = pool_.acquire(n, &fresh);
+    if (fresh) stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+    return b;
+  }
+
+  /// Return a delivered payload's buffer for reuse by later sends.
+  void release_buffer(util::Bytes&& b) noexcept {
+    pool_.release(std::move(b));
+  }
+
+  /// Record a post-framing payload copy (see FabricStats::copied_bytes).
+  void count_copied(std::size_t n) noexcept {
+    stats_.copied_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::atomic<bool> abort_{false};
   FabricStats stats_;
+  util::BufferPool pool_;
 };
 
 }  // namespace c3::net

@@ -40,34 +40,60 @@ Tag Api::next_coll_tag(const Comm& comm) {
 
 // ------------------------------------------------------------------- p2p
 
-void Api::send(const Comm& comm, std::span<const std::byte> data, Rank dst,
-               Tag tag, ContextClass ctx) {
-  Request r = isend(comm, data, dst, tag, ctx);
-  wait(r);
-}
-
-Request Api::isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
-                   Tag tag, ContextClass ctx) {
+std::size_t Api::send_packet(const Comm& comm, util::Bytes&& framed, Rank dst,
+                             Tag tag, ContextClass ctx) {
   require(comm.member(), "isend on a communicator this rank is not in");
   require(tag >= 0 && tag <= kMaxTag, "tag out of range");
   check_abort();
   const Rank world_dst = comm.to_world(dst);
   const int context = comm.context(ctx);
+  const std::size_t size = framed.size();
   net::Packet pkt;
   pkt.src = rank_;
   pkt.dst = world_dst;
   pkt.context = context;
   pkt.tag = tag;
   pkt.seq = next_seq(world_dst, context);
-  pkt.payload.assign(data.begin(), data.end());
+  pkt.payload = std::move(framed);
   rt_.fabric().send(std::move(pkt));
   stats_.sends++;
-  stats_.send_bytes += data.size();
-  // Buffered semantics: the payload was copied, the buffer is reusable now.
+  stats_.send_bytes += size;
+  return size;
+}
+
+util::Bytes Api::frame(std::span<const std::byte> data) {
+  // Buffered semantics: capture the payload into a pooled buffer that then
+  // travels the zero-copy path down to the receiver.
+  util::Bytes framed = rt_.fabric().acquire_buffer(data.size());
+  if (!data.empty()) std::memcpy(framed.data(), data.data(), data.size());
+  return framed;
+}
+
+void Api::send(const Comm& comm, std::span<const std::byte> data, Rank dst,
+               Tag tag, ContextClass ctx) {
+  // Blocking sends complete as soon as the buffer is handed to the fabric;
+  // no Request object is materialized for them.
+  send_packet(comm, frame(data), dst, tag, ctx);
+}
+
+void Api::send(const Comm& comm, util::Bytes&& framed, Rank dst, Tag tag,
+               ContextClass ctx) {
+  send_packet(comm, std::move(framed), dst, tag, ctx);
+}
+
+Request Api::isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
+                   Tag tag, ContextClass ctx) {
+  return isend(comm, frame(data), dst, tag, ctx);
+}
+
+Request Api::isend(const Comm& comm, util::Bytes&& framed, Rank dst, Tag tag,
+                   ContextClass ctx) {
+  const std::size_t size = send_packet(comm, std::move(framed), dst, tag, ctx);
+  // The buffer now travels with the packet; the request is complete.
   auto st = std::make_shared<RequestState>();
   st->kind = RequestKind::kSend;
   st->complete = true;
-  st->status = Status{comm.rank(), tag, data.size()};
+  st->status = Status{comm.rank(), tag, size};
   return Request(std::move(st));
 }
 
@@ -79,12 +105,31 @@ Request Api::irecv(const Comm& comm, std::span<std::byte> out, Rank src,
   auto st = std::make_shared<RequestState>();
   st->kind = RequestKind::kRecv;
   st->out = out;
-  st->comm = comm;
+  st->comm = &comm;
   st->context = comm.context(ctx);
   st->src_world = (src == kAnySource) ? kAnySource : comm.to_world(src);
   st->tag = tag;
   st->post_order = post_counter_++;
   // An already-arrived unexpected message may satisfy this receive.
+  if (!try_match_unexpected(*st)) {
+    posted_.push_back(st);
+  }
+  return Request(std::move(st));
+}
+
+Request Api::irecv_owned(const Comm& comm, Rank src, Tag tag,
+                         ContextClass ctx) {
+  require(comm.member(), "irecv on a communicator this rank is not in");
+  require(tag == kAnyTag || (tag >= 0 && tag <= kMaxTag), "tag out of range");
+  check_abort();
+  auto st = std::make_shared<RequestState>();
+  st->kind = RequestKind::kRecv;
+  st->owning = true;
+  st->comm = &comm;
+  st->context = comm.context(ctx);
+  st->src_world = (src == kAnySource) ? kAnySource : comm.to_world(src);
+  st->tag = tag;
+  st->post_order = post_counter_++;
   if (!try_match_unexpected(*st)) {
     posted_.push_back(st);
   }
@@ -125,8 +170,13 @@ void Api::cancel(Request& req) {
 
 std::optional<ProbeInfo> Api::iprobe(const Comm& comm, Rank src, Tag tag,
                                      ContextClass ctx) {
-  require(comm.member(), "iprobe on a communicator this rank is not in");
   poll();
+  return peek(comm, src, tag, ctx);
+}
+
+std::optional<ProbeInfo> Api::peek(const Comm& comm, Rank src, Tag tag,
+                                   ContextClass ctx) {
+  require(comm.member(), "iprobe on a communicator this rank is not in");
   const int context = comm.context(ctx);
   const Rank src_world = (src == kAnySource) ? kAnySource : comm.to_world(src);
   for (const auto& pkt : unexpected_) {
@@ -148,13 +198,13 @@ ProbeInfo Api::probe(const Comm& comm, Rank src, Tag tag, ContextClass ctx) {
 
 std::pair<util::Bytes, Status> Api::recv_any(const Comm& comm, Rank src,
                                              Tag tag, ContextClass ctx) {
-  const ProbeInfo info = probe(comm, src, tag, ctx);
-  util::Bytes buf(info.size);
-  // Receive exactly the probed message: its (source, tag) pair is now
-  // concrete, and it is the earliest arrival matching that pair, so the
-  // matching engine will pick it first.
-  Status st = recv(comm, buf, info.source, info.tag, ctx);
-  return {std::move(buf), st};
+  // Owned receive: the wire buffer is moved out of the packet and straight
+  // to the caller -- no probe, no sizing allocation, no staging copy. The
+  // matching engine picks the earliest arrival matching the pattern, which
+  // is exactly what probe-then-pinned-receive used to select.
+  Request r = irecv_owned(comm, src, tag, ctx);
+  Status st = wait(r);
+  return {std::move(r.state()->payload), st};
 }
 
 // -------------------------------------------------------------- progress
@@ -167,20 +217,29 @@ bool Api::matches(const RequestState& rs, const net::Packet& pkt) {
 }
 
 void Api::deliver_into(RequestState& rs, net::Packet& pkt) {
-  if (pkt.payload.size() > rs.out.size()) {
-    throw util::UsageError(
-        "message truncation: recv buffer " + std::to_string(rs.out.size()) +
-        " bytes, message " + std::to_string(pkt.payload.size()) + " bytes");
+  const std::size_t size = pkt.payload.size();
+  if (rs.owning) {
+    // Zero-copy delivery: the wire buffer changes hands, no byte moves.
+    rs.payload = std::move(pkt.payload);
+  } else {
+    if (size > rs.out.size()) {
+      throw util::UsageError(
+          "message truncation: recv buffer " + std::to_string(rs.out.size()) +
+          " bytes, message " + std::to_string(size) + " bytes");
+    }
+    if (size > 0) {
+      std::memcpy(rs.out.data(), pkt.payload.data(), size);
+      rt_.fabric().count_copied(size);
+    }
+    // The wire buffer is spent; recycle it for later sends.
+    rt_.fabric().release_buffer(std::move(pkt.payload));
   }
-  if (!pkt.payload.empty()) {
-    std::memcpy(rs.out.data(), pkt.payload.data(), pkt.payload.size());
-  }
-  rs.status.source = rs.comm.from_world(pkt.src);
+  rs.status.source = rs.comm->from_world(pkt.src);
   rs.status.tag = pkt.tag;
-  rs.status.size = pkt.payload.size();
+  rs.status.size = size;
   rs.complete = true;
   stats_.recvs++;
-  stats_.recv_bytes += pkt.payload.size();
+  stats_.recv_bytes += size;
 }
 
 bool Api::try_match_posted(net::Packet& pkt) {
@@ -210,12 +269,15 @@ bool Api::try_match_unexpected(RequestState& rs) {
 }
 
 void Api::poll() {
-  auto arrivals = rt_.fabric().inbox(rank_).drain();
-  for (auto& pkt : arrivals) {
+  // arrivals_ is a member so its capacity ping-pongs with the inbox's
+  // released queue: steady-state polling allocates nothing.
+  rt_.fabric().inbox(rank_).drain(arrivals_);
+  for (auto& pkt : arrivals_) {
     if (!try_match_posted(pkt)) {
       unexpected_.push_back(std::move(pkt));
     }
   }
+  arrivals_.clear();
 }
 
 void Api::idle_wait(std::chrono::microseconds timeout) {

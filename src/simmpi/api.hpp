@@ -60,10 +60,17 @@ class Api {
   Runtime& runtime() noexcept { return rt_; }
 
   // ------------------------------------------------------------- p2p
-  /// Blocking standard send (buffered semantics: the payload is copied, so
-  /// the call returns as soon as the copy is handed to the fabric).
+  /// Blocking standard send (buffered semantics: the payload is captured
+  /// into a pooled buffer, so the call returns as soon as the buffer is
+  /// handed to the fabric).
   void send(const Comm& comm, std::span<const std::byte> data, Rank dst,
             Tag tag, ContextClass ctx = ContextClass::kP2p);
+
+  /// Zero-copy blocking send: the framed buffer is *moved* into the wire
+  /// packet. Use with buffers from Fabric::acquire_buffer / MsgBuffer so
+  /// the receiver can recycle them through the pool.
+  void send(const Comm& comm, util::Bytes&& framed, Rank dst, Tag tag,
+            ContextClass ctx = ContextClass::kP2p);
 
   /// Blocking receive into `out`; the message must fit. Returns the status
   /// with the comm-local source, tag, and actual size.
@@ -75,9 +82,24 @@ class Api {
   Request isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
                 Tag tag, ContextClass ctx = ContextClass::kP2p);
 
-  /// Non-blocking receive. `out` must stay alive until wait/test completes.
+  /// Zero-copy non-blocking send (see the Bytes&& overload of send()).
+  Request isend(const Comm& comm, util::Bytes&& framed, Rank dst, Tag tag,
+                ContextClass ctx = ContextClass::kP2p);
+
+  /// Non-blocking receive. `out` -- and, as in MPI, `comm` itself (the
+  /// request borrows it, it is not copied) -- must stay alive until
+  /// wait/test completes.
   Request irecv(const Comm& comm, std::span<std::byte> out, Rank src, Tag tag,
                 ContextClass ctx = ContextClass::kP2p);
+
+  /// Non-blocking receive that takes *ownership* of the matched message's
+  /// wire buffer instead of copying it into a caller buffer: on completion
+  /// the request state's `payload` holds the entire framed message, moved
+  /// straight off the packet. The caller is responsible for returning the
+  /// buffer to Fabric::release_buffer once consumed. `comm` is borrowed
+  /// and must outlive the request.
+  Request irecv_owned(const Comm& comm, Rank src, Tag tag,
+                      ContextClass ctx = ContextClass::kP2p);
 
   Status wait(Request& req);
   bool test(Request& req);
@@ -87,6 +109,10 @@ class Api {
 
   std::optional<ProbeInfo> iprobe(const Comm& comm, Rank src, Tag tag,
                                   ContextClass ctx = ContextClass::kP2p);
+  /// iprobe without the inbox drain: inspects only messages already pulled
+  /// into the unexpected queue. Use after poll() to avoid a second drain.
+  std::optional<ProbeInfo> peek(const Comm& comm, Rank src, Tag tag,
+                                ContextClass ctx = ContextClass::kP2p);
   ProbeInfo probe(const Comm& comm, Rank src, Tag tag,
                   ContextClass ctx = ContextClass::kP2p);
 
@@ -158,6 +184,11 @@ class Api {
  private:
   friend class Runtime;
 
+  /// Frame user data into a pooled wire buffer (buffered-send capture).
+  util::Bytes frame(std::span<const std::byte> data);
+  /// Build and hand one packet to the fabric; returns the framed size.
+  std::size_t send_packet(const Comm& comm, util::Bytes&& framed, Rank dst,
+                          Tag tag, ContextClass ctx);
   /// Try to complete posted receives with `pkt`; true if consumed.
   bool try_match_posted(net::Packet& pkt);
   /// Scan unexpected messages for the first match of a posted receive.
@@ -171,6 +202,7 @@ class Api {
   Runtime& rt_;
   Rank rank_;
   Comm world_;
+  std::vector<net::Packet> arrivals_;  ///< poll() scratch (capacity reused)
   std::deque<net::Packet> unexpected_;
   std::vector<std::shared_ptr<RequestState>> posted_;
   std::map<std::pair<int, int>, std::uint64_t> send_seq_;

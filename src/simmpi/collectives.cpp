@@ -72,6 +72,10 @@ void Api::bcast(const Comm& comm, std::span<std::byte> data, Rank root) {
 namespace {
 /// Shared binomial-tree reduction skeleton. `combine(incoming, accum)`
 /// folds a child's contribution into the local accumulator.
+///
+/// Per-hop buffers come from the fabric pool: the accumulator is *moved*
+/// into the parent-bound message (no copy on the up edge), and each child
+/// contribution is received into one reused pooled buffer.
 template <typename Combine>
 void tree_reduce(Api& api, const Comm& comm, std::span<const std::byte> in,
                  std::span<std::byte> out, Rank root, Tag tag,
@@ -79,15 +83,22 @@ void tree_reduce(Api& api, const Comm& comm, std::span<const std::byte> in,
   const int p = comm.size();
   const Rank rel = (comm.rank() - root + p) % p;
   auto abs = [&](Rank relr) { return (relr + root) % p; };
-  util::Bytes accum(in.begin(), in.end());
-  util::Bytes incoming(in.size());
+  auto& fabric = api.runtime().fabric();
+  util::Bytes accum = fabric.acquire_buffer(in.size());
+  if (!in.empty()) std::memcpy(accum.data(), in.data(), in.size());
+  util::Bytes incoming;  // acquired lazily: leaf ranks never receive
   for (int mask = 1; mask < p; mask <<= 1) {
     if (rel & mask) {
-      api.send(comm, accum, abs(rel ^ mask), tag, ContextClass::kColl);
+      api.send(comm, std::move(accum), abs(rel ^ mask), tag,
+               ContextClass::kColl);
+      accum = {};
       break;
     }
     const int child = rel | mask;
     if (child < p) {
+      if (incoming.size() != in.size()) {
+        incoming = fabric.acquire_buffer(in.size());
+      }
       api.recv(comm, incoming, abs(child), tag, ContextClass::kColl);
       combine(incoming.data(), accum.data());
     }
@@ -96,6 +107,9 @@ void tree_reduce(Api& api, const Comm& comm, std::span<const std::byte> in,
     require(out.size() >= accum.size(), "reduce output buffer too small");
     std::memcpy(out.data(), accum.data(), accum.size());
   }
+  // release() discards empty / moved-from buffers, so both are safe here.
+  fabric.release_buffer(std::move(accum));
+  fabric.release_buffer(std::move(incoming));
 }
 }  // namespace
 
@@ -234,9 +248,10 @@ void Api::scan(const Comm& comm, std::span<const std::byte> in,
   const Tag tag = next_coll_tag(comm);
   std::memcpy(out.data(), in.data(), in.size());
   if (comm.rank() > 0) {
-    util::Bytes prefix(in.size());
+    util::Bytes prefix = rt_.fabric().acquire_buffer(in.size());
     recv(comm, prefix, comm.rank() - 1, tag, kColl);
     apply_op(op, type, prefix.data(), out.data(), count);
+    rt_.fabric().release_buffer(std::move(prefix));
   }
   if (comm.rank() + 1 < comm.size()) {
     send(comm, out.first(in.size()), comm.rank() + 1, tag, kColl);

@@ -12,8 +12,11 @@
 
 #include "simmpi/comm.hpp"
 #include "simmpi/types.hpp"
+#include "util/archive.hpp"
 
 namespace c3::simmpi {
+
+using util::Bytes;
 
 enum class RequestKind : std::uint8_t { kSend, kRecv };
 
@@ -22,8 +25,17 @@ struct RequestState {
   bool complete = false;
   bool cancelled = false;
   // Recv-only fields:
-  std::span<std::byte> out;     ///< destination buffer
-  Comm comm;                    ///< communicator the receive was posted on
+  std::span<std::byte> out;     ///< destination buffer (copying mode)
+  /// Owned-payload mode (irecv_owned): the matching engine *moves* the
+  /// packet's buffer here instead of copying into `out` -- the zero-copy
+  /// path for receives whose size is unknown or whose header is stripped
+  /// by a layer above.
+  bool owning = false;
+  util::Bytes payload;          ///< the delivered wire buffer (owning mode)
+  /// Communicator the receive was posted on. Borrowed, not copied (a Comm
+  /// deep-copy heap-allocates its group): as in MPI, the communicator must
+  /// outlive every request posted on it.
+  const Comm* comm = nullptr;
   int context = 0;              ///< matching context id
   Rank src_world = kAnySource;  ///< matching source as a world rank (or any)
   Tag tag = kAnyTag;            ///< matching tag

@@ -29,9 +29,13 @@ class CheckpointBuilder {
     return sections_.count(name) != 0;
   }
 
-  /// Serialize all sections into one blob.
+  /// Serialize all sections into one blob (presized: one allocation).
   util::Bytes finish() const {
-    util::Writer w;
+    std::size_t total = 4 + 4 + 8;
+    for (const auto& [name, data] : sections_) {
+      total += 8 + name.size() + 4 + 8 + data.size();
+    }
+    util::Writer w(total);
     w.put<std::uint32_t>(kMagic);
     w.put<std::uint32_t>(kVersion);
     w.put<std::uint64_t>(sections_.size());

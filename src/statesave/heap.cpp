@@ -70,6 +70,8 @@ bool HeapArena::contains(const void* p) const noexcept {
 }
 
 void HeapArena::save(util::Writer& w) const {
+  // Presize for the exact image: header + per-object framing + live bytes.
+  w.reserve(4 + 8 + 8 + 8 + live_.size() * 16 + in_use_);
   w.put<std::uint32_t>(kHeapMagic);
   w.put<std::uint64_t>(capacity_);
   w.put<std::uint64_t>(reinterpret_cast<std::uintptr_t>(region_.get()));

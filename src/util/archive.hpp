@@ -25,6 +25,12 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-size the underlying buffer (exact encodings avoid regrowth).
+  explicit Writer(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  /// Ensure capacity for `additional` more bytes beyond the current size.
+  void reserve(std::size_t additional) { buf_.reserve(buf_.size() + additional); }
+
   /// Write a trivially-copyable scalar (integers, floats, enums, bool).
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -104,7 +110,13 @@ class Reader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
     auto n = get<std::uint64_t>();
-    need(n * sizeof(T));
+    // Divide instead of multiplying: n * sizeof(T) can wrap for a corrupt
+    // length prefix, which would slip past need() into a huge memcpy.
+    if (n > remaining() / sizeof(T)) {
+      throw CorruptionError("archive underflow: vector of " +
+                            std::to_string(n) + " elements exceeds " +
+                            std::to_string(remaining()) + " remaining bytes");
+    }
     std::vector<T> v(n);
     std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);

@@ -1,0 +1,83 @@
+#include "util/buffer_pool.hpp"
+
+#include <bit>
+
+namespace c3::util {
+
+BufferPool::BufferPool() {
+  // Pre-reserve every free list so release() never grows a vector: it is
+  // noexcept and runs on the hot receive path, where an allocation failure
+  // must drop the buffer, not terminate the process.
+  for (auto& list : free_) list.reserve(kMaxFreePerClass);
+}
+
+std::size_t BufferPool::class_capacity(std::size_t n) noexcept {
+  if (n > kMaxClassBytes) return n;
+  return std::bit_ceil(std::max(n, kMinClassBytes));
+}
+
+int BufferPool::class_index(std::size_t cap) noexcept {
+  if (cap < kMinClassBytes || cap > kMaxClassBytes || !std::has_single_bit(cap)) {
+    return -1;
+  }
+  return std::countr_zero(cap) - std::countr_zero(kMinClassBytes);
+}
+
+Bytes BufferPool::acquire(std::size_t n, bool* fresh) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cap = class_capacity(n);
+  const int idx = class_index(cap);
+  if (idx >= 0) {
+    std::lock_guard lock(mu_);
+    auto& list = free_[idx];
+    if (!list.empty()) {
+      Bytes b = std::move(list.back());
+      list.pop_back();
+      b.resize(n);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (fresh) *fresh = false;
+      return b;
+    }
+  }
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (fresh) *fresh = true;
+  Bytes b;
+  b.reserve(cap);
+  b.resize(n);
+  return b;
+}
+
+void BufferPool::release(Bytes&& b) noexcept {
+  const int idx = class_index(b.capacity() > kMaxClassBytes
+                                  ? b.capacity()
+                                  : std::bit_floor(b.capacity()));
+  if (idx < 0) {
+    discards_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard lock(mu_);
+  auto& list = free_[idx];
+  if (list.size() >= kMaxFreePerClass) {
+    discards_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  list.push_back(std::move(b));
+}
+
+BufferPool::Stats BufferPool::stats() const noexcept {
+  return Stats{acquires_.load(std::memory_order_relaxed),
+               hits_.load(std::memory_order_relaxed),
+               allocs_.load(std::memory_order_relaxed),
+               releases_.load(std::memory_order_relaxed),
+               discards_.load(std::memory_order_relaxed)};
+}
+
+std::size_t BufferPool::free_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& list : free_) total += list.size();
+  return total;
+}
+
+}  // namespace c3::util

@@ -1,0 +1,128 @@
+// Pooled message buffers for the zero-copy send/receive path.
+//
+// Every in-flight message lives in one `Bytes` buffer from sender framing to
+// final delivery; the buffer is acquired from a size-classed free-list pool
+// and released back once the payload has been copied into the application's
+// receive buffer. In steady state no per-message heap allocation happens:
+// the pool recycles buffers between a rank's sends and the buffers released
+// by its receives.
+//
+// `MsgBuffer` frames one outgoing message: a fixed headroom prefix (the
+// piggyback header is encoded in place, no separate Writer buffer) followed
+// by the payload bytes. `take()` surrenders the framed buffer so it can be
+// *moved* into a `net::Packet` without copying.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/archive.hpp"
+
+namespace c3::util {
+
+/// Thread-safe size-classed free list of `Bytes` buffers.
+///
+/// Classes are powers of two from kMinClassBytes to kMaxClassBytes; a
+/// request is served from the smallest class that fits. Requests larger
+/// than kMaxClassBytes are allocated exactly and never pooled (huge
+/// one-off messages should not pin memory). Each class keeps at most
+/// kMaxFreePerClass buffers; surplus releases are discarded.
+class BufferPool {
+ public:
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kMaxFreePerClass = 64;
+
+  /// Counter snapshot (relaxed atomics; approximate under concurrency).
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t hits = 0;      ///< served by recycling a pooled buffer
+    std::uint64_t allocs = 0;    ///< served by a fresh heap allocation
+    std::uint64_t releases = 0;  ///< buffers returned to the pool
+    std::uint64_t discards = 0;  ///< released buffers the pool refused
+  };
+
+  BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer with size() == n and capacity >= class_capacity(n). Sets
+  /// *fresh to true when the request missed the pool (heap allocation).
+  Bytes acquire(std::size_t n, bool* fresh = nullptr);
+
+  /// Return a buffer for reuse. Small, oversized or surplus buffers are
+  /// simply freed.
+  void release(Bytes&& b) noexcept;
+
+  Stats stats() const noexcept;
+
+  /// Total buffers currently held on free lists (test/diagnostic hook).
+  std::size_t free_count() const;
+
+  /// The pooled capacity a request of n bytes is rounded up to: the
+  /// smallest power of two >= max(n, kMinClassBytes), or exactly n when
+  /// n > kMaxClassBytes (unpooled).
+  static std::size_t class_capacity(std::size_t n) noexcept;
+
+ private:
+  static constexpr int kNumClasses = 15;  // 64B, 128B, ..., 1MiB
+
+  /// Index of the class whose capacity is exactly `cap`, or -1.
+  static int class_index(std::size_t cap) noexcept;
+
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_[kNumClasses];
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> discards_{0};
+};
+
+/// One framed outgoing message: `headroom` header bytes, then the payload.
+class MsgBuffer {
+ public:
+  MsgBuffer() = default;
+
+  /// Acquire a framed buffer of headroom + payload_size bytes from `pool`.
+  MsgBuffer(BufferPool& pool, std::size_t headroom, std::size_t payload_size,
+            bool* fresh = nullptr)
+      : buf_(pool.acquire(headroom + payload_size, fresh)),
+        headroom_(headroom) {}
+
+  /// Adopt an already-acquired buffer (e.g. from Fabric::acquire_buffer)
+  /// whose first `headroom` bytes are the header region.
+  MsgBuffer(Bytes buf, std::size_t headroom)
+      : buf_(std::move(buf)), headroom_(headroom) {}
+
+  std::size_t headroom() const noexcept { return headroom_; }
+  std::size_t payload_size() const noexcept { return buf_.size() - headroom_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  /// The header region (encode the piggyback directly into this).
+  std::span<std::byte> header() noexcept {
+    return std::span(buf_).first(headroom_);
+  }
+
+  /// The payload region, immediately after the header.
+  std::span<std::byte> payload() noexcept {
+    return std::span(buf_).subspan(headroom_);
+  }
+
+  /// Surrender the framed buffer (header + payload) for a move into a
+  /// packet. The MsgBuffer is empty afterwards.
+  Bytes take() noexcept {
+    headroom_ = 0;
+    return std::move(buf_);
+  }
+
+ private:
+  Bytes buf_;
+  std::size_t headroom_ = 0;
+};
+
+}  // namespace c3::util

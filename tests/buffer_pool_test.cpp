@@ -1,0 +1,201 @@
+// Unit tests for the pooled zero-copy message buffers: size-class
+// boundaries, reuse after release, MsgBuffer headroom invariants, and the
+// end-to-end copy/allocation accounting of the message path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/job.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace c3 {
+namespace {
+
+using util::BufferPool;
+using util::Bytes;
+using util::MsgBuffer;
+
+// ------------------------------------------------------------- size classes
+
+TEST(BufferPool, ClassCapacityBoundaries) {
+  EXPECT_EQ(BufferPool::class_capacity(0), BufferPool::kMinClassBytes);
+  EXPECT_EQ(BufferPool::class_capacity(1), BufferPool::kMinClassBytes);
+  EXPECT_EQ(BufferPool::class_capacity(64), 64u);
+  EXPECT_EQ(BufferPool::class_capacity(65), 128u);
+  EXPECT_EQ(BufferPool::class_capacity(128), 128u);
+  EXPECT_EQ(BufferPool::class_capacity(129), 256u);
+  EXPECT_EQ(BufferPool::class_capacity(4096), 4096u);
+  EXPECT_EQ(BufferPool::class_capacity(4097), 8192u);
+  EXPECT_EQ(BufferPool::class_capacity(BufferPool::kMaxClassBytes),
+            BufferPool::kMaxClassBytes);
+  // Beyond the largest class the size is taken exactly (unpooled).
+  EXPECT_EQ(BufferPool::class_capacity(BufferPool::kMaxClassBytes + 1),
+            BufferPool::kMaxClassBytes + 1);
+}
+
+TEST(BufferPool, AcquireSizesAndCapacity) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_GE(b.capacity(), 128u);
+}
+
+// ---------------------------------------------------------------- recycling
+
+TEST(BufferPool, ReleaseThenAcquireReusesBuffer) {
+  BufferPool pool;
+  Bytes b = pool.acquire(1000);
+  const std::byte* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  Bytes again = pool.acquire(900);  // same 1024-byte class
+  EXPECT_EQ(again.data(), data);    // literally the same allocation
+  EXPECT_EQ(again.size(), 900u);
+  EXPECT_EQ(pool.free_count(), 0u);
+
+  const auto st = pool.stats();
+  EXPECT_EQ(st.acquires, 2u);
+  EXPECT_EQ(st.allocs, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.releases, 1u);
+}
+
+TEST(BufferPool, FreshFlagReportsPoolMiss) {
+  BufferPool pool;
+  bool fresh = false;
+  Bytes b = pool.acquire(64, &fresh);
+  EXPECT_TRUE(fresh);
+  pool.release(std::move(b));
+  Bytes c = pool.acquire(64, &fresh);
+  EXPECT_FALSE(fresh);
+  (void)c;
+}
+
+TEST(BufferPool, DifferentClassDoesNotReuse) {
+  BufferPool pool;
+  Bytes small = pool.acquire(64);
+  pool.release(std::move(small));
+  bool fresh = false;
+  Bytes big = pool.acquire(8192, &fresh);
+  EXPECT_TRUE(fresh);  // 64-byte buffer cannot serve the 8 KiB class
+  (void)big;
+}
+
+TEST(BufferPool, OversizedBuffersAreNotPooled) {
+  BufferPool pool;
+  Bytes huge = pool.acquire(BufferPool::kMaxClassBytes + 1);
+  pool.release(std::move(huge));
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.stats().discards, 1u);
+}
+
+TEST(BufferPool, PerClassFreeListIsBounded) {
+  BufferPool pool;
+  std::vector<Bytes> held;
+  for (std::size_t i = 0; i < BufferPool::kMaxFreePerClass + 10; ++i) {
+    held.push_back(pool.acquire(256));
+  }
+  for (auto& b : held) pool.release(std::move(b));
+  EXPECT_EQ(pool.free_count(), BufferPool::kMaxFreePerClass);
+  EXPECT_EQ(pool.stats().discards, 10u);
+}
+
+// ---------------------------------------------------------------- MsgBuffer
+
+TEST(MsgBuffer, HeadroomInvariants) {
+  BufferPool pool;
+  MsgBuffer mb(pool, /*headroom=*/9, /*payload_size=*/4096);
+  EXPECT_EQ(mb.headroom(), 9u);
+  EXPECT_EQ(mb.payload_size(), 4096u);
+  EXPECT_EQ(mb.size(), 4105u);
+  EXPECT_EQ(mb.header().size(), 9u);
+  EXPECT_EQ(mb.payload().size(), 4096u);
+  // Header and payload are adjacent regions of one buffer.
+  EXPECT_EQ(mb.header().data() + 9, mb.payload().data());
+}
+
+TEST(MsgBuffer, TakeSurrendersWholeFrame) {
+  BufferPool pool;
+  MsgBuffer mb(pool, 4, 16);
+  std::memset(mb.header().data(), 0xAB, 4);
+  std::memset(mb.payload().data(), 0xCD, 16);
+  Bytes frame = mb.take();
+  ASSERT_EQ(frame.size(), 20u);
+  EXPECT_EQ(frame[0], std::byte{0xAB});
+  EXPECT_EQ(frame[4], std::byte{0xCD});
+  EXPECT_EQ(frame[19], std::byte{0xCD});
+}
+
+TEST(MsgBuffer, AdoptedBufferKeepsHeadroomSplit) {
+  BufferPool pool;
+  MsgBuffer mb(pool.acquire(104), 8);
+  EXPECT_EQ(mb.headroom(), 8u);
+  EXPECT_EQ(mb.payload_size(), 96u);
+}
+
+// ------------------------------------------- end-to-end copy/alloc accounting
+
+// The zero-copy regression: in steady state each delivered application
+// message costs exactly one counted payload copy (the final header-strip
+// memcpy into the user's buffer) and no fresh allocation (pool hit).
+TEST(ZeroCopyPath, OneCopyPerDeliveredMessageAndPoolHits) {
+  constexpr std::size_t kPayload = 4096;
+  constexpr int kWindow = 32;  // in-flight bound, below the pool's class cap
+  constexpr int kWarmupRounds = 2;
+  constexpr int kMeasuredRounds = 16;
+  constexpr int kMeasured = kWindow * kMeasuredRounds;
+
+  std::uint64_t copied_delta = 0;
+  std::uint64_t allocs_delta = 0;
+
+  core::JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.level = core::InstrumentLevel::kFull;
+  core::Job job(cfg);
+  job.run([&](core::Process& p) {
+    std::vector<std::byte> buf(kPayload, std::byte{0x5C});
+    std::byte ack{};
+    p.complete_registration();
+    auto& fabric = p.api().runtime().fabric();
+    std::uint64_t copied_mark = 0;
+    std::uint64_t allocs_mark = 0;
+    for (int phase = 0; phase < 2; ++phase) {
+      const int rounds = (phase == 0) ? kWarmupRounds : kMeasuredRounds;
+      // Windowed stream with a per-round ack, so at most kWindow message
+      // buffers are in flight and warmup fully populates the free list.
+      for (int r = 0; r < rounds; ++r) {
+        if (p.rank() == 0) {
+          for (int i = 0; i < kWindow; ++i) p.send(buf, 1, 3);
+          p.recv({&ack, 1}, 1, 4);
+        } else {
+          for (int i = 0; i < kWindow; ++i) p.recv(buf, 0, 3);
+          p.send({&ack, 1}, 0, 4);
+        }
+      }
+      // Rank 0 passes the phase boundary only after rank 1 acked the last
+      // round, i.e. after every measured delivery was counted.
+      if (phase == 0) {
+        copied_mark = fabric.stats().copied_bytes.load();
+        allocs_mark = fabric.stats().allocs.load();
+      } else if (p.rank() == 0) {
+        copied_delta = fabric.stats().copied_bytes.load() - copied_mark;
+        allocs_delta = fabric.stats().allocs.load() - allocs_mark;
+      }
+    }
+  });
+
+  // Exactly one payload copy per delivered 4 KiB message, plus one 1-byte
+  // ack delivery per measured round.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kMeasured) * kPayload;
+  EXPECT_GE(copied_delta, expected);
+  EXPECT_LE(copied_delta, expected + 2 * kMeasuredRounds);
+
+  // Steady state runs out of the pool: no per-message heap allocation
+  // (a small allowance covers request-table rehashing noise).
+  EXPECT_LE(allocs_delta, 8u);
+}
+
+}  // namespace
+}  // namespace c3

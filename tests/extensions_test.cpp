@@ -320,6 +320,24 @@ TEST(Errors, RegisterAfterCompleteRejected) {
                util::UsageError);
 }
 
+TEST(Errors, CommFreeWithPendingRecvRejected) {
+  // Receives borrow the communicator object; freeing it under a pending
+  // receive must fail loudly instead of leaving a dangling reference.
+  JobConfig cfg;
+  cfg.ranks = 2;
+  Job job(cfg);
+  EXPECT_THROW(job.run([&](Process& p) {
+                 p.complete_registration();
+                 const CommHandle dup = p.comm_dup(kWorldComm);
+                 std::byte buf[8];
+                 const RequestId r =
+                     p.irecv(buf, (p.rank() + 1) % 2, /*tag=*/5, dup);
+                 p.comm_free(dup);  // throws: receive still pending
+                 (void)r;
+               }),
+               util::UsageError);
+}
+
 TEST(Errors, DuplicateRegistrationRejected) {
   JobConfig cfg;
   cfg.ranks = 1;

@@ -48,7 +48,7 @@ TEST(P2p, EmptyMessage) {
   Runtime rt(2);
   rt.run([](Api& api) {
     if (api.world_rank() == 0) {
-      api.send(api.world(), {}, 1, 0);
+      api.send(api.world(), std::span<const std::byte>{}, 1, 0);
     } else {
       Status st = api.recv(api.world(), {}, 0, 0);
       EXPECT_EQ(st.size, 0u);

@@ -73,6 +73,27 @@ TEST(Archive, TruncatedStringThrows) {
   EXPECT_THROW((void)r.get_string(), CorruptionError);
 }
 
+TEST(Archive, CorruptVectorLengthThrowsInsteadOfWrapping) {
+  // A length prefix of 2^61 elements of 8 bytes wraps n * sizeof(T) to 0;
+  // the length check must reject it instead of attempting a huge memcpy.
+  Writer w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);
+  w.put<std::uint64_t>(0xDEAD);
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.get_vector<std::uint64_t>(), CorruptionError);
+}
+
+TEST(Archive, SizedWriterRoundTrips) {
+  Writer sized(128);
+  sized.put<std::uint32_t>(7);
+  EXPECT_EQ(sized.size(), 4u);
+  sized.reserve(64);
+  sized.put<std::uint16_t>(3);
+  Reader r(sized.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 7u);
+  EXPECT_EQ(r.get<std::uint16_t>(), 3);
+}
+
 TEST(Archive, RawBytesNoPrefix) {
   Writer w;
   Bytes raw{std::byte{9}, std::byte{8}};
