@@ -5,6 +5,9 @@
 // state, while the no-app-state version stays flat.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
 #include "bench/bench_common.hpp"
 
 namespace {
@@ -35,6 +38,36 @@ void synthetic_app(Process& p, std::size_t state_bytes, bool checkpoints) {
   }
 }
 
+struct SizeRow {
+  std::size_t state_kb = 0;
+  double secs[3] = {0, 0, 0};  ///< no-ckpt, no-app-state, full-ckpt
+};
+
+/// Machine-readable size trajectory, same schema style as
+/// BENCH_protocol.json / BENCH_checkpoint.json.
+void write_state_size_json(const std::vector<SizeRow>& rows) {
+  std::FILE* f = std::fopen("BENCH_state_size.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"state_size\",\n");
+  std::fprintf(f, "  \"ranks\": %d,\n  \"iters\": %d,\n", kRanks, kIters);
+  std::fprintf(f, "  \"checkpoint_every\": 5,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const double overhead =
+        r.secs[0] > 0 ? (r.secs[2] / r.secs[0] - 1.0) * 100.0 : 0.0;
+    std::fprintf(f,
+                 "    {\"state_kb\": %zu, \"no_ckpt_seconds\": %.4f, "
+                 "\"no_app_state_seconds\": %.4f, "
+                 "\"full_ckpt_seconds\": %.4f, "
+                 "\"full_overhead_pct\": %.1f}%s\n",
+                 r.state_kb, r.secs[0], r.secs[1], r.secs[2], overhead,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 void table() {
   std::printf(
       "\n=== Overhead vs application state size (Figure 8a's mechanism) ===\n"
@@ -43,9 +76,11 @@ void table() {
       "version stays flat)\n");
   std::printf("%-14s %12s %14s %12s\n", "state/rank", "no-ckpt", "no-app-state",
               "full-ckpt");
+  std::vector<SizeRow> rows;
   for (std::size_t kb : {64u, 512u, 4096u, 16384u}) {
     const std::size_t bytes = kb * 1024;
-    double secs[3];
+    SizeRow row;
+    row.state_kb = kb;
     const InstrumentLevel levels[3] = {InstrumentLevel::kRaw,
                                        InstrumentLevel::kNoAppState,
                                        InstrumentLevel::kFull};
@@ -54,13 +89,17 @@ void table() {
       cfg.ranks = kRanks;
       cfg.level = levels[i];
       cfg.policy = core::CheckpointPolicy::every(5);
-      secs[i] = time_job(cfg, [&](Process& p) {
+      row.secs[i] = time_job(cfg, [&](Process& p) {
         synthetic_app(p, bytes, levels[i] != InstrumentLevel::kRaw);
       });
     }
     std::printf("%-14s %11.3fs %13.3fs %11.3fs\n",
-                human_bytes(bytes).c_str(), secs[0], secs[1], secs[2]);
+                human_bytes(bytes).c_str(), row.secs[0], row.secs[1],
+                row.secs[2]);
+    rows.push_back(row);
   }
+  write_state_size_json(rows);
+  std::printf("wrote BENCH_state_size.json\n");
 }
 
 void BM_StateSize(benchmark::State& state) {

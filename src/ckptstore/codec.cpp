@@ -1,0 +1,164 @@
+#include "ckptstore/codec.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace c3::ckptstore {
+
+namespace {
+
+// LZSS parameters. The 16-bit offset window comfortably covers the default
+// 4 KiB checkpoint chunk; matches start at 4 bytes so a token (>= 3 bytes)
+// never loses against the literals it replaces.
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xFFFF;
+constexpr int kHashBits = 12;
+constexpr std::uint32_t kEmpty = 0xFFFF'FFFFu;
+
+inline std::uint32_t read32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint32_t hash32(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void put_varint(util::Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline std::uint64_t get_varint(std::span<const std::byte> comp,
+                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= comp.size()) {
+      throw util::CorruptionError("codec: truncated varint");
+    }
+    const auto b = static_cast<std::uint8_t>(comp[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw util::CorruptionError("codec: varint overflow");
+}
+
+// Token stream: repeated groups of
+//   varint literal_count, literal bytes,
+//   [varint match_len (>= kMinMatch), varint offset]   -- absent when the
+//   literals reach the end of the chunk.
+// The decoder stops once raw_size bytes have been produced, so no explicit
+// terminator is stored.
+void lz_compress(std::span<const std::byte> raw, util::Bytes& out) {
+  std::uint32_t table[std::size_t{1} << kHashBits];
+  std::memset(table, 0xFF, sizeof(table));
+
+  const std::byte* p = raw.data();
+  const std::size_t n = raw.size();
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+
+  auto emit_group = [&](std::size_t lit_end, std::size_t match_len,
+                        std::size_t offset) {
+    put_varint(out, lit_end - lit_start);
+    out.insert(out.end(), p + lit_start, p + lit_end);
+    if (match_len > 0) {
+      put_varint(out, match_len);
+      put_varint(out, offset);
+    }
+  };
+
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t v = read32(p + pos);
+    const std::uint32_t h = hash32(v);
+    const std::uint32_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != kEmpty && pos - cand <= kMaxOffset &&
+        read32(p + cand) == v) {
+      std::size_t len = kMinMatch;
+      while (pos + len < n && p[cand + len] == p[pos + len]) ++len;
+      emit_group(pos, len, pos - cand);
+      pos += len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (lit_start < n) emit_group(n, 0, 0);
+}
+
+}  // namespace
+
+CodecId codec_encode(CodecId preferred, std::span<const std::byte> raw,
+                     util::Bytes& out) {
+  out.clear();
+  if (preferred == CodecId::kLz && raw.size() > kMinMatch) {
+    lz_compress(raw, out);
+    if (out.size() < raw.size()) return CodecId::kLz;
+    out.clear();
+  }
+  out.insert(out.end(), raw.begin(), raw.end());
+  return CodecId::kNone;
+}
+
+void codec_decode(CodecId id, std::span<const std::byte> comp,
+                  std::size_t raw_size, util::Bytes& out) {
+  switch (id) {
+    case CodecId::kNone: {
+      if (comp.size() != raw_size) {
+        throw util::CorruptionError("codec: verbatim chunk size mismatch");
+      }
+      out.insert(out.end(), comp.begin(), comp.end());
+      return;
+    }
+    case CodecId::kLz: {
+      const std::size_t base = out.size();
+      std::size_t produced = 0;
+      std::size_t pos = 0;
+      while (produced < raw_size) {
+        const std::uint64_t lits = get_varint(comp, pos);
+        if (lits > raw_size - produced || lits > comp.size() - pos) {
+          throw util::CorruptionError("codec: literal run overflows chunk");
+        }
+        out.insert(out.end(), comp.begin() + static_cast<std::ptrdiff_t>(pos),
+                   comp.begin() + static_cast<std::ptrdiff_t>(pos + lits));
+        pos += lits;
+        produced += lits;
+        if (produced >= raw_size) break;
+        const std::uint64_t len = get_varint(comp, pos);
+        const std::uint64_t off = get_varint(comp, pos);
+        if (len < kMinMatch || len > raw_size - produced || off == 0 ||
+            off > produced) {
+          throw util::CorruptionError("codec: bad match token");
+        }
+        // Byte-wise copy: matches may overlap their own output (run-length
+        // style back-references with offset < length).
+        for (std::uint64_t i = 0; i < len; ++i) {
+          out.push_back(out[base + produced - off + i]);
+        }
+        produced += len;
+      }
+      if (pos != comp.size()) {
+        throw util::CorruptionError("codec: trailing bytes after chunk");
+      }
+      return;
+    }
+  }
+  throw util::CorruptionError("codec: unknown codec id " +
+                              std::to_string(static_cast<int>(id)));
+}
+
+const char* codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::kNone: return "none";
+    case CodecId::kLz: return "lz";
+  }
+  return "?";
+}
+
+}  // namespace c3::ckptstore

@@ -1,0 +1,44 @@
+// Per-chunk compression codecs for the checkpoint storage pipeline.
+//
+// Checkpoint chunks are compressed independently (a chunk is the delta
+// unit, so identical raw chunks must produce identical stored bytes). The
+// codec is deliberately small and self-contained -- an LZSS-style
+// byte-oriented compressor with varint token framing, no external
+// dependencies -- because the goal is to trade a little CPU on the
+// background writer thread against the paper's 40 MB/s stable-storage
+// bandwidth, not to compete with real compression libraries.
+//
+// Stored framing: every chunk records the CodecId actually used. When the
+// compressed form would not be smaller than the raw bytes, the encoder
+// falls back to kNone and stores the chunk verbatim, so decompression
+// never inflates and pathological inputs cost nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/archive.hpp"
+
+namespace c3::ckptstore {
+
+enum class CodecId : std::uint8_t {
+  kNone = 0,  ///< stored verbatim
+  kLz = 1,    ///< LZSS with varint (literal-run, match-len, offset) tokens
+};
+
+/// Compress `raw` into `out` (cleared first) with `preferred`. Returns the
+/// codec actually used: kNone when the compressed form would be >= raw, in
+/// which case `out` holds the verbatim bytes.
+CodecId codec_encode(CodecId preferred, std::span<const std::byte> raw,
+                     util::Bytes& out);
+
+/// Decompress a chunk produced by codec_encode into exactly `raw_size`
+/// bytes, appended to `out`. Throws CorruptionError on a malformed stream
+/// or a size mismatch.
+void codec_decode(CodecId id, std::span<const std::byte> comp,
+                  std::size_t raw_size, util::Bytes& out);
+
+/// Human-readable codec name for stats/manifest dumps.
+const char* codec_name(CodecId id);
+
+}  // namespace c3::ckptstore

@@ -1,0 +1,89 @@
+// Incremental-checkpoint bookkeeping: which chunks of which sections were
+// last written when, and with what content CRC.
+//
+// The writer side of the checkpoint store keeps, per (rank, blob section,
+// container section), the chunk table of the most recently encoded epoch.
+// The next epoch's encoder compares fresh chunk CRCs against this table:
+// an unchanged chunk is emitted as a *reference* to the epoch that last
+// stored its bytes inline (its "home" epoch), so the chain is always one
+// hop deep -- restore fetches the home blob directly, never walking
+// intermediate epochs.
+//
+// The index is a pure write-side cache: it is rebuilt empty after a
+// restart (everything is then written inline once) and never consulted on
+// the read path, so losing it can cost bytes but never correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c3::ckptstore {
+
+/// ceil(raw / chunk_size); 0 for an empty section.
+inline std::size_t chunk_count(std::size_t raw, std::size_t chunk_size) {
+  return raw == 0 ? 0 : (raw + chunk_size - 1) / chunk_size;
+}
+
+/// Length of chunk `i` of a `raw`-byte section.
+inline std::size_t chunk_len(std::size_t raw, std::size_t chunk_size,
+                             std::size_t i) {
+  const std::size_t start = i * chunk_size;
+  return std::min(chunk_size, raw - start);
+}
+
+/// One chunk of one section as of the last encoded epoch.
+struct ChunkMeta {
+  std::uint32_t crc = 0;         ///< CRC-32 of the raw chunk bytes
+  std::int32_t home_epoch = -1;  ///< epoch whose blob stores the bytes inline
+};
+
+/// The last encoded state of one (rank, blob section, container section).
+struct SectionIndex {
+  std::int32_t epoch = -1;  ///< epoch this table describes
+  std::uint64_t raw_size = 0;
+  std::vector<ChunkMeta> chunks;
+};
+
+/// Identifies one delta chain.
+struct ChainKey {
+  int rank = 0;
+  std::string blob_section;  ///< BlobKey::section, e.g. "state" / "log"
+  std::string part;          ///< container section name; "" = whole blob
+
+  auto operator<=>(const ChainKey&) const = default;
+};
+
+class DeltaIndex {
+ public:
+  /// The previous epoch's table for a chain, or nullptr if none.
+  const SectionIndex* find(const ChainKey& key) const {
+    auto it = chains_.find(key);
+    return it == chains_.end() ? nullptr : &it->second;
+  }
+
+  void update(const ChainKey& key, SectionIndex next) {
+    chains_[key] = std::move(next);
+  }
+
+  /// Forget chains whose latest table describes `epoch` -- called when that
+  /// epoch's blobs are abandoned (recovery rewound past them), so the next
+  /// encode deltas against nothing and writes inline.
+  void drop_tables_for_epoch(std::int32_t epoch) {
+    for (auto it = chains_.begin(); it != chains_.end();) {
+      if (it->second.epoch == epoch) {
+        it = chains_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t chain_count() const noexcept { return chains_.size(); }
+
+ private:
+  std::map<ChainKey, SectionIndex> chains_;
+};
+
+}  // namespace c3::ckptstore

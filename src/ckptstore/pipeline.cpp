@@ -1,0 +1,101 @@
+#include "ckptstore/pipeline.hpp"
+
+#include <chrono>
+
+namespace c3::ckptstore {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+}  // namespace
+
+AsyncWriter::AsyncWriter(Sink sink, std::size_t max_blobs,
+                         std::size_t max_bytes)
+    : sink_(std::move(sink)),
+      max_blobs_(max_blobs == 0 ? 1 : max_blobs),
+      max_bytes_(max_bytes == 0 ? 1 : max_bytes),
+      thread_([this] { run(); }) {}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_.notify_all();
+  thread_.join();
+}
+
+void AsyncWriter::enqueue(const util::BlobKey& key, util::Bytes raw) {
+  const std::size_t size = raw.size();
+  std::unique_lock lock(mu_);
+  rethrow_locked();
+  // An empty queue always admits: a single blob larger than max_bytes_
+  // must be accepted (and drained alone), or the byte bound would turn
+  // into a permanent deadlock -- nothing is in flight to ever free room.
+  const auto admissible = [&] {
+    return queue_.empty() || (queue_.size() < max_blobs_ &&
+                              queued_bytes_ + size <= max_bytes_);
+  };
+  if (!admissible()) {
+    const auto t0 = Clock::now();
+    room_.wait(lock, [&] { return stop_ || error_ || admissible(); });
+    enqueue_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+    rethrow_locked();
+  }
+  queue_.push_back(Pending{key, std::move(raw)});
+  queued_bytes_ += size;
+  work_.notify_one();
+}
+
+void AsyncWriter::flush() {
+  std::unique_lock lock(mu_);
+  if (queue_.empty() && !writer_busy_) {
+    rethrow_locked();
+    return;
+  }
+  room_.wait(lock, [&] {
+    return error_ || (queue_.empty() && !writer_busy_);
+  });
+  rethrow_locked();
+}
+
+void AsyncWriter::rethrow_locked() {
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void AsyncWriter::run() {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock lock(mu_);
+      work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= p.raw.size();
+      writer_busy_ = true;
+    }
+    try {
+      sink_(p.key, std::move(p.raw));
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      writer_busy_ = false;
+    }
+    room_.notify_all();
+  }
+}
+
+}  // namespace c3::ckptstore

@@ -1,0 +1,80 @@
+// Background write pipeline: a bounded queue of checkpoint blobs drained
+// by one writer thread per wrapped StableStorage.
+//
+// The rank thread hands its serialized checkpoint to enqueue() and resumes
+// computing; the writer thread delta-encodes, compresses and put()s the
+// blob against the (possibly bandwidth-throttled) backend. flush() is the
+// commit barrier: it blocks until every queued blob is durably written --
+// the initiator calls it before recording the recovery point, preserving
+// the paper's commit semantics exactly.
+//
+// Backpressure is bounded by both blob count and total queued bytes, so a
+// rank that checkpoints faster than the disk drains eventually stalls in
+// enqueue() instead of growing the heap without limit; that stall time is
+// accounted separately from the commit-barrier stall.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/stable_storage.hpp"
+
+namespace c3::ckptstore {
+
+class AsyncWriter {
+ public:
+  /// `sink` performs the actual encode + backend put; it runs on the writer
+  /// thread. Exceptions it throws are captured and rethrown from the next
+  /// flush()/enqueue() so a failed write can never be silently committed.
+  using Sink = std::function<void(const util::BlobKey&, util::Bytes)>;
+
+  AsyncWriter(Sink sink, std::size_t max_blobs, std::size_t max_bytes);
+  ~AsyncWriter();
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Hand a blob to the pipeline; blocks only while the queue is full.
+  void enqueue(const util::BlobKey& key, util::Bytes raw);
+
+  /// Barrier: returns once the queue is empty and the writer is idle.
+  /// Rethrows any error the sink raised since the last flush.
+  void flush();
+
+  std::uint64_t enqueue_stall_ns() const noexcept {
+    return enqueue_stall_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    util::BlobKey key;
+    util::Bytes raw;
+  };
+
+  void run();
+  void rethrow_locked();
+
+  Sink sink_;
+  const std::size_t max_blobs_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable room_;     ///< signalled when the queue drains
+  std::condition_variable work_;     ///< signalled when work arrives / stops
+  std::deque<Pending> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool writer_busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::atomic<std::uint64_t> enqueue_stall_ns_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace c3::ckptstore

@@ -1,0 +1,409 @@
+#include "ckptstore/store.hpp"
+
+#include <chrono>
+
+#include "statesave/checkpoint.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace c3::ckptstore {
+
+namespace {
+
+using statesave::CheckpointBuilder;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
+                                 StoreOptions opts)
+    : inner_(std::move(inner)), opts_(opts) {
+  if (!inner_) throw util::UsageError("CheckpointStore requires a backend");
+  if (opts_.chunk_size == 0 ||
+      opts_.chunk_size > CheckpointBuilder::kMaxChunkSize) {
+    throw util::UsageError(
+        "CheckpointStore chunk_size must be positive and at most "
+        "CheckpointBuilder::kMaxChunkSize");
+  }
+  if (opts_.full_interval <= 0) opts_.full_interval = 1;
+  if (opts_.async) {
+    writer_ = std::make_unique<AsyncWriter>(
+        [this](const util::BlobKey& key, util::Bytes raw) {
+          write_one(key, std::move(raw));
+        },
+        opts_.queue_max_blobs, opts_.queue_max_bytes);
+  }
+}
+
+CheckpointStore::~CheckpointStore() {
+  // Join the writer before any member it touches is destroyed. Pending
+  // writes drain (they may matter to a committed epoch only if commit was
+  // called, which already flushed; draining the rest is just tidy).
+  writer_.reset();
+}
+
+// ------------------------------------------------------------------ write
+
+void CheckpointStore::put(const util::BlobKey& key, const util::Bytes& data) {
+  put(key, util::Bytes(data));
+}
+
+void CheckpointStore::put(const util::BlobKey& key, util::Bytes&& data) {
+  raw_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  if (writer_) {
+    writer_->enqueue(key, std::move(data));
+    return;
+  }
+  const auto t0 = Clock::now();
+  write_one(key, std::move(data));
+  sync_put_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+}
+
+void CheckpointStore::write_one(const util::BlobKey& key, util::Bytes raw) {
+  util::Bytes encoded = encode_blob(key, raw);
+  inner_->put(key, std::move(encoded));
+  // Recycle the rank's serialized-checkpoint buffer for future scratch.
+  pool_.release(std::move(raw));
+}
+
+util::Bytes CheckpointStore::encode_blob(const util::BlobKey& key,
+                                         std::span<const std::byte> raw) {
+  // A protocol "state" blob is a v1 container: chunk per section so stable
+  // sections (heap image, globals) delta independently of churning ones
+  // (protocol counters). Anything else (event logs, foreign blobs) is
+  // treated as one unnamed section.
+  auto parsed = statesave::parse_v1_sections(raw);
+  const bool is_container = parsed.has_value();
+  std::vector<std::pair<std::string, std::span<const std::byte>>> sections;
+  if (parsed) {
+    sections = std::move(*parsed);
+  } else {
+    sections.emplace_back("", raw);
+  }
+
+  const std::size_t cs = opts_.chunk_size;
+  util::Writer w(64 + raw.size() / 2);
+  w.put<std::uint32_t>(CheckpointBuilder::kMagic);
+  w.put<std::uint32_t>(CheckpointBuilder::kVersionChunked);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cs));
+  // Explicit flag instead of inferring "one unnamed section == opaque
+  // blob": a genuine container could legally hold an empty-named section.
+  w.put<std::uint8_t>(is_container ? 1 : 0);
+  w.put<std::uint64_t>(sections.size());
+
+  util::Bytes scratch = pool_.acquire(cs + cs / 8 + 64);
+  std::set<int> homes_used;
+
+  std::lock_guard lock(meta_mu_);
+  // Re-writing an epoch (recovery re-executing it) makes it live again;
+  // and entries older than the reference horizon can never be named by a
+  // future ref, so the dropped-set stays bounded.
+  dropped_.erase(key.epoch);
+  drop_requested_.erase(key.epoch);
+  dropped_.erase(dropped_.begin(),
+                 dropped_.lower_bound(key.epoch - opts_.full_interval));
+  for (auto& [name, data] : sections) {
+    const ChainKey ck{key.rank, key.section, name};
+    const SectionIndex* prev = index_.find(ck);
+    SectionIndex next;
+    next.epoch = key.epoch;
+    next.raw_size = data.size();
+    const std::size_t n = chunk_count(data.size(), cs);
+    next.chunks.resize(n);
+
+    w.put_string(name);
+    w.put<std::uint64_t>(data.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto chunk = data.subspan(i * cs, chunk_len(data.size(), cs, i));
+      const std::uint32_t crc = util::crc32(chunk);
+      std::int32_t home = -1;
+      if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
+          prev->chunks[i].crc == crc &&
+          chunk_len(prev->raw_size, cs, i) == chunk.size()) {
+        const std::int32_t h = prev->chunks[i].home_epoch;
+        // A reference must name an older, still-present epoch; a chunk
+        // whose home has aged past full_interval is rewritten inline so
+        // superseded epochs cannot be pinned forever.
+        if (h >= 0 && h < key.epoch &&
+            key.epoch - h < opts_.full_interval &&
+            dropped_.count(h) == 0) {
+          home = h;
+        }
+      }
+      w.put<std::uint32_t>(crc);
+      if (home >= 0) {
+        w.put<std::uint8_t>(CheckpointBuilder::kChunkRef);
+        w.put<std::int32_t>(home);
+        next.chunks[i] = ChunkMeta{crc, home};
+        homes_used.insert(home);
+        ref_chunks_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const CodecId used = codec_encode(opts_.codec, chunk, scratch);
+        w.put<std::uint8_t>(CheckpointBuilder::kChunkInline);
+        w.put<std::uint8_t>(static_cast<std::uint8_t>(used));
+        w.put<std::uint64_t>(scratch.size());
+        w.put_raw(scratch);
+        next.chunks[i] = ChunkMeta{crc, key.epoch};
+        inline_chunks_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    index_.update(ck, std::move(next));
+  }
+  if (!homes_used.empty()) {
+    refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
+  }
+  pool_.release(std::move(scratch));
+  return w.take();
+}
+
+// ------------------------------------------------------------------- read
+
+bool CheckpointStore::is_chunked(std::span<const std::byte> blob) {
+  if (blob.size() < 8) return false;
+  util::Reader r(blob);
+  return r.get<std::uint32_t>() == CheckpointBuilder::kMagic &&
+         r.get<std::uint32_t>() == CheckpointBuilder::kVersionChunked;
+}
+
+CheckpointStore::ParsedBlob CheckpointStore::parse_chunked(util::Bytes blob) {
+  ParsedBlob pb;
+  pb.data = std::move(blob);
+  util::Reader r(pb.data);
+  if (r.get<std::uint32_t>() != CheckpointBuilder::kMagic ||
+      r.get<std::uint32_t>() != CheckpointBuilder::kVersionChunked) {
+    throw util::CorruptionError("checkpoint store: not a chunked blob");
+  }
+  pb.chunk_size = r.get<std::uint32_t>();
+  if (pb.chunk_size == 0 ||
+      pb.chunk_size > CheckpointBuilder::kMaxChunkSize) {
+    throw util::CorruptionError("checkpoint store: implausible chunk size");
+  }
+  const auto container_flag = r.get<std::uint8_t>();
+  if (container_flag > 1) {
+    throw util::CorruptionError("checkpoint store: bad container flag");
+  }
+  pb.is_container = container_flag == 1;
+  const auto count = r.get<std::uint64_t>();
+  // Corruption-controlled counts must never drive allocations: every
+  // section/chunk occupies several stream bytes, so a count exceeding the
+  // remaining bytes is corrupt, not a resize request (the same overflow
+  // class Reader::get_vector rejects).
+  // Each section record occupies at least 16 stream bytes, each chunk at
+  // least 5: bound the resizes by what the stream could possibly hold.
+  if (count > r.remaining() / 16) {
+    throw util::CorruptionError("checkpoint store: section count overflow");
+  }
+  pb.sections.resize(count);
+  for (auto& sec : pb.sections) {
+    sec.name = r.get_string();
+    sec.raw_size = r.get<std::uint64_t>();
+    const std::size_t n = chunk_count(sec.raw_size, pb.chunk_size);
+    if (n > r.remaining() / 5) {
+      throw util::CorruptionError("checkpoint store: chunk count overflow");
+    }
+    sec.chunks.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ParsedChunk& c = sec.chunks[i];
+      c.raw_len = chunk_len(sec.raw_size, pb.chunk_size, i);
+      c.crc = r.get<std::uint32_t>();
+      c.kind = r.get<std::uint8_t>();
+      if (c.kind == CheckpointBuilder::kChunkInline) {
+        c.codec = static_cast<CodecId>(r.get<std::uint8_t>());
+        c.comp_size = r.get<std::uint64_t>();
+        c.offset = r.position();
+        (void)r.get_span(c.comp_size);
+      } else if (c.kind == CheckpointBuilder::kChunkRef) {
+        c.home = r.get<std::int32_t>();
+      } else {
+        throw util::CorruptionError("checkpoint store: unknown chunk kind");
+      }
+    }
+  }
+  if (!r.empty()) {
+    throw util::CorruptionError("checkpoint store: trailing bytes");
+  }
+  return pb;
+}
+
+util::Bytes CheckpointStore::reconstruct(const util::BlobKey& key,
+                                         util::Bytes stored) const {
+  if (!is_chunked(stored)) return stored;  // v1 / foreign blob passthrough
+  const ParsedBlob top = parse_chunked(std::move(stored));
+
+  // Home blobs fetched (at most once each) to resolve delta references.
+  std::map<int, ParsedBlob> homes;
+  auto load_home = [&](int epoch) -> const ParsedBlob& {
+    auto it = homes.find(epoch);
+    if (it != homes.end()) return it->second;
+    auto blob = inner_->get({epoch, key.rank, key.section});
+    if (!blob || !is_chunked(*blob)) {
+      throw util::CorruptionError(
+          "checkpoint delta chain broken: epoch " + std::to_string(epoch) +
+          " rank " + std::to_string(key.rank) + " '" + key.section +
+          "' missing");
+    }
+    return homes.emplace(epoch, parse_chunked(std::move(*blob)))
+        .first->second;
+  };
+  auto decode_chunk = [](const ParsedBlob& pb, const ParsedChunk& c,
+                         util::Bytes& out) {
+    const std::span<const std::byte> comp{pb.data.data() + c.offset,
+                                          c.comp_size};
+    const std::size_t before = out.size();
+    codec_decode(c.codec, comp, c.raw_len, out);
+    const std::span<const std::byte> decoded{out.data() + before,
+                                             out.size() - before};
+    if (util::crc32(decoded) != c.crc) {
+      throw util::CorruptionError(
+          "checkpoint chunk failed CRC validation after decompression");
+    }
+  };
+
+  const bool pseudo = !top.is_container;
+  if (pseudo &&
+      (top.sections.size() != 1 || !top.sections[0].name.empty())) {
+    throw util::CorruptionError(
+        "checkpoint store: opaque blob with container-shaped sections");
+  }
+  CheckpointBuilder builder;
+  for (const auto& sec : top.sections) {
+    util::Bytes bytes;
+    // Bounded up-front reserve: raw_size came off storage and may lie.
+    bytes.reserve(std::min<std::uint64_t>(sec.raw_size,
+                                          std::uint64_t{64} << 20));
+    for (std::size_t i = 0; i < sec.chunks.size(); ++i) {
+      const ParsedChunk& c = sec.chunks[i];
+      if (c.kind == CheckpointBuilder::kChunkInline) {
+        decode_chunk(top, c, bytes);
+        continue;
+      }
+      const ParsedBlob& hb = load_home(c.home);
+      const ParsedSection* hs = nullptr;
+      for (const auto& s : hb.sections) {
+        if (s.name == sec.name) {
+          hs = &s;
+          break;
+        }
+      }
+      if (hs == nullptr || i >= hs->chunks.size()) {
+        throw util::CorruptionError(
+            "checkpoint delta reference to a chunk the home epoch never "
+            "stored");
+      }
+      const ParsedChunk& hc = hs->chunks[i];
+      if (hc.kind != CheckpointBuilder::kChunkInline || hc.crc != c.crc ||
+          hc.raw_len != c.raw_len) {
+        throw util::CorruptionError(
+            "checkpoint delta reference disagrees with the home epoch");
+      }
+      decode_chunk(hb, hc, bytes);
+    }
+    if (bytes.size() != sec.raw_size) {
+      throw util::CorruptionError("checkpoint section size mismatch");
+    }
+    if (pseudo) return bytes;
+    builder.add_section(sec.name, std::move(bytes));
+  }
+  return builder.finish();
+}
+
+std::optional<util::Bytes> CheckpointStore::get(
+    const util::BlobKey& key) const {
+  flush();  // reads must observe every queued write
+  auto stored = inner_->get(key);
+  if (!stored) return std::nullopt;
+  return reconstruct(key, std::move(*stored));
+}
+
+// ------------------------------------------------------ commit & retention
+
+void CheckpointStore::flush() const {
+  if (writer_) writer_->flush();
+}
+
+void CheckpointStore::commit(int epoch) {
+  // The commit barrier: the recovery point is recorded only after every
+  // blob it names is durably on the backend.
+  const auto t0 = Clock::now();
+  flush();
+  commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  inner_->commit(epoch);
+
+  // Superseded epochs whose drop was deferred may be droppable now (the
+  // epoch that pinned them may itself have been dropped or rewritten).
+  std::lock_guard lock(meta_mu_);
+  try_drops_locked();
+}
+
+bool CheckpointStore::referenced_by_live_locked(int epoch) const {
+  for (const auto& [f, homes] : refs_) {
+    if (dropped_.count(f) == 0 && homes.count(epoch) != 0) return true;
+  }
+  return false;
+}
+
+void CheckpointStore::try_drops_locked() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const std::vector<int> pending(drop_requested_.begin(),
+                                   drop_requested_.end());
+    for (const int e : pending) {
+      if (referenced_by_live_locked(e)) continue;
+      inner_->drop_epoch(e);
+      dropped_.insert(e);
+      refs_.erase(e);
+      drop_requested_.erase(e);
+      index_.drop_tables_for_epoch(e);
+      progress = true;  // dropping e may unpin the homes it referenced
+    }
+  }
+}
+
+std::optional<int> CheckpointStore::committed_epoch() const {
+  return inner_->committed_epoch();
+}
+
+void CheckpointStore::drop_epoch(int epoch) {
+  // Queued writes may target `epoch` (recovery abandoning a half-written
+  // next checkpoint); drain them first so a late write cannot resurrect
+  // the dropped blobs.
+  flush();
+  std::lock_guard lock(meta_mu_);
+  // The physical drop waits until no live epoch's manifest references
+  // chunks homed here -- not just the newest commit's: a retained
+  // fallback epoch (detached shutdown) pins its homes too.
+  drop_requested_.insert(epoch);
+  try_drops_locked();
+}
+
+// ------------------------------------------------------------- accounting
+
+std::uint64_t CheckpointStore::total_bytes() const {
+  flush();
+  return inner_->total_bytes();
+}
+
+std::uint64_t CheckpointStore::bytes_written() const {
+  return inner_->bytes_written();
+}
+
+util::StorageStats CheckpointStore::storage_stats() const {
+  util::StorageStats s;
+  s.raw_bytes = raw_bytes_.load(std::memory_order_relaxed);
+  s.stored_bytes = inner_->bytes_written();
+  s.inline_chunks = inline_chunks_.load(std::memory_order_relaxed);
+  s.ref_chunks = ref_chunks_.load(std::memory_order_relaxed);
+  s.put_stall_ns = sync_put_ns_.load(std::memory_order_relaxed) +
+                   (writer_ ? writer_->enqueue_stall_ns() : 0);
+  s.commit_stall_ns = commit_stall_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace c3::ckptstore

@@ -1,0 +1,143 @@
+// CheckpointStore: the checkpoint storage pipeline.
+//
+// A StableStorage wrapper that turns the protocol's "serialize everything
+// and block on the write" checkpoints into a pipelined store:
+//
+//   1. delta encoding -- each container section (heap image, globals,
+//      protocol state, logs) is split into fixed-size chunks with per-chunk
+//      CRCs; a chunk whose CRC matches the previous epoch's is stored as a
+//      reference to the epoch that last wrote its bytes ("home" epoch),
+//      so only changed blocks travel to stable storage;
+//   2. compression -- changed chunks pass through a self-contained codec
+//      (ckptstore/codec.hpp) before hitting the backend;
+//   3. async commit -- puts are handed to a background writer thread over
+//      a bounded queue (ckptstore/pipeline.hpp); the rank resumes
+//      computing while the write drains. commit(epoch) flushes the queue
+//      *before* forwarding the commit to the backend, so the recovery
+//      point is only ever recorded once every blob it names is durable --
+//      an uncommitted epoch can never be used for recovery.
+//
+// Reads reverse the pipeline: get() reconstructs the exact original bytes
+// by resolving delta references against prior epochs' blobs, validating
+// every chunk CRC. Blobs written without the wrapper (plain v1 containers
+// or arbitrary bytes) pass through untouched, so a store pointed at an old
+// directory keeps working.
+//
+// Retention: the protocol drops superseded epochs after each commit, but a
+// committed manifest may still reference chunks homed in an older epoch.
+// drop_epoch() therefore defers the physical drop of any epoch the
+// committed recovery point still needs, and retries deferred drops after
+// the next commit. `full_interval` bounds how long a chunk may keep an old
+// home (and hence how many superseded epochs can pile up) by forcing a
+// periodic inline rewrite.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "ckptstore/codec.hpp"
+#include "ckptstore/delta.hpp"
+#include "ckptstore/pipeline.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/stable_storage.hpp"
+
+namespace c3::ckptstore {
+
+struct StoreOptions {
+  bool delta = true;   ///< emit chunk references against the prior epoch
+  bool async = true;   ///< background writer thread (sync put when false)
+  CodecId codec = CodecId::kLz;
+  std::size_t chunk_size = 4096;
+  std::size_t queue_max_blobs = 8;
+  std::size_t queue_max_bytes = std::size_t{64} << 20;
+  /// Force an inline rewrite of a chunk whose home epoch is this many
+  /// epochs old: bounds delta-chain retention.
+  std::int32_t full_interval = 16;
+};
+
+class CheckpointStore final : public util::StableStorage {
+ public:
+  explicit CheckpointStore(std::shared_ptr<util::StableStorage> inner,
+                           StoreOptions opts = {});
+  ~CheckpointStore() override;
+
+  void put(const util::BlobKey& key, const util::Bytes& data) override;
+  void put(const util::BlobKey& key, util::Bytes&& data) override;
+  std::optional<util::Bytes> get(const util::BlobKey& key) const override;
+  void commit(int epoch) override;
+  std::optional<int> committed_epoch() const override;
+  void drop_epoch(int epoch) override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t bytes_written() const override;
+  util::StorageStats storage_stats() const override;
+
+  /// Drain the write queue (no-op in sync mode). Rethrows writer errors.
+  void flush() const;
+
+  util::StableStorage& inner() noexcept { return *inner_; }
+  const util::BufferPool& pool() const noexcept { return pool_; }
+
+ private:
+  struct ParsedChunk {
+    std::uint8_t kind = 0;
+    CodecId codec = CodecId::kNone;
+    std::uint32_t crc = 0;
+    std::int32_t home = -1;
+    std::size_t offset = 0;     ///< compressed payload offset in the blob
+    std::size_t comp_size = 0;
+    std::size_t raw_len = 0;
+  };
+  struct ParsedSection {
+    std::string name;
+    std::uint64_t raw_size = 0;
+    std::vector<ParsedChunk> chunks;
+  };
+  struct ParsedBlob {
+    util::Bytes data;
+    std::uint32_t chunk_size = 0;
+    bool is_container = false;  ///< re-encoded v1 container vs opaque blob
+    std::vector<ParsedSection> sections;
+  };
+
+  /// Encode one blob (delta + compress) and put it on the backend. Runs on
+  /// the writer thread in async mode, inline otherwise.
+  void write_one(const util::BlobKey& key, util::Bytes raw);
+
+  util::Bytes encode_blob(const util::BlobKey& key,
+                          std::span<const std::byte> raw);
+
+  static bool is_chunked(std::span<const std::byte> blob);
+  static ParsedBlob parse_chunked(util::Bytes blob);
+  util::Bytes reconstruct(const util::BlobKey& key, util::Bytes stored) const;
+
+  std::shared_ptr<util::StableStorage> inner_;
+  StoreOptions opts_;
+
+  // Write-side state: the delta index plus retention bookkeeping. Guarded
+  // by meta_mu_ (writer thread encodes; rank threads commit/drop).
+  /// Execute every requested drop whose epoch is no longer referenced by
+  /// any live (not-yet-dropped) epoch, cascading: dropping one epoch may
+  /// unpin the homes it referenced. Caller holds meta_mu_.
+  void try_drops_locked();
+  bool referenced_by_live_locked(int epoch) const;
+
+  mutable std::mutex meta_mu_;
+  DeltaIndex index_;
+  std::map<int, std::set<int>> refs_;  ///< epoch -> home epochs it references
+  std::set<int> drop_requested_;  ///< protocol asked; executes when unpinned
+  std::set<int> dropped_;   ///< physically dropped epochs (never reference)
+
+  // Stats (relaxed: read by benchmarks, not by the protocol).
+  std::atomic<std::uint64_t> raw_bytes_{0};
+  std::atomic<std::uint64_t> inline_chunks_{0};
+  std::atomic<std::uint64_t> ref_chunks_{0};
+  std::atomic<std::uint64_t> commit_stall_ns_{0};
+  std::atomic<std::uint64_t> sync_put_ns_{0};
+
+  /// Recycles per-chunk compression scratch and drained blob buffers.
+  mutable util::BufferPool pool_;
+
+  std::unique_ptr<AsyncWriter> writer_;  ///< null in sync mode
+};
+
+}  // namespace c3::ckptstore

@@ -12,6 +12,10 @@ Job::Job(JobConfig config) : config_(std::move(config)) {
   if (!config_.storage) {
     config_.storage = std::make_shared<util::MemoryStorage>();
   }
+  if (config_.ckpt_pipeline) {
+    pipeline_ = std::make_shared<ckptstore::CheckpointStore>(config_.storage,
+                                                             config_.ckpt);
+  }
 }
 
 JobReport Job::run(const std::function<void(Process&)>& app_main) {
@@ -29,11 +33,12 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
 
   simmpi::Runtime runtime(config_.ranks, config_.net);
   bool recovering = false;
+  const auto storage = effective_storage();
 
   for (;;) {
     report.executions++;
     Process::Shared shared;
-    shared.storage = config_.storage;
+    shared.storage = storage;
     shared.injectors = injectors;
     shared.level = config_.level;
     shared.piggyback = config_.piggyback;
@@ -58,7 +63,7 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
       if (report.executions > config_.max_restarts) {
         throw;
       }
-      const auto committed = config_.storage->committed_epoch();
+      const auto committed = storage->committed_epoch();
       if (!committed.has_value()) {
         // No global checkpoint yet: the computation restarts from scratch
         // (epoch 0), exactly as a real deployment would.
@@ -74,8 +79,8 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
     }
   }
 
-  report.last_committed_epoch = config_.storage->committed_epoch();
-  report.storage_bytes_written = config_.storage->bytes_written();
+  report.last_committed_epoch = storage->committed_epoch();
+  report.storage_bytes_written = storage->bytes_written();
   return report;
 }
 

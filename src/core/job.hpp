@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "ckptstore/store.hpp"
 #include "core/process.hpp"
 #include "core/types.hpp"
 #include "net/failure.hpp"
@@ -26,6 +27,12 @@ struct JobConfig {
   std::size_t heap_capacity = 0;
   /// Storage backend; a fresh MemoryStorage is created when null.
   std::shared_ptr<util::StableStorage> storage;
+  /// Run checkpoints through the ckptstore pipeline (incremental deltas,
+  /// compression, async commit) wrapped around `storage`. Disable to write
+  /// full v1 dumps synchronously, as the seed system did.
+  bool ckpt_pipeline = true;
+  /// Pipeline tuning (chunk size, codec, queue bounds, sync/async).
+  ckptstore::StoreOptions ckpt;
   /// Optional injected stopping failure.
   std::optional<net::FailureSpec> failure;
   /// Additional stopping failures (each fires once; combined with
@@ -54,11 +61,28 @@ class Job {
   /// and restarting on injected failures. Returns the execution report.
   JobReport run(const std::function<void(Process&)>& app_main);
 
-  util::StableStorage& storage() noexcept { return *config_.storage; }
+  /// The storage the protocol writes to: the pipeline wrapper when
+  /// enabled, otherwise the raw configured backend.
+  util::StableStorage& storage() noexcept { return *effective_storage(); }
   const JobConfig& config() const noexcept { return config_; }
 
+  /// Pipeline accounting (raw vs stored bytes, delta hit rate, stalls).
+  util::StorageStats storage_stats() const {
+    return (pipeline_ ? std::static_pointer_cast<util::StableStorage>(
+                            pipeline_)
+                      : config_.storage)
+        ->storage_stats();
+  }
+
  private:
+  std::shared_ptr<util::StableStorage> effective_storage() {
+    return pipeline_ ? pipeline_ : config_.storage;
+  }
+
   JobConfig config_;
+  /// Lives for the whole job (including restarts) so the delta index and
+  /// retention bookkeeping survive a rollback.
+  std::shared_ptr<ckptstore::CheckpointStore> pipeline_;
 };
 
 }  // namespace c3::core

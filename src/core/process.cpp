@@ -485,9 +485,11 @@ void Process::finalize_log() {
   if (!am_logging_) return;
   am_logging_ = false;
   auto blob = log_.serialize();
-  shared_.storage->put(
-      {.epoch = epoch_, .rank = me_, .section = "log"}, blob);
   stats_.log_bytes += blob.size();
+  // Moved into the storage pipeline: a pipelined backend encodes and
+  // writes it on its background thread while this rank keeps computing.
+  shared_.storage->put({.epoch = epoch_, .rank = me_, .section = "log"},
+                       std::move(blob));
   log_.clear();
   if (me_ == 0) {
     initiator_note_stopped();
@@ -517,11 +519,34 @@ void Process::initiator_note_ready() {
 void Process::initiator_note_stopped() {
   stopped_count_++;
   if (stopped_count_ == nranks_) {
-    // Phase 4 complete: this checkpoint becomes the recovery point.
+    // Phase 4 complete: this checkpoint becomes the recovery point. With a
+    // pipelined backend, commit() is a barrier that drains the async write
+    // queue before recording the recovery point -- an epoch whose blobs
+    // are still in flight can never be named for recovery.
     shared_.storage->commit(epoch_);
-    if (epoch_ >= 2) shared_.storage->drop_epoch(epoch_ - 1);
+    // Superseded-epoch GC -- unless some rank took its local checkpoint
+    // during shutdown ("detached": its application state is unreadable).
+    // Then the previous epoch stays retained so recovery has a complete
+    // epoch to fall back to. Detached markers only exist at kFull; other
+    // levels skip the per-rank probe entirely.
+    if (epoch_ >= 2 && (shared_.level != InstrumentLevel::kFull ||
+                        !epoch_has_detached_rank(epoch_))) {
+      shared_.storage->drop_epoch(epoch_ - 1);
+    }
     ckpt_in_progress_ = false;
   }
+}
+
+bool Process::epoch_has_detached_rank(std::int32_t epoch) const {
+  for (int q = 0; q < nranks_; ++q) {
+    const auto marker = shared_.storage->get(
+        {.epoch = epoch, .rank = q, .section = "detached"});
+    if (marker && !marker->empty() &&
+        (*marker)[0] == std::byte{1}) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // -------------------------------------------------------------- checkpoint
@@ -574,6 +599,10 @@ void Process::potential_checkpoint() {
   event();
   if (passthrough()) return;
   pump();
+  // A natural cancellation point: an application that spins on
+  // potential_checkpoint (e.g. waiting out an epoch) must still observe a
+  // peer's failure and unwind, like every blocking send/receive does.
+  api_.check_abort();
   if (!checkpoints_enabled()) return;
   potential_calls_++;
   if (me_ == 0 && !ckpt_in_progress_ && recovery_quiesced() &&
@@ -633,7 +662,18 @@ void Process::do_checkpoint() {
     serialize_comm_calls(comm_calls_, w);
     builder.add_section("protocol", w.take());
   }
-  if (shared_.level == InstrumentLevel::kFull) {
+  if (shared_.level == InstrumentLevel::kFull && app_detached_) {
+    // Shutdown-window checkpoint: the application body has returned and
+    // its registered buffers (commonly locals of the app function) are
+    // gone. Reading them would be use-after-free, so the protocol still
+    // participates -- a stalled global checkpoint would wedge every other
+    // rank's shutdown -- but records that this epoch cannot restore this
+    // rank's application state. A separate "detached" blob marks the fact
+    // cheaply, so the initiator skips the superseded-epoch GC and a later
+    // recovery can fall back to the previous epoch (see
+    // recover_from_checkpoint) instead of failing outright.
+    builder.add_section("appstate-detached", {});
+  } else if (shared_.level == InstrumentLevel::kFull) {
     std::size_t appstate_bytes = 8;
     for (const auto& e : registry_) {
       appstate_bytes += 8 + e.name.size() + 1 + (e.readonly ? 12 : 8 + e.size);
@@ -657,10 +697,23 @@ void Process::do_checkpoint() {
     builder.add_section("appstate", w.take());
     save_ctx_.capture(builder);
   }
+  if (shared_.level == InstrumentLevel::kFull) {
+    // Per-rank detachment marker, written every epoch (a tombstone value
+    // of 0 overwrites any stale marker left under the same epoch number
+    // by an earlier execution, so a normally captured epoch can never be
+    // mistaken for unrestorable).
+    util::Writer dw;
+    dw.put<std::uint8_t>(app_detached_ ? 1 : 0);
+    shared_.storage->put(
+        {.epoch = new_epoch, .rank = me_, .section = "detached"}, dw.take());
+  }
   auto blob = builder.finish();
-  shared_.storage->put(
-      {.epoch = new_epoch, .rank = me_, .section = "state"}, blob);
   stats_.checkpoint_bytes += blob.size();
+  // Hand the serialized checkpoint to the storage pipeline by move: with a
+  // pipelined backend the rank resumes computing immediately and the
+  // delta-encode + compress + write happens on the writer thread.
+  shared_.storage->put({.epoch = new_epoch, .rank = me_, .section = "state"},
+                       std::move(blob));
 
   // Enter the new epoch (the paper's potentialCheckpoint pseudo-code).
   epoch_ = new_epoch;
@@ -707,15 +760,21 @@ Process::CollectiveFlags Process::exchange_collective_control(
   stats_.control_messages += static_cast<std::uint64_t>(comm.size());
   CollectiveFlags flags;
   flags.max_epoch = epoch_;
-  const bool my_color = (epoch_ & 1) != 0;
+  for (const auto word : all) {
+    const auto their_epoch = static_cast<std::int32_t>(word >> 1);
+    flags.max_epoch = std::max(flags.max_epoch, their_epoch);
+  }
+  // A peer in the *newest* epoch that is not logging has *stopped* logging;
+  // a peer in an older epoch simply has not checkpointed yet. The exact
+  // epoch comparison matters at a barrier: a laggard's exchange word names
+  // its own pre-checkpoint epoch, and judging that by color (epoch mod 2)
+  // would let the laggard mistake *itself* for a stopped-logging peer and
+  // close its logging window the moment the forced checkpoint opens it --
+  // before it ever reported readyToStopLogging, wedging phase 3.
   for (const auto word : all) {
     const auto their_epoch = static_cast<std::int32_t>(word >> 1);
     const bool their_logging = (word & 1u) != 0;
-    const bool their_color = (their_epoch & 1) != 0;
-    flags.max_epoch = std::max(flags.max_epoch, their_epoch);
-    // A peer in my (new) epoch that is not logging has *stopped* logging;
-    // a peer in the old epoch simply has not checkpointed yet.
-    if (their_color == my_color && !their_logging) {
+    if (their_epoch == flags.max_epoch && !their_logging) {
       flags.someone_stopped_logging = true;
     }
   }
@@ -1079,8 +1138,25 @@ void Process::complete_registration() {
 void Process::recover_from_checkpoint() {
   const auto committed = shared_.storage->committed_epoch();
   protocol_invariant(committed.has_value(), "recovery without a commit");
+  std::int32_t target = *committed;
+  // If any rank's local checkpoint at the committed epoch was taken during
+  // shutdown (detached: its application state was not captured), every
+  // rank uniformly falls back to the previous epoch -- retained exactly
+  // for this case (the initiator skips the superseded-epoch GC when it
+  // commits a detached epoch). Mixed per-rank decisions would restore an
+  // inconsistent global state, so the check looks at all ranks' markers.
+  if (shared_.level == InstrumentLevel::kFull &&
+      epoch_has_detached_rank(target)) {
+    if (target <= 1) {
+      throw util::CorruptionError(
+          "the only committed recovery point was taken during shutdown, "
+          "after the application released its registered state; it cannot "
+          "be restored -- rerun the computation");
+    }
+    target = target - 1;
+  }
   const auto blob = shared_.storage->get(
-      {.epoch = *committed, .rank = me_, .section = "state"});
+      {.epoch = target, .rank = me_, .section = "state"});
   protocol_invariant(blob.has_value(), "committed checkpoint blob missing");
   statesave::CheckpointView view(*blob);
 
@@ -1090,7 +1166,7 @@ void Process::recover_from_checkpoint() {
     const auto proto = view.require_section("protocol");
     util::Reader r(proto);
     epoch_ = r.get<std::int32_t>();
-    protocol_invariant(epoch_ == *committed, "epoch/commit mismatch");
+    protocol_invariant(epoch_ == target, "epoch/commit mismatch");
     util::Rng::State rst;
     for (auto& word : rst.s) word = r.get<std::uint64_t>();
     rng_.set_state(rst);
@@ -1111,7 +1187,16 @@ void Process::recover_from_checkpoint() {
   replay_ = ReplayLog(*logblob);
 
   if (shared_.level == InstrumentLevel::kFull) {
-    pending_appstate_ = view.require_section("appstate");
+    if (view.section("appstate-detached").has_value()) {
+      throw util::CorruptionError(
+          "the committed recovery point was taken during shutdown, after "
+          "the application released its registered state; it cannot be "
+          "restored -- rerun the computation");
+    }
+    // require_section() returns a view into `blob`; the appstate bytes are
+    // needed after it goes out of scope, so copy them out.
+    const auto appstate = view.require_section("appstate");
+    pending_appstate_.emplace(appstate.begin(), appstate.end());
     save_ctx_.begin_restore(view);
   }
 
@@ -1130,8 +1215,12 @@ void Process::recover_from_checkpoint() {
   ckpt_in_progress_ = false;
   checkpoint_requested_ = false;
 
-  // Any partially written next checkpoint is abandoned.
-  shared_.storage->drop_epoch(epoch_ + 1);
+  // Any partially written next checkpoint is abandoned. When recovery
+  // fell back past a detached epoch, that epoch is dropped later (after
+  // the suppression exchange below, which doubles as a barrier proving
+  // every rank has finished consulting its markers).
+  const bool fell_back = (target != *committed);
+  if (!fell_back) shared_.storage->drop_epoch(epoch_ + 1);
 
   // Recreate persistent opaque objects by replaying the recorded calls
   // (collective across ranks: every rank replays in the same order).
@@ -1159,6 +1248,18 @@ void Process::recover_from_checkpoint() {
   replaying_comm_calls_ = false;
 
   exchange_suppression_lists(saved_early);
+  if (fell_back && me_ == 0) {
+    // Completing the exchange above means every rank sent its lists, i.e.
+    // every rank already decided its recovery target from the detached
+    // markers. Now it is safe to re-point the recovery marker at the
+    // epoch actually restored and discard the unrestorable detached epoch
+    // (which also clears its markers for future commits) -- plus any
+    // partially written epoch after it, whose stale detached markers
+    // would otherwise poison the re-executed epoch's commit.
+    shared_.storage->commit(target);
+    shared_.storage->drop_epoch(target + 1);
+    shared_.storage->drop_epoch(target + 2);
+  }
   reinit_pending_requests(saved_requests);
 }
 
@@ -1263,6 +1364,10 @@ void Process::reinit_pending_requests(
 // ---------------------------------------------------------------- shutdown
 
 void Process::shutdown() {
+  // The application body has returned: its registered buffers may be dead.
+  // Any checkpoint the protocol is still obliged to take from here on must
+  // not dereference them (see do_checkpoint's detached branch).
+  app_detached_ = true;
   if (passthrough() || !checkpoints_enabled()) return;
   if (me_ == 0) {
     for (;;) {

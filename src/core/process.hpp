@@ -229,6 +229,10 @@ class Process {
 
   // Recovery.
   void recover_from_checkpoint();
+  /// True when any rank's local checkpoint at `epoch` was taken during
+  /// shutdown (its "detached" marker blob exists): that epoch cannot
+  /// restore application state on every rank.
+  bool epoch_has_detached_rank(std::int32_t epoch) const;
   void exchange_suppression_lists(
       const std::vector<std::vector<std::uint32_t>>& saved_early);
   void reinit_pending_requests(const std::vector<SavedRequest>& saved);
@@ -289,7 +293,6 @@ class Process {
   ReplayLog replay_;
   std::vector<std::set<std::uint32_t>> suppress_;  // per destination
   std::optional<util::Bytes> pending_appstate_;
-  std::optional<statesave::CheckpointView> pending_view_;
 
   // Application state registry.
   struct RegEntry {
@@ -300,6 +303,9 @@ class Process {
   };
   std::vector<RegEntry> registry_;
   bool registration_complete_ = false;
+  /// Set once the application body has returned (shutdown): registered
+  /// buffers may be destroyed and must never be dereferenced again.
+  bool app_detached_ = false;
 
   // Pseudo-handles.
   std::map<RequestId, PseudoRequest> requests_;

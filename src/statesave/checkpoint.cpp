@@ -1,0 +1,126 @@
+#include "statesave/checkpoint.hpp"
+
+#include "ckptstore/codec.hpp"
+#include "ckptstore/delta.hpp"
+
+namespace c3::statesave {
+
+using ckptstore::chunk_count;
+using ckptstore::chunk_len;
+
+CheckpointView::CheckpointView(std::span<const std::byte> blob) {
+  util::Reader r(blob);
+  if (r.get<std::uint32_t>() != CheckpointBuilder::kMagic) {
+    throw util::CorruptionError("checkpoint: bad magic");
+  }
+  const auto version = r.get<std::uint32_t>();
+  if (version == CheckpointBuilder::kVersion) {
+    const auto count = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto name = r.get_string();
+      const auto crc = r.get<std::uint32_t>();
+      const auto size = r.get<std::uint64_t>();
+      auto data = r.get_span(size);
+      if (util::crc32(data) != crc) {
+        throw util::CorruptionError("checkpoint section '" + name +
+                                    "' failed CRC validation");
+      }
+      sections_[name] = Sec{data, {}};
+    }
+    return;
+  }
+  if (version != CheckpointBuilder::kVersionChunked) {
+    throw util::CorruptionError("checkpoint: unsupported version");
+  }
+  const auto chunk_size = r.get<std::uint32_t>();
+  if (chunk_size == 0 || chunk_size > CheckpointBuilder::kMaxChunkSize) {
+    throw util::CorruptionError("checkpoint: implausible chunk size");
+  }
+  if (r.get<std::uint8_t>() != 1) {
+    throw util::CorruptionError(
+        "checkpoint: chunked blob is not a section container");
+  }
+  const auto count = r.get<std::uint64_t>();
+  if (count > r.remaining()) {
+    throw util::CorruptionError("checkpoint: section count overflow");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name = r.get_string();
+    const auto raw_size = r.get<std::uint64_t>();
+    const std::size_t chunks = chunk_count(raw_size, chunk_size);
+    // A corrupt raw_size must not drive the reserve below: each chunk
+    // occupies at least 5 stream bytes, bounding the plausible count.
+    if (chunks > r.remaining() / 5 + 1) {
+      throw util::CorruptionError("checkpoint: chunk count overflow");
+    }
+    util::Bytes owned;
+    // raw_size is corruption-controlled: reserve only a bounded amount up
+    // front (each decoded chunk is CRC-checked and consumes stream bytes,
+    // so a lying size is caught long before memory becomes the problem).
+    owned.reserve(std::min<std::uint64_t>(raw_size, std::uint64_t{64} << 20));
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto crc = r.get<std::uint32_t>();
+      const auto kind = r.get<std::uint8_t>();
+      const std::size_t raw_len = chunk_len(raw_size, chunk_size, c);
+      if (kind == CheckpointBuilder::kChunkRef) {
+        // A delta reference can only be resolved with access to the prior
+        // epochs' blobs -- the checkpoint store's job, not the view's.
+        throw util::CorruptionError(
+            "checkpoint section '" + name +
+            "' holds a delta reference; resolve it through the checkpoint "
+            "store before parsing");
+      }
+      if (kind != CheckpointBuilder::kChunkInline) {
+        throw util::CorruptionError("checkpoint: unknown chunk kind");
+      }
+      const auto codec = static_cast<ckptstore::CodecId>(r.get<std::uint8_t>());
+      const auto comp_size = r.get<std::uint64_t>();
+      const auto comp = r.get_span(comp_size);
+      const std::size_t before = owned.size();
+      ckptstore::codec_decode(codec, comp, raw_len, owned);
+      const std::span<const std::byte> decoded{owned.data() + before,
+                                               owned.size() - before};
+      if (util::crc32(decoded) != crc) {
+        throw util::CorruptionError("checkpoint section '" + name +
+                                    "' chunk failed CRC validation");
+      }
+    }
+    if (owned.size() != raw_size) {
+      throw util::CorruptionError("checkpoint section '" + name +
+                                  "' size mismatch after decompression");
+    }
+    // Move the owned buffer in first, then point the view at its (stable)
+    // heap storage.
+    Sec sec;
+    sec.owned = std::move(owned);
+    sec.view = sec.owned;
+    sections_[name] = std::move(sec);
+  }
+}
+
+std::optional<std::vector<std::pair<std::string, std::span<const std::byte>>>>
+parse_v1_sections(std::span<const std::byte> blob) {
+  std::vector<std::pair<std::string, std::span<const std::byte>>> out;
+  try {
+    util::Reader r(blob);
+    if (r.get<std::uint32_t>() != CheckpointBuilder::kMagic) {
+      return std::nullopt;
+    }
+    if (r.get<std::uint32_t>() != CheckpointBuilder::kVersion) {
+      return std::nullopt;
+    }
+    const auto count = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto name = r.get_string();
+      (void)r.get<std::uint32_t>();  // crc: not validated on the write path
+      const auto size = r.get<std::uint64_t>();
+      out.emplace_back(std::move(name), r.get_span(size));
+    }
+    if (!r.empty()) return std::nullopt;
+  } catch (const util::CorruptionError&) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace c3::statesave

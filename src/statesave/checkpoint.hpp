@@ -4,11 +4,26 @@
 // globals, heap image, protocol state, MPI call records...). Each section
 // carries a CRC-32 so a torn or corrupted blob is detected at restore time
 // rather than silently resuming from garbage.
+//
+// Two wire formats share the magic:
+//   v1 -- sections stored inline as (name, crc, bytes) records; what
+//         CheckpointBuilder::finish() emits and what the protocol hands to
+//         stable storage.
+//   v2 -- the *chunked* container: each section is split into fixed-size
+//         chunks, each chunk carrying its own raw CRC and stored either
+//         inline (optionally compressed by a ckptstore codec) or as a
+//         delta reference to the epoch that last wrote identical bytes.
+//         Produced by ckptstore::CheckpointStore on its way to stable
+//         storage; CheckpointView reads a *self-contained* v2 blob (all
+//         chunks inline) directly, while delta references require the
+//         checkpoint store to resolve them against prior epochs.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/archive.hpp"
 #include "util/crc32.hpp"
@@ -29,7 +44,7 @@ class CheckpointBuilder {
     return sections_.count(name) != 0;
   }
 
-  /// Serialize all sections into one blob (presized: one allocation).
+  /// Serialize all sections into one v1 blob (presized: one allocation).
   util::Bytes finish() const {
     std::size_t total = 4 + 4 + 8;
     for (const auto& [name, data] : sections_) {
@@ -49,43 +64,37 @@ class CheckpointBuilder {
 
   static constexpr std::uint32_t kMagic = 0xC3C4'0001u;
   static constexpr std::uint32_t kVersion = 1;
+  /// The chunked container written by ckptstore::CheckpointStore.
+  static constexpr std::uint32_t kVersionChunked = 2;
+  /// v2 chunk kinds.
+  static constexpr std::uint8_t kChunkInline = 0;
+  static constexpr std::uint8_t kChunkRef = 1;
+  /// Largest chunk size any v2 reader/writer accepts: bounds what a
+  /// corrupt header can make a parser allocate.
+  static constexpr std::uint32_t kMaxChunkSize = 16u << 20;
 
  private:
   std::map<std::string, util::Bytes> sections_;
 };
 
+/// Parsed, validated view over a checkpoint blob. Reads both v1 and
+/// self-contained v2 containers (every chunk CRC is checked either way).
+///
+/// v1 sections are *borrowed*: the returned spans alias `blob`, which must
+/// outlive the view. v2 sections are decompressed into owned storage.
 class CheckpointView {
  public:
-  /// Parse and validate a checkpoint blob (CRC of every section checked).
-  explicit CheckpointView(std::span<const std::byte> blob) {
-    util::Reader r(blob);
-    if (r.get<std::uint32_t>() != CheckpointBuilder::kMagic) {
-      throw util::CorruptionError("checkpoint: bad magic");
-    }
-    if (r.get<std::uint32_t>() != CheckpointBuilder::kVersion) {
-      throw util::CorruptionError("checkpoint: unsupported version");
-    }
-    const auto count = r.get<std::uint64_t>();
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const auto name = r.get_string();
-      const auto crc = r.get<std::uint32_t>();
-      auto data = r.get_bytes();
-      if (util::crc32(data) != crc) {
-        throw util::CorruptionError("checkpoint section '" + name +
-                                    "' failed CRC validation");
-      }
-      sections_[name] = std::move(data);
-    }
-  }
+  explicit CheckpointView(std::span<const std::byte> blob);
 
-  std::optional<util::Bytes> section(const std::string& name) const {
+  std::optional<std::span<const std::byte>> section(
+      const std::string& name) const {
     auto it = sections_.find(name);
     if (it == sections_.end()) return std::nullopt;
-    return it->second;
+    return it->second.view;
   }
 
   /// Like section() but required: throws CorruptionError if missing.
-  util::Bytes require_section(const std::string& name) const {
+  std::span<const std::byte> require_section(const std::string& name) const {
     auto s = section(name);
     if (!s) {
       throw util::CorruptionError("checkpoint missing section '" + name + "'");
@@ -96,7 +105,18 @@ class CheckpointView {
   std::size_t section_count() const noexcept { return sections_.size(); }
 
  private:
-  std::map<std::string, util::Bytes> sections_;
+  struct Sec {
+    std::span<const std::byte> view;  ///< aliases the blob (v1) or `owned`
+    util::Bytes owned;                ///< decompressed payload (v2 only)
+  };
+  std::map<std::string, Sec> sections_;
 };
+
+/// Walk a v1 container header yielding borrowed (name, payload) pairs in
+/// container order, without CRC validation -- the cheap parse the checkpoint
+/// store uses on the write path, where the blob just came out of a builder.
+/// Returns nullopt when `blob` is not a well-formed v1 container.
+std::optional<std::vector<std::pair<std::string, std::span<const std::byte>>>>
+parse_v1_sections(std::span<const std::byte> blob);
 
 }  // namespace c3::statesave

@@ -84,7 +84,10 @@ class SaveContext {
       util::Reader r(blob);
       heap_->load(r);
     }
-    pending_vds_ = view.require_section("vds");
+    // The view's sections are borrowed; the VDS values are applied later
+    // (finish_restore), after the view is gone, so copy them out.
+    const auto vds = view.require_section("vds");
+    pending_vds_.emplace(vds.begin(), vds.end());
     ps_.begin_restore();
   }
 

@@ -123,6 +123,15 @@ class Reader {
     return v;
   }
 
+  /// Borrow `n` raw bytes in place (no copy). The span aliases the Reader's
+  /// underlying buffer and is only valid while that buffer lives.
+  std::span<const std::byte> get_span(std::size_t n) {
+    need(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   /// Read `n` raw bytes with no length prefix.
   Bytes get_raw(std::size_t n) {
     need(n);

@@ -8,7 +8,7 @@ BufferPool::BufferPool() {
   // Pre-reserve every free list so release() never grows a vector: it is
   // noexcept and runs on the hot receive path, where an allocation failure
   // must drop the buffer, not terminate the process.
-  for (auto& list : free_) list.reserve(kMaxFreePerClass);
+  for (auto& shard : shards_) shard.free.reserve(kMaxFreePerClass);
 }
 
 std::size_t BufferPool::class_capacity(std::size_t n) noexcept {
@@ -28,8 +28,9 @@ Bytes BufferPool::acquire(std::size_t n, bool* fresh) {
   const std::size_t cap = class_capacity(n);
   const int idx = class_index(cap);
   if (idx >= 0) {
-    std::lock_guard lock(mu_);
-    auto& list = free_[idx];
+    auto& shard = shards_[idx];
+    std::lock_guard lock(shard.mu);
+    auto& list = shard.free;
     if (!list.empty()) {
       Bytes b = std::move(list.back());
       list.pop_back();
@@ -55,8 +56,9 @@ void BufferPool::release(Bytes&& b) noexcept {
     discards_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  std::lock_guard lock(mu_);
-  auto& list = free_[idx];
+  auto& shard = shards_[idx];
+  std::lock_guard lock(shard.mu);
+  auto& list = shard.free;
   if (list.size() >= kMaxFreePerClass) {
     discards_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -74,9 +76,11 @@ BufferPool::Stats BufferPool::stats() const noexcept {
 }
 
 std::size_t BufferPool::free_count() const {
-  std::lock_guard lock(mu_);
   std::size_t total = 0;
-  for (const auto& list : free_) total += list.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.free.size();
+  }
   return total;
 }
 

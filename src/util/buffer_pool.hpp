@@ -31,6 +31,11 @@ namespace c3::util {
 /// than kMaxClassBytes are allocated exactly and never pooled (huge
 /// one-off messages should not pin memory). Each class keeps at most
 /// kMaxFreePerClass buffers; surplus releases are discarded.
+///
+/// The pool is sharded per size class: each class has its own cache-line-
+/// aligned mutex + free list, so threads working on different sizes (e.g.
+/// rank threads recycling small message frames while the checkpoint writer
+/// thread recycles megabyte compression buffers) never contend on a lock.
 class BufferPool {
  public:
   static constexpr std::size_t kMinClassBytes = 64;
@@ -74,8 +79,13 @@ class BufferPool {
   /// Index of the class whose capacity is exactly `cap`, or -1.
   static int class_index(std::size_t cap) noexcept;
 
-  mutable std::mutex mu_;
-  std::vector<Bytes> free_[kNumClasses];
+  /// One size class: its own lock and free list, padded to a cache line so
+  /// adjacent classes never false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<Bytes> free;
+  };
+  Shard shards_[kNumClasses];
   std::atomic<std::uint64_t> acquires_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> allocs_{0};

@@ -11,16 +11,31 @@ namespace c3::util {
 // ---------------------------------------------------------------- memory
 
 void MemoryStorage::put(const BlobKey& key, const Bytes& data) {
+  const std::size_t size = data.size();
   {
     std::lock_guard lock(mu_);
-    written_ += data.size();
+    written_ += size;
     blobs_[key] = data;
   }
-  // Bandwidth model: sleep outside the lock so ranks "write" in parallel,
-  // as they would to per-node local disks.
-  if (throttle_ > 0 && !data.empty()) {
+  throttle_sleep(size);
+}
+
+void MemoryStorage::put(const BlobKey& key, Bytes&& data) {
+  const std::size_t size = data.size();
+  {
+    std::lock_guard lock(mu_);
+    written_ += size;
+    blobs_[key] = std::move(data);
+  }
+  throttle_sleep(size);
+}
+
+// Bandwidth model: sleep outside the lock so ranks "write" in parallel,
+// as they would to per-node local disks.
+void MemoryStorage::throttle_sleep(std::size_t size) const {
+  if (throttle_ > 0 && size > 0) {
     const double secs =
-        static_cast<double>(data.size()) / static_cast<double>(throttle_);
+        static_cast<double>(size) / static_cast<double>(throttle_);
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
 }

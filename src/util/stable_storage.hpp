@@ -38,6 +38,26 @@ struct BlobKey {
   auto operator<=>(const BlobKey&) const = default;
 };
 
+/// Storage-pipeline accounting. Plain backends report raw == stored; the
+/// ckptstore::CheckpointStore wrapper separates what the protocol handed to
+/// put() from what physically reached the backend after delta encoding and
+/// compression, and accounts the time ranks spent stalled on the pipeline.
+struct StorageStats {
+  std::uint64_t raw_bytes = 0;     ///< bytes handed to put()
+  std::uint64_t stored_bytes = 0;  ///< bytes physically written to the backend
+  std::uint64_t inline_chunks = 0; ///< chunks whose data was (re)written
+  std::uint64_t ref_chunks = 0;    ///< chunks served by a delta reference
+  std::uint64_t put_stall_ns = 0;  ///< rank time blocked inside put()
+  std::uint64_t commit_stall_ns = 0;  ///< time draining the queue at commit
+  /// Fraction of chunks that did not need rewriting (0 when no chunks yet).
+  double delta_hit_rate() const {
+    const auto total = inline_chunks + ref_chunks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(ref_chunks) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Interface shared by all storage backends. Thread-safe.
 class StableStorage {
  public:
@@ -45,6 +65,11 @@ class StableStorage {
 
   /// Durably store `data` under `key`, replacing any previous blob.
   virtual void put(const BlobKey& key, const Bytes& data) = 0;
+
+  /// Move-in overload: pipelined backends take ownership of the blob so the
+  /// caller does not keep a copy alive while the write drains. Defaults to
+  /// the copying put().
+  virtual void put(const BlobKey& key, Bytes&& data) { put(key, data); }
 
   /// Retrieve a blob; nullopt if absent.
   virtual std::optional<Bytes> get(const BlobKey& key) const = 0;
@@ -64,6 +89,13 @@ class StableStorage {
   /// Bytes written over the lifetime of this object (monotonic; includes
   /// overwritten blobs). Used by benchmarks to report checkpoint volume.
   virtual std::uint64_t bytes_written() const = 0;
+
+  /// Pipeline accounting; plain backends report raw == stored == written.
+  virtual StorageStats storage_stats() const {
+    StorageStats s;
+    s.raw_bytes = s.stored_bytes = bytes_written();
+    return s;
+  }
 };
 
 /// In-memory backend. An optional write-bandwidth throttle models the
@@ -76,6 +108,7 @@ class MemoryStorage final : public StableStorage {
       : throttle_(throttle_bytes_per_sec) {}
 
   void put(const BlobKey& key, const Bytes& data) override;
+  void put(const BlobKey& key, Bytes&& data) override;
   std::optional<Bytes> get(const BlobKey& key) const override;
   void commit(int epoch) override;
   std::optional<int> committed_epoch() const override;
@@ -84,6 +117,8 @@ class MemoryStorage final : public StableStorage {
   std::uint64_t bytes_written() const override;
 
  private:
+  void throttle_sleep(std::size_t size) const;
+
   mutable std::mutex mu_;
   std::map<BlobKey, Bytes> blobs_;
   std::optional<int> committed_;

@@ -1,0 +1,457 @@
+// The checkpoint storage pipeline: codec framing, chunked delta encoding,
+// retention across drop_epoch, the async writer barrier, and the
+// kill-mid-pipeline guarantee that an uncommitted epoch is never the
+// recovery point.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <random>
+
+#include "ckptstore/codec.hpp"
+#include "ckptstore/delta.hpp"
+#include "ckptstore/store.hpp"
+#include "statesave/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace c3::ckptstore {
+namespace {
+
+using util::BlobKey;
+using util::Bytes;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  util::Rng rng(seed);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  return b;
+}
+
+Bytes compressible_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::byte>("abcabcab"[i % 8]);
+  }
+  return b;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(Codec, RoundTripCompressible) {
+  const Bytes raw = compressible_bytes(4096);
+  Bytes comp;
+  const CodecId used = codec_encode(CodecId::kLz, raw, comp);
+  EXPECT_EQ(used, CodecId::kLz);
+  EXPECT_LT(comp.size(), raw.size() / 4) << "periodic data must compress well";
+  Bytes out;
+  codec_decode(used, comp, raw.size(), out);
+  EXPECT_EQ(out, raw);
+}
+
+TEST(Codec, IncompressibleFallsBackToVerbatim) {
+  const Bytes raw = random_bytes(4096, 7);
+  Bytes comp;
+  const CodecId used = codec_encode(CodecId::kLz, raw, comp);
+  EXPECT_EQ(used, CodecId::kNone) << "random bytes must not inflate";
+  EXPECT_EQ(comp, raw);
+  Bytes out;
+  codec_decode(used, comp, raw.size(), out);
+  EXPECT_EQ(out, raw);
+}
+
+TEST(Codec, RoundTripAllSizes) {
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 63u, 64u, 4095u, 4096u,
+                              4097u, 70000u}) {
+    const Bytes raw = compressible_bytes(n);
+    Bytes comp;
+    const CodecId used = codec_encode(CodecId::kLz, raw, comp);
+    Bytes out;
+    codec_decode(used, comp, n, out);
+    EXPECT_EQ(out, raw) << "size " << n;
+  }
+}
+
+TEST(Codec, CorruptStreamDetected) {
+  const Bytes raw = compressible_bytes(1024);
+  Bytes comp;
+  ASSERT_EQ(codec_encode(CodecId::kLz, raw, comp), CodecId::kLz);
+  // Truncation must never read past the stream or produce the wrong size.
+  Bytes out;
+  EXPECT_THROW(codec_decode(CodecId::kLz,
+                            std::span(comp).first(comp.size() - 3), raw.size(),
+                            out),
+               util::CorruptionError);
+}
+
+TEST(Codec, OverlappingMatchRuns) {
+  // 'aaaa...' forces offset-1 matches longer than the offset (RLE-style).
+  Bytes raw(512, std::byte{'a'});
+  Bytes comp;
+  ASSERT_EQ(codec_encode(CodecId::kLz, raw, comp), CodecId::kLz);
+  EXPECT_LT(comp.size(), 32u);
+  Bytes out;
+  codec_decode(CodecId::kLz, comp, raw.size(), out);
+  EXPECT_EQ(out, raw);
+}
+
+// ------------------------------------------------------------ chunk math
+
+TEST(ChunkMath, CountsAndLengths) {
+  EXPECT_EQ(chunk_count(0, 4096), 0u);
+  EXPECT_EQ(chunk_count(1, 4096), 1u);
+  EXPECT_EQ(chunk_count(4096, 4096), 1u);
+  EXPECT_EQ(chunk_count(4097, 4096), 2u);
+  EXPECT_EQ(chunk_len(4097, 4096, 0), 4096u);
+  EXPECT_EQ(chunk_len(4097, 4096, 1), 1u);
+}
+
+// ------------------------------------------------------------- the store
+
+StoreOptions sync_opts() {
+  StoreOptions o;
+  o.async = false;
+  return o;
+}
+
+/// A v1 checkpoint container with a large mostly-stable section and a small
+/// churning one -- the shape of a real local checkpoint. The stable bytes
+/// are pseudo-random so compression cannot mask what delta encoding saves.
+Bytes make_state_blob(int epoch, std::size_t heap_bytes,
+                      std::size_t dirty_prefix) {
+  statesave::CheckpointBuilder b;
+  Bytes heap = random_bytes(heap_bytes, 42);
+  for (std::size_t i = 0; i < std::min(dirty_prefix, heap.size()); ++i) {
+    heap[i] = static_cast<std::byte>(epoch * 31 + static_cast<int>(i));
+  }
+  b.add_section("heap", std::move(heap));
+  util::Writer w;
+  w.put<std::int32_t>(epoch);
+  b.add_section("protocol", w.take());
+  return b.finish();
+}
+
+TEST(CheckpointStore, RoundTripsExactBytesAcrossEpochs) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    for (int rank = 0; rank < 2; ++rank) {
+      const Bytes blob = make_state_blob(epoch, 64 * 1024, 512);
+      store.put({epoch, rank, "state"}, blob);
+      auto back = store.get({epoch, rank, "state"});
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, blob) << "epoch " << epoch << " rank " << rank;
+    }
+    store.commit(epoch);
+  }
+  // Earlier epochs stay readable through the delta chain.
+  auto old_back = store.get({2, 0, "state"});
+  ASSERT_TRUE(old_back.has_value());
+  EXPECT_EQ(*old_back, make_state_blob(2, 64 * 1024, 512));
+}
+
+TEST(CheckpointStore, DeltaShrinksStableState) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  const std::size_t heap = 256 * 1024;
+  store.put({1, 0, "state"}, make_state_blob(1, heap, 4096));
+  store.commit(1);
+  const auto after_first = inner->bytes_written();
+  store.put({2, 0, "state"}, make_state_blob(2, heap, 4096));
+  store.commit(2);
+  const auto second = inner->bytes_written() - after_first;
+  // Only the 4 KiB dirty prefix plus the protocol section changed; the
+  // second epoch must be a small fraction of the first.
+  EXPECT_LT(second, after_first / 8)
+      << "delta encoding failed to skip stable chunks";
+  store.put({3, 0, "state"}, make_state_blob(3, heap, 4096));
+  store.commit(3);
+  const auto stats = store.storage_stats();
+  EXPECT_GT(stats.ref_chunks, 0u);
+  // Cumulative over 3 epochs: 1 full + 2 delta -> most chunks were refs.
+  EXPECT_GT(stats.delta_hit_rate(), 0.5);
+  EXPECT_LT(stats.stored_bytes, stats.raw_bytes);
+  // And the delta-chain epoch still reconstructs bit-exactly.
+  auto back = store.get({3, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(3, heap, 4096));
+}
+
+TEST(CheckpointStore, NonContainerBlobsChunkAsAWhole) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  const Bytes log = random_bytes(40000, 3);
+  store.put({1, 0, "log"}, log);
+  auto back = store.get({1, 0, "log"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, log);
+}
+
+TEST(CheckpointStore, ForeignBlobsPassThrough) {
+  // Blobs written before the pipeline existed (plain v1 or arbitrary
+  // bytes) must read back untouched.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  const Bytes old = random_bytes(1000, 9);
+  inner->put({1, 0, "state"}, old);
+  CheckpointStore store(inner, sync_opts());
+  auto back = store.get({1, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, old);
+}
+
+TEST(CheckpointStore, SelfContainedEpochReadableByCheckpointView) {
+  // The first epoch has no prior state, so every chunk is inline: the
+  // stored v2 container must parse directly with CheckpointView.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  const Bytes blob = make_state_blob(1, 8192, 0);
+  store.put({1, 0, "state"}, blob);
+  const auto stored = inner->get({1, 0, "state"});
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_NE(*stored, blob) << "the stored form must be the v2 container";
+  statesave::CheckpointView direct(*stored);
+  statesave::CheckpointView original(blob);
+  ASSERT_TRUE(direct.section("heap").has_value());
+  const auto a = *direct.section("heap");
+  const auto b = *original.section("heap");
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+}
+
+TEST(CheckpointStore, DeltaReferenceRejectedByPlainView) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  store.put({1, 0, "state"}, make_state_blob(1, 8192, 0));
+  store.put({2, 0, "state"}, make_state_blob(2, 8192, 0));
+  const auto stored = inner->get({2, 0, "state"});
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_THROW(statesave::CheckpointView{*stored}, util::CorruptionError)
+      << "a delta blob must demand store-side resolution, not parse quietly";
+}
+
+TEST(CheckpointStore, DropEpochDefersWhileReferenced) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  StoreOptions o = sync_opts();
+  o.full_interval = 2;  // epoch N may only reference N-1
+  CheckpointStore store(inner, o);
+  const std::size_t heap = 64 * 1024;
+
+  store.put({1, 0, "state"}, make_state_blob(1, heap, 256));
+  store.commit(1);
+  store.put({2, 0, "state"}, make_state_blob(2, heap, 256));
+  store.commit(2);
+  // Epoch 2's manifest references chunks homed in epoch 1: the protocol's
+  // drop of the superseded epoch must be deferred, not break the chain.
+  store.drop_epoch(1);
+  ASSERT_TRUE(inner->get({1, 0, "state"}).has_value())
+      << "referenced epoch physically dropped: delta chain broken";
+  auto back = store.get({2, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(2, heap, 256));
+
+  // Epoch 3 must rewrite inline (full_interval=2 forbids referencing 1).
+  // Epoch 1 stays pinned while epoch 2 (which references it) is live;
+  // once the protocol drops epoch 2, the deferred drop of 1 cascades.
+  store.put({3, 0, "state"}, make_state_blob(3, heap, 256));
+  store.commit(3);
+  store.drop_epoch(2);
+  EXPECT_FALSE(inner->get({2, 0, "state"}).has_value());
+  EXPECT_FALSE(inner->get({1, 0, "state"}).has_value())
+      << "unreferenced superseded epochs must be garbage-collected";
+  back = store.get({3, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(3, heap, 256));
+}
+
+TEST(CheckpointStore, RetainedFallbackEpochPinsItsHomes) {
+  // A superseded epoch can stay live without ever being drop-requested
+  // (the detached-shutdown fallback). Its delta references must keep
+  // pinning their home epochs even as newer epochs commit without them.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  const std::size_t heap = 64 * 1024;
+  store.put({1, 0, "state"}, make_state_blob(1, heap, 256));
+  store.commit(1);
+  // Epoch 2: stable vs 1 -> refs homed at epoch 1.
+  store.put({2, 0, "state"}, make_state_blob(2, heap, 256));
+  store.commit(2);
+  store.drop_epoch(1);  // deferred: epoch 2 is live and references it
+  // Epoch 3: fully different content -> no references to epoch 1 at all.
+  store.put({3, 0, "state"}, make_state_blob(3, heap, heap));
+  store.commit(3);  // note: NO drop_epoch(2) -- epoch 2 retained (fallback)
+  ASSERT_TRUE(inner->get({1, 0, "state"}).has_value())
+      << "epoch 1 dropped while the retained epoch 2 still references it";
+  auto back = store.get({2, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(2, heap, 256));
+  // Once the fallback epoch itself is dropped, the pin cascades away.
+  store.drop_epoch(2);
+  EXPECT_FALSE(inner->get({2, 0, "state"}).has_value());
+  EXPECT_FALSE(inner->get({1, 0, "state"}).has_value());
+}
+
+TEST(CheckpointStore, AsyncCommitIsABarrier) {
+  // 4 MB/s throttle: each 256 KiB epoch takes ~60 ms to "reach the disk".
+  auto inner = std::make_shared<util::MemoryStorage>(4ull << 20);
+  StoreOptions o;
+  o.async = true;
+  o.delta = false;  // keep every put the same (throttled) size
+  o.codec = CodecId::kNone;
+  CheckpointStore store(inner, o);
+  const Bytes blob = random_bytes(256 * 1024, 11);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  store.put({1, 0, "state"}, blob);
+  const auto put_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(put_secs, 0.03) << "put must hand off, not block on the write";
+
+  store.commit(1);  // barrier: must wait out the throttled write
+  EXPECT_EQ(inner->committed_epoch(), 1);
+  auto back = store.get({1, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, blob);
+  const auto stats = store.storage_stats();
+  EXPECT_GT(stats.commit_stall_ns, 0u) << "commit barrier time unaccounted";
+}
+
+TEST(CheckpointStore, KillMidPipelineNeverCommitsUnfinishedEpoch) {
+  // Epoch 2's writes are queued behind a slow disk when the job dies. The
+  // recovery point must remain epoch 1, the aborted epoch's blobs must be
+  // droppable, and a *different* re-execution of epoch 2 must store and
+  // read back correctly (the write-side delta index may not poison it).
+  auto inner = std::make_shared<util::MemoryStorage>(8ull << 20);
+  StoreOptions o;
+  o.queue_max_blobs = 16;
+  auto store = std::make_shared<CheckpointStore>(inner, o);
+  const std::size_t heap = 128 * 1024;
+
+  store->put({1, 0, "state"}, make_state_blob(1, heap, 128));
+  store->put({1, 1, "state"}, make_state_blob(1, heap, 128));
+  store->commit(1);
+  ASSERT_EQ(store->committed_epoch(), 1);
+
+  // Epoch 2 in flight; the initiator dies before commit.
+  store->put({2, 0, "state"}, make_state_blob(2, heap, 128));
+  store->put({2, 1, "state"}, make_state_blob(2, heap, 128));
+  EXPECT_EQ(store->committed_epoch(), 1)
+      << "an uncommitted epoch must never become the recovery point";
+
+  // Recovery: read the committed checkpoint, abandon the partial epoch.
+  auto back = store->get({1, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(1, heap, 128));
+  store->drop_epoch(2);
+  EXPECT_FALSE(inner->get({2, 0, "state"}).has_value());
+
+  // The re-executed epoch 2 diverges (different nondet outcome): its
+  // checkpoints must encode against epoch 1, not the dropped blobs.
+  store->put({2, 0, "state"}, make_state_blob(2, heap, 4096));
+  store->put({2, 1, "state"}, make_state_blob(2, heap, 4096));
+  store->commit(2);
+  back = store->get({2, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(2, heap, 4096));
+}
+
+TEST(CheckpointStore, BlobLargerThanQueueByteBoundStillDrains) {
+  // A single blob above queue_max_bytes must be admitted when the queue
+  // is empty (and drained alone); bounding it out would deadlock the
+  // enqueue forever, since nothing is in flight to free room.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  StoreOptions o;
+  o.async = true;
+  o.queue_max_bytes = 4096;  // far below the blob
+  CheckpointStore store(inner, o);
+  const Bytes big = random_bytes(256 * 1024, 21);
+  store.put({1, 0, "state"}, big);
+  store.put({1, 1, "state"}, big);  // second oversized blob queues behind
+  store.commit(1);
+  auto back = store.get({1, 1, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, big);
+}
+
+TEST(CheckpointStore, WriterErrorsSurfaceAtCommit) {
+  struct FailingStorage final : util::StableStorage {
+    void put(const BlobKey&, const Bytes&) override {
+      throw util::CorruptionError("disk on fire");
+    }
+    std::optional<Bytes> get(const BlobKey&) const override {
+      return std::nullopt;
+    }
+    void commit(int) override {}
+    std::optional<int> committed_epoch() const override {
+      return std::nullopt;
+    }
+    void drop_epoch(int) override {}
+    std::uint64_t total_bytes() const override { return 0; }
+    std::uint64_t bytes_written() const override { return 0; }
+  };
+  CheckpointStore store(std::make_shared<FailingStorage>(), StoreOptions{});
+  store.put({1, 0, "state"}, random_bytes(1024, 5));
+  EXPECT_THROW(store.commit(1), util::CorruptionError)
+      << "a failed write must never be silently committed";
+}
+
+TEST(CheckpointStore, PoolRecyclesScratchBuffers) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, sync_opts());
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    store.put({epoch, 0, "state"}, make_state_blob(epoch, 32 * 1024, 1024));
+  }
+  const auto stats = store.pool().stats();
+  EXPECT_GT(stats.hits, 0u) << "compression scratch must recycle via the pool";
+}
+
+TEST(CheckpointView, CorruptHeaderSizesThrowInsteadOfAllocating) {
+  // A bit-rotted header must fail as CorruptionError, never drive a huge
+  // allocation (bad_alloc) from attacker/corruption-controlled sizes.
+  using statesave::CheckpointBuilder;
+  auto craft = [](std::uint32_t chunk_size, std::uint64_t count,
+                  std::uint64_t raw_size) {
+    util::Writer w;
+    w.put<std::uint32_t>(CheckpointBuilder::kMagic);
+    w.put<std::uint32_t>(CheckpointBuilder::kVersionChunked);
+    w.put<std::uint32_t>(chunk_size);
+    w.put<std::uint8_t>(1);  // container
+    w.put<std::uint64_t>(count);
+    w.put_string("s");
+    w.put<std::uint64_t>(raw_size);
+    for (int i = 0; i < 64; ++i) w.put<std::uint8_t>(0);
+    return w.take();
+  };
+  // Implausible chunk size (would defeat the chunk-count bound).
+  EXPECT_THROW(statesave::CheckpointView{craft(0xFFFF'FFFFu, 1, 1u << 20)},
+               util::CorruptionError);
+  // Section count exceeding the stream.
+  EXPECT_THROW(statesave::CheckpointView{craft(4096, 1ull << 60, 16)},
+               util::CorruptionError);
+  // Chunk count exceeding the stream.
+  EXPECT_THROW(statesave::CheckpointView{craft(4096, 1, 1ull << 50)},
+               util::CorruptionError);
+}
+
+// --------------------------------------------------------------- v2 sizes
+
+TEST(CheckpointView, ChunkedContainerEdgeSizes) {
+  // Section sizes around the chunk boundary survive the chunked round
+  // trip through the store (tail-chunk handling).
+  auto inner = std::make_shared<util::MemoryStorage>();
+  StoreOptions o = sync_opts();
+  o.chunk_size = 256;
+  CheckpointStore store(inner, o);
+  statesave::CheckpointBuilder b;
+  b.add_section("empty", {});
+  b.add_section("tiny", compressible_bytes(3));
+  b.add_section("exact", compressible_bytes(512));
+  b.add_section("tail", compressible_bytes(513));
+  const Bytes blob = b.finish();
+  store.put({1, 0, "state"}, blob);
+  auto back = store.get({1, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, blob);
+}
+
+}  // namespace
+}  // namespace c3::ckptstore

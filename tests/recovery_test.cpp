@@ -474,6 +474,128 @@ TEST(Recovery, TwoSuccessiveFailures) {
   EXPECT_EQ(clean, sink->values);
 }
 
+// Kill-mid-pipeline: with a throttled disk and large state, the failure
+// lands while checkpoint blobs are still draining through the async write
+// queue (or mid-commit). Whatever the interleaving, recovery must roll
+// back to a *committed* epoch -- never to blobs that were still in flight
+// -- and reproduce the failure-free result exactly. Several trigger points
+// sweep the failure across the put/commit window.
+TEST(Recovery, KillMidPipelineRecoversFromCommittedEpoch) {
+  auto run = [&](std::optional<net::FailureSpec> failure) {
+    auto sink = std::make_shared<ResultSink>();
+    JobConfig cfg;
+    cfg.ranks = 3;
+    cfg.policy = CheckpointPolicy::every(2);
+    // ~6 MB/s "disk": each rank's ~160 KB state takes ~25 ms to drain, so
+    // several app steps run while an epoch is still queued.
+    cfg.storage = std::make_shared<util::MemoryStorage>(6ull << 20);
+    cfg.failure = failure;
+    Job job(cfg);
+    auto report = job.run([&](Process& p) {
+      std::vector<std::uint64_t> blob(20000);
+      long long acc = p.rank() + 1;
+      int iter = 0;
+      p.register_state("blob", blob.data(), blob.size() * 8);
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+      const int right = (p.rank() + 1) % p.nranks();
+      const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+      while (iter < 10) {
+        blob[static_cast<std::size_t>(iter) % blob.size()] =
+            static_cast<std::uint64_t>(acc);
+        p.send_value(acc, right, 0);
+        acc = acc * 3 + p.recv_value<long long>(left, 0);
+        ++iter;
+        p.potential_checkpoint();
+      }
+      sink->put(p.rank(), acc, p.stats());
+    });
+    if (failure) {
+      EXPECT_GE(report.failures, 1);
+      if (report.recovered) {
+        EXPECT_TRUE(report.last_committed_epoch.has_value());
+      }
+    }
+    return sink->values;
+  };
+  const auto clean = run(std::nullopt);
+  // Each rank performs 3 events per iteration (send, recv, potential
+  // checkpoint) for 10 iterations: triggers sweep the middle of the run.
+  for (std::uint64_t trigger : {12ull, 18ull, 24ull}) {
+    const auto recovered =
+        run(net::FailureSpec{.victim_rank = 1, .trigger_events = trigger});
+    EXPECT_EQ(clean, recovered) << "trigger " << trigger;
+  }
+}
+
+// A checkpoint the protocol is obliged to take during shutdown -- after a
+// rank's application body returned -- cannot capture that rank's state
+// (its registered buffers are destroyed). Such an epoch is committed with
+// per-rank "detached" markers, the previous epoch is *retained* instead
+// of GC'd, and a recovery rolls every rank back to that previous epoch
+// uniformly rather than restoring from freed memory or failing outright.
+TEST(Recovery, ShutdownDetachedEpochRetainsPredecessorAndFallsBack) {
+  auto storage = std::make_shared<util::MemoryStorage>();
+  auto app = [](Process& p) {
+    long long acc = 10 * (p.rank() + 1);
+    p.register_value("acc", acc);
+    p.complete_registration();
+    // Every rank takes epoch 1 inside the app body (state captured).
+    while (p.epoch() < 1) p.potential_checkpoint();
+    acc += 7;
+    if (p.rank() == 0) {
+      // Only the initiator checkpoints epoch 2 in-app; the other rank
+      // has returned by then and takes its epoch-2 checkpoint during
+      // shutdown -> detached.
+      while (p.epoch() < 2) p.potential_checkpoint();
+    }
+  };
+  {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.policy = CheckpointPolicy::every(1);
+    cfg.storage = storage;
+    Job job(cfg);
+    auto report = job.run(app);
+    ASSERT_TRUE(report.last_committed_epoch.has_value());
+    EXPECT_EQ(*report.last_committed_epoch, 2);
+  }
+  // Rank 1's epoch-2 checkpoint was detached; rank 0's was not (both
+  // write a marker each epoch; the value distinguishes, so a stale
+  // marker from an earlier run can never outlive a normal checkpoint).
+  // Read through a pipeline wrapper: the inner storage holds the encoded
+  // form, not the raw marker byte.
+  ckptstore::StoreOptions ro;
+  ro.async = false;
+  ckptstore::CheckpointStore reader(storage, ro);
+  auto marker = [&](int rank) {
+    auto blob = reader.get({2, rank, "detached"});
+    return blob && !blob->empty() && (*blob)[0] == std::byte{1};
+  };
+  EXPECT_TRUE(marker(1));
+  EXPECT_FALSE(marker(0));
+  // The superseded epoch 1 must have been retained as the fallback.
+  EXPECT_TRUE(storage->get({1, 0, "state"}).has_value());
+  EXPECT_TRUE(storage->get({1, 1, "state"}).has_value());
+
+  // A failure in a later job over the same storage: recovery must fall
+  // back to epoch 1 (epoch 2 cannot restore rank 1) and complete.
+  {
+    JobConfig cfg;
+    cfg.ranks = 2;
+    cfg.policy = CheckpointPolicy::every(1);
+    cfg.storage = storage;
+    cfg.failure = net::FailureSpec{.victim_rank = 1, .trigger_events = 1};
+    Job job(cfg);
+    auto report = job.run(app);
+    EXPECT_GE(report.failures, 1);
+    EXPECT_TRUE(report.recovered);
+    ASSERT_TRUE(report.last_committed_epoch.has_value());
+    EXPECT_GE(*report.last_committed_epoch, 2);
+  }
+}
+
 // Recovery must also work when checkpoints land while messages from the
 // *previous* epoch are still in flight (late) and the failure hits during
 // the logging window.

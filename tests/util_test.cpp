@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
+#include "statesave/checkpoint.hpp"
 #include "util/archive.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -273,6 +275,137 @@ TEST_P(StorageTest, EmptyBlobRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Backends, StorageTest,
                          ::testing::Values("memory", "disk"),
                          [](const auto& info) { return info.param; });
+
+// ------------------------------------------- DiskStorage crash atomicity
+//
+// The recovery point must never be believable unless it was written whole:
+// a crash can leave a torn COMMIT marker, a stale temp file, or a damaged
+// blob, and every one of those must read as "no commit" / detectable
+// corruption rather than as a valid checkpoint.
+
+TEST(DiskStorageCrash, AbsentCommitMarkerMeansNoRecoveryPoint) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_crash_absent_commit";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  s.put({.epoch = 1, .rank = 0, .section = "state"}, Bytes(16, std::byte{1}));
+  // Blobs were written but the initiator died before commit.
+  EXPECT_FALSE(s.committed_epoch().has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorageCrash, TornCommitMarkerReadsAsNoCommit) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_crash_torn_commit";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  s.commit(7);
+  ASSERT_EQ(*s.committed_epoch(), 7);
+  // A crash mid-write leaves garbage where the epoch number should be.
+  {
+    std::ofstream out(dir / "COMMIT", std::ios::trunc);
+    out << "xy";
+  }
+  EXPECT_FALSE(DiskStorage(dir).committed_epoch().has_value())
+      << "a torn COMMIT marker must not parse as a recovery point";
+  // An empty marker likewise.
+  {
+    std::ofstream out(dir / "COMMIT", std::ios::trunc);
+  }
+  EXPECT_FALSE(DiskStorage(dir).committed_epoch().has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorageCrash, LeftoverCommitTmpIsIgnored) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_crash_commit_tmp";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  s.commit(3);
+  // A later commit died after writing COMMIT.tmp but before the rename:
+  // the previous marker must win.
+  {
+    std::ofstream out(dir / "COMMIT.tmp", std::ios::trunc);
+    out << 9 << "\n";
+  }
+  EXPECT_EQ(*DiskStorage(dir).committed_epoch(), 3);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorageCrash, LeftoverBlobTmpNeverLooksValid) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_crash_blob_tmp";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  const BlobKey key{.epoch = 2, .rank = 0, .section = "state"};
+  s.put(key, Bytes(64, std::byte{5}));
+  // A torn write of a *newer* blob leaves only a .tmp; get() must still
+  // return the last complete version, never the partial file.
+  {
+    std::ofstream out(dir / "ep2" / "rank0" / "state.blob.tmp",
+                      std::ios::binary | std::ios::trunc);
+    out << "partial";
+  }
+  auto back = s.get(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 64u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorageCrash, CorruptedBlobFailsCheckpointValidation) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_crash_corrupt_blob";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  const BlobKey key{.epoch = 1, .rank = 0, .section = "state"};
+  statesave::CheckpointBuilder b;
+  b.add_section("payload", Bytes(256, std::byte{7}));
+  s.put(key, b.finish());
+
+  // Flip one payload byte on disk (bit rot / partial sector write).
+  const auto path = dir / "ep1" / "rank0" / "state.blob";
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-10, std::ios::end);
+    char c;
+    f.seekg(-10, std::ios::end);
+    f.get(c);
+    f.seekp(-10, std::ios::end);
+    c = static_cast<char>(c ^ 0x40);
+    f.put(c);
+  }
+  auto blob = s.get(key);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_THROW(statesave::CheckpointView{*blob}, CorruptionError)
+      << "a corrupted checkpoint must fail CRC validation, not restore";
+
+  // Truncation is caught the same way (underflow or CRC).
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  blob = s.get(key);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_THROW(statesave::CheckpointView{*blob}, CorruptionError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorageCrash, SupersededEpochGcAfterNewCommit) {
+  const auto dir = std::filesystem::temp_directory_path() / "c3_crash_gc";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  s.put({.epoch = 1, .rank = 0, .section = "state"}, Bytes(32, std::byte{1}));
+  s.put({.epoch = 1, .rank = 1, .section = "state"}, Bytes(32, std::byte{1}));
+  s.commit(1);
+  s.put({.epoch = 2, .rank = 0, .section = "state"}, Bytes(32, std::byte{2}));
+  s.put({.epoch = 2, .rank = 1, .section = "state"}, Bytes(32, std::byte{2}));
+  s.commit(2);
+  s.drop_epoch(1);  // the protocol GCs the superseded checkpoint
+  EXPECT_FALSE(std::filesystem::exists(dir / "ep1"));
+  EXPECT_FALSE(s.get({.epoch = 1, .rank = 0, .section = "state"}));
+  EXPECT_TRUE(s.get({.epoch = 2, .rank = 0, .section = "state"}));
+  EXPECT_EQ(*s.committed_epoch(), 2);
+  // Dropping an epoch that never existed is a harmless no-op.
+  s.drop_epoch(40);
+  std::filesystem::remove_all(dir);
+}
 
 TEST(DiskStorage, CommitSurvivesReopen) {
   const auto dir =
