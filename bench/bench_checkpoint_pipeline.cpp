@@ -10,11 +10,19 @@
 //   neurosys -- small state, fully rewritten every epoch (dense weight
 //               updates): the delta-hostile worst case.
 //
+// A second experiment sweeps rank counts to measure the commit-barrier
+// cost model: with one serialized writer the barrier pays sum-over-ranks
+// write time; with one writer lane per rank (each draining onto its own
+// modelled per-node disk) it pays max-over-ranks, so the per-epoch stall
+// should stay nearly flat as ranks grow.
+//
 // Emits BENCH_checkpoint.json: bytes/epoch (raw vs stored) and checkpoint
 // stall seconds (rank time blocked in put + initiator time draining the
-// queue at commit) for each (shape, mode).
+// queue at commit) for each (shape, mode), plus the rank-sweep
+// commit-stall curves.
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -135,7 +143,98 @@ Result run_one(const Shape& shape, const Mode& mode) {
   return r;
 }
 
-void write_json(const std::vector<Result>& results) {
+// ------------------------------------------------------------- rank sweep
+//
+// Measures only the commit-barrier stall, with everything else pinned:
+// constant-size incompressible blobs (no delta, no codec), one put per
+// rank per epoch, a slow modelled per-node disk so the write time
+// dominates the encode CPU. Drives the store directly (no protocol) so
+// the numbers are pure pipeline.
+
+constexpr int kSweepRanks[] = {1, 2, 4, 8};
+constexpr int kSweepEpochs = 4;
+constexpr std::size_t kSweepBlobBytes = 256u << 10;
+constexpr std::uint64_t kSweepBandwidth = 4ull << 20;  // 64 ms per blob
+
+struct SweepResult {
+  int ranks = 0;
+  std::string mode;
+  std::size_t lanes = 0;
+  double commit_stall_per_epoch = 0;
+  double vs_one_rank = 0;  ///< stall relative to this mode's 1-rank run
+};
+
+SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
+  auto inner = std::make_shared<util::MemoryStorage>(kSweepBandwidth);
+  ckptstore::StoreOptions o;
+  o.delta = false;
+  o.async = true;
+  o.codec = ckptstore::CodecId::kNone;
+  o.writer_lanes = per_rank_lanes ? static_cast<std::size_t>(ranks) : 1;
+  o.queue_max_blobs = static_cast<std::size_t>(2 * ranks);
+  o.queue_max_bytes = std::size_t{256} << 20;
+  ckptstore::CheckpointStore store(inner, o);
+
+  std::vector<util::Bytes> blobs(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    util::Rng rng(0x5EED + static_cast<std::uint64_t>(r));
+    auto& b = blobs[static_cast<std::size_t>(r)];
+    b.resize(kSweepBlobBytes);
+    for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  }
+
+  for (int epoch = 1; epoch <= kSweepEpochs; ++epoch) {
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      producers.emplace_back([&, r] {
+        store.put({epoch, r, "state"},
+                  util::Bytes(blobs[static_cast<std::size_t>(r)]));
+      });
+    }
+    for (auto& t : producers) t.join();
+    store.commit(epoch);
+    if (epoch > 1) store.drop_epoch(epoch - 1);
+  }
+
+  SweepResult sr;
+  sr.ranks = ranks;
+  sr.mode = per_rank_lanes ? "per-rank-lanes" : "serialized";
+  sr.lanes = o.writer_lanes;
+  sr.commit_stall_per_epoch =
+      static_cast<double>(store.storage_stats().commit_stall_ns) / 1e9 /
+      kSweepEpochs;
+  return sr;
+}
+
+std::vector<SweepResult> run_sweep() {
+  std::printf(
+      "\n=== Commit-barrier scaling: serialized writer vs per-rank lanes "
+      "===\n(%zu KiB/rank/epoch, %llu MB/s modelled per-node disks)\n",
+      kSweepBlobBytes >> 10,
+      static_cast<unsigned long long>(kSweepBandwidth >> 20));
+  std::printf("%-7s %-16s %6s %18s %14s\n", "ranks", "mode", "lanes",
+              "commit stall s/ep", "vs 1-rank");
+  std::vector<SweepResult> results;
+  for (const bool lanes : {false, true}) {
+    double one_rank_stall = 0;
+    for (const int ranks : kSweepRanks) {
+      auto sr = run_sweep_one(ranks, lanes);
+      if (ranks == 1) one_rank_stall = sr.commit_stall_per_epoch;
+      sr.vs_one_rank = one_rank_stall > 0
+                           ? sr.commit_stall_per_epoch / one_rank_stall
+                           : 0.0;
+      std::printf("%-7d %-16s %6zu %18.4f %13.2fx\n", sr.ranks,
+                  sr.mode.c_str(), sr.lanes, sr.commit_stall_per_epoch,
+                  sr.vs_one_rank);
+      results.push_back(std::move(sr));
+    }
+  }
+  return results;
+}
+
+void write_json(const std::vector<Result>& results,
+                const std::vector<SweepResult>& sweep) {
   std::FILE* f = std::fopen("BENCH_checkpoint.json", "w");
   if (!f) return;
   std::fprintf(f, "{\n  \"bench\": \"checkpoint_pipeline\",\n");
@@ -157,7 +256,26 @@ void write_json(const std::vector<Result>& results) {
                  r.stall_secs_per_epoch, r.wall_secs,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"rank_sweep\": {\n"
+               "    \"blob_bytes_per_rank\": %zu,\n"
+               "    \"disk_mb_per_s\": %llu,\n"
+               "    \"epochs\": %d,\n"
+               "    \"results\": [\n",
+               kSweepBlobBytes,
+               static_cast<unsigned long long>(kSweepBandwidth >> 20),
+               kSweepEpochs);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& s = sweep[i];
+    std::fprintf(f,
+                 "      {\"ranks\": %d, \"mode\": \"%s\", \"lanes\": %zu, "
+                 "\"commit_stall_seconds_per_epoch\": %.4f, "
+                 "\"stall_vs_one_rank\": %.3f}%s\n",
+                 s.ranks, s.mode.c_str(), s.lanes, s.commit_stall_per_epoch,
+                 s.vs_one_rank, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
 }
 
@@ -184,7 +302,8 @@ int main() {
       results.push_back(std::move(r));
     }
   }
-  write_json(results);
+  const auto sweep = run_sweep();
+  write_json(results, sweep);
   std::printf("\nwrote BENCH_checkpoint.json\n");
   return 0;
 }

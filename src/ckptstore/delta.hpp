@@ -80,6 +80,20 @@ class DeltaIndex {
     }
   }
 
+  /// Forget every chain of one (rank, blob section) -- called when a write
+  /// for that blob *failed*: the table was updated before the put, so a
+  /// later epoch could otherwise emit refs homed in a blob that never
+  /// landed. Dropping the chain forces the next epoch fully inline.
+  void drop_chains_for(int rank, const std::string& blob_section) {
+    for (auto it = chains_.begin(); it != chains_.end();) {
+      if (it->first.rank == rank && it->first.blob_section == blob_section) {
+        it = chains_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   std::size_t chain_count() const noexcept { return chains_.size(); }
 
  private:

@@ -1,100 +1,153 @@
 #include "ckptstore/pipeline.hpp"
 
-#include <chrono>
+#include "util/clock.hpp"
+#include "util/error.hpp"
 
 namespace c3::ckptstore {
 
-namespace {
-using Clock = std::chrono::steady_clock;
+using util::MonoClock;
+using util::ns_since;
 
-std::uint64_t ns_since(Clock::time_point t0) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
-          .count());
-}
-}  // namespace
-
-AsyncWriter::AsyncWriter(Sink sink, std::size_t max_blobs,
-                         std::size_t max_bytes)
+AsyncWriter::AsyncWriter(Sink sink, std::size_t lanes,
+                         std::size_t max_blobs_per_lane,
+                         std::size_t max_bytes_per_lane,
+                         FlushHook after_lane_flush)
     : sink_(std::move(sink)),
-      max_blobs_(max_blobs == 0 ? 1 : max_blobs),
-      max_bytes_(max_bytes == 0 ? 1 : max_bytes),
-      thread_([this] { run(); }) {}
+      after_lane_flush_(std::move(after_lane_flush)),
+      max_blobs_(max_blobs_per_lane == 0 ? 1 : max_blobs_per_lane),
+      max_bytes_(max_bytes_per_lane == 0 ? 1 : max_bytes_per_lane) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  // Threads start only once every Lane exists: a thread observing lanes_
+  // mid-construction would race the vector growth. If a thread fails to
+  // start (e.g. EAGAIN at high lane counts), stop and join the lanes that
+  // did start before rethrowing -- otherwise a joinable std::thread member
+  // would terminate the process during unwinding.
+  try {
+    for (std::size_t i = 0; i < lanes; ++i) {
+      Lane& lane = *lanes_[i];
+      lane.thread = std::thread([this, &lane, i] { run(lane, i); });
+    }
+  } catch (...) {
+    for (auto& lane : lanes_) {
+      if (!lane->thread.joinable()) continue;
+      {
+        std::lock_guard lock(lane->mu);
+        lane->stop = true;
+      }
+      lane->work.notify_all();
+      lane->thread.join();
+    }
+    throw;
+  }
+}
 
 AsyncWriter::~AsyncWriter() {
-  {
-    std::lock_guard lock(mu_);
-    stop_ = true;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->work.notify_all();
   }
-  work_.notify_all();
-  thread_.join();
+  for (auto& lane : lanes_) lane->thread.join();
 }
 
 void AsyncWriter::enqueue(const util::BlobKey& key, util::Bytes raw) {
+  Lane& lane = *lanes_[lane_of(key.rank)];
   const std::size_t size = raw.size();
-  std::unique_lock lock(mu_);
-  rethrow_locked();
+  std::unique_lock lock(lane.mu);
+  rethrow_locked(lane);
   // An empty queue always admits: a single blob larger than max_bytes_
   // must be accepted (and drained alone), or the byte bound would turn
   // into a permanent deadlock -- nothing is in flight to ever free room.
   const auto admissible = [&] {
-    return queue_.empty() || (queue_.size() < max_blobs_ &&
-                              queued_bytes_ + size <= max_bytes_);
+    return lane.queue.empty() || (lane.queue.size() < max_blobs_ &&
+                                  lane.queued_bytes + size <= max_bytes_);
   };
   if (!admissible()) {
-    const auto t0 = Clock::now();
-    room_.wait(lock, [&] { return stop_ || error_ || admissible(); });
-    enqueue_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
-    rethrow_locked();
+    const auto t0 = MonoClock::now();
+    lane.room.wait(lock, [&] { return lane.stop || lane.error || admissible(); });
+    lane.enqueue_stall_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+    rethrow_locked(lane);
   }
-  queue_.push_back(Pending{key, std::move(raw)});
-  queued_bytes_ += size;
-  work_.notify_one();
+  lane.queue.push_back(Pending{key, std::move(raw)});
+  lane.queued_bytes += size;
+  lane.work.notify_one();
+}
+
+void AsyncWriter::flush_lane(std::size_t index) {
+  Lane& lane = *lanes_[index];
+  std::unique_lock lock(lane.mu);
+  if (!lane.queue.empty() || lane.busy) {
+    lane.room.wait(lock,
+                   [&] { return lane.error || (lane.queue.empty() && !lane.busy); });
+  }
+  rethrow_locked(lane);
 }
 
 void AsyncWriter::flush() {
-  std::unique_lock lock(mu_);
-  if (queue_.empty() && !writer_busy_) {
-    rethrow_locked();
-    return;
+  // Lanes drain concurrently on their own threads; waiting on each in turn
+  // still completes after max-over-lanes, not sum -- every lane keeps
+  // writing while we block on an earlier one.
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    flush_lane(i);
+    if (after_lane_flush_) after_lane_flush_(i);
   }
-  room_.wait(lock, [&] {
-    return error_ || (queue_.empty() && !writer_busy_);
-  });
-  rethrow_locked();
 }
 
-void AsyncWriter::rethrow_locked() {
-  if (error_) {
-    auto e = error_;
-    error_ = nullptr;
+std::uint64_t AsyncWriter::enqueue_stall_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->enqueue_stall_ns.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t AsyncWriter::lane_enqueue_stall_ns(
+    std::size_t lane) const noexcept {
+  return lanes_[lane]->enqueue_stall_ns.load(std::memory_order_relaxed);
+}
+
+void AsyncWriter::rethrow_locked(Lane& lane) {
+  if (lane.error) {
+    auto e = lane.error;
+    lane.error = nullptr;
     std::rethrow_exception(e);
   }
 }
 
-void AsyncWriter::run() {
+void AsyncWriter::run(Lane& lane, std::size_t index) {
   for (;;) {
     Pending p;
     {
-      std::unique_lock lock(mu_);
-      work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ with a drained queue
-      p = std::move(queue_.front());
-      queue_.pop_front();
-      queued_bytes_ -= p.raw.size();
-      writer_busy_ = true;
+      std::unique_lock lock(lane.mu);
+      lane.work.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) return;  // stop with a drained queue
+      p = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      lane.queued_bytes -= p.raw.size();
+      lane.busy = true;
     }
+    // The pop itself freed queue capacity: wake a blocked producer now so
+    // it refills the lane while the sink writes, instead of stalling a
+    // full write-time behind the notify at the bottom of the loop. A
+    // flush waiter re-checks its predicate, so the early wake is safe.
+    lane.room.notify_all();
     try {
-      sink_(p.key, std::move(p.raw));
+      sink_(index, p.key, std::move(p.raw));
     } catch (...) {
-      std::lock_guard lock(mu_);
-      error_ = std::current_exception();
+      std::lock_guard lock(lane.mu);
+      lane.error = std::current_exception();
     }
     {
-      std::lock_guard lock(mu_);
-      writer_busy_ = false;
+      std::lock_guard lock(lane.mu);
+      lane.busy = false;
     }
-    room_.notify_all();
+    lane.room.notify_all();
   }
 }
 

@@ -1,17 +1,22 @@
-// Background write pipeline: a bounded queue of checkpoint blobs drained
-// by one writer thread per wrapped StableStorage.
+// Background write pipeline: per-rank writer lanes, each a bounded queue
+// drained by its own writer thread.
 //
 // The rank thread hands its serialized checkpoint to enqueue() and resumes
-// computing; the writer thread delta-encodes, compresses and put()s the
-// blob against the (possibly bandwidth-throttled) backend. flush() is the
-// commit barrier: it blocks until every queued blob is durably written --
-// the initiator calls it before recording the recovery point, preserving
-// the paper's commit semantics exactly.
+// computing; the lane's writer thread delta-encodes, compresses and put()s
+// the blob against the (possibly bandwidth-throttled) backend. Blobs route
+// to a lane by rank, so one rank's writes stay FIFO (the delta index
+// depends on that order) while different ranks' writes drain concurrently
+// -- against per-node local disks the commit barrier then costs
+// max-over-lanes write time instead of sum-over-lanes. flush() is that
+// barrier: it blocks until every lane's queue is durably written -- the
+// initiator calls it before recording the recovery point, preserving the
+// paper's commit semantics exactly.
 //
-// Backpressure is bounded by both blob count and total queued bytes, so a
-// rank that checkpoints faster than the disk drains eventually stalls in
-// enqueue() instead of growing the heap without limit; that stall time is
-// accounted separately from the commit-barrier stall.
+// Backpressure is bounded per lane by both blob count and total queued
+// bytes, so a rank that checkpoints faster than its disk drains eventually
+// stalls in enqueue() instead of growing the heap without limit; that
+// stall time is accounted per lane, separately from the commit-barrier
+// stall.
 #pragma once
 
 #include <atomic>
@@ -20,8 +25,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "util/stable_storage.hpp"
 
@@ -29,26 +36,43 @@ namespace c3::ckptstore {
 
 class AsyncWriter {
  public:
-  /// `sink` performs the actual encode + backend put; it runs on the writer
-  /// thread. Exceptions it throws are captured and rethrown from the next
-  /// flush()/enqueue() so a failed write can never be silently committed.
-  using Sink = std::function<void(const util::BlobKey&, util::Bytes)>;
+  /// `sink` performs the actual encode + backend put; it runs on the lane's
+  /// writer thread. Exceptions it throws are captured and rethrown from the
+  /// next flush()/enqueue() touching that lane, so a failed write can never
+  /// be silently committed.
+  using Sink =
+      std::function<void(std::size_t lane, const util::BlobKey&, util::Bytes)>;
+  /// Test-only fault-injection hook: flush() invokes it after each lane
+  /// drains, before moving on to the next lane. Throwing from it models a
+  /// process dying between lane flushes.
+  using FlushHook = std::function<void(std::size_t lane)>;
 
-  AsyncWriter(Sink sink, std::size_t max_blobs, std::size_t max_bytes);
+  AsyncWriter(Sink sink, std::size_t lanes, std::size_t max_blobs_per_lane,
+              std::size_t max_bytes_per_lane, FlushHook after_lane_flush = {});
   ~AsyncWriter();
   AsyncWriter(const AsyncWriter&) = delete;
   AsyncWriter& operator=(const AsyncWriter&) = delete;
 
-  /// Hand a blob to the pipeline; blocks only while the queue is full.
+  /// Hand a blob to its rank's lane; blocks only while that lane is full.
   void enqueue(const util::BlobKey& key, util::Bytes raw);
 
-  /// Barrier: returns once the queue is empty and the writer is idle.
-  /// Rethrows any error the sink raised since the last flush.
+  /// Barrier: returns once every lane's queue is empty and its writer is
+  /// idle. Rethrows the first error any lane's sink raised since the last
+  /// flush; lanes drain concurrently, so the wait costs max-over-lanes.
   void flush();
 
-  std::uint64_t enqueue_stall_ns() const noexcept {
-    return enqueue_stall_ns_.load(std::memory_order_relaxed);
+  /// Drain one lane only (the building block of flush()).
+  void flush_lane(std::size_t lane);
+
+  std::size_t lanes() const noexcept { return lanes_.size(); }
+  std::size_t lane_of(int rank) const noexcept {
+    return static_cast<std::size_t>(rank < 0 ? -(rank + 1) : rank) %
+           lanes_.size();
   }
+
+  /// Producer time blocked in enqueue(), summed over lanes / for one lane.
+  std::uint64_t enqueue_stall_ns() const noexcept;
+  std::uint64_t lane_enqueue_stall_ns(std::size_t lane) const noexcept;
 
  private:
   struct Pending {
@@ -56,25 +80,29 @@ class AsyncWriter {
     util::Bytes raw;
   };
 
-  void run();
-  void rethrow_locked();
+  /// One lane: its own lock, queue, writer thread and stall accounting, so
+  /// lanes never contend with each other.
+  struct Lane {
+    mutable std::mutex mu;
+    std::condition_variable room;  ///< signalled when the queue drains
+    std::condition_variable work;  ///< signalled when work arrives / stops
+    std::deque<Pending> queue;
+    std::size_t queued_bytes = 0;
+    bool busy = false;
+    bool stop = false;
+    std::exception_ptr error;
+    std::atomic<std::uint64_t> enqueue_stall_ns{0};
+    std::thread thread;
+  };
+
+  void run(Lane& lane, std::size_t index);
+  static void rethrow_locked(Lane& lane);
 
   Sink sink_;
+  FlushHook after_lane_flush_;
   const std::size_t max_blobs_;
   const std::size_t max_bytes_;
-
-  mutable std::mutex mu_;
-  std::condition_variable room_;     ///< signalled when the queue drains
-  std::condition_variable work_;     ///< signalled when work arrives / stops
-  std::deque<Pending> queue_;
-  std::size_t queued_bytes_ = 0;
-  bool writer_busy_ = false;
-  bool stop_ = false;
-  std::exception_ptr error_;
-
-  std::atomic<std::uint64_t> enqueue_stall_ns_{0};
-
-  std::thread thread_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 }  // namespace c3::ckptstore

@@ -1,25 +1,15 @@
 #include "ckptstore/store.hpp"
 
-#include <chrono>
-
 #include "statesave/checkpoint.hpp"
+#include "util/clock.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace c3::ckptstore {
 
-namespace {
-
 using statesave::CheckpointBuilder;
-using Clock = std::chrono::steady_clock;
-
-std::uint64_t ns_since(Clock::time_point t0) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
-          .count());
-}
-
-}  // namespace
+using Clock = util::MonoClock;
+using util::ns_since;
 
 CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
                                  StoreOptions opts)
@@ -32,17 +22,24 @@ CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
         "CheckpointBuilder::kMaxChunkSize");
   }
   if (opts_.full_interval <= 0) opts_.full_interval = 1;
+  lane_count_ = opts_.async ? std::max<std::size_t>(1, opts_.writer_lanes) : 1;
+  lane_counters_ = std::make_unique<LaneCounters[]>(lane_count_);
   if (opts_.async) {
+    // The byte budget is a *total* across lanes: split it evenly so per-
+    // rank wiring keeps the same in-flight memory ceiling as one lane.
+    const std::size_t bytes_per_lane =
+        std::max<std::size_t>(1, opts_.queue_max_bytes / lane_count_);
     writer_ = std::make_unique<AsyncWriter>(
-        [this](const util::BlobKey& key, util::Bytes raw) {
-          write_one(key, std::move(raw));
+        [this](std::size_t lane, const util::BlobKey& key, util::Bytes raw) {
+          write_one(lane, key, std::move(raw));
         },
-        opts_.queue_max_blobs, opts_.queue_max_bytes);
+        lane_count_, opts_.queue_max_blobs, bytes_per_lane,
+        opts_.after_lane_flush);
   }
 }
 
 CheckpointStore::~CheckpointStore() {
-  // Join the writer before any member it touches is destroyed. Pending
+  // Join the lanes before any member they touch is destroyed. Pending
   // writes drain (they may matter to a committed epoch only if commit was
   // called, which already flushed; draining the rest is just tidy).
   writer_.reset();
@@ -55,24 +52,52 @@ void CheckpointStore::put(const util::BlobKey& key, const util::Bytes& data) {
 }
 
 void CheckpointStore::put(const util::BlobKey& key, util::Bytes&& data) {
-  raw_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  const std::size_t lane = writer_ ? writer_->lane_of(key.rank) : 0;
+  const std::size_t size = data.size();
   if (writer_) {
+    // enqueue() may rethrow a prior lane error; count only accepted blobs.
     writer_->enqueue(key, std::move(data));
-    return;
+  } else {
+    const auto t0 = Clock::now();
+    write_one(0, key, std::move(data));
+    sync_put_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
   }
-  const auto t0 = Clock::now();
-  write_one(key, std::move(data));
-  sync_put_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  LaneCounters& lc = lane_counters_[lane];
+  lc.puts.fetch_add(1, std::memory_order_relaxed);
+  lc.raw_bytes.fetch_add(size, std::memory_order_relaxed);
 }
 
-void CheckpointStore::write_one(const util::BlobKey& key, util::Bytes raw) {
-  util::Bytes encoded = encode_blob(key, raw);
-  inner_->put(key, std::move(encoded));
+void CheckpointStore::write_one(std::size_t lane, const util::BlobKey& key,
+                                util::Bytes raw) {
+  const auto t0 = Clock::now();
+  try {
+    util::Bytes encoded = encode_blob(lane, key, raw);
+    const std::size_t encoded_size = encoded.size();
+    inner_->put(key, std::move(encoded));
+    // Counted only after the backend accepted the write, so lane_stats()
+    // never reports bytes for a blob that never landed.
+    LaneCounters& lc = lane_counters_[lane];
+    lc.stored_bytes.fetch_add(encoded_size, std::memory_order_relaxed);
+    lc.write_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  } catch (...) {
+    // The blob never landed, but encode_blob already updated the delta
+    // index, so (a) latch the epoch as failed -- commit() must refuse it
+    // even if the one-shot lane error gets consumed by a reader's flush
+    // first -- and (b) drop this blob's chains so no later epoch emits
+    // refs homed in the missing blob.
+    {
+      std::lock_guard lock(meta_mu_);
+      failed_epochs_.insert(key.epoch);
+      index_.drop_chains_for(key.rank, key.section);
+    }
+    throw;
+  }
   // Recycle the rank's serialized-checkpoint buffer for future scratch.
   pool_.release(std::move(raw));
 }
 
-util::Bytes CheckpointStore::encode_blob(const util::BlobKey& key,
+util::Bytes CheckpointStore::encode_blob(std::size_t lane,
+                                         const util::BlobKey& key,
                                          std::span<const std::byte> raw) {
   // A protocol "state" blob is a v1 container: chunk per section so stable
   // sections (heap image, globals) delta independently of churning ones
@@ -88,6 +113,89 @@ util::Bytes CheckpointStore::encode_blob(const util::BlobKey& key,
   }
 
   const std::size_t cs = opts_.chunk_size;
+
+  // Phase 1, no lock: per-chunk CRCs. This is the bulk of the CPU work
+  // besides compression, and needs nothing shared -- lanes overlap here.
+  struct SectionPlan {
+    std::vector<std::uint32_t> crcs;
+    std::vector<std::int32_t> homes;  ///< decided in phase 2; -1 = inline
+  };
+  std::vector<SectionPlan> plans(sections.size());
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const auto data = sections[s].second;
+    const std::size_t n = chunk_count(data.size(), cs);
+    plans[s].crcs.resize(n);
+    plans[s].homes.assign(n, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+      plans[s].crcs[i] =
+          util::crc32(data.subspan(i * cs, chunk_len(data.size(), cs, i)));
+    }
+  }
+
+  // Phase 2, under meta_mu_: ref-vs-inline decisions, delta-index update
+  // and reference registration -- atomically with respect to drops, which
+  // run under the same lock. Registering refs_ *before* the lock is
+  // released is the cross-lane GC interlock: once a chunk decides to
+  // reference home epoch h, no drop can physically remove h until this
+  // epoch itself is dropped.
+  std::uint64_t inline_count = 0, ref_count = 0;
+  {
+    std::lock_guard lock(meta_mu_);
+    // Re-writing an epoch (recovery re-executing it) makes it live again;
+    // and entries older than the reference horizon can never be named by a
+    // future ref, so the dropped-set stays bounded.
+    dropped_.erase(key.epoch);
+    drop_requested_.erase(key.epoch);
+    dropped_.erase(dropped_.begin(),
+                   dropped_.lower_bound(key.epoch - opts_.full_interval));
+    std::set<int> homes_used;
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      const auto& [name, data] = sections[s];
+      const ChainKey ck{key.rank, key.section, name};
+      const SectionIndex* prev = index_.find(ck);
+      SectionIndex next;
+      next.epoch = key.epoch;
+      next.raw_size = data.size();
+      const std::size_t n = plans[s].crcs.size();
+      next.chunks.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t crc = plans[s].crcs[i];
+        std::int32_t home = -1;
+        if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
+            prev->chunks[i].crc == crc &&
+            chunk_len(prev->raw_size, cs, i) ==
+                chunk_len(data.size(), cs, i)) {
+          const std::int32_t h = prev->chunks[i].home_epoch;
+          // A reference must name an older, still-present epoch; a chunk
+          // whose home has aged past full_interval is rewritten inline so
+          // superseded epochs cannot be pinned forever.
+          if (h >= 0 && h < key.epoch &&
+              key.epoch - h < opts_.full_interval &&
+              dropped_.count(h) == 0) {
+            home = h;
+          }
+        }
+        plans[s].homes[i] = home;
+        if (home >= 0) {
+          next.chunks[i] = ChunkMeta{crc, home};
+          homes_used.insert(home);
+          ref_count++;
+        } else {
+          next.chunks[i] = ChunkMeta{crc, key.epoch};
+          inline_count++;
+        }
+      }
+      index_.update(ck, std::move(next));
+    }
+    if (!homes_used.empty()) {
+      refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
+    }
+  }
+  LaneCounters& lc = lane_counters_[lane];
+  lc.inline_chunks.fetch_add(inline_count, std::memory_order_relaxed);
+  lc.ref_chunks.fetch_add(ref_count, std::memory_order_relaxed);
+
+  // Phase 3, no lock: serialize the manifest, compressing inline chunks.
   util::Writer w(64 + raw.size() / 2);
   w.put<std::uint32_t>(CheckpointBuilder::kMagic);
   w.put<std::uint32_t>(CheckpointBuilder::kVersionChunked);
@@ -96,67 +204,26 @@ util::Bytes CheckpointStore::encode_blob(const util::BlobKey& key,
   // blob": a genuine container could legally hold an empty-named section.
   w.put<std::uint8_t>(is_container ? 1 : 0);
   w.put<std::uint64_t>(sections.size());
-
   util::Bytes scratch = pool_.acquire(cs + cs / 8 + 64);
-  std::set<int> homes_used;
-
-  std::lock_guard lock(meta_mu_);
-  // Re-writing an epoch (recovery re-executing it) makes it live again;
-  // and entries older than the reference horizon can never be named by a
-  // future ref, so the dropped-set stays bounded.
-  dropped_.erase(key.epoch);
-  drop_requested_.erase(key.epoch);
-  dropped_.erase(dropped_.begin(),
-                 dropped_.lower_bound(key.epoch - opts_.full_interval));
-  for (auto& [name, data] : sections) {
-    const ChainKey ck{key.rank, key.section, name};
-    const SectionIndex* prev = index_.find(ck);
-    SectionIndex next;
-    next.epoch = key.epoch;
-    next.raw_size = data.size();
-    const std::size_t n = chunk_count(data.size(), cs);
-    next.chunks.resize(n);
-
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const auto& [name, data] = sections[s];
     w.put_string(name);
     w.put<std::uint64_t>(data.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto chunk = data.subspan(i * cs, chunk_len(data.size(), cs, i));
-      const std::uint32_t crc = util::crc32(chunk);
-      std::int32_t home = -1;
-      if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
-          prev->chunks[i].crc == crc &&
-          chunk_len(prev->raw_size, cs, i) == chunk.size()) {
-        const std::int32_t h = prev->chunks[i].home_epoch;
-        // A reference must name an older, still-present epoch; a chunk
-        // whose home has aged past full_interval is rewritten inline so
-        // superseded epochs cannot be pinned forever.
-        if (h >= 0 && h < key.epoch &&
-            key.epoch - h < opts_.full_interval &&
-            dropped_.count(h) == 0) {
-          home = h;
-        }
-      }
-      w.put<std::uint32_t>(crc);
+    for (std::size_t i = 0; i < plans[s].crcs.size(); ++i) {
+      w.put<std::uint32_t>(plans[s].crcs[i]);
+      const std::int32_t home = plans[s].homes[i];
       if (home >= 0) {
         w.put<std::uint8_t>(CheckpointBuilder::kChunkRef);
         w.put<std::int32_t>(home);
-        next.chunks[i] = ChunkMeta{crc, home};
-        homes_used.insert(home);
-        ref_chunks_.fetch_add(1, std::memory_order_relaxed);
       } else {
+        const auto chunk = data.subspan(i * cs, chunk_len(data.size(), cs, i));
         const CodecId used = codec_encode(opts_.codec, chunk, scratch);
         w.put<std::uint8_t>(CheckpointBuilder::kChunkInline);
         w.put<std::uint8_t>(static_cast<std::uint8_t>(used));
         w.put<std::uint64_t>(scratch.size());
         w.put_raw(scratch);
-        next.chunks[i] = ChunkMeta{crc, key.epoch};
-        inline_chunks_.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    index_.update(ck, std::move(next));
-  }
-  if (!homes_used.empty()) {
-    refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
   }
   pool_.release(std::move(scratch));
   return w.take();
@@ -329,10 +396,19 @@ void CheckpointStore::flush() const {
 
 void CheckpointStore::commit(int epoch) {
   // The commit barrier: the recovery point is recorded only after every
-  // blob it names is durably on the backend.
+  // blob it names is durably on the backend. Lanes drain concurrently, so
+  // this stall costs max-over-lanes write time, not the sum.
   const auto t0 = Clock::now();
   flush();
   commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(meta_mu_);
+    if (failed_epochs_.count(epoch) != 0) {
+      throw util::CorruptionError(
+          "checkpoint store: epoch " + std::to_string(epoch) +
+          " has a failed write and cannot be the recovery point");
+    }
+  }
   inner_->commit(epoch);
 
   // Superseded epochs whose drop was deferred may be droppable now (the
@@ -342,8 +418,17 @@ void CheckpointStore::commit(int epoch) {
 }
 
 bool CheckpointStore::referenced_by_live_locked(int epoch) const {
+  // Only epochs the protocol still *uses* pin their homes: the committed /
+  // retained ones, i.e. those never drop-requested. A drop-requested epoch
+  // may itself stay retained (some live manifest references its inline
+  // chunks), but its own refs pin nothing: chains are one hop deep, so no
+  // read ever follows a home blob's references -- only its inline chunks.
+  // Without this distinction, reference chains telescope (epoch e pins
+  // e-1, which pins e-2, ...) and under steady random churn no superseded
+  // epoch would ever be collected.
   for (const auto& [f, homes] : refs_) {
-    if (dropped_.count(f) == 0 && homes.count(epoch) != 0) return true;
+    if (dropped_.count(f) != 0 || drop_requested_.count(f) != 0) continue;
+    if (homes.count(epoch) != 0) return true;
   }
   return false;
 }
@@ -373,9 +458,13 @@ std::optional<int> CheckpointStore::committed_epoch() const {
 void CheckpointStore::drop_epoch(int epoch) {
   // Queued writes may target `epoch` (recovery abandoning a half-written
   // next checkpoint); drain them first so a late write cannot resurrect
-  // the dropped blobs.
+  // the dropped blobs. A writer error surfacing from this flush still
+  // aborts the drop: the caller must observe it.
   flush();
   std::lock_guard lock(meta_mu_);
+  // Abandoning the epoch clears its failed-write latch: a re-execution
+  // starts from a clean slate (and a fresh, ref-free delta chain).
+  failed_epochs_.erase(epoch);
   // The physical drop waits until no live epoch's manifest references
   // chunks homed here -- not just the newest commit's: a retained
   // fallback epoch (detached shutdown) pins its homes too.
@@ -396,14 +485,32 @@ std::uint64_t CheckpointStore::bytes_written() const {
 
 util::StorageStats CheckpointStore::storage_stats() const {
   util::StorageStats s;
-  s.raw_bytes = raw_bytes_.load(std::memory_order_relaxed);
+  for (std::size_t l = 0; l < lane_count_; ++l) {
+    const LaneCounters& lc = lane_counters_[l];
+    s.raw_bytes += lc.raw_bytes.load(std::memory_order_relaxed);
+    s.inline_chunks += lc.inline_chunks.load(std::memory_order_relaxed);
+    s.ref_chunks += lc.ref_chunks.load(std::memory_order_relaxed);
+  }
   s.stored_bytes = inner_->bytes_written();
-  s.inline_chunks = inline_chunks_.load(std::memory_order_relaxed);
-  s.ref_chunks = ref_chunks_.load(std::memory_order_relaxed);
   s.put_stall_ns = sync_put_ns_.load(std::memory_order_relaxed) +
                    (writer_ ? writer_->enqueue_stall_ns() : 0);
   s.commit_stall_ns = commit_stall_ns_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<util::LaneStats> CheckpointStore::lane_stats() const {
+  std::vector<util::LaneStats> lanes(lane_count_);
+  for (std::size_t l = 0; l < lane_count_; ++l) {
+    const LaneCounters& lc = lane_counters_[l];
+    util::LaneStats& out = lanes[l];
+    out.puts = lc.puts.load(std::memory_order_relaxed);
+    out.raw_bytes = lc.raw_bytes.load(std::memory_order_relaxed);
+    out.stored_bytes = lc.stored_bytes.load(std::memory_order_relaxed);
+    out.write_ns = lc.write_ns.load(std::memory_order_relaxed);
+    out.stall_ns = writer_ ? writer_->lane_enqueue_stall_ns(l)
+                           : sync_put_ns_.load(std::memory_order_relaxed);
+  }
+  return lanes;
 }
 
 }  // namespace c3::ckptstore

@@ -10,12 +10,15 @@
 //      so only changed blocks travel to stable storage;
 //   2. compression -- changed chunks pass through a self-contained codec
 //      (ckptstore/codec.hpp) before hitting the backend;
-//   3. async commit -- puts are handed to a background writer thread over
-//      a bounded queue (ckptstore/pipeline.hpp); the rank resumes
-//      computing while the write drains. commit(epoch) flushes the queue
-//      *before* forwarding the commit to the backend, so the recovery
-//      point is only ever recorded once every blob it names is durable --
-//      an uncommitted epoch can never be used for recovery.
+//   3. async commit -- puts are handed to per-rank writer lanes over
+//      bounded queues (ckptstore/pipeline.hpp); the rank resumes
+//      computing while the write drains, and different ranks' writes drain
+//      *concurrently*, so the commit barrier costs max-over-lanes write
+//      time against per-node disks instead of sum-over-lanes.
+//      commit(epoch) flushes every lane *before* forwarding the commit to
+//      the backend, so the recovery point is only ever recorded once every
+//      blob it names is durable -- an uncommitted epoch can never be used
+//      for recovery.
 //
 // Reads reverse the pipeline: get() reconstructs the exact original bytes
 // by resolving delta references against prior epochs' blobs, validating
@@ -30,8 +33,18 @@
 // the next commit. `full_interval` bounds how long a chunk may keep an old
 // home (and hence how many superseded epochs can pile up) by forcing a
 // periodic inline rewrite.
+//
+// Cross-lane GC interlock: with several writer lanes encoding different
+// ranks' blobs concurrently, the decision to *reference* a home epoch and
+// the registration of that reference happen atomically under meta_mu_,
+// the same lock every drop executes under. A drop therefore either runs
+// before an encode's decision (the encode sees the epoch in dropped_ and
+// rewrites inline) or after its refs are registered (the drop defers) --
+// a committed manifest can never name a dropped blob, regardless of the
+// order lanes drain in.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <set>
 
@@ -45,14 +58,28 @@ namespace c3::ckptstore {
 
 struct StoreOptions {
   bool delta = true;   ///< emit chunk references against the prior epoch
-  bool async = true;   ///< background writer thread (sync put when false)
+  bool async = true;   ///< background writer lanes (sync put when false)
   CodecId codec = CodecId::kLz;
   std::size_t chunk_size = 4096;
+  /// Parallel writer lanes (one bounded queue + thread each); blobs route
+  /// by rank, so one rank's writes stay ordered while different ranks
+  /// drain concurrently. 0 = decided at wiring time (core::Job uses one
+  /// lane per rank); direct construction treats 0 as 1.
+  std::size_t writer_lanes = 0;
+  /// queue_max_blobs bounds each lane's queue depth; queue_max_bytes
+  /// bounds the *total* queued bytes across all lanes (split evenly per
+  /// lane), so wiring one lane per rank does not multiply the in-flight
+  /// memory ceiling. A single oversized blob is still always admitted to
+  /// an empty lane.
   std::size_t queue_max_blobs = 8;
   std::size_t queue_max_bytes = std::size_t{64} << 20;
   /// Force an inline rewrite of a chunk whose home epoch is this many
   /// epochs old: bounds delta-chain retention.
   std::int32_t full_interval = 16;
+  /// Test-only fault-injection hook: invoked after each lane drains during
+  /// a flush (kill-between-lane-flushes when it throws). Leave empty in
+  /// production wiring.
+  std::function<void(std::size_t lane)> after_lane_flush;
 };
 
 class CheckpointStore final : public util::StableStorage {
@@ -70,10 +97,12 @@ class CheckpointStore final : public util::StableStorage {
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   util::StorageStats storage_stats() const override;
+  std::vector<util::LaneStats> lane_stats() const override;
 
-  /// Drain the write queue (no-op in sync mode). Rethrows writer errors.
+  /// Drain all write lanes (no-op in sync mode). Rethrows writer errors.
   void flush() const;
 
+  std::size_t lanes() const noexcept { return lane_count_; }
   util::StableStorage& inner() noexcept { return *inner_; }
   const util::BufferPool& pool() const noexcept { return pool_; }
 
@@ -99,11 +128,21 @@ class CheckpointStore final : public util::StableStorage {
     std::vector<ParsedSection> sections;
   };
 
-  /// Encode one blob (delta + compress) and put it on the backend. Runs on
-  /// the writer thread in async mode, inline otherwise.
-  void write_one(const util::BlobKey& key, util::Bytes raw);
+  /// Per-lane accounting, cache-line padded so lanes never false-share.
+  struct alignas(64) LaneCounters {
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> raw_bytes{0};
+    std::atomic<std::uint64_t> stored_bytes{0};
+    std::atomic<std::uint64_t> write_ns{0};
+    std::atomic<std::uint64_t> inline_chunks{0};
+    std::atomic<std::uint64_t> ref_chunks{0};
+  };
 
-  util::Bytes encode_blob(const util::BlobKey& key,
+  /// Encode one blob (delta + compress) and put it on the backend. Runs on
+  /// the lane's writer thread in async mode, inline (lane 0) otherwise.
+  void write_one(std::size_t lane, const util::BlobKey& key, util::Bytes raw);
+
+  util::Bytes encode_blob(std::size_t lane, const util::BlobKey& key,
                           std::span<const std::byte> raw);
 
   static bool is_chunked(std::span<const std::byte> blob);
@@ -112,9 +151,13 @@ class CheckpointStore final : public util::StableStorage {
 
   std::shared_ptr<util::StableStorage> inner_;
   StoreOptions opts_;
+  std::size_t lane_count_ = 1;
 
-  // Write-side state: the delta index plus retention bookkeeping. Guarded
-  // by meta_mu_ (writer thread encodes; rank threads commit/drop).
+  // Write-side state: the delta index plus retention bookkeeping, shared
+  // across lanes and guarded by meta_mu_ (lane threads take it briefly per
+  // blob for the ref/inline decision; rank threads for commit/drop). The
+  // CRC pass and the compression/serialization of inline chunks run
+  // outside the lock, so lanes overlap their heavy work.
   /// Execute every requested drop whose epoch is no longer referenced by
   /// any live (not-yet-dropped) epoch, cascading: dropping one epoch may
   /// unpin the homes it referenced. Caller holds meta_mu_.
@@ -126,13 +169,16 @@ class CheckpointStore final : public util::StableStorage {
   std::map<int, std::set<int>> refs_;  ///< epoch -> home epochs it references
   std::set<int> drop_requested_;  ///< protocol asked; executes when unpinned
   std::set<int> dropped_;   ///< physically dropped epochs (never reference)
+  /// Epochs with a failed backend write. commit() refuses them even if the
+  /// one-shot lane error was already consumed by an intervening flush (a
+  /// reader's get() drains lanes too); drop_epoch() -- recovery abandoning
+  /// the epoch -- clears the latch.
+  std::set<int> failed_epochs_;
 
   // Stats (relaxed: read by benchmarks, not by the protocol).
-  std::atomic<std::uint64_t> raw_bytes_{0};
-  std::atomic<std::uint64_t> inline_chunks_{0};
-  std::atomic<std::uint64_t> ref_chunks_{0};
   std::atomic<std::uint64_t> commit_stall_ns_{0};
   std::atomic<std::uint64_t> sync_put_ns_{0};
+  std::unique_ptr<LaneCounters[]> lane_counters_;
 
   /// Recycles per-chunk compression scratch and drained blob buffers.
   mutable util::BufferPool pool_;

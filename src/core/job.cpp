@@ -13,6 +13,12 @@ Job::Job(JobConfig config) : config_(std::move(config)) {
     config_.storage = std::make_shared<util::MemoryStorage>();
   }
   if (config_.ckpt_pipeline) {
+    // Default lane wiring: one writer lane per rank, so every rank's
+    // checkpoint drains onto its own (modelled per-node) disk concurrently
+    // and the commit barrier costs max-over-ranks write time, not the sum.
+    if (config_.ckpt.writer_lanes == 0) {
+      config_.ckpt.writer_lanes = static_cast<std::size_t>(config_.ranks);
+    }
     pipeline_ = std::make_shared<ckptstore::CheckpointStore>(config_.storage,
                                                              config_.ckpt);
   }

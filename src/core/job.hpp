@@ -31,7 +31,8 @@ struct JobConfig {
   /// compression, async commit) wrapped around `storage`. Disable to write
   /// full v1 dumps synchronously, as the seed system did.
   bool ckpt_pipeline = true;
-  /// Pipeline tuning (chunk size, codec, queue bounds, sync/async).
+  /// Pipeline tuning (chunk size, codec, queue bounds, sync/async, writer
+  /// lanes; `writer_lanes == 0` wires one lane per rank).
   ckptstore::StoreOptions ckpt;
   /// Optional injected stopping failure.
   std::optional<net::FailureSpec> failure;

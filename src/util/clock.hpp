@@ -1,0 +1,19 @@
+// Monotonic-clock helpers shared by the storage/pipeline accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace c3::util {
+
+using MonoClock = std::chrono::steady_clock;
+
+/// Nanoseconds elapsed since `t0` (monotonic).
+inline std::uint64_t ns_since(MonoClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(MonoClock::now() -
+                                                           t0)
+          .count());
+}
+
+}  // namespace c3::util

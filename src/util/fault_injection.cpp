@@ -1,0 +1,127 @@
+#include "util/fault_injection.hpp"
+
+#include "util/error.hpp"
+
+namespace c3::util {
+
+FaultInjectingStorage::FaultInjectingStorage(
+    std::shared_ptr<StableStorage> inner, FaultPlan plan)
+    : inner_(std::move(inner)) {
+  if (!inner_) {
+    throw UsageError("FaultInjectingStorage requires a backend");
+  }
+  arm(plan);
+}
+
+void FaultInjectingStorage::arm(FaultPlan plan) {
+  std::lock_guard lock(mu_);
+  plan_ = plan;
+  armed_ = true;
+  torn_fired_ = false;
+  puts_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjectingStorage::disarm() {
+  std::lock_guard lock(mu_);
+  plan_ = FaultPlan{};
+  armed_ = false;
+  torn_fired_ = false;
+  puts_.store(0, std::memory_order_relaxed);
+}
+
+FaultInjectingStorage::Action FaultInjectingStorage::decide(
+    const BlobKey& key) {
+  std::lock_guard lock(mu_);
+  if (!armed_) {
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kForward;
+  }
+  if (plan_.torn_write_rank >= 0 && key.rank == plan_.torn_write_rank &&
+      !torn_fired_) {
+    torn_fired_ = true;
+    // The tear does forward a (truncated) put to the backend; count it so
+    // puts_observed() and a combined fail_after_puts plan stay exact.
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kTear;
+  }
+  const auto done =
+      static_cast<std::int64_t>(puts_.load(std::memory_order_relaxed));
+  if (plan_.fail_after_puts >= 0 && done >= plan_.fail_after_puts) {
+    return Action::kFail;
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  return Action::kForward;
+}
+
+void FaultInjectingStorage::put(const BlobKey& key, const Bytes& data) {
+  switch (decide(key)) {
+    case Action::kForward:
+      inner_->put(key, data);
+      return;
+    case Action::kFail:
+      throw InjectedFault("injected crash before put of rank " +
+                          std::to_string(key.rank) + " '" + key.section +
+                          "'");
+    case Action::kTear: {
+      // The crash lands mid-write: a truncated prefix survives on the
+      // backend under the real key, then the process "dies". A tear is by
+      // definition incomplete, so at least the final byte is always lost
+      // no matter how large torn_keep_bytes is.
+      const std::size_t keep =
+          std::min(plan_.torn_keep_bytes,
+                   data.empty() ? std::size_t{0} : data.size() - 1);
+      inner_->put(key, Bytes(data.begin(), data.begin() + keep));
+      throw InjectedFault("injected torn write at rank " +
+                          std::to_string(key.rank) + " '" + key.section +
+                          "' (" + std::to_string(keep) + " of " +
+                          std::to_string(data.size()) + " bytes kept)");
+    }
+  }
+}
+
+void FaultInjectingStorage::put(const BlobKey& key, Bytes&& data) {
+  // Route through the copying overload: fault decisions need the bytes
+  // after a potential tear, and test blobs are small.
+  put(key, static_cast<const Bytes&>(data));
+}
+
+std::optional<Bytes> FaultInjectingStorage::get(const BlobKey& key) const {
+  return inner_->get(key);
+}
+
+void FaultInjectingStorage::commit(int epoch) {
+  {
+    std::lock_guard lock(mu_);
+    if (armed_ && plan_.fail_on_commit) {
+      throw InjectedFault("injected crash at commit of epoch " +
+                          std::to_string(epoch));
+    }
+  }
+  inner_->commit(epoch);
+}
+
+std::optional<int> FaultInjectingStorage::committed_epoch() const {
+  return inner_->committed_epoch();
+}
+
+void FaultInjectingStorage::drop_epoch(int epoch) {
+  inner_->drop_epoch(epoch);
+}
+
+std::uint64_t FaultInjectingStorage::total_bytes() const {
+  return inner_->total_bytes();
+}
+
+std::uint64_t FaultInjectingStorage::bytes_written() const {
+  return inner_->bytes_written();
+}
+
+StorageStats FaultInjectingStorage::storage_stats() const {
+  return inner_->storage_stats();
+}
+
+std::vector<LaneStats> FaultInjectingStorage::lane_stats() const {
+  return inner_->lane_stats();
+}
+
+}  // namespace c3::util

@@ -1,0 +1,96 @@
+// Deterministic storage fault injection for crash-recovery tests.
+//
+// The pipeline's correctness claims ("an uncommitted epoch is never the
+// recovery point", "no blob a committed manifest references is ever
+// GC'd") used to be exercised by ad-hoc kill timing: throttle the backend
+// and hope the interesting interleaving arises. FaultInjectingStorage
+// makes the failure point a *count*, not a race: arm a plan and the fault
+// fires on exactly the N-th put, on the first put of a chosen rank (torn,
+// leaving a truncated blob behind), or at the commit-marker write --
+// every run, every scheduler.
+//
+// The companion hook for killing *between writer-lane flushes* lives in
+// ckptstore::StoreOptions::after_lane_flush (the fault has to fire inside
+// the store's flush loop, which this decorator never sees).
+//
+// Simulating the crash: the injected fault unwinds as InjectedFault; the
+// test drops the wrapper/store ("the process died"), then reopens the
+// surviving inner storage with a fresh store ("the restarted job") and
+// asserts recovery invariants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/stable_storage.hpp"
+
+namespace c3::util {
+
+/// Thrown at an armed fault point. Deliberately not a CorruptionError:
+/// tests distinguish "the injected crash fired" from "the store detected
+/// real corruption".
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What to break, counted from the moment the plan is armed.
+struct FaultPlan {
+  /// Fail the (N+1)-th put after arming (0 = the very next put fails);
+  /// negative = disabled. The failing put writes nothing.
+  std::int64_t fail_after_puts = -1;
+  /// The first put for this rank is torn: only `torn_keep_bytes` of the
+  /// blob reach the backend before the fault fires (clamped to size-1: a
+  /// tear never completes the write). Negative = disabled.
+  int torn_write_rank = -1;
+  std::size_t torn_keep_bytes = 0;
+  /// Fail the commit-marker write instead of recording it.
+  bool fail_on_commit = false;
+};
+
+/// Decorator over any StableStorage that executes a FaultPlan. Thread-safe:
+/// concurrent writer lanes race only for the put *count*, decided under a
+/// lock; the forwarded write itself runs outside it.
+class FaultInjectingStorage final : public StableStorage {
+ public:
+  explicit FaultInjectingStorage(std::shared_ptr<StableStorage> inner,
+                                 FaultPlan plan = {});
+
+  /// Install a plan; resets the put counter so counts are relative to the
+  /// arming point (e.g. "3 puts into epoch 2").
+  void arm(FaultPlan plan);
+  /// Clear the plan: the "restarted process" reuses the surviving inner
+  /// storage without faults.
+  void disarm();
+
+  /// Puts forwarded to the backend since the last arm()/disarm().
+  std::uint64_t puts_observed() const noexcept {
+    return puts_.load(std::memory_order_relaxed);
+  }
+
+  void put(const BlobKey& key, const Bytes& data) override;
+  void put(const BlobKey& key, Bytes&& data) override;
+  std::optional<Bytes> get(const BlobKey& key) const override;
+  void commit(int epoch) override;
+  std::optional<int> committed_epoch() const override;
+  void drop_epoch(int epoch) override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t bytes_written() const override;
+  StorageStats storage_stats() const override;
+  std::vector<LaneStats> lane_stats() const override;
+
+ private:
+  enum class Action { kForward, kFail, kTear };
+  Action decide(const BlobKey& key);
+
+  std::shared_ptr<StableStorage> inner_;
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  bool torn_fired_ = false;
+  std::atomic<std::uint64_t> puts_{0};
+};
+
+}  // namespace c3::util

@@ -4,9 +4,41 @@
 #include <fstream>
 #include <thread>
 
+#include "util/clock.hpp"
 #include "util/error.hpp"
 
 namespace c3::util {
+
+namespace {
+
+using Clock = MonoClock;
+
+/// Flatten a per-rank map into a dense vector indexed by rank. Negative
+/// ranks (legal in BlobKey, never produced by the protocol) are skipped --
+/// both for sizing and filling, so they cannot blow up the resize.
+std::vector<LaneStats> flatten(const std::map<int, LaneStats>& per_rank) {
+  std::vector<LaneStats> lanes;
+  const auto first = per_rank.lower_bound(0);
+  if (first == per_rank.end()) return lanes;
+  lanes.resize(static_cast<std::size_t>(per_rank.rbegin()->first) + 1);
+  for (auto it = first; it != per_rank.end(); ++it) {
+    lanes[static_cast<std::size_t>(it->first)] = it->second;
+  }
+  return lanes;
+}
+
+/// Shared per-put accounting for plain backends (caller holds the
+/// backend's lock): lifetime byte counter plus the rank's disk stats.
+void account_put(std::uint64_t& written, std::map<int, LaneStats>& per_rank,
+                 int rank, std::size_t size) {
+  written += size;
+  LaneStats& lane = per_rank[rank];
+  lane.puts++;
+  lane.raw_bytes += size;
+  lane.stored_bytes += size;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- memory
 
@@ -14,30 +46,33 @@ void MemoryStorage::put(const BlobKey& key, const Bytes& data) {
   const std::size_t size = data.size();
   {
     std::lock_guard lock(mu_);
-    written_ += size;
+    account_put(written_, per_rank_, key.rank, size);
     blobs_[key] = data;
   }
-  throttle_sleep(size);
+  throttle_sleep(key.rank, size);
 }
 
 void MemoryStorage::put(const BlobKey& key, Bytes&& data) {
   const std::size_t size = data.size();
   {
     std::lock_guard lock(mu_);
-    written_ += size;
+    account_put(written_, per_rank_, key.rank, size);
     blobs_[key] = std::move(data);
   }
-  throttle_sleep(size);
+  throttle_sleep(key.rank, size);
 }
 
 // Bandwidth model: sleep outside the lock so ranks "write" in parallel,
-// as they would to per-node local disks.
-void MemoryStorage::throttle_sleep(std::size_t size) const {
-  if (throttle_ > 0 && size > 0) {
-    const double secs =
-        static_cast<double>(size) / static_cast<double>(throttle_);
-    std::this_thread::sleep_for(std::chrono::duration<double>(secs));
-  }
+// as they would to per-node local disks; the modelled write time is then
+// folded into the rank's disk accounting under the lock.
+void MemoryStorage::throttle_sleep(int rank, std::size_t size) const {
+  if (throttle_ == 0 || size == 0) return;
+  const double secs =
+      static_cast<double>(size) / static_cast<double>(throttle_);
+  const auto t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  std::lock_guard lock(mu_);
+  per_rank_[rank].write_ns += ns_since(t0);
 }
 
 std::optional<Bytes> MemoryStorage::get(const BlobKey& key) const {
@@ -80,6 +115,11 @@ std::uint64_t MemoryStorage::bytes_written() const {
   return written_;
 }
 
+std::vector<LaneStats> MemoryStorage::lane_stats() const {
+  std::lock_guard lock(mu_);
+  return flatten(per_rank_);
+}
+
 // ------------------------------------------------------------------ disk
 
 DiskStorage::DiskStorage(std::filesystem::path root,
@@ -98,8 +138,8 @@ void DiskStorage::put(const BlobKey& key, const Bytes& data) {
   {
     std::lock_guard lock(mu_);
     std::filesystem::create_directories(path.parent_path());
-    written_ += data.size();
   }
+  const auto t0 = Clock::now();
   // Write to a temp name then rename, so a torn write never looks valid.
   const auto tmp = path.string() + ".tmp";
   {
@@ -115,6 +155,11 @@ void DiskStorage::put(const BlobKey& key, const Bytes& data) {
                         static_cast<double>(throttle_);
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
   }
+  // Accounted only after the rename: a failed write (disk full, torn tmp)
+  // must never show up as stored bytes.
+  std::lock_guard lock(mu_);
+  account_put(written_, per_rank_, key.rank, data.size());
+  per_rank_[key.rank].write_ns += ns_since(t0);
 }
 
 std::optional<Bytes> DiskStorage::get(const BlobKey& key) const {
@@ -166,6 +211,11 @@ std::uint64_t DiskStorage::total_bytes() const {
 std::uint64_t DiskStorage::bytes_written() const {
   std::lock_guard lock(mu_);
   return written_;
+}
+
+std::vector<LaneStats> DiskStorage::lane_stats() const {
+  std::lock_guard lock(mu_);
+  return flatten(per_rank_);
 }
 
 }  // namespace c3::util

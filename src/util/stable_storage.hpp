@@ -38,6 +38,19 @@ struct BlobKey {
   auto operator<=>(const BlobKey&) const = default;
 };
 
+/// One writer lane's (or, for a plain backend, one rank's "per-node
+/// disk") slice of the pipeline accounting. Plain backends key lanes by
+/// rank -- the bandwidth throttle models one independent local disk per
+/// node -- while the ckptstore::CheckpointStore wrapper keys them by
+/// writer lane (rank mod lane count).
+struct LaneStats {
+  std::uint64_t puts = 0;          ///< blobs written through this lane
+  std::uint64_t raw_bytes = 0;     ///< bytes handed to this lane's put()
+  std::uint64_t stored_bytes = 0;  ///< bytes physically written by the lane
+  std::uint64_t write_ns = 0;      ///< lane time encoding + writing
+  std::uint64_t stall_ns = 0;      ///< producer time blocked on this lane
+};
+
 /// Storage-pipeline accounting. Plain backends report raw == stored; the
 /// ckptstore::CheckpointStore wrapper separates what the protocol handed to
 /// put() from what physically reached the backend after delta encoding and
@@ -96,6 +109,11 @@ class StableStorage {
     s.raw_bytes = s.stored_bytes = bytes_written();
     return s;
   }
+
+  /// Per-lane slices of the accounting (index = lane, or rank for plain
+  /// backends; ranks never written are zero-filled). Empty when the
+  /// backend does not track lanes.
+  virtual std::vector<LaneStats> lane_stats() const { return {}; }
 };
 
 /// In-memory backend. An optional write-bandwidth throttle models the
@@ -115,15 +133,21 @@ class MemoryStorage final : public StableStorage {
   void drop_epoch(int epoch) override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
+  std::vector<LaneStats> lane_stats() const override;
 
  private:
-  void throttle_sleep(std::size_t size) const;
+  /// Sleep out the modelled write and account it to `rank`'s disk.
+  void throttle_sleep(int rank, std::size_t size) const;
 
   mutable std::mutex mu_;
   std::map<BlobKey, Bytes> blobs_;
   std::optional<int> committed_;
   std::uint64_t written_ = 0;
   std::uint64_t throttle_ = 0;
+  /// Per-rank "local disk" accounting (throttle sleeps happen outside mu_,
+  /// so write_ns is folded in under mu_ afterwards -- thread-safe even
+  /// with one writer lane per rank hammering concurrently).
+  mutable std::map<int, LaneStats> per_rank_;
 };
 
 /// Directory-backed backend. Layout:
@@ -143,6 +167,7 @@ class DiskStorage final : public StableStorage {
   void drop_epoch(int epoch) override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
+  std::vector<LaneStats> lane_stats() const override;
 
  private:
   std::filesystem::path blob_path(const BlobKey& key) const;
@@ -151,6 +176,7 @@ class DiskStorage final : public StableStorage {
   std::uint64_t throttle_;
   mutable std::mutex mu_;
   std::uint64_t written_ = 0;
+  mutable std::map<int, LaneStats> per_rank_;
 };
 
 }  // namespace c3::util

@@ -1,0 +1,17 @@
+// Helpers shared by the checkpoint-store test suites.
+#pragma once
+
+#include "util/archive.hpp"
+#include "util/rng.hpp"
+
+namespace c3::testutil {
+
+/// Deterministic pseudo-random bytes (incompressible test payloads).
+inline util::Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  util::Bytes b(n);
+  util::Rng rng(seed);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  return b;
+}
+
+}  // namespace c3::testutil

@@ -1,0 +1,285 @@
+// Crash-recovery matrix for the parallel checkpoint pipeline.
+//
+// Every cell of (epoch phase x failing rank x lane state) injects a
+// deterministic fault while epoch 2 is being written through per-rank
+// writer lanes, simulates the process dying (the store is destroyed, the
+// surviving backend reopened by a fresh store), and asserts the paper's
+// recovery contract:
+//
+//   1. recovery always lands on a *committed* epoch;
+//   2. every section of that epoch reads back CRC-clean and bit-exact;
+//   3. a torn blob of the aborted epoch is detected, never silently served;
+//   4. re-execution of the aborted epoch stores and commits correctly;
+//   5. no blob a committed manifest references is ever GC'd, even with
+//      lanes draining out of order.
+//
+// Phases: kill after the N-th backend put (lane state: N encodes done,
+// the rest queued or in flight), torn write on rank k's lane, kill
+// between lane flushes at the commit barrier, kill at the commit-marker
+// write itself.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ckptstore/store.hpp"
+#include "statesave/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+#include "ckpt_test_util.hpp"
+
+namespace c3::ckptstore {
+namespace {
+
+using util::BlobKey;
+using util::Bytes;
+using testutil::random_bytes;
+
+constexpr int kRanks = 4;
+constexpr std::size_t kHeapBytes = 32 * 1024;
+
+/// Deterministic per-(epoch, rank) state container: a large heap section
+/// whose dirty prefix varies by epoch (so consecutive epochs delta) and a
+/// churning protocol section.
+Bytes make_state_blob(int epoch, int rank) {
+  statesave::CheckpointBuilder b;
+  Bytes heap = random_bytes(kHeapBytes, 1000 + static_cast<unsigned>(rank));
+  for (std::size_t i = 0; i < 2048; ++i) {
+    heap[i] = static_cast<std::byte>(epoch * 131 + rank * 17 +
+                                     static_cast<int>(i));
+  }
+  b.add_section("heap", std::move(heap));
+  util::Writer w;
+  w.put<std::int32_t>(epoch);
+  w.put<std::int32_t>(rank);
+  b.add_section("protocol", w.take());
+  return b.finish();
+}
+
+StoreOptions laned_opts() {
+  StoreOptions o;
+  o.async = true;
+  o.writer_lanes = kRanks;
+  o.queue_max_blobs = 16;
+  return o;
+}
+
+/// One matrix cell: how epoch 2 dies.
+struct Scenario {
+  std::string name;
+  util::FaultPlan plan;       ///< armed on the backend before epoch 2
+  int hook_kill_after_lane = -1;  ///< throw after this lane flushes (commit)
+};
+
+std::vector<Scenario> all_scenarios() {
+  std::vector<Scenario> cells;
+  // Phase A -- kill after the N-th encoded put reaches the backend, for
+  // every lane state from "nothing durable" to "all blobs durable, commit
+  // marker missing".
+  for (int puts = 0; puts <= kRanks; ++puts) {
+    Scenario s;
+    s.name = "kill-after-" + std::to_string(puts) + "-puts";
+    s.plan.fail_after_puts = puts;
+    if (puts == kRanks) s.plan.fail_on_commit = true;  // all blobs landed
+    cells.push_back(std::move(s));
+  }
+  // Phase B -- torn write on rank k's lane: a truncated blob of the
+  // aborted epoch survives on the backend.
+  for (int rank = 0; rank < kRanks; ++rank) {
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{37},
+                                   std::size_t{4096}}) {
+      Scenario s;
+      s.name = "torn-rank-" + std::to_string(rank) + "-keep-" +
+               std::to_string(keep);
+      s.plan.torn_write_rank = rank;
+      s.plan.torn_keep_bytes = keep;
+      cells.push_back(std::move(s));
+    }
+  }
+  // Phase C -- all writes durable, the initiator dies *between lane
+  // flushes* at the commit barrier (lane state: lanes 0..l drained and
+  // confirmed, the rest drained but unconfirmed).
+  for (int lane = 0; lane < kRanks; ++lane) {
+    Scenario s;
+    s.name = "kill-between-flush-lane-" + std::to_string(lane);
+    s.hook_kill_after_lane = lane;
+    cells.push_back(std::move(s));
+  }
+  return cells;
+}
+
+TEST(CkptFaultMatrix, EveryCellRecoversToCommittedEpoch) {
+  for (const Scenario& sc : all_scenarios()) {
+    SCOPED_TRACE(sc.name);
+    auto inner = std::make_shared<util::MemoryStorage>();
+    auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+
+    StoreOptions opts = laned_opts();
+    // Arm the between-lane-flush kill lazily so epoch 1's commit flushes
+    // cleanly; the hook only fires once armed_hook flips.
+    auto armed_hook = std::make_shared<bool>(false);
+    if (sc.hook_kill_after_lane >= 0) {
+      const auto kill_lane = static_cast<std::size_t>(sc.hook_kill_after_lane);
+      opts.after_lane_flush = [armed_hook, kill_lane](std::size_t lane) {
+        if (*armed_hook && lane == kill_lane) {
+          throw util::InjectedFault("injected kill between lane flushes");
+        }
+      };
+    }
+
+    // --- Epoch 1 commits cleanly on all ranks.
+    auto store = std::make_unique<CheckpointStore>(faulty, opts);
+    for (int r = 0; r < kRanks; ++r) {
+      store->put({1, r, "state"}, make_state_blob(1, r));
+    }
+    store->commit(1);
+    ASSERT_EQ(store->committed_epoch(), 1);
+
+    // --- Epoch 2 dies mid-flight at this cell's fault point.
+    faulty->arm(sc.plan);
+    *armed_hook = true;
+    bool fault_fired = false;
+    try {
+      for (int r = 0; r < kRanks; ++r) {
+        store->put({2, r, "state"}, make_state_blob(2, r));
+      }
+      store->commit(2);
+    } catch (const util::InjectedFault&) {
+      fault_fired = true;
+    }
+    ASSERT_TRUE(fault_fired) << "the cell's fault never fired";
+
+    // --- The process dies: destroy the store (lanes drain/join), then
+    // reopen the surviving backend with a fresh store and a fresh (empty)
+    // delta index, as a restarted job would.
+    store.reset();
+    faulty->disarm();
+    *armed_hook = false;
+    store = std::make_unique<CheckpointStore>(faulty, opts);
+
+    // 1. Recovery lands on a committed epoch -- never the aborted one.
+    const auto committed = store->committed_epoch();
+    ASSERT_TRUE(committed.has_value());
+    ASSERT_EQ(*committed, 1)
+        << "an epoch with missing/torn blobs must never be the recovery "
+           "point";
+
+    // 2. Every section of the committed epoch is CRC-clean and bit-exact.
+    for (int r = 0; r < kRanks; ++r) {
+      auto back = store->get({1, r, "state"});
+      ASSERT_TRUE(back.has_value()) << "rank " << r;
+      ASSERT_EQ(*back, make_state_blob(1, r)) << "rank " << r;
+    }
+
+    // 3. A torn blob is detected (CorruptionError) or absent -- never
+    // silently served as a valid checkpoint.
+    if (sc.plan.torn_write_rank >= 0) {
+      try {
+        auto torn = store->get({2, sc.plan.torn_write_rank, "state"});
+        if (torn.has_value()) {
+          EXPECT_NE(*torn, make_state_blob(2, sc.plan.torn_write_rank))
+              << "a torn blob read back as the full checkpoint";
+        }
+      } catch (const util::CorruptionError&) {
+        // Detected -- the desired outcome for a non-trivial tear.
+      }
+    }
+
+    // 4. Recovery abandons the aborted epoch and re-executes it; the
+    // rewritten epoch commits and reads back exactly.
+    store->drop_epoch(2);
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_FALSE(inner->get({2, r, "state"}).has_value())
+          << "aborted blob survived drop_epoch, rank " << r;
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      store->put({2, r, "state"}, make_state_blob(2, r));
+    }
+    store->commit(2);
+    ASSERT_EQ(store->committed_epoch(), 2);
+
+    // 5. GC interlock under the fresh index: epoch 3 deltas against 2, so
+    // dropping 2 must defer until nothing references it -- even though
+    // lanes commit their blobs in whatever order they drain.
+    for (int r = 0; r < kRanks; ++r) {
+      store->put({3, r, "state"}, make_state_blob(3, r));
+    }
+    store->commit(3);
+    store->drop_epoch(2);
+    const auto stats = store->storage_stats();
+    ASSERT_GT(stats.ref_chunks, 0u)
+        << "epoch 3 stored no references; the GC-interlock leg is vacuous";
+    for (int r = 0; r < kRanks; ++r) {
+      ASSERT_TRUE(inner->get({2, r, "state"}).has_value())
+          << "a blob referenced by the committed epoch 3 manifest was "
+             "GC'd, rank " << r;
+      auto back = store->get({3, r, "state"});
+      ASSERT_TRUE(back.has_value()) << "rank " << r;
+      ASSERT_EQ(*back, make_state_blob(3, r)) << "rank " << r;
+    }
+  }
+}
+
+TEST(CkptFaultMatrix, KillDuringRecoveryRedrop) {
+  // A second crash while recovery is re-dropping the aborted epoch: the
+  // drop's flush kills between lanes. The *next* restart must still land
+  // on the committed epoch and be able to finish the cleanup.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+  StoreOptions opts = laned_opts();
+  auto armed_hook = std::make_shared<bool>(false);
+  opts.after_lane_flush = [armed_hook](std::size_t lane) {
+    if (*armed_hook && lane == 1) {
+      throw util::InjectedFault("second crash during recovery");
+    }
+  };
+  auto store = std::make_unique<CheckpointStore>(faulty, opts);
+  for (int r = 0; r < kRanks; ++r) {
+    store->put({1, r, "state"}, make_state_blob(1, r));
+  }
+  store->commit(1);
+  util::FaultPlan plan;
+  plan.fail_after_puts = 2;
+  faulty->arm(plan);
+  try {
+    for (int r = 0; r < kRanks; ++r) {
+      store->put({2, r, "state"}, make_state_blob(2, r));
+    }
+    store->commit(2);
+    FAIL() << "first crash did not fire";
+  } catch (const util::InjectedFault&) {
+  }
+  store.reset();
+  faulty->disarm();
+
+  // First recovery attempt: crashes again inside drop_epoch's flush.
+  store = std::make_unique<CheckpointStore>(faulty, opts);
+  *armed_hook = true;
+  try {
+    store->put({2, 0, "state"}, make_state_blob(2, 0));  // re-execution began
+    store->drop_epoch(2);
+  } catch (const util::InjectedFault&) {
+  }
+  store.reset();
+  *armed_hook = false;
+
+  // Second recovery attempt: must still see epoch 1 and finish cleanly.
+  store = std::make_unique<CheckpointStore>(faulty, opts);
+  ASSERT_EQ(store->committed_epoch(), 1);
+  for (int r = 0; r < kRanks; ++r) {
+    auto back = store->get({1, r, "state"});
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(*back, make_state_blob(1, r));
+  }
+  store->drop_epoch(2);
+  for (int r = 0; r < kRanks; ++r) {
+    store->put({2, r, "state"}, make_state_blob(2, r));
+  }
+  store->commit(2);
+  ASSERT_EQ(store->committed_epoch(), 2);
+}
+
+}  // namespace
+}  // namespace c3::ckptstore

@@ -12,20 +12,17 @@
 #include "ckptstore/delta.hpp"
 #include "ckptstore/store.hpp"
 #include "statesave/checkpoint.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
+
+#include "ckpt_test_util.hpp"
 
 namespace c3::ckptstore {
 namespace {
 
 using util::BlobKey;
 using util::Bytes;
-
-Bytes random_bytes(std::size_t n, std::uint64_t seed) {
-  Bytes b(n);
-  util::Rng rng(seed);
-  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
-  return b;
-}
+using testutil::random_bytes;
 
 Bytes compressible_bytes(std::size_t n) {
   Bytes b(n);
@@ -316,14 +313,18 @@ TEST(CheckpointStore, AsyncCommitIsABarrier) {
 }
 
 TEST(CheckpointStore, KillMidPipelineNeverCommitsUnfinishedEpoch) {
-  // Epoch 2's writes are queued behind a slow disk when the job dies. The
+  // The job dies after exactly one of epoch 2's blobs reached the backend
+  // (deterministic fault injection, not kill timing: the fault fires on a
+  // put *count*, so every run exercises the same interleaving). The
   // recovery point must remain epoch 1, the aborted epoch's blobs must be
   // droppable, and a *different* re-execution of epoch 2 must store and
   // read back correctly (the write-side delta index may not poison it).
-  auto inner = std::make_shared<util::MemoryStorage>(8ull << 20);
+  auto inner = std::make_shared<util::MemoryStorage>();
+  auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
   StoreOptions o;
   o.queue_max_blobs = 16;
-  auto store = std::make_shared<CheckpointStore>(inner, o);
+  o.writer_lanes = 2;
+  auto store = std::make_shared<CheckpointStore>(faulty, o);
   const std::size_t heap = 128 * 1024;
 
   store->put({1, 0, "state"}, make_state_blob(1, heap, 128));
@@ -331,11 +332,26 @@ TEST(CheckpointStore, KillMidPipelineNeverCommitsUnfinishedEpoch) {
   store->commit(1);
   ASSERT_EQ(store->committed_epoch(), 1);
 
-  // Epoch 2 in flight; the initiator dies before commit.
-  store->put({2, 0, "state"}, make_state_blob(2, heap, 128));
-  store->put({2, 1, "state"}, make_state_blob(2, heap, 128));
+  // Epoch 2 in flight; the crash fires after one of its puts lands.
+  util::FaultPlan plan;
+  plan.fail_after_puts = 1;
+  faulty->arm(plan);
+  try {
+    store->put({2, 0, "state"}, make_state_blob(2, heap, 128));
+    store->put({2, 1, "state"}, make_state_blob(2, heap, 128));
+    store->commit(2);
+    FAIL() << "the injected crash must abort the epoch before commit";
+  } catch (const util::InjectedFault&) {
+    // The lane surfaced the crash at a later put or at the commit barrier.
+  }
   EXPECT_EQ(store->committed_epoch(), 1)
       << "an uncommitted epoch must never become the recovery point";
+
+  // "Restart": the surviving storage is reopened by a fresh store.
+  store.reset();
+  faulty->disarm();
+  store = std::make_shared<CheckpointStore>(faulty, o);
+  ASSERT_EQ(store->committed_epoch(), 1);
 
   // Recovery: read the committed checkpoint, abandon the partial epoch.
   auto back = store->get({1, 0, "state"});
@@ -394,6 +410,38 @@ TEST(CheckpointStore, WriterErrorsSurfaceAtCommit) {
       << "a failed write must never be silently committed";
 }
 
+TEST(CheckpointStore, ConsumedWriterErrorStillFailsCommit) {
+  // A reader's get() drains the lanes and can consume the one-shot writer
+  // error before the initiator commits. The commit must still refuse the
+  // epoch -- its blob never landed -- until recovery abandons it with
+  // drop_epoch.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+  util::FaultPlan plan;
+  plan.fail_after_puts = 0;  // every put fails while armed
+  faulty->arm(plan);
+  StoreOptions o;
+  o.writer_lanes = 2;
+  CheckpointStore store(faulty, o);
+  store.put({1, 0, "state"}, make_state_blob(1, 32 * 1024, 128));
+  try {
+    (void)store.get({1, 1, "state"});  // flush consumes the lane error
+    FAIL() << "the writer error must surface at the reader's flush";
+  } catch (const util::InjectedFault&) {
+  }
+  faulty->disarm();
+  EXPECT_THROW(store.commit(1), util::CorruptionError)
+      << "a consumed writer error must not let the epoch commit";
+  // Recovery abandons the epoch; its re-execution commits cleanly.
+  store.drop_epoch(1);
+  store.put({1, 0, "state"}, make_state_blob(1, 32 * 1024, 128));
+  store.commit(1);
+  EXPECT_EQ(store.committed_epoch(), 1);
+  auto back = store.get({1, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(1, 32 * 1024, 128));
+}
+
 TEST(CheckpointStore, PoolRecyclesScratchBuffers) {
   auto inner = std::make_shared<util::MemoryStorage>();
   CheckpointStore store(inner, sync_opts());
@@ -433,6 +481,137 @@ TEST(CheckpointView, CorruptHeaderSizesThrowInsteadOfAllocating) {
 }
 
 // --------------------------------------------------------------- v2 sizes
+
+// ---------------------------------------------------------- writer lanes
+
+TEST(CheckpointStore, ParallelLanesDrainConcurrently) {
+  // 4 ranks, 4 lanes, 4 MB/s modelled per-node disks, 128 KiB per rank:
+  // each write sleeps ~32 ms. Serialized draining would cost ~4x32 ms at
+  // the barrier; per-rank lanes overlap the sleeps, so the commit stall
+  // must stay well under the serialized sum.
+  auto inner = std::make_shared<util::MemoryStorage>(4ull << 20);
+  StoreOptions o;
+  o.async = true;
+  o.delta = false;  // keep every put the same (throttled) size
+  o.codec = CodecId::kNone;
+  o.writer_lanes = 4;
+  CheckpointStore store(inner, o);
+  const Bytes blob = random_bytes(128 * 1024, 33);
+  for (int rank = 0; rank < 4; ++rank) {
+    store.put({1, rank, "state"}, blob);
+  }
+  store.commit(1);
+  const auto stats = store.storage_stats();
+  const double stall_ms =
+      static_cast<double>(stats.commit_stall_ns) / 1e6;
+  EXPECT_LT(stall_ms, 3 * 32.0)
+      << "commit barrier cost ~sum-over-lanes: lanes did not overlap";
+  // Every lane wrote exactly its rank's blob, and the backend accounted
+  // each rank's modelled disk separately.
+  const auto lanes = store.lane_stats();
+  ASSERT_EQ(lanes.size(), 4u);
+  for (const auto& lane : lanes) {
+    EXPECT_EQ(lane.puts, 1u);
+    EXPECT_GT(lane.write_ns, 0u);
+  }
+  const auto disk_lanes = inner->lane_stats();
+  ASSERT_EQ(disk_lanes.size(), 4u);
+  for (const auto& disk : disk_lanes) {
+    EXPECT_EQ(disk.puts, 1u);
+    EXPECT_GT(disk.write_ns, 0u) << "throttle time unaccounted per rank";
+  }
+  for (int rank = 0; rank < 4; ++rank) {
+    auto back = store.get({1, rank, "state"});
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, blob);
+  }
+}
+
+TEST(CheckpointStore, LanePreservesPerRankOrder) {
+  // Two epochs of the same rank route to the same lane and must encode in
+  // order (the delta index depends on it), even with many lanes idle.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  StoreOptions o;
+  o.writer_lanes = 8;
+  CheckpointStore store(inner, o);
+  const std::size_t heap = 64 * 1024;
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    store.put({epoch, 3, "state"}, make_state_blob(epoch, heap, 512));
+    store.commit(epoch);
+  }
+  const auto stats = store.storage_stats();
+  EXPECT_GT(stats.ref_chunks, 0u)
+      << "in-order epochs on one lane must delta against each other";
+  auto back = store.get({5, 3, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(5, heap, 512));
+}
+
+// ------------------------------------------------------- pinning property
+
+TEST(CheckpointStoreProperty, RewritePeriodBoundsPinnedEpochs) {
+  // For random section mutation sequences, a superseded epoch may stay
+  // GC-pinned only while some live manifest can still reference it --
+  // and full_interval forces an inline rewrite of any chunk whose home
+  // aged past the period, so no epoch older than (current - full_interval)
+  // may survive once its drop was requested.
+  constexpr std::int32_t kFullInterval = 4;
+  constexpr int kEpochs = 24;
+  constexpr int kRanks = 2;
+  constexpr std::size_t kChunk = 1024;
+  constexpr std::size_t kStateBytes = 16 * kChunk;
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    auto inner = std::make_shared<util::MemoryStorage>();
+    StoreOptions o;
+    o.writer_lanes = kRanks;
+    o.chunk_size = kChunk;
+    o.full_interval = kFullInterval;
+    CheckpointStore store(inner, o);
+    util::Rng rng(seed);
+    // Persistent per-rank state, mutated chunk-wise at random each epoch.
+    std::vector<Bytes> state(kRanks);
+    for (int r = 0; r < kRanks; ++r) {
+      state[r] = random_bytes(kStateBytes, seed + static_cast<unsigned>(r));
+    }
+    std::vector<Bytes> reference(kRanks);
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+      for (int r = 0; r < kRanks; ++r) {
+        const auto mutations = rng.next_u64() % 6;  // 0..5 chunks rewritten
+        for (std::uint64_t m = 0; m < mutations; ++m) {
+          const auto chunk = rng.next_u64() % (kStateBytes / kChunk);
+          for (std::size_t i = 0; i < kChunk; ++i) {
+            state[r][chunk * kChunk + i] =
+                static_cast<std::byte>(rng.next_u64() & 0xFF);
+          }
+        }
+        statesave::CheckpointBuilder b;
+        b.add_section("heap", state[r]);
+        reference[r] = b.finish();
+        store.put({epoch, r, "state"}, reference[r]);
+      }
+      store.commit(epoch);
+      if (epoch > 1) store.drop_epoch(epoch - 1);
+
+      // Invariant 1: the current epoch always reconstructs bit-exactly.
+      for (int r = 0; r < kRanks; ++r) {
+        auto back = store.get({epoch, r, "state"});
+        ASSERT_TRUE(back.has_value()) << "seed " << seed << " ep " << epoch;
+        ASSERT_EQ(*back, reference[r]) << "seed " << seed << " ep " << epoch;
+      }
+      // Invariant 2: every drop-requested epoch older than the rewrite
+      // period is physically gone -- nothing may pin it that long.
+      for (int old_epoch = 1; old_epoch <= epoch - kFullInterval;
+           ++old_epoch) {
+        for (int r = 0; r < kRanks; ++r) {
+          EXPECT_FALSE(inner->get({old_epoch, r, "state"}).has_value())
+              << "epoch " << old_epoch << " still pinned at epoch " << epoch
+              << " (full_interval " << kFullInterval << ", seed " << seed
+              << ")";
+        }
+      }
+    }
+  }
+}
 
 TEST(CheckpointView, ChunkedContainerEdgeSizes) {
   // Section sizes around the chunk boundary survive the chunked round
