@@ -1,16 +1,34 @@
-// Protocol scaling with rank count. The coordination cost (pleaseCheckpoint
-// fan-out, mySendCount all-to-all, ready/stop/stopped collection) grows
-// with the number of processes; this ablation measures full-protocol
-// overhead over the raw runtime for 2..16 ranks on fixed-size ring and
-// allgather microkernels.
+// Protocol scaling with rank count.
+//
+// Two measurements, both emitted machine-readably to BENCH_scaling.json
+// (like the other benches) besides the google-benchmark console output:
+//
+//  1. Control-plane phase sweep: per-phase control-message counts at the
+//     initiator for 2..16 ranks. With the binomial-tree control plane the
+//     initiator sends/receives <= ceil(log2 P) messages per coordination
+//     phase (vs P-1 with the old flat fan-out), and the steady-state kFull
+//     commit path performs zero storage reads for the detached-rank
+//     decision (the phase-4 aggregate carries the bit).
+//
+//  2. Full-protocol overhead over the raw runtime on fixed-size ring and
+//     allgather microkernels (the original ablation).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "bench/bench_common.hpp"
+#include "core/coordinator/control_plane.hpp"
 
 namespace {
 
 using namespace c3;
 using namespace c3::bench;
+using core::coordinator::ControlPlaneStats;
 
 constexpr int kIters = 40;
 
@@ -51,22 +69,92 @@ void allgather_kernel(Process& p, bool checkpoints) {
   }
 }
 
-void table() {
+// ------------------------------------------- control-plane phase sweep
+
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+/// Initiator-side observation of a run of coordination rounds.
+struct SweepResult {
+  int ranks = 0;
+  int rounds = 0;
+  ControlPlaneStats initiator;               ///< per-phase traffic
+  std::uint64_t detached_probe_gets = 0;     ///< must stay 0 at commit
+  std::uint64_t max_rank_please_sends = 0;   ///< relay bound across ranks
+  double seconds_per_round = 0;
+};
+
+/// Drive `rounds` complete checkpoint rounds with no application traffic:
+/// pure coordination, so the counters isolate the control plane.
+SweepResult run_phase_sweep(int ranks, int rounds) {
+  SweepResult res;
+  res.ranks = ranks;
+  res.rounds = rounds;
+  std::mutex mu;  // Job::run is synchronous; rank threads only outrun it
+  JobConfig cfg;
+  cfg.ranks = ranks;
+  cfg.level = InstrumentLevel::kFull;
+  cfg.policy = core::CheckpointPolicy::every(1);
+  cfg.policy.max_checkpoints = static_cast<std::uint64_t>(rounds);
+  Job job(cfg);
+  job.run([&](Process& p) {
+    int iter = 0;
+    p.register_value("iter", iter);
+    p.complete_registration();
+    const auto t0 = std::chrono::steady_clock::now();
+    // Spin the protocol until every round has committed locally; the
+    // initiator starts one round per potential_checkpoint once the
+    // previous one completed.
+    while (p.epoch() < rounds || p.checkpoint_in_progress()) {
+      p.potential_checkpoint();
+      // Polite polling: without a short sleep, P spinning rank threads
+      // time-slice against each other and the measured round latency is
+      // scheduler thrash, not protocol depth.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::lock_guard lock(mu);
+    const auto& cs = p.coordinator_stats();
+    res.max_rank_please_sends =
+        std::max(res.max_rank_please_sends, cs.please_sends);
+    if (p.control_plane().is_initiator()) {
+      res.initiator = cs;
+      res.detached_probe_gets = p.stats().detached_probe_gets;
+      res.seconds_per_round =
+          std::chrono::duration<double>(t1 - t0).count() / rounds;
+    }
+  });
+  return res;
+}
+
+// ------------------------------------------------------ console + JSON
+
+struct RingRow {
+  int ranks = 0;
+  double secs[4] = {0, 0, 0, 0};  ///< ring raw/full, allgather raw/full
+};
+
+std::vector<RingRow> table() {
   std::printf(
       "\n=== Protocol overhead vs rank count ===\n"
-      "(coordination traffic grows with processes: pleaseCheckpoint fan-out "
-      "+ per-peer mySendCount + ready/stop/stopped collection)\n");
+      "(tree control plane: pleaseCheckpoint/stopLogging fan-out and "
+      "ready/stopped fan-in cost the initiator O(log P) per phase)\n");
   std::printf("%-8s %14s %14s %16s %16s\n", "ranks", "ring raw", "ring full",
               "allgather raw", "allgather full");
+  std::vector<RingRow> rows;
   for (int ranks : {2, 4, 8, 16}) {
-    double secs[4];
+    RingRow row;
+    row.ranks = ranks;
     for (int k = 0; k < 4; ++k) {
       const bool full = (k % 2) == 1;
       JobConfig cfg;
       cfg.ranks = ranks;
       cfg.level = full ? InstrumentLevel::kFull : InstrumentLevel::kRaw;
       cfg.policy = core::CheckpointPolicy::every(10);
-      secs[k] = time_job(cfg, [&](Process& p) {
+      row.secs[k] = time_job(cfg, [&](Process& p) {
         if (k < 2) {
           ring_kernel(p, full);
         } else {
@@ -74,9 +162,78 @@ void table() {
         }
       });
     }
-    std::printf("%-8d %13.3fs %13.3fs %15.3fs %15.3fs\n", ranks, secs[0],
-                secs[1], secs[2], secs[3]);
+    std::printf("%-8d %13.3fs %13.3fs %15.3fs %15.3fs\n", ranks, row.secs[0],
+                row.secs[1], row.secs[2], row.secs[3]);
+    rows.push_back(row);
   }
+  return rows;
+}
+
+std::vector<SweepResult> phase_sweep() {
+  std::printf(
+      "\n=== Control-plane phase sweep ===\n"
+      "(initiator control messages per phase; flat fan-out would be P-1)\n");
+  std::printf("%-8s %10s %12s %11s %12s %14s %16s\n", "ranks", "log2-bound",
+              "please-send", "ready-recv", "stop-send", "stopped-recv",
+              "detached-reads");
+  std::vector<SweepResult> results;
+  constexpr int kRounds = 3;
+  for (int ranks : {2, 4, 8, 16}) {
+    SweepResult r = run_phase_sweep(ranks, kRounds);
+    std::printf("%-8d %10d %12.1f %11.1f %12.1f %14.1f %16llu\n", ranks,
+                ceil_log2(ranks),
+                static_cast<double>(r.initiator.please_sends) / kRounds,
+                static_cast<double>(r.initiator.ready_recvs) / kRounds,
+                static_cast<double>(r.initiator.stop_sends) / kRounds,
+                static_cast<double>(r.initiator.stopped_recvs) / kRounds,
+                static_cast<unsigned long long>(r.detached_probe_gets));
+    results.push_back(r);
+  }
+  return results;
+}
+
+void write_scaling_json(const std::vector<SweepResult>& sweep,
+                        const std::vector<RingRow>& rings) {
+  std::FILE* f = std::fopen("BENCH_scaling.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"control_plane_scaling\",\n");
+  std::fprintf(f, "  \"rank_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepResult& r = sweep[i];
+    const auto per_round = [&](std::uint64_t n) {
+      return static_cast<double>(n) / r.rounds;
+    };
+    std::fprintf(
+        f,
+        "    {\"ranks\": %d, \"rounds\": %d, \"ceil_log2\": %d, "
+        "\"flat_sends_per_phase\": %d,\n"
+        "     \"initiator_sends_per_phase\": {\"please\": %.1f, "
+        "\"stop\": %.1f},\n"
+        "     \"initiator_recvs_per_phase\": {\"ready\": %.1f, "
+        "\"stopped\": %.1f},\n"
+        "     \"max_rank_relay_sends_per_phase\": %.1f,\n"
+        "     \"detached_probe_storage_reads\": %llu,\n"
+        "     \"seconds_per_round\": %.6f}%s\n",
+        r.ranks, r.rounds, ceil_log2(r.ranks), r.ranks - 1,
+        per_round(r.initiator.please_sends), per_round(r.initiator.stop_sends),
+        per_round(r.initiator.ready_recvs),
+        per_round(r.initiator.stopped_recvs),
+        per_round(r.max_rank_please_sends),
+        static_cast<unsigned long long>(r.detached_probe_gets),
+        r.seconds_per_round, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"ring\": [\n");
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    const RingRow& row = rings[i];
+    std::fprintf(f,
+                 "    {\"ranks\": %d, \"ring_raw_s\": %.4f, "
+                 "\"ring_full_s\": %.4f, \"allgather_raw_s\": %.4f, "
+                 "\"allgather_full_s\": %.4f}%s\n",
+                 row.ranks, row.secs[0], row.secs[1], row.secs[2],
+                 row.secs[3], i + 1 < rings.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 void BM_RingScaling(benchmark::State& state) {
@@ -103,7 +260,9 @@ BENCHMARK(BM_RingScaling)
 }  // namespace
 
 int main(int argc, char** argv) {
-  table();
+  const auto sweep = phase_sweep();
+  const auto rings = table();
+  write_scaling_json(sweep, rings);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

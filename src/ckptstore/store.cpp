@@ -11,6 +11,14 @@ using statesave::CheckpointBuilder;
 using Clock = util::MonoClock;
 using util::ns_since;
 
+namespace {
+/// Tiny meta blob written beside each commit marker, recording the
+/// full_interval in effect when the committed manifests were written. The
+/// startup sweep's safety proof depends on *that* interval, not on the
+/// restarted process's configuration.
+constexpr char kRetentionMetaSection[] = "c3-retention-interval";
+}  // namespace
+
 CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
                                  StoreOptions opts)
     : inner_(std::move(inner)), opts_(opts) {
@@ -22,6 +30,7 @@ CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
         "CheckpointBuilder::kMaxChunkSize");
   }
   if (opts_.full_interval <= 0) opts_.full_interval = 1;
+  sweep_stale_epochs();
   lane_count_ = opts_.async ? std::max<std::size_t>(1, opts_.writer_lanes) : 1;
   lane_counters_ = std::make_unique<LaneCounters[]>(lane_count_);
   if (opts_.async) {
@@ -409,12 +418,77 @@ void CheckpointStore::commit(int epoch) {
           " has a failed write and cannot be the recovery point");
     }
   }
+  // Record the reference horizon beside the recovery point so a future
+  // incarnation's startup sweep honours the interval these manifests were
+  // written under (it may be restarted with a smaller full_interval).
+  // Never downgrade an existing record: a recovery re-commit of an epoch
+  // whose manifests were encoded under a larger interval must keep that
+  // larger bound.
+  {
+    std::int32_t record = opts_.full_interval;
+    if (const auto prev = read_retention_interval(epoch)) {
+      record = std::max(record, *prev);
+    }
+    util::Writer w;
+    w.put<std::int32_t>(record);
+    inner_->put({epoch, 0, kRetentionMetaSection}, w.take());
+  }
   inner_->commit(epoch);
 
   // Superseded epochs whose drop was deferred may be droppable now (the
   // epoch that pinned them may itself have been dropped or rewritten).
   std::lock_guard lock(meta_mu_);
   try_drops_locked();
+}
+
+void CheckpointStore::sweep_stale_epochs() {
+  const auto committed = inner_->committed_epoch();
+  if (!committed) return;
+  // One-hop reference rule: a chunk's home is at most full_interval - 1
+  // epochs behind the manifest that names it, and homes are never chained.
+  // The committed epoch -- and the detached-fallback epoch right before it
+  // -- can therefore never reach anything older than committed -
+  // full_interval: whatever sits below that horizon is a drop that was
+  // deferred (or in flight) when the previous incarnation crashed, and
+  // would otherwise leak on the backend forever.
+  //
+  // The proof needs the full_interval the restorable manifests were
+  // *written* under -- this incarnation may be configured with a smaller
+  // one. Recovery can restore the committed epoch or (detached fallback)
+  // the epoch right before it, so both epochs' recorded intervals bound
+  // the horizon. No record on either (a store predating the record, or a
+  // damaged blob) means no safe horizon: skip the sweep -- the records
+  // written at this incarnation's commits re-arm it for the next restart.
+  std::int32_t interval = opts_.full_interval;
+  const auto committed_interval = read_retention_interval(*committed);
+  if (!committed_interval) return;
+  interval = std::max(interval, *committed_interval);
+  const auto epochs = inner_->list_epochs();
+  if (std::binary_search(epochs.begin(), epochs.end(), *committed - 1)) {
+    const auto fallback_interval = read_retention_interval(*committed - 1);
+    if (!fallback_interval) return;
+    interval = std::max(interval, *fallback_interval);
+  }
+  const int horizon = *committed - interval;
+  for (const int e : epochs) {
+    if (e >= horizon) continue;
+    inner_->drop_epoch(e);
+    dropped_.insert(e);  // ctor runs single-threaded; no lock needed yet
+  }
+}
+
+std::optional<std::int32_t> CheckpointStore::read_retention_interval(
+    int epoch) const {
+  const auto meta = inner_->get({epoch, 0, kRetentionMetaSection});
+  if (!meta) return std::nullopt;
+  try {
+    util::Reader r(*meta);
+    const auto interval = r.get<std::int32_t>();
+    if (interval <= 0) return std::nullopt;
+    return interval;
+  } catch (const util::CorruptionError&) {
+    return std::nullopt;
+  }
 }
 
 bool CheckpointStore::referenced_by_live_locked(int epoch) const {
@@ -473,6 +547,11 @@ void CheckpointStore::drop_epoch(int epoch) {
 }
 
 // ------------------------------------------------------------- accounting
+
+std::vector<int> CheckpointStore::list_epochs() const {
+  flush();  // queued writes may open a new epoch
+  return inner_->list_epochs();
+}
 
 std::uint64_t CheckpointStore::total_bytes() const {
   flush();

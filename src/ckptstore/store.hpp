@@ -32,7 +32,12 @@
 // committed recovery point still needs, and retries deferred drops after
 // the next commit. `full_interval` bounds how long a chunk may keep an old
 // home (and hence how many superseded epochs can pile up) by forcing a
-// periodic inline rewrite.
+// periodic inline rewrite. The bookkeeping is in-memory, so a drop
+// deferred at crash time would leak the superseded epoch's blobs across
+// recovery cycles -- the constructor therefore runs a startup sweep that
+// enumerates the backend (StableStorage::list_epochs) and drops every
+// epoch older than committed - full_interval, which the one-hop reference
+// rule proves unreachable from any retained manifest.
 //
 // Cross-lane GC interlock: with several writer lanes encoding different
 // ranks' blobs concurrently, the decision to *reference* a home epoch and
@@ -94,6 +99,7 @@ class CheckpointStore final : public util::StableStorage {
   void commit(int epoch) override;
   std::optional<int> committed_epoch() const override;
   void drop_epoch(int epoch) override;
+  std::vector<int> list_epochs() const override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   util::StorageStats storage_stats() const override;
@@ -158,6 +164,17 @@ class CheckpointStore final : public util::StableStorage {
   // blob for the ref/inline decision; rank threads for commit/drop). The
   // CRC pass and the compression/serialization of inline chunks run
   // outside the lock, so lanes overlap their heavy work.
+  /// The full_interval recorded beside `epoch`'s commit marker (nullopt:
+  /// absent, damaged, or implausible -- no safe sweep horizon).
+  std::optional<std::int32_t> read_retention_interval(int epoch) const;
+
+  /// Startup retention sweep (constructor): drops deferred at crash time
+  /// are forgotten with the in-memory bookkeeping, so a restart enumerates
+  /// the backend and drops every epoch older than committed -
+  /// full_interval -- provably unreachable under the one-hop reference
+  /// rule (no retained epoch's manifest can name a home that far back).
+  void sweep_stale_epochs();
+
   /// Execute every requested drop whose epoch is no longer referenced by
   /// any live (not-yet-dropped) epoch, cascading: dropping one epoch may
   /// unpin the homes it referenced. Caller holds meta_mu_.

@@ -3,6 +3,13 @@
 // Control traffic flows on the communicator's control context, so it can
 // never be matched by application receives. The message kind doubles as
 // the tag; payloads are Archive-encoded.
+//
+// Coordination-phase traffic (please/ready/stop/stopped/shutdown) is
+// routed over the binomial tree owned by coordinator::ControlPlane:
+// fan-outs are relayed parent -> children, fan-ins are aggregated child ->
+// parent (one message per edge per phase, tagged with the round's target
+// epoch). Per-peer traffic (mySendCount, suppressList) stays direct
+// point-to-point -- it carries pairwise data that cannot be aggregated.
 #pragma once
 
 #include <cstdint>
@@ -12,20 +19,24 @@
 namespace c3::core {
 
 enum class ControlKind : simmpi::Tag {
-  /// initiator -> all: please take a local checkpoint when you can (Phase 1)
+  /// tree fan-out: please take a local checkpoint when you can (Phase 1).
+  /// Payload: target epoch i32.
   kPleaseCheckpoint = 1,
   /// checkpointer -> every receiver: how many messages I sent you in the
   /// epoch that just ended (Section 4.3)
   kMySendCount = 2,
-  /// process -> initiator: I have received all my late messages (Phase 2)
+  /// tree fan-in: my subtree has received all its late messages (Phase 2).
+  /// Payload: target epoch i32, subtree rank count i32.
   kReadyToStopLogging = 3,
-  /// initiator -> all: every process has checkpointed; stop logging (Phase 3)
+  /// tree fan-out: every process has checkpointed; stop logging (Phase 3).
+  /// Payload: target epoch i32.
   kStopLogging = 4,
-  /// process -> initiator: my log is on stable storage (Phase 4)
+  /// tree fan-in: my subtree's logs are on stable storage (Phase 4).
+  /// Payload: target epoch i32, subtree rank count i32, detached bit u8.
   kStoppedLogging = 5,
   /// recovery: receiver -> sender, the early-message IDs to suppress
   kSuppressList = 6,
-  /// initiator -> all: the job is complete, protocol layer may exit
+  /// tree fan-out: the job is complete, protocol layer may exit
   kShutdown = 7,
 };
 

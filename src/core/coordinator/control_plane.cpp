@@ -1,0 +1,347 @@
+#include "core/coordinator/control_plane.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace c3::core::coordinator {
+
+namespace {
+constexpr auto kCtrl = simmpi::ContextClass::kCtrl;
+}  // namespace
+
+const char* to_string(CoordinatorState s) {
+  switch (s) {
+    case CoordinatorState::kIdle: return "idle";
+    case CoordinatorState::kCheckpointPending: return "checkpoint-pending";
+    case CoordinatorState::kLogging: return "logging";
+    case CoordinatorState::kReadySent: return "ready-sent";
+    case CoordinatorState::kLogClosed: return "log-closed";
+  }
+  return "?";
+}
+
+ControlPlane::ControlPlane(simmpi::Api& api, const simmpi::Comm& world,
+                           int initiator, Hooks hooks, ProcessStats& pstats)
+    : api_(api),
+      world_(world),
+      me_(api.world_rank()),
+      nranks_(api.world_size()),
+      tree_(api.world_size(), initiator),
+      hooks_(std::move(hooks)),
+      pstats_(pstats) {
+  children_ = tree_.children(me_);
+  parent_ = tree_.parent(me_);
+}
+
+void ControlPlane::invariant(bool cond, const char* what) const {
+  if (!cond) {
+    throw util::CorruptionError(
+        std::string("protocol invariant violated: ") + what + " (rank " +
+        std::to_string(me_) + ", state " + to_string(state_) + ", round " +
+        std::to_string(round_target_) + ")");
+  }
+}
+
+void ControlPlane::transition(CoordinatorState next) {
+  state_ = next;
+  if (hooks_.probe) hooks_.probe(me_, next);
+}
+
+void ControlPlane::send_control(int dst, ControlKind kind,
+                                std::span<const std::byte> payload) {
+  api_.send(world_, payload, dst, control_tag(kind), kCtrl);
+  pstats_.control_messages++;
+}
+
+void ControlPlane::relay_to_children(
+    ControlKind kind, std::span<const std::byte> payload,
+    std::uint64_t ControlPlaneStats::* counter) {
+  for (const int child : children_) {
+    send_control(child, kind, payload);
+    stats_.*counter += 1;
+  }
+}
+
+void ControlPlane::open_round(std::int32_t target) {
+  invariant(state_ == CoordinatorState::kIdle,
+            "round opened while another is in flight");
+  invariant(target > last_completed_, "round target is not fresh");
+  round_target_ = target;
+  children_ready_msgs_ = 0;
+  ready_from_children_ = 0;
+  children_stopped_msgs_ = 0;
+  stopped_from_children_ = 0;
+  local_ready_ = false;
+  local_stopped_ = false;
+  local_detached_ = false;
+  children_detached_ = false;
+}
+
+// ------------------------------------------------------- initiator duties
+
+void ControlPlane::start_round(std::int32_t target_epoch) {
+  invariant(is_initiator(), "start_round at a non-initiator");
+  open_round(target_epoch);
+  util::Writer w;
+  w.put<std::int32_t>(target_epoch);
+  relay_to_children(ControlKind::kPleaseCheckpoint, w.bytes(),
+                    &ControlPlaneStats::please_sends);
+  transition(CoordinatorState::kCheckpointPending);
+  hooks_.request_checkpoint(target_epoch);
+}
+
+void ControlPlane::broadcast_shutdown() {
+  invariant(is_initiator(), "shutdown broadcast at a non-initiator");
+  invariant(!round_in_flight(), "shutdown broadcast during a round");
+  relay_to_children(ControlKind::kShutdown, {},
+                    &ControlPlaneStats::shutdown_sends);
+}
+
+// ------------------------------------------------ data-plane notifications
+
+void ControlPlane::note_local_checkpoint(std::int32_t new_epoch,
+                                         bool detached) {
+  if (state_ == CoordinatorState::kIdle) {
+    // Barrier-forced checkpoint (Section 4.5): the epoch-agreement rule
+    // fired before this rank's pleaseCheckpoint relay arrived. The round
+    // opens here; the late relay is forwarded when it shows up.
+    invariant(!is_initiator(), "initiator checkpoint outside a round");
+    open_round(new_epoch);
+  } else {
+    invariant(state_ == CoordinatorState::kCheckpointPending,
+              "local checkpoint in the wrong phase");
+    invariant(new_epoch == round_target_,
+              "local checkpoint epoch disagrees with the round target");
+  }
+  local_detached_ = detached;
+  transition(CoordinatorState::kLogging);
+}
+
+void ControlPlane::note_local_ready() {
+  invariant(state_ == CoordinatorState::kLogging,
+            "readiness outside the logging phase");
+  invariant(!local_ready_, "readiness reported twice");
+  local_ready_ = true;
+  maybe_forward_ready();
+}
+
+void ControlPlane::note_log_closed() {
+  // Phase 3 starts only after every rank (this one included) reported
+  // readiness, so a log can never close before the readiness forward --
+  // whether stopLogging arrived over the tree or the conjunction rule
+  // closed the window first.
+  invariant(state_ == CoordinatorState::kReadySent,
+            "log closed outside phase 3");
+  local_stopped_ = true;
+  transition(CoordinatorState::kLogClosed);
+  maybe_forward_stopped();
+}
+
+// -------------------------------------------------------- fan-in plumbing
+
+void ControlPlane::maybe_forward_ready() {
+  if (!local_ready_ ||
+      children_ready_msgs_ < static_cast<int>(children_.size())) {
+    return;
+  }
+  const int total = 1 + ready_from_children_;
+  invariant(total == tree_.subtree_size(me_),
+            "phase-2 aggregate disagrees with the subtree size");
+  if (is_initiator()) {
+    // Phase 3: every process has checkpointed; no message sent from now on
+    // can be early, so logging may stop everywhere.
+    invariant(total == nranks_, "phase 2 complete without every rank");
+    transition(CoordinatorState::kReadySent);
+    util::Writer w;
+    w.put<std::int32_t>(round_target_);
+    relay_to_children(ControlKind::kStopLogging, w.bytes(),
+                      &ControlPlaneStats::stop_sends);
+    hooks_.finalize_log();
+    return;
+  }
+  util::Writer w;
+  w.put<std::int32_t>(round_target_);
+  w.put<std::int32_t>(total);
+  send_control(parent_, ControlKind::kReadyToStopLogging, w.bytes());
+  stats_.ready_sends++;
+  transition(CoordinatorState::kReadySent);
+}
+
+void ControlPlane::maybe_forward_stopped() {
+  if (!local_stopped_ ||
+      children_stopped_msgs_ < static_cast<int>(children_.size())) {
+    return;
+  }
+  const int total = 1 + stopped_from_children_;
+  invariant(total == tree_.subtree_size(me_),
+            "phase-4 aggregate disagrees with the subtree size");
+  const std::int32_t target = round_target_;
+  const bool any_detached = local_detached_ || children_detached_;
+  last_completed_ = target;
+  if (is_initiator()) {
+    // Phase 4 complete: every log is durable; this checkpoint becomes the
+    // recovery point. The aggregated detached bit decides superseded-epoch
+    // GC without probing any rank's storage.
+    invariant(total == nranks_, "phase 4 complete without every rank");
+    stats_.rounds_completed++;
+    transition(CoordinatorState::kIdle);
+    hooks_.commit(target, any_detached);
+    return;
+  }
+  util::Writer w;
+  w.put<std::int32_t>(target);
+  w.put<std::int32_t>(total);
+  w.put<std::uint8_t>(any_detached ? 1 : 0);
+  send_control(parent_, ControlKind::kStoppedLogging, w.bytes());
+  stats_.stopped_sends++;
+  transition(CoordinatorState::kIdle);
+}
+
+// --------------------------------------------------------------- routing
+
+bool ControlPlane::on_control(ControlKind kind, simmpi::Rank from,
+                              std::span<const std::byte> payload) {
+  util::Reader r(payload);
+  switch (kind) {
+    case ControlKind::kPleaseCheckpoint: {
+      invariant(from == parent_, "pleaseCheckpoint from outside the tree");
+      const auto target = r.get<std::int32_t>();
+      if (target <= last_completed_) {
+        // Straggling relay for a round this rank already finished -- which
+        // required every child's phase-4 aggregate, so the whole subtree is
+        // provably done and the relay would be noise. This can even arrive
+        // *inside a newer round* when both this rank and the relay path
+        // were barrier-forced past the old one.
+        return true;
+      }
+      if (state_ != CoordinatorState::kIdle) {
+        // Barrier-forced ranks opened this round before the relay arrived;
+        // forward it so unforced descendants still learn of the round.
+        invariant(target == round_target_,
+                  "pleaseCheckpoint for a different round while one is in "
+                  "flight");
+        relay_to_children(kind, payload, &ControlPlaneStats::please_sends);
+        return true;
+      }
+      open_round(target);
+      relay_to_children(kind, payload, &ControlPlaneStats::please_sends);
+      transition(CoordinatorState::kCheckpointPending);
+      hooks_.request_checkpoint(target);
+      return true;
+    }
+    case ControlKind::kReadyToStopLogging: {
+      invariant(tree_.is_child(me_, from),
+                "readyToStopLogging from a non-child");
+      invariant(state_ == CoordinatorState::kCheckpointPending ||
+                    state_ == CoordinatorState::kLogging,
+                "phase-2 aggregate in the wrong phase");
+      const auto target = r.get<std::int32_t>();
+      const auto count = r.get<std::int32_t>();
+      invariant(target == round_target_,
+                "phase-2 aggregate for a different round");
+      invariant(count == tree_.subtree_size(from),
+                "phase-2 aggregate disagrees with the child's subtree");
+      children_ready_msgs_++;
+      ready_from_children_ += count;
+      stats_.ready_recvs++;
+      invariant(children_ready_msgs_ <= static_cast<int>(children_.size()),
+                "more phase-2 aggregates than children");
+      maybe_forward_ready();
+      return true;
+    }
+    case ControlKind::kStopLogging: {
+      invariant(from == parent_, "stopLogging from outside the tree");
+      const auto target = r.get<std::int32_t>();
+      if (target <= last_completed_) {
+        // The conjunction rule already closed every log in this subtree
+        // and the phase-4 aggregates went up; the straggling relay is
+        // obsolete. It must be swallowed even mid-newer-round (a barrier
+        // can force this rank into round N+1 with round N's relay still
+        // in flight): relaying is noise and finalize_log here would
+        // wrongly close the *new* round's logging window before phase 3.
+        return true;
+      }
+      invariant(state_ != CoordinatorState::kIdle,
+                "stopLogging for a round never opened");
+      invariant(target == round_target_,
+                "stopLogging for a different round while one is in flight");
+      relay_to_children(kind, payload, &ControlPlaneStats::stop_sends);
+      hooks_.finalize_log();  // no-op if the conjunction rule closed it
+      return true;
+    }
+    case ControlKind::kStoppedLogging: {
+      invariant(tree_.is_child(me_, from), "stoppedLogging from a non-child");
+      invariant(state_ == CoordinatorState::kReadySent ||
+                    state_ == CoordinatorState::kLogClosed,
+                "phase-4 aggregate in the wrong phase");
+      const auto target = r.get<std::int32_t>();
+      const auto count = r.get<std::int32_t>();
+      const bool detached = r.get<std::uint8_t>() != 0;
+      invariant(target == round_target_,
+                "phase-4 aggregate for a different round");
+      invariant(count == tree_.subtree_size(from),
+                "phase-4 aggregate disagrees with the child's subtree");
+      children_stopped_msgs_++;
+      stopped_from_children_ += count;
+      children_detached_ = children_detached_ || detached;
+      stats_.stopped_recvs++;
+      invariant(children_stopped_msgs_ <= static_cast<int>(children_.size()),
+                "more phase-4 aggregates than children");
+      maybe_forward_stopped();
+      return true;
+    }
+    case ControlKind::kShutdown:
+      invariant(from == parent_, "shutdown from outside the tree");
+      relay_to_children(kind, payload, &ControlPlaneStats::shutdown_sends);
+      shutdown_received_ = true;
+      return true;
+    case ControlKind::kMySendCount:
+    case ControlKind::kSuppressList:
+      return false;  // per-peer data-plane traffic
+  }
+  return false;
+}
+
+// --------------------------------------------------- collective exchange
+
+CollectiveFlags ControlPlane::exchange_collective_control(
+    const simmpi::Comm& comm, std::int32_t epoch, bool logging,
+    bool detached) {
+  // The paper precedes each data collective with a control collective that
+  // circulates <epoch, amLogging>; the conjunction decides result logging.
+  // The word also carries the rank's detached bit so a participant whose
+  // application body has returned is detectable in one exchange.
+  const std::uint32_t mine = (static_cast<std::uint32_t>(epoch) << 2) |
+                             (detached ? 2u : 0u) | (logging ? 1u : 0u);
+  std::vector<std::uint32_t> all(static_cast<std::size_t>(comm.size()));
+  api_.allgather(comm, util::as_bytes(mine),
+                 {reinterpret_cast<std::byte*>(all.data()), all.size() * 4});
+  pstats_.control_messages += static_cast<std::uint64_t>(comm.size());
+  CollectiveFlags flags;
+  flags.max_epoch = epoch;
+  for (const auto word : all) {
+    const auto their_epoch = static_cast<std::int32_t>(word >> 2);
+    flags.max_epoch = std::max(flags.max_epoch, their_epoch);
+    if ((word & 2u) != 0) flags.someone_detached = true;
+  }
+  // A peer in the *newest* epoch that is not logging has *stopped* logging;
+  // a peer in an older epoch simply has not checkpointed yet. The exact
+  // epoch comparison matters at a barrier: a laggard's exchange word names
+  // its own pre-checkpoint epoch, and judging that by color (epoch mod 2)
+  // would let the laggard mistake *itself* for a stopped-logging peer and
+  // close its logging window the moment the forced checkpoint opens it --
+  // before it ever reported readyToStopLogging, wedging phase 3.
+  for (const auto word : all) {
+    const auto their_epoch = static_cast<std::int32_t>(word >> 2);
+    const bool their_logging = (word & 1u) != 0;
+    if (their_epoch == flags.max_epoch && !their_logging) {
+      flags.someone_stopped_logging = true;
+    }
+  }
+  return flags;
+}
+
+}  // namespace c3::core::coordinator

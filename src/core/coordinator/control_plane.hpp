@@ -1,0 +1,192 @@
+// The protocol's control plane: tree-structured four-phase coordination.
+//
+// One ControlPlane per rank owns the coordination side of the paper's
+// four-phase non-blocking protocol (Section 4.1) that used to be inlined
+// across Process as flat point-to-point loops and ad-hoc counters:
+//
+//   phase 1  pleaseCheckpoint   initiator -> all   (tree fan-out relay)
+//   phase 2  readyToStopLogging all -> initiator   (tree fan-in, aggregated)
+//   phase 3  stopLogging        initiator -> all   (tree fan-out relay)
+//   phase 4  stoppedLogging     all -> initiator   (tree fan-in, aggregated)
+//   (+ the shutdown broadcast, relayed over the same tree)
+//
+// Fan-outs are relayed down a binomial tree rooted at the configurable
+// initiator; fan-ins aggregate *in the tree*: a node forwards one message
+// to its parent carrying its whole subtree's count once its own condition
+// holds and every child has reported. The initiator therefore sends and
+// receives O(log P) messages per phase instead of O(P), while the total
+// stays P-1 messages per phase.
+//
+// The per-rank protocol position is an explicit state machine
+// (CoordinatorState) with named states and invariant checks, replacing the
+// scattered `me_ == 0` branches and ready/stopped counters. The phase-4
+// aggregate also carries a "detached" bit (ORed over the subtree), so at
+// commit time the initiator knows -- with zero storage reads -- whether any
+// rank's local checkpoint was taken during shutdown and the superseded
+// epoch must be retained for fallback.
+//
+// The control plane is purely coordination: message classification,
+// logging, replay and checkpoint serialization (the data plane) stay in
+// Process, which drives this object through the note_*() entry points and
+// receives decisions back through Hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/control.hpp"
+#include "core/coordinator/tree.hpp"
+#include "core/types.hpp"
+#include "simmpi/api.hpp"
+
+namespace c3::core::coordinator {
+
+/// Where a rank stands in the current coordination round. Transitions are
+/// strictly linear within a round:
+///   kIdle -> kCheckpointPending -> kLogging -> kReadySent -> kLogClosed
+///         -> kIdle
+/// A rank whose local checkpoint is forced by the barrier epoch-agreement
+/// rule (Section 4.5) before its pleaseCheckpoint relay arrives enters the
+/// round at kLogging directly; the late relay is then only forwarded.
+enum class CoordinatorState : std::uint8_t {
+  kIdle = 0,            ///< no round in flight at this rank
+  kCheckpointPending,   ///< pleaseCheckpoint seen; local checkpoint not yet
+  kLogging,             ///< checkpoint taken; collecting late messages
+  kReadySent,           ///< subtree readiness forwarded (phase 2 done here)
+  kLogClosed,           ///< log durable; awaiting children's phase-4 counts
+};
+
+const char* to_string(CoordinatorState s);
+
+/// Per-rank control-plane traffic counters, split by protocol phase. At
+/// the initiator every counter is O(log P) per round -- the scaling claim
+/// BENCH_scaling.json tracks.
+struct ControlPlaneStats {
+  std::uint64_t please_sends = 0;    ///< phase-1 fan-out (+ relays)
+  std::uint64_t ready_sends = 0;     ///< phase-2 fan-in forwards
+  std::uint64_t stop_sends = 0;      ///< phase-3 fan-out (+ relays)
+  std::uint64_t stopped_sends = 0;   ///< phase-4 fan-in forwards
+  std::uint64_t shutdown_sends = 0;  ///< shutdown fan-out (+ relays)
+  std::uint64_t ready_recvs = 0;     ///< phase-2 aggregates from children
+  std::uint64_t stopped_recvs = 0;   ///< phase-4 aggregates from children
+  std::uint64_t rounds_completed = 0;  ///< initiator: committed rounds
+};
+
+/// Result of the pre-collective control exchange (Section 4.5). The word
+/// circulated is (epoch << 2) | detached << 1 | amLogging.
+struct CollectiveFlags {
+  bool someone_stopped_logging = false;
+  /// Some participant's application body has already returned (its word
+  /// carried the detached bit). Impossible in a data collective -- asserted
+  /// by the caller, never silently acted on.
+  bool someone_detached = false;
+  std::int32_t max_epoch = 0;  ///< highest participant epoch (barrier rule)
+};
+
+class ControlPlane {
+ public:
+  /// Decisions handed back to the data plane (Process).
+  struct Hooks {
+    /// Phase 1: a checkpoint round targeting `target` opened at this rank;
+    /// take a local checkpoint at the next potentialCheckpoint.
+    std::function<void(std::int32_t target)> request_checkpoint;
+    /// Phase 3: every process has checkpointed; close the logging window
+    /// and write the log to stable storage now (idempotent).
+    std::function<void()> finalize_log;
+    /// Phase 4 complete (initiator only): commit `epoch` as the recovery
+    /// point. `any_detached` aggregates every rank's shutdown-window flag,
+    /// deciding superseded-epoch GC without touching storage.
+    std::function<void(std::int32_t epoch, bool any_detached)> commit;
+    /// Test probe, invoked after every state transition (may throw to
+    /// simulate a crash at an exact protocol phase).
+    std::function<void(int rank, CoordinatorState entered)> probe;
+  };
+
+  ControlPlane(simmpi::Api& api, const simmpi::Comm& world, int initiator,
+               Hooks hooks, ProcessStats& pstats);
+
+  int initiator() const noexcept { return tree_.root(); }
+  bool is_initiator() const noexcept { return me_ == tree_.root(); }
+  CoordinatorState state() const noexcept { return state_; }
+  const BinomialTree& tree() const noexcept { return tree_; }
+  const ControlPlaneStats& stats() const noexcept { return stats_; }
+
+  /// True while this rank participates in an unfinished round: at the
+  /// initiator from start_round() until commit, elsewhere from the
+  /// pleaseCheckpoint relay (or a forced checkpoint) until the phase-4
+  /// forward.
+  bool round_in_flight() const noexcept {
+    return state_ != CoordinatorState::kIdle;
+  }
+  bool shutdown_received() const noexcept { return shutdown_received_; }
+
+  // ---------------------------------------------------- initiator duties
+  /// Open a coordination round targeting `target_epoch` (phase-1 fan-out).
+  void start_round(std::int32_t target_epoch);
+  /// Fan the job-complete notice down the tree.
+  void broadcast_shutdown();
+
+  // ------------------------------------------- data-plane notifications
+  /// This rank took its local checkpoint entering `new_epoch`; `detached`
+  /// is true when it was a shutdown-window checkpoint whose application
+  /// state could not be captured.
+  void note_local_checkpoint(std::int32_t new_epoch, bool detached);
+  /// All of this rank's late messages are in (the Section 4.3 counts
+  /// agree): aggregate towards phase 2.
+  void note_local_ready();
+  /// This rank's event log reached stable storage: aggregate towards
+  /// phase 4.
+  void note_log_closed();
+
+  /// Route one inbound control message. Returns false when `kind` is not
+  /// control-plane traffic (per-peer counts and suppression lists stay
+  /// with the data plane).
+  bool on_control(ControlKind kind, simmpi::Rank from,
+                  std::span<const std::byte> payload);
+
+  /// The paper's pre-collective control exchange (Section 4.5), with the
+  /// control word grown by a detached bit.
+  CollectiveFlags exchange_collective_control(const simmpi::Comm& comm,
+                                              std::int32_t epoch,
+                                              bool logging, bool detached);
+
+ private:
+  void open_round(std::int32_t target);
+  void transition(CoordinatorState next);
+  void maybe_forward_ready();
+  void maybe_forward_stopped();
+  void relay_to_children(ControlKind kind, std::span<const std::byte> payload,
+                         std::uint64_t ControlPlaneStats::* counter);
+  void send_control(int dst, ControlKind kind,
+                    std::span<const std::byte> payload);
+  void invariant(bool cond, const char* what) const;
+
+  simmpi::Api& api_;
+  const simmpi::Comm& world_;
+  int me_;
+  int nranks_;
+  BinomialTree tree_;
+  std::vector<int> children_;  ///< cached tree children of this rank
+  int parent_;                 ///< cached tree parent (-1 at the root)
+  Hooks hooks_;
+  ProcessStats& pstats_;  ///< shared control_messages counter
+  ControlPlaneStats stats_;
+
+  CoordinatorState state_ = CoordinatorState::kIdle;
+  std::int32_t round_target_ = -1;    ///< epoch of the in-flight round
+  std::int32_t last_completed_ = -1;  ///< newest round finished at this rank
+  bool shutdown_received_ = false;
+
+  // Fan-in aggregation for the current round.
+  int children_ready_msgs_ = 0;    ///< children that reported phase 2
+  int ready_from_children_ = 0;    ///< ranks those reports cover
+  int children_stopped_msgs_ = 0;  ///< children that reported phase 4
+  int stopped_from_children_ = 0;  ///< ranks those reports cover
+  bool local_ready_ = false;
+  bool local_stopped_ = false;
+  bool local_detached_ = false;
+  bool children_detached_ = false;
+};
+
+}  // namespace c3::core::coordinator

@@ -1,0 +1,85 @@
+// Binomial coordination tree over the world ranks.
+//
+// The four-phase protocol's control traffic (Section 4.1) used to be flat:
+// the initiator sent pleaseCheckpoint / stopLogging to every rank and
+// collected readyToStopLogging / stoppedLogging individually, so each phase
+// cost O(P) serialized messages at one rank. The control plane instead
+// routes broadcasts down -- and aggregates fan-ins up -- a binomial tree
+// rooted at the (configurable) initiator: every node talks only to its
+// parent and its <= ceil(log2 P) children, so the initiator's per-phase
+// cost is O(log P) and the total stays P-1 messages per phase.
+//
+// Topology: ranks are relabelled relative to the root (v = (rank - root)
+// mod P) and the classic binomial embedding is used on the virtual ids:
+// parent(v) clears v's lowest set bit, and the subtree of v > 0 is exactly
+// the contiguous virtual interval [v, v + lowbit(v)) clipped to P -- which
+// gives O(1) subtree sizes for the fan-in aggregation invariants.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace c3::core::coordinator {
+
+class BinomialTree {
+ public:
+  BinomialTree(int size, int root) : size_(size), root_(root) {
+    if (size <= 0) throw util::UsageError("coordination tree needs ranks");
+    if (root < 0 || root >= size) {
+      throw util::UsageError("coordination tree root out of range");
+    }
+  }
+
+  int size() const noexcept { return size_; }
+  int root() const noexcept { return root_; }
+
+  /// Parent in the tree, or -1 at the root.
+  int parent(int rank) const {
+    const int v = to_virtual(rank);
+    if (v == 0) return -1;
+    return to_rank(v & (v - 1));
+  }
+
+  /// Children in relay order (nearest subtree first).
+  std::vector<int> children(int rank) const {
+    const int v = to_virtual(rank);
+    std::vector<int> out;
+    for (int m = 1; m < limit(v); m <<= 1) {
+      if (v + m >= size_) break;
+      out.push_back(to_rank(v + m));
+    }
+    return out;
+  }
+
+  /// Number of ranks in `rank`'s subtree, itself included.
+  int subtree_size(int rank) const {
+    const int v = to_virtual(rank);
+    if (v == 0) return size_;
+    const int span = std::min(v + lowbit(v), size_);
+    return span - v;
+  }
+
+  bool is_child(int parent_rank, int child_rank) const {
+    return child_rank != parent_rank && parent(child_rank) == parent_rank;
+  }
+
+ private:
+  static int lowbit(int v) noexcept { return v & -v; }
+  /// Children of v are v + 2^k for 2^k below this bound.
+  int limit(int v) const noexcept { return v == 0 ? size_ : lowbit(v); }
+
+  int to_virtual(int rank) const {
+    if (rank < 0 || rank >= size_) {
+      throw util::UsageError("rank out of range in coordination tree");
+    }
+    return (rank - root_ + size_) % size_;
+  }
+  int to_rank(int v) const noexcept { return (v + root_) % size_; }
+
+  int size_;
+  int root_;
+};
+
+}  // namespace c3::core::coordinator

@@ -51,6 +51,8 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
     shared.policy = config_.policy;
     shared.seed = config_.seed;
     shared.heap_capacity = config_.heap_capacity;
+    shared.initiator = config_.initiator;
+    shared.coordinator_probe = config_.coordinator_probe;
     shared.recovering = recovering;
     shared.validate_classification = config_.validate_classification;
 

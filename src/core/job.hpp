@@ -25,6 +25,12 @@ struct JobConfig {
   CheckpointPolicy policy;
   std::uint64_t seed = 1;
   std::size_t heap_capacity = 0;
+  /// Rank that initiates checkpoints and roots the coordination tree.
+  int initiator = 0;
+  /// Test probe: called on each coordinator state transition (see
+  /// Process::Shared::coordinator_probe).
+  std::function<void(int rank, coordinator::CoordinatorState entered)>
+      coordinator_probe;
   /// Storage backend; a fresh MemoryStorage is created when null.
   std::shared_ptr<util::StableStorage> storage;
   /// Run checkpoints through the ckptstore pipeline (incremental deltas,

@@ -29,6 +29,22 @@ Process::Process(simmpi::Api& api, Shared& shared)
       nranks_(api.world_size()),
       rng_(util::Rng(shared.seed).fork(static_cast<std::uint64_t>(me_))),
       save_ctx_(shared.heap_capacity) {
+  if (shared_.initiator < 0 || shared_.initiator >= nranks_) {
+    throw util::UsageError("Shared.initiator out of range");
+  }
+  coordinator::ControlPlane::Hooks hooks;
+  hooks.request_checkpoint = [this](std::int32_t target) {
+    protocol_invariant(epoch_ < target, "checkpoint request for a stale epoch");
+    checkpoint_requested_ = true;
+    requested_target_epoch_ = target;
+  };
+  hooks.finalize_log = [this] { finalize_log(); };
+  hooks.commit = [this](std::int32_t epoch, bool any_detached) {
+    commit_round(epoch, any_detached);
+  };
+  hooks.probe = shared_.coordinator_probe;
+  control_ = std::make_unique<coordinator::ControlPlane>(
+      api_, api_.world(), shared_.initiator, std::move(hooks), stats_);
   const auto n = static_cast<std::size_t>(nranks_);
   send_count_.assign(n, 0);
   early_ids_.assign(n, {});
@@ -410,47 +426,27 @@ void Process::drain_control() {
 
 void Process::handle_control(ControlKind kind, simmpi::Rank from,
                              std::span<const std::byte> payload) {
+  // Coordination-phase traffic (tree fan-outs, aggregated fan-ins and the
+  // shutdown relay) belongs to the control plane; only per-peer data-plane
+  // messages are handled here.
+  if (control_->on_control(kind, from, payload)) return;
   util::Reader r(payload);
   switch (kind) {
-    case ControlKind::kPleaseCheckpoint: {
-      const auto target = r.get<std::int32_t>();
-      if (epoch_ < target) {
-        checkpoint_requested_ = true;
-        requested_target_epoch_ = target;
-      }
-      break;
-    }
     case ControlKind::kMySendCount: {
       const auto count = r.get<std::int64_t>();
       total_sent_[static_cast<std::size_t>(from)] = count;
       if (am_logging_) maybe_ready();
       break;
     }
-    case ControlKind::kReadyToStopLogging:
-      protocol_invariant(me_ == 0, "readyToStopLogging at non-initiator");
-      initiator_note_ready();
-      break;
-    case ControlKind::kStopLogging:
-      finalize_log();
-      break;
-    case ControlKind::kStoppedLogging:
-      protocol_invariant(me_ == 0, "stoppedLogging at non-initiator");
-      initiator_note_stopped();
-      break;
     case ControlKind::kSuppressList: {
       const auto ids = r.get_vector<std::uint32_t>();
       suppress_[static_cast<std::size_t>(from)].insert(ids.begin(), ids.end());
       break;
     }
-    case ControlKind::kShutdown:
-      shutdown_received_ = true;
-      break;
+    default:
+      protocol_invariant(false, "unroutable control message kind");
   }
 }
-
-namespace {
-util::Bytes empty_payload() { return {}; }
-}  // namespace
 
 void Process::maybe_ready() {
   if (!am_logging_ || ready_sent_) return;
@@ -467,18 +463,12 @@ void Process::maybe_ready() {
     }
     if (previous_receive_count_[idx] != total_sent_[idx]) return;
   }
-  // All late messages are in: tell the initiator (Phase 2), and forget the
-  // totals so the next epoch starts unknown again.
+  // All late messages are in: aggregate readiness towards the initiator
+  // (Phase 2), and forget the totals so the next epoch starts unknown
+  // again.
   ready_sent_ = true;
   std::fill(total_sent_.begin(), total_sent_.end(), -1);
-  if (me_ == 0) {
-    initiator_note_ready();
-  } else {
-    const simmpi::Comm& world = resolve(kWorldComm);
-    api_.send(world, empty_payload(), 0,
-              control_tag(ControlKind::kReadyToStopLogging), kCtrl);
-    stats_.control_messages++;
-  }
+  control_->note_local_ready();
 }
 
 void Process::finalize_log() {
@@ -491,54 +481,30 @@ void Process::finalize_log() {
   shared_.storage->put({.epoch = epoch_, .rank = me_, .section = "log"},
                        std::move(blob));
   log_.clear();
-  if (me_ == 0) {
-    initiator_note_stopped();
-  } else {
-    const simmpi::Comm& world = resolve(kWorldComm);
-    api_.send(world, empty_payload(), 0,
-              control_tag(ControlKind::kStoppedLogging), kCtrl);
-    stats_.control_messages++;
+  // Aggregate towards phase 4 over the tree.
+  control_->note_log_closed();
+}
+
+void Process::commit_round(std::int32_t epoch, bool any_detached) {
+  protocol_invariant(epoch == epoch_, "commit for a different epoch");
+  // Phase 4 complete: this checkpoint becomes the recovery point. With a
+  // pipelined backend, commit() is a barrier that drains the async write
+  // queue before recording the recovery point -- an epoch whose blobs
+  // are still in flight can never be named for recovery.
+  shared_.storage->commit(epoch);
+  // Superseded-epoch GC -- unless some rank took its local checkpoint
+  // during shutdown ("detached": its application state is unreadable).
+  // Then the previous epoch stays retained so recovery has a complete
+  // epoch to fall back to. The detached bit arrived aggregated in the
+  // phase-4 fan-in, so this decision reads nothing from storage.
+  if (epoch >= 2 && !any_detached) {
+    shared_.storage->drop_epoch(epoch - 1);
   }
 }
 
-void Process::initiator_note_ready() {
-  ready_count_++;
-  if (ready_count_ == nranks_) {
-    // Phase 3: every process has checkpointed; no message sent from now on
-    // can be early, so logging may stop everywhere.
-    const simmpi::Comm& world = resolve(kWorldComm);
-    for (int q = 1; q < nranks_; ++q) {
-      api_.send(world, empty_payload(), q,
-                control_tag(ControlKind::kStopLogging), kCtrl);
-      stats_.control_messages++;
-    }
-    finalize_log();
-  }
-}
-
-void Process::initiator_note_stopped() {
-  stopped_count_++;
-  if (stopped_count_ == nranks_) {
-    // Phase 4 complete: this checkpoint becomes the recovery point. With a
-    // pipelined backend, commit() is a barrier that drains the async write
-    // queue before recording the recovery point -- an epoch whose blobs
-    // are still in flight can never be named for recovery.
-    shared_.storage->commit(epoch_);
-    // Superseded-epoch GC -- unless some rank took its local checkpoint
-    // during shutdown ("detached": its application state is unreadable).
-    // Then the previous epoch stays retained so recovery has a complete
-    // epoch to fall back to. Detached markers only exist at kFull; other
-    // levels skip the per-rank probe entirely.
-    if (epoch_ >= 2 && (shared_.level != InstrumentLevel::kFull ||
-                        !epoch_has_detached_rank(epoch_))) {
-      shared_.storage->drop_epoch(epoch_ - 1);
-    }
-    ckpt_in_progress_ = false;
-  }
-}
-
-bool Process::epoch_has_detached_rank(std::int32_t epoch) const {
+bool Process::epoch_has_detached_rank(std::int32_t epoch) {
   for (int q = 0; q < nranks_; ++q) {
+    stats_.detached_probe_gets++;
     const auto marker = shared_.storage->get(
         {.epoch = epoch, .rank = q, .section = "detached"});
     if (marker && !marker->empty() &&
@@ -577,22 +543,11 @@ bool Process::policy_fires() {
 }
 
 void Process::initiate_checkpoint() {
-  ckpt_in_progress_ = true;
-  ready_count_ = 0;
-  stopped_count_ = 0;
   checkpoints_started_++;
   last_ckpt_time_ = std::chrono::steady_clock::now();
-  const std::int32_t target = epoch_ + 1;
-  const simmpi::Comm& world = resolve(kWorldComm);
-  for (int q = 1; q < nranks_; ++q) {
-    util::Writer w;
-    w.put<std::int32_t>(target);
-    api_.send(world, w.bytes(), q,
-              control_tag(ControlKind::kPleaseCheckpoint), kCtrl);
-    stats_.control_messages++;
-  }
-  checkpoint_requested_ = true;
-  requested_target_epoch_ = target;
+  // Phase 1: the control plane fans pleaseCheckpoint down the tree and
+  // requests this rank's own local checkpoint through the hook.
+  control_->start_round(epoch_ + 1);
 }
 
 void Process::potential_checkpoint() {
@@ -605,8 +560,8 @@ void Process::potential_checkpoint() {
   api_.check_abort();
   if (!checkpoints_enabled()) return;
   potential_calls_++;
-  if (me_ == 0 && !ckpt_in_progress_ && recovery_quiesced() &&
-      policy_fires()) {
+  if (me_ == shared_.initiator && !control_->round_in_flight() &&
+      recovery_quiesced() && policy_fires()) {
     initiate_checkpoint();
   }
   if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
@@ -715,10 +670,16 @@ void Process::do_checkpoint() {
   shared_.storage->put({.epoch = new_epoch, .rank = me_, .section = "state"},
                        std::move(blob));
 
-  // Enter the new epoch (the paper's potentialCheckpoint pseudo-code).
+  // Enter the new epoch (the paper's potentialCheckpoint pseudo-code) and
+  // tell the control plane, which advances the coordinator state machine
+  // (opening the round here if the barrier rule forced this checkpoint
+  // before the pleaseCheckpoint relay arrived) and records whether this
+  // local checkpoint was detached for the phase-4 aggregate.
   epoch_ = new_epoch;
   am_logging_ = true;
   ready_sent_ = false;
+  control_->note_local_checkpoint(
+      new_epoch, app_detached_ && shared_.level == InstrumentLevel::kFull);
   next_message_id_ = 0;
   for (int q = 0; q < nranks_; ++q) {
     const auto idx = static_cast<std::size_t>(q);
@@ -750,34 +711,12 @@ void Process::do_checkpoint() {
 
 Process::CollectiveFlags Process::exchange_collective_control(
     const simmpi::Comm& comm) {
-  // The paper precedes each data collective with a control collective that
-  // circulates <epoch, amLogging>; the conjunction decides result logging.
-  const std::uint32_t mine = (static_cast<std::uint32_t>(epoch_) << 1) |
-                             (am_logging_ ? 1u : 0u);
-  std::vector<std::uint32_t> all(static_cast<std::size_t>(comm.size()));
-  api_.allgather(comm, util::as_bytes(mine),
-                 {reinterpret_cast<std::byte*>(all.data()), all.size() * 4});
-  stats_.control_messages += static_cast<std::uint64_t>(comm.size());
-  CollectiveFlags flags;
-  flags.max_epoch = epoch_;
-  for (const auto word : all) {
-    const auto their_epoch = static_cast<std::int32_t>(word >> 1);
-    flags.max_epoch = std::max(flags.max_epoch, their_epoch);
-  }
-  // A peer in the *newest* epoch that is not logging has *stopped* logging;
-  // a peer in an older epoch simply has not checkpointed yet. The exact
-  // epoch comparison matters at a barrier: a laggard's exchange word names
-  // its own pre-checkpoint epoch, and judging that by color (epoch mod 2)
-  // would let the laggard mistake *itself* for a stopped-logging peer and
-  // close its logging window the moment the forced checkpoint opens it --
-  // before it ever reported readyToStopLogging, wedging phase 3.
-  for (const auto word : all) {
-    const auto their_epoch = static_cast<std::int32_t>(word >> 1);
-    const bool their_logging = (word & 1u) != 0;
-    if (their_epoch == flags.max_epoch && !their_logging) {
-      flags.someone_stopped_logging = true;
-    }
-  }
+  const auto flags = control_->exchange_collective_control(
+      comm, epoch_, am_logging_, app_detached_);
+  // A detached rank's application body has returned; it can never be a
+  // participant in a data collective.
+  protocol_invariant(!flags.someone_detached,
+                     "collective includes a detached (shut-down) rank");
   return flags;
 }
 
@@ -1212,7 +1151,6 @@ void Process::recover_from_checkpoint() {
     total_sent_[idx] = -1;
     early_ids_[idx].clear();
   }
-  ckpt_in_progress_ = false;
   checkpoint_requested_ = false;
 
   // Any partially written next checkpoint is abandoned. When recovery
@@ -1248,7 +1186,7 @@ void Process::recover_from_checkpoint() {
   replaying_comm_calls_ = false;
 
   exchange_suppression_lists(saved_early);
-  if (fell_back && me_ == 0) {
+  if (fell_back && me_ == shared_.initiator) {
     // Completing the exchange above means every rank sent its lists, i.e.
     // every rank already decided its recovery target from the detached
     // markers. Now it is safe to re-point the recovery marker at the
@@ -1369,22 +1307,20 @@ void Process::shutdown() {
   // not dereference them (see do_checkpoint's detached branch).
   app_detached_ = true;
   if (passthrough() || !checkpoints_enabled()) return;
-  if (me_ == 0) {
+  if (me_ == shared_.initiator) {
     for (;;) {
       pump();
       if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
-      if (!ckpt_in_progress_) break;
+      if (!control_->round_in_flight()) break;
       api_.check_abort();
       api_.idle_wait(kIdleSlice);
     }
-    const simmpi::Comm& world = resolve(kWorldComm);
-    for (int q = 1; q < nranks_; ++q) {
-      api_.send(world, empty_payload(), q,
-                control_tag(ControlKind::kShutdown), kCtrl);
-      stats_.control_messages++;
-    }
+    control_->broadcast_shutdown();
   } else {
-    while (!shutdown_received_) {
+    // Keep pumping until the shutdown relay arrives: interior tree nodes
+    // still owe their subtrees phase relays and fan-in aggregation for the
+    // final checkpoint round.
+    while (!control_->shutdown_received()) {
       pump();
       if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
       api_.check_abort();

@@ -5,9 +5,11 @@
 // Responsibilities:
 //  * piggyback <epoch, amLogging, messageID> on application messages and
 //    classify incoming messages as late / intra-epoch / early (Section 4.2);
-//  * run the four-phase non-blocking coordination protocol (Section 4.1):
+//  * drive the four-phase non-blocking coordination protocol (Section 4.1)
+//    through the coordinator::ControlPlane subsystem, which routes
 //    pleaseCheckpoint -> local checkpoints, logging -> readyToStopLogging ->
-//    stopLogging -> stoppedLogging -> commit;
+//    stopLogging -> stoppedLogging -> commit over a binomial tree rooted at
+//    the configurable initiator (O(log P) per-phase initiator cost);
 //  * detect completion of late-message receipt with per-peer send/receive
 //    counts (mySendCount control messages, Section 4.3);
 //  * log late-message payloads, receive-matching order, non-deterministic
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "core/control.hpp"
+#include "core/coordinator/control_plane.hpp"
 #include "core/logrec.hpp"
 #include "core/mpistate.hpp"
 #include "core/piggyback.hpp"
@@ -55,11 +58,18 @@ class Process {
     CheckpointPolicy policy;
     std::uint64_t seed = 1;
     std::size_t heap_capacity = 0;
+    /// Rank that initiates checkpoints and roots the coordination tree.
+    int initiator = 0;
     /// True when this execution is a restart from a committed checkpoint.
     bool recovering = false;
     /// kFull piggyback only: cross-check the packed color classification
     /// against the direct epoch comparison (property-testing aid).
     bool validate_classification = false;
+    /// Test probe forwarded to the control plane: called after every
+    /// coordinator state transition (may throw to crash a rank at an
+    /// exact protocol phase).
+    std::function<void(int rank, coordinator::CoordinatorState entered)>
+        coordinator_probe;
   };
 
   Process(simmpi::Api& api, Shared& shared);
@@ -72,7 +82,20 @@ class Process {
   int nranks() const noexcept { return nranks_; }
   std::int32_t epoch() const noexcept { return epoch_; }
   bool logging() const noexcept { return am_logging_; }
-  bool checkpoint_in_progress() const noexcept { return ckpt_in_progress_; }
+  /// True while this rank participates in an unfinished coordination round
+  /// (initiator: from initiation to commit; others: from the
+  /// pleaseCheckpoint relay to the phase-4 forward).
+  bool checkpoint_in_progress() const noexcept {
+    return control_->round_in_flight();
+  }
+  /// The coordination subsystem (tree topology, state machine, per-phase
+  /// traffic counters). Exposed for tests and benchmarks.
+  const coordinator::ControlPlane& control_plane() const noexcept {
+    return *control_;
+  }
+  const coordinator::ControlPlaneStats& coordinator_stats() const noexcept {
+    return control_->stats();
+  }
   const ProcessStats& stats() const noexcept { return stats_; }
   simmpi::Api& api() noexcept { return api_; }
   InstrumentLevel level() const noexcept { return shared_.level; }
@@ -213,14 +236,12 @@ class Process {
   void do_checkpoint();
   void maybe_ready();
   void finalize_log();
-  void initiator_note_ready();
-  void initiator_note_stopped();
+  /// Phase-4 hook from the control plane (initiator only): commit `epoch`
+  /// and run superseded-epoch GC using the aggregated detached bit.
+  void commit_round(std::int32_t epoch, bool any_detached);
 
   // Collective helpers.
-  struct CollectiveFlags {
-    bool someone_stopped_logging = false;
-    std::int32_t max_epoch = 0;  ///< highest participant epoch (barrier rule)
-  };
+  using CollectiveFlags = coordinator::CollectiveFlags;
   CollectiveFlags exchange_collective_control(const simmpi::Comm& comm);
   void after_collective(const CollectiveFlags& flags,
                         std::span<const std::byte> result);
@@ -231,8 +252,10 @@ class Process {
   void recover_from_checkpoint();
   /// True when any rank's local checkpoint at `epoch` was taken during
   /// shutdown (its "detached" marker blob exists): that epoch cannot
-  /// restore application state on every rank.
-  bool epoch_has_detached_rank(std::int32_t epoch) const;
+  /// restore application state on every rank. Probes storage -- used only
+  /// on the recovery path; the steady-state commit path learns the same
+  /// fact from the phase-4 aggregate's detached bit.
+  bool epoch_has_detached_rank(std::int32_t epoch);
   void exchange_suppression_lists(
       const std::vector<std::vector<std::uint32_t>>& saved_early);
   void reinit_pending_requests(const std::vector<SavedRequest>& saved);
@@ -279,14 +302,14 @@ class Process {
   EventLog log_;
   util::Rng rng_;
 
-  // Initiator state (rank 0).
-  bool ckpt_in_progress_ = false;
-  int ready_count_ = 0;
-  int stopped_count_ = 0;
+  // Coordination: phase state, tree routing and fan-in aggregation live in
+  // the control plane; the data plane drives it via note_*() calls.
+  std::unique_ptr<coordinator::ControlPlane> control_;
+
+  // Checkpoint-policy state (consulted at the initiator only).
   std::uint64_t potential_calls_ = 0;
   std::uint64_t checkpoints_started_ = 0;
   std::chrono::steady_clock::time_point last_ckpt_time_;
-  bool shutdown_received_ = false;
 
   // Recovery state.
   bool restored_ = false;

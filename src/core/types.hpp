@@ -62,6 +62,10 @@ struct ProcessStats {
   std::uint64_t replayed_collectives = 0;
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t control_messages = 0;
+  /// Storage reads spent probing per-rank "detached" markers. Zero on the
+  /// steady-state commit path (the phase-4 aggregate carries the bit);
+  /// only recovery-time fallback decisions probe storage.
+  std::uint64_t detached_probe_gets = 0;
   std::uint64_t piggyback_bytes = 0;
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t log_bytes = 0;

@@ -5,7 +5,12 @@
 // by context: application point-to-point, collective-internal messages, and
 // the C3 protocol layer's control messages. Tag collisions across classes
 // are therefore impossible, mirroring how real MPI implementations isolate
-// collectives from user traffic.
+// collectives from user traffic. The control context also carries the
+// coordination tree's relay hops (a parent re-sending pleaseCheckpoint /
+// stopLogging / shutdown to its children, children aggregating fan-ins
+// upward): every hop is an ordinary kCtrl send on the world communicator,
+// so the per-source FIFO guarantee orders a round's phases on each tree
+// edge (a child can never see phase 3 before the phase-1 relay).
 #pragma once
 
 #include <vector>

@@ -108,6 +108,10 @@ void FaultInjectingStorage::drop_epoch(int epoch) {
   inner_->drop_epoch(epoch);
 }
 
+std::vector<int> FaultInjectingStorage::list_epochs() const {
+  return inner_->list_epochs();
+}
+
 std::uint64_t FaultInjectingStorage::total_bytes() const {
   return inner_->total_bytes();
 }

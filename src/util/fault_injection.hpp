@@ -76,6 +76,7 @@ class FaultInjectingStorage final : public StableStorage {
   void commit(int epoch) override;
   std::optional<int> committed_epoch() const override;
   void drop_epoch(int epoch) override;
+  std::vector<int> list_epochs() const override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   StorageStats storage_stats() const override;

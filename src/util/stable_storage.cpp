@@ -1,5 +1,7 @@
 #include "util/stable_storage.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -103,6 +105,16 @@ void MemoryStorage::drop_epoch(int epoch) {
   }
 }
 
+std::vector<int> MemoryStorage::list_epochs() const {
+  std::lock_guard lock(mu_);
+  std::vector<int> epochs;
+  for (const auto& [k, v] : blobs_) {
+    // blobs_ is ordered by key (epoch first): one entry per distinct epoch.
+    if (epochs.empty() || epochs.back() != k.epoch) epochs.push_back(k.epoch);
+  }
+  return epochs;
+}
+
 std::uint64_t MemoryStorage::total_bytes() const {
   std::lock_guard lock(mu_);
   std::uint64_t n = 0;
@@ -196,6 +208,27 @@ std::optional<int> DiskStorage::committed_epoch() const {
 void DiskStorage::drop_epoch(int epoch) {
   std::error_code ec;
   std::filesystem::remove_all(root_ / ("ep" + std::to_string(epoch)), ec);
+}
+
+std::vector<int> DiskStorage::list_epochs() const {
+  std::vector<int> epochs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const auto name = entry.path().filename().string();
+    if (name.rfind("ep", 0) != 0) continue;
+    // Only an exactly "ep<number>" directory is an epoch: a partial parse
+    // would misattribute foreign directories like "ep3-backup" (and a
+    // stray "ep3" file is excluded by the directory check above).
+    int epoch = 0;
+    const char* first = name.data() + 2;
+    const char* last = name.data() + name.size();
+    const auto [ptr, err] = std::from_chars(first, last, epoch);
+    if (err != std::errc{} || ptr != last) continue;
+    epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
 }
 
 std::uint64_t DiskStorage::total_bytes() const {

@@ -96,6 +96,12 @@ class StableStorage {
   /// Drop all blobs belonging to `epoch` (e.g. superseded checkpoints).
   virtual void drop_epoch(int epoch) = 0;
 
+  /// Epochs that currently hold at least one blob, ascending. Used by the
+  /// ckptstore startup retention sweep: in-memory drop bookkeeping is lost
+  /// in a crash, so a restart enumerates what the backend actually holds
+  /// and drops what the one-hop reference rule proves unreachable.
+  virtual std::vector<int> list_epochs() const = 0;
+
   /// Total bytes currently stored (for tests / size accounting).
   virtual std::uint64_t total_bytes() const = 0;
 
@@ -131,6 +137,7 @@ class MemoryStorage final : public StableStorage {
   void commit(int epoch) override;
   std::optional<int> committed_epoch() const override;
   void drop_epoch(int epoch) override;
+  std::vector<int> list_epochs() const override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   std::vector<LaneStats> lane_stats() const override;
@@ -165,6 +172,7 @@ class DiskStorage final : public StableStorage {
   void commit(int epoch) override;
   std::optional<int> committed_epoch() const override;
   void drop_epoch(int epoch) override;
+  std::vector<int> list_epochs() const override;
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   std::vector<LaneStats> lane_stats() const override;

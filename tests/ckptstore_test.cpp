@@ -286,6 +286,106 @@ TEST(CheckpointStore, RetainedFallbackEpochPinsItsHomes) {
   EXPECT_FALSE(inner->get({1, 0, "state"}).has_value());
 }
 
+TEST(CheckpointStore, StartupSweepDropsEpochsLeakedByACrash) {
+  // Retention bookkeeping is in-memory: a drop deferred at crash time is
+  // forgotten on restart. The restarted store's startup sweep must collect
+  // every epoch older than committed - full_interval (provably
+  // unreachable under the one-hop reference rule) without touching the
+  // epochs recovery may still need.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  const std::size_t heap = 64 * 1024;
+  {
+    StoreOptions o = sync_opts();
+    o.full_interval = 2;
+    CheckpointStore store(inner, o);
+    for (int epoch = 1; epoch <= 5; ++epoch) {
+      store.put({epoch, 0, "state"}, make_state_blob(epoch, heap, 256));
+      store.commit(epoch);
+      // Superseded-epoch drops deferred while referenced -- and then the
+      // "process" dies before the deferred drops execute: simulate by
+      // never dropping at all.
+    }
+  }
+  // Epochs 1..5 all survive on the backend: the crash leaked 1..2.
+  ASSERT_EQ(inner->list_epochs(), (std::vector<int>{1, 2, 3, 4, 5}));
+
+  StoreOptions o = sync_opts();
+  o.full_interval = 2;
+  CheckpointStore restarted(inner, o);
+  // committed = 5, horizon = 5 - 2 = 3: epochs 1 and 2 swept, 3..5 kept
+  // (5 may reference 4; the detached fallback 4 may reference 3).
+  EXPECT_EQ(restarted.list_epochs(), (std::vector<int>{3, 4, 5}));
+  // The committed epoch still reconstructs exactly.
+  auto back = restarted.get({5, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(5, heap, 256));
+}
+
+TEST(CheckpointStore, StartupSweepIsANoOpWithoutACommit) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  inner->put({1, 0, "state"}, random_bytes(512, 3));
+  CheckpointStore store(inner, sync_opts());
+  // No recovery point: nothing is provably unreachable, nothing is swept.
+  EXPECT_EQ(store.list_epochs(), (std::vector<int>{1}));
+}
+
+TEST(CheckpointStore, StartupSweepHonoursTheIntervalTheStoreWasWrittenWith) {
+  // The sweep's safety proof depends on the full_interval the restorable
+  // manifests were *written* under (recorded beside each commit marker),
+  // not on the restarted process's configuration: a restart with a
+  // smaller interval must not sweep home epochs the recovery point -- or
+  // its detached-fallback epoch -- still references.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  const std::size_t heap = 64 * 1024;
+  {
+    StoreOptions wide = sync_opts();
+    wide.full_interval = 4;
+    CheckpointStore store(inner, wide);
+    // Mostly-stable state: epochs 2..4 reference chunks homed in epoch 1
+    // (4 - 1 = 3 < 4). Every epoch commits, as the protocol does.
+    for (int epoch = 1; epoch <= 4; ++epoch) {
+      store.put({epoch, 0, "state"}, make_state_blob(epoch, heap, 256));
+      store.commit(epoch);
+    }
+  }
+  // Narrower incarnation: its own sweep is bounded by the recorded
+  // interval 4 (horizon 0 -- nothing dropped), and its fresh delta index
+  // writes epoch 5 fully inline, recording interval 2 beside commit 5.
+  StoreOptions narrow = sync_opts();
+  narrow.full_interval = 2;
+  {
+    CheckpointStore store(inner, narrow);
+    EXPECT_EQ(store.list_epochs(), (std::vector<int>{1, 2, 3, 4}));
+    store.put({5, 0, "state"}, make_state_blob(5, heap, 256));
+    store.commit(5);
+    store.commit(4);  // recovery re-pointing must not downgrade meta(4)
+    store.commit(5);
+  }
+  // Next restart: the committed epoch 5 records interval 2, but the
+  // fallback epoch 4 -- restorable if epoch 5 turns out detached --
+  // records interval 4 and references homes in epoch 1. A naive horizon
+  // of 5 - 2 = 3 would drop epochs 1..2 and break epoch 4's delta chain;
+  // the recorded maximum gives horizon 1 and keeps everything.
+  CheckpointStore restarted(inner, narrow);
+  EXPECT_EQ(restarted.list_epochs(), (std::vector<int>{1, 2, 3, 4, 5}));
+  auto back = restarted.get({4, 0, "state"});
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, make_state_blob(4, heap, 256));
+}
+
+TEST(CheckpointStore, StartupSweepSkipsStoresWithoutARecordedInterval) {
+  // A store written before the retention record existed has no safe
+  // horizon: the sweep must not guess from the current configuration.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  inner->put({1, 0, "state"}, random_bytes(512, 3));
+  inner->put({9, 0, "state"}, random_bytes(512, 4));
+  inner->commit(9);
+  StoreOptions o = sync_opts();
+  o.full_interval = 2;
+  CheckpointStore store(inner, o);
+  EXPECT_EQ(store.list_epochs(), (std::vector<int>{1, 9}));
+}
+
 TEST(CheckpointStore, AsyncCommitIsABarrier) {
   // 4 MB/s throttle: each 256 KiB epoch takes ~60 ms to "reach the disk".
   auto inner = std::make_shared<util::MemoryStorage>(4ull << 20);
@@ -401,6 +501,7 @@ TEST(CheckpointStore, WriterErrorsSurfaceAtCommit) {
       return std::nullopt;
     }
     void drop_epoch(int) override {}
+    std::vector<int> list_epochs() const override { return {}; }
     std::uint64_t total_bytes() const override { return 0; }
     std::uint64_t bytes_written() const override { return 0; }
   };
@@ -516,9 +617,12 @@ TEST(CheckpointStore, ParallelLanesDrainConcurrently) {
   }
   const auto disk_lanes = inner->lane_stats();
   ASSERT_EQ(disk_lanes.size(), 4u);
-  for (const auto& disk : disk_lanes) {
-    EXPECT_EQ(disk.puts, 1u);
-    EXPECT_GT(disk.write_ns, 0u) << "throttle time unaccounted per rank";
+  for (std::size_t rank = 0; rank < disk_lanes.size(); ++rank) {
+    // Rank 0's disk also takes the commit's tiny retention-interval
+    // record (written beside the recovery point for the startup sweep).
+    EXPECT_EQ(disk_lanes[rank].puts, rank == 0 ? 2u : 1u);
+    EXPECT_GT(disk_lanes[rank].write_ns, 0u)
+        << "throttle time unaccounted per rank";
   }
   for (int rank = 0; rank < 4; ++rank) {
     auto back = store.get({1, rank, "state"});

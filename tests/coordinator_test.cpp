@@ -1,0 +1,355 @@
+// The tree-structured control plane: topology invariants, O(log P)
+// initiator traffic, configurable initiator, and crash-recovery with a
+// rank killed at every coordinator phase (interior tree node and leaf) at
+// 8 ranks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/coordinator/control_plane.hpp"
+#include "core/coordinator/tree.hpp"
+#include "core/job.hpp"
+#include "core/process.hpp"
+
+namespace c3::core {
+namespace {
+
+using coordinator::BinomialTree;
+using coordinator::ControlPlaneStats;
+using coordinator::CoordinatorState;
+
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+// ------------------------------------------------------------- topology
+
+TEST(BinomialTree, ShapeInvariantsAcrossSizesAndRoots) {
+  for (int size = 1; size <= 18; ++size) {
+    for (int root : {0, 1, size / 2, size - 1}) {
+      if (root < 0 || root >= size) continue;
+      BinomialTree tree(size, root);
+      ASSERT_EQ(tree.parent(root), -1);
+      ASSERT_EQ(tree.subtree_size(root), size);
+      int edges = 0;
+      for (int r = 0; r < size; ++r) {
+        if (r != root) {
+          // Every non-root has a parent that lists it as a child.
+          const int p = tree.parent(r);
+          ASSERT_GE(p, 0);
+          ASSERT_TRUE(tree.is_child(p, r)) << "size " << size << " rank " << r;
+        }
+        // Subtree size = 1 + sum of children's subtree sizes.
+        int sub = 1;
+        for (const int c : tree.children(r)) {
+          ASSERT_EQ(tree.parent(c), r);
+          sub += tree.subtree_size(c);
+          edges++;
+        }
+        ASSERT_EQ(sub, tree.subtree_size(r)) << "size " << size << " rank " << r;
+        // Fan-out is logarithmically bounded everywhere.
+        ASSERT_LE(static_cast<int>(tree.children(r).size()), ceil_log2(size))
+            << "size " << size << " rank " << r;
+      }
+      // Exactly one broadcast edge per non-root rank.
+      ASSERT_EQ(edges, size - 1);
+    }
+  }
+}
+
+// ---------------------------------------------- O(log P) initiator cost
+
+/// Collects per-rank control-plane stats at the end of each rank's main.
+struct CoordSink {
+  std::mutex mu;
+  std::vector<ControlPlaneStats> by_rank;
+  std::vector<ProcessStats> proc_by_rank;
+  void put(int rank, const ControlPlaneStats& cs, const ProcessStats& ps) {
+    std::lock_guard lock(mu);
+    if (by_rank.size() <= static_cast<std::size_t>(rank)) {
+      by_rank.resize(static_cast<std::size_t>(rank) + 1);
+      proc_by_rank.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    by_rank[static_cast<std::size_t>(rank)] = cs;
+    proc_by_rank[static_cast<std::size_t>(rank)] = ps;
+  }
+};
+
+TEST(ControlPlane, InitiatorTrafficIsLogarithmicAt16Ranks) {
+  constexpr int kRanks = 16;
+  auto sink = std::make_shared<CoordSink>();
+  JobConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.policy = CheckpointPolicy::every(1);
+  cfg.policy.max_checkpoints = 1;
+  Job job(cfg);
+  job.run([sink](Process& p) {
+    p.complete_registration();
+    // Drive one full round to completion at every rank.
+    while (p.epoch() < 1 || p.checkpoint_in_progress()) {
+      p.potential_checkpoint();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    sink->put(p.rank(), p.coordinator_stats(), p.stats());
+  });
+  ASSERT_EQ(sink->by_rank.size(), static_cast<std::size_t>(kRanks));
+  const auto& init = sink->by_rank[0];
+  const auto bound = static_cast<std::uint64_t>(ceil_log2(kRanks)) + 1;
+  // The acceptance bound: <= ceil(log2(P)) + 1 initiator messages per
+  // phase at 16 ranks, vs P - 1 = 15 with the old flat fan-out.
+  EXPECT_LE(init.please_sends, bound);
+  EXPECT_LE(init.stop_sends, bound);
+  EXPECT_LE(init.ready_recvs, bound);
+  EXPECT_LE(init.stopped_recvs, bound);
+  EXPECT_EQ(init.rounds_completed, 1u);
+  // Every phase still reaches/collects every rank: tree-wide totals are
+  // P - 1 messages per phase.
+  std::uint64_t please = 0, ready = 0, stop = 0, stopped = 0;
+  for (const auto& cs : sink->by_rank) {
+    please += cs.please_sends;
+    ready += cs.ready_sends;
+    stop += cs.stop_sends;
+    stopped += cs.stopped_sends;
+  }
+  EXPECT_EQ(please, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(stop, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(ready, static_cast<std::uint64_t>(kRanks - 1));
+  EXPECT_EQ(stopped, static_cast<std::uint64_t>(kRanks - 1));
+  // Steady-state commits never probed storage for detached markers.
+  for (const auto& ps : sink->proc_by_rank) {
+    EXPECT_EQ(ps.detached_probe_gets, 0u);
+  }
+}
+
+// ------------------------------------------------- configurable initiator
+
+/// Ring accumulation app (same shape as recovery_test's): deterministic
+/// final state with cross-epoch traffic.
+struct ResultSink {
+  std::mutex mu;
+  std::vector<long long> values;
+  void put(int rank, long long v) {
+    std::lock_guard lock(mu);
+    if (values.size() <= static_cast<std::size_t>(rank)) {
+      values.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    values[static_cast<std::size_t>(rank)] = v;
+  }
+};
+
+void ring_app(Process& p, std::shared_ptr<ResultSink> sink, int iters,
+              int min_epochs) {
+  long long acc = p.rank() + 1;
+  int iter = 0;
+  p.register_value("acc", acc);
+  p.register_value("iter", iter);
+  p.complete_registration();
+  const int right = (p.rank() + 1) % p.nranks();
+  const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+  while (iter < iters) {
+    p.send_value(acc, right, 0);
+    const long long got = p.recv_value<long long>(left, 0);
+    acc = acc * 3 + got;
+    ++iter;
+    p.potential_checkpoint();
+  }
+  // Keep the protocol running until `min_epochs` rounds completed: the
+  // phase-kill tests need round 2 to provably exist. Pure coordination --
+  // the ring result above is already fixed.
+  while (p.epoch() < min_epochs || p.checkpoint_in_progress()) {
+    p.potential_checkpoint();
+    // Polite polling: spinning rank threads would otherwise time-slice
+    // against the ranks doing real protocol work.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  sink->put(p.rank(), acc);
+}
+
+std::vector<long long> run_ring(JobConfig cfg, int iters,
+                                JobReport* out = nullptr,
+                                int min_epochs = 0) {
+  auto sink = std::make_shared<ResultSink>();
+  Job job(cfg);
+  auto report =
+      job.run([&](Process& p) { ring_app(p, sink, iters, min_epochs); });
+  if (out) *out = report;
+  return sink->values;
+}
+
+TEST(ControlPlane, NonZeroInitiatorCommitsCheckpoints) {
+  JobConfig cfg;
+  cfg.ranks = 5;
+  cfg.initiator = 3;
+  cfg.policy = CheckpointPolicy::every(3);
+  JobReport report;
+  const auto values = run_ring(cfg, 12, &report);
+  ASSERT_TRUE(report.last_committed_epoch.has_value());
+  EXPECT_GE(*report.last_committed_epoch, 1);
+  // The initiator choice is pure coordination: results match a rank-0
+  // initiator run exactly.
+  JobConfig cfg0 = cfg;
+  cfg0.initiator = 0;
+  EXPECT_EQ(values, run_ring(cfg0, 12));
+}
+
+TEST(ControlPlane, NonZeroInitiatorSurvivesFailure) {
+  JobConfig cfg;
+  cfg.ranks = 4;
+  cfg.initiator = 2;
+  cfg.policy = CheckpointPolicy::every(3);
+  const auto clean = run_ring(cfg, 12);
+  JobConfig faulty = cfg;
+  faulty.failure = net::FailureSpec{.victim_rank = 0, .trigger_events = 25};
+  JobReport report;
+  const auto recovered = run_ring(faulty, 12, &report);
+  EXPECT_GE(report.executions, 2);
+  EXPECT_EQ(clean, recovered);
+}
+
+TEST(ControlPlane, OutOfRangeInitiatorRejected) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  cfg.initiator = 2;
+  Job job(cfg);
+  EXPECT_THROW(job.run([](Process&) {}), util::UsageError);
+}
+
+// ------------------------------------- crash at every coordinator phase
+
+/// victim rank x coordinator state to die in. Rank 4 is an interior tree
+/// node at 8 ranks (children 5 and 6), rank 7 a leaf at maximum depth.
+using PhaseKillParam = std::tuple<int, CoordinatorState>;
+
+class PhaseKillTest : public ::testing::TestWithParam<PhaseKillParam> {};
+
+TEST_P(PhaseKillTest, RecoveryLandsOnCommittedEpoch) {
+  const auto [victim, state] = GetParam();
+  constexpr int kRanks = 8;
+  constexpr int kIters = 14;
+  JobConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.policy = CheckpointPolicy::every(2);
+  constexpr int kMinEpochs = 3;  // round 2 provably exists at every rank
+  const auto clean = run_ring(cfg, kIters, nullptr, kMinEpochs);
+
+  // Kill the victim the second time it *enters* the target state: round 1
+  // has then fully committed (rounds are serialized), so recovery must
+  // land on a committed epoch >= 1 no matter which phase dies.
+  auto entries = std::make_shared<std::atomic<int>>(0);
+  JobConfig faulty = cfg;
+  faulty.coordinator_probe = [entries, victim = victim,
+                              state = state](int rank,
+                                             CoordinatorState entered) {
+    if (rank != victim || entered != state) return;
+    if (entries->fetch_add(1) + 1 == 2) {
+      throw util::StoppingFailure(rank);
+    }
+  };
+  JobReport report;
+  const auto recovered = run_ring(faulty, kIters, &report, kMinEpochs);
+  EXPECT_GE(report.executions, 2) << "the phase kill never fired";
+  EXPECT_TRUE(report.recovered);
+  ASSERT_TRUE(report.last_committed_epoch.has_value());
+  EXPECT_GE(*report.last_committed_epoch, 1);
+  EXPECT_EQ(clean, recovered)
+      << "divergence after killing rank " << victim << " at state "
+      << coordinator::to_string(state);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InteriorAndLeaf, PhaseKillTest,
+    ::testing::Combine(::testing::Values(4, 7),
+                       ::testing::Values(CoordinatorState::kCheckpointPending,
+                                         CoordinatorState::kLogging,
+                                         CoordinatorState::kReadySent,
+                                         CoordinatorState::kLogClosed,
+                                         CoordinatorState::kIdle)),
+    [](const ::testing::TestParamInfo<PhaseKillParam>& info) {
+      std::string name = std::get<0>(info.param) == 4 ? "Interior" : "Leaf";
+      name += "_";
+      for (const char* c = coordinator::to_string(std::get<1>(info.param));
+           *c; ++c) {
+        if (*c != '-') name += *c;
+      }
+      return name;
+    });
+
+// Barrier-forced rounds under adversarial reordering: barriers make ranks
+// open rounds before their pleaseCheckpoint relays arrive, and held-back
+// relays can then straggle in during *later* rounds (they must be
+// swallowed, not tripped over as invariant violations, and a stale
+// stopLogging must never close the newer round's logging window).
+TEST(ControlPlane, BarrierForcedRoundsSurviveAdversarialReordering) {
+  // Ring with a barrier each iteration: the epoch-agreement rule forces
+  // whoever lags the newest epoch to checkpoint at the barrier, ahead of
+  // its pleaseCheckpoint relay.
+  const auto barrier_ring = [](Process& p, std::shared_ptr<ResultSink> sink) {
+    long long acc = p.rank() + 1;
+    int iter = 0;
+    p.register_value("acc", acc);
+    p.register_value("iter", iter);
+    p.complete_registration();
+    const int right = (p.rank() + 1) % p.nranks();
+    const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+    while (iter < 12) {
+      p.send_value(acc, right, 0);
+      acc = acc * 3 + p.recv_value<long long>(left, 0);
+      ++iter;
+      p.barrier();
+      p.potential_checkpoint();
+    }
+    sink->put(p.rank(), acc);
+  };
+  JobConfig cfg;
+  cfg.ranks = 6;
+  cfg.policy = CheckpointPolicy::every(2);
+  auto clean_sink = std::make_shared<ResultSink>();
+  Job(cfg).run([&](Process& p) { barrier_ring(p, clean_sink); });
+  for (const std::uint64_t seed : {5ull, 29ull, 401ull}) {
+    auto sink = std::make_shared<ResultSink>();
+    JobConfig reordered = cfg;
+    reordered.net.order = simmpi::NetConfig::Order::kRandomReorder;
+    reordered.net.seed = seed;
+    reordered.net.p_hold = 0.7;
+    reordered.net.max_hold = 8;
+    Job job(reordered);
+    auto report = job.run([&](Process& p) { barrier_ring(p, sink); });
+    ASSERT_TRUE(report.last_committed_epoch.has_value()) << "seed " << seed;
+    // Deterministic result regardless of forcing/reordering.
+    EXPECT_EQ(sink->values, clean_sink->values) << "seed " << seed;
+  }
+}
+
+// The initiator itself dying mid-round is the hardest case: the round can
+// never complete, and recovery must fall back to the last commit.
+TEST(PhaseKill, InitiatorDiesAfterStartingRoundTwo) {
+  constexpr int kRanks = 8;
+  constexpr int kIters = 14;
+  JobConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.policy = CheckpointPolicy::every(2);
+  constexpr int kMinEpochs = 3;
+  const auto clean = run_ring(cfg, kIters, nullptr, kMinEpochs);
+  auto entries = std::make_shared<std::atomic<int>>(0);
+  JobConfig faulty = cfg;
+  faulty.coordinator_probe = [entries](int rank, CoordinatorState entered) {
+    if (rank != 0 || entered != CoordinatorState::kCheckpointPending) return;
+    if (entries->fetch_add(1) + 1 == 2) throw util::StoppingFailure(rank);
+  };
+  JobReport report;
+  const auto recovered = run_ring(faulty, kIters, &report, kMinEpochs);
+  EXPECT_GE(report.executions, 2);
+  ASSERT_TRUE(report.last_committed_epoch.has_value());
+  EXPECT_GE(*report.last_committed_epoch, 1);
+  EXPECT_EQ(clean, recovered);
+}
+
+}  // namespace
+}  // namespace c3::core

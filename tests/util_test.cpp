@@ -257,6 +257,18 @@ TEST_P(StorageTest, DropEpochRemovesOnlyThatEpoch) {
   EXPECT_TRUE(storage_->get({.epoch = 2, .rank = 0, .section = "s"}));
 }
 
+TEST_P(StorageTest, ListEpochsEnumeratesExactlyTheStoredEpochs) {
+  EXPECT_TRUE(storage_->list_epochs().empty());
+  storage_->put({.epoch = 4, .rank = 0, .section = "s"}, Bytes(1, std::byte{1}));
+  storage_->put({.epoch = 1, .rank = 0, .section = "s"}, Bytes(1, std::byte{1}));
+  storage_->put({.epoch = 1, .rank = 1, .section = "log"},
+                Bytes(1, std::byte{1}));
+  storage_->put({.epoch = 7, .rank = 2, .section = "s"}, Bytes(1, std::byte{1}));
+  EXPECT_EQ(storage_->list_epochs(), (std::vector<int>{1, 4, 7}));
+  storage_->drop_epoch(4);
+  EXPECT_EQ(storage_->list_epochs(), (std::vector<int>{1, 7}));
+}
+
 TEST_P(StorageTest, BytesWrittenAccumulates) {
   const auto before = storage_->bytes_written();
   storage_->put({.epoch = 0, .rank = 0, .section = "a"}, Bytes(100));
@@ -404,6 +416,23 @@ TEST(DiskStorageCrash, SupersededEpochGcAfterNewCommit) {
   EXPECT_EQ(*s.committed_epoch(), 2);
   // Dropping an epoch that never existed is a harmless no-op.
   s.drop_epoch(40);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStorage, ListEpochsIgnoresForeignDirectories) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "c3_storage_list_epochs";
+  std::filesystem::remove_all(dir);
+  DiskStorage s(dir);
+  s.put({.epoch = 3, .rank = 0, .section = "state"}, Bytes(8, std::byte{1}));
+  // Foreign content beside real epoch directories: none of these may be
+  // reported (an "ep3-backup" misread as epoch 3 would make the startup
+  // sweep drop data that was deliberately set aside).
+  std::filesystem::create_directories(dir / "ep3-backup");
+  std::filesystem::create_directories(dir / "ep5.old");
+  std::filesystem::create_directories(dir / "epochs");
+  std::filesystem::create_directories(dir / "scratch");
+  EXPECT_EQ(s.list_epochs(), (std::vector<int>{3}));
   std::filesystem::remove_all(dir);
 }
 
