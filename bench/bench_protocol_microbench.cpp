@@ -14,13 +14,25 @@
 #include <string_view>
 
 #include "bench/bench_common.hpp"
+#include "c3mpi/binding.hpp"
+#include "c3mpi/mpi.h"
 #include "core/logrec.hpp"
 #include "core/piggyback.hpp"
+
+#include <optional>
 
 namespace {
 
 using namespace c3;
 using namespace c3::bench;
+
+/// Facade cost relative to the direct Process path, in percent (positive =
+/// facade slower). Zero when either lane failed to measure.
+double facade_overhead_pct(double direct_msgs_per_sec,
+                           double facade_msgs_per_sec) {
+  if (direct_msgs_per_sec <= 0 || facade_msgs_per_sec <= 0) return 0.0;
+  return (direct_msgs_per_sec / facade_msgs_per_sec - 1.0) * 100.0;
+}
 
 /// Steady-state message-path result at one payload size.
 struct MsgPathResult {
@@ -34,9 +46,12 @@ struct MsgPathResult {
 
 /// Windowed two-rank stream through the full protocol layer (kFull level,
 /// piggyback framing, pooled buffers); measures the steady state after a
-/// warmup that populates the pool.
+/// warmup that populates the pool. With `facade` the application-side calls
+/// go through the c3mpi interposition layer (typed MPI signatures resolved
+/// by the per-rank binding) instead of the direct Process API, pinning the
+/// interposition overhead.
 MsgPathResult run_message_path(std::size_t payload, int rounds,
-                               int window = 32) {
+                               int window = 32, bool facade = false) {
   MsgPathResult res;
   res.payload = payload;
   JobConfig cfg;
@@ -44,12 +59,15 @@ MsgPathResult run_message_path(std::size_t payload, int rounds,
   cfg.level = InstrumentLevel::kFull;
   Job job(cfg);
   job.run([&](Process& p) {
+    std::optional<c3mpi::MpiBinding> binding;
+    if (facade) binding.emplace(p);
     std::vector<std::byte> buf(payload, std::byte{0x42});
     std::byte ack{};
     p.complete_registration();
     auto& fabric = p.api().runtime().fabric();
     std::uint64_t copied_mark = 0, allocs_mark = 0;
     std::chrono::steady_clock::time_point t0;
+    const int count = static_cast<int>(payload);
     for (int phase = 0; phase < 2; ++phase) {
       const int n = (phase == 0) ? 4 : rounds;
       if (phase == 1 && p.rank() == 0) {
@@ -59,11 +77,27 @@ MsgPathResult run_message_path(std::size_t payload, int rounds,
       }
       for (int r = 0; r < n; ++r) {
         if (p.rank() == 0) {
-          for (int i = 0; i < window; ++i) p.send(buf, 1, 7);
-          p.recv({&ack, 1}, 1, 8);
+          if (facade) {
+            for (int i = 0; i < window; ++i) {
+              MPI_Send(buf.data(), count, MPI_BYTE, 1, 7, MPI_COMM_WORLD);
+            }
+            MPI_Recv(&ack, 1, MPI_BYTE, 1, 8, MPI_COMM_WORLD,
+                     MPI_STATUS_IGNORE);
+          } else {
+            for (int i = 0; i < window; ++i) p.send(buf, 1, 7);
+            p.recv({&ack, 1}, 1, 8);
+          }
         } else {
-          for (int i = 0; i < window; ++i) p.recv(buf, 0, 7);
-          p.send({&ack, 1}, 0, 8);
+          if (facade) {
+            for (int i = 0; i < window; ++i) {
+              MPI_Recv(buf.data(), count, MPI_BYTE, 0, 7, MPI_COMM_WORLD,
+                       MPI_STATUS_IGNORE);
+            }
+            MPI_Send(&ack, 1, MPI_BYTE, 0, 8, MPI_COMM_WORLD);
+          } else {
+            for (int i = 0; i < window; ++i) p.recv(buf, 0, 7);
+            p.send({&ack, 1}, 0, 8);
+          }
         }
       }
       if (phase == 1 && p.rank() == 0) {
@@ -83,12 +117,9 @@ MsgPathResult run_message_path(std::size_t payload, int rounds,
   return res;
 }
 
-void write_protocol_json(const std::vector<MsgPathResult>& results) {
-  std::FILE* f = std::fopen("BENCH_protocol.json", "w");
-  if (!f) return;
-  std::fprintf(f, "{\n  \"bench\": \"protocol_message_path\",\n");
-  std::fprintf(f, "  \"ranks\": 2,\n  \"level\": \"full-ckpt\",\n");
-  std::fprintf(f, "  \"results\": [\n");
+void write_lane(std::FILE* f, const char* key,
+                const std::vector<MsgPathResult>& results, bool last) {
+  std::fprintf(f, "  \"%s\": [\n", key);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(f,
@@ -98,6 +129,28 @@ void write_protocol_json(const std::vector<MsgPathResult>& results) {
                  "\"allocs_per_msg\": %.4f}%s\n",
                  r.payload, static_cast<unsigned long long>(r.msgs), r.seconds,
                  r.msgs_per_sec(), r.copied_bytes_per_msg, r.allocs_per_msg,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", last ? "" : ",");
+}
+
+void write_protocol_json(const std::vector<MsgPathResult>& results,
+                         const std::vector<MsgPathResult>& facade_results) {
+  std::FILE* f = std::fopen("BENCH_protocol.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"protocol_message_path\",\n");
+  std::fprintf(f, "  \"ranks\": 2,\n  \"level\": \"full-ckpt\",\n");
+  write_lane(f, "results", results, /*last=*/false);
+  // The same stream issued through the c3mpi interposition layer; the
+  // per-payload overhead pins the cost of the MPI-compatible facade
+  // relative to the direct Process path.
+  write_lane(f, "facade_results", facade_results, /*last=*/false);
+  std::fprintf(f, "  \"facade_overhead_pct\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double pct = facade_overhead_pct(results[i].msgs_per_sec(),
+                                           facade_results[i].msgs_per_sec());
+    std::fprintf(f, "    {\"payload_bytes\": %zu, \"overhead_pct\": %.2f}%s\n",
+                 results[i].payload, pct,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -120,11 +173,15 @@ void BM_Classify(benchmark::State& state) {
 }
 BENCHMARK(BM_Classify);
 
+// range(0) = payload bytes; range(1) = 1 to route the application calls
+// through the c3mpi facade instead of the direct Process API.
 void BM_MessagePath(benchmark::State& state) {
   const auto payload = static_cast<std::size_t>(state.range(0));
+  const bool facade = state.range(1) != 0;
   std::uint64_t msgs = 0;
   for (auto _ : state) {
-    const auto res = run_message_path(payload, /*rounds=*/64);
+    const auto res =
+        run_message_path(payload, /*rounds=*/64, /*window=*/32, facade);
     msgs += res.msgs;
     state.counters["msgs_per_sec"] = res.msgs_per_sec();
     state.counters["copied_bytes_per_msg"] = res.copied_bytes_per_msg;
@@ -132,7 +189,9 @@ void BM_MessagePath(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(msgs * payload));
 }
-BENCHMARK(BM_MessagePath)->Arg(64)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MessagePath)
+    ->ArgsProduct({{64, 4096}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EventLogAppendLate(benchmark::State& state) {
   const auto payload_size = static_cast<std::size_t>(state.range(0));
@@ -216,17 +275,37 @@ int main(int argc, char** argv) {
   // Emit the machine-readable message-path numbers, independent of
   // whatever --benchmark_filter selected above.
   std::vector<MsgPathResult> results;
+  std::vector<MsgPathResult> facade_results;
   for (const std::size_t payload : {std::size_t{64}, std::size_t{4096},
                                     std::size_t{65536}}) {
-    results.push_back(run_message_path(payload, /*rounds=*/512));
+    // Best-of-3 with the two lanes interleaved: the overhead comparison is
+    // the point of the facade lane, so transient machine load must not be
+    // attributed to either side.
+    MsgPathResult best{};
+    MsgPathResult facade_best{};
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto direct = run_message_path(payload, /*rounds=*/512);
+      if (direct.msgs_per_sec() > best.msgs_per_sec()) best = direct;
+      const auto facade = run_message_path(payload, /*rounds=*/512,
+                                           /*window=*/32, /*facade=*/true);
+      if (facade.msgs_per_sec() > facade_best.msgs_per_sec()) {
+        facade_best = facade;
+      }
+    }
+    results.push_back(best);
+    facade_results.push_back(facade_best);
   }
-  write_protocol_json(results);
+  write_protocol_json(results, facade_results);
   std::printf("\nwrote BENCH_protocol.json:\n");
-  for (const auto& r : results) {
-    std::printf("  payload %6zu B: %10.0f msgs/s, %8.1f copied B/msg, "
-                "%6.4f allocs/msg\n",
-                r.payload, r.msgs_per_sec(), r.copied_bytes_per_msg,
-                r.allocs_per_msg);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const auto& fr = facade_results[i];
+    const double pct =
+        facade_overhead_pct(r.msgs_per_sec(), fr.msgs_per_sec());
+    std::printf("  payload %6zu B: direct %10.0f msgs/s, facade %10.0f "
+                "msgs/s (%+.2f%%), %8.1f copied B/msg, %6.4f allocs/msg\n",
+                r.payload, r.msgs_per_sec(), fr.msgs_per_sec(), pct,
+                r.copied_bytes_per_msg, r.allocs_per_msg);
   }
   return 0;
 }

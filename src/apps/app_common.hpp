@@ -1,13 +1,17 @@
 // Shared scaffolding for the paper's three benchmark applications
 // (Section 6.1): dense Conjugate Gradient, a Laplace solver, and Neurosys.
-// Each app is written against the C3 Process API with its state registered
-// for checkpointing, exactly as the CCIFT precompiler would instrument it.
+// Each app communicates through the c3mpi facade (typed MPI calls resolved
+// by a per-rank MpiBinding) and uses the C3 Process API as the SPI for
+// state registration and potentialCheckpoint placement, exactly as the
+// CCIFT precompiler would instrument it.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "c3mpi/binding.hpp"
+#include "c3mpi/mpi.h"
 #include "core/process.hpp"
 
 namespace c3::apps {

@@ -23,6 +23,9 @@ double matrix_entry(std::uint64_t seed, std::size_t n, std::size_t i,
 }  // namespace
 
 CgResult run_cg(core::Process& p, const CgConfig& cfg) {
+  // Typed MPI communication via the c3mpi facade; Process remains the SPI
+  // for state registration and the explicit checkpoint cadence.
+  c3mpi::MpiBinding mpi(p);
   const int nranks = p.nranks();
   const std::size_t n = cfg.n;
   const BlockRows rows = block_rows(n, p.rank(), nranks);
@@ -55,8 +58,8 @@ CgResult run_cg(core::Process& p, const CgConfig& cfg) {
   {
     double local_delta = 0.0;
     for (std::size_t i = 0; i < local; ++i) local_delta += r[i] * r[i];
-    p.allreduce(bytes_of_value(local_delta), bytes_of_value(delta),
-                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+    MPI_Allreduce(&local_delta, &delta, 1, MPI_DOUBLE, MPI_SUM,
+                  MPI_COMM_WORLD);
   }
 
   if (cfg.readonly_matrix) {
@@ -83,16 +86,15 @@ CgResult run_cg(core::Process& p, const CgConfig& cfg) {
       dir_full[rows.begin + i] = d[i];
     }
     if (equal_blocks) {
-      p.allgather({reinterpret_cast<const std::byte*>(d.data()),
-                   local * sizeof(double)},
-                  bytes_of(dir_full));
+      MPI_Allgather(d.data(), static_cast<int>(local), MPI_DOUBLE,
+                    dir_full.data(), static_cast<int>(local), MPI_DOUBLE,
+                    MPI_COMM_WORLD);
     } else {
       // Ragged blocks: broadcast each rank's segment (allgatherv stand-in).
       for (int root_rank = 0; root_rank < nranks; ++root_rank) {
         const BlockRows rb = block_rows(n, root_rank, nranks);
-        p.bcast({reinterpret_cast<std::byte*>(dir_full.data() + rb.begin),
-                 rb.count() * sizeof(double)},
-                root_rank);
+        MPI_Bcast(dir_full.data() + rb.begin, static_cast<int>(rb.count()),
+                  MPI_DOUBLE, root_rank, MPI_COMM_WORLD);
       }
     }
 
@@ -108,8 +110,7 @@ CgResult run_cg(core::Process& p, const CgConfig& cfg) {
     double local_dq = 0.0;
     for (std::size_t i = 0; i < local; ++i) local_dq += d[i] * q[i];
     double dq = 0.0;
-    p.allreduce(bytes_of_value(local_dq), bytes_of_value(dq),
-                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+    MPI_Allreduce(&local_dq, &dq, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
     const double alpha = delta / dq;
 
     for (std::size_t i = 0; i < local; ++i) {
@@ -120,8 +121,8 @@ CgResult run_cg(core::Process& p, const CgConfig& cfg) {
     double local_new_delta = 0.0;
     for (std::size_t i = 0; i < local; ++i) local_new_delta += r[i] * r[i];
     double new_delta = 0.0;
-    p.allreduce(bytes_of_value(local_new_delta), bytes_of_value(new_delta),
-                simmpi::Datatype::kDouble, simmpi::Op::kSum);
+    MPI_Allreduce(&local_new_delta, &new_delta, 1, MPI_DOUBLE, MPI_SUM,
+                  MPI_COMM_WORLD);
     const double beta = new_delta / delta;
     delta = new_delta;
     for (std::size_t i = 0; i < local; ++i) d[i] = r[i] + beta * d[i];
@@ -135,8 +136,8 @@ CgResult run_cg(core::Process& p, const CgConfig& cfg) {
   double local_sum = 0.0;
   for (std::size_t i = 0; i < local; ++i) local_sum += x[rows.begin + i];
   CgResult result;
-  p.allreduce(bytes_of_value(local_sum), bytes_of_value(result.checksum),
-              simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  MPI_Allreduce(&local_sum, &result.checksum, 1, MPI_DOUBLE, MPI_SUM,
+                MPI_COMM_WORLD);
   result.residual = std::sqrt(delta);
   result.iterations_done = iter;
   result.state_bytes = (a.size() + x.size() + r.size() + d.size()) *

@@ -33,6 +33,9 @@ double dv(double v, double drive) {
 }  // namespace
 
 NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
+  // Typed MPI communication via the c3mpi facade; Process remains the SPI
+  // for state registration and the explicit checkpoint cadence.
+  c3mpi::MpiBinding mpi(p);
   const int nranks = p.nranks();
   const std::size_t n = cfg.neurons;
   const BlockRows rows = block_rows(n, p.rank(), nranks);
@@ -62,9 +65,9 @@ NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
   auto exchange = [&](const std::vector<double>& src) {
     if (equal_blocks) {
       std::vector<double> tmp(n);
-      p.allgather({reinterpret_cast<const std::byte*>(src.data()),
-                   local * sizeof(double)},
-                  bytes_of(tmp));
+      MPI_Allgather(src.data(), static_cast<int>(local), MPI_DOUBLE,
+                    tmp.data(), static_cast<int>(local), MPI_DOUBLE,
+                    MPI_COMM_WORLD);
       v_full = std::move(tmp);
     } else {
       for (int root = 0; root < nranks; ++root) {
@@ -73,9 +76,8 @@ NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
           std::copy(src.begin(), src.end(),
                     v_full.begin() + static_cast<std::ptrdiff_t>(rb.begin));
         }
-        p.bcast({reinterpret_cast<std::byte*>(v_full.data() + rb.begin),
-                 rb.count() * sizeof(double)},
-                root);
+        MPI_Bcast(v_full.data() + rb.begin, static_cast<int>(rb.count()),
+                  MPI_DOUBLE, root, MPI_COMM_WORLD);
       }
     }
   };
@@ -122,7 +124,8 @@ NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
     // The per-step Gather: the root collects a per-rank activity probe.
     double local_activity = 0.0;
     for (std::size_t i = 0; i < local; ++i) local_activity += v[i];
-    p.gather(bytes_of_value(local_activity), bytes_of(gathered), /*root=*/0);
+    MPI_Gather(&local_activity, 1, MPI_DOUBLE, gathered.data(), 1,
+               MPI_DOUBLE, /*root=*/0, MPI_COMM_WORLD);
     if (p.rank() == 0) {
       root_probe = 0.0;
       for (double g : gathered) root_probe += g;
@@ -135,8 +138,8 @@ NeurosysResult run_neurosys(core::Process& p, const NeurosysConfig& cfg) {
   double local_sum = 0.0;
   for (std::size_t i = 0; i < local; ++i) local_sum += v[i];
   NeurosysResult result;
-  p.allreduce(bytes_of_value(local_sum), bytes_of_value(result.checksum),
-              simmpi::Datatype::kDouble, simmpi::Op::kSum);
+  MPI_Allreduce(&local_sum, &result.checksum, 1, MPI_DOUBLE, MPI_SUM,
+                MPI_COMM_WORLD);
   result.root_probe = root_probe;
   result.iterations_done = iter;
   result.state_bytes = v.size() * sizeof(double) + sizeof(iter) +

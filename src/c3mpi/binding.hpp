@@ -1,0 +1,81 @@
+// Per-rank binding between the C ABI in c3mpi/mpi.h and a core::Process.
+//
+// simmpi executes ranks as threads of one OS process, so the facade cannot
+// key anything off global state: each rank thread installs an MpiBinding
+// (and a ccift::RuntimeBinding for instrumented code) before entering the
+// application, and every MPI_* call resolves the current thread's binding.
+// The binding owns the rank's handle tables: MPI_Comm values equal the
+// Process CommHandle they name, MPI_Request values index a table of
+// RequestIds so MPI_REQUEST_NULL and wait-time invalidation behave like
+// real MPI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/process.hpp"
+
+namespace c3::c3mpi {
+
+struct BindingOptions {
+  /// Treat the facade's blocking entry points (see implicit_checkpoint_sites)
+  /// as the paper's potentialCheckpoint opportunities. This is what makes a
+  /// *verbatim* MPI program checkpointable: run_mpi_job enables it, while
+  /// paper-style kernels that call potentialCheckpoint explicitly leave it
+  /// off so their checkpoint cadence is unchanged.
+  bool implicit_checkpoints = false;
+};
+
+class MpiBinding {
+ public:
+  explicit MpiBinding(core::Process& process, BindingOptions options = {});
+  ~MpiBinding();
+  MpiBinding(const MpiBinding&) = delete;
+  MpiBinding& operator=(const MpiBinding&) = delete;
+
+  /// The binding installed on the calling thread (throws UsageError if the
+  /// thread runs no MPI rank).
+  static MpiBinding& current();
+  static bool bound() noexcept;
+
+  core::Process& process() noexcept { return process_; }
+  const BindingOptions& options() const noexcept { return options_; }
+
+  // --------------------------------------------------- MPI request table
+  int add_request(core::RequestId id);
+  core::RequestId resolve_request(int handle) const;
+  void drop_request(int handle);
+
+  // ------------------------------------------------------ MPI_Init state
+  bool initialized = false;
+  bool finalized = false;
+
+ private:
+  core::Process& process_;
+  BindingOptions options_;
+  std::map<int, core::RequestId> requests_;
+  int next_request_ = 0;
+};
+
+/// Result of running an MPI program under the Job runner.
+struct MpiJobReport {
+  core::JobReport job;
+  /// Per-rank return values of app_main from the completed execution.
+  std::vector<int> exit_codes;
+};
+
+using MpiMain = int (*)(int, char**);
+
+/// Run a plain `int main(int, char**)`-shaped MPI program on every rank of
+/// a Job: installs the per-rank bindings (facade + ccift runtime), invokes
+/// the optional precompiler-emitted global registration, completes state
+/// registration (restoring on a recovery execution), and hands argc/argv to
+/// the program. Recovery of application state requires the program to have
+/// been transformed by `ccift --mpi` (or to keep no state, e.g. kRaw runs).
+MpiJobReport run_mpi_job(core::JobConfig config, MpiMain app_main,
+                         int argc = 0, char** argv = nullptr,
+                         void (*register_globals)() = nullptr);
+
+}  // namespace c3::c3mpi

@@ -1,0 +1,482 @@
+// Implementation of the c3mpi interposition layer: the extern "C" MPI
+// surface of c3mpi/mpi.h, resolved per rank thread through MpiBinding onto
+// the core::Process protocol layer (the paper's Figure 2 stack, with the
+// protocol layer behind an unchanged MPI interface).
+#include "c3mpi/binding.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "c3mpi/mpi.h"
+#include "ccift/runtime_abi.hpp"
+#include "util/error.hpp"
+
+namespace c3::c3mpi {
+namespace {
+
+thread_local MpiBinding* t_binding = nullptr;
+
+core::Process& proc() { return MpiBinding::current().process(); }
+
+simmpi::Datatype to_datatype(MPI_Datatype t) {
+  if (t < 0 || t > static_cast<int>(simmpi::Datatype::kDouble)) {
+    throw util::UsageError("c3mpi: unknown MPI_Datatype " + std::to_string(t));
+  }
+  return static_cast<simmpi::Datatype>(t);
+}
+
+std::size_t type_size(MPI_Datatype t) {
+  return simmpi::datatype_size(to_datatype(t));
+}
+
+simmpi::Op to_op(MPI_Op op) {
+  if (op < 0 || op > static_cast<int>(simmpi::Op::kBor)) {
+    throw util::UsageError("c3mpi: unknown MPI_Op " + std::to_string(op));
+  }
+  return static_cast<simmpi::Op>(op);
+}
+
+std::span<const std::byte> in_span(const void* buf, int count,
+                                   MPI_Datatype t) {
+  return {static_cast<const std::byte*>(buf),
+          static_cast<std::size_t>(count) * type_size(t)};
+}
+
+std::span<std::byte> out_span(void* buf, int count, MPI_Datatype t) {
+  return {static_cast<std::byte*>(buf),
+          static_cast<std::size_t>(count) * type_size(t)};
+}
+
+void fill_status(MPI_Status* status, const simmpi::Status& st) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = st.source;
+  status->MPI_TAG = st.tag;
+  status->MPI_ERROR = MPI_SUCCESS;
+  status->c3_size_bytes = static_cast<int>(st.size);
+}
+
+/// The MPI "empty status" a completed null request reports.
+void fill_empty_status(MPI_Status* status) {
+  if (status == MPI_STATUS_IGNORE) return;
+  status->MPI_SOURCE = MPI_ANY_SOURCE;
+  status->MPI_TAG = MPI_ANY_TAG;
+  status->MPI_ERROR = MPI_SUCCESS;
+  status->c3_size_bytes = 0;
+}
+
+/// Entry hook of the facade calls that double as potentialCheckpoint sites.
+/// The set of hooked calls must match ccift::mpi_checkpoint_sites(): the
+/// precompiler's MPI mode labels exactly those call sites in the Position
+/// Stack, so a restart can resume at the call that took the checkpoint.
+/// The checkpoint fires *before* the operation, so on a restart the resume
+/// point re-invokes the call and the operation becomes the first event of
+/// the replayed window. Skipped while any request is incomplete: a pending
+/// receive across a checkpoint needs a heap-arena buffer, which a verbatim
+/// MPI program cannot promise.
+void checkpoint_site() {
+  MpiBinding& b = MpiBinding::current();
+  if (!b.options().implicit_checkpoints) return;
+  if (b.process().has_incomplete_requests()) return;
+  b.process().potential_checkpoint();
+}
+
+}  // namespace
+
+MpiBinding::MpiBinding(core::Process& process, BindingOptions options)
+    : process_(process), options_(options) {
+  if (t_binding != nullptr) {
+    throw util::UsageError("nested c3mpi MpiBinding on one thread");
+  }
+  t_binding = this;
+}
+
+MpiBinding::~MpiBinding() { t_binding = nullptr; }
+
+MpiBinding& MpiBinding::current() {
+  if (t_binding == nullptr) {
+    throw util::UsageError(
+        "c3mpi call on a thread without an MpiBinding (run the program "
+        "through c3mpi::run_mpi_job, or install a binding for the rank)");
+  }
+  return *t_binding;
+}
+
+bool MpiBinding::bound() noexcept { return t_binding != nullptr; }
+
+int MpiBinding::add_request(core::RequestId id) {
+  const int handle = next_request_++;
+  requests_[handle] = id;
+  return handle;
+}
+
+core::RequestId MpiBinding::resolve_request(int handle) const {
+  auto it = requests_.find(handle);
+  if (it == requests_.end()) {
+    throw util::UsageError("c3mpi: unknown MPI_Request handle " +
+                           std::to_string(handle));
+  }
+  return it->second;
+}
+
+void MpiBinding::drop_request(int handle) { requests_.erase(handle); }
+
+MpiJobReport run_mpi_job(core::JobConfig config, MpiMain app_main, int argc,
+                         char** argv, void (*register_globals)()) {
+  MpiJobReport report;
+  report.exit_codes.assign(static_cast<std::size_t>(config.ranks), 0);
+  core::Job job(std::move(config));
+  report.job = job.run([&](core::Process& p) {
+    // Instrumented code needs both bindings: the ccift runtime ABI for
+    // PS/VDS/global bookkeeping and the facade for the MPI calls.
+    ccift::RuntimeBinding runtime_binding(p.save_context());
+    BindingOptions opts;
+    opts.implicit_checkpoints = true;
+    MpiBinding binding(p, opts);
+    // Rebuild the global registry *before* completing registration: on a
+    // recovery execution complete_registration() applies the protocol-side
+    // state and arms replay, and the restart dispatch inside app_main then
+    // jumps to the resume point (where ccift_resume() copies the saved
+    // global and stack values back).
+    if (register_globals != nullptr) register_globals();
+    p.complete_registration();
+    report.exit_codes[static_cast<std::size_t>(p.rank())] =
+        app_main(argc, argv);
+  });
+  return report;
+}
+
+}  // namespace c3::c3mpi
+
+// ---------------------------------------------------------------------------
+// The C ABI itself.
+// ---------------------------------------------------------------------------
+
+using c3::c3mpi::MpiBinding;
+using c3::core::CommHandle;
+using c3::core::RequestId;
+
+extern "C" {
+
+int MPI_Init(int* argc, char*** argv) {
+  (void)argc;
+  (void)argv;
+  MpiBinding& b = MpiBinding::current();
+  if (b.initialized) {
+    throw c3::util::UsageError("MPI_Init called twice");
+  }
+  b.initialized = true;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalize(void) {
+  MpiBinding& b = MpiBinding::current();
+  b.finalized = true;
+  return MPI_SUCCESS;
+}
+
+int MPI_Initialized(int* flag) {
+  *flag = MpiBinding::bound() && MpiBinding::current().initialized ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalized(int* flag) {
+  *flag = MpiBinding::bound() && MpiBinding::current().finalized ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  *rank = c3::c3mpi::MpiBinding::current()
+              .process()
+              .comm_rank(static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  *size = MpiBinding::current().process().comm_size(
+      static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  *newcomm = static_cast<MPI_Comm>(
+      MpiBinding::current().process().comm_dup(static_cast<CommHandle>(comm)));
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  c3::core::Process& p = MpiBinding::current().process();
+  const int c3_color = (color == MPI_UNDEFINED) ? -1 : color;
+  if (c3_color < 0 && color != MPI_UNDEFINED) {
+    throw c3::util::UsageError("MPI_Comm_split: negative color");
+  }
+  const CommHandle h =
+      p.comm_split(static_cast<CommHandle>(comm), c3_color, key);
+  if (!p.resolve(h).member()) {
+    // MPI_UNDEFINED members get MPI_COMM_NULL back; release the placeholder
+    // so the handle table only names communicators this rank belongs to.
+    p.comm_free(h);
+    *newcomm = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+  }
+  *newcomm = static_cast<MPI_Comm>(h);
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  MpiBinding::current().process().comm_free(static_cast<CommHandle>(*comm));
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  MpiBinding::current().process().send(
+      c3::c3mpi::in_span(buf, count, datatype), dest, tag,
+      static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status) {
+  c3::c3mpi::checkpoint_site();
+  const c3::simmpi::Status st = MpiBinding::current().process().recv(
+      c3::c3mpi::out_span(buf, count, datatype), source, tag,
+      static_cast<CommHandle>(comm));
+  c3::c3mpi::fill_status(status, st);
+  return MPI_SUCCESS;
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest,
+              int tag, MPI_Comm comm, MPI_Request* request) {
+  MpiBinding& b = MpiBinding::current();
+  const RequestId id =
+      b.process().isend(c3::c3mpi::in_span(buf, count, datatype), dest, tag,
+                        static_cast<CommHandle>(comm));
+  *request = b.add_request(id);
+  return MPI_SUCCESS;
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  MpiBinding& b = MpiBinding::current();
+  const RequestId id =
+      b.process().irecv(c3::c3mpi::out_span(buf, count, datatype), source, tag,
+                        static_cast<CommHandle>(comm));
+  *request = b.add_request(id);
+  return MPI_SUCCESS;
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  if (*request == MPI_REQUEST_NULL) {
+    c3::c3mpi::fill_empty_status(status);
+    return MPI_SUCCESS;
+  }
+  MpiBinding& b = MpiBinding::current();
+  const RequestId id = b.resolve_request(*request);
+  const c3::simmpi::Status st = b.process().wait(id);
+  c3::c3mpi::fill_status(status, st);
+  b.drop_request(*request);
+  *request = MPI_REQUEST_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  if (*request == MPI_REQUEST_NULL) {
+    *flag = 1;
+    c3::c3mpi::fill_empty_status(status);
+    return MPI_SUCCESS;
+  }
+  MpiBinding& b = MpiBinding::current();
+  const RequestId id = b.resolve_request(*request);
+  if (!b.process().test(id)) {
+    *flag = 0;
+    return MPI_SUCCESS;
+  }
+  const c3::simmpi::Status st = b.process().wait(id);  // returns immediately
+  c3::c3mpi::fill_status(status, st);
+  b.drop_request(*request);
+  *request = MPI_REQUEST_NULL;
+  *flag = 1;
+  return MPI_SUCCESS;
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  MpiBinding& b = MpiBinding::current();
+  if (statuses == MPI_STATUSES_IGNORE) {
+    std::vector<RequestId> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] != MPI_REQUEST_NULL) {
+        ids.push_back(b.resolve_request(requests[i]));
+      }
+    }
+    b.process().waitall(ids);
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] != MPI_REQUEST_NULL) {
+        b.drop_request(requests[i]);
+        requests[i] = MPI_REQUEST_NULL;
+      }
+    }
+    return MPI_SUCCESS;
+  }
+  for (int i = 0; i < count; ++i) {
+    MPI_Wait(&requests[i], &statuses[i]);
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  const c3::simmpi::Status st = MpiBinding::current().process().probe(
+      source, tag, static_cast<CommHandle>(comm));
+  c3::c3mpi::fill_status(status, st);
+  return MPI_SUCCESS;
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag,
+               MPI_Status* status) {
+  const auto st = MpiBinding::current().process().iprobe(
+      source, tag, static_cast<CommHandle>(comm));
+  *flag = st.has_value() ? 1 : 0;
+  if (st) c3::c3mpi::fill_status(status, *st);
+  return MPI_SUCCESS;
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype,
+                  int* count) {
+  const std::size_t elem = c3::c3mpi::type_size(datatype);
+  const std::size_t bytes = static_cast<std::size_t>(status->c3_size_bytes);
+  if (elem == 0 || bytes % elem != 0) {
+    *count = MPI_UNDEFINED;
+    return MPI_SUCCESS;
+  }
+  *count = static_cast<int>(bytes / elem);
+  return MPI_SUCCESS;
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  MpiBinding::current().process().barrier(static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+              MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  MpiBinding::current().process().bcast(
+      c3::c3mpi::out_span(buffer, count, datatype), root,
+      static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+               MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  c3::core::Process& p = MpiBinding::current().process();
+  const CommHandle h = static_cast<CommHandle>(comm);
+  const bool has_result = p.comm_rank(h) == root;
+  p.reduce(c3::c3mpi::in_span(sendbuf, count, datatype),
+           has_result ? c3::c3mpi::out_span(recvbuf, count, datatype)
+                      : std::span<std::byte>{},
+           c3::c3mpi::to_datatype(datatype), c3::c3mpi::to_op(op), root, h);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                  MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  MpiBinding::current().process().allreduce(
+      c3::c3mpi::in_span(sendbuf, count, datatype),
+      c3::c3mpi::out_span(recvbuf, count, datatype),
+      c3::c3mpi::to_datatype(datatype), c3::c3mpi::to_op(op),
+      static_cast<CommHandle>(comm));
+  return MPI_SUCCESS;
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+               void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+               MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  c3::core::Process& p = MpiBinding::current().process();
+  const CommHandle h = static_cast<CommHandle>(comm);
+  const std::size_t in_bytes =
+      static_cast<std::size_t>(sendcount) * c3::c3mpi::type_size(sendtype);
+  const std::size_t out_block =
+      static_cast<std::size_t>(recvcount) * c3::c3mpi::type_size(recvtype);
+  const bool has_result = p.comm_rank(h) == root;
+  if (has_result && out_block != in_bytes) {
+    throw c3::util::UsageError(
+        "MPI_Gather: receive block size must equal send block size");
+  }
+  p.gather({static_cast<const std::byte*>(sendbuf), in_bytes},
+           has_result
+               ? std::span<std::byte>{static_cast<std::byte*>(recvbuf),
+                                      out_block *
+                                          static_cast<std::size_t>(
+                                              p.comm_size(h))}
+               : std::span<std::byte>{},
+           root, h);
+  return MPI_SUCCESS;
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                  MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  c3::core::Process& p = MpiBinding::current().process();
+  const CommHandle h = static_cast<CommHandle>(comm);
+  const std::size_t in_bytes =
+      static_cast<std::size_t>(sendcount) * c3::c3mpi::type_size(sendtype);
+  const std::size_t out_block =
+      static_cast<std::size_t>(recvcount) * c3::c3mpi::type_size(recvtype);
+  if (out_block != in_bytes) {
+    throw c3::util::UsageError(
+        "MPI_Allgather: receive block size must equal send block size");
+  }
+  p.allgather({static_cast<const std::byte*>(sendbuf), in_bytes},
+              {static_cast<std::byte*>(recvbuf),
+               out_block * static_cast<std::size_t>(p.comm_size(h))},
+              h);
+  return MPI_SUCCESS;
+}
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                 void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 MPI_Comm comm) {
+  c3::c3mpi::checkpoint_site();
+  c3::core::Process& p = MpiBinding::current().process();
+  const CommHandle h = static_cast<CommHandle>(comm);
+  const std::size_t in_block =
+      static_cast<std::size_t>(sendcount) * c3::c3mpi::type_size(sendtype);
+  const std::size_t out_block =
+      static_cast<std::size_t>(recvcount) * c3::c3mpi::type_size(recvtype);
+  if (out_block != in_block) {
+    throw c3::util::UsageError(
+        "MPI_Alltoall: receive block size must equal send block size");
+  }
+  const std::size_t n = static_cast<std::size_t>(p.comm_size(h));
+  p.alltoall({static_cast<const std::byte*>(sendbuf), in_block * n},
+             {static_cast<std::byte*>(recvbuf), out_block * n}, h);
+  return MPI_SUCCESS;
+}
+
+int MPI_Type_size(MPI_Datatype datatype, int* size) {
+  *size = static_cast<int>(c3::c3mpi::type_size(datatype));
+  return MPI_SUCCESS;
+}
+
+double MPI_Wtime(void) {
+  const std::uint64_t ns = c3::c3mpi::proc().nondet([] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  });
+  return static_cast<double>(ns) * 1e-9;
+}
+
+void potentialCheckpoint(void) {
+  c3::c3mpi::proc().potential_checkpoint();
+}
+
+}  // extern "C"

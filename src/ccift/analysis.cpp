@@ -27,7 +27,8 @@ void walk_stmt(const Stmt* s, const std::function<void(const Expr&)>& fn) {
 
 }  // namespace
 
-Analysis analyze(const TranslationUnit& unit) {
+Analysis analyze(const TranslationUnit& unit,
+                 const std::set<std::string>& extra_roots) {
   Analysis result;
   for (const auto& g : unit.globals) result.globals.push_back(g.decl.name);
 
@@ -39,8 +40,10 @@ Analysis analyze(const TranslationUnit& unit) {
   }
 
   // Fixed point: a function is checkpointable if it calls
-  // potentialCheckpoint or any checkpointable function.
+  // potentialCheckpoint, an extra checkpoint root, or any checkpointable
+  // function.
   result.checkpointable.insert(kPotentialCheckpoint);
+  result.checkpointable.insert(extra_roots.begin(), extra_roots.end());
   bool changed = true;
   while (changed) {
     changed = false;

@@ -30,7 +30,11 @@ struct Analysis {
   std::vector<std::string> globals;
 };
 
-Analysis analyze(const TranslationUnit& unit);
+/// `extra_roots` names additional checkpointable leaf calls besides
+/// potentialCheckpoint -- the MPI facade mode seeds the blocking c3mpi
+/// entry points here, since each of them is a checkpoint opportunity.
+Analysis analyze(const TranslationUnit& unit,
+                 const std::set<std::string>& extra_roots = {});
 
 /// True if expression `e` contains a call to any function in `targets`.
 bool contains_call_to(const Expr& e, const std::set<std::string>& targets);

@@ -1,23 +1,53 @@
 // ccift: the CCIFT precompiler CLI.
 //
-// Usage: ccift <input.c> [output.c]
+// Usage: ccift [--mpi] [--main NAME] <input.c> [output.c]
 // Reads a C source file, instruments every function that can reach a
-// potentialCheckpoint() call, and writes the transformed source (stdout if
-// no output path is given).
+// checkpoint location, and writes the transformed source (stdout if no
+// output path is given).
+//
+//   --mpi        MPI facade mode: the c3mpi blocking entry points become
+//                checkpointable call sites, the MPI opaque typedefs parse
+//                as base types, and the runtime-ABI prelude is emitted --
+//                the paper's "recompile and relink" pipeline for verbatim
+//                MPI programs.
+//   --main NAME  Rename the program's main() to NAME so a driver can embed
+//                the transformed unit and run it under c3mpi::run_mpi_job.
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "ccift/transform.hpp"
 
+namespace {
+int usage() {
+  std::cerr << "usage: ccift [--mpi] [--main NAME] <input.c> [output.c]\n";
+  return 2;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::cerr << "usage: ccift <input.c> [output.c]\n";
-    return 2;
+  c3::ccift::TransformOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mpi") {
+      options.mpi_facade = true;
+    } else if (arg == "--main") {
+      if (i + 1 >= argc) return usage();
+      options.rename_main = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
   }
-  std::ifstream in(argv[1]);
+  if (paths.empty() || paths.size() > 2) return usage();
+
+  std::ifstream in(paths[0]);
   if (!in) {
-    std::cerr << "ccift: cannot open " << argv[1] << "\n";
+    std::cerr << "ccift: cannot open " << paths[0] << "\n";
     return 1;
   }
   std::ostringstream buf;
@@ -25,16 +55,16 @@ int main(int argc, char** argv) {
 
   std::string out;
   try {
-    out = c3::ccift::transform_source(buf.str());
+    out = c3::ccift::transform_source(buf.str(), options);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;
   }
 
-  if (argc == 3) {
-    std::ofstream os(argv[2]);
+  if (paths.size() == 2) {
+    std::ofstream os(paths[1]);
     if (!os) {
-      std::cerr << "ccift: cannot open " << argv[2] << " for writing\n";
+      std::cerr << "ccift: cannot open " << paths[1] << " for writing\n";
       return 1;
     }
     os << out;

@@ -28,7 +28,8 @@ bool is_assign_op(const std::string& op) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const std::set<std::string>& extra_types)
+      : tokens_(std::move(tokens)), extra_types_(extra_types) {}
 
   TranslationUnit parse_unit() {
     TranslationUnit unit;
@@ -72,17 +73,22 @@ class Parser {
 
   bool looking_at_type() const {
     const Token& t = peek();
+    if (t.is_ident() && extra_types_.count(t.text) != 0) return true;
     if (t.kind != TokenKind::kKeyword) return false;
     return t.text == "int" || t.text == "double" || t.text == "float" ||
            t.text == "char" || t.text == "void" || t.text == "long" ||
            t.text == "short" || t.text == "unsigned" || t.text == "signed";
   }
 
-  /// Consume a base type: one or more type keywords (e.g. "unsigned long").
+  /// Consume a base type: one or more type keywords (e.g. "unsigned long"),
+  /// or a single registered typedef name.
   std::string parse_base_type() {
     if (!looking_at_type()) fail("expected a type");
     std::string type = next().text;
-    while (looking_at_type()) type += " " + next().text;
+    if (extra_types_.count(type) != 0) return type;
+    while (looking_at_type() && peek().kind == TokenKind::kKeyword) {
+      type += " " + next().text;
+    }
     return type;
   }
 
@@ -501,13 +507,15 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  const std::set<std::string>& extra_types_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
-TranslationUnit parse(const std::string& source) {
-  Parser parser(lex(source));
+TranslationUnit parse(const std::string& source,
+                      const std::set<std::string>& extra_types) {
+  Parser parser(lex(source), extra_types);
   return parser.parse_unit();
 }
 

@@ -1,6 +1,7 @@
 // Recursive-descent parser for the CCIFT C subset.
 #pragma once
 
+#include <set>
 #include <string>
 
 #include "ccift/ast.hpp"
@@ -9,6 +10,11 @@
 namespace c3::ccift {
 
 /// Parse a translation unit. Throws ParseError on malformed input.
-TranslationUnit parse(const std::string& source);
+/// `extra_types` names typedefs (e.g. the MPI opaque handle types) treated
+/// as base types in declarations, casts and sizeof -- the subset has no
+/// typedef tracking of its own, and headers arrive as raw preprocessor
+/// lines the parser never sees.
+TranslationUnit parse(const std::string& source,
+                      const std::set<std::string>& extra_types = {});
 
 }  // namespace c3::ccift

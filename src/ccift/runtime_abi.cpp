@@ -38,6 +38,10 @@ int ccift_ps_next(void) { return RuntimeBinding::current().ps().restore_next(); 
 void ccift_restore_error(void) {
   throw c3::util::CorruptionError("ccift: position stack restore mismatch");
 }
+void ccift_resume(void) {
+  auto& ctx = RuntimeBinding::current();
+  if (!ctx.ps().restoring() && ctx.restore_pending()) ctx.finish_restore();
+}
 void ccift_vds_push(void* addr, std::size_t size) {
   RuntimeBinding::current().vds().push(addr, size);
 }

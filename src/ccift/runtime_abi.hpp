@@ -32,6 +32,11 @@ void ccift_ps_pop(void);
 int ccift_restoring(void);
 int ccift_ps_next(void);
 void ccift_restore_error(void);
+/// Emitted at every resume label. No-op during normal execution and at
+/// intermediate restart frames; at the innermost label (Position Stack
+/// fully consumed) it applies the checkpoint's saved stack-variable values
+/// -- and any deferred global values -- onto the rebuilt descriptors.
+void ccift_resume(void);
 void ccift_vds_push(void* addr, std::size_t size);
 void ccift_vds_pop(int count);
 void ccift_register_global(const char* name, void* addr, std::size_t size);

@@ -427,13 +427,18 @@ class FunctionTransformer {
     const int k = fresh_label();
     labels_.push_back(k);
     out.push_back(make_raw("ccift_ps_push(" + std::to_string(k) + ");"));
+    // Every resume label is followed by ccift_resume(): a no-op on normal
+    // execution and at intermediate restart frames, it applies the saved
+    // VDS / deferred-global values exactly once, at the innermost label,
+    // after every frame on the path has re-pushed its descriptors.
     if (is_checkpoint) {
       // Resume point is *after* the checkpoint call (Figure 6, label_2).
       out.push_back(std::move(call_stmt));
-      out.push_back(make_raw(label_name(k) + ": ;"));
+      out.push_back(make_raw(label_name(k) + ": ccift_resume();"));
     } else {
-      // Resume point re-invokes the callee, whose own dispatch descends.
-      out.push_back(make_raw(label_name(k) + ": ;"));
+      // Resume point re-invokes the callee, whose own dispatch descends
+      // (or, for a facade MPI call, which replays from the event log).
+      out.push_back(make_raw(label_name(k) + ": ccift_resume();"));
       out.push_back(std::move(call_stmt));
     }
     out.push_back(make_raw("ccift_ps_pop();"));
@@ -449,7 +454,24 @@ class FunctionTransformer {
     }
     dispatch += "      default: ccift_restore_error();\n";
     dispatch += "    }\n  }";
-    fn_.body->body.insert(fn_.body->body.begin(), make_raw(dispatch));
+    // Place the dispatch after the function's leading declarations and
+    // their VDS pushes: the restart jump then re-enters a frame whose
+    // descriptor shape matches what the checkpoint saved. (Declarations in
+    // nested blocks before a resume label cannot be rebuilt this way --
+    // the C89 rule: keep checkpoint-live variables at function scope.)
+    auto& body = fn_.body->body;
+    std::size_t at = 0;
+    while (at < body.size()) {
+      const Stmt& s = *body[at];
+      const bool prologue =
+          s.kind == StmtKind::kDecl ||
+          (s.kind == StmtKind::kRaw &&
+           s.text.find("ccift_vds_push") != std::string::npos);
+      if (!prologue) break;
+      ++at;
+    }
+    body.insert(body.begin() + static_cast<std::ptrdiff_t>(at),
+                make_raw(dispatch));
   }
 
   Function& fn_;
@@ -463,12 +485,42 @@ class FunctionTransformer {
 
 }  // namespace
 
+const std::set<std::string>& mpi_checkpoint_sites() {
+  static const std::set<std::string> sites = {
+      "MPI_Send",   "MPI_Recv",      "MPI_Barrier", "MPI_Bcast",
+      "MPI_Reduce", "MPI_Allreduce", "MPI_Gather",  "MPI_Allgather",
+      "MPI_Alltoall"};
+  return sites;
+}
+
+const std::set<std::string>& mpi_opaque_types() {
+  static const std::set<std::string> types = {
+      "MPI_Comm", "MPI_Status", "MPI_Request", "MPI_Datatype", "MPI_Op"};
+  return types;
+}
+
 void transform(TranslationUnit& unit, const TransformOptions& options) {
-  const Analysis analysis = analyze(unit);
+  if (!options.rename_main.empty()) {
+    for (auto& fn : unit.functions) {
+      if (fn.name == "main") fn.name = options.rename_main;
+    }
+  }
+
+  const Analysis analysis =
+      options.mpi_facade ? analyze(unit, mpi_checkpoint_sites())
+                         : analyze(unit);
 
   std::map<std::string, std::string> return_types;
   for (const auto& fn : unit.functions) return_types[fn.name] = fn.return_type;
   return_types[kPotentialCheckpoint] = "void";
+  if (options.mpi_facade) {
+    // The facade entry points come from a raw #include the parser never
+    // sees; they all return int (error codes), which statement
+    // decomposition needs when a call is used as a value.
+    for (const auto& name : mpi_checkpoint_sites()) {
+      return_types.emplace(name, "int");
+    }
+  }
 
   for (auto& fn : unit.functions) {
     if (analysis.checkpointable.count(fn.name) == 0) continue;
@@ -495,10 +547,29 @@ void transform(TranslationUnit& unit, const TransformOptions& options) {
 
 std::string transform_source(const std::string& source,
                              const TransformOptions& options) {
-  TranslationUnit unit = parse(source);
+  TranslationUnit unit = options.mpi_facade ? parse(source, mpi_opaque_types())
+                                            : parse(source);
   transform(unit, options);
   std::string out =
       "/* Instrumented by ccift (C3 precompiler reproduction). */\n";
+  if (options.mpi_facade) {
+    // Self-contained output: declare the runtime ABI the instrumentation
+    // targets (implemented in ccift/runtime_abi.cpp and linked in with the
+    // c3mpi facade), so the emitted file compiles as plain C with no
+    // include path beyond c3mpi/mpi.h.
+    out +=
+        "/* ccift runtime ABI (see src/ccift/runtime_abi.hpp). */\n"
+        "void ccift_ps_push(int label);\n"
+        "void ccift_ps_pop(void);\n"
+        "int ccift_restoring(void);\n"
+        "int ccift_ps_next(void);\n"
+        "void ccift_restore_error(void);\n"
+        "void ccift_resume(void);\n"
+        "void ccift_vds_push(void *addr, unsigned long size);\n"
+        "void ccift_vds_pop(int count);\n"
+        "void ccift_register_global(const char *name, void *addr,\n"
+        "                           unsigned long size);\n";
+  }
   out += emit_unit(unit);
   return out;
 }

@@ -14,20 +14,27 @@
 //
 //  2. Position Stack instrumentation (Figure 6): every checkpointable call
 //     site K becomes
-//         ccift_ps_push(K);  ccift_label_K: <call>;  ccift_ps_pop();
-//     and every potentialCheckpoint site K becomes
-//         ccift_ps_push(K);  potentialCheckpoint();  ccift_label_K:
+//         ccift_ps_push(K);  ccift_label_K: ccift_resume();  <call>;
 //         ccift_ps_pop();
-//     (the resume point is *after* the checkpoint). A restart dispatch
-//     switch at function entry consumes one PS entry and jumps to the
-//     recorded label, rebuilding the activation stack outermost-first.
+//     and every potentialCheckpoint site K becomes
+//         ccift_ps_push(K);  potentialCheckpoint();
+//         ccift_label_K: ccift_resume();  ccift_ps_pop();
+//     (the resume point is *after* a checkpoint call, *before* an ordinary
+//     call so it is re-invoked). A restart dispatch switch consumes one PS
+//     entry per function and jumps to the recorded label, rebuilding the
+//     activation stack outermost-first; ccift_resume() is a no-op until the
+//     innermost label is reached, where it copies the saved VDS (and
+//     deferred global) values back onto the rebuilt descriptors.
 //
 //  3. VDS instrumentation: each local declaration is followed by
 //     ccift_vds_push(&var, sizeof(var)); scope exits (block ends, returns,
-//     break/continue) emit the matching pops. The VDS contents themselves
-//     are saved/restored with the checkpoint (the restored process reuses
-//     identical stack addresses), so the restart goto legitimately skips
-//     re-execution of the pushes.
+//     break/continue) emit the matching pops. The restart dispatch is
+//     placed *after* the function's leading declarations and their pushes,
+//     so re-entering a frame rebuilds the same descriptor shape the
+//     checkpoint saved (the paper's C89 idiom: checkpoint-live variables
+//     are declared at function scope; declarations in nested blocks that
+//     are live at a checkpoint cannot be rebuilt by the restart jump and
+//     fail the VDS shape check at restore time).
 //
 //  4. Global registration: a generated ccift_register_globals() registers
 //     every global variable discovered across the unit.
@@ -36,6 +43,7 @@
 // runtime_abi.hpp, implemented over the statesave library.
 #pragma once
 
+#include <set>
 #include <string>
 
 #include "ccift/ast.hpp"
@@ -47,7 +55,29 @@ struct TransformOptions {
   bool emit_global_registration = true;
   /// Prefix for generated temporaries and labels.
   std::string prefix = "__ccift";
+  /// MPI facade mode ("recompile and relink" for verbatim MPI programs):
+  ///  - the c3mpi blocking entry points (mpi_checkpoint_sites()) become
+  ///    checkpointable call sites, so a program with no potentialCheckpoint
+  ///    call of its own still gets Position Stack labels at every place the
+  ///    facade may take a checkpoint;
+  ///  - the MPI opaque typedefs (MPI_Comm, MPI_Status, ...) parse as base
+  ///    types;
+  ///  - transform_source() prepends the runtime-ABI prelude so the emitted
+  ///    file is self-contained C.
+  bool mpi_facade = false;
+  /// Rename the program's `main` to this (empty = keep). Lets a C++ driver
+  /// embed the transformed program and hand it to c3mpi::run_mpi_job.
+  std::string rename_main;
 };
+
+/// The facade entry points instrumented as checkpoint sites in MPI mode.
+/// Must match the checkpoint_site() hooks in src/c3mpi/c3mpi.cpp: a label
+/// at a call the facade never checkpoints is harmless, but a checkpoint at
+/// an unlabeled call could not be resumed.
+const std::set<std::string>& mpi_checkpoint_sites();
+
+/// The MPI opaque typedef names MPI mode registers with the parser.
+const std::set<std::string>& mpi_opaque_types();
 
 /// Instrument `unit` in place.
 void transform(TranslationUnit& unit, const TransformOptions& options = {});

@@ -76,6 +76,16 @@ std::optional<RecvOutcome> ReplayLog::take_recv(simmpi::Rank pattern_src,
   return std::nullopt;
 }
 
+const RecvOutcome* ReplayLog::peek_recv(simmpi::Rank pattern_src,
+                                        simmpi::Tag pattern_tag) const {
+  for (const auto& rec : recvs_) {
+    if (rec.pattern_src == pattern_src && rec.pattern_tag == pattern_tag) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
 std::optional<std::uint64_t> ReplayLog::take_nondet() {
   if (nondets_.empty()) return std::nullopt;
   const auto v = nondets_.front().value;

@@ -93,6 +93,12 @@ class ReplayLog {
   std::optional<RecvOutcome> take_recv(simmpi::Rank pattern_src,
                                        simmpi::Tag pattern_tag);
 
+  /// Like take_recv, but non-consuming: the entry a receive posted with
+  /// (src, tag) would replay next, or nullptr. Used by probe interposition
+  /// to answer "is a message available" deterministically during replay.
+  const RecvOutcome* peek_recv(simmpi::Rank pattern_src,
+                               simmpi::Tag pattern_tag) const;
+
   std::optional<std::uint64_t> take_nondet();
   std::optional<util::Bytes> take_collective();
 

@@ -244,6 +244,7 @@ RequestId Process::post_recv(std::span<std::byte> out, simmpi::Rank src,
       // receive it live -- but pinned to the logged (source, tag), which
       // resolves any wildcard non-determinism exactly as in the original
       // execution.
+      stats_.replayed_recv_pins++;
       pr.real = api_.irecv_owned(c, c.from_world(entry->src), entry->tag);
       const RequestId id = next_request_id_++;
       requests_[id] = std::move(pr);
@@ -402,8 +403,72 @@ bool Process::test(RequestId id) {
   return it != requests_.end() && it->second.complete;
 }
 
-void Process::waitall(std::span<RequestId> ids) {
+void Process::waitall(std::span<const RequestId> ids) {
   for (RequestId id : ids) (void)wait(id);
+}
+
+bool Process::has_incomplete_requests() const noexcept {
+  for (const auto& [id, pr] : requests_) {
+    if (!pr.complete) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- probe
+
+std::optional<simmpi::Status> Process::iprobe_now(simmpi::Rank src,
+                                                 simmpi::Tag tag,
+                                                 CommHandle comm) {
+  const simmpi::Comm& c = resolve(comm);
+  if (passthrough()) {
+    if (auto info = api_.iprobe(c, src, tag)) {
+      return simmpi::Status{info->source, info->tag, info->size};
+    }
+    return std::nullopt;
+  }
+  pump();
+  const std::size_t header = piggyback_size(shared_.piggyback);
+  const simmpi::Rank pattern_world =
+      (src == simmpi::kAnySource) ? simmpi::kAnySource : c.to_world(src);
+  if (replay_armed() && !replay_.recvs_exhausted()) {
+    if (const RecvOutcome* entry = replay_.peek_recv(pattern_world, tag)) {
+      if (entry->cls == MessageClass::kLate) {
+        // The sender will not resend a late message; its availability and
+        // size come straight from the log.
+        return simmpi::Status{c.from_world(entry->src), entry->tag,
+                              entry->payload.size()};
+      }
+      // Logged live match: the sender re-executes the send, so report the
+      // message only once it is really here (pinned to the logged origin).
+      if (auto info = api_.iprobe(c, c.from_world(entry->src), entry->tag)) {
+        protocol_invariant(info->size >= header, "message without piggyback");
+        return simmpi::Status{info->source, info->tag, info->size - header};
+      }
+      return std::nullopt;
+    }
+  }
+  if (auto info = api_.iprobe(c, src, tag)) {
+    protocol_invariant(info->size >= header, "message without piggyback");
+    return simmpi::Status{info->source, info->tag, info->size - header};
+  }
+  return std::nullopt;
+}
+
+std::optional<simmpi::Status> Process::iprobe(simmpi::Rank src,
+                                             simmpi::Tag tag,
+                                             CommHandle comm) {
+  event();
+  return iprobe_now(src, tag, comm);
+}
+
+simmpi::Status Process::probe(simmpi::Rank src, simmpi::Tag tag,
+                              CommHandle comm) {
+  event();
+  for (;;) {
+    if (auto st = iprobe_now(src, tag, comm)) return *st;
+    api_.check_abort();
+    api_.idle_wait(kIdleSlice);
+  }
 }
 
 // ----------------------------------------------------------------- control
@@ -1136,7 +1201,11 @@ void Process::recover_from_checkpoint() {
     // needed after it goes out of scope, so copy them out.
     const auto appstate = view.require_section("appstate");
     pending_appstate_.emplace(appstate.begin(), appstate.end());
-    save_ctx_.begin_restore(view);
+    // Globals are registered by precompiler-emitted code that has not run
+    // yet (ccift_register_globals executes once the application re-enters);
+    // defer their value restore to finish_restore(), reached at the resume
+    // point after the registry has been rebuilt.
+    save_ctx_.begin_restore(view, /*defer_globals=*/true);
   }
 
   // Counter state at the instant just after the checkpoint was taken.
@@ -1287,6 +1356,7 @@ void Process::reinit_pending_requests(
       }
       // Completed during logging from a live (re-sent) message: re-issue
       // pinned to the logged source/tag.
+      stats_.replayed_recv_pins++;
       pr.real = api_.irecv_owned(c, c.from_world(entry->src), entry->tag);
       requests_[sq.id] = std::move(pr);
       outstanding_recvs_.push_back(sq.id);

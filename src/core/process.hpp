@@ -111,7 +111,24 @@ class Process {
                   CommHandle comm = kWorldComm);
   simmpi::Status wait(RequestId id);
   bool test(RequestId id);
-  void waitall(std::span<RequestId> ids);
+  void waitall(std::span<const RequestId> ids);
+  /// True while any pseudo-request is incomplete. The c3mpi facade consults
+  /// this before treating an MPI call as an implicit checkpoint site: a
+  /// checkpoint with a pending receive requires a heap-arena buffer, which
+  /// a verbatim MPI application cannot guarantee.
+  bool has_incomplete_requests() const noexcept;
+
+  /// Non-consuming probe for a matching application message (MPI_Probe /
+  /// MPI_Iprobe semantics; src may be kAnySource, tag kAnyTag). The size
+  /// reported is the application payload, piggyback excluded. During
+  /// recovery the reply is driven by the replay log: a logged late message
+  /// is reported from the log, a logged live match is reported only once
+  /// the re-sent message actually arrived.
+  std::optional<simmpi::Status> iprobe(simmpi::Rank src, simmpi::Tag tag,
+                                       CommHandle comm = kWorldComm);
+  /// Blocking probe: waits until iprobe() would succeed.
+  simmpi::Status probe(simmpi::Rank src, simmpi::Tag tag,
+                       CommHandle comm = kWorldComm);
 
   template <typename T>
   void send_value(const T& v, simmpi::Rank dst, simmpi::Tag tag,
@@ -230,6 +247,9 @@ class Process {
   RequestId post_recv(std::span<std::byte> out, simmpi::Rank src,
                       simmpi::Tag tag, CommHandle comm);
   void process_one_recv(PseudoRequest& pr);
+  /// iprobe body without the failure-injection event (probe() loops on it).
+  std::optional<simmpi::Status> iprobe_now(simmpi::Rank src, simmpi::Tag tag,
+                                           CommHandle comm);
 
   // Protocol actions.
   void initiate_checkpoint();

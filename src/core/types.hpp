@@ -56,6 +56,11 @@ struct ProcessStats {
   std::uint64_t intra_epoch_messages = 0;
   std::uint64_t suppressed_sends = 0;
   std::uint64_t replayed_recvs = 0;
+  /// Receives whose wildcard pattern was pinned to the logged (source, tag)
+  /// during recovery: the message arrives live (the sender re-executes the
+  /// send), but the log dictates the match, resolving wildcard
+  /// non-determinism exactly as in the original execution.
+  std::uint64_t replayed_recv_pins = 0;
   std::uint64_t logged_nondet_events = 0;
   std::uint64_t replayed_nondet_events = 0;
   std::uint64_t logged_collectives = 0;

@@ -67,7 +67,13 @@ class SaveContext {
   /// values are held until the activation stack has been rebuilt. Any VDS
   /// entries left over from the failed execution are dropped -- a restarted
   /// process begins with an empty stack.
-  void begin_restore(const CheckpointView& view) {
+  ///
+  /// With `defer_globals` the global values are held back too and applied
+  /// in finish_restore(): the protocol layer restores before the program
+  /// re-enters, but precompiler-emitted registration (ccift_register_globals)
+  /// only runs once the program is underway, so the registry is still empty
+  /// at this point on that path.
+  void begin_restore(const CheckpointView& view, bool defer_globals = false) {
     vds_.clear();
     {
       auto blob = view.require_section("ps");
@@ -76,8 +82,12 @@ class SaveContext {
     }
     {
       auto blob = view.require_section("globals");
-      util::Reader r(blob);
-      globals_.restore_values(r);
+      if (defer_globals) {
+        pending_globals_.emplace(blob.begin(), blob.end());
+      } else {
+        util::Reader r(blob);
+        globals_.restore_values(r);
+      }
     }
     if (heap_) {
       auto blob = view.require_section("heap");
@@ -92,10 +102,16 @@ class SaveContext {
   }
 
   /// Phase 2 of restore, called at the re-reached potentialCheckpoint once
-  /// every frame has re-pushed its descriptors: copy saved values back.
+  /// every frame has re-pushed its descriptors: copy saved values back
+  /// (stack variables, plus globals when their restore was deferred).
   void finish_restore() {
     if (!pending_vds_) {
       throw util::UsageError("finish_restore without begin_restore");
+    }
+    if (pending_globals_) {
+      util::Reader r(*pending_globals_);
+      globals_.restore_values(r);
+      pending_globals_.reset();
     }
     util::Reader r(*pending_vds_);
     vds_.restore_values(r);
@@ -110,6 +126,7 @@ class SaveContext {
   GlobalRegistry globals_;
   std::unique_ptr<HeapArena> heap_;
   std::optional<util::Bytes> pending_vds_;
+  std::optional<util::Bytes> pending_globals_;
 };
 
 }  // namespace c3::statesave

@@ -1,0 +1,460 @@
+// The c3mpi interposition layer: typed MPI calls resolved through the
+// per-rank binding onto the Process protocol layer -- handle tables,
+// status/count conversion, probes, MPI_Wtime determinism, persistent
+// communicators across recovery, and wildcard receives logged and replayed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "c3mpi/binding.hpp"
+#include "c3mpi/mpi.h"
+#include "core/job.hpp"
+
+namespace c3 {
+namespace {
+
+using core::CheckpointPolicy;
+using core::Job;
+using core::JobConfig;
+using core::Process;
+
+/// Deterministic protocol-anchored kill: throw a stopping failure when
+/// `victim` enters kLogClosed for the `round`-th time. Round N in flight
+/// implies round N-1 committed (the initiator opens a round only when the
+/// previous one finished), so recovery from a committed checkpoint is
+/// guaranteed -- unlike event-count triggers, whose relation to the commit
+/// schedule depends on cross-rank scheduling.
+void arm_log_closed_kill(JobConfig& cfg, int victim, int round) {
+  auto entries = std::make_shared<std::atomic<int>>(0);
+  cfg.coordinator_probe = [entries, victim, round](
+                              int rank,
+                              core::coordinator::CoordinatorState entered) {
+    if (rank != victim ||
+        entered != core::coordinator::CoordinatorState::kLogClosed) {
+      return;
+    }
+    if (entries->fetch_add(1) + 1 == round) {
+      throw util::StoppingFailure(rank);
+    }
+  };
+}
+
+// ------------------------------------------------------------- typed p2p
+
+TEST(C3Mpi, TypedSendRecvStatusAndCounts) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    c3mpi::MpiBinding mpi(p);
+    p.complete_registration();
+    int rank = -1, size = 0;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    EXPECT_EQ(rank, p.rank());
+    EXPECT_EQ(size, 2);
+
+    int tsize = 0;
+    MPI_Type_size(MPI_DOUBLE, &tsize);
+    EXPECT_EQ(tsize, 8);
+
+    if (rank == 0) {
+      const double payload[3] = {1.5, 2.5, 3.5};
+      MPI_Send(payload, 3, MPI_DOUBLE, 1, 42, MPI_COMM_WORLD);
+      // 5 raw bytes: MPI_Get_count as MPI_INT must be undefined.
+      const char odd[5] = {1, 2, 3, 4, 5};
+      MPI_Send(odd, 5, MPI_BYTE, 1, 43, MPI_COMM_WORLD);
+    } else {
+      double got[3] = {0, 0, 0};
+      MPI_Status st;
+      MPI_Recv(got, 3, MPI_DOUBLE, MPI_ANY_SOURCE, 42, MPI_COMM_WORLD, &st);
+      EXPECT_EQ(st.MPI_SOURCE, 0);
+      EXPECT_EQ(st.MPI_TAG, 42);
+      int count = -1;
+      MPI_Get_count(&st, MPI_DOUBLE, &count);
+      EXPECT_EQ(count, 3);
+      EXPECT_DOUBLE_EQ(got[2], 3.5);
+
+      char odd[8];
+      MPI_Recv(odd, 8, MPI_BYTE, 0, 43, MPI_COMM_WORLD, &st);
+      MPI_Get_count(&st, MPI_BYTE, &count);
+      EXPECT_EQ(count, 5);
+      MPI_Get_count(&st, MPI_INT, &count);
+      EXPECT_EQ(count, MPI_UNDEFINED);
+    }
+  });
+}
+
+TEST(C3Mpi, RequestHandlesWaitTestWaitall) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    c3mpi::MpiBinding mpi(p);
+    p.complete_registration();
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      long long vals[2] = {7, 9};
+      MPI_Request reqs[2];
+      MPI_Isend(&vals[0], 1, MPI_LONG_LONG, 1, 1, MPI_COMM_WORLD, &reqs[0]);
+      MPI_Isend(&vals[1], 1, MPI_LONG_LONG, 1, 2, MPI_COMM_WORLD, &reqs[1]);
+      MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE);
+      EXPECT_EQ(reqs[0], MPI_REQUEST_NULL);
+      EXPECT_EQ(reqs[1], MPI_REQUEST_NULL);
+      // Waiting on a null request is a no-op, as in MPI.
+      EXPECT_EQ(MPI_Wait(&reqs[0], MPI_STATUS_IGNORE), MPI_SUCCESS);
+    } else {
+      long long a = 0, b = 0;
+      MPI_Request reqs[2];
+      MPI_Irecv(&a, 1, MPI_LONG_LONG, 0, 1, MPI_COMM_WORLD, &reqs[0]);
+      MPI_Irecv(&b, 1, MPI_LONG_LONG, 0, 2, MPI_COMM_WORLD, &reqs[1]);
+      // Drive MPI_Test until the first receive lands, then wait out both.
+      int flag = 0;
+      MPI_Status st;
+      while (!flag) MPI_Test(&reqs[0], &flag, &st);
+      EXPECT_EQ(reqs[0], MPI_REQUEST_NULL);
+      MPI_Status sts[2];
+      MPI_Waitall(2, reqs, sts);
+      EXPECT_EQ(a, 7);
+      EXPECT_EQ(b, 9);
+    }
+  });
+}
+
+// Satellite fix: Process::waitall takes a const span, so app code can pass
+// a const container without copying into a mutable scratch vector.
+TEST(C3Mpi, ProcessWaitallAcceptsConstRequests) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    p.complete_registration();
+    int value = p.rank();
+    std::vector<core::RequestId> reqs;
+    if (p.rank() == 0) {
+      reqs.push_back(p.isend(util::as_bytes(value), 1, 5));
+    } else {
+      reqs.push_back(
+          p.irecv({reinterpret_cast<std::byte*>(&value), sizeof(value)}, 0,
+                  5));
+    }
+    const std::vector<core::RequestId>& frozen = reqs;
+    p.waitall(frozen);  // std::span<const RequestId> from a const vector
+    if (p.rank() == 1) {
+      EXPECT_EQ(value, 0);
+    }
+  });
+}
+
+// ------------------------------------------------------------- probes
+
+TEST(C3Mpi, ProbeAndIprobe) {
+  JobConfig cfg;
+  cfg.ranks = 2;
+  Job job(cfg);
+  job.run([&](Process& p) {
+    c3mpi::MpiBinding mpi(p);
+    p.complete_registration();
+    int rank = -1;
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+      int flag = 1;
+      MPI_Status st;
+      // Nothing sent on tag 99 yet: iprobe must report no message.
+      MPI_Iprobe(1, 99, MPI_COMM_WORLD, &flag, &st);
+      EXPECT_EQ(flag, 0);
+      // Tell rank 1 to go ahead, then block-probe for its reply.
+      int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 1, 7, MPI_COMM_WORLD);
+      MPI_Probe(MPI_ANY_SOURCE, 99, MPI_COMM_WORLD, &st);
+      EXPECT_EQ(st.MPI_SOURCE, 1);
+      EXPECT_EQ(st.MPI_TAG, 99);
+      int count = 0;
+      MPI_Get_count(&st, MPI_DOUBLE, &count);
+      EXPECT_EQ(count, 2);
+      // The probe was non-consuming: the message is still receivable.
+      double got[2] = {0, 0};
+      MPI_Recv(got, 2, MPI_DOUBLE, st.MPI_SOURCE, 99, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      EXPECT_DOUBLE_EQ(got[1], 4.25);
+    } else {
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 0, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      const double reply[2] = {2.25, 4.25};
+      MPI_Send(reply, 2, MPI_DOUBLE, 0, 99, MPI_COMM_WORLD);
+    }
+  });
+}
+
+// ------------------------------------------------- MPI_Wtime determinism
+
+// MPI_Wtime is routed through Process::nondet: reads taken while logging
+// are recorded and must replay bit-identically on recovery, so a recovered
+// execution observes the original run's clock, not the wall clock.
+TEST(C3Mpi, WtimeLoggedAndReplayedBitIdentically) {
+  // The kill is protocol-anchored (rank 1 dies closing the log of round
+  // `round`), so a committed checkpoint always exists. Whether that
+  // epoch's logs contain Wtime reads still depends on where the logging
+  // windows fell, so sweep the kill round until replay is observed;
+  // replayed values are checked for bit-identity on every attempt.
+  bool scenario_seen = false;
+  for (int round = 2; round <= 5 && !scenario_seen; ++round) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.policy = CheckpointPolicy::every(2);
+    arm_log_closed_kill(cfg, /*victim=*/1, round);
+
+    std::mutex mu;
+    // (rank, iter) -> first observed MPI_Wtime value.
+    std::map<std::pair<int, int>, double> first_seen;
+    std::atomic<int> replay_mismatches{0};
+    std::atomic<std::uint64_t> replayed_nondet{0};
+
+    Job job(cfg);
+    auto report = job.run([&](Process& p) {
+      c3mpi::MpiBinding mpi(p);
+      int iter = 0;
+      long long acc = p.rank();
+      p.register_value("iter", iter);
+      p.register_value("acc", acc);
+      p.complete_registration();
+      const int right = (p.rank() + 1) % p.nranks();
+      const int left = (p.rank() + p.nranks() - 1) % p.nranks();
+      while (iter < 24) {
+        const auto replayed_before = p.stats().replayed_nondet_events;
+        const double t = MPI_Wtime();
+        if (p.stats().replayed_nondet_events > replayed_before) {
+          // This read replayed from the log: it must equal the value the
+          // original execution observed at the same (rank, iter) exactly.
+          std::lock_guard lock(mu);
+          auto it = first_seen.find({p.rank(), iter});
+          if (it == first_seen.end() || it->second != t) {
+            replay_mismatches.fetch_add(1);
+          }
+        } else {
+          std::lock_guard lock(mu);
+          first_seen.insert_or_assign({p.rank(), iter}, t);
+        }
+        MPI_Send(&acc, 1, MPI_LONG_LONG, right, 0, MPI_COMM_WORLD);
+        long long got = 0;
+        MPI_Recv(&got, 1, MPI_LONG_LONG, left, 0, MPI_COMM_WORLD,
+                 MPI_STATUS_IGNORE);
+        acc += got;
+        ++iter;
+        potentialCheckpoint();
+      }
+      replayed_nondet.fetch_add(p.stats().replayed_nondet_events);
+    });
+
+    EXPECT_EQ(replay_mismatches.load(), 0)
+        << "a replayed MPI_Wtime diverged from the logged value";
+    if (report.failures == 0) continue;  // round `round` never started
+    // The kill fired while closing round `round`'s log, so round-1 was
+    // committed: rollback (not restart-from-scratch) is guaranteed.
+    EXPECT_TRUE(report.recovered) << "round " << round;
+    if (replayed_nondet.load() > 0) scenario_seen = true;
+  }
+  EXPECT_TRUE(scenario_seen)
+      << "no kill round left Wtime reads in the committed log";
+}
+
+// ----------------------------------- communicators across a recovery line
+
+TEST(C3Mpi, CommDupAndSplitSurviveRecovery) {
+  auto run_job = [](int kill_round, core::JobReport* out) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.policy = CheckpointPolicy::every(2);
+    if (kill_round > 0) arm_log_closed_kill(cfg, /*victim=*/2, kill_round);
+    std::mutex mu;
+    std::vector<double> results(4, 0.0);
+    Job job(cfg);
+    auto report = job.run([&](Process& p) {
+      c3mpi::MpiBinding mpi(p);
+      // Persistent opaque objects created before registration: a dup of
+      // world and a parity split, both used throughout the computation.
+      MPI_Comm ring;
+      MPI_Comm_dup(MPI_COMM_WORLD, &ring);
+      MPI_Comm parity;
+      MPI_Comm_split(MPI_COMM_WORLD, p.rank() % 2, p.rank(), &parity);
+
+      double acc = 1.0 + p.rank();
+      int iter = 0;
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+
+      int rank = 0, size = 0;
+      MPI_Comm_rank(ring, &rank);
+      MPI_Comm_size(ring, &size);
+      EXPECT_EQ(size, 4);
+      int psize = 0;
+      MPI_Comm_size(parity, &psize);
+      EXPECT_EQ(psize, 2);
+
+      while (iter < 16) {
+        // Ring traffic on the dup'd communicator...
+        MPI_Send(&acc, 1, MPI_DOUBLE, (rank + 1) % size, 3, ring);
+        double got = 0;
+        MPI_Recv(&got, 1, MPI_DOUBLE, (rank + size - 1) % size, 3, ring,
+                 MPI_STATUS_IGNORE);
+        // ...and a reduction among same-parity ranks on the split one.
+        double local = acc + got;
+        double reduced = 0;
+        MPI_Allreduce(&local, &reduced, 1, MPI_DOUBLE, MPI_SUM, parity);
+        acc = 0.5 * acc + 0.25 * got + 0.125 * reduced;
+        ++iter;
+        potentialCheckpoint();
+      }
+      std::lock_guard lock(mu);
+      results[static_cast<std::size_t>(p.rank())] = acc;
+    });
+    if (out) *out = report;
+    return results;
+  };
+
+  const auto clean = run_job(0, nullptr);
+  // Rank 2 dies closing the log of round `round`, so the previous round is
+  // committed and the job must roll back -- and both pre-registration
+  // communicators must come back working, with the result identical to the
+  // clean run. (Whether a given round ever starts before the program ends
+  // depends on scheduling; sweep until one fires.)
+  bool recovered_seen = false;
+  for (int round = 2; round <= 4 && !recovered_seen; ++round) {
+    core::JobReport report;
+    const auto recovered = run_job(round, &report);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(recovered[static_cast<std::size_t>(r)],
+                       clean[static_cast<std::size_t>(r)])
+          << "rank " << r << " (round " << round << ")";
+    }
+    if (report.failures == 0) continue;  // round `round` never started
+    EXPECT_TRUE(report.recovered) << "round " << round;
+    recovered_seen = report.recovered;
+  }
+  EXPECT_TRUE(recovered_seen) << "no kill round fired before program end";
+}
+
+// Rank 0 receives from racing senders with MPI_ANY_SOURCE, so the match
+// order is genuinely non-deterministic. On recovery, every receive that
+// consumes a log entry -- a late payload replayed outright, or a live
+// receive *pinned* to the logged (source, tag) -- must reproduce exactly
+// the (source, value) the original execution observed at that point; once
+// the log runs dry the matches are free again (paper Section 4.2).
+TEST(C3Mpi, AnySourceMatchedWhileLoggingReplaysInOrder) {
+  bool replay_seen = false;
+  std::uint64_t total_mismatches = 0;
+  for (int round = 2; round <= 5 && !replay_seen; ++round) {
+    JobConfig cfg;
+    cfg.ranks = 4;
+    cfg.policy = CheckpointPolicy::every(2);
+    arm_log_closed_kill(cfg, /*victim=*/1, round);
+    std::mutex mu;
+    // (iter, k) -> rank 0's matched (source, value) in the first execution.
+    std::map<std::pair<int, int>, std::pair<int, double>> first_exec;
+    std::uint64_t mismatches = 0;
+    std::uint64_t replays = 0;
+
+    Job job(cfg);
+    auto report = job.run([&](Process& p) {
+      c3mpi::MpiBinding mpi(p);
+      double acc = 0.0;
+      int iter = 0;
+      p.register_value("acc", acc);
+      p.register_value("iter", iter);
+      p.complete_registration();
+      while (iter < 16) {
+        if (p.rank() == 0) {
+          for (int k = 1; k < p.nranks(); ++k) {
+            const auto consumed_before =
+                p.stats().replayed_recvs + p.stats().replayed_recv_pins;
+            MPI_Status st;
+            double v = 0;
+            MPI_Recv(&v, 1, MPI_DOUBLE, MPI_ANY_SOURCE, 4, MPI_COMM_WORLD,
+                     &st);
+            const bool from_log =
+                p.stats().replayed_recvs + p.stats().replayed_recv_pins >
+                consumed_before;
+            {
+              std::lock_guard lock(mu);
+              if (from_log) {
+                ++replays;
+                auto it = first_exec.find({iter, k});
+                if (it == first_exec.end() ||
+                    it->second != std::pair<int, double>(st.MPI_SOURCE, v)) {
+                  ++mismatches;
+                }
+              } else {
+                first_exec.insert_or_assign({iter, k},
+                                            std::pair<int, double>(
+                                                st.MPI_SOURCE, v));
+              }
+            }
+            acc = acc * 1.25 + v + 0.5 * st.MPI_SOURCE;
+            // Ack keeps the senders in lockstep with the receiver, so the
+            // coordination rounds complete mid-run instead of piling into
+            // shutdown.
+            int ok = iter;
+            MPI_Send(&ok, 1, MPI_INT, st.MPI_SOURCE, 5, MPI_COMM_WORLD);
+          }
+        } else {
+          double v = 100.0 * p.rank() + iter;
+          MPI_Send(&v, 1, MPI_DOUBLE, 0, 4, MPI_COMM_WORLD);
+          int ok = 0;
+          MPI_Recv(&ok, 1, MPI_INT, 0, 5, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+        }
+        ++iter;
+        potentialCheckpoint();
+      }
+    });
+
+    total_mismatches += mismatches;
+    if (report.failures == 0) continue;  // round `round` never started
+    EXPECT_TRUE(report.recovered) << "round " << round;
+    if (replays > 0) replay_seen = true;
+  }
+  EXPECT_EQ(total_mismatches, 0u)
+      << "a replayed wildcard receive diverged from the logged match";
+  EXPECT_TRUE(replay_seen)
+      << "no kill round left wildcard receives in rank 0's committed log";
+}
+
+// ------------------------------------------------------ run_mpi_job wrapper
+
+int simple_mpi_main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  int rank = -1, size = 0;
+  MPI_Init(nullptr, nullptr);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  double v = rank + 1.0;
+  double total = 0.0;
+  MPI_Allreduce(&v, &total, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+  MPI_Finalize();
+  return static_cast<int>(total);  // 1+2+3 = 6 on 3 ranks
+}
+
+TEST(C3Mpi, RunMpiJobWrapsPlainMainShapedPrograms) {
+  JobConfig cfg;
+  cfg.ranks = 3;
+  // Implicit checkpoint sites: the program never calls potentialCheckpoint,
+  // yet its blocking MPI calls give the initiator policy a place to fire.
+  cfg.policy = CheckpointPolicy::every(2);
+  auto report = c3mpi::run_mpi_job(cfg, &simple_mpi_main);
+  ASSERT_EQ(report.exit_codes.size(), 3u);
+  for (int code : report.exit_codes) EXPECT_EQ(code, 6);
+  EXPECT_EQ(report.job.executions, 1);
+  ASSERT_TRUE(report.job.last_committed_epoch.has_value());
+  EXPECT_GE(*report.job.last_committed_epoch, 1);
+}
+
+}  // namespace
+}  // namespace c3

@@ -25,6 +25,7 @@ void ccift_ps_pop(void);
 int ccift_restoring(void);
 int ccift_ps_next(void);
 void ccift_restore_error(void);
+void ccift_resume(void);
 void ccift_vds_push(void* addr, size_t size);
 void ccift_vds_pop(int count);
 void ccift_register_global(const char* name, void* addr, size_t size);

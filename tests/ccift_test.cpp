@@ -229,7 +229,7 @@ TEST(Transform, InsertsFigure6Instrumentation) {
   // restart dispatch at function entry.
   EXPECT_TRUE(contains(out, "ccift_ps_push(1);"));
   EXPECT_TRUE(contains(out, "potentialCheckpoint()"));
-  EXPECT_TRUE(contains(out, "__ccift_label_1_work: ;"));
+  EXPECT_TRUE(contains(out, "__ccift_label_1_work: ccift_resume();"));
   EXPECT_TRUE(contains(out, "ccift_ps_pop();"));
   EXPECT_TRUE(contains(out, "ccift_vds_push(&x, sizeof(x));"));
   EXPECT_TRUE(contains(out, "if (ccift_restoring())"));
@@ -243,12 +243,12 @@ TEST(Transform, CheckpointLabelAfterCallButCallLabelBefore) {
   )");
   // In inner: label comes AFTER potentialCheckpoint (resume past it).
   const auto ckpt_pos = out.find("potentialCheckpoint()");
-  const auto inner_label = out.find("__ccift_label_1_inner: ;");
+  const auto inner_label = out.find("__ccift_label_1_inner: ccift_resume();");
   ASSERT_NE(ckpt_pos, std::string::npos);
   ASSERT_NE(inner_label, std::string::npos);
   EXPECT_LT(ckpt_pos, inner_label);
   // In outer: label comes BEFORE the call to inner (re-invoke and descend).
-  const auto outer_label = out.find("__ccift_label_1_outer: ;");
+  const auto outer_label = out.find("__ccift_label_1_outer: ccift_resume();");
   const auto inner_call = out.find("inner();", outer_label);
   ASSERT_NE(outer_label, std::string::npos);
   ASSERT_NE(inner_call, std::string::npos);
@@ -369,6 +369,77 @@ TEST(Transform, OutputReparses) {
   // not model, so instead of re-parsing, sanity-check structural pairing.
   EXPECT_EQ(count_of(out, "ccift_ps_push"), count_of(out, "ccift_ps_pop"));
   EXPECT_GE(count_of(out, "ccift_vds_push"), 1u);
+}
+
+// ------------------------------------------------------- MPI facade mode
+
+TEST(Parser, RegisteredTypedefNamesParseAsBaseTypes) {
+  auto unit = parse("void f(void) { MPI_Status st; MPI_Comm c; int x; }",
+                    mpi_opaque_types());
+  const auto& body = unit.functions.at(0).body->body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, StmtKind::kDecl);
+  EXPECT_EQ(body[0]->text, "MPI_Status");
+  EXPECT_EQ(body[1]->text, "MPI_Comm");
+}
+
+TEST(Transform, MpiFacadeLabelsBlockingMpiCalls) {
+  TransformOptions options;
+  options.mpi_facade = true;
+  const std::string out = transform_source(R"(
+    int main(int argc, char **argv) {
+      double v;
+      int i;
+      MPI_Init(&argc, &argv);
+      for (i = 0; i < 4; i++) {
+        MPI_Send(&v, 1, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD);
+        MPI_Recv(&v, 1, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      }
+      MPI_Finalize();
+      return 0;
+    })", options);
+  // The program never calls potentialCheckpoint, yet the facade's blocking
+  // entry points are checkpoint sites: both get PS labels, MPI_Init and
+  // MPI_Finalize (never checkpoint) do not.
+  EXPECT_EQ(count_of(out, "ccift_ps_pop();"), 2u) << out;
+  EXPECT_TRUE(contains(out, "__ccift_label_1_main: ccift_resume();"));
+  EXPECT_TRUE(contains(out, "__ccift_label_2_main: ccift_resume();"));
+  EXPECT_TRUE(contains(out, "if (ccift_restoring())"));
+  // Self-contained C: the ABI prelude is part of the emitted unit.
+  EXPECT_TRUE(contains(out, "void ccift_ps_push(int label);"));
+}
+
+TEST(Transform, MpiFacadeRenamesMain) {
+  TransformOptions options;
+  options.mpi_facade = true;
+  options.rename_main = "c3mpi_app_main";
+  const std::string out = transform_source(R"(
+    int main(int argc, char **argv) {
+      MPI_Barrier(MPI_COMM_WORLD);
+      return 0;
+    })", options);
+  EXPECT_TRUE(contains(out, "int c3mpi_app_main(int argc, char** argv)"));
+  EXPECT_FALSE(contains(out, "int main("));
+  EXPECT_TRUE(contains(out, "__ccift_label_1_c3mpi_app_main"));
+}
+
+TEST(Transform, DispatchPlacedAfterPrologueDeclarations) {
+  const std::string out = transform_source(R"(
+    void work(void) {
+      int a;
+      double grid[8];
+      potentialCheckpoint();
+    })");
+  // The restart dispatch must come after the prologue's VDS pushes, so a
+  // re-entered frame rebuilds the descriptor shape the checkpoint saved.
+  const auto push_a = out.find("ccift_vds_push(&a, sizeof(a));");
+  const auto push_grid = out.find("ccift_vds_push(&grid, sizeof(grid));");
+  const auto dispatch = out.find("if (ccift_restoring())");
+  ASSERT_NE(push_a, std::string::npos);
+  ASSERT_NE(push_grid, std::string::npos);
+  ASSERT_NE(dispatch, std::string::npos);
+  EXPECT_LT(push_a, dispatch);
+  EXPECT_LT(push_grid, dispatch);
 }
 
 // --------------------------------------------------------- runtime ABI
