@@ -151,10 +151,15 @@ Result run_one(const Shape& shape, const Mode& mode) {
 // dominates the encode CPU. Drives the store directly (no protocol) so
 // the numbers are pure pipeline.
 
-constexpr int kSweepRanks[] = {1, 2, 4, 8};
+constexpr int kSweepRanks[] = {1, 2, 4, 8, 16, 64, 128, 256};
 constexpr int kSweepEpochs = 4;
 constexpr std::size_t kSweepBlobBytes = 256u << 10;
 constexpr std::uint64_t kSweepBandwidth = 4ull << 20;  // 64 ms per blob
+/// The serialized curve is capped here: one lane pays sum-over-ranks, so
+/// 256 ranks x 64 ms x 4 epochs would burn ~65 s of wall clock proving a
+/// point already unambiguous at 16. The per-rank-lanes curve -- the claim
+/// under test -- runs the full sweep.
+constexpr int kSerializedCap = 16;
 
 struct SweepResult {
   int ranks = 0;
@@ -162,6 +167,11 @@ struct SweepResult {
   std::size_t lanes = 0;
   double commit_stall_per_epoch = 0;
   double vs_one_rank = 0;  ///< stall relative to this mode's 1-rank run
+  /// Contended metadata-lock acquisitions across the run: with the delta
+  /// index partitioned per lane these stay near zero at 256 lanes where
+  /// the single meta mutex convoyed every encode and drop.
+  std::uint64_t meta_lock_waits = 0;
+  std::uint64_t gc_lock_waits = 0;
 };
 
 SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
@@ -201,9 +211,11 @@ SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
   sr.ranks = ranks;
   sr.mode = per_rank_lanes ? "per-rank-lanes" : "serialized";
   sr.lanes = o.writer_lanes;
+  const auto stats = store.storage_stats();
   sr.commit_stall_per_epoch =
-      static_cast<double>(store.storage_stats().commit_stall_ns) / 1e9 /
-      kSweepEpochs;
+      static_cast<double>(stats.commit_stall_ns) / 1e9 / kSweepEpochs;
+  sr.meta_lock_waits = stats.meta_lock_waits;
+  sr.gc_lock_waits = stats.gc_lock_waits;
   return sr;
 }
 
@@ -213,20 +225,25 @@ std::vector<SweepResult> run_sweep() {
       "===\n(%zu KiB/rank/epoch, %llu MB/s modelled per-node disks)\n",
       kSweepBlobBytes >> 10,
       static_cast<unsigned long long>(kSweepBandwidth >> 20));
-  std::printf("%-7s %-16s %6s %18s %14s\n", "ranks", "mode", "lanes",
-              "commit stall s/ep", "vs 1-rank");
+  std::printf("(serialized curve capped at %d ranks: sum-over-ranks cost is "
+              "already unambiguous there)\n", kSerializedCap);
+  std::printf("%-7s %-16s %6s %18s %14s %11s %9s\n", "ranks", "mode", "lanes",
+              "commit stall s/ep", "vs 1-rank", "meta-waits", "gc-waits");
   std::vector<SweepResult> results;
   for (const bool lanes : {false, true}) {
     double one_rank_stall = 0;
     for (const int ranks : kSweepRanks) {
+      if (!lanes && ranks > kSerializedCap) continue;
       auto sr = run_sweep_one(ranks, lanes);
       if (ranks == 1) one_rank_stall = sr.commit_stall_per_epoch;
       sr.vs_one_rank = one_rank_stall > 0
                            ? sr.commit_stall_per_epoch / one_rank_stall
                            : 0.0;
-      std::printf("%-7d %-16s %6zu %18.4f %13.2fx\n", sr.ranks,
+      std::printf("%-7d %-16s %6zu %18.4f %13.2fx %11llu %9llu\n", sr.ranks,
                   sr.mode.c_str(), sr.lanes, sr.commit_stall_per_epoch,
-                  sr.vs_one_rank);
+                  sr.vs_one_rank,
+                  static_cast<unsigned long long>(sr.meta_lock_waits),
+                  static_cast<unsigned long long>(sr.gc_lock_waits));
       results.push_back(std::move(sr));
     }
   }
@@ -262,18 +279,23 @@ void write_json(const std::vector<Result>& results,
                "    \"blob_bytes_per_rank\": %zu,\n"
                "    \"disk_mb_per_s\": %llu,\n"
                "    \"epochs\": %d,\n"
+               "    \"serialized_rank_cap\": %d,\n"
                "    \"results\": [\n",
                kSweepBlobBytes,
                static_cast<unsigned long long>(kSweepBandwidth >> 20),
-               kSweepEpochs);
+               kSweepEpochs, kSerializedCap);
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const auto& s = sweep[i];
     std::fprintf(f,
                  "      {\"ranks\": %d, \"mode\": \"%s\", \"lanes\": %zu, "
                  "\"commit_stall_seconds_per_epoch\": %.4f, "
-                 "\"stall_vs_one_rank\": %.3f}%s\n",
+                 "\"stall_vs_one_rank\": %.3f, "
+                 "\"meta_lock_waits\": %llu, \"gc_lock_waits\": %llu}%s\n",
                  s.ranks, s.mode.c_str(), s.lanes, s.commit_stall_per_epoch,
-                 s.vs_one_rank, i + 1 < sweep.size() ? "," : "");
+                 s.vs_one_rank,
+                 static_cast<unsigned long long>(s.meta_lock_waits),
+                 static_cast<unsigned long long>(s.gc_lock_waits),
+                 i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);

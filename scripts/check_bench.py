@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate CI on the benchmark JSON the bench binaries emit.
+
+Checks (stdlib only, no third-party deps):
+  BENCH_scaling.json    -- initiator control sends per phase must stay within
+                           ceil(log2 P) at every swept rank count (the tree
+                           control plane's core claim; a flat fan-out would
+                           be P-1).
+  BENCH_protocol.json   -- c3mpi facade overhead vs the direct API must stay
+                           within 5% at every payload size (negative values,
+                           i.e. the facade measuring faster, always pass).
+  BENCH_checkpoint.json -- with per-rank writer lanes the commit stall at
+                           the largest swept rank count must stay within
+                           1.5x the 1-rank stall (flat-commit claim).
+
+Usage: check_bench.py <build-dir>
+Missing files fail the gate except BENCH_protocol.json, which is optional
+(the microbench lane only runs on demand in some jobs).
+"""
+import json
+import math
+import sys
+from pathlib import Path
+
+FACADE_OVERHEAD_LIMIT_PCT = 5.0
+COMMIT_STALL_LIMIT_X = 1.5
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH GATE FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_scaling(path: Path) -> None:
+    data = json.loads(path.read_text())
+    sweep = data.get("rank_sweep", [])
+    if not sweep:
+        fail(f"{path.name}: empty rank_sweep")
+    for entry in sweep:
+        ranks = entry["ranks"]
+        bound = math.ceil(math.log2(ranks))
+        sends = entry["initiator_sends_per_phase"]
+        for phase, count in sends.items():
+            if count > bound:
+                fail(
+                    f"{path.name}: {ranks} ranks, phase '{phase}': initiator "
+                    f"sent {count}/phase, bound is ceil(log2 P) = {bound}"
+                )
+        print(
+            f"  scaling ok: {ranks:4d} ranks, initiator sends "
+            f"{max(sends.values()):.1f}/phase <= {bound}"
+        )
+
+
+def check_protocol(path: Path) -> None:
+    data = json.loads(path.read_text())
+    for entry in data.get("facade_overhead_pct", []):
+        pct = entry["overhead_pct"]
+        payload = entry["payload_bytes"]
+        if pct > FACADE_OVERHEAD_LIMIT_PCT:
+            fail(
+                f"{path.name}: facade overhead {pct:+.2f}% at {payload} B "
+                f"payload exceeds {FACADE_OVERHEAD_LIMIT_PCT}%"
+            )
+        print(f"  facade ok: {payload:6d} B payload, {pct:+.2f}% overhead")
+
+
+def check_checkpoint(path: Path) -> None:
+    data = json.loads(path.read_text())
+    sweep = data.get("rank_sweep", {}).get("results", [])
+    laned = [r for r in sweep if r.get("mode") == "per-rank-lanes"]
+    if not laned:
+        fail(f"{path.name}: no per-rank-lanes sweep results")
+    worst = max(laned, key=lambda r: r["ranks"])
+    ratio = worst["stall_vs_one_rank"]
+    if ratio > COMMIT_STALL_LIMIT_X:
+        fail(
+            f"{path.name}: commit stall at {worst['ranks']} ranks is "
+            f"{ratio:.2f}x the 1-rank stall, limit {COMMIT_STALL_LIMIT_X}x"
+        )
+    print(
+        f"  checkpoint ok: {worst['ranks']} ranks commit stall "
+        f"{ratio:.2f}x 1-rank (limit {COMMIT_STALL_LIMIT_X}x)"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench.py <build-dir>")
+    build = Path(sys.argv[1])
+
+    scaling = build / "BENCH_scaling.json"
+    if not scaling.is_file():
+        fail(f"{scaling} missing")
+    check_scaling(scaling)
+
+    checkpoint = build / "BENCH_checkpoint.json"
+    if not checkpoint.is_file():
+        fail(f"{checkpoint} missing")
+    check_checkpoint(checkpoint)
+
+    protocol = build / "BENCH_protocol.json"
+    if protocol.is_file():
+        check_protocol(protocol)
+    else:
+        print(f"  note: {protocol.name} absent, facade gate skipped")
+
+    print("bench gate: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

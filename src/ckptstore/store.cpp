@@ -19,6 +19,17 @@ namespace {
 constexpr char kRetentionMetaSection[] = "c3-retention-interval";
 }  // namespace
 
+std::mutex& CheckpointStore::lock_counted(
+    std::mutex& mu, std::atomic<std::uint64_t>& counter) const {
+  // Try-then-lock: the uncontended fast path costs one CAS (same as a
+  // plain lock); only contended acquisitions pay the counter update.
+  if (!mu.try_lock()) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    mu.lock();
+  }
+  return mu;
+}
+
 CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
                                  StoreOptions opts)
     : inner_(std::move(inner)), opts_(opts) {
@@ -32,6 +43,7 @@ CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
   if (opts_.full_interval <= 0) opts_.full_interval = 1;
   sweep_stale_epochs();
   lane_count_ = opts_.async ? std::max<std::size_t>(1, opts_.writer_lanes) : 1;
+  meta_shards_ = std::make_unique<MetaShard[]>(lane_count_);
   lane_counters_ = std::make_unique<LaneCounters[]>(lane_count_);
   if (opts_.async) {
     // The byte budget is a *total* across lanes: split it evenly so per-
@@ -95,9 +107,15 @@ void CheckpointStore::write_one(std::size_t lane, const util::BlobKey& key,
     // first -- and (b) drop this blob's chains so no later epoch emits
     // refs homed in the missing blob.
     {
-      std::lock_guard lock(meta_mu_);
+      std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_),
+                         std::adopt_lock);
       failed_epochs_.insert(key.epoch);
-      index_.drop_chains_for(key.rank, key.section);
+    }
+    {
+      MetaShard& ms = meta_shards_[meta_lane(key.rank)];
+      std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                           std::adopt_lock);
+      ms.index.drop_chains_for(key.rank, key.section);
     }
     throw;
   }
@@ -141,15 +159,52 @@ util::Bytes CheckpointStore::encode_blob(std::size_t lane,
     }
   }
 
-  // Phase 2, under meta_mu_: ref-vs-inline decisions, delta-index update
-  // and reference registration -- atomically with respect to drops, which
-  // run under the same lock. Registering refs_ *before* the lock is
-  // released is the cross-lane GC interlock: once a chunk decides to
-  // reference home epoch h, no drop can physically remove h until this
-  // epoch itself is dropped.
+  // Phase 2: ref-vs-inline decisions, split across the two metadata locks
+  // so lanes encoding different ranks never serialize on each other.
+  //
+  //   2a (this rank's shard lock): candidate homes from the chain's prior
+  //       table -- CRC match, length match, reference-horizon window. The
+  //       shard is touched only by this rank's lane plus the rare GC table
+  //       erasure, so this lock is effectively uncontended.
+  //   2b (global GC lock, short): validate candidates against dropped_ and
+  //       register the surviving refs atomically with respect to drops --
+  //       the cross-lane GC interlock. A drop either ran first (the
+  //       candidate demotes to inline here) or defers until this epoch is
+  //       itself dropped. A candidate read from a stale table (its epoch
+  //       dropped between 2a and 2b, erasure pending) is caught here too.
+  //   2c (shard lock again): install the new table. Only this rank's lane
+  //       writes this chain, so nothing can have interleaved since 2a.
+  MetaShard& ms = meta_shards_[meta_lane(key.rank)];
   std::uint64_t inline_count = 0, ref_count = 0;
   {
-    std::lock_guard lock(meta_mu_);
+    std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                         std::adopt_lock);
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      const auto& [name, data] = sections[s];
+      const SectionIndex* prev =
+          ms.index.find(ChainKey{key.rank, key.section, name});
+      const std::size_t n = plans[s].crcs.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int32_t home = -1;
+        if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
+            prev->chunks[i].crc == plans[s].crcs[i] &&
+            chunk_len(prev->raw_size, cs, i) ==
+                chunk_len(data.size(), cs, i)) {
+          const std::int32_t h = prev->chunks[i].home_epoch;
+          // A reference must name an older, still-present epoch; a chunk
+          // whose home has aged past full_interval is rewritten inline so
+          // superseded epochs cannot be pinned forever.
+          if (h >= 0 && h < key.epoch &&
+              key.epoch - h < opts_.full_interval) {
+            home = h;
+          }
+        }
+        plans[s].homes[i] = home;
+      }
+    }
+  }
+  {
+    std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
     // Re-writing an epoch (recovery re-executing it) makes it live again;
     // and entries older than the reference horizon can never be named by a
     // future ref, so the dropped-set stays bounded.
@@ -158,46 +213,42 @@ util::Bytes CheckpointStore::encode_blob(std::size_t lane,
     dropped_.erase(dropped_.begin(),
                    dropped_.lower_bound(key.epoch - opts_.full_interval));
     std::set<int> homes_used;
+    for (auto& plan : plans) {
+      for (auto& home : plan.homes) {
+        if (home < 0) continue;
+        if (dropped_.count(home) != 0) {
+          home = -1;  // the home epoch is gone: rewrite inline
+        } else {
+          homes_used.insert(home);
+        }
+      }
+    }
+    if (!homes_used.empty()) {
+      refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
+    }
+  }
+  {
+    std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                         std::adopt_lock);
     for (std::size_t s = 0; s < sections.size(); ++s) {
       const auto& [name, data] = sections[s];
-      const ChainKey ck{key.rank, key.section, name};
-      const SectionIndex* prev = index_.find(ck);
       SectionIndex next;
       next.epoch = key.epoch;
       next.raw_size = data.size();
       const std::size_t n = plans[s].crcs.size();
       next.chunks.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        const std::uint32_t crc = plans[s].crcs[i];
-        std::int32_t home = -1;
-        if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
-            prev->chunks[i].crc == crc &&
-            chunk_len(prev->raw_size, cs, i) ==
-                chunk_len(data.size(), cs, i)) {
-          const std::int32_t h = prev->chunks[i].home_epoch;
-          // A reference must name an older, still-present epoch; a chunk
-          // whose home has aged past full_interval is rewritten inline so
-          // superseded epochs cannot be pinned forever.
-          if (h >= 0 && h < key.epoch &&
-              key.epoch - h < opts_.full_interval &&
-              dropped_.count(h) == 0) {
-            home = h;
-          }
-        }
-        plans[s].homes[i] = home;
+        const std::int32_t home = plans[s].homes[i];
         if (home >= 0) {
-          next.chunks[i] = ChunkMeta{crc, home};
-          homes_used.insert(home);
+          next.chunks[i] = ChunkMeta{plans[s].crcs[i], home};
           ref_count++;
         } else {
-          next.chunks[i] = ChunkMeta{crc, key.epoch};
+          next.chunks[i] = ChunkMeta{plans[s].crcs[i], key.epoch};
           inline_count++;
         }
       }
-      index_.update(ck, std::move(next));
-    }
-    if (!homes_used.empty()) {
-      refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
+      ms.index.update(ChainKey{key.rank, key.section, name},
+                      std::move(next));
     }
   }
   LaneCounters& lc = lane_counters_[lane];
@@ -411,7 +462,7 @@ void CheckpointStore::commit(int epoch) {
   flush();
   commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
   {
-    std::lock_guard lock(meta_mu_);
+    std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
     if (failed_epochs_.count(epoch) != 0) {
       throw util::CorruptionError(
           "checkpoint store: epoch " + std::to_string(epoch) +
@@ -437,8 +488,12 @@ void CheckpointStore::commit(int epoch) {
 
   // Superseded epochs whose drop was deferred may be droppable now (the
   // epoch that pinned them may itself have been dropped or rewritten).
-  std::lock_guard lock(meta_mu_);
-  try_drops_locked();
+  std::vector<int> dropped_now;
+  {
+    std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
+    try_drops_locked(dropped_now);
+  }
+  erase_dropped_tables(dropped_now);
 }
 
 void CheckpointStore::sweep_stale_epochs() {
@@ -507,7 +562,7 @@ bool CheckpointStore::referenced_by_live_locked(int epoch) const {
   return false;
 }
 
-void CheckpointStore::try_drops_locked() {
+void CheckpointStore::try_drops_locked(std::vector<int>& dropped_now) {
   bool progress = true;
   while (progress) {
     progress = false;
@@ -519,9 +574,24 @@ void CheckpointStore::try_drops_locked() {
       dropped_.insert(e);
       refs_.erase(e);
       drop_requested_.erase(e);
-      index_.drop_tables_for_epoch(e);
+      dropped_now.push_back(e);
       progress = true;  // dropping e may unpin the homes it referenced
     }
+  }
+}
+
+void CheckpointStore::erase_dropped_tables(
+    const std::vector<int>& dropped_now) {
+  if (dropped_now.empty()) return;
+  // Index tables of dropped epochs are erased shard by shard *after* the
+  // GC lock is released: shard locks are never nested under gc_mu_. A
+  // stale table surviving until here is harmless -- every candidate home
+  // it yields is re-validated against dropped_ before a ref is emitted.
+  for (std::size_t l = 0; l < lane_count_; ++l) {
+    MetaShard& ms = meta_shards_[l];
+    std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                         std::adopt_lock);
+    for (const int e : dropped_now) ms.index.drop_tables_for_epoch(e);
   }
 }
 
@@ -535,15 +605,19 @@ void CheckpointStore::drop_epoch(int epoch) {
   // the dropped blobs. A writer error surfacing from this flush still
   // aborts the drop: the caller must observe it.
   flush();
-  std::lock_guard lock(meta_mu_);
-  // Abandoning the epoch clears its failed-write latch: a re-execution
-  // starts from a clean slate (and a fresh, ref-free delta chain).
-  failed_epochs_.erase(epoch);
-  // The physical drop waits until no live epoch's manifest references
-  // chunks homed here -- not just the newest commit's: a retained
-  // fallback epoch (detached shutdown) pins its homes too.
-  drop_requested_.insert(epoch);
-  try_drops_locked();
+  std::vector<int> dropped_now;
+  {
+    std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
+    // Abandoning the epoch clears its failed-write latch: a re-execution
+    // starts from a clean slate (and a fresh, ref-free delta chain).
+    failed_epochs_.erase(epoch);
+    // The physical drop waits until no live epoch's manifest references
+    // chunks homed here -- not just the newest commit's: a retained
+    // fallback epoch (detached shutdown) pins its homes too.
+    drop_requested_.insert(epoch);
+    try_drops_locked(dropped_now);
+  }
+  erase_dropped_tables(dropped_now);
 }
 
 // ------------------------------------------------------------- accounting
@@ -574,6 +648,8 @@ util::StorageStats CheckpointStore::storage_stats() const {
   s.put_stall_ns = sync_put_ns_.load(std::memory_order_relaxed) +
                    (writer_ ? writer_->enqueue_stall_ns() : 0);
   s.commit_stall_ns = commit_stall_ns_.load(std::memory_order_relaxed);
+  s.meta_lock_waits = meta_lock_waits_.load(std::memory_order_relaxed);
+  s.gc_lock_waits = gc_lock_waits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -39,14 +39,25 @@
 // epoch older than committed - full_interval, which the one-hop reference
 // rule proves unreachable from any retained manifest.
 //
-// Cross-lane GC interlock: with several writer lanes encoding different
-// ranks' blobs concurrently, the decision to *reference* a home epoch and
-// the registration of that reference happen atomically under meta_mu_,
-// the same lock every drop executes under. A drop therefore either runs
-// before an encode's decision (the encode sees the epoch in dropped_ and
-// rewrites inline) or after its refs are registered (the drop defers) --
+// Metadata locking is split so 256 lanes commit at max-over-ranks, not
+// sum: the delta index is partitioned into per-lane shards (blobs route to
+// lanes by BlobKey::rank, so a chain lives in exactly one shard and two
+// lanes never contend on index state), while the retention sets (refs_,
+// drop_requested_, dropped_, failed_epochs_) stay behind one short global
+// GC lock taken only for the cross-rank ref/drop handshake -- never while
+// a shard lock is held, and never around chunk CRC/compression work.
+//
+// Cross-lane GC interlock under the split: an encode decides candidate
+// homes under its shard lock, then *validates them against dropped_ and
+// registers them in refs_ in one GC-lock critical section* -- the same
+// lock every drop's decision executes under. A drop therefore either runs
+// before that validation (the encode sees the epoch in dropped_ and
+// rewrites inline) or after the refs are registered (the drop defers) --
 // a committed manifest can never name a dropped blob, regardless of the
-// order lanes drain in.
+// order lanes drain in. Dropped epochs' index tables are erased *after*
+// the GC lock is released (per shard, shard lock only); a stale table is
+// harmless because every future candidate home it yields is re-validated
+// against dropped_ before any ref is emitted.
 #pragma once
 
 #include <functional>
@@ -159,11 +170,24 @@ class CheckpointStore final : public util::StableStorage {
   StoreOptions opts_;
   std::size_t lane_count_ = 1;
 
-  // Write-side state: the delta index plus retention bookkeeping, shared
-  // across lanes and guarded by meta_mu_ (lane threads take it briefly per
-  // blob for the ref/inline decision; rank threads for commit/drop). The
-  // CRC pass and the compression/serialization of inline chunks run
-  // outside the lock, so lanes overlap their heavy work.
+  /// Per-lane slice of the delta index, cache-line padded. A chain key's
+  /// rank routes to exactly one lane (meta_lane == AsyncWriter::lane_of),
+  /// so a shard is touched by one writer thread plus the rare cross-rank
+  /// GC table erasure -- ref/index decisions of different ranks never
+  /// serialize on each other.
+  struct alignas(64) MetaShard {
+    mutable std::mutex mu;
+    DeltaIndex index;
+  };
+
+  /// The metadata shard owning chains of `rank` (same routing as the
+  /// writer lanes, so one rank's encode and index state share a lane).
+  std::size_t meta_lane(int rank) const noexcept {
+    const auto n = static_cast<std::size_t>(lane_count_);
+    const auto r = static_cast<std::size_t>(rank < 0 ? -(rank + 1) : rank);
+    return r % n;
+  }
+
   /// The full_interval recorded beside `epoch`'s commit marker (nullopt:
   /// absent, damaged, or implausible -- no safe sweep horizon).
   std::optional<std::int32_t> read_retention_interval(int epoch) const;
@@ -177,12 +201,24 @@ class CheckpointStore final : public util::StableStorage {
 
   /// Execute every requested drop whose epoch is no longer referenced by
   /// any live (not-yet-dropped) epoch, cascading: dropping one epoch may
-  /// unpin the homes it referenced. Caller holds meta_mu_.
-  void try_drops_locked();
+  /// unpin the homes it referenced. Caller holds gc_mu_; epochs dropped in
+  /// this pass are appended to `dropped_now` so the caller can erase their
+  /// index tables per shard *after* releasing the GC lock (shard locks are
+  /// never taken under gc_mu_).
+  void try_drops_locked(std::vector<int>& dropped_now);
   bool referenced_by_live_locked(int epoch) const;
+  /// Erase dropped epochs' tables from every index shard (call with no
+  /// lock held).
+  void erase_dropped_tables(const std::vector<int>& dropped_now);
+  /// Acquire `mu`, counting contended acquisitions into `counter`.
+  std::mutex& lock_counted(std::mutex& mu,
+                           std::atomic<std::uint64_t>& counter) const;
 
-  mutable std::mutex meta_mu_;
-  DeltaIndex index_;
+  std::unique_ptr<MetaShard[]> meta_shards_;
+
+  /// Cross-rank retention state (short critical sections only; no backend
+  /// I/O except the physical drop, no shard locks, no chunk work).
+  mutable std::mutex gc_mu_;
   std::map<int, std::set<int>> refs_;  ///< epoch -> home epochs it references
   std::set<int> drop_requested_;  ///< protocol asked; executes when unpinned
   std::set<int> dropped_;   ///< physically dropped epochs (never reference)
@@ -195,6 +231,8 @@ class CheckpointStore final : public util::StableStorage {
   // Stats (relaxed: read by benchmarks, not by the protocol).
   std::atomic<std::uint64_t> commit_stall_ns_{0};
   std::atomic<std::uint64_t> sync_put_ns_{0};
+  mutable std::atomic<std::uint64_t> meta_lock_waits_{0};
+  mutable std::atomic<std::uint64_t> gc_lock_waits_{0};
   std::unique_ptr<LaneCounters[]> lane_counters_;
 
   /// Recycles per-chunk compression scratch and drained blob buffers.

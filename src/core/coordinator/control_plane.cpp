@@ -59,10 +59,13 @@ void ControlPlane::send_control(int dst, ControlKind kind,
 void ControlPlane::relay_to_children(
     ControlKind kind, std::span<const std::byte> payload,
     std::uint64_t ControlPlaneStats::* counter) {
-  for (const int child : children_) {
-    send_control(child, kind, payload);
-    stats_.*counter += 1;
-  }
+  if (children_.empty()) return;
+  // One batched fan-out per hop: all children are staged in a single fabric
+  // call, so an interior tree node costs one wakeup per child inbox and the
+  // phase relay at P ranks never pays per-message notify overhead.
+  api_.send_batch(world_, payload, children_, control_tag(kind), kCtrl);
+  pstats_.control_messages += children_.size();
+  stats_.*counter += children_.size();
 }
 
 void ControlPlane::open_round(std::int32_t target) {

@@ -26,6 +26,16 @@ class DeliveryPolicy {
   virtual std::uint32_t hold_for(int src, int dst) = 0;
   /// Deep copy (each inbox gets an independent policy instance).
   virtual std::unique_ptr<DeliveryPolicy> clone() const = 0;
+  /// True when hold_for always returns 0: the inbox then skips all hold
+  /// bookkeeping and delivery is a sharded push + flag (the common case).
+  virtual bool immediate() const noexcept { return false; }
+  /// Independent copy for one (src -> dst) stream shard. Policies with
+  /// internal randomness should derive a per-stream sequence from `salt`
+  /// so shards of one inbox do not replay identical hold patterns.
+  virtual std::unique_ptr<DeliveryPolicy> fork(std::uint64_t salt) const {
+    (void)salt;
+    return clone();
+  }
 };
 
 /// Immediate delivery: classic FIFO network.
@@ -35,6 +45,7 @@ class FifoDelivery final : public DeliveryPolicy {
   std::unique_ptr<DeliveryPolicy> clone() const override {
     return std::make_unique<FifoDelivery>();
   }
+  bool immediate() const noexcept override { return true; }
 };
 
 /// Randomly delays streams to interleave sources out of order.
@@ -58,6 +69,12 @@ class RandomReorderDelivery final : public DeliveryPolicy {
     // Clones fork the seed so inboxes do not share one stream.
     auto copy = std::make_unique<RandomReorderDelivery>(*this);
     copy->rng_ = rng_.fork(0xC10E);
+    return copy;
+  }
+
+  std::unique_ptr<DeliveryPolicy> fork(std::uint64_t salt) const override {
+    auto copy = std::make_unique<RandomReorderDelivery>(*this);
+    copy->rng_ = rng_.fork(0xC10E ^ salt);
     return copy;
   }
 

@@ -1,42 +1,157 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace c3::net {
+namespace {
 
-Inbox::Inbox(int owner, std::unique_ptr<DeliveryPolicy> policy)
-    : owner_(owner), policy_(std::move(policy)) {}
-
-void Inbox::deliver(Packet p) {
-  bool wake;
-  {
-    std::lock_guard lock(mu_);
-    const int src = p.src;
-    auto& stream = streams_[src];
-    const bool was_empty = stream.staged.empty();
-    stream.staged.push_back(std::move(p));
-    if (was_empty) stream.hold = policy_->hold_for(src, owner_);
-    on_event_locked(src);
-    // Only signal when the receiver is actually parked in wait(): a busy
-    // receiver polls the queue itself, and the wakeup syscall is the single
-    // most expensive step of an uncontended delivery.
-    wake = waiters_ > 0;
-  }
-  if (wake) cv_.notify_all();
+/// Acquire `mu`, recording contended acquisitions in `stats` (try-then-lock:
+/// the uncontended fast path costs one CAS, the same as a plain lock).
+inline void lock_counted(std::mutex& mu, FabricStats* stats) {
+  if (mu.try_lock()) return;
+  if (stats) stats->lock_waits.fetch_add(1, std::memory_order_relaxed);
+  mu.lock();
 }
 
-void Inbox::on_event_locked(int arriving_src) {
-  for (auto& [src, stream] : streams_) {
-    if (stream.staged.empty()) continue;
-    if (src != arriving_src && stream.hold > 0) --stream.hold;
-    // Release every packet whose hold has expired; packets behind a released
-    // head draw a fresh hold so reordering opportunities recur mid-stream.
-    while (!stream.staged.empty() && stream.hold == 0) {
-      released_.push_back(std::move(stream.staged.front()));
-      stream.staged.pop_front();
-      if (!stream.staged.empty()) stream.hold = policy_->hold_for(src, owner_);
+}  // namespace
+
+Inbox::Inbox(int owner, int nsources, const DeliveryPolicy& policy_prototype,
+             FabricStats* stats)
+    : owner_(owner),
+      immediate_(policy_prototype.immediate()),
+      proto_(policy_prototype.clone()),
+      shards_(std::make_unique<Shard[]>(static_cast<std::size_t>(nsources))),
+      nsources_(nsources),
+      stats_(stats) {}
+
+void Inbox::deliver(Packet p) {
+  const int src = p.src;
+  Shard& s = shards_[static_cast<std::size_t>(src)];
+  if (!immediate_) events_.fetch_add(1, std::memory_order_relaxed);
+  lock_counted(s.mu, stats_);
+  {
+    std::lock_guard lock(s.mu, std::adopt_lock);
+    if (!immediate_) {
+      ++s.own_deliveries;
+      // A packet arriving to an empty stream becomes the stream head and
+      // draws its hold now; packets queued behind a held head draw theirs
+      // later, when the cascade in collect_locked() reaches them.
+      if (s.head >= s.staged.size()) {
+        if (!s.policy) s.policy = proto_->fork(static_cast<std::uint64_t>(src));
+        s.hold = s.policy->hold_for(src, owner_);
+        // Fresh baseline: events up to and including this arrival never age
+        // the hold just drawn (a stream's own arrivals are not its events).
+        s.aged_events = events_.load(std::memory_order_relaxed);
+        s.own_at_age = s.own_deliveries;
+      }
+    }
+    s.staged.push_back(std::move(p));
+  }
+  activate(s, src);
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  wake();
+}
+
+void Inbox::deliver_batch(std::span<Packet> batch) {
+  // Packets from one source share a single shard-lock acquisition; the
+  // whole batch issues at most one wakeup. Callers send from their own
+  // rank, so a batch is typically one run per destination.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const int src = batch[i].src;
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].src == src) ++j;
+    const std::size_t run = j - i;
+    Shard& s = shards_[static_cast<std::size_t>(src)];
+    if (!immediate_) events_.fetch_add(run, std::memory_order_relaxed);
+    lock_counted(s.mu, stats_);
+    {
+      std::lock_guard lock(s.mu, std::adopt_lock);
+      for (std::size_t k = i; k < j; ++k) {
+        if (!immediate_) {
+          ++s.own_deliveries;
+          if (s.head >= s.staged.size()) {
+            if (!s.policy) {
+              s.policy = proto_->fork(static_cast<std::uint64_t>(src));
+            }
+            s.hold = s.policy->hold_for(src, owner_);
+            s.aged_events = events_.load(std::memory_order_relaxed);
+            s.own_at_age = s.own_deliveries;
+          }
+        }
+        s.staged.push_back(std::move(batch[k]));
+      }
+    }
+    activate(s, src);
+    i = j;
+  }
+  pending_.fetch_add(batch.size(), std::memory_order_seq_cst);
+  wake();
+}
+
+void Inbox::activate(Shard& s, int idx) {
+  // Flag-guarded Treiber push: a shard is on the active list at most once.
+  // seq_cst on `queued` orders the flag against the consumer's clear so a
+  // skipped push always implies the consumer will still collect the data.
+  if (s.queued.exchange(true, std::memory_order_seq_cst)) return;
+  int head = active_head_.load(std::memory_order_relaxed);
+  do {
+    s.next_active.store(head, std::memory_order_relaxed);
+  } while (!active_head_.compare_exchange_weak(head, idx,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+}
+
+std::size_t Inbox::collect_locked(int src, std::vector<Packet>& out) {
+  Shard& s = shards_[static_cast<std::size_t>(src)];
+  std::size_t moved = 0;
+  if (immediate_) {
+    moved = s.staged.size() - s.head;
+    for (std::size_t i = s.head; i < s.staged.size(); ++i) {
+      out.push_back(std::move(s.staged[i]));
+    }
+    s.staged.clear();
+    s.head = 0;
+  } else {
+    // Lazy hold aging: replay the foreign events that occurred since this
+    // shard was last visited (global events minus the shard's own arrivals,
+    // which never age its own stream). Replaying one event at a time keeps
+    // the exact cascade semantics: a fresh hold drawn mid-cascade is aged
+    // only by events "after" it in the replay.
+    const std::uint64_t ev = events_.load(std::memory_order_relaxed);
+    const std::uint64_t ev_delta = ev - s.aged_events;
+    const std::uint64_t own_delta = s.own_deliveries - s.own_at_age;
+    std::uint64_t budget = ev_delta > own_delta ? ev_delta - own_delta : 0;
+    s.aged_events = ev;
+    s.own_at_age = s.own_deliveries;
+    while (s.head < s.staged.size()) {
+      if (s.hold == 0) {
+        out.push_back(std::move(s.staged[s.head]));
+        ++s.head;
+        ++moved;
+        // Packets behind a released head draw a fresh hold so reordering
+        // opportunities recur mid-stream.
+        if (s.head < s.staged.size()) s.hold = s.policy->hold_for(src, owner_);
+        continue;
+      }
+      if (budget == 0) break;
+      const std::uint64_t step = std::min<std::uint64_t>(s.hold, budget);
+      s.hold -= static_cast<std::uint32_t>(step);
+      budget -= step;
+    }
+    if (s.head >= s.staged.size()) {
+      s.staged.clear();
+      s.head = 0;
     }
   }
+  // Streams that went quiet release burst capacity instead of pinning it
+  // forever; modest capacities are kept for steady-state recycling.
+  if (s.staged.empty() && s.staged.capacity() > 256) {
+    s.staged.shrink_to_fit();
+  }
+  return moved;
 }
 
 std::vector<Packet> Inbox::drain() {
@@ -47,43 +162,124 @@ std::vector<Packet> Inbox::drain() {
 
 void Inbox::drain(std::vector<Packet>& out) {
   out.clear();
-  std::lock_guard lock(mu_);
   // A drain attempt is an inbox event: it ages all held streams, which
   // guarantees a blocked receiver eventually sees every staged packet.
-  on_event_locked(/*arriving_src=*/-1);
-  // Swap the whole released queue out instead of popping packet-by-packet
-  // through a second move; the caller's vector donates its capacity back.
-  out.swap(released_);
+  if (!immediate_) events_.fetch_add(1, std::memory_order_relaxed);
+  // Steal the whole active list; shards activated during the walk land on
+  // a fresh list for the next drain. Only the head-of-walk shard can be
+  // re-pushed concurrently (its `queued` is cleared below), and its next
+  // pointer is captured before the clear, so the traversal never jumps
+  // into the new list.
+  int idx = active_head_.exchange(-1, std::memory_order_acq_rel);
+  std::size_t collected = 0;
+  while (idx != -1) {
+    Shard& s = shards_[static_cast<std::size_t>(idx)];
+    const int next = s.next_active.load(std::memory_order_relaxed);
+    s.queued.store(false, std::memory_order_seq_cst);
+    bool live;
+    lock_counted(s.mu, stats_);
+    {
+      std::lock_guard lock(s.mu, std::adopt_lock);
+      collected += collect_locked(idx, out);
+      live = s.head < s.staged.size();
+    }
+    // Still-held packets keep the shard on the active list so the next
+    // drain revisits it (and ages it) without scanning quiet sources.
+    if (live) activate(s, idx);
+    idx = next;
+  }
+  if (collected > 0) {
+    pending_.fetch_sub(collected, std::memory_order_relaxed);
+  }
 }
 
 void Inbox::wait(std::chrono::microseconds timeout,
                  const std::atomic<bool>& stop) {
-  std::unique_lock lock(mu_);
-  if (!released_.empty() || stop.load(std::memory_order_acquire)) return;
-  ++waiters_;
+  if (pending_.load(std::memory_order_seq_cst) > 0 ||
+      stop.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::unique_lock lock(wait_mu_);
+  // Registration before the predicate re-check pairs with deliver's
+  // pending-then-waiters order (both seq_cst): either the waiter sees the
+  // staged packet, or the deliverer sees the waiter and notifies under
+  // wait_mu_, which cannot land between this check and the park.
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
   cv_.wait_for(lock, timeout, [&] {
-    return !released_.empty() || stop.load(std::memory_order_acquire);
+    return pending_.load(std::memory_order_seq_cst) > 0 ||
+           stop.load(std::memory_order_acquire);
   });
-  --waiters_;
+  waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Inbox::interrupt() { cv_.notify_all(); }
+void Inbox::wake() {
+  if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+  if (stats_) stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+  // Notify while holding wait_mu_: the waiter holds it from predicate
+  // check to park, so the signal can never fall into that window. One
+  // receiver per inbox, so notify_one suffices.
+  std::lock_guard lock(wait_mu_);
+  cv_.notify_one();
+}
+
+void Inbox::interrupt() {
+  if (stats_) stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+  // Abort path: the stop flag was published before this call, and taking
+  // wait_mu_ here (a) fences that store ahead of the waiter's re-check and
+  // (b) closes the lost-wakeup window -- a receiver between its predicate
+  // check and the actual park holds wait_mu_, so this notify waits until
+  // it is parked and cannot be missed.
+  std::lock_guard lock(wait_mu_);
+  cv_.notify_all();
+}
 
 Fabric::Fabric(int nranks, const DeliveryPolicy& policy_prototype) {
   if (nranks <= 0) throw util::UsageError("Fabric needs at least one rank");
   inboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    inboxes_.push_back(std::make_unique<Inbox>(r, policy_prototype.clone()));
+    inboxes_.push_back(
+        std::make_unique<Inbox>(r, nranks, policy_prototype, &stats_));
+  }
+}
+
+void Fabric::validate(const Packet& p) const {
+  if (p.dst < 0 || p.dst >= size()) {
+    throw util::UsageError("send to invalid rank " + std::to_string(p.dst));
+  }
+  if (p.src < 0 || p.src >= size()) {
+    throw util::UsageError("send from invalid rank " + std::to_string(p.src));
   }
 }
 
 void Fabric::send(Packet p) {
-  if (p.dst < 0 || p.dst >= size()) {
-    throw util::UsageError("send to invalid rank " + std::to_string(p.dst));
-  }
+  validate(p);
   stats_.packets.fetch_add(1, std::memory_order_relaxed);
   stats_.payload_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
   inboxes_[static_cast<std::size_t>(p.dst)]->deliver(std::move(p));
+}
+
+void Fabric::send_batch(std::vector<Packet>& batch) {
+  if (batch.empty()) return;
+  std::uint64_t bytes = 0;
+  for (const auto& p : batch) {
+    validate(p);
+    bytes += p.payload.size();
+  }
+  stats_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
+  stats_.payload_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  // Contiguous same-destination runs share one inbox batch delivery (one
+  // lock hold, one wakeup). Per-(src,dst) order is the vector order.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const int dst = batch[i].dst;
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].dst == dst) ++j;
+    inboxes_[static_cast<std::size_t>(dst)]->deliver_batch(
+        std::span<Packet>(batch.data() + i, j - i));
+    i = j;
+  }
+  batch.clear();
 }
 
 void Fabric::abort() {

@@ -5,6 +5,16 @@
 // ("released") according to the inbox's DeliveryPolicy. Per-source FIFO is
 // always preserved; policies only control cross-source interleaving.
 //
+// The inbox is sharded per source: each (src -> dst) stream owns a
+// cache-line-padded shard with its own lock and staged queue, so delivery
+// is O(1) -- one uncontended shard lock, one atomic pending increment, one
+// conditional wakeup -- regardless of how many sources talk to the rank.
+// Shards with staged packets self-register on a lock-free active list
+// (Treiber stack of shard indices), so drain() visits only streams that
+// actually hold traffic, not every source that ever sent. Hold aging for
+// reordering policies happens lazily at drain time against a global event
+// counter instead of touching every stream on every delivery.
+//
 // The Fabric also carries the job-wide abort signal: when a stopping failure
 // is injected, every blocked rank must wake up and unwind so the job runner
 // can roll back to the last committed global checkpoint.
@@ -14,10 +24,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "net/delivery.hpp"
@@ -39,49 +48,105 @@ struct FabricStats {
   /// invariant is exactly one counted copy per delivered message -- the
   /// final header-strip memcpy into the application's receive buffer.
   std::atomic<std::uint64_t> copied_bytes{0};
+  /// Condition-variable notifies actually issued (a receiver was parked).
+  /// A busy receiver polls and pays nothing; batched delivery collapses a
+  /// whole packet vector into at most one wakeup per destination.
+  std::atomic<std::uint64_t> wakeups{0};
+  /// Shard-lock acquisitions that found the lock held (try_lock failed).
+  /// The contention lane of the 64-256-rank scaling claim: with per-source
+  /// shards this stays near zero where the single inbox mutex convoyed.
+  std::atomic<std::uint64_t> lock_waits{0};
+  /// Packet vectors handed to Fabric::send_batch.
+  std::atomic<std::uint64_t> batches{0};
 };
 
 /// Per-rank receive queue with policy-driven release of staged packets.
 class Inbox {
  public:
-  Inbox(int owner, std::unique_ptr<DeliveryPolicy> policy);
+  /// `nsources` bounds Packet::src (one shard per possible source);
+  /// `stats` may be null (standalone tests).
+  Inbox(int owner, int nsources, const DeliveryPolicy& policy_prototype,
+        FabricStats* stats);
 
-  /// Called from sender threads.
+  /// Called from sender threads. One shard lock, no cross-stream work.
   void deliver(Packet p);
+
+  /// Deliver several packets bound for this inbox in one shot: packets
+  /// from the same source share one shard-lock acquisition and the whole
+  /// batch issues at most one receiver wakeup.
+  void deliver_batch(std::span<Packet> batch);
 
   /// Move all currently released packets out in one container swap
   /// (receiver thread only). Counts as an inbox event: held streams make
   /// progress on every call.
   std::vector<Packet> drain();
 
-  /// Swap-based drain into a caller-owned container: `out` is cleared and
-  /// exchanged with the released queue, so the capacity of both vectors is
-  /// recycled between calls (no per-drain allocation in steady state).
+  /// Drain into a caller-owned container: `out` is cleared and refilled,
+  /// so its capacity is recycled between calls (no per-drain allocation in
+  /// steady state). Receiver thread only.
   void drain(std::vector<Packet>& out);
 
-  /// Block until a released packet may be available, the timeout elapses,
-  /// or `stop` becomes true. Returns immediately if something is released.
+  /// Block until a staged packet may be available, the timeout elapses,
+  /// or `stop` becomes true. Returns immediately if something is staged.
   void wait(std::chrono::microseconds timeout, const std::atomic<bool>& stop);
 
-  /// Wake any waiter (used on abort).
+  /// Wake any waiter (used on abort). Notifies while holding the wait
+  /// lock, so a receiver between its predicate check and the actual park
+  /// can never miss the signal and eat the full wait_for timeout.
   void interrupt();
 
  private:
-  struct Stream {
-    std::deque<Packet> staged;
-    std::uint32_t hold = 0;  ///< events left before the head is released
+  /// One (src -> this rank) stream. Padded so concurrent senders to the
+  /// same inbox never false-share each other's shard state.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    /// Staged packets in arrival order; [head, size) are live. The vector
+    /// is compacted when fully drained so capacity is recycled.
+    std::vector<Packet> staged;
+    std::size_t head = 0;
+    /// Events left before the stream head is released (reorder policies).
+    std::uint32_t hold = 0;
+    /// Lazy aging bookkeeping: inbox events already applied to `hold`, and
+    /// this shard's own deliveries (which never age their own stream).
+    std::uint64_t aged_events = 0;
+    std::uint64_t own_deliveries = 0;
+    std::uint64_t own_at_age = 0;
+    /// Per-stream policy fork (null when the policy is immediate).
+    std::unique_ptr<DeliveryPolicy> policy;
+    /// True while the shard index sits on the active list.
+    std::atomic<bool> queued{false};
+    /// Next shard index on the active list (-1 = end of list).
+    std::atomic<int> next_active{-1};
   };
 
-  // Pre: mu_ held. Decrement holds and move eligible packets to released_.
-  void on_event_locked(int arriving_src);
+  /// Push shard `idx` onto the active list unless it is already on it.
+  void activate(Shard& s, int idx);
+  /// Move every releasable packet of shard `src` into `out` after applying
+  /// lazy hold aging. Pre: shard mutex held. Returns packets moved.
+  std::size_t collect_locked(int src, std::vector<Packet>& out);
+  /// Notify a parked receiver (at most one per inbox).
+  void wake();
 
   int owner_;
-  std::unique_ptr<DeliveryPolicy> policy_;
-  std::mutex mu_;
+  bool immediate_;  ///< policy holds nothing: skip all hold bookkeeping
+  std::unique_ptr<DeliveryPolicy> proto_;  ///< forked lazily per shard
+  std::unique_ptr<Shard[]> shards_;
+  int nsources_;
+  FabricStats* stats_;
+
+  /// Total staged-but-undrained packets (wait() predicate). seq_cst pairs
+  /// with waiters_ below so a deliver and a parking receiver can never
+  /// both miss each other.
+  std::atomic<std::uint64_t> pending_{0};
+  /// Global inbox event counter for lazy hold aging: one tick per
+  /// delivered packet and one per drain attempt.
+  std::atomic<std::uint64_t> events_{0};
+  /// Head of the active-shard Treiber stack (-1 = empty).
+  std::atomic<int> active_head_{-1};
+
+  std::mutex wait_mu_;  ///< guards only the waiter park/unpark handshake
   std::condition_variable cv_;
-  std::map<int, Stream> streams_;
-  std::vector<Packet> released_;
-  int waiters_ = 0;  ///< receivers parked in wait() (guarded by mu_)
+  std::atomic<int> waiters_{0};
 };
 
 /// The whole interconnect: N inboxes plus the abort signal.
@@ -93,6 +158,13 @@ class Fabric {
 
   /// Reliable, asynchronous delivery (never blocks, never drops).
   void send(Packet p);
+
+  /// Deliver a packet vector in one shot: packets are grouped by
+  /// destination, each destination inbox takes its group under one batch
+  /// delivery (one wakeup), and the vector's capacity is returned to the
+  /// caller via the cleared argument. Per-(src,dst) order is the vector
+  /// order, as if send() were called element by element.
+  void send_batch(std::vector<Packet>& batch);
 
   Inbox& inbox(int rank) { return *inboxes_.at(static_cast<std::size_t>(rank)); }
 
@@ -124,6 +196,8 @@ class Fabric {
   }
 
  private:
+  void validate(const Packet& p) const;
+
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::atomic<bool> abort_{false};
   FabricStats stats_;

@@ -81,6 +81,30 @@ void Api::send(const Comm& comm, util::Bytes&& framed, Rank dst, Tag tag,
   send_packet(comm, std::move(framed), dst, tag, ctx);
 }
 
+void Api::send_batch(const Comm& comm, std::span<const std::byte> data,
+                     std::span<const Rank> dsts, Tag tag, ContextClass ctx) {
+  if (dsts.empty()) return;
+  require(comm.member(), "send_batch on a communicator this rank is not in");
+  require(tag >= 0 && tag <= kMaxTag, "tag out of range");
+  check_abort();
+  const int context = comm.context(ctx);
+  batch_.clear();
+  batch_.reserve(dsts.size());
+  for (Rank dst : dsts) {
+    net::Packet pkt;
+    pkt.src = rank_;
+    pkt.dst = comm.to_world(dst);
+    pkt.context = context;
+    pkt.tag = tag;
+    pkt.seq = next_seq(pkt.dst, context);
+    pkt.payload = frame(data);
+    batch_.push_back(std::move(pkt));
+    stats_.sends++;
+    stats_.send_bytes += data.size();
+  }
+  rt_.fabric().send_batch(batch_);
+}
+
 Request Api::isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
                    Tag tag, ContextClass ctx) {
   return isend(comm, frame(data), dst, tag, ctx);

@@ -120,6 +120,14 @@ class Api {
   std::pair<util::Bytes, Status> recv_any(const Comm& comm, Rank src, Tag tag,
                                           ContextClass ctx = ContextClass::kP2p);
 
+  /// Send one payload to several destinations as a single fabric batch:
+  /// per-destination packets are staged together and each destination inbox
+  /// pays at most one wakeup, so a fan-out at P ranks costs O(1) notify
+  /// traffic per hop instead of one wakeup per child.
+  void send_batch(const Comm& comm, std::span<const std::byte> data,
+                  std::span<const Rank> dsts, Tag tag,
+                  ContextClass ctx = ContextClass::kP2p);
+
   // ------------------------------------------------------- collectives
   void barrier(const Comm& comm);
   void bcast(const Comm& comm, std::span<std::byte> data, Rank root);
@@ -203,6 +211,7 @@ class Api {
   Rank rank_;
   Comm world_;
   std::vector<net::Packet> arrivals_;  ///< poll() scratch (capacity reused)
+  std::vector<net::Packet> batch_;     ///< send_batch scratch (capacity reused)
   std::deque<net::Packet> unexpected_;
   std::vector<std::shared_ptr<RequestState>> posted_;
   std::map<std::pair<int, int>, std::uint64_t> send_seq_;

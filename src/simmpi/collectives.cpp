@@ -8,7 +8,7 @@
 //   allreduce  reduce to rank 0 + bcast
 //   gather     direct sends to the root
 //   allgather  ring (p-1 steps, overlapped isend/recv)
-//   alltoall   posted irecvs + isends, then waitall
+//   alltoall   posted irecvs + one batched send pass, then waitall
 //   scan       linear chain (inclusive prefix)
 // Every invocation draws a fresh tag from a per-communicator counter, so
 // back-to-back collectives on one communicator can never cross-match.
@@ -59,14 +59,18 @@ void Api::bcast(const Comm& comm, std::span<std::byte> data, Rank root) {
     }
     mask <<= 1;
   }
-  // Forward to children in decreasing-mask order.
+  // Forward to all children as one fabric batch (decreasing-mask order):
+  // an interior node of the binomial tree pays one staging pass and at most
+  // one wakeup per child inbox instead of a full send per child.
+  std::vector<Rank> children;
   mask >>= 1;
   while (mask > 0) {
     if ((rel | mask) < p && !(rel & mask)) {
-      send(comm, data, abs(rel | mask), tag, kColl);
+      children.push_back(abs(rel | mask));
     }
     mask >>= 1;
   }
+  send_batch(comm, data, children, tag, kColl);
 }
 
 namespace {
@@ -229,11 +233,27 @@ void Api::alltoall(const Comm& comm, std::span<const std::byte> in,
       reqs.push_back(irecv(comm, dst_block, r, tag, kColl));
     }
   }
+  // All P-1 outgoing blocks leave as one fabric batch: each peer's inbox
+  // takes its packet under one staging pass, and a receiver parked in
+  // waitall is woken at most once per sender instead of per block.
+  check_abort();
+  const int context = comm.context(kColl);
+  batch_.clear();
+  batch_.reserve(static_cast<std::size_t>(p - 1));
   for (Rank r = 0; r < p; ++r) {
     if (r == comm.rank()) continue;
-    reqs.push_back(isend(comm, in.subspan(static_cast<std::size_t>(r) * block, block),
-                         r, tag, kColl));
+    net::Packet pkt;
+    pkt.src = rank_;
+    pkt.dst = comm.to_world(r);
+    pkt.context = context;
+    pkt.tag = tag;
+    pkt.seq = next_seq(pkt.dst, context);
+    pkt.payload = frame(in.subspan(static_cast<std::size_t>(r) * block, block));
+    batch_.push_back(std::move(pkt));
+    stats_.sends++;
+    stats_.send_bytes += block;
   }
+  rt_.fabric().send_batch(batch_);
   waitall(reqs);
 }
 

@@ -62,6 +62,13 @@ struct StorageStats {
   std::uint64_t ref_chunks = 0;    ///< chunks served by a delta reference
   std::uint64_t put_stall_ns = 0;  ///< rank time blocked inside put()
   std::uint64_t commit_stall_ns = 0;  ///< time draining the queue at commit
+  /// Contended acquisitions of per-lane metadata shard locks (delta index):
+  /// the convoying lane of the 64-256-rank scaling claim -- near zero once
+  /// ref/index decisions are partitioned per rank. 0 for plain backends.
+  std::uint64_t meta_lock_waits = 0;
+  /// Contended acquisitions of the short global GC lock (cross-rank
+  /// retention decisions). 0 for plain backends.
+  std::uint64_t gc_lock_waits = 0;
   /// Fraction of chunks that did not need rewriting (0 when no chunks yet).
   double delta_hit_rate() const {
     const auto total = inline_chunks + ref_chunks;

@@ -159,6 +159,119 @@ TEST(Inbox, AbortWakesWaiter) {
   EXPECT_TRUE(fabric.aborted());
 }
 
+// Regression for the lost-wakeup window: abort() used to store the stop
+// flag and notify without holding the wait lock, so a receiver between its
+// predicate check and the actual park could miss the signal and eat the
+// full wait_for timeout. Race the two paths with no alignment sleep: the
+// receiver must always return promptly. Before the fix this test's total
+// time blows past the bound whenever the race window is hit.
+TEST(Inbox, AbortDuringParkNeverEatsTimeout) {
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kRounds = 200;
+  for (int i = 0; i < kRounds; ++i) {
+    Fabric fabric(2, FifoDelivery{});
+    std::thread receiver([&] {
+      fabric.inbox(1).wait(std::chrono::microseconds(2'000'000),
+                           fabric.abort_flag());
+    });
+    // No sleep: abort races the receiver's predicate-check-to-park window.
+    fabric.abort();
+    receiver.join();
+  }
+  // 200 rounds of prompt wakeups finish in well under one un-eaten 2 s
+  // timeout; a single lost wakeup busts the bound.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+}
+
+TEST(Fabric, SendBatchDeliversAllInOrder) {
+  Fabric fabric(4, FifoDelivery{});
+  // One batch fanning out to three destinations, several packets each.
+  std::vector<Packet> batch;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    for (int dst = 1; dst < 4; ++dst) {
+      batch.push_back(make_packet(0, dst, 0, i));
+    }
+  }
+  fabric.send_batch(batch);
+  EXPECT_TRUE(batch.empty());  // capacity handed back to the caller
+  EXPECT_EQ(fabric.stats().batches.load(), 1u);
+  EXPECT_EQ(fabric.stats().packets.load(), 15u);
+  for (int dst = 1; dst < 4; ++dst) {
+    auto got = fabric.inbox(dst).drain();
+    ASSERT_EQ(got.size(), 5u) << "dst " << dst;
+    for (std::uint64_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].seq, i) << "per-source FIFO violated for dst " << dst;
+    }
+  }
+}
+
+TEST(Fabric, SendBatchPreservesOrderAgainstPlainSends) {
+  Fabric fabric(2, FifoDelivery{});
+  fabric.send(make_packet(0, 1, 0, 0));
+  std::vector<Packet> batch;
+  batch.push_back(make_packet(0, 1, 0, 1));
+  batch.push_back(make_packet(0, 1, 0, 2));
+  fabric.send_batch(batch);
+  fabric.send(make_packet(0, 1, 0, 3));
+  auto got = fabric.inbox(1).drain();
+  ASSERT_EQ(got.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(got[i].seq, i);
+}
+
+TEST(Fabric, SendBatchUnderReorderStaysPerSourceFifo) {
+  RandomReorderDelivery policy(7, /*p_hold=*/0.7, /*max_hold=*/5);
+  Fabric fabric(3, policy);
+  constexpr std::uint64_t kPer = 20;
+  std::vector<Packet> batch;
+  for (std::uint64_t i = 0; i < kPer; ++i) {
+    batch.push_back(make_packet(0, 2, 0, i));
+    fabric.send_batch(batch);
+    fabric.send(make_packet(1, 2, 0, i));
+  }
+  std::vector<Packet> got;
+  while (got.size() < 2 * kPer) {
+    for (auto& p : fabric.inbox(2).drain()) got.push_back(std::move(p));
+  }
+  std::map<int, std::vector<std::uint64_t>> by_src;
+  for (const auto& p : got) by_src[p.src].push_back(p.seq);
+  ASSERT_EQ(by_src[0].size(), kPer);
+  ASSERT_EQ(by_src[1].size(), kPer);
+  for (const auto& [src, seqs] : by_src) {
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      EXPECT_EQ(seqs[i], i) << "per-source FIFO violated for src " << src;
+    }
+  }
+}
+
+TEST(Fabric, SendBatchFromInvalidSrcThrows) {
+  Fabric fabric(2, FifoDelivery{});
+  std::vector<Packet> batch;
+  batch.push_back(make_packet(-1, 1, 0, 0));
+  EXPECT_THROW(fabric.send_batch(batch), util::UsageError);
+}
+
+TEST(Fabric, WakeupsCountOnlyParkedReceivers) {
+  Fabric fabric(2, FifoDelivery{});
+  // Busy receiver: nobody parked, so deliveries never notify.
+  for (std::uint64_t i = 0; i < 10; ++i) fabric.send(make_packet(0, 1, 0, i));
+  (void)fabric.inbox(1).drain();
+  EXPECT_EQ(fabric.stats().wakeups.load(), 0u);
+  // Parked receiver: the delivery must notify exactly once.
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    fabric.inbox(1).wait(std::chrono::microseconds(2'000'000),
+                         fabric.abort_flag());
+    got.store(!fabric.inbox(1).drain().empty());
+  });
+  while (fabric.stats().wakeups.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    fabric.send(make_packet(0, 1, 0, 100));
+  }
+  receiver.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(fabric.stats().wakeups.load(), 1u);
+}
+
 TEST(FailureInjector, FiresExactlyOnceAtTrigger) {
   FailureInjector inj(FailureSpec{.victim_rank = 1, .trigger_events = 3});
   EXPECT_FALSE(inj.on_event(0));  // wrong rank never counts
