@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "replica/replicated_storage.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -160,6 +161,11 @@ constexpr std::uint64_t kSweepBandwidth = 4ull << 20;  // 64 ms per blob
 /// point already unambiguous at 16. The per-rank-lanes curve -- the claim
 /// under test -- runs the full sweep.
 constexpr int kSerializedCap = 16;
+/// The parity lane: per-rank lanes PLUS the erasure-coded replica tier
+/// (XOR parity over groups of 4, persisted on the tier's background pool
+/// so the shard write overlaps the members' own data writes). Gate:
+/// commit stall <= 1.5x the unreplicated laned stall at every count.
+constexpr int kParityRanks[] = {8, 16, 64};
 
 struct SweepResult {
   int ranks = 0;
@@ -167,6 +173,7 @@ struct SweepResult {
   std::size_t lanes = 0;
   double commit_stall_per_epoch = 0;
   double vs_one_rank = 0;  ///< stall relative to this mode's 1-rank run
+  double vs_laned = 0;     ///< parity lane: stall vs per-rank-lanes, same P
   /// Contended metadata-lock acquisitions across the run: with the delta
   /// index partitioned per lane these stay near zero at 256 lanes where
   /// the single meta mutex convoyed every encode and drop.
@@ -174,8 +181,16 @@ struct SweepResult {
   std::uint64_t gc_lock_waits = 0;
 };
 
-SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
+SweepResult run_sweep_one(int ranks, bool per_rank_lanes,
+                          bool replicate = false) {
   auto inner = std::make_shared<util::MemoryStorage>(kSweepBandwidth);
+  std::shared_ptr<util::StableStorage> base = inner;
+  if (replicate) {
+    replica::ReplicaConfig rc;
+    rc.group_size = 4;
+    rc.parity_k = 1;
+    base = std::make_shared<replica::ReplicatedStorage>(inner, ranks, rc);
+  }
   ckptstore::StoreOptions o;
   o.delta = false;
   o.async = true;
@@ -183,7 +198,7 @@ SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
   o.writer_lanes = per_rank_lanes ? static_cast<std::size_t>(ranks) : 1;
   o.queue_max_blobs = static_cast<std::size_t>(2 * ranks);
   o.queue_max_bytes = std::size_t{256} << 20;
-  ckptstore::CheckpointStore store(inner, o);
+  ckptstore::CheckpointStore store(base, o);
 
   std::vector<util::Bytes> blobs(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
@@ -209,7 +224,8 @@ SweepResult run_sweep_one(int ranks, bool per_rank_lanes) {
 
   SweepResult sr;
   sr.ranks = ranks;
-  sr.mode = per_rank_lanes ? "per-rank-lanes" : "serialized";
+  sr.mode = replicate ? "parity-replicated"
+                      : (per_rank_lanes ? "per-rank-lanes" : "serialized");
   sr.lanes = o.writer_lanes;
   const auto stats = store.storage_stats();
   sr.commit_stall_per_epoch =
@@ -246,6 +262,28 @@ std::vector<SweepResult> run_sweep() {
                   static_cast<unsigned long long>(sr.gc_lock_waits));
       results.push_back(std::move(sr));
     }
+  }
+  // Parity lane: the laned curve with the erasure-coded replica tier
+  // stacked underneath. Reported against the unreplicated laned stall at
+  // the same rank count -- the check_bench gate holds this at <= 1.5x.
+  for (const int ranks : kParityRanks) {
+    auto sr = run_sweep_one(ranks, /*per_rank_lanes=*/true,
+                            /*replicate=*/true);
+    double laned_stall = 0;
+    for (const auto& prev : results) {
+      if (prev.mode == "per-rank-lanes" && prev.ranks == ranks) {
+        laned_stall = prev.commit_stall_per_epoch;
+      }
+    }
+    sr.vs_laned = laned_stall > 0
+                      ? sr.commit_stall_per_epoch / laned_stall
+                      : 0.0;
+    std::printf("%-7d %-16s %6zu %18.4f %12.2fxL %11llu %9llu\n", sr.ranks,
+                sr.mode.c_str(), sr.lanes, sr.commit_stall_per_epoch,
+                sr.vs_laned,
+                static_cast<unsigned long long>(sr.meta_lock_waits),
+                static_cast<unsigned long long>(sr.gc_lock_waits));
+    results.push_back(std::move(sr));
   }
   return results;
 }
@@ -290,9 +328,10 @@ void write_json(const std::vector<Result>& results,
                  "      {\"ranks\": %d, \"mode\": \"%s\", \"lanes\": %zu, "
                  "\"commit_stall_seconds_per_epoch\": %.4f, "
                  "\"stall_vs_one_rank\": %.3f, "
+                 "\"stall_vs_laned\": %.3f, "
                  "\"meta_lock_waits\": %llu, \"gc_lock_waits\": %llu}%s\n",
                  s.ranks, s.mode.c_str(), s.lanes, s.commit_stall_per_epoch,
-                 s.vs_one_rank,
+                 s.vs_one_rank, s.vs_laned,
                  static_cast<unsigned long long>(s.meta_lock_waits),
                  static_cast<unsigned long long>(s.gc_lock_waits),
                  i + 1 < sweep.size() ? "," : "");

@@ -11,7 +11,11 @@ Checks (stdlib only, no third-party deps):
                            i.e. the facade measuring faster, always pass).
   BENCH_checkpoint.json -- with per-rank writer lanes the commit stall at
                            the largest swept rank count must stay within
-                           1.5x the 1-rank stall (flat-commit claim).
+                           1.5x the 1-rank stall (flat-commit claim). The
+                           parity-replicated lane (erasure-coded replica
+                           tier stacked under the laned store) must stay
+                           within 1.5x the unreplicated laned stall at
+                           every swept rank count.
 
 Usage: check_bench.py <build-dir>
 Missing files fail the gate except BENCH_protocol.json, which is optional
@@ -82,6 +86,31 @@ def check_checkpoint(path: Path) -> None:
         f"  checkpoint ok: {worst['ranks']} ranks commit stall "
         f"{ratio:.2f}x 1-rank (limit {COMMIT_STALL_LIMIT_X}x)"
     )
+    parity = [r for r in sweep if r.get("mode") == "parity-replicated"]
+    if not parity:
+        fail(f"{path.name}: no parity-replicated sweep results")
+    laned_by_ranks = {r["ranks"]: r for r in laned}
+    for entry in parity:
+        ranks = entry["ranks"]
+        peer = laned_by_ranks.get(ranks)
+        if peer is None:
+            fail(
+                f"{path.name}: parity-replicated result at {ranks} ranks has "
+                f"no per-rank-lanes baseline at the same rank count"
+            )
+        baseline = peer["commit_stall_seconds_per_epoch"]
+        stall = entry["commit_stall_seconds_per_epoch"]
+        ratio = stall / baseline if baseline > 0 else entry["stall_vs_laned"]
+        if ratio > COMMIT_STALL_LIMIT_X:
+            fail(
+                f"{path.name}: parity commit stall at {ranks} ranks is "
+                f"{ratio:.2f}x the unreplicated laned stall, limit "
+                f"{COMMIT_STALL_LIMIT_X}x"
+            )
+        print(
+            f"  parity ok: {ranks:4d} ranks commit stall {ratio:.2f}x "
+            f"unreplicated laned (limit {COMMIT_STALL_LIMIT_X}x)"
+        )
 
 
 def main() -> None:

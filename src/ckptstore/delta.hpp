@@ -94,6 +94,19 @@ class DeltaIndex {
     }
   }
 
+  /// Forget every chain of one rank -- called when the rank's backend
+  /// holding is wiped (node-local storage loss): its next checkpoint must
+  /// delta against nothing and write fully inline.
+  void drop_rank(int rank) {
+    for (auto it = chains_.begin(); it != chains_.end();) {
+      if (it->first.rank == rank) {
+        it = chains_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   std::size_t chain_count() const noexcept { return chains_.size(); }
 
  private:

@@ -650,7 +650,32 @@ util::StorageStats CheckpointStore::storage_stats() const {
   s.commit_stall_ns = commit_stall_ns_.load(std::memory_order_relaxed);
   s.meta_lock_waits = meta_lock_waits_.load(std::memory_order_relaxed);
   s.gc_lock_waits = gc_lock_waits_.load(std::memory_order_relaxed);
+  // Surface the replica tier's accounting (zero for plain backends); its
+  // commit stall -- waiting for parity acks -- is commit-barrier time just
+  // like the lane drain above.
+  const util::StorageStats in = inner_->storage_stats();
+  s.parity_bytes_sent = in.parity_bytes_sent;
+  s.parity_bytes_received = in.parity_bytes_received;
+  s.reconstruct_reads = in.reconstruct_reads;
+  s.parity_acks_waited = in.parity_acks_waited;
+  s.commit_stall_ns += in.commit_stall_ns;
   return s;
+}
+
+void CheckpointStore::wipe_rank(int rank) {
+  // Queued writes for the rank would land *after* the wipe and resurrect
+  // partial state; drain them first so the wipe is total.
+  flush();
+  inner_->wipe_rank(rank);
+  // The rank's delta chains describe blobs that are no longer on the
+  // backend (reads still resolve through the replica tier's reconstruction,
+  // but new manifests must not extend chains homed in wiped blobs): the
+  // next checkpoint writes fully inline. Retention refs are untouched --
+  // other ranks' manifests in the same epochs still pin their homes.
+  MetaShard& ms = meta_shards_[meta_lane(rank)];
+  std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                       std::adopt_lock);
+  ms.index.drop_rank(rank);
 }
 
 std::vector<util::LaneStats> CheckpointStore::lane_stats() const {

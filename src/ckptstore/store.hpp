@@ -115,6 +115,7 @@ class CheckpointStore final : public util::StableStorage {
   std::uint64_t bytes_written() const override;
   util::StorageStats storage_stats() const override;
   std::vector<util::LaneStats> lane_stats() const override;
+  void wipe_rank(int rank) override;
 
   /// Drain all write lanes (no-op in sync mode). Rethrows writer errors.
   void flush() const;

@@ -81,6 +81,7 @@ void ControlPlane::open_round(std::int32_t target) {
   local_stopped_ = false;
   local_detached_ = false;
   children_detached_ = false;
+  children_parity_ok_ = true;
 }
 
 // ------------------------------------------------------- initiator duties
@@ -183,21 +184,29 @@ void ControlPlane::maybe_forward_stopped() {
             "phase-4 aggregate disagrees with the subtree size");
   const std::int32_t target = round_target_;
   const bool any_detached = local_detached_ || children_detached_;
+  // The parity bit is sampled at the last possible moment -- the phase-4
+  // forward -- so it reflects this rank's replica lane *after* its log
+  // write (the round's final put) entered the parity pipeline.
+  const bool parity_ok =
+      children_parity_ok_ &&
+      (!hooks_.parity_quiescent || hooks_.parity_quiescent());
   last_completed_ = target;
   if (is_initiator()) {
     // Phase 4 complete: every log is durable; this checkpoint becomes the
     // recovery point. The aggregated detached bit decides superseded-epoch
-    // GC without probing any rank's storage.
+    // GC without probing any rank's storage; the aggregated parity bit
+    // tells the commit whether replica traffic is already quiescent.
     invariant(total == nranks_, "phase 4 complete without every rank");
     stats_.rounds_completed++;
     transition(CoordinatorState::kIdle);
-    hooks_.commit(target, any_detached);
+    hooks_.commit(target, any_detached, parity_ok);
     return;
   }
   util::Writer w;
   w.put<std::int32_t>(target);
   w.put<std::int32_t>(total);
   w.put<std::uint8_t>(any_detached ? 1 : 0);
+  w.put<std::uint8_t>(parity_ok ? 1 : 0);
   send_control(parent_, ControlKind::kStoppedLogging, w.bytes());
   stats_.stopped_sends++;
   transition(CoordinatorState::kIdle);
@@ -283,6 +292,7 @@ bool ControlPlane::on_control(ControlKind kind, simmpi::Rank from,
       const auto target = r.get<std::int32_t>();
       const auto count = r.get<std::int32_t>();
       const bool detached = r.get<std::uint8_t>() != 0;
+      const bool parity_ok = r.get<std::uint8_t>() != 0;
       invariant(target == round_target_,
                 "phase-4 aggregate for a different round");
       invariant(count == tree_.subtree_size(from),
@@ -290,6 +300,7 @@ bool ControlPlane::on_control(ControlKind kind, simmpi::Rank from,
       children_stopped_msgs_++;
       stopped_from_children_ += count;
       children_detached_ = children_detached_ || detached;
+      children_parity_ok_ = children_parity_ok_ && parity_ok;
       stats_.stopped_recvs++;
       invariant(children_stopped_msgs_ <= static_cast<int>(children_.size()),
                 "more phase-4 aggregates than children");

@@ -97,7 +97,17 @@ class ControlPlane {
     /// Phase 4 complete (initiator only): commit `epoch` as the recovery
     /// point. `any_detached` aggregates every rank's shutdown-window flag,
     /// deciding superseded-epoch GC without touching storage.
-    std::function<void(std::int32_t epoch, bool any_detached)> commit;
+    /// `parity_complete` is the AND-aggregated replica-quiescence bit: true
+    /// when every rank sampled parity_quiescent() true at its phase-4
+    /// forward, letting the commit skip the parity flush-nudge grace
+    /// period (always true when no replica tier is wired).
+    std::function<void(std::int32_t epoch, bool any_detached,
+                       bool parity_complete)>
+        commit;
+    /// Sampled when this rank forwards its phase-4 aggregate: true when the
+    /// rank has no replica-tier traffic in flight (parity contributions,
+    /// acks). Unset = no replica tier = true.
+    std::function<bool()> parity_quiescent;
     /// Test probe, invoked after every state transition (may throw to
     /// simulate a crash at an exact protocol phase).
     std::function<void(int rank, CoordinatorState entered)> probe;
@@ -187,6 +197,7 @@ class ControlPlane {
   bool local_stopped_ = false;
   bool local_detached_ = false;
   bool children_detached_ = false;
+  bool children_parity_ok_ = true;  ///< AND over children's phase-4 bits
 };
 
 }  // namespace c3::core::coordinator

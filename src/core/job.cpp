@@ -12,6 +12,18 @@ Job::Job(JobConfig config) : config_(std::move(config)) {
   if (!config_.storage) {
     config_.storage = std::make_shared<util::MemoryStorage>();
   }
+  std::shared_ptr<util::StableStorage> base = config_.storage;
+  if (config_.replica_group_size > 0) {
+    replica::ReplicaConfig rc;
+    rc.group_size = config_.replica_group_size;
+    rc.parity_k = config_.replica_parity_k;
+    replica_ = std::make_shared<replica::ReplicatedStorage>(
+        config_.storage, config_.ranks, rc);
+    // Jobs always run parity over the fabric; loopback mode is for
+    // single-process store tests.
+    replica_->enable_wire();
+    base = replica_;
+  }
   if (config_.ckpt_pipeline) {
     // Default lane wiring: one writer lane per rank, so every rank's
     // checkpoint drains onto its own (modelled per-node) disk concurrently
@@ -19,8 +31,8 @@ Job::Job(JobConfig config) : config_(std::move(config)) {
     if (config_.ckpt.writer_lanes == 0) {
       config_.ckpt.writer_lanes = static_cast<std::size_t>(config_.ranks);
     }
-    pipeline_ = std::make_shared<ckptstore::CheckpointStore>(config_.storage,
-                                                             config_.ckpt);
+    pipeline_ =
+        std::make_shared<ckptstore::CheckpointStore>(base, config_.ckpt);
   }
 }
 
@@ -43,8 +55,16 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
 
   for (;;) {
     report.executions++;
+    if (replica_) {
+      // Fence the parity plane per execution: frames from the aborted run
+      // carry the old execution id and are dropped on arrival, and all
+      // accumulator / pending-ack state is reset before any rank restarts.
+      replica_->begin_execution(
+          static_cast<std::uint64_t>(report.executions));
+    }
     Process::Shared shared;
     shared.storage = storage;
+    shared.replica = replica_;
     shared.injectors = injectors;
     shared.level = config_.level;
     shared.piggyback = config_.piggyback;
@@ -70,6 +90,16 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
                     << "; rolling back";
       if (report.executions > config_.max_restarts) {
         throw;
+      }
+      // Model the node dying with its local storage: wipe the failed
+      // rank's entire backend holding (and any configured extras) before
+      // recovery, so every blob it contributed must come back through
+      // parity reconstruction.
+      if (config_.wipe_failed_rank_storage) {
+        storage->wipe_rank(f.rank());
+      }
+      for (int r : config_.extra_wipe_ranks) {
+        storage->wipe_rank(r);
       }
       const auto committed = storage->committed_epoch();
       if (!committed.has_value()) {

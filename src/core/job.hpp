@@ -12,6 +12,7 @@
 #include "core/process.hpp"
 #include "core/types.hpp"
 #include "net/failure.hpp"
+#include "replica/replicated_storage.hpp"
 #include "simmpi/runtime.hpp"
 #include "util/stable_storage.hpp"
 
@@ -40,6 +41,21 @@ struct JobConfig {
   /// Pipeline tuning (chunk size, codec, queue bounds, sync/async, writer
   /// lanes; `writer_lanes == 0` wires one lane per rank).
   ckptstore::StoreOptions ckpt;
+  /// Diskless replica tier: stack a replica::ReplicatedStorage between the
+  /// pipeline and the backend, erasure-coding every rank's encoded blobs
+  /// across groups of `replica_group_size` consecutive ranks with
+  /// `replica_parity_k` parity shards per group (1 = XOR, 2 = Reed-Solomon
+  /// double-failure cover). 0 disables the tier.
+  int replica_group_size = 0;
+  int replica_parity_k = 1;
+  /// When a stopping failure fires, also wipe the failed rank's entire
+  /// storage holding (node dies with its local disk) before recovery --
+  /// the failure mode the replica tier reconstructs from.
+  bool wipe_failed_rank_storage = false;
+  /// Additional ranks whose storage is wiped alongside a failure (models
+  /// correlated node losses; parity_k + 1 losses in one group must fail
+  /// recovery loudly).
+  std::vector<int> extra_wipe_ranks;
   /// Optional injected stopping failure.
   std::optional<net::FailureSpec> failure;
   /// Additional stopping failures (each fires once; combined with
@@ -73,23 +89,34 @@ class Job {
   util::StableStorage& storage() noexcept { return *effective_storage(); }
   const JobConfig& config() const noexcept { return config_; }
 
-  /// Pipeline accounting (raw vs stored bytes, delta hit rate, stalls).
+  /// Pipeline accounting (raw vs stored bytes, delta hit rate, stalls,
+  /// replica parity traffic when the tier is enabled).
   util::StorageStats storage_stats() const {
-    return (pipeline_ ? std::static_pointer_cast<util::StableStorage>(
-                            pipeline_)
-                      : config_.storage)
-        ->storage_stats();
+    if (pipeline_) return pipeline_->storage_stats();
+    if (replica_) return replica_->storage_stats();
+    return config_.storage->storage_stats();
+  }
+
+  /// The replica tier, when enabled (tests poke reconstruction counters).
+  const std::shared_ptr<replica::ReplicatedStorage>& replica() const noexcept {
+    return replica_;
   }
 
  private:
   std::shared_ptr<util::StableStorage> effective_storage() {
-    return pipeline_ ? pipeline_ : config_.storage;
+    if (pipeline_) return pipeline_;
+    if (replica_) return replica_;
+    return config_.storage;
   }
 
   JobConfig config_;
   /// Lives for the whole job (including restarts) so the delta index and
   /// retention bookkeeping survive a rollback.
   std::shared_ptr<ckptstore::CheckpointStore> pipeline_;
+  /// Erasure-coded peer-replication tier, stacked between the pipeline and
+  /// the backend when JobConfig::replica_group_size > 0. Also job-lifetime:
+  /// parity blobs written before a failure must survive the rollback.
+  std::shared_ptr<replica::ReplicatedStorage> replica_;
 };
 
 }  // namespace c3::core

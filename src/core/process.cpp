@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "replica/replicated_storage.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
@@ -39,8 +40,12 @@ Process::Process(simmpi::Api& api, Shared& shared)
     requested_target_epoch_ = target;
   };
   hooks.finalize_log = [this] { finalize_log(); };
-  hooks.commit = [this](std::int32_t epoch, bool any_detached) {
-    commit_round(epoch, any_detached);
+  hooks.commit = [this](std::int32_t epoch, bool any_detached,
+                        bool parity_complete) {
+    commit_round(epoch, any_detached, parity_complete);
+  };
+  hooks.parity_quiescent = [this] {
+    return !shared_.replica || shared_.replica->rank_quiescent(me_);
   };
   hooks.probe = shared_.coordinator_probe;
   control_ = std::make_unique<coordinator::ControlPlane>(
@@ -54,6 +59,9 @@ Process::Process(simmpi::Api& api, Shared& shared)
   suppress_.assign(n, {});
   comms_[kWorldComm] = api_.world();
   last_ckpt_time_ = std::chrono::steady_clock::now();
+  // The ctor runs on the rank's own thread (Runtime spawns one per rank):
+  // bind it so a commit initiated here can pump its own replica lane.
+  if (shared_.replica) shared_.replica->bind_thread_api(&api_);
   if (shared_.recovering && checkpoints_enabled()) {
     recover_from_checkpoint();
   }
@@ -101,6 +109,9 @@ void Process::pump() {
   api_.poll();
   process_completed_recvs();
   drain_control();
+  // Ship this rank's queued parity contributions/acks and fold any peer
+  // frames waiting on the replica lane.
+  if (shared_.replica) shared_.replica->drain(api_);
 }
 
 // -------------------------------------------------------------------- send
@@ -550,8 +561,14 @@ void Process::finalize_log() {
   control_->note_log_closed();
 }
 
-void Process::commit_round(std::int32_t epoch, bool any_detached) {
+void Process::commit_round(std::int32_t epoch, bool any_detached,
+                           bool parity_complete) {
   protocol_invariant(epoch == epoch_, "commit for a different epoch");
+  // Every rank's phase-4 sample saw its replica lane quiescent: the
+  // commit's parity wait will normally pass on its first check.
+  if (parity_complete && shared_.replica) {
+    shared_.replica->note_quiescent_hint(epoch);
+  }
   // Phase 4 complete: this checkpoint becomes the recovery point. With a
   // pipelined backend, commit() is a barrier that drains the async write
   // queue before recording the recovery point -- an epoch whose blobs

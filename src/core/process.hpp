@@ -44,6 +44,10 @@
 #include "util/rng.hpp"
 #include "util/stable_storage.hpp"
 
+namespace c3::replica {
+class ReplicatedStorage;
+}
+
 namespace c3::core {
 
 class Process {
@@ -70,6 +74,11 @@ class Process {
     /// exact protocol phase).
     std::function<void(int rank, coordinator::CoordinatorState entered)>
         coordinator_probe;
+    /// The erasure-coded replica tier inside `storage`'s stack, when wired
+    /// (core::Job with JobConfig::replica enabled). Each rank's Process
+    /// pumps its replica lane (ship contributions, fold peers' shards) and
+    /// samples its quiescence bit for the phase-4 aggregate.
+    std::shared_ptr<replica::ReplicatedStorage> replica;
   };
 
   Process(simmpi::Api& api, Shared& shared);
@@ -257,8 +266,11 @@ class Process {
   void maybe_ready();
   void finalize_log();
   /// Phase-4 hook from the control plane (initiator only): commit `epoch`
-  /// and run superseded-epoch GC using the aggregated detached bit.
-  void commit_round(std::int32_t epoch, bool any_detached);
+  /// and run superseded-epoch GC using the aggregated detached bit. The
+  /// aggregated parity bit tells the replica tier (if wired) that every
+  /// rank's replica lane was already quiescent.
+  void commit_round(std::int32_t epoch, bool any_detached,
+                    bool parity_complete);
 
   // Collective helpers.
   using CollectiveFlags = coordinator::CollectiveFlags;

@@ -255,19 +255,35 @@ void Fabric::send(Packet p) {
   validate(p);
   stats_.packets.fetch_add(1, std::memory_order_relaxed);
   stats_.payload_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+  // Context ids encode the class in the low two bits (Comm::context).
+  if (p.context % 4 == 3) {
+    stats_.replica_packets.fetch_add(1, std::memory_order_relaxed);
+    stats_.replica_bytes.fetch_add(p.payload.size(),
+                                   std::memory_order_relaxed);
+  }
   inboxes_[static_cast<std::size_t>(p.dst)]->deliver(std::move(p));
 }
 
 void Fabric::send_batch(std::vector<Packet>& batch) {
   if (batch.empty()) return;
   std::uint64_t bytes = 0;
+  std::uint64_t replica_pkts = 0;
+  std::uint64_t replica_bytes = 0;
   for (const auto& p : batch) {
     validate(p);
     bytes += p.payload.size();
+    if (p.context % 4 == 3) {
+      replica_pkts++;
+      replica_bytes += p.payload.size();
+    }
   }
   stats_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
   stats_.payload_bytes.fetch_add(bytes, std::memory_order_relaxed);
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  if (replica_pkts > 0) {
+    stats_.replica_packets.fetch_add(replica_pkts, std::memory_order_relaxed);
+    stats_.replica_bytes.fetch_add(replica_bytes, std::memory_order_relaxed);
+  }
   // Contiguous same-destination runs share one inbox batch delivery (one
   // lock hold, one wakeup). Per-(src,dst) order is the vector order.
   std::size_t i = 0;

@@ -58,6 +58,13 @@ struct FabricStats {
   std::atomic<std::uint64_t> lock_waits{0};
   /// Packet vectors handed to Fabric::send_batch.
   std::atomic<std::uint64_t> batches{0};
+  /// Packets carried on a ContextClass::kReplica lane (erasure-coded
+  /// checkpoint replication: parity contributions, acks, flush nudges).
+  /// Subset of `packets`; lets tests assert the replica tier's traffic
+  /// rides the pooled zero-copy path (allocs flat while these grow).
+  std::atomic<std::uint64_t> replica_packets{0};
+  /// Payload bytes of those packets (subset of `payload_bytes`).
+  std::atomic<std::uint64_t> replica_bytes{0};
 };
 
 /// Per-rank receive queue with policy-driven release of staged packets.

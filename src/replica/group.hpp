@@ -1,0 +1,103 @@
+// Parity-group placement for the diskless replica tier.
+//
+// Ranks are partitioned into consecutive groups of `group_size` (the
+// last group absorbs the remainder). Each (epoch, group) owns
+// `parity_k` parity shards; shard j of group g lives on a member of the
+// *next* group, rotated by epoch, so a lost node never holds both its
+// own data and the parity that protects it (whenever there are at
+// least two groups) and parity writes spread across ranks over time
+// instead of convoying on one "buddy" disk -- the SCR-style buddy
+// layout from the ROADMAP, generalized to k shards.
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/gf256.hpp"
+
+namespace c3::replica {
+
+class GroupMap {
+ public:
+  GroupMap(int ranks, int group_size, int parity_k)
+      : ranks_(ranks), group_size_(group_size), parity_k_(parity_k) {
+    if (ranks < 1) throw util::UsageError("replica: need at least one rank");
+    if (group_size < 2)
+      throw util::UsageError("replica: group_size must be >= 2");
+    if (parity_k < 1 || parity_k >= group_size)
+      throw util::UsageError("replica: need 1 <= parity_k < group_size");
+    ngroups_ = ranks / group_size;
+    if (ngroups_ == 0) ngroups_ = 1;  // one undersized group
+  }
+
+  int ranks() const noexcept { return ranks_; }
+  int parity_k() const noexcept { return parity_k_; }
+  int ngroups() const noexcept { return ngroups_; }
+
+  int gid_of(int rank) const {
+    check_rank(rank);
+    const int g = rank / group_size_;
+    return g >= ngroups_ ? ngroups_ - 1 : g;  // remainder joins last group
+  }
+
+  /// First rank of group `gid`.
+  int first_rank(int gid) const {
+    check_gid(gid);
+    return gid * group_size_;
+  }
+
+  /// Number of members in group `gid` (group_size, except the last group
+  /// which absorbs `ranks % group_size`).
+  int group_count(int gid) const {
+    check_gid(gid);
+    if (gid < ngroups_ - 1) return group_size_;
+    return ranks_ - first_rank(gid);
+  }
+
+  /// Zero-based index of `rank` within its group (the gf256 evaluation
+  /// point is index + 1).
+  int member_index(int rank) const { return rank - first_rank(gid_of(rank)); }
+
+  std::vector<int> members(int gid) const {
+    std::vector<int> out;
+    const int base = first_rank(gid);
+    const int n = group_count(gid);
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(base + i);
+    return out;
+  }
+
+  /// World rank holding parity shard `j` of group `gid` at `epoch`:
+  /// member ((epoch + j) mod size) of the next group. With a single
+  /// group the owner rotates within the group itself (degraded mode: a
+  /// lost owner may take its group's parity with it).
+  int owner(int gid, int j, int epoch) const {
+    check_gid(gid);
+    if (j < 0 || j >= parity_k_)
+      throw util::UsageError("replica: parity shard index out of range");
+    const int og = (gid + 1) % ngroups_;
+    const int n = group_count(og);
+    const int slot = ((epoch % n) + n + (j % n)) % n;
+    return first_rank(og) + slot;
+  }
+
+  /// Encoding coefficient of member index `i` in parity row `j`.
+  static std::uint8_t coef(int j, int i) { return util::gf256::coef(j, i); }
+
+ private:
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= ranks_)
+      throw util::UsageError("replica: rank outside the job");
+  }
+  void check_gid(int gid) const {
+    if (gid < 0 || gid >= ngroups_)
+      throw util::UsageError("replica: group id out of range");
+  }
+
+  int ranks_;
+  int group_size_;
+  int parity_k_;
+  int ngroups_;
+};
+
+}  // namespace c3::replica

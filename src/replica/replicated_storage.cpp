@@ -1,0 +1,743 @@
+#include "replica/replicated_storage.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/transport.hpp"
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/clock.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/gf256.hpp"
+
+namespace c3::replica {
+namespace {
+
+using util::Bytes;
+using util::BlobKey;
+
+// Frame kinds on the kReplica context (all share tag 0; the leading magic
+// distinguishes them, and the execution id drops strays).
+constexpr std::uint32_t kContribMagic = 0x52504331;  // "RPC1"
+constexpr std::uint32_t kAckMagic = 0x52504131;      // "RPA1"
+constexpr std::uint32_t kFlushMagic = 0x52504631;    // "RPF1"
+constexpr std::uint32_t kParityMagic = 0x52505331;   // "RPS1"
+constexpr simmpi::Tag kReplicaTag = 0;
+
+/// The committing rank thread's Api, bound by core::Process so commit()
+/// can ship its own lane while waiting (initiator-is-owner deadlock).
+thread_local simmpi::Api* t_api = nullptr;
+
+struct ParsedParity {
+  int epoch = 0;
+  int gid = 0;
+  int j = 0;
+  int group_n = 0;
+  std::map<int, std::pair<std::uint64_t, std::uint32_t>> contributed;
+  Bytes parity;
+};
+
+ParsedParity parse_parity(std::span<const std::byte> blob) {
+  util::Reader r(blob);
+  if (r.get<std::uint32_t>() != kParityMagic)
+    throw util::CorruptionError("replica: bad parity shard magic");
+  ParsedParity p;
+  p.epoch = r.get<std::int32_t>();
+  p.gid = r.get<std::int32_t>();
+  p.j = r.get<std::int32_t>();
+  p.group_n = r.get<std::int32_t>();
+  const auto n = r.get<std::uint16_t>();
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const int mi = r.get<std::uint16_t>();
+    const auto len = r.get<std::uint64_t>();
+    const auto crc = r.get<std::uint32_t>();
+    p.contributed[mi] = {len, crc};
+  }
+  const auto padded = r.get<std::uint64_t>();
+  p.parity = r.get_raw(padded);
+  return p;
+}
+
+}  // namespace
+
+ReplicatedStorage::ReplicatedStorage(
+    std::shared_ptr<util::StableStorage> inner, int ranks, ReplicaConfig cfg)
+    : inner_(std::move(inner)),
+      ranks_(ranks),
+      cfg_(cfg),
+      map_(ranks, cfg.group_size, cfg.parity_k),
+      outbox_(static_cast<std::size_t>(ranks)),
+      ack_outbox_(static_cast<std::size_t>(ranks)) {
+  if (!inner_) throw util::UsageError("replica: null inner storage");
+  // Parity writes overlap the members' own data writes on distinct
+  // modelled disks, so a worker shy of shards-in-flight serializes whole
+  // disk-write waves behind the commit barrier. One worker per shard
+  // (ngroups x k per epoch), capped only as a thread-count backstop.
+  const std::size_t workers = std::min<std::size_t>(
+      64, std::max<std::size_t>(
+              1, static_cast<std::size_t>(map_.ngroups() * cfg_.parity_k)));
+  pool_threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    pool_threads_.emplace_back([this] { persist_worker(); });
+}
+
+ReplicatedStorage::~ReplicatedStorage() {
+  {
+    std::lock_guard l(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& t : pool_threads_) t.join();
+}
+
+// ------------------------------------------------------------ key routing
+
+bool ReplicatedStorage::replicated_key(const BlobKey& key) const {
+  if (key.rank < 0 || key.rank >= ranks_) return false;
+  return key.section.rfind(kParitySectionPrefix, 0) != 0;
+}
+
+std::string ReplicatedStorage::parity_section(int gid, int j,
+                                              const std::string& sec) {
+  return std::string(kParitySectionPrefix) + std::to_string(gid) + "!" +
+         std::to_string(j) + "!" + sec;
+}
+
+// -------------------------------------------------------------- put path
+
+void ReplicatedStorage::put(const BlobKey& key, const Bytes& data) {
+  if (replicated_key(key)) contribute(key, data);
+  inner_->put(key, data);
+}
+
+void ReplicatedStorage::put(const BlobKey& key, Bytes&& data) {
+  // Contribute *before* the throttled backend write: the fold (loopback)
+  // or the outbox enqueue (wire) is cheap CPU work, so the parity shard's
+  // own write proceeds concurrently with this member's data write.
+  if (replicated_key(key)) contribute(key, data);
+  inner_->put(key, std::move(data));
+}
+
+void ReplicatedStorage::contribute(const BlobKey& key, const Bytes& data) {
+  const int gid = map_.gid_of(key.rank);
+  const int k = cfg_.parity_k;
+  const std::uint32_t crc = util::crc32(data);
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) owners.push_back(map_.owner(gid, j, key.epoch));
+
+  std::vector<AccKey> ready;
+  {
+    std::lock_guard l(mu_);
+    const PendKey pk{key.epoch, gid, key.section, key.rank};
+    if (!seen_.insert(pk).second) {
+      throw util::UsageError(
+          "replica: blob {epoch=" + std::to_string(key.epoch) +
+          ", rank=" + std::to_string(key.rank) + ", section=" + key.section +
+          "} overwritten within one execution; the replica tier cannot "
+          "retract a folded parity contribution");
+    }
+    pending_[pk] = k;
+    parity_bytes_sent_.fetch_add(data.size() * owners.size(),
+                                 std::memory_order_relaxed);
+    if (wire_) {
+      util::Writer w(data.size() + key.section.size() + 64);
+      w.put<std::uint32_t>(kContribMagic);
+      w.put<std::uint64_t>(exec_id_.load(std::memory_order_relaxed));
+      w.put<std::int32_t>(key.epoch);
+      w.put<std::int32_t>(gid);
+      w.put<std::int32_t>(key.rank);
+      w.put_string(key.section);
+      w.put<std::uint32_t>(crc);
+      w.put<std::uint64_t>(data.size());
+      w.put_raw(data);
+      outbox_[static_cast<std::size_t>(key.rank)].push_back(
+          {key.epoch, w.take(), owners});
+    } else {
+      for (int owner : owners)
+        fold_locked(owner, key.epoch, gid, key.rank, key.section, crc,
+                    data.size(), data, &ready);
+    }
+  }
+  for (const AccKey& ak : ready) {
+    std::lock_guard l(mu_);
+    schedule_persist_locked(ak);
+  }
+}
+
+void ReplicatedStorage::fold_locked(int owner_rank, int epoch, int gid,
+                                    int member, const std::string& section,
+                                    std::uint32_t crc, std::uint64_t orig_len,
+                                    std::span<const std::byte> payload,
+                                    std::vector<AccKey>* ready) {
+  for (int j = 0; j < cfg_.parity_k; ++j) {
+    if (map_.owner(gid, j, epoch) != owner_rank) continue;
+    const AccKey ak{epoch, gid, j, section};
+    Acc& a = accs_[ak];
+    a.owner = owner_rank;
+    const int mi = map_.member_index(member);
+    if (a.contributed.count(mi)) continue;  // duplicate frame: idempotent
+    if (a.acc.size() < payload.size())
+      a.acc.resize(payload.size());  // zero-extend (vector value-init)
+    util::gf256::axpy(a.acc.data(), payload.data(), payload.size(),
+                      GroupMap::coef(j, mi));
+    a.contributed[mi] = {orig_len, crc};
+    a.need_ack.insert(member);
+    a.dirty = true;
+    parity_bytes_received_.fetch_add(payload.size(),
+                                     std::memory_order_relaxed);
+    if (static_cast<int>(a.contributed.size()) == map_.group_count(gid) &&
+        ready != nullptr)
+      ready->push_back(ak);
+  }
+}
+
+// ------------------------------------------------------- parity persists
+
+util::Bytes ReplicatedStorage::serialize_parity_locked(const AccKey& key,
+                                                       const Acc& acc) const {
+  util::Writer w(acc.acc.size() + 64);
+  w.put<std::uint32_t>(kParityMagic);
+  w.put<std::int32_t>(key.epoch);
+  w.put<std::int32_t>(key.gid);
+  w.put<std::int32_t>(key.j);
+  w.put<std::int32_t>(map_.group_count(key.gid));
+  w.put<std::uint16_t>(static_cast<std::uint16_t>(acc.contributed.size()));
+  for (const auto& [mi, c] : acc.contributed) {
+    w.put<std::uint16_t>(static_cast<std::uint16_t>(mi));
+    w.put<std::uint64_t>(c.len);
+    w.put<std::uint32_t>(c.crc);
+  }
+  w.put<std::uint64_t>(acc.acc.size());
+  w.put_raw(acc.acc);
+  return w.take();
+}
+
+void ReplicatedStorage::schedule_persist_locked(const AccKey& key) {
+  auto it = accs_.find(key);
+  if (it == accs_.end()) return;
+  Acc& a = it->second;
+  if (!a.dirty || a.persisting) return;  // on_persisted reschedules dirty
+  a.persisting = true;
+  a.dirty = false;
+  PersistJob job;
+  job.key = key;
+  job.blob_key = {key.epoch, a.owner,
+                  parity_section(key.gid, key.j, key.section)};
+  job.bytes = serialize_parity_locked(key, a);
+  job.covered.assign(a.need_ack.begin(), a.need_ack.end());
+  a.need_ack.clear();
+  {
+    std::lock_guard pl(pool_mu_);
+    pool_queue_.push_back(std::move(job));
+  }
+  pool_cv_.notify_one();
+}
+
+void ReplicatedStorage::persist_dirty_upto(int owner_rank, int epoch) {
+  std::vector<AccKey> todo;
+  {
+    std::lock_guard l(mu_);
+    for (const auto& [ak, a] : accs_) {
+      if (ak.epoch > epoch) continue;
+      if (owner_rank >= 0 && a.owner != owner_rank) continue;
+      if (a.dirty && !a.persisting) todo.push_back(ak);
+    }
+  }
+  for (const AccKey& ak : todo) {
+    std::lock_guard l(mu_);
+    schedule_persist_locked(ak);
+  }
+}
+
+void ReplicatedStorage::persist_worker() {
+  for (;;) {
+    PersistJob job;
+    {
+      std::unique_lock l(pool_mu_);
+      pool_cv_.wait(l, [&] { return pool_stop_ || !pool_queue_.empty(); });
+      if (pool_queue_.empty()) return;  // stop requested, queue drained
+      job = std::move(pool_queue_.front());
+      pool_queue_.pop_front();
+      ++pool_in_flight_;
+    }
+    bool ok = true;
+    try {
+      inner_->put(job.blob_key, std::move(job.bytes));
+    } catch (...) {
+      ok = false;
+      std::lock_guard pl(pool_mu_);
+      if (!pool_error_) pool_error_ = std::current_exception();
+    }
+    on_persisted(job.key, ok ? job.covered : std::vector<int>{});
+    if (!ok) {
+      // Re-mark for retry so the shard is not wedged behind the latched
+      // error (commit surfaces the error itself).
+      std::lock_guard l(mu_);
+      auto it = accs_.find(job.key);
+      if (it != accs_.end()) {
+        it->second.dirty = true;
+        for (int m : job.covered) it->second.need_ack.insert(m);
+      }
+    }
+    {
+      std::lock_guard pl(pool_mu_);
+      --pool_in_flight_;
+    }
+    pool_idle_cv_.notify_all();
+  }
+}
+
+void ReplicatedStorage::on_persisted(const AccKey& key,
+                                     const std::vector<int>& covered) {
+  std::lock_guard l(mu_);
+  auto it = accs_.find(key);
+  if (it == accs_.end()) return;  // wiped/dropped/reset while in flight
+  Acc& a = it->second;
+  a.persisting = false;
+  if (a.dirty) schedule_persist_locked(key);
+  for (int member : covered) {
+    const PendKey pk{key.epoch, key.gid, key.section, member};
+    if (wire_ && member != a.owner) {
+      util::Writer w(key.section.size() + 48);
+      w.put<std::uint32_t>(kAckMagic);
+      w.put<std::uint64_t>(exec_id_.load(std::memory_order_relaxed));
+      w.put<std::int32_t>(key.epoch);
+      w.put<std::int32_t>(key.gid);
+      w.put<std::int32_t>(key.j);
+      w.put<std::int32_t>(member);
+      w.put_string(key.section);
+      ack_outbox_[static_cast<std::size_t>(a.owner)].push_back(
+          {key.epoch, member, w.take()});
+    } else {
+      ack_contribution(pk);
+    }
+  }
+}
+
+void ReplicatedStorage::ack_contribution(const PendKey& key) {
+  // Pre: mu_ held.
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  if (--it->second <= 0) pending_.erase(it);
+}
+
+// ------------------------------------------------------------- wire lane
+
+void ReplicatedStorage::enable_wire() { wire_ = true; }
+
+void ReplicatedStorage::bind_thread_api(simmpi::Api* api) { t_api = api; }
+
+void ReplicatedStorage::begin_execution(std::uint64_t execution_id) {
+  // Rollback hygiene: the fabric is rebuilt per execution so no frame
+  // survives on the wire; everything still queued or half-folded here is
+  // from the aborted run and must not leak into the new one.
+  {
+    std::unique_lock pl(pool_mu_);
+    pool_idle_cv_.wait(
+        pl, [&] { return pool_queue_.empty() && pool_in_flight_ == 0; });
+  }
+  std::lock_guard l(mu_);
+  exec_id_.store(execution_id, std::memory_order_relaxed);
+  quiescent_hint_.store(-1, std::memory_order_relaxed);
+  accs_.clear();
+  pending_.clear();
+  seen_.clear();
+  for (auto& q : outbox_) q.clear();
+  for (auto& q : ack_outbox_) q.clear();
+}
+
+bool ReplicatedStorage::drain(simmpi::Api& api) {
+  const int me = api.world_rank();
+  bool did = false;
+  std::deque<OutFrame> mine;
+  std::deque<AckFrame> acks;
+  {
+    std::lock_guard l(mu_);
+    mine.swap(outbox_[static_cast<std::size_t>(me)]);
+    acks.swap(ack_outbox_[static_cast<std::size_t>(me)]);
+  }
+  std::vector<simmpi::Rank> wire_dsts;
+  for (OutFrame& of : mine) {
+    did = true;
+    wire_dsts.clear();
+    bool self = false;
+    for (int d : of.dsts) {
+      if (d == me) {
+        self = true;
+      } else {
+        wire_dsts.push_back(d);
+      }
+    }
+    if (!wire_dsts.empty())
+      api.send_batch(api.world(), of.frame, wire_dsts, kReplicaTag,
+                     simmpi::ContextClass::kReplica);
+    if (self) handle_frame(me, of.frame, nullptr);
+  }
+  for (AckFrame& af : acks) {
+    did = true;
+    api.send(api.world(), std::span<const std::byte>(af.frame), af.member,
+             kReplicaTag, simmpi::ContextClass::kReplica);
+  }
+  api.poll();
+  while (auto pi = api.peek(api.world(), simmpi::kAnySource, simmpi::kAnyTag,
+                            simmpi::ContextClass::kReplica)) {
+    auto msg = api.recv_any(api.world(), pi->source, pi->tag,
+                            simmpi::ContextClass::kReplica);
+    handle_frame(me, msg.first, nullptr);
+    api.runtime().fabric().release_buffer(std::move(msg.first));
+    did = true;
+  }
+  return did;
+}
+
+void ReplicatedStorage::handle_frame(int my_rank,
+                                     std::span<const std::byte> bytes,
+                                     std::vector<AckFrame>*) {
+  util::Reader r(bytes);
+  const auto magic = r.get<std::uint32_t>();
+  const auto exec = r.get<std::uint64_t>();
+  if (exec != exec_id_.load(std::memory_order_relaxed)) return;  // stale
+  if (magic == kContribMagic) {
+    const int epoch = r.get<std::int32_t>();
+    const int gid = r.get<std::int32_t>();
+    const int member = r.get<std::int32_t>();
+    const std::string section = r.get_string();
+    const auto crc = r.get<std::uint32_t>();
+    const auto orig_len = r.get<std::uint64_t>();
+    const auto payload = r.get_span(r.remaining());
+    if (orig_len != payload.size())
+      throw util::CorruptionError("replica: contribution length mismatch");
+    std::vector<AccKey> ready;
+    {
+      std::lock_guard l(mu_);
+      fold_locked(my_rank, epoch, gid, member, section, crc, orig_len,
+                  payload, &ready);
+    }
+    for (const AccKey& ak : ready) {
+      std::lock_guard l(mu_);
+      schedule_persist_locked(ak);
+    }
+  } else if (magic == kAckMagic) {
+    const int epoch = r.get<std::int32_t>();
+    const int gid = r.get<std::int32_t>();
+    r.get<std::int32_t>();  // j (informational)
+    const int member = r.get<std::int32_t>();
+    const std::string section = r.get_string();
+    std::lock_guard l(mu_);
+    ack_contribution({epoch, gid, section, member});
+  } else if (magic == kFlushMagic) {
+    const int epoch = r.get<std::int32_t>();
+    // Commit-time nudge: persist whatever this owner has folded so far
+    // (partial groups included -- e.g. the single-member retention-meta
+    // contribution) so its contributors can be acked.
+    persist_dirty_upto(my_rank, epoch);
+  } else {
+    throw util::CorruptionError("replica: unknown frame magic");
+  }
+}
+
+// --------------------------------------------------------------- commit
+
+bool ReplicatedStorage::quiescent_upto(int epoch) const {
+  std::lock_guard l(mu_);
+  for (const auto& [pk, n] : pending_)
+    if (pk.epoch <= epoch && n > 0) return false;
+  for (const auto& q : outbox_)
+    for (const auto& f : q)
+      if (f.epoch <= epoch) return false;
+  for (const auto& q : ack_outbox_)
+    for (const auto& f : q)
+      if (f.epoch <= epoch) return false;
+  return true;
+}
+
+bool ReplicatedStorage::rank_quiescent(int rank) const {
+  std::lock_guard l(mu_);
+  if (rank < 0 || rank >= ranks_) return true;
+  if (!outbox_[static_cast<std::size_t>(rank)].empty()) return false;
+  if (!ack_outbox_[static_cast<std::size_t>(rank)].empty()) return false;
+  for (const auto& [pk, n] : pending_)
+    if (pk.member == rank && n > 0) return false;
+  return true;
+}
+
+void ReplicatedStorage::note_quiescent_hint(int epoch) {
+  quiescent_hint_.store(epoch, std::memory_order_relaxed);
+}
+
+void ReplicatedStorage::commit(int epoch) {
+  const auto t0 = util::MonoClock::now();
+  {
+    std::lock_guard l(mu_);
+    std::uint64_t waited = 0;
+    for (const auto& [pk, n] : pending_)
+      if (pk.epoch <= epoch) waited += static_cast<std::uint64_t>(n);
+    parity_acks_waited_.fetch_add(waited, std::memory_order_relaxed);
+  }
+  if (!wire_) {
+    persist_dirty_upto(-1, epoch);
+    std::unique_lock pl(pool_mu_);
+    pool_idle_cv_.wait(
+        pl, [&] { return pool_queue_.empty() && pool_in_flight_ == 0; });
+    if (pool_error_) {
+      auto e = pool_error_;
+      pool_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  } else {
+    wait_for_quiescence(epoch);
+  }
+  commit_stall_ns_.fetch_add(util::ns_since(t0), std::memory_order_relaxed);
+  inner_->commit(epoch);
+}
+
+void ReplicatedStorage::wait_for_quiescence(int epoch) {
+  simmpi::Api* api = t_api;
+  const auto deadline = util::MonoClock::now() + cfg_.commit_timeout;
+  // When the phase-4 AND-aggregate already saw every rank quiescent, the
+  // first check normally passes and no nudge is ever sent; otherwise give
+  // in-flight frames one drain cycle before the first nudge.
+  auto last_nudge = util::MonoClock::now();
+  if (quiescent_hint_.load(std::memory_order_relaxed) < epoch)
+    last_nudge -= std::chrono::hours(1);
+  for (;;) {
+    {
+      std::lock_guard pl(pool_mu_);
+      if (pool_error_) {
+        auto e = pool_error_;
+        pool_error_ = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+    if (quiescent_upto(epoch)) return;
+    if (api != nullptr) {
+      drain(*api);
+      // Persist this rank's own folded shards without waiting for a
+      // self-addressed nudge.
+      persist_dirty_upto(api->world_rank(), epoch);
+      if (quiescent_upto(epoch)) return;
+      // Nudge the owners of still-pending contributions so partial
+      // groups (single-member sections like the retention meta) persist
+      // and ack. Re-send periodically: a contribution that was still in
+      // another rank's outbox at the first nudge needs a later one.
+      const auto now = util::MonoClock::now();
+      if (now - last_nudge > std::chrono::milliseconds(1)) {
+        last_nudge = now;
+        std::set<int> owners;
+        {
+          std::lock_guard l(mu_);
+          for (const auto& [pk, n] : pending_) {
+            if (pk.epoch > epoch || n <= 0) continue;
+            for (int j = 0; j < cfg_.parity_k; ++j)
+              owners.insert(map_.owner(pk.gid, j, pk.epoch));
+          }
+        }
+        owners.erase(api->world_rank());
+        if (!owners.empty()) {
+          util::Writer w(16);
+          w.put<std::uint32_t>(kFlushMagic);
+          w.put<std::uint64_t>(exec_id_.load(std::memory_order_relaxed));
+          w.put<std::int32_t>(epoch);
+          const Bytes frame = w.take();
+          for (int o : owners)
+            api->send(api->world(), std::span<const std::byte>(frame), o,
+                      kReplicaTag, simmpi::ContextClass::kReplica);
+        }
+      }
+      api->idle_wait(std::chrono::microseconds(200));
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (util::MonoClock::now() > deadline) {
+      std::ostringstream os;
+      os << "replica: commit(" << epoch
+         << ") timed out waiting for parity acks;";
+      std::lock_guard l(mu_);
+      int listed = 0;
+      for (const auto& [pk, n] : pending_) {
+        if (pk.epoch > epoch) continue;
+        if (++listed > 8) {
+          os << " ...";
+          break;
+        }
+        os << " {epoch=" << pk.epoch << " rank=" << pk.member << " section="
+           << pk.section << " acks_left=" << n << "}";
+      }
+      throw util::CorruptionError(os.str());
+    }
+  }
+}
+
+// ---------------------------------------------------------- reconstruct
+
+std::optional<Bytes> ReplicatedStorage::get(const BlobKey& key) const {
+  if (auto hit = inner_->get(key)) return hit;
+  if (!replicated_key(key)) return std::nullopt;
+  return reconstruct(key);
+}
+
+std::optional<Bytes> ReplicatedStorage::reconstruct(const BlobKey& key) const {
+  std::lock_guard rl(recon_mu_);
+  if (auto hit = inner_->get(key)) return hit;  // healed by a racing read
+
+  const int gid = map_.gid_of(key.rank);
+  const int target_mi = map_.member_index(key.rank);
+  std::vector<ParsedParity> shards;
+  for (int j = 0; j < cfg_.parity_k; ++j) {
+    const int owner = map_.owner(gid, j, key.epoch);
+    const auto blob =
+        inner_->get({key.epoch, owner, parity_section(gid, j, key.section)});
+    if (!blob) continue;
+    shards.push_back(parse_parity(*blob));
+  }
+  if (shards.empty()) return std::nullopt;  // never replicated: honest miss
+
+  // Post-commit all shards agree on the contributed set; mid-flight a
+  // shard persisted from a partial fold may trail. Reconstruct over the
+  // maximal set and use only shards that carry exactly it.
+  const auto maximal =
+      std::max_element(shards.begin(), shards.end(),
+                       [](const ParsedParity& a, const ParsedParity& b) {
+                         return a.contributed.size() < b.contributed.size();
+                       })
+          ->contributed;
+  if (!maximal.count(target_mi)) return std::nullopt;  // member never wrote
+
+  std::size_t padded = 0;
+  for (const auto& s : shards) padded = std::max(padded, s.parity.size());
+
+  // Fetch survivors; anything missing (or CRC-damaged, e.g. torn) joins
+  // the unknowns.
+  std::map<int, Bytes> known;
+  std::vector<int> unknowns;
+  const int base = map_.first_rank(gid);
+  for (const auto& [mi, meta] : maximal) {
+    if (mi == target_mi) {
+      unknowns.push_back(mi);
+      continue;
+    }
+    auto blob = inner_->get({key.epoch, base + mi, key.section});
+    if (blob && blob->size() == meta.first &&
+        util::crc32(*blob) == meta.second) {
+      blob->resize(padded);
+      known.emplace(mi, std::move(*blob));
+    } else {
+      unknowns.push_back(mi);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> coefs;
+  std::vector<Bytes> rhs;
+  for (ParsedParity& s : shards) {
+    if (s.contributed != maximal) continue;  // stale partial fold
+    s.parity.resize(padded);
+    for (const auto& [mi, blob] : known)
+      util::gf256::axpy(s.parity.data(), blob.data(), padded,
+                        GroupMap::coef(s.j, mi));
+    std::vector<std::uint8_t> row;
+    row.reserve(unknowns.size());
+    for (int mi : unknowns) row.push_back(GroupMap::coef(s.j, mi));
+    coefs.push_back(std::move(row));
+    rhs.push_back(std::move(s.parity));
+  }
+  const auto diag = [&](const std::string& why) {
+    std::ostringstream os;
+    os << "replica: cannot reconstruct {epoch=" << key.epoch
+       << " rank=" << key.rank << " section=" << key.section << "}: group "
+       << gid << " lost " << unknowns.size() << " of " << maximal.size()
+       << " data shards with " << coefs.size()
+       << " usable parity shards (parity_k=" << cfg_.parity_k << "): " << why;
+    return os.str();
+  };
+  if (coefs.size() < unknowns.size())
+    throw util::CorruptionError(
+        diag("more group members lost than parity shards survive"));
+
+  std::vector<Bytes> solved;
+  try {
+    solved = util::gf256::solve_erasures(std::move(coefs), std::move(rhs),
+                                         padded);
+  } catch (const util::CorruptionError& e) {
+    throw util::CorruptionError(diag(e.what()));
+  }
+
+  std::optional<Bytes> result;
+  for (std::size_t u = 0; u < unknowns.size(); ++u) {
+    const int mi = unknowns[u];
+    const auto& meta = maximal.at(mi);
+    Bytes bytes = std::move(solved[u]);
+    bytes.resize(meta.first);
+    if (util::crc32(bytes) != meta.second)
+      throw util::CorruptionError(diag("reconstructed shard failed its CRC"));
+    reconstruct_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (mi == target_mi) result = bytes;
+    // Heal: later reads (including delta home-epoch resolution) hit the
+    // backend directly.
+    inner_->put({key.epoch, base + mi, key.section}, std::move(bytes));
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- forwarding
+
+std::optional<int> ReplicatedStorage::committed_epoch() const {
+  return inner_->committed_epoch();
+}
+
+void ReplicatedStorage::drop_epoch(int epoch) {
+  inner_->drop_epoch(epoch);
+  std::lock_guard l(mu_);
+  std::erase_if(accs_, [&](const auto& e) { return e.first.epoch == epoch; });
+  std::erase_if(pending_,
+                [&](const auto& e) { return e.first.epoch == epoch; });
+  std::erase_if(seen_, [&](const PendKey& k) { return k.epoch == epoch; });
+  for (auto& q : outbox_)
+    std::erase_if(q, [&](const OutFrame& f) { return f.epoch == epoch; });
+  for (auto& q : ack_outbox_)
+    std::erase_if(q, [&](const AckFrame& f) { return f.epoch == epoch; });
+}
+
+std::vector<int> ReplicatedStorage::list_epochs() const {
+  return inner_->list_epochs();
+}
+
+std::uint64_t ReplicatedStorage::total_bytes() const {
+  return inner_->total_bytes();
+}
+
+std::uint64_t ReplicatedStorage::bytes_written() const {
+  return inner_->bytes_written();
+}
+
+util::StorageStats ReplicatedStorage::storage_stats() const {
+  util::StorageStats s = inner_->storage_stats();
+  s.parity_bytes_sent +=
+      parity_bytes_sent_.load(std::memory_order_relaxed);
+  s.parity_bytes_received +=
+      parity_bytes_received_.load(std::memory_order_relaxed);
+  s.reconstruct_reads += reconstruct_reads_.load(std::memory_order_relaxed);
+  s.parity_acks_waited +=
+      parity_acks_waited_.load(std::memory_order_relaxed);
+  s.commit_stall_ns += commit_stall_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<util::LaneStats> ReplicatedStorage::lane_stats() const {
+  return inner_->lane_stats();
+}
+
+void ReplicatedStorage::wipe_rank(int rank) {
+  inner_->wipe_rank(rank);
+  std::lock_guard l(mu_);
+  if (rank >= 0 && rank < ranks_) {
+    outbox_[static_cast<std::size_t>(rank)].clear();
+    ack_outbox_[static_cast<std::size_t>(rank)].clear();
+  }
+  // The node's memory is gone with its disk: half-folded shards it owned
+  // must not resurrect a parity blob the wipe just destroyed.
+  std::erase_if(accs_, [&](const auto& e) { return e.second.owner == rank; });
+}
+
+}  // namespace c3::replica

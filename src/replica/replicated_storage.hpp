@@ -1,0 +1,232 @@
+// Diskless checkpoint tier: erasure-coded peer replication.
+//
+// ReplicatedStorage stacks *under* ckptstore::CheckpointStore and over any
+// plain backend (the per-node "disk"):
+//
+//   CheckpointStore( ReplicatedStorage( MemoryStorage / DiskStorage ) )
+//
+// Every replicated put() of an encoded blob (epoch, rank, section) also
+// contributes the blob to its parity group: ranks are partitioned into
+// groups (replica/group.hpp) and each group's blobs for one (epoch,
+// section) are folded into `parity_k` GF(256) parity shards,
+//
+//   P_j = sum_i coef(j, i) (x) D_i          (j = 0: plain XOR)
+//
+// stored on members of the *next* group under section
+// "parity!<gid>!<j>!<section>". Losing up to parity_k members of a group
+// (their data *and* their parity holdings) leaves every blob
+// reconstructable from the survivors; losing parity_k + 1 fails loudly
+// with a CorruptionError naming the group.
+//
+// Because the tier sits below the delta/compress pipeline, parity is
+// computed over the small encoded blobs, and the existing GC already pins
+// delta home epochs -- a reconstructed blob's references heal recursively
+// through this tier's get().
+//
+// Two transports:
+//   - loopback (default): contributions fold synchronously in-process;
+//     used by store-level tests and the direct-drive benchmark.
+//   - wire (enable_wire(), core::Job): contributions are queued per rank
+//     and shipped from that rank's own thread (Process::pump -> drain())
+//     over the reserved ContextClass::kReplica lane via Api::send_batch
+//     with pooled buffers; the shard owner folds, persists, and acks.
+//
+// Parity shards persist on a small background pool so the parity write
+// overlaps the members' own data writes (distinct modelled disks), and a
+// shard is (re)written only when its group's fold is complete or a
+// commit-time flush nudge arrives -- never once per contribution.
+//
+// Commit interlock: commit(epoch) blocks until every contribution for
+// epochs <= epoch has been folded into a *persisted* parity shard and
+// acked, then forwards the commit -- the recovery point is never recorded
+// while a blob's parity coverage is still in flight. The control plane's
+// phase-4 word carries an AND-aggregated "parity complete" bit
+// (note_quiescent_hint) so the common case skips the wait machinery.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replica/group.hpp"
+#include "util/stable_storage.hpp"
+
+namespace c3::simmpi {
+class Api;
+}
+
+namespace c3::replica {
+
+struct ReplicaConfig {
+  int group_size = 4;  ///< ranks per parity group
+  int parity_k = 1;    ///< parity shards per group (1 = XOR)
+  /// Upper bound on the commit-time wait for parity acks before the
+  /// commit fails with a diagnostic instead of hanging.
+  std::chrono::milliseconds commit_timeout{30000};
+};
+
+/// Section prefix of parity shard blobs ("parity!<gid>!<j>!<section>").
+inline constexpr char kParitySectionPrefix[] = "parity!";
+
+class ReplicatedStorage final : public util::StableStorage {
+ public:
+  ReplicatedStorage(std::shared_ptr<util::StableStorage> inner, int ranks,
+                    ReplicaConfig cfg = {});
+  ~ReplicatedStorage() override;
+
+  // ------------------------------------------------------- StableStorage
+  void put(const util::BlobKey& key, const util::Bytes& data) override;
+  void put(const util::BlobKey& key, util::Bytes&& data) override;
+  std::optional<util::Bytes> get(const util::BlobKey& key) const override;
+  void commit(int epoch) override;
+  std::optional<int> committed_epoch() const override;
+  void drop_epoch(int epoch) override;
+  std::vector<int> list_epochs() const override;
+  std::uint64_t total_bytes() const override;
+  std::uint64_t bytes_written() const override;
+  util::StorageStats storage_stats() const override;
+  std::vector<util::LaneStats> lane_stats() const override;
+  void wipe_rank(int rank) override;
+
+  // --------------------------------------------------- wire integration
+  /// Switch from loopback folding to wire shipping (core::Job wiring).
+  void enable_wire();
+  /// Reset in-flight replication state at the start of an execution
+  /// (rollback hygiene: the fabric is recreated per execution, so queued
+  /// frames and partial folds from the aborted run must not leak in).
+  void begin_execution(std::uint64_t execution_id);
+  /// Bind the calling rank thread's Api so commit() can make progress on
+  /// its own replica lane while it waits (initiator-is-owner deadlock).
+  void bind_thread_api(simmpi::Api* api);
+  /// Ship this rank's queued contributions/acks and handle every frame
+  /// waiting on the kReplica lane. Called from the rank's own thread
+  /// (Process::pump and the commit wait loop). Returns true if any work
+  /// was done.
+  bool drain(simmpi::Api& api);
+  /// True when rank `rank` has nothing replica-related in flight: the
+  /// per-rank sample AND-aggregated into the phase-4 control word.
+  bool rank_quiescent(int rank) const;
+  /// All ranks quiescent for epochs <= `epoch`.
+  bool quiescent_upto(int epoch) const;
+  /// Phase-4 aggregate said every rank was quiescent when it stopped
+  /// logging: lets commit() skip the flush-nudge grace period.
+  void note_quiescent_hint(int epoch);
+
+  const GroupMap& group_map() const noexcept { return map_; }
+  util::StableStorage& inner() noexcept { return *inner_; }
+
+ private:
+  struct AccKey {
+    int epoch;
+    int gid;
+    int j;
+    std::string section;
+    auto operator<=>(const AccKey&) const = default;
+  };
+  struct Contribution {
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+  };
+  /// One parity shard being folded (lives logically on `owner`'s node).
+  struct Acc {
+    int owner = -1;
+    util::Bytes acc;  ///< zero-padded parity accumulation
+    std::map<int, Contribution> contributed;  ///< member index -> meta
+    std::set<int> need_ack;  ///< member world ranks awaiting an ack
+    bool dirty = false;      ///< folds since the last persist snapshot
+    bool persisting = false;
+  };
+  struct PendKey {
+    int epoch;
+    int gid;
+    std::string section;
+    int member;
+    auto operator<=>(const PendKey&) const = default;
+  };
+  struct OutFrame {
+    int epoch;
+    util::Bytes frame;
+    std::vector<int> dsts;  ///< owner world ranks (self handled inline)
+  };
+  struct AckFrame {
+    int epoch;
+    int member;  ///< destination (the contributor)
+    util::Bytes frame;
+  };
+  struct PersistJob {
+    AccKey key;
+    util::BlobKey blob_key;
+    util::Bytes bytes;
+    std::vector<int> covered;  ///< member world ranks this snapshot covers
+  };
+
+  bool replicated_key(const util::BlobKey& key) const;
+  static std::string parity_section(int gid, int j, const std::string& sec);
+  void contribute(const util::BlobKey& key, const util::Bytes& data);
+  /// Fold one contribution into every shard `owner_rank` owns for it.
+  /// Pre: mu_ held. Appends persist work to `ready` when a fold completes
+  /// its group.
+  void fold_locked(int owner_rank, int epoch, int gid, int member,
+                   const std::string& section, std::uint32_t crc,
+                   std::uint64_t orig_len, std::span<const std::byte> payload,
+                   std::vector<AccKey>* ready);
+  /// Snapshot `key`'s shard and enqueue its backend write. Pre: mu_ held.
+  void schedule_persist_locked(const AccKey& key);
+  /// Persist every dirty shard owned by `owner_rank` (-1: all owners)
+  /// for epochs <= `epoch`.
+  void persist_dirty_upto(int owner_rank, int epoch);
+  void on_persisted(const AccKey& key, const std::vector<int>& covered);
+  void ack_contribution(const PendKey& key);
+  void handle_frame(int my_rank, std::span<const std::byte> bytes,
+                    std::vector<AckFrame>* acks_out);
+  util::Bytes serialize_parity_locked(const AccKey& key, const Acc& acc) const;
+  /// Reconstruct a missing replicated blob from parity + surviving peers;
+  /// heals the backend on success. nullopt when no parity covers the key.
+  std::optional<util::Bytes> reconstruct(const util::BlobKey& key) const;
+  void persist_worker();
+  void wait_for_quiescence(int epoch);
+
+  std::shared_ptr<util::StableStorage> inner_;
+  int ranks_;
+  ReplicaConfig cfg_;
+  GroupMap map_;
+  bool wire_ = false;
+  std::atomic<std::uint64_t> exec_id_{0};
+  std::atomic<int> quiescent_hint_{-1};
+
+  mutable std::mutex mu_;
+  std::map<AccKey, Acc> accs_;
+  std::map<PendKey, int> pending_;  ///< contribution -> acks outstanding
+  std::set<PendKey> seen_;  ///< contributions this execution (no overwrite)
+  std::vector<std::deque<OutFrame>> outbox_;    ///< per member rank
+  std::vector<std::deque<AckFrame>> ack_outbox_;  ///< per owner rank
+  /// Serializes reconstruction/healing (never held with mu_).
+  mutable std::mutex recon_mu_;
+
+  // Persist pool: parity writes overlap members' data writes.
+  mutable std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_idle_cv_;
+  std::deque<PersistJob> pool_queue_;
+  std::size_t pool_in_flight_ = 0;
+  bool pool_stop_ = false;
+  std::exception_ptr pool_error_;
+  std::vector<std::thread> pool_threads_;
+
+  // Replica accounting (surfaced through storage_stats()).
+  mutable std::atomic<std::uint64_t> parity_bytes_sent_{0};
+  mutable std::atomic<std::uint64_t> parity_bytes_received_{0};
+  mutable std::atomic<std::uint64_t> reconstruct_reads_{0};
+  mutable std::atomic<std::uint64_t> parity_acks_waited_{0};
+  mutable std::atomic<std::uint64_t> commit_stall_ns_{0};
+};
+
+}  // namespace c3::replica

@@ -19,8 +19,13 @@
 
 namespace c3::simmpi {
 
-/// Context-id classes within one communicator.
-enum class ContextClass : int { kP2p = 0, kColl = 1, kCtrl = 2 };
+/// Context-id classes within one communicator. kReplica is the reserved
+/// lane for the erasure-coded checkpoint replica tier (parity shard
+/// contributions, acks, and commit-time flush nudges): parity traffic can
+/// never match application point-to-point, collective, or control
+/// messages, and -- critically for recovery -- is invisible to the
+/// protocol layer's message logging and replay.
+enum class ContextClass : int { kP2p = 0, kColl = 1, kCtrl = 2, kReplica = 3 };
 
 class Comm {
  public:

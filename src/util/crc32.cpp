@@ -1,34 +1,60 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace c3::util {
 namespace {
 
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> t{};
+// Slice-by-8 tables: table[0] is the classic byte-wise CRC-32 table for
+// the reflected 0xEDB88320 polynomial; table[s][b] advances a byte seen
+// s positions earlier through s extra zero bytes. Processing 8 input
+// bytes per step quadruples throughput over the byte-at-a-time loop,
+// which matters because the replica tier CRCs every parity contribution
+// on the commit path.
+std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    t[i] = c;
+    t[0][i] = c;
+  }
+  for (int s = 1; s < 8; ++s) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    }
   }
   return t;
 }
 
-const std::array<std::uint32_t, 256>& table() {
-  static const auto t = make_table();
+const std::array<std::array<std::uint32_t, 256>, 8>& tables() {
+  static const auto t = make_tables();
   return t;
 }
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
-  const auto& t = table();
+  const auto& t = tables();
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::byte b : data) {
-    c = t[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ static_cast<std::uint8_t>(*p++)) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -53,12 +53,22 @@ FaultInjectingStorage::Action FaultInjectingStorage::decide(
   return Action::kForward;
 }
 
+void FaultInjectingStorage::wipe_on_fault() {
+  int rank = -1;
+  {
+    std::lock_guard lock(mu_);
+    rank = plan_.wipe_rank_on_fault;
+  }
+  if (rank >= 0) inner_->wipe_rank(rank);
+}
+
 void FaultInjectingStorage::put(const BlobKey& key, const Bytes& data) {
   switch (decide(key)) {
     case Action::kForward:
       inner_->put(key, data);
       return;
     case Action::kFail:
+      wipe_on_fault();
       throw InjectedFault("injected crash before put of rank " +
                           std::to_string(key.rank) + " '" + key.section +
                           "'");
@@ -71,6 +81,7 @@ void FaultInjectingStorage::put(const BlobKey& key, const Bytes& data) {
           std::min(plan_.torn_keep_bytes,
                    data.empty() ? std::size_t{0} : data.size() - 1);
       inner_->put(key, Bytes(data.begin(), data.begin() + keep));
+      wipe_on_fault();
       throw InjectedFault("injected torn write at rank " +
                           std::to_string(key.rank) + " '" + key.section +
                           "' (" + std::to_string(keep) + " of " +
@@ -90,12 +101,15 @@ std::optional<Bytes> FaultInjectingStorage::get(const BlobKey& key) const {
 }
 
 void FaultInjectingStorage::commit(int epoch) {
+  bool fire = false;
   {
     std::lock_guard lock(mu_);
-    if (armed_ && plan_.fail_on_commit) {
-      throw InjectedFault("injected crash at commit of epoch " +
-                          std::to_string(epoch));
-    }
+    fire = armed_ && plan_.fail_on_commit;
+  }
+  if (fire) {
+    wipe_on_fault();
+    throw InjectedFault("injected crash at commit of epoch " +
+                        std::to_string(epoch));
   }
   inner_->commit(epoch);
 }
@@ -127,5 +141,7 @@ StorageStats FaultInjectingStorage::storage_stats() const {
 std::vector<LaneStats> FaultInjectingStorage::lane_stats() const {
   return inner_->lane_stats();
 }
+
+void FaultInjectingStorage::wipe_rank(int rank) { inner_->wipe_rank(rank); }
 
 }  // namespace c3::util

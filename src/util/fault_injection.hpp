@@ -48,6 +48,11 @@ struct FaultPlan {
   std::size_t torn_keep_bytes = 0;
   /// Fail the commit-marker write instead of recording it.
   bool fail_on_commit = false;
+  /// When a fault fires (any of the above), also wipe this rank's entire
+  /// backend holding (StableStorage::wipe_rank) before the InjectedFault
+  /// unwinds: the node's local disk dies *with* the process, the failure
+  /// the diskless replica tier exists for. Negative = disabled.
+  int wipe_rank_on_fault = -1;
 };
 
 /// Decorator over any StableStorage that executes a FaultPlan. Thread-safe:
@@ -81,10 +86,14 @@ class FaultInjectingStorage final : public StableStorage {
   std::uint64_t bytes_written() const override;
   StorageStats storage_stats() const override;
   std::vector<LaneStats> lane_stats() const override;
+  void wipe_rank(int rank) override;
 
  private:
   enum class Action { kForward, kFail, kTear };
   Action decide(const BlobKey& key);
+  /// Execute the plan's wipe (if any) just before an injected fault
+  /// unwinds.
+  void wipe_on_fault();
 
   std::shared_ptr<StableStorage> inner_;
   mutable std::mutex mu_;

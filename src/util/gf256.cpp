@@ -1,0 +1,121 @@
+#include "util/gf256.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace c3::util::gf256 {
+namespace {
+
+// exp/log tables over the 0x11d field, generator 2. exp_ is doubled so
+// mul() can skip the mod-255 reduction.
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint16_t, 256> log{};
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw UsageError("gf256: inverse of zero");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned n) noexcept {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+std::uint8_t coef(int j, int i) {
+  if (i < 0 || i >= 255 || j < 0) throw UsageError("gf256: coef out of range");
+  return pow(static_cast<std::uint8_t>(i + 1), static_cast<unsigned>(j));
+}
+
+void axpy(std::byte* dst, const std::byte* src, std::size_t n,
+          std::uint8_t c) noexcept {
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Per-call multiplication table for c: one 256-byte build, then a
+  // single lookup per byte -- far cheaper than log/exp per byte.
+  std::array<std::uint8_t, 256> row;
+  for (unsigned b = 0; b < 256; ++b)
+    row[b] = mul(c, static_cast<std::uint8_t>(b));
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] ^= static_cast<std::byte>(row[static_cast<std::uint8_t>(src[i])]);
+}
+
+std::vector<Bytes> solve_erasures(std::vector<std::vector<std::uint8_t>> a,
+                                  std::vector<Bytes> rhs, std::size_t len) {
+  const std::size_t rows = a.size();
+  if (rhs.size() != rows)
+    throw UsageError("gf256: coefficient/rhs row count mismatch");
+  const std::size_t cols = rows == 0 ? 0 : a[0].size();
+  for (const auto& row : a)
+    if (row.size() != cols) throw UsageError("gf256: ragged coefficient rows");
+  for (auto& r : rhs) r.resize(len);
+
+  // Forward elimination with row pivoting over *all* available
+  // equations: succeeds iff the column rank covers every unknown.
+  std::size_t pivot_row = 0;
+  std::vector<std::size_t> pivot_of(cols);
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t p = pivot_row;
+    while (p < rows && a[p][col] == 0) ++p;
+    if (p == rows)
+      throw CorruptionError(
+          "gf256: erasure system is singular (more shards lost than the "
+          "surviving parity can reconstruct)");
+    std::swap(a[p], a[pivot_row]);
+    std::swap(rhs[p], rhs[pivot_row]);
+    const std::uint8_t piv_inv = inv(a[pivot_row][col]);
+    for (std::size_t c = col; c < cols; ++c)
+      a[pivot_row][c] = mul(a[pivot_row][c], piv_inv);
+    for (std::size_t i = 0; i < len; ++i)
+      rhs[pivot_row][i] = static_cast<std::byte>(
+          mul(piv_inv, static_cast<std::uint8_t>(rhs[pivot_row][i])));
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pivot_row || a[r][col] == 0) continue;
+      const std::uint8_t f = a[r][col];
+      for (std::size_t c = col; c < cols; ++c)
+        a[r][c] ^= mul(f, a[pivot_row][c]);
+      axpy(rhs[r].data(), rhs[pivot_row].data(), len, f);
+    }
+    pivot_of[col] = pivot_row;
+    ++pivot_row;
+  }
+
+  std::vector<Bytes> out;
+  out.reserve(cols);
+  for (std::size_t col = 0; col < cols; ++col)
+    out.push_back(std::move(rhs[pivot_of[col]]));
+  return out;
+}
+
+}  // namespace c3::util::gf256

@@ -1,0 +1,54 @@
+// GF(256) arithmetic for the erasure-coded checkpoint replica tier.
+//
+// Self-contained Galois-field codec (polynomial 0x11d, the common
+// Reed-Solomon generator field) sitting beside the LZ codec: log/exp
+// tables built once, multiply-accumulate over byte vectors, and a
+// rectangular Gaussian erasure solver. The replica tier encodes parity
+// shard j of a group as
+//
+//   P_j = sum_i coef(j, i) (x) D_i        coef(j, i) = (i + 1)^j
+//
+// over the members' encoded blobs (zero-padded to the longest). Row
+// j = 0 is all-ones, so parity_k = 1 degrades to plain XOR; the
+// Vandermonde rows keep any <= k erasures within a group solvable for
+// the k <= 2 configurations the tier supports (and the solver pivots
+// across every available equation, so it recovers whenever the erasure
+// system has full column rank, whatever the k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/archive.hpp"
+
+namespace c3::util::gf256 {
+
+/// Product of two field elements.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+
+/// Multiplicative inverse (UsageError on 0).
+std::uint8_t inv(std::uint8_t a);
+
+/// a^n (with 0^0 = 1).
+std::uint8_t pow(std::uint8_t a, unsigned n) noexcept;
+
+/// Vandermonde coefficient of parity row `j` for group member `i`:
+/// (i + 1)^j. Requires i < 255 so the evaluation points stay distinct
+/// and non-zero.
+std::uint8_t coef(int j, int i);
+
+/// dst[i] ^= c (x) src[i] for i < n (dst must hold >= n bytes). c == 1
+/// is a plain XOR fast path; c == 0 is a no-op.
+void axpy(std::byte* dst, const std::byte* src, std::size_t n,
+          std::uint8_t c) noexcept;
+
+/// Solve an erasure system: `rows` equations over `unknowns` columns,
+/// each equation i being  sum_u a[i][u] (x) X_u = rhs[i]  with every
+/// rhs vector `len` bytes long. Returns the `unknowns` solution vectors
+/// (each `len` bytes). Throws CorruptionError when the system does not
+/// have full column rank (more erasures than the surviving parity can
+/// express).
+std::vector<Bytes> solve_erasures(std::vector<std::vector<std::uint8_t>> a,
+                                  std::vector<Bytes> rhs, std::size_t len);
+
+}  // namespace c3::util::gf256

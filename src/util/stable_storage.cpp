@@ -132,6 +132,17 @@ std::vector<LaneStats> MemoryStorage::lane_stats() const {
   return flatten(per_rank_);
 }
 
+void MemoryStorage::wipe_rank(int rank) {
+  std::lock_guard lock(mu_);
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    if (it->first.rank == rank) {
+      it = blobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 // ------------------------------------------------------------------ disk
 
 DiskStorage::DiskStorage(std::filesystem::path root,
@@ -249,6 +260,20 @@ std::uint64_t DiskStorage::bytes_written() const {
 std::vector<LaneStats> DiskStorage::lane_stats() const {
   std::lock_guard lock(mu_);
   return flatten(per_rank_);
+}
+
+void DiskStorage::wipe_rank(int rank) {
+  // Every epoch directory loses its rank<r> subtree; the COMMIT marker is
+  // global and survives (the commit record lives on, the node's data does
+  // not -- exactly the failure the replica tier reconstructs from).
+  std::error_code ec;
+  const std::string dir = "rank" + std::to_string(rank);
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const auto name = entry.path().filename().string();
+    if (name.rfind("ep", 0) != 0) continue;
+    std::filesystem::remove_all(entry.path() / dir, ec);
+  }
 }
 
 }  // namespace c3::util

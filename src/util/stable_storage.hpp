@@ -69,6 +69,17 @@ struct StorageStats {
   /// Contended acquisitions of the short global GC lock (cross-rank
   /// retention decisions). 0 for plain backends.
   std::uint64_t gc_lock_waits = 0;
+  // Replica-tier accounting (0 unless a replica::ReplicatedStorage is in
+  // the stack; CheckpointStore merges its inner tier's values upward).
+  /// Parity contribution bytes handed to the replica lane (wire mode) or
+  /// folded in-process (loopback).
+  std::uint64_t parity_bytes_sent = 0;
+  /// Contribution bytes folded into parity shards at their owners.
+  std::uint64_t parity_bytes_received = 0;
+  /// Blobs reconstructed from parity on a backend read miss.
+  std::uint64_t reconstruct_reads = 0;
+  /// Parity acks still outstanding when a commit entered its wait.
+  std::uint64_t parity_acks_waited = 0;
   /// Fraction of chunks that did not need rewriting (0 when no chunks yet).
   double delta_hit_rate() const {
     const auto total = inline_chunks + ref_chunks;
@@ -116,6 +127,15 @@ class StableStorage {
   /// overwritten blobs). Used by benchmarks to report checkpoint volume.
   virtual std::uint64_t bytes_written() const = 0;
 
+  /// Drop every blob this backend holds for `rank` -- all epochs, all
+  /// sections, commit markers untouched -- modelling the loss of one
+  /// node's local storage (the replica tier reconstructs from peers).
+  /// Backends that cannot express per-rank loss refuse.
+  virtual void wipe_rank(int rank) {
+    throw UsageError("this storage backend cannot wipe rank " +
+                     std::to_string(rank));
+  }
+
   /// Pipeline accounting; plain backends report raw == stored == written.
   virtual StorageStats storage_stats() const {
     StorageStats s;
@@ -148,6 +168,7 @@ class MemoryStorage final : public StableStorage {
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   std::vector<LaneStats> lane_stats() const override;
+  void wipe_rank(int rank) override;
 
  private:
   /// Sleep out the modelled write and account it to `rank`'s disk.
@@ -183,6 +204,7 @@ class DiskStorage final : public StableStorage {
   std::uint64_t total_bytes() const override;
   std::uint64_t bytes_written() const override;
   std::vector<LaneStats> lane_stats() const override;
+  void wipe_rank(int rank) override;
 
  private:
   std::filesystem::path blob_path(const BlobKey& key) const;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ckptstore/store.hpp"
+#include "replica/replicated_storage.hpp"
 #include "statesave/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
@@ -220,6 +221,80 @@ TEST(CkptFaultMatrix, EveryCellRecoversToCommittedEpoch) {
       ASSERT_EQ(*back, make_state_blob(3, r)) << "rank " << r;
     }
   }
+}
+
+// Kill-and-wipe cell: the fault does not just kill the process -- it takes
+// the victim rank's entire backend holding with it (node-local disk dies
+// with the node). With an erasure-coded replica tier stacked between the
+// pipeline and the backend, recovery must still land on the committed
+// epoch and read the wiped rank's sections back byte-identically, rebuilt
+// from the surviving peers' parity.
+TEST(CkptFaultMatrix, KillAndWipeRecoversByteIdenticalFromParity) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+  replica::ReplicaConfig rc;
+  rc.group_size = 2;  // 4 ranks -> 2 groups; parity lives in the other group
+  rc.parity_k = 1;
+  auto tier =
+      std::make_shared<replica::ReplicatedStorage>(faulty, kRanks, rc);
+  const StoreOptions opts = laned_opts();
+
+  // --- Epoch 1 commits cleanly (parity persisted with it).
+  auto store = std::make_unique<CheckpointStore>(tier, opts);
+  for (int r = 0; r < kRanks; ++r) {
+    store->put({1, r, "state"}, make_state_blob(1, r));
+  }
+  store->commit(1);
+  ASSERT_EQ(store->committed_epoch(), 1);
+
+  // --- Epoch 2 dies mid-flight AND rank 1's whole holding -- every epoch,
+  // data and hosted parity alike -- is wiped when the fault fires.
+  util::FaultPlan plan;
+  plan.fail_after_puts = 2;
+  plan.wipe_rank_on_fault = 1;
+  faulty->arm(plan);
+  bool fault_fired = false;
+  try {
+    for (int r = 0; r < kRanks; ++r) {
+      store->put({2, r, "state"}, make_state_blob(2, r));
+    }
+    store->commit(2);
+  } catch (const util::InjectedFault&) {
+    fault_fired = true;
+  }
+  ASSERT_TRUE(fault_fired) << "the kill-and-wipe fault never fired";
+  store.reset();
+  faulty->disarm();
+
+  // --- Restart: fresh pipeline AND fresh replica tier over the surviving
+  // backend. Rank 1's blobs are gone from the backend itself...
+  ASSERT_FALSE(inner->get({1, 1, "state"}).has_value())
+      << "the wipe never reached the backend";
+  auto tier2 =
+      std::make_shared<replica::ReplicatedStorage>(faulty, kRanks, rc);
+  store = std::make_unique<CheckpointStore>(tier2, opts);
+  const auto committed = store->committed_epoch();
+  ASSERT_TRUE(committed.has_value());
+  ASSERT_EQ(*committed, 1);
+  // ...yet every rank's committed sections read back bit-exact, the wiped
+  // rank's reconstructed from its parity group.
+  for (int r = 0; r < kRanks; ++r) {
+    auto back = store->get({1, r, "state"});
+    ASSERT_TRUE(back.has_value()) << "rank " << r;
+    ASSERT_EQ(*back, make_state_blob(1, r)) << "rank " << r;
+  }
+  EXPECT_GE(tier2->storage_stats().reconstruct_reads, 1u)
+      << "rank 1 read back without touching the reconstruction path";
+  // Reconstruction healed the backend: rank 1's blobs are durable again.
+  EXPECT_TRUE(inner->get({1, 1, "state"}).has_value());
+
+  // --- The restarted job re-executes epoch 2 and moves on.
+  store->drop_epoch(2);
+  for (int r = 0; r < kRanks; ++r) {
+    store->put({2, r, "state"}, make_state_blob(2, r));
+  }
+  store->commit(2);
+  ASSERT_EQ(store->committed_epoch(), 2);
 }
 
 TEST(CkptFaultMatrix, KillDuringRecoveryRedrop) {
