@@ -15,11 +15,18 @@ Checks (stdlib only, no third-party deps):
                            parity-replicated lane (erasure-coded replica
                            tier stacked under the laned store) must stay
                            within 1.5x the unreplicated laned stall at
-                           every swept rank count.
+                           every swept rank count. The cow lane
+                           (capture-and-return, encode + commit behind the
+                           app) must stay within 0.25x the laned
+                           synchronous stall at every swept rank count.
 
 Usage: check_bench.py <build-dir>
 Missing files fail the gate except BENCH_protocol.json, which is optional
 (the microbench lane only runs on demand in some jobs).
+
+A malformed JSON file or a result entry missing an expected field fails
+the gate with a message naming the file and lane -- never a bare
+traceback, and never a zero exit.
 """
 import json
 import math
@@ -28,6 +35,7 @@ from pathlib import Path
 
 FACADE_OVERHEAD_LIMIT_PCT = 5.0
 COMMIT_STALL_LIMIT_X = 1.5
+COW_STALL_LIMIT_X = 0.25
 
 
 def fail(msg: str) -> None:
@@ -35,15 +43,35 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def load_json(path: Path) -> dict:
+    """Parse a bench JSON file; a truncated or malformed file (a bench
+    binary that crashed mid-write) fails the gate by name instead of
+    surfacing as a traceback."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path.name}: malformed bench JSON ({e})")
+
+
+def require(entry: dict, key: str, where: str):
+    """Fetch a field from a result entry, failing with the lane's name
+    rather than a KeyError when a bench emitted an incomplete record."""
+    if key not in entry:
+        fail(f"{where}: result entry missing field '{key}': {entry}")
+    return entry[key]
+
+
 def check_scaling(path: Path) -> None:
-    data = json.loads(path.read_text())
+    data = load_json(path)
     sweep = data.get("rank_sweep", [])
     if not sweep:
         fail(f"{path.name}: empty rank_sweep")
     for entry in sweep:
-        ranks = entry["ranks"]
+        where = f"{path.name} rank_sweep"
+        ranks = require(entry, "ranks", where)
         bound = math.ceil(math.log2(ranks))
-        sends = entry["initiator_sends_per_phase"]
+        sends = require(entry, "initiator_sends_per_phase",
+                        f"{where} ({ranks} ranks)")
         for phase, count in sends.items():
             if count > bound:
                 fail(
@@ -57,10 +85,11 @@ def check_scaling(path: Path) -> None:
 
 
 def check_protocol(path: Path) -> None:
-    data = json.loads(path.read_text())
+    data = load_json(path)
     for entry in data.get("facade_overhead_pct", []):
-        pct = entry["overhead_pct"]
-        payload = entry["payload_bytes"]
+        where = f"{path.name} facade_overhead_pct"
+        pct = require(entry, "overhead_pct", where)
+        payload = require(entry, "payload_bytes", where)
         if pct > FACADE_OVERHEAD_LIMIT_PCT:
             fail(
                 f"{path.name}: facade overhead {pct:+.2f}% at {payload} B "
@@ -69,14 +98,49 @@ def check_protocol(path: Path) -> None:
         print(f"  facade ok: {payload:6d} B payload, {pct:+.2f}% overhead")
 
 
+def check_stall_lane(path: Path, sweep: list, laned_by_ranks: dict,
+                     mode: str, limit: float) -> None:
+    """Gate one sweep lane's commit stall against the unreplicated laned
+    stall at the same rank count."""
+    entries = [r for r in sweep if r.get("mode") == mode]
+    if not entries:
+        fail(f"{path.name}: no {mode} sweep results")
+    for entry in entries:
+        where = f"{path.name} {mode} lane"
+        ranks = require(entry, "ranks", where)
+        peer = laned_by_ranks.get(ranks)
+        if peer is None:
+            fail(
+                f"{path.name}: {mode} result at {ranks} ranks has no "
+                f"per-rank-lanes baseline at the same rank count"
+            )
+        baseline = require(peer, "commit_stall_seconds_per_epoch",
+                           f"{path.name} per-rank-lanes lane")
+        stall = require(entry, "commit_stall_seconds_per_epoch", where)
+        if baseline > 0:
+            ratio = stall / baseline
+        else:
+            ratio = require(entry, "stall_vs_laned", where)
+        if ratio > limit:
+            fail(
+                f"{path.name}: {mode} commit stall at {ranks} ranks is "
+                f"{ratio:.2f}x the unreplicated laned stall, limit {limit}x"
+            )
+        print(
+            f"  {mode} ok: {ranks:4d} ranks commit stall {ratio:.2f}x "
+            f"unreplicated laned (limit {limit}x)"
+        )
+
+
 def check_checkpoint(path: Path) -> None:
-    data = json.loads(path.read_text())
+    data = load_json(path)
     sweep = data.get("rank_sweep", {}).get("results", [])
     laned = [r for r in sweep if r.get("mode") == "per-rank-lanes"]
     if not laned:
         fail(f"{path.name}: no per-rank-lanes sweep results")
-    worst = max(laned, key=lambda r: r["ranks"])
-    ratio = worst["stall_vs_one_rank"]
+    where = f"{path.name} per-rank-lanes lane"
+    worst = max(laned, key=lambda r: require(r, "ranks", where))
+    ratio = require(worst, "stall_vs_one_rank", where)
     if ratio > COMMIT_STALL_LIMIT_X:
         fail(
             f"{path.name}: commit stall at {worst['ranks']} ranks is "
@@ -86,31 +150,10 @@ def check_checkpoint(path: Path) -> None:
         f"  checkpoint ok: {worst['ranks']} ranks commit stall "
         f"{ratio:.2f}x 1-rank (limit {COMMIT_STALL_LIMIT_X}x)"
     )
-    parity = [r for r in sweep if r.get("mode") == "parity-replicated"]
-    if not parity:
-        fail(f"{path.name}: no parity-replicated sweep results")
-    laned_by_ranks = {r["ranks"]: r for r in laned}
-    for entry in parity:
-        ranks = entry["ranks"]
-        peer = laned_by_ranks.get(ranks)
-        if peer is None:
-            fail(
-                f"{path.name}: parity-replicated result at {ranks} ranks has "
-                f"no per-rank-lanes baseline at the same rank count"
-            )
-        baseline = peer["commit_stall_seconds_per_epoch"]
-        stall = entry["commit_stall_seconds_per_epoch"]
-        ratio = stall / baseline if baseline > 0 else entry["stall_vs_laned"]
-        if ratio > COMMIT_STALL_LIMIT_X:
-            fail(
-                f"{path.name}: parity commit stall at {ranks} ranks is "
-                f"{ratio:.2f}x the unreplicated laned stall, limit "
-                f"{COMMIT_STALL_LIMIT_X}x"
-            )
-        print(
-            f"  parity ok: {ranks:4d} ranks commit stall {ratio:.2f}x "
-            f"unreplicated laned (limit {COMMIT_STALL_LIMIT_X}x)"
-        )
+    laned_by_ranks = {require(r, "ranks", where): r for r in laned}
+    check_stall_lane(path, sweep, laned_by_ranks, "parity-replicated",
+                     COMMIT_STALL_LIMIT_X)
+    check_stall_lane(path, sweep, laned_by_ranks, "cow", COW_STALL_LIMIT_X)
 
 
 def main() -> None:

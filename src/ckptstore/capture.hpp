@@ -1,0 +1,58 @@
+// Copy-on-write capture: the work items exchanged between the checkpoint
+// site (rank thread) and the writer lanes when StoreOptions::cow is on.
+//
+// The classic path serializes every section into one v1 container on the
+// rank thread and hands the whole blob to a lane, which re-chunks it and
+// decides ref-vs-inline per chunk. The COW path moves that decision to the
+// *capture site*: the rank thread walks each section's live bytes with
+// per-chunk CRCs (supplied pre-computed by a write-tracking caller, or
+// computed in place), consults the delta index, and copies ONLY the chunks
+// that must travel inline into a pooled staging buffer. Control returns to
+// the application as soon as those chunks are copied -- the lane thread
+// then compresses and serializes the staged chunks into the very same v2
+// chunked container format the classic path produces, so the read /
+// reconstruct / replica paths are untouched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stable_storage.hpp"
+
+namespace c3::ckptstore {
+
+/// One section of a checkpoint offered to CheckpointStore::put_capture().
+/// `data` must stay valid only for the duration of the call: every byte the
+/// store needs is copied out before put_capture() returns.
+struct CaptureSection {
+  std::string name;
+  std::span<const std::byte> data;
+  /// Per-chunk CRC32s at the store's chunk size. Empty = the store computes
+  /// them (the pre-copy diff pass); non-empty = the caller's write-tracking
+  /// already knows them (hot chunks re-diffed, clean chunks reused).
+  std::vector<std::uint32_t> crcs;
+};
+
+/// A captured section after the ref-vs-inline decision: CRCs and homes for
+/// every chunk, plus the inline chunks' raw bytes concatenated in chunk
+/// order in `staged` (chunks with home >= 0 contribute no bytes).
+struct StagedSection {
+  std::string name;
+  std::uint64_t raw_size = 0;
+  std::vector<std::uint32_t> crcs;
+  std::vector<std::int32_t> homes;  ///< -1 = inline (bytes in `staged`)
+  util::Bytes staged;
+};
+
+/// A captured blob queued on a writer lane: everything the lane needs to
+/// compress + serialize the v2 container without touching application
+/// memory again.
+struct StagedBlob {
+  bool is_container = true;
+  std::vector<StagedSection> sections;
+  std::size_t staged_bytes = 0;  ///< lane queue byte-accounting
+};
+
+}  // namespace c3::ckptstore

@@ -57,8 +57,25 @@ AsyncWriter::~AsyncWriter() {
 }
 
 void AsyncWriter::enqueue(const util::BlobKey& key, util::Bytes raw) {
-  Lane& lane = *lanes_[lane_of(key.rank)];
-  const std::size_t size = raw.size();
+  Pending p;
+  p.key = key;
+  p.size = raw.size();
+  p.raw = std::move(raw);
+  enqueue_item(std::move(p));
+}
+
+void AsyncWriter::enqueue_staged(const util::BlobKey& key,
+                                 std::unique_ptr<StagedBlob> staged) {
+  Pending p;
+  p.key = key;
+  p.size = staged ? staged->staged_bytes : 0;
+  p.staged = std::move(staged);
+  enqueue_item(std::move(p));
+}
+
+void AsyncWriter::enqueue_item(Pending item) {
+  Lane& lane = *lanes_[lane_of(item.key.rank)];
+  const std::size_t size = item.size;
   std::unique_lock lock(lane.mu);
   rethrow_locked(lane);
   // An empty queue always admits: a single blob larger than max_bytes_
@@ -74,9 +91,33 @@ void AsyncWriter::enqueue(const util::BlobKey& key, util::Bytes raw) {
     lane.enqueue_stall_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
     rethrow_locked(lane);
   }
-  lane.queue.push_back(Pending{key, std::move(raw)});
+  lane.queue.push_back(std::move(item));
   lane.queued_bytes += size;
+  lane.enqueued_seq++;
   lane.work.notify_one();
+}
+
+std::vector<std::uint64_t> AsyncWriter::fence() const {
+  std::vector<std::uint64_t> f(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    std::lock_guard lock(lanes_[i]->mu);
+    f[i] = lanes_[i]->enqueued_seq;
+  }
+  return f;
+}
+
+bool AsyncWriter::fence_reached(const std::vector<std::uint64_t>& f) const {
+  for (std::size_t i = 0; i < lanes_.size() && i < f.size(); ++i) {
+    std::lock_guard lock(lanes_[i]->mu);
+    if (lanes_[i]->done_seq < f[i]) return false;
+  }
+  return true;
+}
+
+bool AsyncWriter::lane_idle(std::size_t index) const {
+  const Lane& lane = *lanes_[index];
+  std::lock_guard lock(lane.mu);
+  return lane.queue.empty() && !lane.busy;
 }
 
 void AsyncWriter::flush_lane(std::size_t index) {
@@ -129,7 +170,7 @@ void AsyncWriter::run(Lane& lane, std::size_t index) {
       if (lane.queue.empty()) return;  // stop with a drained queue
       p = std::move(lane.queue.front());
       lane.queue.pop_front();
-      lane.queued_bytes -= p.raw.size();
+      lane.queued_bytes -= p.size;
       lane.busy = true;
     }
     // The pop itself freed queue capacity: wake a blocked producer now so
@@ -138,7 +179,7 @@ void AsyncWriter::run(Lane& lane, std::size_t index) {
     // flush waiter re-checks its predicate, so the early wake is safe.
     lane.room.notify_all();
     try {
-      sink_(index, p.key, std::move(p.raw));
+      sink_(index, p.key, std::move(p.raw), std::move(p.staged));
     } catch (...) {
       std::lock_guard lock(lane.mu);
       lane.error = std::current_exception();
@@ -146,6 +187,10 @@ void AsyncWriter::run(Lane& lane, std::size_t index) {
     {
       std::lock_guard lock(lane.mu);
       lane.busy = false;
+      // done_seq advances in the same critical section that clears busy:
+      // a fence observed as reached implies the item's error (if any) is
+      // already latched in lane.error.
+      lane.done_seq++;
     }
     lane.room.notify_all();
   }

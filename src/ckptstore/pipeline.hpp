@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckptstore/capture.hpp"
 #include "util/stable_storage.hpp"
 
 namespace c3::ckptstore {
@@ -39,9 +40,12 @@ class AsyncWriter {
   /// `sink` performs the actual encode + backend put; it runs on the lane's
   /// writer thread. Exceptions it throws are captured and rethrown from the
   /// next flush()/enqueue() touching that lane, so a failed write can never
-  /// be silently committed.
-  using Sink =
-      std::function<void(std::size_t lane, const util::BlobKey&, util::Bytes)>;
+  /// be silently committed. Exactly one of (raw, staged) is populated: raw
+  /// blobs still need the full delta decision, staged blobs (COW captures)
+  /// arrive pre-diffed and only need compress + serialize.
+  using Sink = std::function<void(std::size_t lane, const util::BlobKey&,
+                                  util::Bytes raw,
+                                  std::unique_ptr<StagedBlob> staged)>;
   /// Test-only fault-injection hook: flush() invokes it after each lane
   /// drains, before moving on to the next lane. Throwing from it models a
   /// process dying between lane flushes.
@@ -56,13 +60,31 @@ class AsyncWriter {
   /// Hand a blob to its rank's lane; blocks only while that lane is full.
   void enqueue(const util::BlobKey& key, util::Bytes raw);
 
+  /// Hand a pre-diffed COW capture to its rank's lane. Queue accounting
+  /// uses the staged bytes (the only payload the item owns).
+  void enqueue_staged(const util::BlobKey& key,
+                      std::unique_ptr<StagedBlob> staged);
+
   /// Barrier: returns once every lane's queue is empty and its writer is
   /// idle. Rethrows the first error any lane's sink raised since the last
   /// flush; lanes drain concurrently, so the wait costs max-over-lanes.
   void flush();
 
+  /// Snapshot each lane's enqueued-item count: a deferred commit records
+  /// this fence and is finalized once every lane's completed count reaches
+  /// it -- later enqueues (the next epoch's captures) never delay it.
+  std::vector<std::uint64_t> fence() const;
+
+  /// True once every lane has completed (successfully or not) at least
+  /// `f[lane]` items. Non-blocking; the commit finalizer polls it.
+  bool fence_reached(const std::vector<std::uint64_t>& f) const;
+
   /// Drain one lane only (the building block of flush()).
   void flush_lane(std::size_t lane);
+
+  /// Non-blocking: true when the lane's queue is empty and its writer is
+  /// not mid-blob (the replica tier's quiescence predicate).
+  bool lane_idle(std::size_t lane) const;
 
   std::size_t lanes() const noexcept { return lanes_.size(); }
   std::size_t lane_of(int rank) const noexcept {
@@ -78,6 +100,8 @@ class AsyncWriter {
   struct Pending {
     util::BlobKey key;
     util::Bytes raw;
+    std::unique_ptr<StagedBlob> staged;  ///< COW capture; raw empty when set
+    std::size_t size = 0;                ///< queued-byte accounting
   };
 
   /// One lane: its own lock, queue, writer thread and stall accounting, so
@@ -88,12 +112,18 @@ class AsyncWriter {
     std::condition_variable work;  ///< signalled when work arrives / stops
     std::deque<Pending> queue;
     std::size_t queued_bytes = 0;
+    /// Items ever accepted / completed (success or error): fences for the
+    /// deferred-commit finalizer. Both guarded by mu.
+    std::uint64_t enqueued_seq = 0;
+    std::uint64_t done_seq = 0;
     bool busy = false;
     bool stop = false;
     std::exception_ptr error;
     std::atomic<std::uint64_t> enqueue_stall_ns{0};
     std::thread thread;
   };
+
+  void enqueue_item(Pending item);
 
   void run(Lane& lane, std::size_t index);
   static void rethrow_locked(Lane& lane);

@@ -1,5 +1,8 @@
 #include "ckptstore/store.hpp"
 
+#include <chrono>
+#include <cstring>
+
 #include "statesave/checkpoint.hpp"
 #include "util/clock.hpp"
 #include "util/crc32.hpp"
@@ -51,15 +54,30 @@ CheckpointStore::CheckpointStore(std::shared_ptr<util::StableStorage> inner,
     const std::size_t bytes_per_lane =
         std::max<std::size_t>(1, opts_.queue_max_bytes / lane_count_);
     writer_ = std::make_unique<AsyncWriter>(
-        [this](std::size_t lane, const util::BlobKey& key, util::Bytes raw) {
-          write_one(lane, key, std::move(raw));
+        [this](std::size_t lane, const util::BlobKey& key, util::Bytes raw,
+               std::unique_ptr<StagedBlob> staged) {
+          write_one(lane, key, std::move(raw), std::move(staged));
         },
         lane_count_, opts_.queue_max_blobs, bytes_per_lane,
         opts_.after_lane_flush);
   }
+  if (opts_.cow && writer_) {
+    committer_ = std::thread([this] { committer_run(); });
+  }
 }
 
 CheckpointStore::~CheckpointStore() {
+  if (committer_.joinable()) {
+    // Stop-after-drain: the committer finalizes every commit still queued
+    // (fences always become reachable -- lanes count errored items too),
+    // then exits. Protocol shutdown settles earlier; this is the backstop.
+    {
+      std::lock_guard lock(commit_mu_);
+      committer_stop_ = true;
+    }
+    commit_cv_.notify_all();
+    committer_.join();
+  }
   // Join the lanes before any member they touch is destroyed. Pending
   // writes drain (they may matter to a committed epoch only if commit was
   // called, which already flushed; draining the rest is just tidy).
@@ -80,7 +98,7 @@ void CheckpointStore::put(const util::BlobKey& key, util::Bytes&& data) {
     writer_->enqueue(key, std::move(data));
   } else {
     const auto t0 = Clock::now();
-    write_one(0, key, std::move(data));
+    write_one(0, key, std::move(data), nullptr);
     sync_put_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
   }
   LaneCounters& lc = lane_counters_[lane];
@@ -89,10 +107,12 @@ void CheckpointStore::put(const util::BlobKey& key, util::Bytes&& data) {
 }
 
 void CheckpointStore::write_one(std::size_t lane, const util::BlobKey& key,
-                                util::Bytes raw) {
+                                util::Bytes raw,
+                                std::unique_ptr<StagedBlob> staged) {
   const auto t0 = Clock::now();
   try {
-    util::Bytes encoded = encode_blob(lane, key, raw);
+    util::Bytes encoded =
+        staged ? encode_staged(key, *staged) : encode_blob(lane, key, raw);
     const std::size_t encoded_size = encoded.size();
     inner_->put(key, std::move(encoded));
     // Counted only after the backend accepted the write, so lane_stats()
@@ -119,8 +139,13 @@ void CheckpointStore::write_one(std::size_t lane, const util::BlobKey& key,
     }
     throw;
   }
-  // Recycle the rank's serialized-checkpoint buffer for future scratch.
-  pool_.release(std::move(raw));
+  // Recycle the rank's serialized-checkpoint buffer (or the capture's
+  // staging buffers) for future scratch.
+  if (staged) {
+    for (auto& sec : staged->sections) pool_.release(std::move(sec.staged));
+  } else {
+    pool_.release(std::move(raw));
+  }
 }
 
 util::Bytes CheckpointStore::encode_blob(std::size_t lane,
@@ -277,6 +302,200 @@ util::Bytes CheckpointStore::encode_blob(std::size_t lane,
         w.put<std::int32_t>(home);
       } else {
         const auto chunk = data.subspan(i * cs, chunk_len(data.size(), cs, i));
+        const CodecId used = codec_encode(opts_.codec, chunk, scratch);
+        w.put<std::uint8_t>(CheckpointBuilder::kChunkInline);
+        w.put<std::uint8_t>(static_cast<std::uint8_t>(used));
+        w.put<std::uint64_t>(scratch.size());
+        w.put_raw(scratch);
+      }
+    }
+  }
+  pool_.release(std::move(scratch));
+  return w.take();
+}
+
+// ----------------------------------------------------------- COW capture
+
+void CheckpointStore::put_capture(const util::BlobKey& key,
+                                  std::vector<CaptureSection> sections) {
+  const auto t0 = Clock::now();
+  const std::size_t cs = opts_.chunk_size;
+  auto staged = std::make_unique<StagedBlob>();
+  staged->sections.resize(sections.size());
+  std::size_t raw_total = 0;
+
+  // Phase 1, no lock: per-chunk CRCs against the *live* buffers. A caller
+  // with write tracking supplies them (only hot chunks re-hashed); anyone
+  // else pays one CRC pass -- still far cheaper than serialize + compress.
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const auto data = sections[s].data;
+    StagedSection& out = staged->sections[s];
+    out.name = sections[s].name;
+    out.raw_size = data.size();
+    raw_total += data.size();
+    const std::size_t n = chunk_count(data.size(), cs);
+    if (sections[s].crcs.size() == n) {
+      out.crcs = std::move(sections[s].crcs);
+    } else {
+      out.crcs.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.crcs[i] =
+            util::crc32(data.subspan(i * cs, chunk_len(data.size(), cs, i)));
+      }
+    }
+    out.homes.assign(n, -1);
+  }
+
+  // Phases 2a/2b/2c: the exact ref-vs-inline protocol of encode_blob
+  // (candidate homes under the shard lock, validation + ref registration
+  // under the GC lock, index install under the shard lock) -- run at
+  // capture time so the GC interlock sees the refs *before* this call
+  // returns. A drop racing this capture either ran first (the candidate
+  // demotes to inline and the live bytes are copied below) or defers.
+  MetaShard& ms = meta_shards_[meta_lane(key.rank)];
+  std::uint64_t inline_count = 0, ref_count = 0;
+  {
+    std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                         std::adopt_lock);
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      StagedSection& out = staged->sections[s];
+      const SectionIndex* prev =
+          ms.index.find(ChainKey{key.rank, key.section, out.name});
+      const std::size_t n = out.crcs.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int32_t home = -1;
+        if (opts_.delta && prev != nullptr && i < prev->chunks.size() &&
+            prev->chunks[i].crc == out.crcs[i] &&
+            chunk_len(prev->raw_size, cs, i) ==
+                chunk_len(out.raw_size, cs, i)) {
+          const std::int32_t h = prev->chunks[i].home_epoch;
+          if (h >= 0 && h < key.epoch &&
+              key.epoch - h < opts_.full_interval) {
+            home = h;
+          }
+        }
+        out.homes[i] = home;
+      }
+    }
+  }
+  {
+    std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
+    dropped_.erase(key.epoch);
+    drop_requested_.erase(key.epoch);
+    dropped_.erase(dropped_.begin(),
+                   dropped_.lower_bound(key.epoch - opts_.full_interval));
+    std::set<int> homes_used;
+    for (auto& sec : staged->sections) {
+      for (auto& home : sec.homes) {
+        if (home < 0) continue;
+        if (dropped_.count(home) != 0) {
+          home = -1;
+        } else {
+          homes_used.insert(home);
+        }
+      }
+    }
+    if (!homes_used.empty()) {
+      refs_[key.epoch].insert(homes_used.begin(), homes_used.end());
+    }
+  }
+  {
+    std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                         std::adopt_lock);
+    for (auto& sec : staged->sections) {
+      SectionIndex next;
+      next.epoch = key.epoch;
+      next.raw_size = sec.raw_size;
+      const std::size_t n = sec.crcs.size();
+      next.chunks.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (sec.homes[i] >= 0) {
+          next.chunks[i] = ChunkMeta{sec.crcs[i], sec.homes[i]};
+          ref_count++;
+        } else {
+          next.chunks[i] = ChunkMeta{sec.crcs[i], key.epoch};
+          inline_count++;
+        }
+      }
+      ms.index.update(ChainKey{key.rank, key.section, sec.name},
+                      std::move(next));
+    }
+  }
+
+  // The copy-on-write snapshot itself, no lock: every chunk that could not
+  // reference a prior epoch is copied out of the live span now -- after
+  // this loop the application may mutate its buffers freely.
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const auto data = sections[s].data;
+    StagedSection& out = staged->sections[s];
+    std::size_t inline_bytes = 0;
+    for (std::size_t i = 0; i < out.homes.size(); ++i) {
+      if (out.homes[i] < 0) inline_bytes += chunk_len(data.size(), cs, i);
+    }
+    out.staged = pool_.acquire(inline_bytes);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < out.homes.size(); ++i) {
+      if (out.homes[i] >= 0) continue;
+      const auto chunk = data.subspan(i * cs, chunk_len(data.size(), cs, i));
+      std::memcpy(out.staged.data() + off, chunk.data(), chunk.size());
+      off += chunk.size();
+    }
+    staged->staged_bytes += inline_bytes;
+  }
+
+  const std::size_t lane = writer_ ? writer_->lane_of(key.rank) : 0;
+  LaneCounters& lc = lane_counters_[lane];
+  lc.inline_chunks.fetch_add(inline_count, std::memory_order_relaxed);
+  lc.ref_chunks.fetch_add(ref_count, std::memory_order_relaxed);
+  try {
+    if (writer_) {
+      writer_->enqueue_staged(key, std::move(staged));
+    } else {
+      write_one(0, key, {}, std::move(staged));
+    }
+  } catch (...) {
+    // Same latch as a failed lane write: the index already advanced, so
+    // commit() must refuse the epoch and no later epoch may reference it.
+    {
+      std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_),
+                         std::adopt_lock);
+      failed_epochs_.insert(key.epoch);
+    }
+    {
+      std::lock_guard lock(lock_counted(ms.mu, meta_lock_waits_),
+                           std::adopt_lock);
+      ms.index.drop_chains_for(key.rank, key.section);
+    }
+    throw;
+  }
+  lc.puts.fetch_add(1, std::memory_order_relaxed);
+  lc.raw_bytes.fetch_add(raw_total, std::memory_order_relaxed);
+  capture_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+}
+
+util::Bytes CheckpointStore::encode_staged(const util::BlobKey&,
+                                           StagedBlob& staged) {
+  const std::size_t cs = opts_.chunk_size;
+  util::Writer w(64 + staged.staged_bytes / 2);
+  w.put<std::uint32_t>(CheckpointBuilder::kMagic);
+  w.put<std::uint32_t>(CheckpointBuilder::kVersionChunked);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(cs));
+  w.put<std::uint8_t>(staged.is_container ? 1 : 0);
+  w.put<std::uint64_t>(staged.sections.size());
+  util::Bytes scratch = pool_.acquire(cs + cs / 8 + 64);
+  for (const auto& sec : staged.sections) {
+    w.put_string(sec.name);
+    w.put<std::uint64_t>(sec.raw_size);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < sec.crcs.size(); ++i) {
+      w.put<std::uint32_t>(sec.crcs[i]);
+      if (sec.homes[i] >= 0) {
+        w.put<std::uint8_t>(CheckpointBuilder::kChunkRef);
+        w.put<std::int32_t>(sec.homes[i]);
+      } else {
+        const std::size_t len = chunk_len(sec.raw_size, cs, i);
+        const std::span<const std::byte> chunk{sec.staged.data() + off, len};
+        off += len;
         const CodecId used = codec_encode(opts_.codec, chunk, scratch);
         w.put<std::uint8_t>(CheckpointBuilder::kChunkInline);
         w.put<std::uint8_t>(static_cast<std::uint8_t>(used));
@@ -451,16 +670,15 @@ std::optional<util::Bytes> CheckpointStore::get(
 // ------------------------------------------------------ commit & retention
 
 void CheckpointStore::flush() const {
+  settle_commits();
   if (writer_) writer_->flush();
 }
 
-void CheckpointStore::commit(int epoch) {
-  // The commit barrier: the recovery point is recorded only after every
-  // blob it names is durably on the backend. Lanes drain concurrently, so
-  // this stall costs max-over-lanes write time, not the sum.
-  const auto t0 = Clock::now();
-  flush();
-  commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+void CheckpointStore::finalize_commit(int epoch) {
+  // Caller guarantees every blob this epoch enqueued has drained (full
+  // flush in the synchronous path, fence reached in the deferred path --
+  // done_seq counts errored items too, so a failed write is visible in
+  // failed_epochs_ by the time the fence is reachable).
   {
     std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
     if (failed_epochs_.count(epoch) != 0) {
@@ -494,6 +712,150 @@ void CheckpointStore::commit(int epoch) {
     try_drops_locked(dropped_now);
   }
   erase_dropped_tables(dropped_now);
+}
+
+void CheckpointStore::commit_now(int epoch) {
+  // The commit barrier: the recovery point is recorded only after every
+  // blob it names is durably on the backend. Lanes drain concurrently, so
+  // this stall costs max-over-lanes write time, not the sum.
+  const auto t0 = Clock::now();
+  flush();
+  commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  finalize_commit(epoch);
+}
+
+void CheckpointStore::commit(int epoch) {
+  if (!committer_.joinable()) {
+    commit_now(epoch);
+    return;
+  }
+  // Deferred commit: snapshot a fence of what each lane has accepted so
+  // far (this epoch's captures are all enqueued by now -- the protocol
+  // commits after every rank checkpointed) and hand the epoch to the
+  // committer thread. The app-visible stall is just this enqueue; the
+  // barrier itself happens behind the running application.
+  const auto t0 = Clock::now();
+  auto fence = writer_->fence();
+  {
+    std::lock_guard lock(commit_mu_);
+    if (commit_error_) {
+      auto e = commit_error_;
+      commit_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    pending_commits_.push_back(PendingCommit{epoch, std::move(fence), {}});
+  }
+  commit_cv_.notify_all();
+  commit_stall_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+}
+
+void CheckpointStore::committer_run() {
+  std::unique_lock lock(commit_mu_);
+  for (;;) {
+    if (pending_commits_.empty()) {
+      if (committer_stop_) return;
+      commit_cv_.wait(lock, [&] {
+        return committer_stop_ || !pending_commits_.empty();
+      });
+      continue;
+    }
+    if (!writer_->fence_reached(pending_commits_.front().fence)) {
+      // Lanes have no completion hook; a sub-millisecond nap keeps
+      // finalization latency far below one blob's write time without
+      // burning a core. The fence always becomes reachable -- lanes
+      // count errored items too -- so stop-after-drain terminates.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      lock.lock();
+      continue;
+    }
+    PendingCommit pc = std::move(pending_commits_.front());
+    pending_commits_.pop_front();
+    commit_in_flight_ = true;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      finalize_commit(pc.epoch);
+      // GC of the epochs this commit superseded runs strictly after the
+      // new recovery point is durable -- the ordering the synchronous
+      // path got for free.
+      for (const int e : pc.drops_after) drop_now(e);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    // Drops that raced the pop (drop_epoch saw this commit in flight) run
+    // now, with the new recovery point already durable. A failed commit
+    // discards them: the superseded epoch is still the recovery point.
+    while (!inflight_drops_.empty()) {
+      const int e = inflight_drops_.front();
+      inflight_drops_.pop_front();
+      if (err) continue;
+      lock.unlock();
+      try {
+        drop_now(e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+    }
+    if (err && !commit_error_) commit_error_ = err;
+    commit_in_flight_ = false;
+    commit_done_cv_.notify_all();
+  }
+}
+
+void CheckpointStore::settle_commits() const {
+  if (!committer_.joinable()) return;
+  std::unique_lock lock(commit_mu_);
+  commit_done_cv_.wait(lock, [&] {
+    return pending_commits_.empty() && !commit_in_flight_;
+  });
+  if (commit_error_) {
+    auto e = commit_error_;
+    commit_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void CheckpointStore::abort_in_flight() {
+  if (committer_.joinable()) {
+    std::unique_lock lock(commit_mu_);
+    // Cancelled commits take their queued drops with them: the epochs
+    // those drops would have removed are the recovery points now.
+    pending_commits_.clear();
+    inflight_drops_.clear();
+    commit_done_cv_.wait(lock, [&] { return !commit_in_flight_; });
+    commit_error_ = nullptr;
+  }
+  // Drain the lanes swallowing one-shot write errors: the in-flight epoch
+  // is being abandoned, and its durable refusal is the failed_epochs_
+  // latch, which survives. Each throw consumes one latched lane error and
+  // the queues only shrink, so this terminates.
+  if (writer_) {
+    for (;;) {
+      try {
+        writer_->flush();
+        break;
+      } catch (...) {
+      }
+    }
+  }
+}
+
+bool CheckpointStore::rank_quiescent(int rank) const {
+  if (writer_ && !writer_->lane_idle(writer_->lane_of(rank))) return false;
+  if (committer_.joinable()) {
+    std::lock_guard lock(commit_mu_);
+    if (!pending_commits_.empty() || commit_in_flight_) return false;
+  }
+  return true;
+}
+
+bool CheckpointStore::commits_settled() const {
+  if (!committer_.joinable()) return true;
+  std::lock_guard lock(commit_mu_);
+  return pending_commits_.empty() && !commit_in_flight_;
 }
 
 void CheckpointStore::sweep_stale_epochs() {
@@ -596,15 +958,45 @@ void CheckpointStore::erase_dropped_tables(
 }
 
 std::optional<int> CheckpointStore::committed_epoch() const {
+  // A deferred commit the protocol already initiated must be visible to
+  // whoever asks for the recovery point (recovery, the final report):
+  // settle the pipeline first. Failure recovery calls abort_in_flight()
+  // before this, making it non-blocking there.
+  settle_commits();
   return inner_->committed_epoch();
 }
 
 void CheckpointStore::drop_epoch(int epoch) {
+  if (committer_.joinable()) {
+    std::lock_guard lock(commit_mu_);
+    if (!pending_commits_.empty()) {
+      // The protocol drops a superseded epoch right after committing its
+      // successor; with that commit still in flight the drop must run
+      // after the new recovery point is durable, or a crash in between
+      // would leave no recovery point at all. Queue it behind the last
+      // pending commit -- a cancelled commit discards it.
+      pending_commits_.back().drops_after.push_back(epoch);
+      return;
+    }
+    if (commit_in_flight_) {
+      // Same ordering rule, but the committer already popped the commit.
+      // Blocking here instead would deadlock: the caller is the rank
+      // thread whose pump ships this store's parity traffic, and the
+      // in-flight commit is waiting on exactly those acks. Park the drop
+      // for the committer to run right after it finalizes.
+      inflight_drops_.push_back(epoch);
+      return;
+    }
+  }
   // Queued writes may target `epoch` (recovery abandoning a half-written
   // next checkpoint); drain them first so a late write cannot resurrect
   // the dropped blobs. A writer error surfacing from this flush still
   // aborts the drop: the caller must observe it.
   flush();
+  drop_now(epoch);
+}
+
+void CheckpointStore::drop_now(int epoch) {
   std::vector<int> dropped_now;
   {
     std::lock_guard gc(lock_counted(gc_mu_, gc_lock_waits_), std::adopt_lock);
@@ -646,6 +1038,7 @@ util::StorageStats CheckpointStore::storage_stats() const {
   }
   s.stored_bytes = inner_->bytes_written();
   s.put_stall_ns = sync_put_ns_.load(std::memory_order_relaxed) +
+                   capture_ns_.load(std::memory_order_relaxed) +
                    (writer_ ? writer_->enqueue_stall_ns() : 0);
   s.commit_stall_ns = commit_stall_ns_.load(std::memory_order_relaxed);
   s.meta_lock_waits = meta_lock_waits_.load(std::memory_order_relaxed);

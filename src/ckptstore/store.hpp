@@ -96,6 +96,14 @@ struct StoreOptions {
   /// a flush (kill-between-lane-flushes when it throws). Leave empty in
   /// production wiring.
   std::function<void(std::size_t lane)> after_lane_flush;
+  /// Copy-on-write capture mode: put_capture() snapshots only the chunks
+  /// that must travel inline and returns immediately; commit(epoch) defers
+  /// to a committer thread that finalizes the epoch once the lanes have
+  /// drained every blob the epoch enqueued (a *fence*, so the next epoch's
+  /// captures never delay it). Recovery semantics are unchanged: the
+  /// recovery point is still recorded only after every named blob is
+  /// durable -- it just happens behind the running application.
+  bool cow = false;
 };
 
 class CheckpointStore final : public util::StableStorage {
@@ -118,7 +126,53 @@ class CheckpointStore final : public util::StableStorage {
   void wipe_rank(int rank) override;
 
   /// Drain all write lanes (no-op in sync mode). Rethrows writer errors.
+  /// In COW mode this also settles every deferred commit first.
   void flush() const;
+
+  // ------------------------------------------------------------- COW API
+
+  /// Copy-on-write capture: runs ON the rank thread, against the caller's
+  /// live buffers (each CaptureSection::data need only stay valid for the
+  /// duration of this call). The ref-vs-inline decision happens here --
+  /// under the same shard/GC locks as the classic encode, preserving the
+  /// drop interlock -- and only the chunks that must travel inline are
+  /// copied into a pooled staging buffer before the call returns. The lane
+  /// thread later compresses and serializes the staged chunks into the
+  /// same v2 container the classic path produces, so reads, reconstruction
+  /// and the replica tier are untouched. Dirty tracking (caller-supplied
+  /// CRCs) is purely a CPU optimization: correctness never depends on it,
+  /// because any chunk that cannot reference a prior epoch is copied from
+  /// the live span during the call.
+  void put_capture(const util::BlobKey& key,
+                   std::vector<CaptureSection> sections);
+
+  /// Synchronous commit: the classic barrier (drain lanes, then record the
+  /// recovery point). In COW mode commit() defers instead; recovery paths
+  /// that must re-commit a fallback epoch call this directly.
+  void commit_now(int epoch);
+
+  /// Cancel every deferred commit that has not finalized (their queued
+  /// drops are discarded too -- the epochs they would have dropped are the
+  /// recovery points now), wait out any commit mid-finalize, drain the
+  /// lanes swallowing write errors (the in-flight epoch is being
+  /// abandoned; its failed_epochs_ latch remains), and clear the committer
+  /// error latch. Called at the top of failure recovery: afterwards the
+  /// store answers committed_epoch() without waiting on anything.
+  void abort_in_flight();
+
+  /// True when `rank`'s writer lane is idle (empty queue, no blob being
+  /// encoded) and no deferred commit is outstanding. The replica tier's
+  /// parity-quiescence bit must not assert while capture buffers are still
+  /// draining -- this is that predicate's storage half.
+  bool rank_quiescent(int rank) const;
+
+  /// Non-blocking: true when no deferred commit is pending or mid-finalize.
+  /// A shutdown initiator polls this while still pumping the network so
+  /// other ranks can keep answering parity traffic until commits land.
+  bool commits_settled() const;
+
+  bool cow_enabled() const noexcept { return opts_.cow; }
+  std::size_t chunk_size() const noexcept { return opts_.chunk_size; }
 
   std::size_t lanes() const noexcept { return lane_count_; }
   util::StableStorage& inner() noexcept { return *inner_; }
@@ -156,12 +210,21 @@ class CheckpointStore final : public util::StableStorage {
     std::atomic<std::uint64_t> ref_chunks{0};
   };
 
-  /// Encode one blob (delta + compress) and put it on the backend. Runs on
-  /// the lane's writer thread in async mode, inline (lane 0) otherwise.
-  void write_one(std::size_t lane, const util::BlobKey& key, util::Bytes raw);
+  /// Encode one blob and put it on the backend. Runs on the lane's writer
+  /// thread in async mode, inline (lane 0) otherwise. Exactly one of
+  /// (raw, staged) is populated: raw blobs take the full delta decision in
+  /// encode_blob, staged blobs arrive pre-diffed from put_capture and only
+  /// need compression + serialization.
+  void write_one(std::size_t lane, const util::BlobKey& key, util::Bytes raw,
+                 std::unique_ptr<StagedBlob> staged);
 
   util::Bytes encode_blob(std::size_t lane, const util::BlobKey& key,
                           std::span<const std::byte> raw);
+
+  /// Serialize a pre-diffed capture into the v2 chunked container,
+  /// compressing its staged (inline) chunks. No metadata locks: every
+  /// decision was made at capture time.
+  util::Bytes encode_staged(const util::BlobKey& key, StagedBlob& staged);
 
   static bool is_chunked(std::span<const std::byte> blob);
   static ParsedBlob parse_chunked(util::Bytes blob);
@@ -240,6 +303,44 @@ class CheckpointStore final : public util::StableStorage {
   mutable util::BufferPool pool_;
 
   std::unique_ptr<AsyncWriter> writer_;  ///< null in sync mode
+
+  // ------------------------------------------------- deferred commit (COW)
+
+  /// One deferred commit: finalize `epoch` once every lane's completed
+  /// count reaches `fence`, then execute the drops the protocol queued
+  /// behind it (superseded-epoch GC must run after -- never before -- the
+  /// new recovery point is durable).
+  struct PendingCommit {
+    int epoch = 0;
+    std::vector<std::uint64_t> fence;
+    std::vector<int> drops_after;
+  };
+
+  /// Finalize one epoch: refuse failed epochs, record the retention
+  /// interval, forward the commit, retry deferred drops. The body shared
+  /// by commit_now() and the committer thread; caller guarantees every
+  /// blob the epoch enqueued has drained.
+  void finalize_commit(int epoch);
+  /// Synchronous drop body (drop_epoch minus the lane drain).
+  void drop_now(int epoch);
+  void committer_run();
+  /// Block until the pending-commit queue is empty and no commit is mid-
+  /// finalize; rethrows (and clears) the first committer error.
+  void settle_commits() const;
+
+  mutable std::mutex commit_mu_;
+  mutable std::condition_variable commit_cv_;       ///< wakes the committer
+  mutable std::condition_variable commit_done_cv_;  ///< wakes settlers
+  mutable std::deque<PendingCommit> pending_commits_;
+  /// Superseded-epoch drops that arrived while their commit was already
+  /// in flight on the committer (drop_epoch raced the queue pop); the
+  /// committer runs them right after it finalizes. Guarded by commit_mu_.
+  std::deque<int> inflight_drops_;
+  mutable std::exception_ptr commit_error_;
+  bool committer_stop_ = false;
+  bool commit_in_flight_ = false;
+  std::atomic<std::uint64_t> capture_ns_{0};
+  std::thread committer_;  ///< running only in COW async mode
 };
 
 }  // namespace c3::ckptstore

@@ -17,6 +17,7 @@ Job::Job(JobConfig config) : config_(std::move(config)) {
     replica::ReplicaConfig rc;
     rc.group_size = config_.replica_group_size;
     rc.parity_k = config_.replica_parity_k;
+    rc.commit_timeout = config_.replica_commit_timeout;
     replica_ = std::make_shared<replica::ReplicatedStorage>(
         config_.storage, config_.ranks, rc);
     // Jobs always run parity over the fabric; loopback mode is for
@@ -64,6 +65,7 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
     }
     Process::Shared shared;
     shared.storage = storage;
+    shared.pipeline = pipeline_;
     shared.replica = replica_;
     shared.injectors = injectors;
     shared.level = config_.level;
@@ -78,9 +80,18 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
 
     try {
       runtime.run([&](simmpi::Api& api) {
-        Process process(api, shared);
-        app_main(process);
-        process.shutdown();
+        try {
+          Process process(api, shared);
+          app_main(process);
+          process.shutdown();
+        } catch (...) {
+          // This rank's pump is gone: any commit waiting on parity acks it
+          // would have shipped can only ever time out. Fail those waits
+          // now, before the surviving ranks (and the join below) stall
+          // behind a 30s commit timeout.
+          if (replica_) replica_->abort_waits();
+          throw;
+        }
       });
       if (recovering) report.recovered = true;
       break;
@@ -91,6 +102,16 @@ JobReport Job::run(const std::function<void(Process&)>& app_main) {
       if (report.executions > config_.max_restarts) {
         throw;
       }
+      // The crash may have caught an epoch with its commit still in
+      // flight (COW deferred commit) or captures still draining: cancel
+      // the pending commits -- the fully drained epoch below them is the
+      // recovery point -- and drain the lanes before anything reads or
+      // wipes the backend. Cancel the replica tier's ack waits first:
+      // the rank threads that would pump those acks are gone, so a
+      // deferred commit stuck in the parity wait would otherwise hold
+      // abort_in_flight() for the whole commit timeout.
+      if (replica_) replica_->abort_waits();
+      if (pipeline_) pipeline_->abort_in_flight();
       // Model the node dying with its local storage: wipe the failed
       // rank's entire backend holding (and any configured extras) before
       // recovery, so every blob it contributed must come back through

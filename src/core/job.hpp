@@ -4,6 +4,7 @@
 // process rolls back together.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -48,6 +49,11 @@ struct JobConfig {
   /// double-failure cover). 0 disables the tier.
   int replica_group_size = 0;
   int replica_parity_k = 1;
+  /// Upper bound on the replica tier's commit-time wait for parity acks
+  /// before the commit fails with a diagnostic instead of hanging. CI under
+  /// sanitizers can legitimately exceed the default; raise it there rather
+  /// than mistaking slowness for a protocol stall.
+  std::chrono::milliseconds replica_commit_timeout{30000};
   /// When a stopping failure fires, also wipe the failed rank's entire
   /// storage holding (node dies with its local disk) before recovery --
   /// the failure mode the replica tier reconstructs from.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ckptstore/store.hpp"
 #include "replica/replicated_storage.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/crc32.hpp"
@@ -45,6 +46,13 @@ Process::Process(simmpi::Api& api, Shared& shared)
     commit_round(epoch, any_detached, parity_complete);
   };
   hooks.parity_quiescent = [this] {
+    // The phase-4 quiescence bit covers the whole storage stack: it must
+    // not assert while this rank's capture buffers are still draining
+    // through a writer lane or an epoch's deferred commit is outstanding
+    // (COW mode), nor while its replica lane still owes parity traffic.
+    if (shared_.pipeline && !shared_.pipeline->rank_quiescent(me_)) {
+      return false;
+    }
     return !shared_.replica || shared_.replica->rank_quiescent(me_);
   };
   hooks.probe = shared_.coordinator_probe;
@@ -699,7 +707,51 @@ void Process::do_checkpoint() {
     serialize_comm_calls(comm_calls_, w);
     builder.add_section("protocol", w.take());
   }
-  if (shared_.level == InstrumentLevel::kFull && app_detached_) {
+  if (use_cow_capture()) {
+    // Copy-on-write capture: instead of serializing every registered
+    // buffer into the v1 container on this thread, hand the store live
+    // spans plus (for write-tracked buffers) the per-chunk CRCs it needs
+    // to decide ref-vs-inline. Only the chunks that changed since the
+    // previous epoch are copied before control returns; the encode,
+    // compression and backend write all happen behind the running
+    // application. Registered buffers travel as one section each
+    // ("app!<name>") beside an "appmeta" section holding the registry
+    // shape; recovery reassembles the classic "appstate" bytes from them,
+    // so complete_registration() is untouched.
+    {
+      util::Writer mw;
+      mw.put<std::uint64_t>(registry_.size());
+      for (const auto& e : registry_) {
+        mw.put_string(e.name);
+        mw.put<std::uint8_t>(e.readonly ? 1 : 0);
+        mw.put<std::uint64_t>(e.size);
+        if (e.readonly) {
+          const std::span<const std::byte> bytes{
+              static_cast<const std::byte*>(e.addr), e.size};
+          mw.put<std::uint32_t>(util::crc32(bytes));
+        }
+      }
+      builder.add_section("appmeta", mw.take());
+    }
+    save_ctx_.capture(builder);
+    std::vector<ckptstore::CaptureSection> caps;
+    caps.reserve(builder.sections().size() + registry_.size());
+    for (const auto& [name, data] : builder.sections()) {
+      caps.push_back(ckptstore::CaptureSection{name, std::span(data), {}});
+    }
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+      const RegEntry& e = registry_[i];
+      if (e.readonly) continue;  // appmeta carries the CRC; no bytes travel
+      const std::span<const std::byte> data{
+          static_cast<const std::byte*>(e.addr), e.size};
+      caps.push_back(ckptstore::CaptureSection{"app!" + e.name, data,
+                                               tracked_crcs(i, data)});
+    }
+    for (const auto& c : caps) stats_.checkpoint_bytes += c.data.size();
+    shared_.pipeline->put_capture(
+        {.epoch = new_epoch, .rank = me_, .section = "state"},
+        std::move(caps));
+  } else if (shared_.level == InstrumentLevel::kFull && app_detached_) {
     // Shutdown-window checkpoint: the application body has returned and
     // its registered buffers (commonly locals of the app function) are
     // gone. Reading them would be use-after-free, so the protocol still
@@ -744,13 +796,15 @@ void Process::do_checkpoint() {
     shared_.storage->put(
         {.epoch = new_epoch, .rank = me_, .section = "detached"}, dw.take());
   }
-  auto blob = builder.finish();
-  stats_.checkpoint_bytes += blob.size();
-  // Hand the serialized checkpoint to the storage pipeline by move: with a
-  // pipelined backend the rank resumes computing immediately and the
-  // delta-encode + compress + write happens on the writer thread.
-  shared_.storage->put({.epoch = new_epoch, .rank = me_, .section = "state"},
-                       std::move(blob));
+  if (!use_cow_capture()) {
+    auto blob = builder.finish();
+    stats_.checkpoint_bytes += blob.size();
+    // Hand the serialized checkpoint to the storage pipeline by move: with
+    // a pipelined backend the rank resumes computing immediately and the
+    // delta-encode + compress + write happens on the writer thread.
+    shared_.storage->put({.epoch = new_epoch, .rank = me_, .section = "state"},
+                         std::move(blob));
+  }
 
   // Enter the new epoch (the paper's potentialCheckpoint pseudo-code) and
   // tell the control plane, which advances the coordinator state machine
@@ -1081,6 +1135,72 @@ std::uint64_t Process::nondet(const std::function<std::uint64_t()>& source) {
 
 // ------------------------------------------------------ state registration
 
+bool Process::use_cow_capture() const {
+  return shared_.pipeline && shared_.pipeline->cow_enabled() &&
+         shared_.level == InstrumentLevel::kFull && !app_detached_;
+}
+
+std::size_t Process::enable_write_tracking(const std::string& name) {
+  for (std::size_t i = 0; i < registry_.size(); ++i) {
+    if (registry_[i].name != name) continue;
+    if (registry_[i].readonly) {
+      throw util::UsageError("write tracking on read-only state '" + name +
+                             "' is meaningless (it stores only a CRC)");
+    }
+    for (std::size_t h = 0; h < trackers_.size(); ++h) {
+      if (trackers_[h].reg_index == i) return h;
+    }
+    BufTracker t;
+    t.reg_index = i;
+    trackers_.push_back(std::move(t));
+    return trackers_.size() - 1;
+  }
+  throw util::UsageError("write tracking requested for unregistered state '" +
+                         name + "'");
+}
+
+void Process::notify_write(std::size_t handle, std::size_t offset,
+                           std::size_t len) {
+  if (handle >= trackers_.size()) {
+    throw util::UsageError("notify_write with an unknown tracking handle");
+  }
+  BufTracker& t = trackers_[handle];
+  if (!t.primed || len == 0) return;  // unprimed: next capture hashes all
+  const std::size_t cs =
+      shared_.pipeline ? shared_.pipeline->chunk_size() : std::size_t{4096};
+  const std::size_t size = registry_[t.reg_index].size;
+  const std::size_t end = std::min(size, offset + len);
+  for (std::size_t i = offset / cs; i * cs < end && i < t.dirty.size(); ++i) {
+    t.dirty[i] = true;
+  }
+}
+
+std::vector<std::uint32_t> Process::tracked_crcs(
+    std::size_t reg_index, std::span<const std::byte> data) {
+  BufTracker* t = nullptr;
+  for (auto& cand : trackers_) {
+    if (cand.reg_index == reg_index) {
+      t = &cand;
+      break;
+    }
+  }
+  if (t == nullptr) return {};  // untracked: the store hashes the buffer
+  const std::size_t cs = shared_.pipeline->chunk_size();
+  const std::size_t n = ckptstore::chunk_count(data.size(), cs);
+  if (!t->primed || t->crcs.size() != n) {
+    t->crcs.assign(n, 0);
+    t->dirty.assign(n, true);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!t->dirty[i]) continue;
+    t->crcs[i] = util::crc32(
+        data.subspan(i * cs, ckptstore::chunk_len(data.size(), cs, i)));
+  }
+  t->dirty.assign(n, false);
+  t->primed = true;
+  return t->crcs;
+}
+
 void Process::register_state(std::string name, void* addr, std::size_t size) {
   if (registration_complete_) {
     throw util::UsageError(
@@ -1151,6 +1271,10 @@ void Process::complete_registration() {
     std::memcpy(e.addr, bytes.data(), bytes.size());
   }
   pending_appstate_.reset();
+  // The restore rewrote every tracked buffer underneath its tracker: the
+  // recorded chunk fingerprints are stale, so the next capture re-hashes
+  // everything once and re-primes.
+  for (auto& t : trackers_) t.primed = false;
   restored_ = true;
 }
 
@@ -1214,10 +1338,39 @@ void Process::recover_from_checkpoint() {
           "the application released its registered state; it cannot be "
           "restored -- rerun the computation");
     }
-    // require_section() returns a view into `blob`; the appstate bytes are
-    // needed after it goes out of scope, so copy them out.
-    const auto appstate = view.require_section("appstate");
-    pending_appstate_.emplace(appstate.begin(), appstate.end());
+    if (view.section("appmeta").has_value()) {
+      // COW-captured epoch: registered buffers travel as one section each
+      // ("app!<name>") beside the "appmeta" registry shape. Reassemble the
+      // classic "appstate" byte stream from them here so
+      // complete_registration() parses one format regardless of how the
+      // epoch was captured.
+      util::Reader mr(view.require_section("appmeta"));
+      const auto count = mr.get<std::uint64_t>();
+      util::Writer w;
+      w.put<std::uint64_t>(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto name = mr.get_string();
+        const bool readonly = mr.get<std::uint8_t>() != 0;
+        const auto size = mr.get<std::uint64_t>();
+        w.put_string(name);
+        w.put<std::uint8_t>(readonly ? 1 : 0);
+        if (readonly) {
+          w.put<std::uint64_t>(size);
+          w.put<std::uint32_t>(mr.get<std::uint32_t>());
+          continue;
+        }
+        const auto bytes = view.require_section("app!" + name);
+        protocol_invariant(bytes.size() == size,
+                           "COW app section size disagrees with appmeta");
+        w.put_bytes(bytes);
+      }
+      pending_appstate_.emplace(w.take());
+    } else {
+      // require_section() returns a view into `blob`; the appstate bytes
+      // are needed after it goes out of scope, so copy them out.
+      const auto appstate = view.require_section("appstate");
+      pending_appstate_.emplace(appstate.begin(), appstate.end());
+    }
     // Globals are registered by precompiler-emitted code that has not run
     // yet (ccift_register_globals executes once the application re-enters);
     // defer their value restore to finish_restore(), reached at the resume
@@ -1239,12 +1392,24 @@ void Process::recover_from_checkpoint() {
   }
   checkpoint_requested_ = false;
 
-  // Any partially written next checkpoint is abandoned. When recovery
-  // fell back past a detached epoch, that epoch is dropped later (after
-  // the suppression exchange below, which doubles as a barrier proving
-  // every rank has finished consulting its markers).
+  // Any partially written next checkpoint is abandoned. With the COW
+  // pipeline the crash may have caught *several* epochs above the last
+  // drained commit (captures enqueued while earlier epochs' deferred
+  // commits were still in flight), so sweep everything newer than the
+  // recovery point rather than assuming exactly one. When recovery fell
+  // back past a detached epoch, that sweep happens later (after the
+  // suppression exchange below, which doubles as a barrier proving every
+  // rank has finished consulting its markers).
   const bool fell_back = (target != *committed);
-  if (!fell_back) shared_.storage->drop_epoch(epoch_ + 1);
+  if (!fell_back) {
+    // epoch_ + 1 is dropped unconditionally -- even when none of its blobs
+    // landed (so it is absent from list_epochs), the drop clears its
+    // failed-write latch so the re-executed epoch can commit.
+    shared_.storage->drop_epoch(epoch_ + 1);
+    for (const int e : shared_.storage->list_epochs()) {
+      if (e > epoch_ + 1) shared_.storage->drop_epoch(e);
+    }
+  }
 
   // Recreate persistent opaque objects by replaying the recorded calls
   // (collective across ranks: every rank replays in the same order).
@@ -1277,12 +1442,23 @@ void Process::recover_from_checkpoint() {
     // every rank already decided its recovery target from the detached
     // markers. Now it is safe to re-point the recovery marker at the
     // epoch actually restored and discard the unrestorable detached epoch
-    // (which also clears its markers for future commits) -- plus any
+    // (which also clears its markers for future commits) -- plus every
     // partially written epoch after it, whose stale detached markers
-    // would otherwise poison the re-executed epoch's commit.
-    shared_.storage->commit(target);
+    // would otherwise poison the re-executed epochs' commits. The
+    // re-commit must be synchronous even in COW mode: recovery needs the
+    // marker re-pointed before anything else proceeds.
+    if (shared_.pipeline) {
+      shared_.pipeline->commit_now(target);
+    } else {
+      shared_.storage->commit(target);
+    }
+    // target + 1 is dropped unconditionally -- even if none of its blobs
+    // landed (absent from list_epochs), the drop clears its failed-write
+    // latch so the re-executed epoch can commit.
     shared_.storage->drop_epoch(target + 1);
-    shared_.storage->drop_epoch(target + 2);
+    for (const int e : shared_.storage->list_epochs()) {
+      if (e > target + 1) shared_.storage->drop_epoch(e);
+    }
   }
   reinit_pending_requests(saved_requests);
 }
@@ -1398,16 +1574,39 @@ void Process::shutdown() {
     for (;;) {
       pump();
       if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
-      if (!control_->round_in_flight()) break;
+      // With COW deferred commits the round can be over while the last
+      // epoch's commit is still draining behind the app. Keep pumping
+      // until it settles -- other ranks' parity acks ride the network we
+      // are servicing here -- before tearing the job down.
+      if (!control_->round_in_flight() &&
+          (!shared_.pipeline || shared_.pipeline->commits_settled())) {
+        break;
+      }
       api_.check_abort();
       api_.idle_wait(kIdleSlice);
     }
     control_->broadcast_shutdown();
+    // The round closes at *this* rank's commit; the commit relay is still
+    // fanning down the tree, so the other ranks' commit_round calls can
+    // enqueue their deferred commits after the check above. Keep pumping
+    // until those settle too -- their parity acks need this rank's lane.
+    while (shared_.pipeline && !shared_.pipeline->commits_settled()) {
+      pump();
+      api_.check_abort();
+      api_.idle_wait(kIdleSlice);
+    }
+    // Surface any committer-latched write error now, while the failure can
+    // still abort the job loudly instead of vanishing with the store.
+    if (shared_.pipeline) shared_.pipeline->flush();
   } else {
     // Keep pumping until the shutdown relay arrives: interior tree nodes
     // still owe their subtrees phase relays and fan-in aggregation for the
-    // final checkpoint round.
-    while (!control_->shutdown_received()) {
+    // final checkpoint round. With COW deferred commits, stay past the
+    // relay until the pipeline settles: this rank's own final commit was
+    // only *enqueued* by commit_round, and its parity traffic needs this
+    // rank pumping until the committer finalizes it.
+    while (!control_->shutdown_received() ||
+           (shared_.pipeline && !shared_.pipeline->commits_settled())) {
       pump();
       if (checkpoint_requested_ && recovery_quiesced()) do_checkpoint();
       api_.check_abort();

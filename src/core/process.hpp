@@ -48,6 +48,10 @@ namespace c3::replica {
 class ReplicatedStorage;
 }
 
+namespace c3::ckptstore {
+class CheckpointStore;
+}
+
 namespace c3::core {
 
 class Process {
@@ -79,6 +83,12 @@ class Process {
     /// pumps its replica lane (ship contributions, fold peers' shards) and
     /// samples its quiescence bit for the phase-4 aggregate.
     std::shared_ptr<replica::ReplicatedStorage> replica;
+    /// The checkpoint pipeline inside `storage`'s stack, when wired (same
+    /// object as `storage` under core::Job with ckpt_pipeline on). Grants
+    /// the protocol access to the COW capture API (put_capture, deferred-
+    /// commit settlement, per-rank quiescence) that the StableStorage
+    /// interface does not expose.
+    std::shared_ptr<ckptstore::CheckpointStore> pipeline;
   };
 
   Process(simmpi::Api& api, Shared& shared);
@@ -206,6 +216,18 @@ class Process {
   /// buffers (and the instrumentation structures) from the committed
   /// checkpoint; afterwards restored() reports true.
   void complete_registration();
+
+  /// Enable per-chunk write tracking for a registered (non-readonly)
+  /// buffer: the COW capture then re-hashes only the chunks reported dirty
+  /// since the last checkpoint instead of the whole buffer. The returned
+  /// handle is passed to notify_write(). Contract: after enabling, the
+  /// application MUST report *every* write to the buffer -- a missed
+  /// notification lets the capture reuse a stale chunk fingerprint and can
+  /// silently checkpoint old bytes. Harmless (unused) when the job runs
+  /// without the COW pipeline.
+  std::size_t enable_write_tracking(const std::string& name);
+  /// Report that [offset, offset + len) of the tracked buffer was written.
+  void notify_write(std::size_t handle, std::size_t offset, std::size_t len);
   /// True when this execution resumed from a checkpoint.
   bool restored() const noexcept { return restored_; }
 
@@ -263,6 +285,14 @@ class Process {
   // Protocol actions.
   void initiate_checkpoint();
   void do_checkpoint();
+  /// True when the COW capture path applies to this checkpoint (pipeline
+  /// wired in COW mode, full instrumentation, application still attached).
+  bool use_cow_capture() const;
+  /// The write-tracked (or freshly hashed) per-chunk CRCs for a registry
+  /// entry, sized to the pipeline's chunk grid; empty when untracked (the
+  /// store then hashes the buffer itself).
+  std::vector<std::uint32_t> tracked_crcs(std::size_t reg_index,
+                                          std::span<const std::byte> data);
   void maybe_ready();
   void finalize_log();
   /// Phase-4 hook from the control plane (initiator only): commit `epoch`
@@ -357,6 +387,17 @@ class Process {
     bool readonly = false;  ///< checkpoint stores a CRC instead of bytes
   };
   std::vector<RegEntry> registry_;
+  /// Write tracking for registered buffers (COW capture): last capture's
+  /// per-chunk CRCs plus the dirty bits accumulated since. Unprimed after
+  /// registration and after every restore (the buffer bytes changed under
+  /// the tracker), so the next capture hashes everything once.
+  struct BufTracker {
+    std::size_t reg_index = 0;
+    std::vector<std::uint32_t> crcs;
+    std::vector<bool> dirty;
+    bool primed = false;
+  };
+  std::vector<BufTracker> trackers_;
   bool registration_complete_ = false;
   /// Set once the application body has returned (shutdown): registered
   /// buffers may be destroyed and must never be dereferenced again.

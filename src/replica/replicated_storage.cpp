@@ -341,6 +341,7 @@ void ReplicatedStorage::begin_execution(std::uint64_t execution_id) {
   std::lock_guard l(mu_);
   exec_id_.store(execution_id, std::memory_order_relaxed);
   quiescent_hint_.store(-1, std::memory_order_relaxed);
+  abort_waits_.store(false, std::memory_order_relaxed);
   accs_.clear();
   pending_.clear();
   seen_.clear();
@@ -467,6 +468,10 @@ void ReplicatedStorage::note_quiescent_hint(int epoch) {
   quiescent_hint_.store(epoch, std::memory_order_relaxed);
 }
 
+void ReplicatedStorage::abort_waits() {
+  abort_waits_.store(true, std::memory_order_relaxed);
+}
+
 void ReplicatedStorage::commit(int epoch) {
   const auto t0 = util::MonoClock::now();
   {
@@ -512,6 +517,16 @@ void ReplicatedStorage::wait_for_quiescence(int epoch) {
       }
     }
     if (quiescent_upto(epoch)) return;
+    if (abort_waits_.load(std::memory_order_relaxed)) {
+      // The execution died under us: the rank threads that would drain
+      // the outstanding acks are gone. Fail the commit now -- running
+      // out the timeout instead would stall every restart by the full
+      // commit_timeout (a deferred COW commit waits here on a thread
+      // with no Api to pump).
+      throw util::JobAborted(
+          "replica: commit(" + std::to_string(epoch) +
+          ") aborted while waiting for parity acks (execution rollback)");
+    }
     if (api != nullptr) {
       drain(*api);
       // Persist this rank's own folded shards without waiting for a
@@ -548,6 +563,40 @@ void ReplicatedStorage::wait_for_quiescence(int epoch) {
       }
       api->idle_wait(std::chrono::microseconds(200));
     } else {
+      // No Api on this thread (a deferred COW commit finalizing on the
+      // committer): it cannot send nudges itself, and without one a
+      // partial group's owner never persists + acks (single-member
+      // sections like the retention meta wait for exactly this signal).
+      // Route the nudge through the pending contributors' outboxes --
+      // their rank threads ship it on the next pump, and a self-addressed
+      // frame is handled locally at ship time.
+      const auto now = util::MonoClock::now();
+      if (now - last_nudge > std::chrono::milliseconds(1)) {
+        last_nudge = now;
+        util::Writer w(16);
+        w.put<std::uint32_t>(kFlushMagic);
+        w.put<std::uint64_t>(exec_id_.load(std::memory_order_relaxed));
+        w.put<std::int32_t>(epoch);
+        const util::Bytes frame = w.take();
+        std::lock_guard l(mu_);
+        std::map<int, std::set<int>> owners_by_member;
+        for (const auto& [pk, n] : pending_) {
+          if (pk.epoch > epoch || n <= 0) continue;
+          for (int j = 0; j < cfg_.parity_k; ++j)
+            owners_by_member[pk.member].insert(map_.owner(pk.gid, j, pk.epoch));
+        }
+        for (auto& [member, owners] : owners_by_member) {
+          // An unshipped frame already queued carries any earlier nudge;
+          // don't pile more onto a rank that has not pumped yet.
+          auto& box = outbox_[static_cast<std::size_t>(member)];
+          if (!box.empty()) continue;
+          OutFrame of;
+          of.epoch = epoch;
+          of.frame = frame;
+          of.dsts.assign(owners.begin(), owners.end());
+          box.push_back(std::move(of));
+        }
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     if (util::MonoClock::now() > deadline) {

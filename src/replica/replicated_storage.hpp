@@ -119,6 +119,12 @@ class ReplicatedStorage final : public util::StableStorage {
   /// Phase-4 aggregate said every rank was quiescent when it stopped
   /// logging: lets commit() skip the flush-nudge grace period.
   void note_quiescent_hint(int epoch);
+  /// Cancel any commit currently waiting for parity acks (it fails with a
+  /// diagnostic immediately instead of running out the commit timeout).
+  /// Called when an execution aborts: the rank threads that would pump
+  /// those acks are gone, so the wait can only ever expire. Cleared by
+  /// the next begin_execution().
+  void abort_waits();
 
   const GroupMap& group_map() const noexcept { return map_; }
   util::StableStorage& inner() noexcept { return *inner_; }
@@ -201,6 +207,9 @@ class ReplicatedStorage final : public util::StableStorage {
   bool wire_ = false;
   std::atomic<std::uint64_t> exec_id_{0};
   std::atomic<int> quiescent_hint_{-1};
+  /// Set by abort_waits(): in-progress commit waits fail fast instead of
+  /// running out the timeout against ranks that no longer pump.
+  std::atomic<bool> abort_waits_{false};
 
   mutable std::mutex mu_;
   std::map<AccKey, Acc> accs_;

@@ -16,6 +16,12 @@ CheckpointView::CheckpointView(std::span<const std::byte> blob) {
   const auto version = r.get<std::uint32_t>();
   if (version == CheckpointBuilder::kVersion) {
     const auto count = r.get<std::uint64_t>();
+    // Each v1 section record occupies at least 20 stream bytes (name
+    // length, crc, size): a larger count is corruption, and rejecting it
+    // here keeps the count from ever driving work past the blob's end.
+    if (count > r.remaining() / 20) {
+      throw util::CorruptionError("checkpoint: section count overflow");
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
       const auto name = r.get_string();
       const auto crc = r.get<std::uint32_t>();

@@ -44,6 +44,13 @@ class CheckpointBuilder {
     return sections_.count(name) != 0;
   }
 
+  /// The accumulated sections, in name order (the COW capture path hands
+  /// them to the store as individual spans instead of serializing a v1
+  /// container on the rank thread).
+  const std::map<std::string, util::Bytes>& sections() const {
+    return sections_;
+  }
+
   /// Serialize all sections into one v1 blob (presized: one allocation).
   util::Bytes finish() const {
     std::size_t total = 4 + 4 + 8;

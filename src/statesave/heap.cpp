@@ -106,7 +106,9 @@ void HeapArena::load(util::Reader& r) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto off = r.get<std::uint64_t>();
     const auto len = r.get<std::uint64_t>();
-    if (off + len > capacity_) {
+    // Subtraction form: `off + len` wraps for corrupt values near 2^64 and
+    // would sail past the bounds check straight into the memcpy.
+    if (len > capacity_ || off > capacity_ - len) {
       throw util::CorruptionError("heap checkpoint: object out of bounds");
     }
     const auto bytes = r.get_raw(len);

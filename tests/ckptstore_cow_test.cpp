@@ -1,0 +1,473 @@
+// Copy-on-write capture (StoreOptions::cow): the checkpoint site snapshots
+// only the chunks that must travel inline and returns immediately; writer
+// lanes compress/serialize behind the application and a committer thread
+// finalizes each epoch once its blobs have drained.
+//
+// Covered here:
+//   1. capture produces the *same stored bytes* as the classic
+//      serialize-then-encode path, epoch by epoch (so the read /
+//      reconstruct / replica paths need no COW awareness);
+//   2. caller-supplied write-tracking CRCs round-trip identically;
+//   3. deferred commits settle: committed_epoch() observes the epoch once
+//      the lanes drain, and the store quiesces;
+//   4. the crash matrix: a rank dies after capture returned but before the
+//      lanes drained (with and without its backend holding wiped) -- the
+//      recovery point is the previous fully drained epoch, byte-identical;
+//   5. whole-job kill-mid-flight with cow on: clean and recovered runs
+//      produce identical results, including with write tracking driving
+//      the capture-time diff.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckptstore/delta.hpp"
+#include "ckptstore/store.hpp"
+#include "core/job.hpp"
+#include "core/process.hpp"
+#include "replica/replicated_storage.hpp"
+#include "statesave/checkpoint.hpp"
+#include "util/crc32.hpp"
+#include "util/fault_injection.hpp"
+
+#include "ckpt_test_util.hpp"
+
+namespace c3 {
+namespace {
+
+using ckptstore::CaptureSection;
+using ckptstore::CheckpointStore;
+using ckptstore::StoreOptions;
+using testutil::random_bytes;
+using util::BlobKey;
+using util::Bytes;
+
+constexpr int kRanks = 4;
+constexpr std::size_t kHeapBytes = 32 * 1024;
+
+/// Deterministic per-(epoch, rank) heap: stable pseudo-random tail, dirty
+/// 2 KiB prefix -- consecutive epochs delta on the tail chunks.
+Bytes heap_bytes(int epoch, int rank) {
+  Bytes heap = random_bytes(kHeapBytes, 1000 + static_cast<unsigned>(rank));
+  for (std::size_t i = 0; i < 2048; ++i) {
+    heap[i] = static_cast<std::byte>(epoch * 131 + rank * 17 +
+                                     static_cast<int>(i));
+  }
+  return heap;
+}
+
+Bytes proto_bytes(int epoch, int rank) {
+  util::Writer w;
+  w.put<std::int32_t>(epoch);
+  w.put<std::int32_t>(rank);
+  return w.take();
+}
+
+/// What the classic path would write: the canonical v1 container, which is
+/// also what get() reconstructs for a captured blob.
+Bytes expected_blob(int epoch, int rank) {
+  statesave::CheckpointBuilder b;
+  b.add_section("heap", heap_bytes(epoch, rank));
+  b.add_section("protocol", proto_bytes(epoch, rank));
+  return b.finish();
+}
+
+StoreOptions cow_opts() {
+  StoreOptions o;
+  o.async = true;
+  o.cow = true;
+  o.writer_lanes = kRanks;
+  o.queue_max_blobs = 16;
+  return o;
+}
+
+/// Capture sections in container (name-sorted) order over caller-owned
+/// buffers; `heap`/`proto` must outlive the put_capture() call.
+std::vector<CaptureSection> make_capture(const Bytes& heap,
+                                         const Bytes& proto) {
+  std::vector<CaptureSection> caps;
+  caps.push_back({"heap", heap, {}});
+  caps.push_back({"protocol", proto, {}});
+  return caps;
+}
+
+TEST(CowCapture, StoredBytesMatchClassicPathExactly) {
+  // Same epochs through a classic synchronous store and a COW store over
+  // separate backends: every stored blob and the commit marker must be
+  // byte-identical, proving the capture-time ref-vs-inline decision and
+  // the lane-side serialization reproduce encode_blob() exactly.
+  auto classic_inner = std::make_shared<util::MemoryStorage>();
+  auto cow_inner = std::make_shared<util::MemoryStorage>();
+  StoreOptions classic_o;
+  classic_o.async = false;
+  CheckpointStore classic(classic_inner, classic_o);
+  CheckpointStore cow(cow_inner, cow_opts());
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    for (int rank = 0; rank < kRanks; ++rank) {
+      classic.put({epoch, rank, "state"}, expected_blob(epoch, rank));
+      const Bytes heap = heap_bytes(epoch, rank);
+      const Bytes proto = proto_bytes(epoch, rank);
+      cow.put_capture({epoch, rank, "state"}, make_capture(heap, proto));
+    }
+    classic.commit(epoch);
+    cow.commit(epoch);
+  }
+  ASSERT_EQ(cow.committed_epoch(), 3);  // settles the deferred commits
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    for (int rank = 0; rank < kRanks; ++rank) {
+      const BlobKey key{epoch, rank, "state"};
+      const auto a = classic_inner->get(key);
+      const auto b = cow_inner->get(key);
+      ASSERT_TRUE(a.has_value());
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(*a, *b) << "epoch " << epoch << " rank " << rank;
+      // And the COW store reconstructs the canonical container.
+      auto back = cow.get(key);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, expected_blob(epoch, rank));
+    }
+  }
+  const auto stats = cow.storage_stats();
+  EXPECT_GT(stats.ref_chunks, 0u)
+      << "capture never emitted a delta reference; the prediff is vacuous";
+  EXPECT_GT(stats.delta_hit_rate(), 0.5);
+  EXPECT_LT(stats.stored_bytes, stats.raw_bytes);
+}
+
+TEST(CowCapture, CallerSuppliedCrcsRoundTrip) {
+  // A write-tracking caller hands per-chunk CRCs instead of having the
+  // store hash every byte; the stored result must be indistinguishable.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, cow_opts());
+  const std::size_t cs = store.chunk_size();
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    const Bytes heap = heap_bytes(epoch, 0);
+    const Bytes proto = proto_bytes(epoch, 0);
+    std::vector<std::uint32_t> crcs;
+    for (std::size_t c = 0; c < ckptstore::chunk_count(heap.size(), cs);
+         ++c) {
+      crcs.push_back(util::crc32(
+          std::span(heap).subspan(c * cs,
+                                  ckptstore::chunk_len(heap.size(), cs, c))));
+    }
+    std::vector<CaptureSection> caps;
+    caps.push_back({"heap", heap, std::move(crcs)});
+    caps.push_back({"protocol", proto, {}});
+    store.put_capture({epoch, 0, "state"}, std::move(caps));
+    store.commit(epoch);
+  }
+  ASSERT_EQ(store.committed_epoch(), 2);
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    auto back = store.get({epoch, 0, "state"});
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, expected_blob(epoch, 0));
+  }
+  EXPECT_GT(store.storage_stats().ref_chunks, 0u);
+}
+
+TEST(CowCapture, DeferredCommitSettlesAndQuiesces) {
+  auto inner = std::make_shared<util::MemoryStorage>();
+  CheckpointStore store(inner, cow_opts());
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const Bytes heap = heap_bytes(1, rank);
+    const Bytes proto = proto_bytes(1, rank);
+    store.put_capture({1, rank, "state"}, make_capture(heap, proto));
+  }
+  store.commit(1);  // returns with the commit possibly still in flight
+  // committed_epoch() is the settle point: afterwards the marker is
+  // durable and the store is quiescent on every rank.
+  ASSERT_EQ(store.committed_epoch(), 1);
+  EXPECT_TRUE(store.commits_settled());
+  for (int rank = 0; rank < kRanks; ++rank) {
+    EXPECT_TRUE(store.rank_quiescent(rank)) << "rank " << rank;
+  }
+  ASSERT_EQ(inner->committed_epoch(), 1)
+      << "the deferred commit never reached the backend";
+}
+
+// ------------------------------------------------------- crash matrix
+//
+// Epoch 1 fully drains and commits. Epoch 2's captures all return to the
+// "application", then the process dies while the lanes are still draining
+// (a backend put fails, or the commit-marker write itself fails). The
+// recovery point must be epoch 1, byte-identical, and the re-executed
+// epoch 2 must commit cleanly -- with and without the victim's backend
+// holding wiped (the diskless-replica failure mode).
+
+struct CowScenario {
+  std::string name;
+  util::FaultPlan plan;
+  bool reopen = false;  ///< destroy + reopen the store ("process died")
+};
+
+std::vector<CowScenario> cow_scenarios() {
+  std::vector<CowScenario> cells;
+  for (const int puts : {0, 2}) {
+    CowScenario s;
+    s.name = "lane-put-fails-after-" + std::to_string(puts);
+    s.plan.fail_after_puts = puts;
+    cells.push_back(s);
+    s.name += "-reopen";
+    s.reopen = true;
+    cells.push_back(s);
+  }
+  {
+    CowScenario s;
+    s.name = "commit-marker-fails";
+    s.plan.fail_on_commit = true;
+    cells.push_back(s);
+    s.name += "-reopen";
+    s.reopen = true;
+    cells.push_back(s);
+  }
+  return cells;
+}
+
+TEST(CowFaultMatrix, EpochInFlightAtCrashFallsBackToDrainedEpoch) {
+  for (const CowScenario& sc : cow_scenarios()) {
+    SCOPED_TRACE(sc.name);
+    auto inner = std::make_shared<util::MemoryStorage>();
+    auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+    auto store = std::make_unique<CheckpointStore>(faulty, cow_opts());
+
+    for (int r = 0; r < kRanks; ++r) {
+      const Bytes heap = heap_bytes(1, r);
+      const Bytes proto = proto_bytes(1, r);
+      store->put_capture({1, r, "state"}, make_capture(heap, proto));
+    }
+    store->commit(1);
+    ASSERT_EQ(store->committed_epoch(), 1);
+
+    faulty->arm(sc.plan);
+    for (int r = 0; r < kRanks; ++r) {
+      const Bytes heap = heap_bytes(2, r);
+      const Bytes proto = proto_bytes(2, r);
+      // Capture returns to the app; the fault fires later, on a lane.
+      store->put_capture({2, r, "state"}, make_capture(heap, proto));
+    }
+    store->commit(2);
+
+    if (sc.reopen) {
+      // The process dies with the epoch in flight: the dtor's committer
+      // refuses the failed epoch, so the marker never moves.
+      store.reset();
+      faulty->disarm();
+      store = std::make_unique<CheckpointStore>(faulty, cow_opts());
+    } else {
+      // In-process recovery (core::Job's path): cancel the deferred
+      // commit, drain the lanes, swallow the injected write error.
+      store->abort_in_flight();
+      faulty->disarm();
+    }
+
+    const auto committed = store->committed_epoch();
+    ASSERT_TRUE(committed.has_value());
+    ASSERT_EQ(*committed, 1)
+        << "an epoch whose lanes never drained became the recovery point";
+    for (int r = 0; r < kRanks; ++r) {
+      auto back = store->get({1, r, "state"});
+      ASSERT_TRUE(back.has_value()) << "rank " << r;
+      ASSERT_EQ(*back, expected_blob(1, r)) << "rank " << r;
+    }
+
+    // Re-execution: abandon the aborted epoch, capture it again, commit.
+    store->drop_epoch(2);
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_FALSE(inner->get({2, r, "state"}).has_value()) << "rank " << r;
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      const Bytes heap = heap_bytes(2, r);
+      const Bytes proto = proto_bytes(2, r);
+      store->put_capture({2, r, "state"}, make_capture(heap, proto));
+    }
+    store->commit(2);
+    ASSERT_EQ(store->committed_epoch(), 2);
+    for (int r = 0; r < kRanks; ++r) {
+      auto back = store->get({2, r, "state"});
+      ASSERT_TRUE(back.has_value()) << "rank " << r;
+      ASSERT_EQ(*back, expected_blob(2, r)) << "rank " << r;
+    }
+  }
+}
+
+TEST(CowFaultMatrix, KillAndWipeMidFlightRecoversFromParity) {
+  // The crash also takes the victim's backend holding (node-local disk
+  // dies with the node); the erasure-coded tier under the COW store must
+  // rebuild the drained epoch byte-identically.
+  auto inner = std::make_shared<util::MemoryStorage>();
+  auto faulty = std::make_shared<util::FaultInjectingStorage>(inner);
+  replica::ReplicaConfig rc;
+  rc.group_size = 2;
+  rc.parity_k = 1;
+  auto tier =
+      std::make_shared<replica::ReplicatedStorage>(faulty, kRanks, rc);
+  auto store = std::make_unique<CheckpointStore>(tier, cow_opts());
+
+  for (int r = 0; r < kRanks; ++r) {
+    const Bytes heap = heap_bytes(1, r);
+    const Bytes proto = proto_bytes(1, r);
+    store->put_capture({1, r, "state"}, make_capture(heap, proto));
+  }
+  store->commit(1);
+  ASSERT_EQ(store->committed_epoch(), 1);
+
+  util::FaultPlan plan;
+  plan.fail_after_puts = 2;
+  plan.wipe_rank_on_fault = 1;
+  faulty->arm(plan);
+  for (int r = 0; r < kRanks; ++r) {
+    const Bytes heap = heap_bytes(2, r);
+    const Bytes proto = proto_bytes(2, r);
+    store->put_capture({2, r, "state"}, make_capture(heap, proto));
+  }
+  store->commit(2);
+  store.reset();  // process dies; the failed epoch's commit is refused
+  faulty->disarm();
+
+  ASSERT_FALSE(inner->get({1, 1, "state"}).has_value())
+      << "the wipe never reached the backend";
+  auto tier2 =
+      std::make_shared<replica::ReplicatedStorage>(faulty, kRanks, rc);
+  store = std::make_unique<CheckpointStore>(tier2, cow_opts());
+  const auto committed = store->committed_epoch();
+  ASSERT_TRUE(committed.has_value());
+  ASSERT_EQ(*committed, 1);
+  for (int r = 0; r < kRanks; ++r) {
+    auto back = store->get({1, r, "state"});
+    ASSERT_TRUE(back.has_value()) << "rank " << r;
+    ASSERT_EQ(*back, expected_blob(1, r)) << "rank " << r;
+  }
+  EXPECT_GE(tier2->storage_stats().reconstruct_reads, 1u);
+
+  store->drop_epoch(2);
+  for (int r = 0; r < kRanks; ++r) {
+    const Bytes heap = heap_bytes(2, r);
+    const Bytes proto = proto_bytes(2, r);
+    store->put_capture({2, r, "state"}, make_capture(heap, proto));
+  }
+  store->commit(2);
+  ASSERT_EQ(store->committed_epoch(), 2);
+}
+
+// -------------------------------------------------- whole-job recovery
+
+/// Thread-safe per-rank result collector (recovery_test idiom).
+struct ResultSink {
+  std::mutex mu;
+  std::vector<long long> values;
+  void put(int rank, long long v) {
+    std::lock_guard lock(mu);
+    if (values.size() <= static_cast<std::size_t>(rank)) {
+      values.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    values[static_cast<std::size_t>(rank)] = v;
+  }
+};
+
+void cow_ring_app(core::Process& p, std::shared_ptr<ResultSink> sink,
+                  int iters) {
+  long long acc = p.rank() + 1;
+  int iter = 0;
+  // A buffer big enough to span several chunks, mutated through the
+  // write-tracking contract: every write is reported, so capture-time
+  // CRCs of clean chunks are reused instead of re-hashed.
+  std::vector<std::byte> buf(16 * 1024);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((i * 7 + p.rank()) & 0xFF);
+  }
+  p.register_value("acc", acc);
+  p.register_value("iter", iter);
+  p.register_state("buf", buf.data(), buf.size());
+  p.complete_registration();
+  const std::size_t track = p.enable_write_tracking("buf");
+  const int right = (p.rank() + 1) % p.nranks();
+  const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
+  while (iter < iters) {
+    p.send_value(acc, right, 0);
+    const long long got = p.recv_value<long long>(left, 0);
+    acc = acc * 3 + got;
+    // Dirty a small, iteration-dependent window and report it; the rest
+    // of the buffer stays clean -> delta references at capture time.
+    const std::size_t off = (static_cast<std::size_t>(iter) % 4) * 64;
+    for (std::size_t i = 0; i < 32; ++i) {
+      buf[off + i] = static_cast<std::byte>(acc + static_cast<long long>(i));
+    }
+    p.notify_write(track, off, 32);
+    ++iter;
+    p.potential_checkpoint();
+  }
+  long long fold = acc;
+  for (const std::byte b : buf) fold = fold * 31 + std::to_integer<int>(b);
+  sink->put(p.rank(), fold);
+}
+
+std::vector<long long> run_cow_ring(int ranks, int iters,
+                                    std::optional<net::FailureSpec> failure,
+                                    bool wipe_failed_rank,
+                                    util::StorageStats* stats = nullptr) {
+  auto sink = std::make_shared<ResultSink>();
+  core::JobConfig cfg;
+  cfg.ranks = ranks;
+  cfg.policy = core::CheckpointPolicy::every(3);
+  cfg.ckpt.cow = true;
+  cfg.failure = failure;
+  if (wipe_failed_rank) {
+    cfg.replica_group_size = 2;
+    cfg.replica_parity_k = 1;
+    cfg.wipe_failed_rank_storage = true;
+  }
+  core::Job job(cfg);
+  auto report =
+      job.run([&](core::Process& p) { cow_ring_app(p, sink, iters); });
+  if (failure) {
+    EXPECT_GE(report.failures, 1) << "the injected failure never fired";
+  }
+  if (stats) *stats = job.storage_stats();
+  return sink->values;
+}
+
+TEST(CowRecovery, KillMidFlightRecoversByteIdentical) {
+  // How many checkpoint rounds complete before shutdown is timing-
+  // dependent (the deferred commits race the app's exit), so the oracle
+  // is the recovery contract itself -- identical results -- plus capture
+  // stats from a run long enough that several epochs must have committed.
+  util::StorageStats clean_stats;
+  const auto clean =
+      run_cow_ring(4, 30, std::nullopt, /*wipe=*/false, &clean_stats);
+  EXPECT_GT(clean_stats.ref_chunks, 0u)
+      << "job-level capture emitted no references; cow path not exercised";
+  const auto recovered = run_cow_ring(
+      4, 30, net::FailureSpec{.victim_rank = 2, .trigger_events = 60},
+      /*wipe=*/false);
+  EXPECT_EQ(clean, recovered);
+}
+
+TEST(CowRecovery, KillAndWipeMidFlightRecoversByteIdentical) {
+  const auto clean = run_cow_ring(4, 30, std::nullopt, /*wipe=*/true);
+  const auto recovered = run_cow_ring(
+      4, 30, net::FailureSpec{.victim_rank = 1, .trigger_events = 60},
+      /*wipe=*/true);
+  EXPECT_EQ(clean, recovered);
+}
+
+class CowFailurePoints : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CowFailurePoints, AnyFailurePointRecoversExactly) {
+  const auto clean = run_cow_ring(4, 30, std::nullopt, /*wipe=*/false);
+  const auto recovered = run_cow_ring(
+      4, 30,
+      net::FailureSpec{.victim_rank = 1, .trigger_events = GetParam()},
+      /*wipe=*/false);
+  EXPECT_EQ(clean, recovered)
+      << "divergence after failure at event " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TriggerSweep, CowFailurePoints,
+                         ::testing::Values(1ull, 17ull, 45ull, 80ull));
+
+}  // namespace
+}  // namespace c3
