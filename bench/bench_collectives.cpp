@@ -4,9 +4,27 @@
 // copied into the event log. This bench separates those costs and also
 // measures the log/replay path by checkpointing right before a burst of
 // collectives.
+//
+// It additionally measures the bandwidth-optimal collective algorithms
+// against the naive baselines (cutovers forced to SIZE_MAX) and the
+// segmented large-message path's steady-state allocation behaviour, and
+// emits everything machine-readably to BENCH_collectives.json for
+// scripts/check_bench.py:
+//   size_sweep     allreduce 4 KiB..16 MiB at 16 ranks, naive vs ring
+//   rank_sweep     allreduce 1 MiB at 8..64 ranks, naive vs ring
+//   small_message  4 KiB allreduce ratio (the tuned config must not tax
+//                  latency-bound sizes below the cutover)
+//   segmented      4 MiB round-trips: fresh allocations after warm-up and
+//                  oversize (non-pooled) allocations must both be zero
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "bench/bench_common.hpp"
+#include "simmpi/api.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace {
 
@@ -71,6 +89,188 @@ void table() {
   }
 }
 
+// ------------------------------------------- tuned vs naive algorithms
+
+/// Wall-clock `inner` allreduces of `bytes` at `ranks`, excluding thread
+/// spawn (timed between barriers inside the job). With `naive` the
+/// cutovers are pushed to SIZE_MAX so every size takes reduce+bcast.
+double time_allreduce(int ranks, std::size_t bytes, bool naive, int inner) {
+  simmpi::Runtime rt(ranks);
+  if (naive) {
+    rt.coll_tuning().ring_allreduce_min_bytes = SIZE_MAX;
+    rt.coll_tuning().pipeline_min_bytes = SIZE_MAX;
+  }
+  const std::size_t elems = bytes / sizeof(std::int64_t);
+  double secs = 0.0;
+  rt.run([&](simmpi::Api& api) {
+    std::vector<std::int64_t> in(elems), out(elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+      in[i] = api.world_rank() + static_cast<std::int64_t>(i % 17);
+    }
+    const std::span<const std::byte> in_b{
+        reinterpret_cast<const std::byte*>(in.data()), bytes};
+    const std::span<std::byte> out_b{reinterpret_cast<std::byte*>(out.data()),
+                                     bytes};
+    api.allreduce(api.world(), in_b, out_b, simmpi::Datatype::kInt64,
+                  simmpi::Op::kSum);  // warm the pool and the match path
+    api.barrier(api.world());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < inner; ++i) {
+      api.allreduce(api.world(), in_b, out_b, simmpi::Datatype::kInt64,
+                    simmpi::Op::kSum);
+    }
+    api.barrier(api.world());
+    if (api.world_rank() == 0) {
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+    }
+  });
+  return secs / inner;
+}
+
+struct AlgoPoint {
+  int ranks = 0;
+  std::size_t bytes = 0;
+  double naive_s = 0.0;
+  double tuned_s = 0.0;
+  double speedup() const { return tuned_s > 0 ? naive_s / tuned_s : 0.0; }
+};
+
+/// Paired interleaved reps: naive and tuned alternate within each rep so
+/// machine noise hits both lanes equally; each lane keeps its best rep.
+AlgoPoint measure_point(int ranks, std::size_t bytes, int reps, int inner) {
+  AlgoPoint pt;
+  pt.ranks = ranks;
+  pt.bytes = bytes;
+  pt.naive_s = pt.tuned_s = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    pt.naive_s = std::min(pt.naive_s, time_allreduce(ranks, bytes, true, inner));
+    pt.tuned_s = std::min(pt.tuned_s, time_allreduce(ranks, bytes, false, inner));
+  }
+  return pt;
+}
+
+void print_algo_row(const AlgoPoint& pt) {
+  std::printf("%-8d %-10s %12.6fs %12.6fs %9.2fx\n", pt.ranks,
+              human_bytes(pt.bytes).c_str(), pt.naive_s, pt.tuned_s,
+              pt.speedup());
+}
+
+struct SegmentedResult {
+  std::size_t bytes = 0;
+  int rounds = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t oversize_allocs = 0;
+};
+
+/// Ping-pong a 4 MiB payload: after warm-up every fragment must come off
+/// the pool free lists (zero fresh allocations) and nothing may take the
+/// oversize exact-size heap path.
+SegmentedResult measure_segmented() {
+  SegmentedResult res;
+  res.bytes = 4 * util::BufferPool::kMaxClassBytes + 1234;
+  res.rounds = 8;
+  simmpi::Runtime rt(2);
+  rt.run([&](simmpi::Api& api) {
+    std::vector<std::byte> buf(res.bytes, std::byte{0x5a});
+    auto& fabric = api.runtime().fabric();
+    auto round_trip = [&](int rounds, simmpi::Tag base) {
+      for (int i = 0; i < rounds; ++i) {
+        if (api.world_rank() == 0) {
+          api.send(api.world(), buf, 1, base + i);
+          std::byte ack{};
+          api.recv(api.world(), {&ack, 1}, 1, base + i);
+        } else {
+          api.recv(api.world(), buf, 0, base + i);
+          std::byte ack{1};
+          api.send(api.world(), {&ack, 1}, 0, base + i);
+        }
+      }
+    };
+    round_trip(3, 0);
+    api.barrier(api.world());
+    const std::uint64_t before = fabric.stats().allocs.load();
+    round_trip(res.rounds, 100);
+    api.barrier(api.world());
+    if (api.world_rank() == 0) {
+      res.steady_allocs = fabric.stats().allocs.load() - before;
+      res.oversize_allocs = fabric.stats().oversize_allocs.load();
+    }
+  });
+  return res;
+}
+
+void write_collectives_json(const std::vector<AlgoPoint>& sizes,
+                            const std::vector<AlgoPoint>& ranks,
+                            const AlgoPoint& small,
+                            const SegmentedResult& seg) {
+  std::FILE* f = std::fopen("BENCH_collectives.json", "w");
+  if (!f) return;
+  auto emit = [&](const AlgoPoint& pt, const char* tail) {
+    std::fprintf(f,
+                 "    {\"ranks\": %d, \"bytes\": %zu, \"naive_s\": %.6f, "
+                 "\"tuned_s\": %.6f, \"speedup\": %.3f}%s\n",
+                 pt.ranks, pt.bytes, pt.naive_s, pt.tuned_s, pt.speedup(),
+                 tail);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"collectives\",\n  \"size_sweep\": [\n");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    emit(sizes[i], i + 1 < sizes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"rank_sweep\": [\n");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    emit(ranks[i], i + 1 < ranks.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"small_message\": {\"ranks\": %d, \"bytes\": %zu, "
+               "\"naive_s\": %.6f, \"tuned_s\": %.6f, \"ratio\": %.3f},\n",
+               small.ranks, small.bytes, small.naive_s, small.tuned_s,
+               small.naive_s > 0 ? small.tuned_s / small.naive_s : 0.0);
+  std::fprintf(f,
+               "  \"segmented\": {\"bytes\": %zu, \"rounds\": %d, "
+               "\"steady_allocs\": %llu, \"oversize_allocs\": %llu}\n}\n",
+               seg.bytes, seg.rounds,
+               static_cast<unsigned long long>(seg.steady_allocs),
+               static_cast<unsigned long long>(seg.oversize_allocs));
+  std::fclose(f);
+}
+
+void algo_lanes() {
+  constexpr std::size_t kMiB = 1024 * 1024;
+  std::printf(
+      "\n=== Tuned vs naive collectives (ring + pipelined cutovers) ===\n"
+      "(naive = cutovers at SIZE_MAX, i.e. binomial reduce+bcast; best of "
+      "paired interleaved reps)\n");
+  std::printf("%-8s %-10s %13s %13s %10s\n", "ranks", "bytes", "naive",
+              "tuned", "speedup");
+  std::vector<AlgoPoint> size_sweep;
+  for (std::size_t bytes :
+       {std::size_t{4} * 1024, std::size_t{64} * 1024, kMiB, 16 * kMiB}) {
+    const int inner = bytes >= kMiB ? 3 : 10;
+    size_sweep.push_back(measure_point(16, bytes, 3, inner));
+    print_algo_row(size_sweep.back());
+  }
+  std::vector<AlgoPoint> rank_sweep;
+  for (int ranks : {8, 16, 32, 64}) {
+    rank_sweep.push_back(measure_point(ranks, kMiB, 3, 3));
+    print_algo_row(rank_sweep.back());
+  }
+  // Below every cutover tuned and naive run the same binomial code; the
+  // ratio pins the tuned configuration's small-message latency tax at ~1.
+  const AlgoPoint small = measure_point(16, 4 * 1024, 5, 20);
+  std::printf("small-message ratio (tuned/naive at 4KiB): %.3f\n",
+              small.naive_s > 0 ? small.tuned_s / small.naive_s : 0.0);
+  const SegmentedResult seg = measure_segmented();
+  std::printf(
+      "segmented steady state: %llu fresh allocs, %llu oversize allocs "
+      "(%d rounds of %s)\n",
+      static_cast<unsigned long long>(seg.steady_allocs),
+      static_cast<unsigned long long>(seg.oversize_allocs), seg.rounds,
+      human_bytes(seg.bytes).c_str());
+  write_collectives_json(size_sweep, rank_sweep, small, seg);
+}
+
 void BM_AllreduceLevel(benchmark::State& state) {
   const auto elems = static_cast<std::size_t>(state.range(0));
   const auto level = static_cast<InstrumentLevel>(state.range(1));
@@ -93,6 +293,7 @@ BENCHMARK(BM_AllreduceLevel)
 
 int main(int argc, char** argv) {
   table();
+  algo_lanes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,6 +19,12 @@ Checks (stdlib only, no third-party deps):
                            (capture-and-return, encode + commit behind the
                            app) must stay within 0.25x the laned
                            synchronous stall at every swept rank count.
+  BENCH_collectives.json -- the ring allreduce must beat the naive
+                           reduce+bcast by >= 3x at 16 MiB / 16 ranks, the
+                           tuned path must not regress small-message
+                           latency beyond 1.1x naive at 4 KiB, and the
+                           segmented large-message lane must show a
+                           zero-allocation, zero-oversize steady state.
 
 Usage: check_bench.py <build-dir>
 Missing files fail the gate except BENCH_protocol.json, which is optional
@@ -36,6 +42,10 @@ from pathlib import Path
 FACADE_OVERHEAD_LIMIT_PCT = 5.0
 COMMIT_STALL_LIMIT_X = 1.5
 COW_STALL_LIMIT_X = 0.25
+RING_SPEEDUP_MIN_X = 3.0
+RING_GATE_RANKS = 16
+RING_GATE_BYTES = 16 * 1024 * 1024
+SMALL_MESSAGE_LIMIT_X = 1.1
 
 
 def fail(msg: str) -> None:
@@ -156,6 +166,73 @@ def check_checkpoint(path: Path) -> None:
     check_stall_lane(path, sweep, laned_by_ranks, "cow", COW_STALL_LIMIT_X)
 
 
+def check_collectives(path: Path) -> None:
+    data = load_json(path)
+    sweep = data.get("size_sweep", [])
+    if not sweep:
+        fail(f"{path.name}: empty size_sweep")
+    gate = None
+    for entry in sweep:
+        where = f"{path.name} size_sweep"
+        ranks = require(entry, "ranks", where)
+        bytes_ = require(entry, "bytes", where)
+        require(entry, "naive_s", where)
+        require(entry, "tuned_s", where)
+        speedup = require(entry, "speedup", where)
+        if ranks == RING_GATE_RANKS and bytes_ == RING_GATE_BYTES:
+            gate = entry
+        print(
+            f"  collectives: {ranks:3d} ranks, {bytes_:9d} B, "
+            f"tuned {speedup:.2f}x naive"
+        )
+    if gate is None:
+        fail(
+            f"{path.name}: size_sweep has no entry at the gate point "
+            f"({RING_GATE_RANKS} ranks, {RING_GATE_BYTES} B)"
+        )
+    if gate["speedup"] < RING_SPEEDUP_MIN_X:
+        fail(
+            f"{path.name}: ring allreduce speedup at {RING_GATE_RANKS} "
+            f"ranks / {RING_GATE_BYTES} B is {gate['speedup']:.2f}x, "
+            f"gate is >= {RING_SPEEDUP_MIN_X}x"
+        )
+    print(
+        f"  collectives ok: {gate['speedup']:.2f}x at {RING_GATE_RANKS} "
+        f"ranks / 16 MiB (gate >= {RING_SPEEDUP_MIN_X}x)"
+    )
+
+    small = data.get("small_message")
+    if not small:
+        fail(f"{path.name}: missing small_message lane")
+    ratio = require(small, "ratio", f"{path.name} small_message")
+    if ratio > SMALL_MESSAGE_LIMIT_X:
+        fail(
+            f"{path.name}: small-message latency is {ratio:.3f}x naive at "
+            f"{small.get('bytes')} B, limit {SMALL_MESSAGE_LIMIT_X}x"
+        )
+    print(
+        f"  collectives ok: small-message ratio {ratio:.3f}x "
+        f"(limit {SMALL_MESSAGE_LIMIT_X}x)"
+    )
+
+    seg = data.get("segmented")
+    if not seg:
+        fail(f"{path.name}: missing segmented lane")
+    where = f"{path.name} segmented"
+    steady = require(seg, "steady_allocs", where)
+    oversize = require(seg, "oversize_allocs", where)
+    if steady != 0 or oversize != 0:
+        fail(
+            f"{path.name}: segmented steady state not clean: "
+            f"{steady} fresh allocs, {oversize} oversize allocs "
+            f"(both must be 0)"
+        )
+    print(
+        f"  collectives ok: segmented steady state 0 allocs / 0 oversize "
+        f"over {seg.get('rounds')} rounds of {seg.get('bytes')} B"
+    )
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail("usage: check_bench.py <build-dir>")
@@ -170,6 +247,11 @@ def main() -> None:
     if not checkpoint.is_file():
         fail(f"{checkpoint} missing")
     check_checkpoint(checkpoint)
+
+    collectives = build / "BENCH_collectives.json"
+    if not collectives.is_file():
+        fail(f"{collectives} missing")
+    check_collectives(collectives)
 
     protocol = build / "BENCH_protocol.json"
     if protocol.is_file():

@@ -156,20 +156,45 @@ simmpi::Status Process::send_now(std::span<const std::byte> data,
     sup.erase(it);
     stats_.suppressed_sends++;
   } else {
-    // Frame the message in one pooled buffer: the piggyback header is
-    // encoded directly into the headroom and the buffer is *moved* through
-    // the MPI layer into the wire packet -- the payload is touched exactly
-    // once on the send side (the buffered-semantics capture).
+    // Frame the message in pooled buffers: the piggyback header is encoded
+    // directly into the first buffer's headroom and every buffer is *moved*
+    // through the MPI layer into the wire packet -- the payload is touched
+    // exactly once on the send side (the buffered-semantics capture).
+    // Messages whose framed size exceeds the pool's largest class are split
+    // into pooled fragments (piggyback only in fragment 0) that ship as one
+    // fabric batch and reach the receiver as one logical message, so the
+    // oversize path -- an exact-size heap allocation per send -- is never
+    // taken for app payloads.
     const std::size_t header = piggyback_size(shared_.piggyback);
-    util::MsgBuffer mb(api_.runtime().fabric().acquire_buffer(header +
-                                                              data.size()),
-                       header);
-    encode_piggyback_into(shared_.piggyback,
-                          Piggyback{epoch_, am_logging_, msg_id}, mb.header());
-    if (!data.empty()) {
-      std::memcpy(mb.payload().data(), data.data(), data.size());
+    constexpr std::size_t kFrag = util::BufferPool::kMaxClassBytes;
+    auto& fabric = api_.runtime().fabric();
+    if (header + data.size() <= kFrag) {
+      util::MsgBuffer mb(fabric.acquire_buffer(header + data.size()), header);
+      encode_piggyback_into(shared_.piggyback,
+                            Piggyback{epoch_, am_logging_, msg_id},
+                            mb.header());
+      if (!data.empty()) {
+        std::memcpy(mb.payload().data(), data.data(), data.size());
+      }
+      api_.send(c, mb.take(), dst, tag);
+    } else {
+      const std::size_t head_payload = kFrag - header;
+      std::vector<util::Bytes> frags;
+      frags.reserve(1 + (data.size() - head_payload + kFrag - 1) / kFrag);
+      util::MsgBuffer mb(fabric.acquire_buffer(kFrag), header);
+      encode_piggyback_into(shared_.piggyback,
+                            Piggyback{epoch_, am_logging_, msg_id},
+                            mb.header());
+      std::memcpy(mb.payload().data(), data.data(), head_payload);
+      frags.push_back(mb.take());
+      for (std::size_t off = head_payload; off < data.size(); off += kFrag) {
+        const std::size_t n = std::min(kFrag, data.size() - off);
+        util::Bytes b = fabric.acquire_buffer(n);
+        std::memcpy(b.data(), data.data() + off, n);
+        frags.push_back(std::move(b));
+      }
+      api_.send_fragments(c, std::move(frags), dst, tag);
     }
-    api_.send(c, mb.take(), dst, tag);
     stats_.piggyback_bytes += header;
   }
   return simmpi::Status{dst, tag, data.size()};
@@ -307,10 +332,13 @@ void Process::process_one_recv(PseudoRequest& pr) {
   const std::size_t header = piggyback_size(shared_.piggyback);
   protocol_invariant(net_status.size >= header, "message without piggyback");
 
-  // The owned wire buffer, moved off the packet by the matching engine:
-  // decode the piggyback in place and copy the payload *once*, straight
-  // into the application's buffer.
+  // The owned wire buffers, moved off the packet by the matching engine
+  // (a segmented message arrives as the head buffer plus continuation
+  // fragments, reassembled in order by the inbox): decode the piggyback in
+  // place -- it lives entirely in the head fragment -- and copy the payload
+  // *once*, straight into the application's buffer.
   util::Bytes wire = std::move(pr.real.state()->payload);
+  std::vector<util::Bytes> frags = std::move(pr.real.state()->frags);
   util::Reader r(wire);
   const Piggyback pb = decode_piggyback(shared_.piggyback, r);
   const std::size_t payload_size = net_status.size - header;
@@ -320,7 +348,13 @@ void Process::process_one_recv(PseudoRequest& pr) {
         " bytes, message " + std::to_string(payload_size) + " bytes");
   }
   if (payload_size > 0) {
-    std::memcpy(pr.out, wire.data() + header, payload_size);
+    std::size_t off = wire.size() - header;
+    std::memcpy(pr.out, wire.data() + header, off);
+    for (const auto& f : frags) {
+      std::memcpy(pr.out + off, f.data(), f.size());
+      off += f.size();
+    }
+    protocol_invariant(off == payload_size, "fragment sizes disagree");
     api_.runtime().fabric().count_copied(payload_size);
   }
   pr.status = simmpi::Status{net_status.source, net_status.tag, payload_size};
@@ -377,10 +411,17 @@ void Process::process_one_recv(PseudoRequest& pr) {
       previous_receive_count_[static_cast<std::size_t>(src_world)]++;
       stats_.late_messages++;
       // Strip the header in place and *move* the wire buffer into the log
-      // instead of re-slicing into a fresh allocation. The erase memmoves
+      // instead of re-slicing into a fresh allocation; a segmented message
+      // concatenates its continuation fragments onto the head first (the
+      // log stores one contiguous payload per message). The erase memmoves
       // the payload over the header (counted), but late messages are rare:
       // the steady-state intra-epoch path never pays it.
       wire.erase(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(header));
+      for (auto& f : frags) {
+        wire.insert(wire.end(), f.begin(), f.end());
+        api_.runtime().fabric().release_buffer(std::move(f));
+      }
+      frags.clear();
       api_.runtime().fabric().count_copied(wire.size());
       log_.add_recv(RecvOutcome{pattern_world, pr.pattern_tag, src_world,
                                 net_status.tag, pb.message_id,
@@ -389,10 +430,14 @@ void Process::process_one_recv(PseudoRequest& pr) {
       break;
     }
   }
-  // Intra-epoch and early messages are done with the wire buffer; recycle
-  // it for this rank's later sends. (A late message moved it into the log.)
+  // Intra-epoch and early messages are done with the wire buffers; recycle
+  // them for this rank's later sends. (A late message moved them into the
+  // log.)
   if (cls != MessageClass::kLate) {
     api_.runtime().fabric().release_buffer(std::move(wire));
+    for (auto& f : frags) {
+      api_.runtime().fabric().release_buffer(std::move(f));
+    }
   }
 }
 

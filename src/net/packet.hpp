@@ -21,7 +21,26 @@ struct Packet {
   int context = 0;  ///< communicator context id (see simmpi::ContextId)
   int tag = 0;
   std::uint64_t seq = 0;  ///< per-(src,dst,context) send sequence number
+  /// Segmented large messages: one logical message above the buffer pool's
+  /// largest size class travels as `frag_total` wire fragments, each in its
+  /// own pooled buffer. Fragments of one message are sent back-to-back on
+  /// the same (src, dst, context) stream, so per-source FIFO keeps them
+  /// contiguous; the destination inbox reassembles the run into a single
+  /// logical packet before the matching engine ever sees it.
+  std::uint32_t frag_index = 0;  ///< 0 = head fragment (or whole message)
+  std::uint32_t frag_total = 1;  ///< wire fragments in this logical message
   Bytes payload;
+  /// Receiver side only: continuation-fragment payloads, merged in order by
+  /// inbox reassembly behind the head fragment's `payload`. Each entry is a
+  /// pooled buffer the consumer releases (or moves) individually.
+  std::vector<Bytes> frags;
+
+  /// Logical payload size across the head buffer and all merged fragments.
+  std::size_t total_payload_size() const noexcept {
+    std::size_t n = payload.size();
+    for (const auto& f : frags) n += f.size();
+    return n;
+  }
 };
 
 }  // namespace c3::net

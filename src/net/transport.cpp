@@ -15,6 +15,21 @@ inline void lock_counted(std::mutex& mu, FabricStats* stats) {
   mu.lock();
 }
 
+/// Merge the complete fragment run starting at staged[i] into one logical
+/// packet: the head fragment keeps its identity (tag, seq, piggybacked
+/// header bytes) and the continuation payloads move into its `frags`
+/// vector, still in their own pooled buffers -- reassembly is a pointer
+/// shuffle, not a copy. Pre: staged[i].frag_total fragments are staged
+/// contiguously from i (per-source FIFO guarantees the order).
+Packet merge_fragment_run(std::vector<Packet>& staged, std::size_t i) {
+  Packet head = std::move(staged[i]);
+  head.frags.reserve(head.frag_total - 1);
+  for (std::uint32_t f = 1; f < head.frag_total; ++f) {
+    head.frags.push_back(std::move(staged[i + f].payload));
+  }
+  return head;
+}
+
 }  // namespace
 
 Inbox::Inbox(int owner, int nsources, const DeliveryPolicy& policy_prototype,
@@ -108,12 +123,29 @@ std::size_t Inbox::collect_locked(int src, std::vector<Packet>& out) {
   Shard& s = shards_[static_cast<std::size_t>(src)];
   std::size_t moved = 0;
   if (immediate_) {
-    moved = s.staged.size() - s.head;
-    for (std::size_t i = s.head; i < s.staged.size(); ++i) {
-      out.push_back(std::move(s.staged[i]));
+    std::size_t i = s.head;
+    while (i < s.staged.size()) {
+      const std::uint32_t total = s.staged[i].frag_total;
+      if (total <= 1) {
+        out.push_back(std::move(s.staged[i]));
+        ++i;
+        ++moved;
+        continue;
+      }
+      // A fragment run releases only once every fragment is staged; the
+      // shard stays active and the next drain retries. Senders deliver the
+      // whole run under one batch, so an incomplete run is a transient
+      // mid-send snapshot, never a steady state.
+      if (i + total > s.staged.size()) break;
+      out.push_back(merge_fragment_run(s.staged, i));
+      i += total;
+      moved += total;
     }
-    s.staged.clear();
-    s.head = 0;
+    s.head = i;
+    if (s.head >= s.staged.size()) {
+      s.staged.clear();
+      s.head = 0;
+    }
   } else {
     // Lazy hold aging: replay the foreign events that occurred since this
     // shard was last visited (global events minus the shard's own arrivals,
@@ -128,9 +160,22 @@ std::size_t Inbox::collect_locked(int src, std::vector<Packet>& out) {
     s.own_at_age = s.own_deliveries;
     while (s.head < s.staged.size()) {
       if (s.hold == 0) {
-        out.push_back(std::move(s.staged[s.head]));
-        ++s.head;
-        ++moved;
+        const std::uint32_t total = s.staged[s.head].frag_total;
+        if (total <= 1) {
+          out.push_back(std::move(s.staged[s.head]));
+          ++s.head;
+          ++moved;
+        } else {
+          // One logical message releases as one unit: its head drew the
+          // hold, its continuation fragments ride along (reorder policies
+          // interleave messages, never the bytes inside one). An
+          // incomplete run waits with hold spent, so the next drain
+          // releases it as soon as the rest of the batch is staged.
+          if (s.head + total > s.staged.size()) break;
+          out.push_back(merge_fragment_run(s.staged, s.head));
+          s.head += total;
+          moved += total;
+        }
         // Packets behind a released head draw a fresh hold so reordering
         // opportunities recur mid-stream.
         if (s.head < s.staged.size()) s.hold = s.policy->hold_for(src, owner_);
@@ -248,6 +293,9 @@ void Fabric::validate(const Packet& p) const {
   }
   if (p.src < 0 || p.src >= size()) {
     throw util::UsageError("send from invalid rank " + std::to_string(p.src));
+  }
+  if (p.frag_total < 1 || p.frag_index >= p.frag_total) {
+    throw util::UsageError("send with inconsistent fragment header");
   }
 }
 

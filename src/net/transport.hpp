@@ -42,6 +42,11 @@ struct FabricStats {
   /// Fresh heap allocations for message buffers (pool misses). In steady
   /// state this stops growing: sends recycle the buffers receives release.
   std::atomic<std::uint64_t> allocs{0};
+  /// Subset of `allocs`: buffer requests above the pool's largest size
+  /// class, which are allocated exactly and never recycled. The segmented
+  /// large-message path splits oversized sends into pooled fragments
+  /// precisely so this stays at zero in steady state.
+  std::atomic<std::uint64_t> oversize_allocs{0};
   /// Bytes memcpy'd from an already-framed wire buffer into another buffer.
   /// The framing capture of user data into a fresh message buffer (inherent
   /// to MPI buffered-send semantics) is not counted; the zero-copy path's
@@ -188,7 +193,12 @@ class Fabric {
   util::Bytes acquire_buffer(std::size_t n) {
     bool fresh = false;
     util::Bytes b = pool_.acquire(n, &fresh);
-    if (fresh) stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+    if (fresh) {
+      stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+      if (n > util::BufferPool::kMaxClassBytes) {
+        stats_.oversize_allocs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     return b;
   }
 

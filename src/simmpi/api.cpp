@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "simmpi/runtime.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -11,6 +12,10 @@ namespace c3::simmpi {
 
 namespace {
 constexpr auto kIdleSlice = std::chrono::microseconds(200);
+
+/// Largest wire fragment: the pool's top size class. Anything bigger is
+/// segmented so every buffer in flight recycles through the pool.
+constexpr std::size_t kMaxFragmentBytes = util::BufferPool::kMaxClassBytes;
 
 std::vector<Rank> iota_group(int n) {
   std::vector<Rank> g(static_cast<std::size_t>(n));
@@ -69,10 +74,83 @@ util::Bytes Api::frame(std::span<const std::byte> data) {
   return framed;
 }
 
+void Api::append_framed(int dst_world, int context, Tag tag,
+                        std::span<const std::byte> data) {
+  // One logical message; above the pool's top size class it is segmented
+  // into pooled fragment packets reassembled at the destination inbox.
+  const std::uint32_t total =
+      data.size() <= kMaxFragmentBytes
+          ? 1u
+          : static_cast<std::uint32_t>(
+                (data.size() + kMaxFragmentBytes - 1) / kMaxFragmentBytes);
+  std::size_t off = 0;
+  for (std::uint32_t f = 0; f < total; ++f) {
+    const std::size_t len = std::min(kMaxFragmentBytes, data.size() - off);
+    net::Packet pkt;
+    pkt.src = rank_;
+    pkt.dst = dst_world;
+    pkt.context = context;
+    pkt.tag = tag;
+    pkt.seq = next_seq(dst_world, context);
+    pkt.frag_index = f;
+    pkt.frag_total = total;
+    pkt.payload = frame(data.subspan(off, len));
+    batch_.push_back(std::move(pkt));
+    off += len;
+  }
+  stats_.sends++;
+  stats_.send_bytes += data.size();
+}
+
+void Api::send_segmented(const Comm& comm, std::span<const std::byte> data,
+                         Rank dst, Tag tag, ContextClass ctx) {
+  require(comm.member(), "send on a communicator this rank is not in");
+  require(tag >= 0 && tag <= kMaxTag, "tag out of range");
+  check_abort();
+  batch_.clear();
+  append_framed(comm.to_world(dst), comm.context(ctx), tag, data);
+  rt_.fabric().send_batch(batch_);
+}
+
+void Api::send_fragments(const Comm& comm, std::vector<util::Bytes>&& frags,
+                         Rank dst, Tag tag, ContextClass ctx) {
+  require(!frags.empty(), "send_fragments with no fragments");
+  require(comm.member(), "send on a communicator this rank is not in");
+  require(tag >= 0 && tag <= kMaxTag, "tag out of range");
+  check_abort();
+  const Rank world_dst = comm.to_world(dst);
+  const int context = comm.context(ctx);
+  const auto total = static_cast<std::uint32_t>(frags.size());
+  batch_.clear();
+  batch_.reserve(frags.size());
+  std::size_t bytes = 0;
+  for (std::uint32_t f = 0; f < total; ++f) {
+    net::Packet pkt;
+    pkt.src = rank_;
+    pkt.dst = world_dst;
+    pkt.context = context;
+    pkt.tag = tag;
+    pkt.seq = next_seq(world_dst, context);
+    pkt.frag_index = f;
+    pkt.frag_total = total;
+    bytes += frags[f].size();
+    pkt.payload = std::move(frags[f]);
+    batch_.push_back(std::move(pkt));
+  }
+  frags.clear();
+  rt_.fabric().send_batch(batch_);
+  stats_.sends++;
+  stats_.send_bytes += bytes;
+}
+
 void Api::send(const Comm& comm, std::span<const std::byte> data, Rank dst,
                Tag tag, ContextClass ctx) {
   // Blocking sends complete as soon as the buffer is handed to the fabric;
   // no Request object is materialized for them.
+  if (data.size() > kMaxFragmentBytes) {
+    send_segmented(comm, data, dst, tag, ctx);
+    return;
+  }
   send_packet(comm, frame(data), dst, tag, ctx);
 }
 
@@ -91,22 +169,23 @@ void Api::send_batch(const Comm& comm, std::span<const std::byte> data,
   batch_.clear();
   batch_.reserve(dsts.size());
   for (Rank dst : dsts) {
-    net::Packet pkt;
-    pkt.src = rank_;
-    pkt.dst = comm.to_world(dst);
-    pkt.context = context;
-    pkt.tag = tag;
-    pkt.seq = next_seq(pkt.dst, context);
-    pkt.payload = frame(data);
-    batch_.push_back(std::move(pkt));
-    stats_.sends++;
-    stats_.send_bytes += data.size();
+    append_framed(comm.to_world(dst), context, tag, data);
   }
   rt_.fabric().send_batch(batch_);
 }
 
 Request Api::isend(const Comm& comm, std::span<const std::byte> data, Rank dst,
                    Tag tag, ContextClass ctx) {
+  if (data.size() > kMaxFragmentBytes) {
+    // Buffered semantics: the segmented batch is handed to the fabric in
+    // full, so the request is already complete.
+    send_segmented(comm, data, dst, tag, ctx);
+    auto st = std::make_shared<RequestState>();
+    st->kind = RequestKind::kSend;
+    st->complete = true;
+    st->status = Status{comm.rank(), tag, data.size()};
+    return Request(std::move(st));
+  }
   return isend(comm, frame(data), dst, tag, ctx);
 }
 
@@ -207,7 +286,8 @@ std::optional<ProbeInfo> Api::peek(const Comm& comm, Rank src, Tag tag,
     if (pkt.context != context) continue;
     if (src_world != kAnySource && pkt.src != src_world) continue;
     if (tag != kAnyTag && pkt.tag != tag) continue;
-    return ProbeInfo{comm.from_world(pkt.src), pkt.tag, pkt.payload.size()};
+    return ProbeInfo{comm.from_world(pkt.src), pkt.tag,
+                     pkt.total_payload_size()};
   }
   return std::nullopt;
 }
@@ -228,7 +308,20 @@ std::pair<util::Bytes, Status> Api::recv_any(const Comm& comm, Rank src,
   // is exactly what probe-then-pinned-receive used to select.
   Request r = irecv_owned(comm, src, tag, ctx);
   Status st = wait(r);
-  return {std::move(r.state()->payload), st};
+  util::Bytes wire = std::move(r.state()->payload);
+  if (!r.state()->frags.empty()) {
+    // Segmented arrival: recv_any promises one contiguous buffer, so this
+    // (rare, large-control) path pays a merge copy; the fragment buffers
+    // go straight back to the pool.
+    wire.reserve(st.size);
+    for (auto& f : r.state()->frags) {
+      wire.insert(wire.end(), f.begin(), f.end());
+      rt_.fabric().release_buffer(std::move(f));
+    }
+    r.state()->frags.clear();
+    rt_.fabric().count_copied(wire.size());
+  }
+  return {std::move(wire), st};
 }
 
 // -------------------------------------------------------------- progress
@@ -241,22 +334,34 @@ bool Api::matches(const RequestState& rs, const net::Packet& pkt) {
 }
 
 void Api::deliver_into(RequestState& rs, net::Packet& pkt) {
-  const std::size_t size = pkt.payload.size();
+  const std::size_t size = pkt.total_payload_size();
   if (rs.owning) {
-    // Zero-copy delivery: the wire buffer changes hands, no byte moves.
+    // Zero-copy delivery: the wire buffers change hands, no byte moves. A
+    // segmented message hands over its head buffer plus the merged
+    // continuation fragments.
     rs.payload = std::move(pkt.payload);
+    rs.frags = std::move(pkt.frags);
   } else {
     if (size > rs.out.size()) {
       throw util::UsageError(
           "message truncation: recv buffer " + std::to_string(rs.out.size()) +
           " bytes, message " + std::to_string(size) + " bytes");
     }
-    if (size > 0) {
-      std::memcpy(rs.out.data(), pkt.payload.data(), size);
-      rt_.fabric().count_copied(size);
+    // One counted logical copy: the head buffer and each merged fragment
+    // land in their slice of the application buffer.
+    if (!pkt.payload.empty()) {
+      std::memcpy(rs.out.data(), pkt.payload.data(), pkt.payload.size());
     }
-    // The wire buffer is spent; recycle it for later sends.
+    std::size_t off = pkt.payload.size();
+    for (auto& f : pkt.frags) {
+      if (!f.empty()) std::memcpy(rs.out.data() + off, f.data(), f.size());
+      off += f.size();
+    }
+    if (size > 0) rt_.fabric().count_copied(size);
+    // The wire buffers are spent; recycle them for later sends.
     rt_.fabric().release_buffer(std::move(pkt.payload));
+    for (auto& f : pkt.frags) rt_.fabric().release_buffer(std::move(f));
+    pkt.frags.clear();
   }
   rs.status.source = rs.comm->from_world(pkt.src);
   rs.status.tag = pkt.tag;

@@ -128,6 +128,16 @@ class Api {
                   std::span<const Rank> dsts, Tag tag,
                   ContextClass ctx = ContextClass::kP2p);
 
+  /// Send one *logical* message whose wire image is already split across
+  /// several pooled buffers (the segmented large-message path: every
+  /// fragment fits the buffer pool's size classes, so nothing is allocated
+  /// oversize). The fragments ship as one fabric batch and are reassembled
+  /// into a single logical message at the destination inbox; receivers see
+  /// one message whose payload is the concatenation, and only the first
+  /// fragment carries any header a layer above encoded into it.
+  void send_fragments(const Comm& comm, std::vector<util::Bytes>&& frags,
+                      Rank dst, Tag tag, ContextClass ctx = ContextClass::kP2p);
+
   // ------------------------------------------------------- collectives
   void barrier(const Comm& comm);
   void bcast(const Comm& comm, std::span<std::byte> data, Rank root);
@@ -197,6 +207,13 @@ class Api {
   /// Build and hand one packet to the fabric; returns the framed size.
   std::size_t send_packet(const Comm& comm, util::Bytes&& framed, Rank dst,
                           Tag tag, ContextClass ctx);
+  /// Append one logical message to batch_, segmenting payloads above the
+  /// pool's largest size class into pooled fragment packets.
+  void append_framed(int dst_world, int context, Tag tag,
+                     std::span<const std::byte> data);
+  /// Validate-and-ship one segmented span send as a fabric batch.
+  void send_segmented(const Comm& comm, std::span<const std::byte> data,
+                      Rank dst, Tag tag, ContextClass ctx);
   /// Try to complete posted receives with `pkt`; true if consumed.
   bool try_match_posted(net::Packet& pkt);
   /// Scan unexpected messages for the first match of a posted receive.

@@ -3,15 +3,21 @@
 // that "each collective communication call is actually implemented by the
 // MPI layer using many point-to-point messages". Algorithms:
 //   barrier    dissemination (ceil(log2 p) rounds)
-//   bcast      binomial tree
-//   reduce     binomial tree toward the root
-//   allreduce  reduce to rank 0 + bcast
+//   bcast      binomial tree; chunk-pipelined above pipeline_min_bytes
+//   reduce     binomial tree toward the root; chunk-pipelined above
+//              pipeline_min_bytes (child chunks combined straight from the
+//              delivered wire buffer, no staging copy)
+//   allreduce  reduce to rank 0 + bcast below ring_allreduce_min_bytes;
+//              bandwidth-optimal ring reduce-scatter + ring allgather above
 //   gather     direct sends to the root
 //   allgather  ring (p-1 steps, overlapped isend/recv)
 //   alltoall   posted irecvs + one batched send pass, then waitall
 //   scan       linear chain (inclusive prefix)
 // Every invocation draws a fresh tag from a per-communicator counter, so
-// back-to-back collectives on one communicator can never cross-match.
+// back-to-back collectives on one communicator can never cross-match. The
+// algorithm cutovers (Runtime::coll_tuning()) must be identical on every
+// rank so each rank draws the same number of tags per logical collective.
+#include <algorithm>
 #include <cstring>
 
 #include "simmpi/api.hpp"
@@ -22,7 +28,183 @@ namespace c3::simmpi {
 
 namespace {
 constexpr ContextClass kColl = ContextClass::kColl;
+
+/// Take the logical payload of a completed owned receive as one contiguous
+/// pooled buffer: zero-copy for single-packet messages, a merging copy for
+/// the rare segmented case (collective chunks above the pool's largest
+/// size class).
+util::Bytes owned_contiguous(net::Fabric& fabric, RequestState& st) {
+  util::Bytes head = std::move(st.payload);
+  if (st.frags.empty()) return head;
+  std::size_t total = head.size();
+  for (const auto& f : st.frags) total += f.size();
+  util::Bytes whole = fabric.acquire_buffer(total);
+  std::memcpy(whole.data(), head.data(), head.size());
+  std::size_t off = head.size();
+  fabric.release_buffer(std::move(head));
+  for (auto& f : st.frags) {
+    std::memcpy(whole.data() + off, f.data(), f.size());
+    off += f.size();
+    fabric.release_buffer(std::move(f));
+  }
+  st.frags.clear();
+  fabric.count_copied(total);
+  return whole;
 }
+
+/// Binomial-tree shape shared by the pipelined paths: the parent differs in
+/// the lowest set bit of the relative rank; children are listed in
+/// increasing-mask order -- the same order tree_reduce combines them in.
+struct TreeShape {
+  Rank parent = -1;  ///< comm-local rank, -1 at the root
+  std::vector<Rank> children;
+};
+
+TreeShape binomial_shape(const Comm& comm, Rank root) {
+  const int p = comm.size();
+  const Rank rel = (comm.rank() - root + p) % p;
+  auto abs = [&](Rank relr) { return (relr + root) % p; };
+  TreeShape t;
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rel & mask) {
+      t.parent = abs(rel ^ mask);
+      break;
+    }
+    const int child = rel | mask;
+    if (child < p) t.children.push_back(abs(child));
+  }
+  return t;
+}
+
+/// Chunk-pipelined binomial bcast: data flows down the same tree as the
+/// plain binomial bcast, but in pipeline_chunk_bytes chunks on one tag, so
+/// an interior node forwards chunk c while chunk c+1 is still in flight
+/// from its parent. Per-source FIFO delivery keeps each edge's chunks in
+/// order, and buffered sends never block, so the forward of one chunk
+/// overlaps the receive of the next without explicit double-buffering.
+void pipelined_bcast(Api& api, const Comm& comm, std::span<std::byte> data,
+                     Rank root, Tag tag, std::size_t chunk_bytes) {
+  const TreeShape t = binomial_shape(comm, root);
+  for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
+    auto chunk = data.subspan(off, std::min(chunk_bytes, data.size() - off));
+    if (t.parent >= 0) api.recv(comm, chunk, t.parent, tag, kColl);
+    api.send_batch(comm, chunk, t.children, tag, kColl);
+  }
+}
+
+/// Chunk-pipelined binomial reduce. Each chunk travels leaf-to-root
+/// independently: a node posts owned receives for every child's chunk
+/// up-front, combines each straight out of the delivered wire buffer (no
+/// staging copy) into a pooled accumulator chunk, and *moves* that buffer
+/// into the parent-bound send (no copy on the up edge either). Children
+/// are combined in increasing-mask order -- fixed, so floating-point
+/// reductions stay deterministic across reruns and replay.
+template <typename Combine>
+void pipelined_tree_reduce(Api& api, const Comm& comm,
+                           std::span<const std::byte> in,
+                           std::span<std::byte> out, Rank root, Tag tag,
+                           std::size_t elem_size, std::size_t chunk_bytes,
+                           const Combine& combine) {
+  const TreeShape t = binomial_shape(comm, root);
+  const bool is_root = comm.rank() == root;
+  const std::size_t step =
+      std::max<std::size_t>(1, chunk_bytes / elem_size) * elem_size;
+  auto& fabric = api.runtime().fabric();
+  std::vector<Request> rreqs(t.children.size());
+  for (std::size_t off = 0; off < in.size(); off += step) {
+    const std::size_t len = std::min(step, in.size() - off);
+    // Post the whole chunk's child receives before touching local data so
+    // arrivals complete zero-copy instead of queueing as unexpected.
+    for (std::size_t c = 0; c < t.children.size(); ++c) {
+      rreqs[c] = api.irecv_owned(comm, t.children[c], tag, kColl);
+    }
+    util::Bytes accum;
+    std::byte* acc = nullptr;
+    if (is_root) {
+      std::memcpy(out.data() + off, in.data() + off, len);
+      acc = out.data() + off;
+    } else {
+      accum = fabric.acquire_buffer(len);
+      std::memcpy(accum.data(), in.data() + off, len);
+      acc = accum.data();
+    }
+    for (std::size_t c = 0; c < t.children.size(); ++c) {
+      api.wait(rreqs[c]);
+      util::Bytes wire = owned_contiguous(fabric, *rreqs[c].state());
+      combine(wire.data(), acc, len / elem_size);
+      fabric.release_buffer(std::move(wire));
+    }
+    if (!is_root) {
+      api.send(comm, std::move(accum), t.parent, tag, kColl);
+    }
+  }
+}
+
+/// Bandwidth-optimal allreduce: ring reduce-scatter then ring allgather.
+/// Each rank moves 2*(P-1)/P*N bytes total regardless of P, versus the
+/// naive reduce+bcast's N*log P in and out of interior tree nodes. One tag
+/// covers the whole invocation: every step's message travels to/from a
+/// fixed neighbour, and per-source FIFO delivery keeps the steps ordered.
+///
+/// The partials travel zero-copy: each step's owned receive yields the
+/// wire buffer itself, the local contribution is folded straight into it
+/// (phase 1) or it is copied once into `out` (phase 2), and the very same
+/// buffer is *moved* into the next hop's packet. Per rank the whole
+/// allreduce costs one framing copy, one combine per reduce-scatter step,
+/// and one copy per chunk into `out` -- no scratch staging at all.
+/// Requires count >= p so every rank owns a non-empty chunk.
+template <typename Combine>
+void ring_allreduce(Api& api, const Comm& comm, std::span<const std::byte> in,
+                    std::span<std::byte> out, std::size_t elem_size, Tag tag,
+                    const Combine& combine) {
+  const int p = comm.size();
+  const Rank r = comm.rank();
+  const std::size_t count = in.size() / elem_size;
+  const Rank right = (r + 1) % p;
+  const Rank left = (r - 1 + p) % p;
+  auto mod = [&](int c) { return (c % p + p) % p; };
+  auto in_chunk = [&](int c) {
+    const ChunkRange cr = chunk_range(count, p, c);
+    return in.subspan(cr.begin * elem_size, cr.len * elem_size);
+  };
+  auto out_chunk = [&](int c) {
+    const ChunkRange cr = chunk_range(count, p, c);
+    return out.subspan(cr.begin * elem_size, cr.len * elem_size);
+  };
+  auto& fabric = api.runtime().fabric();
+  // Phase 1 -- reduce-scatter: in step s, send the partial for chunk (r-s)
+  // right and fold this rank's contribution into the chunk (r-s-1) partial
+  // arriving from the left, so after p-1 steps `carry` is the fully
+  // reduced chunk (r+1) mod p.
+  util::Bytes carry;
+  for (int s = 0; s < p - 1; ++s) {
+    if (s == 0) {
+      api.send(comm, in_chunk(r), right, tag, kColl);
+    } else {
+      api.send(comm, std::move(carry), right, tag, kColl);
+    }
+    Request rr = api.irecv_owned(comm, left, tag, kColl);
+    api.wait(rr);
+    carry = owned_contiguous(fabric, *rr.state());
+    const auto mine = in_chunk(mod(r - s - 1));
+    require(carry.size() == mine.size(), "ring allreduce partial size skew");
+    combine(mine.data(), carry.data(), mine.size() / elem_size);
+  }
+  // Phase 2 -- ring allgather of the reduced chunks: each received buffer
+  // is copied into `out` and then forwarded as-is to the right neighbour.
+  std::memcpy(out_chunk(mod(r + 1)).data(), carry.data(), carry.size());
+  for (int s = 0; s < p - 1; ++s) {
+    api.send(comm, std::move(carry), right, tag, kColl);
+    Request rr = api.irecv_owned(comm, left, tag, kColl);
+    api.wait(rr);
+    carry = owned_contiguous(fabric, *rr.state());
+    const auto dst = out_chunk(mod(r - s));
+    require(carry.size() == dst.size(), "ring allgather chunk size skew");
+    std::memcpy(dst.data(), carry.data(), carry.size());
+  }
+  fabric.release_buffer(std::move(carry));
+}
+}  // namespace
 
 void Api::barrier(const Comm& comm) {
   require(comm.member(), "barrier on a communicator this rank is not in");
@@ -48,6 +230,11 @@ void Api::bcast(const Comm& comm, std::span<std::byte> data, Rank root) {
   const int p = comm.size();
   const Rank rel = (comm.rank() - root + p) % p;
   const Tag tag = next_coll_tag(comm);
+  const CollTuning& tune = rt_.coll_tuning();
+  if (p > 1 && data.size() >= tune.pipeline_min_bytes) {
+    pipelined_bcast(*this, comm, data, root, tag, tune.pipeline_chunk_bytes);
+    return;
+  }
   auto abs = [&](Rank relr) { return (relr + root) % p; };
 
   // Receive from the parent (the rank that differs in the lowest set bit).
@@ -125,6 +312,19 @@ void Api::reduce(const Comm& comm, std::span<const std::byte> in,
   stats_.collectives++;
   const std::size_t count = in.size() / datatype_size(type);
   const Tag tag = next_coll_tag(comm);
+  const CollTuning& tune = rt_.coll_tuning();
+  if (comm.size() > 1 && in.size() >= tune.pipeline_min_bytes) {
+    if (comm.rank() == root) {
+      require(out.size() >= in.size(), "reduce output buffer too small");
+    }
+    pipelined_tree_reduce(
+        *this, comm, in, out, root, tag, datatype_size(type),
+        tune.pipeline_chunk_bytes,
+        [&](const std::byte* from, std::byte* acc, std::size_t n) {
+          apply_op(op, type, from, acc, n);
+        });
+    return;
+  }
   tree_reduce(*this, comm, in, out, root, tag,
               [&](const std::byte* from, std::byte* accum) {
                 apply_op(op, type, from, accum, count);
@@ -134,6 +334,24 @@ void Api::reduce(const Comm& comm, std::span<const std::byte> in,
 void Api::allreduce(const Comm& comm, std::span<const std::byte> in,
                     std::span<std::byte> out, Datatype type, Op op) {
   require(out.size() >= in.size(), "allreduce output buffer too small");
+  // The cutover feeds the tag counter (ring draws one tag, reduce+bcast
+  // two), so it depends only on values identical across ranks.
+  const std::size_t esize = datatype_size(type);
+  const CollTuning& tune = rt_.coll_tuning();
+  if (comm.size() > 1 && in.size() >= tune.ring_allreduce_min_bytes &&
+      in.size() / static_cast<std::size_t>(comm.size()) >=
+          tune.ring_min_chunk_bytes &&
+      in.size() % esize == 0 &&
+      in.size() / esize >= static_cast<std::size_t>(comm.size())) {
+    require(comm.member(), "allreduce on a communicator this rank is not in");
+    stats_.collectives++;
+    const Tag tag = next_coll_tag(comm);
+    ring_allreduce(*this, comm, in, out, esize, tag,
+                   [&](const std::byte* from, std::byte* acc, std::size_t n) {
+                     apply_op(op, type, from, acc, n);
+                   });
+    return;
+  }
   reduce(comm, in, out, type, op, /*root=*/0);
   bcast(comm, out.first(in.size()), /*root=*/0);
 }
@@ -150,6 +368,18 @@ void Api::reduce_user(const Comm& comm, std::span<const std::byte> in,
   const std::size_t count = in.size() / elem_size;
   const Tag tag = next_coll_tag(comm);
   const ReduceFn& fn = it->second;
+  const CollTuning& tune = rt_.coll_tuning();
+  if (comm.size() > 1 && in.size() >= tune.pipeline_min_bytes) {
+    if (comm.rank() == root) {
+      require(out.size() >= in.size(), "reduce_user output buffer too small");
+    }
+    pipelined_tree_reduce(
+        *this, comm, in, out, root, tag, elem_size, tune.pipeline_chunk_bytes,
+        [&](const std::byte* from, std::byte* acc, std::size_t n) {
+          fn(from, acc, n);
+        });
+    return;
+  }
   tree_reduce(*this, comm, in, out, root, tag,
               [&](const std::byte* from, std::byte* accum) {
                 fn(from, accum, count);
@@ -160,6 +390,25 @@ void Api::allreduce_user(const Comm& comm, std::span<const std::byte> in,
                          std::span<std::byte> out, std::size_t elem_size,
                          OpHandle op) {
   require(out.size() >= in.size(), "allreduce_user output buffer too small");
+  const CollTuning& tune = rt_.coll_tuning();
+  if (comm.size() > 1 && in.size() >= tune.ring_allreduce_min_bytes &&
+      in.size() / static_cast<std::size_t>(comm.size()) >=
+          tune.ring_min_chunk_bytes &&
+      elem_size > 0 && in.size() % elem_size == 0 &&
+      in.size() / elem_size >= static_cast<std::size_t>(comm.size())) {
+    require(comm.member(),
+            "allreduce_user on a communicator this rank is not in");
+    auto it = user_ops_.find(op.id);
+    require(it != user_ops_.end(), "allreduce_user with unknown op handle");
+    stats_.collectives++;
+    const Tag tag = next_coll_tag(comm);
+    const ReduceFn& fn = it->second;
+    ring_allreduce(*this, comm, in, out, elem_size, tag,
+                   [&](const std::byte* from, std::byte* acc, std::size_t n) {
+                     fn(from, acc, n);
+                   });
+    return;
+  }
   reduce_user(comm, in, out, elem_size, op, /*root=*/0);
   bcast(comm, out.first(in.size()), /*root=*/0);
 }
@@ -242,16 +491,8 @@ void Api::alltoall(const Comm& comm, std::span<const std::byte> in,
   batch_.reserve(static_cast<std::size_t>(p - 1));
   for (Rank r = 0; r < p; ++r) {
     if (r == comm.rank()) continue;
-    net::Packet pkt;
-    pkt.src = rank_;
-    pkt.dst = comm.to_world(r);
-    pkt.context = context;
-    pkt.tag = tag;
-    pkt.seq = next_seq(pkt.dst, context);
-    pkt.payload = frame(in.subspan(static_cast<std::size_t>(r) * block, block));
-    batch_.push_back(std::move(pkt));
-    stats_.sends++;
-    stats_.send_bytes += block;
+    append_framed(comm.to_world(r), context, tag,
+                  in.subspan(static_cast<std::size_t>(r) * block, block));
   }
   rt_.fabric().send_batch(batch_);
   waitall(reqs);

@@ -82,4 +82,12 @@ void apply_op(Op op, Datatype type, const std::byte* in, std::byte* inout,
   }
 }
 
+ChunkRange chunk_range(std::size_t count, int parts, int idx) noexcept {
+  const auto p = static_cast<std::size_t>(parts);
+  const auto i = static_cast<std::size_t>(idx);
+  const std::size_t base = count / p;
+  const std::size_t rem = count % p;
+  return ChunkRange{i * base + std::min(i, rem), base + (i < rem ? 1 : 0)};
+}
+
 }  // namespace c3::simmpi

@@ -18,4 +18,15 @@ using ReduceFn =
 void apply_op(Op op, Datatype type, const std::byte* in, std::byte* inout,
               std::size_t count);
 
+/// Contiguous element range owned by chunk `idx` when `count` elements are
+/// split into `parts` near-equal chunks (the remainder spread over the
+/// leading chunks). The ring collectives assign one chunk per rank; every
+/// rank must compute identical partitions, so this is the single shared
+/// definition.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t len = 0;
+};
+ChunkRange chunk_range(std::size_t count, int parts, int idx) noexcept;
+
 }  // namespace c3::simmpi

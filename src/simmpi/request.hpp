@@ -32,6 +32,10 @@ struct RequestState {
   /// by a layer above.
   bool owning = false;
   util::Bytes payload;          ///< the delivered wire buffer (owning mode)
+  /// Owning mode, segmented messages: continuation-fragment buffers merged
+  /// by inbox reassembly. The logical payload is `payload` followed by each
+  /// entry in order; every buffer is released (or moved) by the consumer.
+  std::vector<util::Bytes> frags;
   /// Communicator the receive was posted on. Borrowed, not copied (a Comm
   /// deep-copy heap-allocates its group): as in MPI, the communicator must
   /// outlive every request posted on it.

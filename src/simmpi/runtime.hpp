@@ -29,6 +29,31 @@ struct NetConfig {
   std::uint32_t max_hold = 8;  ///< reorder: max inbox events to hold for
 };
 
+/// Collective-algorithm cutovers, shared by every rank of a Runtime.
+///
+/// Every rank must see identical values (set them before run(); the
+/// benches set SIZE_MAX cutovers to force the naive baselines): the
+/// cutover decision feeds the per-communicator collective tag counter, so
+/// divergent values would desynchronize tags across ranks.
+struct CollTuning {
+  /// allreduce payloads at or above this take the bandwidth-optimal ring
+  /// (reduce-scatter + allgather, 2*(P-1)/P*N bytes per rank) instead of
+  /// reduce-to-root + bcast (2*N*log P through the root). Below it the
+  /// latency-bound binomial path wins: the ring costs 2*(P-1) hops of
+  /// per-message overhead on the critical path versus 2*log P.
+  std::size_t ring_allreduce_min_bytes = 64 * 1024;
+  /// The ring also requires payload/P at or above this: its 2*(P-1) hops
+  /// only pay off once each hop moves enough bytes to amortize per-message
+  /// latency, so the cutover adapts to the communicator size.
+  std::size_t ring_min_chunk_bytes = 16 * 1024;
+  /// bcast/reduce payloads at or above this are chunk-pipelined down the
+  /// binomial tree so per-hop latency is hidden at depth.
+  std::size_t pipeline_min_bytes = 256 * 1024;
+  /// Chunk size for the pipelined tree paths. Must stay within the buffer
+  /// pool's largest size class or every chunk re-segments pointlessly.
+  std::size_t pipeline_chunk_bytes = 128 * 1024;
+};
+
 class Runtime {
  public:
   explicit Runtime(int nranks, NetConfig cfg = {});
@@ -47,9 +72,15 @@ class Runtime {
   /// Allocate a globally fresh communicator context base.
   int fresh_context() { return next_context_.fetch_add(1); }
 
+  /// Collective cutovers. Mutate only before run(): ranks read these
+  /// concurrently and unsynchronized while the job executes.
+  CollTuning& coll_tuning() noexcept { return coll_; }
+  const CollTuning& coll_tuning() const noexcept { return coll_; }
+
  private:
   int nranks_;
   NetConfig cfg_;
+  CollTuning coll_;
   std::unique_ptr<net::Fabric> fabric_;
   std::atomic<int> next_context_{1};
   std::mutex err_mu_;

@@ -41,6 +41,9 @@ Bytes BufferPool::acquire(std::size_t n, bool* fresh) {
     }
   }
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (n > kMaxClassBytes) {
+    oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (fresh) *fresh = true;
   Bytes b;
   b.reserve(cap);
@@ -71,6 +74,7 @@ BufferPool::Stats BufferPool::stats() const noexcept {
   return Stats{acquires_.load(std::memory_order_relaxed),
                hits_.load(std::memory_order_relaxed),
                allocs_.load(std::memory_order_relaxed),
+               oversize_allocs_.load(std::memory_order_relaxed),
                releases_.load(std::memory_order_relaxed),
                discards_.load(std::memory_order_relaxed)};
 }

@@ -47,6 +47,11 @@ class BufferPool {
     std::uint64_t acquires = 0;
     std::uint64_t hits = 0;      ///< served by recycling a pooled buffer
     std::uint64_t allocs = 0;    ///< served by a fresh heap allocation
+    /// Subset of `allocs`: requests above kMaxClassBytes, which bypass the
+    /// size classes entirely (allocated exactly, never pooled). The
+    /// segmented large-message path exists to keep this at zero; a growing
+    /// count means some caller still ships whole oversized buffers.
+    std::uint64_t oversize_allocs = 0;
     std::uint64_t releases = 0;  ///< buffers returned to the pool
     std::uint64_t discards = 0;  ///< released buffers the pool refused
   };
@@ -89,6 +94,7 @@ class BufferPool {
   std::atomic<std::uint64_t> acquires_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> oversize_allocs_{0};
   std::atomic<std::uint64_t> releases_{0};
   std::atomic<std::uint64_t> discards_{0};
 };
