@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_pipeline.dir/bench/bench_checkpoint_pipeline.cpp.o"
+  "CMakeFiles/bench_checkpoint_pipeline.dir/bench/bench_checkpoint_pipeline.cpp.o.d"
+  "bench_checkpoint_pipeline"
+  "bench_checkpoint_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_laplace.dir/bench/bench_fig8_laplace.cpp.o"
+  "CMakeFiles/bench_fig8_laplace.dir/bench/bench_fig8_laplace.cpp.o.d"
+  "bench_fig8_laplace"
+  "bench_fig8_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_neurosys.dir/bench/bench_fig8_neurosys.cpp.o"
+  "CMakeFiles/bench_fig8_neurosys.dir/bench/bench_fig8_neurosys.cpp.o.d"
+  "bench_fig8_neurosys"
+  "bench_fig8_neurosys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_neurosys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_sweep.dir/bench/bench_interval_sweep.cpp.o"
+  "CMakeFiles/bench_interval_sweep.dir/bench/bench_interval_sweep.cpp.o.d"
+  "bench_interval_sweep"
+  "bench_interval_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

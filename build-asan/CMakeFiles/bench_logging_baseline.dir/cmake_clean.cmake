@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging_baseline.dir/bench/bench_logging_baseline.cpp.o"
+  "CMakeFiles/bench_logging_baseline.dir/bench/bench_logging_baseline.cpp.o.d"
+  "bench_logging_baseline"
+  "bench_logging_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

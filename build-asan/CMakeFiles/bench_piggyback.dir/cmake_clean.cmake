@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_piggyback.dir/bench/bench_piggyback.cpp.o"
+  "CMakeFiles/bench_piggyback.dir/bench/bench_piggyback.cpp.o.d"
+  "bench_piggyback"
+  "bench_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_microbench.dir/bench/bench_protocol_microbench.cpp.o"
+  "CMakeFiles/bench_protocol_microbench.dir/bench/bench_protocol_microbench.cpp.o.d"
+  "bench_protocol_microbench"
+  "bench_protocol_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckptstore/codec.cpp" "CMakeFiles/c3.dir/src/ckptstore/codec.cpp.o" "gcc" "CMakeFiles/c3.dir/src/ckptstore/codec.cpp.o.d"
+  "/root/repo/src/ckptstore/pipeline.cpp" "CMakeFiles/c3.dir/src/ckptstore/pipeline.cpp.o" "gcc" "CMakeFiles/c3.dir/src/ckptstore/pipeline.cpp.o.d"
+  "/root/repo/src/ckptstore/store.cpp" "CMakeFiles/c3.dir/src/ckptstore/store.cpp.o" "gcc" "CMakeFiles/c3.dir/src/ckptstore/store.cpp.o.d"
+  "/root/repo/src/core/coordinator/control_plane.cpp" "CMakeFiles/c3.dir/src/core/coordinator/control_plane.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/coordinator/control_plane.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "CMakeFiles/c3.dir/src/core/job.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/job.cpp.o.d"
+  "/root/repo/src/core/logrec.cpp" "CMakeFiles/c3.dir/src/core/logrec.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/logrec.cpp.o.d"
+  "/root/repo/src/core/mpistate.cpp" "CMakeFiles/c3.dir/src/core/mpistate.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/mpistate.cpp.o.d"
+  "/root/repo/src/core/piggyback.cpp" "CMakeFiles/c3.dir/src/core/piggyback.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/piggyback.cpp.o.d"
+  "/root/repo/src/core/process.cpp" "CMakeFiles/c3.dir/src/core/process.cpp.o" "gcc" "CMakeFiles/c3.dir/src/core/process.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "CMakeFiles/c3.dir/src/net/transport.cpp.o" "gcc" "CMakeFiles/c3.dir/src/net/transport.cpp.o.d"
+  "/root/repo/src/replica/replicated_storage.cpp" "CMakeFiles/c3.dir/src/replica/replicated_storage.cpp.o" "gcc" "CMakeFiles/c3.dir/src/replica/replicated_storage.cpp.o.d"
+  "/root/repo/src/simmpi/api.cpp" "CMakeFiles/c3.dir/src/simmpi/api.cpp.o" "gcc" "CMakeFiles/c3.dir/src/simmpi/api.cpp.o.d"
+  "/root/repo/src/simmpi/collectives.cpp" "CMakeFiles/c3.dir/src/simmpi/collectives.cpp.o" "gcc" "CMakeFiles/c3.dir/src/simmpi/collectives.cpp.o.d"
+  "/root/repo/src/simmpi/reduce.cpp" "CMakeFiles/c3.dir/src/simmpi/reduce.cpp.o" "gcc" "CMakeFiles/c3.dir/src/simmpi/reduce.cpp.o.d"
+  "/root/repo/src/simmpi/runtime.cpp" "CMakeFiles/c3.dir/src/simmpi/runtime.cpp.o" "gcc" "CMakeFiles/c3.dir/src/simmpi/runtime.cpp.o.d"
+  "/root/repo/src/statesave/checkpoint.cpp" "CMakeFiles/c3.dir/src/statesave/checkpoint.cpp.o" "gcc" "CMakeFiles/c3.dir/src/statesave/checkpoint.cpp.o.d"
+  "/root/repo/src/statesave/heap.cpp" "CMakeFiles/c3.dir/src/statesave/heap.cpp.o" "gcc" "CMakeFiles/c3.dir/src/statesave/heap.cpp.o.d"
+  "/root/repo/src/util/buffer_pool.cpp" "CMakeFiles/c3.dir/src/util/buffer_pool.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/buffer_pool.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "CMakeFiles/c3.dir/src/util/crc32.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/crc32.cpp.o.d"
+  "/root/repo/src/util/fault_injection.cpp" "CMakeFiles/c3.dir/src/util/fault_injection.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/fault_injection.cpp.o.d"
+  "/root/repo/src/util/gf256.cpp" "CMakeFiles/c3.dir/src/util/gf256.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/gf256.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/c3.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/c3.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stable_storage.cpp" "CMakeFiles/c3.dir/src/util/stable_storage.cpp.o" "gcc" "CMakeFiles/c3.dir/src/util/stable_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

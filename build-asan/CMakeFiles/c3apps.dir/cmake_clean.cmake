@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3apps.dir/src/apps/cg.cpp.o"
+  "CMakeFiles/c3apps.dir/src/apps/cg.cpp.o.d"
+  "CMakeFiles/c3apps.dir/src/apps/laplace.cpp.o"
+  "CMakeFiles/c3apps.dir/src/apps/laplace.cpp.o.d"
+  "CMakeFiles/c3apps.dir/src/apps/neurosys.cpp.o"
+  "CMakeFiles/c3apps.dir/src/apps/neurosys.cpp.o.d"
+  "libc3apps.a"
+  "libc3apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3mpi.dir/src/c3mpi/c3mpi.cpp.o"
+  "CMakeFiles/c3mpi.dir/src/c3mpi/c3mpi.cpp.o.d"
+  "libc3mpi.a"
+  "libc3mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

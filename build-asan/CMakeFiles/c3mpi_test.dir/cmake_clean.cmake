@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3mpi_test.dir/tests/c3mpi_test.cpp.o"
+  "CMakeFiles/c3mpi_test.dir/tests/c3mpi_test.cpp.o.d"
+  "c3mpi_test"
+  "c3mpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccift/analysis.cpp" "CMakeFiles/ccift.dir/src/ccift/analysis.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/analysis.cpp.o.d"
+  "/root/repo/src/ccift/check.cpp" "CMakeFiles/ccift.dir/src/ccift/check.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/check.cpp.o.d"
+  "/root/repo/src/ccift/emit.cpp" "CMakeFiles/ccift.dir/src/ccift/emit.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/emit.cpp.o.d"
+  "/root/repo/src/ccift/lexer.cpp" "CMakeFiles/ccift.dir/src/ccift/lexer.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/lexer.cpp.o.d"
+  "/root/repo/src/ccift/parser.cpp" "CMakeFiles/ccift.dir/src/ccift/parser.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/parser.cpp.o.d"
+  "/root/repo/src/ccift/runtime_abi.cpp" "CMakeFiles/ccift.dir/src/ccift/runtime_abi.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/runtime_abi.cpp.o.d"
+  "/root/repo/src/ccift/transform.cpp" "CMakeFiles/ccift.dir/src/ccift/transform.cpp.o" "gcc" "CMakeFiles/ccift.dir/src/ccift/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/c3.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

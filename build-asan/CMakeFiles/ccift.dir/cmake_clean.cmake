@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccift.dir/src/ccift/analysis.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/analysis.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/check.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/check.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/emit.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/emit.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/lexer.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/lexer.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/parser.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/parser.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/runtime_abi.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/runtime_abi.cpp.o.d"
+  "CMakeFiles/ccift.dir/src/ccift/transform.cpp.o"
+  "CMakeFiles/ccift.dir/src/ccift/transform.cpp.o.d"
+  "libccift.a"
+  "libccift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

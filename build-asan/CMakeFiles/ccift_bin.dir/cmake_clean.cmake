@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccift_bin.dir/src/ccift/ccift_main.cpp.o"
+  "CMakeFiles/ccift_bin.dir/src/ccift/ccift_main.cpp.o.d"
+  "ccift"
+  "ccift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccift_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccift_check_test.dir/tests/ccift_check_test.cpp.o"
+  "CMakeFiles/ccift_check_test.dir/tests/ccift_check_test.cpp.o.d"
+  "ccift_check_test"
+  "ccift_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccift_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccift_demo.dir/examples/ccift_demo.cpp.o"
+  "CMakeFiles/ccift_demo.dir/examples/ccift_demo.cpp.o.d"
+  "ccift_demo"
+  "ccift_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccift_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccift_test.dir/tests/ccift_test.cpp.o"
+  "CMakeFiles/ccift_test.dir/tests/ccift_test.cpp.o.d"
+  "ccift_test"
+  "ccift_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_demo.dir/examples/cg_demo.cpp.o"
+  "CMakeFiles/cg_demo.dir/examples/cg_demo.cpp.o.d"
+  "cg_demo"
+  "cg_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

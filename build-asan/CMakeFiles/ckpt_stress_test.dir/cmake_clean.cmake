@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_stress_test.dir/tests/ckpt_stress_test.cpp.o"
+  "CMakeFiles/ckpt_stress_test.dir/tests/ckpt_stress_test.cpp.o.d"
+  "ckpt_stress_test"
+  "ckpt_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

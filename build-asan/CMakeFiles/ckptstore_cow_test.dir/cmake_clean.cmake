@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptstore_cow_test.dir/tests/ckptstore_cow_test.cpp.o"
+  "CMakeFiles/ckptstore_cow_test.dir/tests/ckptstore_cow_test.cpp.o.d"
+  "ckptstore_cow_test"
+  "ckptstore_cow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptstore_cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

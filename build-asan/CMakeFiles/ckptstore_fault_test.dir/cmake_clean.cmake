@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptstore_fault_test.dir/tests/ckptstore_fault_test.cpp.o"
+  "CMakeFiles/ckptstore_fault_test.dir/tests/ckptstore_fault_test.cpp.o.d"
+  "ckptstore_fault_test"
+  "ckptstore_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptstore_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumented_restart.dir/examples/instrumented_restart.cpp.o"
+  "CMakeFiles/instrumented_restart.dir/examples/instrumented_restart.cpp.o.d"
+  "instrumented_restart"
+  "instrumented_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumented_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_demo.dir/examples/laplace_demo.cpp.o"
+  "CMakeFiles/laplace_demo.dir/examples/laplace_demo.cpp.o.d"
+  "laplace_demo"
+  "laplace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_message_test.dir/tests/large_message_test.cpp.o"
+  "CMakeFiles/large_message_test.dir/tests/large_message_test.cpp.o.d"
+  "large_message_test"
+  "large_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

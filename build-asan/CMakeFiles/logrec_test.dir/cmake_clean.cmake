@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logrec_test.dir/tests/logrec_test.cpp.o"
+  "CMakeFiles/logrec_test.dir/tests/logrec_test.cpp.o.d"
+  "logrec_test"
+  "logrec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logrec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

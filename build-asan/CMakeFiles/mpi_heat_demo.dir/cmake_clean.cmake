@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_heat_demo.dir/examples/mpi_heat_demo.cpp.o"
+  "CMakeFiles/mpi_heat_demo.dir/examples/mpi_heat_demo.cpp.o.d"
+  "CMakeFiles/mpi_heat_demo.dir/heat_mpi_instrumented.c.o"
+  "CMakeFiles/mpi_heat_demo.dir/heat_mpi_instrumented.c.o.d"
+  "heat_mpi_instrumented.c"
+  "mpi_heat_demo"
+  "mpi_heat_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/mpi_heat_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

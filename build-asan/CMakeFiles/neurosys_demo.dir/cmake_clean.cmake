@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurosys_demo.dir/examples/neurosys_demo.cpp.o"
+  "CMakeFiles/neurosys_demo.dir/examples/neurosys_demo.cpp.o.d"
+  "neurosys_demo"
+  "neurosys_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurosys_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyback_test.dir/tests/piggyback_test.cpp.o"
+  "CMakeFiles/piggyback_test.dir/tests/piggyback_test.cpp.o.d"
+  "piggyback_test"
+  "piggyback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_test.dir/tests/replica_test.cpp.o"
+  "CMakeFiles/replica_test.dir/tests/replica_test.cpp.o.d"
+  "replica_test"
+  "replica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_smoke_test.dir/tests/scale_smoke_test.cpp.o"
+  "CMakeFiles/scale_smoke_test.dir/tests/scale_smoke_test.cpp.o.d"
+  "scale_smoke_test"
+  "scale_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_coll_test.dir/tests/simmpi_coll_test.cpp.o"
+  "CMakeFiles/simmpi_coll_test.dir/tests/simmpi_coll_test.cpp.o.d"
+  "simmpi_coll_test"
+  "simmpi_coll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_edge_test.dir/tests/simmpi_edge_test.cpp.o"
+  "CMakeFiles/simmpi_edge_test.dir/tests/simmpi_edge_test.cpp.o.d"
+  "simmpi_edge_test"
+  "simmpi_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

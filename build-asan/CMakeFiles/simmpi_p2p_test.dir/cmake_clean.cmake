@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_p2p_test.dir/tests/simmpi_p2p_test.cpp.o"
+  "CMakeFiles/simmpi_p2p_test.dir/tests/simmpi_p2p_test.cpp.o.d"
+  "simmpi_p2p_test"
+  "simmpi_p2p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statesave_test.dir/tests/statesave_test.cpp.o"
+  "CMakeFiles/statesave_test.dir/tests/statesave_test.cpp.o.d"
+  "statesave_test"
+  "statesave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statesave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -34,10 +34,13 @@ A malformed JSON file or a result entry missing an expected field fails
 the gate with a message naming the file and lane -- never a bare
 traceback, and never a zero exit.
 """
-import json
 import math
 import sys
 from pathlib import Path
+
+import ci_util
+
+PREFIX = "BENCH GATE FAIL"
 
 FACADE_OVERHEAD_LIMIT_PCT = 5.0
 COMMIT_STALL_LIMIT_X = 1.5
@@ -48,27 +51,17 @@ RING_GATE_BYTES = 16 * 1024 * 1024
 SMALL_MESSAGE_LIMIT_X = 1.1
 
 
+# Thin wrappers binding the shared gate helpers to this gate's prefix.
 def fail(msg: str) -> None:
-    print(f"BENCH GATE FAIL: {msg}")
-    sys.exit(1)
+    ci_util.fail(msg, PREFIX)
 
 
 def load_json(path: Path) -> dict:
-    """Parse a bench JSON file; a truncated or malformed file (a bench
-    binary that crashed mid-write) fails the gate by name instead of
-    surfacing as a traceback."""
-    try:
-        return json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path.name}: malformed bench JSON ({e})")
+    return ci_util.load_json(path, PREFIX)
 
 
 def require(entry: dict, key: str, where: str):
-    """Fetch a field from a result entry, failing with the lane's name
-    rather than a KeyError when a bench emitted an incomplete record."""
-    if key not in entry:
-        fail(f"{where}: result entry missing field '{key}': {entry}")
-    return entry[key]
+    return ci_util.require(entry, key, where, PREFIX)
 
 
 def check_scaling(path: Path) -> None:

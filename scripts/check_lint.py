@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate CI on the checkpoint-safety analyzer: ccift --check must report zero
+unsuppressed findings over the checked-in C/C++ sources.
+
+Usage: check_lint.py <ccift-binary> <report.json> <path>...
+
+Each path may be a file or a directory (searched recursively for *.c, *.cc,
+*.cpp). Every file is analyzed together as one program in --mpi mode, the
+same facade configuration the heat demo pipeline uses, so the MPI blocking
+entry points count as checkpoint sites. The JSON report is written to
+<report.json> (uploaded as a CI artifact); each unsuppressed finding is
+echoed as file:line [CKxxx] before the gate fails. The check catalog and the
+`// ccift-ok: CKxxx` suppression syntax are documented in docs/analysis.md.
+"""
+import subprocess
+import sys
+from pathlib import Path
+
+import ci_util
+
+PREFIX = "LINT GATE FAIL"
+
+
+def main() -> None:
+    if len(sys.argv) < 4:
+        ci_util.fail("usage: check_lint.py <ccift-binary> <report.json> "
+                     "<path>...", PREFIX)
+    ccift, report_path = sys.argv[1], sys.argv[2]
+
+    files = []
+    for arg in sys.argv[3:]:
+        p = Path(arg)
+        if p.is_dir():
+            for pattern in ("*.c", "*.cc", "*.cpp"):
+                files.extend(sorted(p.rglob(pattern)))
+        elif p.is_file():
+            files.append(p)
+        else:
+            ci_util.fail(f"no such file or directory: {arg}", PREFIX)
+    if not files:
+        ci_util.fail("no C/C++ sources found under the given paths", PREFIX)
+
+    cmd = [ccift, "--check", "--mpi", "--json", report_path]
+    cmd += [str(f) for f in files]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+    except OSError as e:
+        ci_util.fail(f"cannot run {ccift}: {e}", PREFIX)
+    # ccift prints its file:line diagnostics on stderr; surface them.
+    if proc.stderr:
+        print(proc.stderr, end="")
+    if proc.stdout:
+        print(proc.stdout, end="")
+
+    report = ci_util.load_json(report_path, PREFIX)
+    live = [f for f in report.get("findings", [])
+            if not f.get("suppressed")]
+    for f in live:
+        fid = ci_util.require(f, "id", f"{Path(report_path).name} findings",
+                              PREFIX)
+        print(f"  unsuppressed: {f.get('file')}:{f.get('line')} [{fid}]")
+
+    counts = report.get("counts", {})
+    print(f"lint gate: {len(files)} file(s) checked, "
+          f"{len(live)} unsuppressed finding(s), "
+          f"{counts.get('suppressed', 0)} suppressed")
+    if live:
+        ci_util.fail(f"{len(live)} unsuppressed checkpoint-safety "
+                     "finding(s); fix them or annotate with "
+                     "// ccift-ok: CKxxx", PREFIX)
+    if proc.returncode != 0:
+        ci_util.fail(f"ccift --check exited {proc.returncode} with no "
+                     "findings reported (bad input path?)", PREFIX)
+    print("lint gate: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

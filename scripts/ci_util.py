@@ -1,0 +1,33 @@
+"""Shared helpers for the CI gate scripts (stdlib only, no third-party deps).
+
+Every gate script follows the same contract: a malformed JSON file or a
+record missing an expected field fails the gate with a message naming the
+file and lane -- never a bare traceback, and never a zero exit.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg: str, prefix: str = "GATE FAIL") -> None:
+    print(f"{prefix}: {msg}")
+    sys.exit(1)
+
+
+def load_json(path, prefix: str = "GATE FAIL") -> dict:
+    """Parse a JSON report; a truncated or malformed file (a tool that
+    crashed mid-write) fails the gate by name instead of surfacing as a
+    traceback."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path.name}: malformed JSON ({e})", prefix)
+
+
+def require(entry: dict, key: str, where: str, prefix: str = "GATE FAIL"):
+    """Fetch a field from a result entry, failing with the lane's name
+    rather than a KeyError when a tool emitted an incomplete record."""
+    if key not in entry:
+        fail(f"{where}: result entry missing field '{key}': {entry}", prefix)
+    return entry[key]

@@ -25,6 +25,26 @@ void walk_stmt(const Stmt* s, const std::function<void(const Expr&)>& fn) {
   for (const auto& b : s->body) walk_stmt(b.get(), fn);
 }
 
+/// Close `roots` under "calls a member of the set" over `call_graph`.
+void close_checkpointable(
+    const std::map<std::string, std::set<std::string>>& call_graph,
+    std::set<std::string>& roots) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [caller, callees] : call_graph) {
+      if (roots.count(caller) != 0) continue;
+      for (const auto& callee : callees) {
+        if (roots.count(callee) != 0) {
+          roots.insert(caller);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Analysis analyze(const TranslationUnit& unit,
@@ -44,16 +64,41 @@ Analysis analyze(const TranslationUnit& unit,
   // function.
   result.checkpointable.insert(kPotentialCheckpoint);
   result.checkpointable.insert(extra_roots.begin(), extra_roots.end());
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [caller, callees] : result.call_graph) {
-      if (result.checkpointable.count(caller) != 0) continue;
-      for (const auto& callee : callees) {
-        if (result.checkpointable.count(callee) != 0) {
-          result.checkpointable.insert(caller);
-          changed = true;
-          break;
+  close_checkpointable(result.call_graph, result.checkpointable);
+  return result;
+}
+
+ProgramAnalysis analyze_program(
+    const std::vector<const TranslationUnit*>& units,
+    const std::set<std::string>& extra_roots) {
+  ProgramAnalysis result;
+  for (const TranslationUnit* unit : units) {
+    for (const auto& fn : unit->functions) {
+      auto& callees = result.call_graph[fn.name];
+      walk_stmt(fn.body.get(), [&](const Expr& e) {
+        if (e.kind == ExprKind::kCall) callees.insert(e.text);
+      });
+      if (fn.body) result.defined.insert(fn.name);
+    }
+  }
+
+  result.checkpointable.insert(kPotentialCheckpoint);
+  result.checkpointable.insert(extra_roots.begin(), extra_roots.end());
+  close_checkpointable(result.call_graph, result.checkpointable);
+
+  result.has_main = result.defined.count("main") != 0;
+  if (result.has_main) {
+    // BFS down the merged call graph from main.
+    std::vector<std::string> frontier = {"main"};
+    result.reachable_from_main.insert("main");
+    while (!frontier.empty()) {
+      const std::string fn = std::move(frontier.back());
+      frontier.pop_back();
+      auto it = result.call_graph.find(fn);
+      if (it == result.call_graph.end()) continue;
+      for (const auto& callee : it->second) {
+        if (result.reachable_from_main.insert(callee).second) {
+          frontier.push_back(callee);
         }
       }
     }
@@ -78,6 +123,19 @@ void collect_calls(const Expr& e, std::vector<const Expr*>& out) {
   if (e.rhs) collect_calls(*e.rhs, out);
   for (const auto& a : e.args) collect_calls(*a, out);
   if (e.kind == ExprKind::kCall) out.push_back(&e);
+}
+
+void for_each_expr(const Stmt* s, const std::function<void(const Expr&)>& fn) {
+  walk_stmt(s, fn);
+}
+
+void for_each_stmt(const Stmt* s, const std::function<void(const Stmt&)>& fn) {
+  if (s == nullptr) return;
+  fn(*s);
+  for_each_stmt(s->init.get(), fn);
+  for_each_stmt(s->then_branch.get(), fn);
+  for_each_stmt(s->else_branch.get(), fn);
+  for (const auto& b : s->body) for_each_stmt(b.get(), fn);
 }
 
 }  // namespace c3::ccift

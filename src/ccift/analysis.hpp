@@ -8,6 +8,7 @@
 //    source files at once and registers every global).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -36,10 +37,36 @@ struct Analysis {
 Analysis analyze(const TranslationUnit& unit,
                  const std::set<std::string>& extra_roots = {});
 
+/// Whole-program view over one or more translation units (the checker's
+/// substrate; `ccift --check` merges every input file before judging).
+struct ProgramAnalysis {
+  /// Merged call graph across every unit.
+  std::map<std::string, std::set<std::string>> call_graph;
+  /// Functions that can reach a checkpoint site, plus the site names.
+  std::set<std::string> checkpointable;
+  /// Names of functions *defined* (with a body) in any unit.
+  std::set<std::string> defined;
+  /// Functions reachable from main along the call graph (includes main);
+  /// empty when no unit defines main.
+  std::set<std::string> reachable_from_main;
+  bool has_main = false;
+};
+
+ProgramAnalysis analyze_program(
+    const std::vector<const TranslationUnit*>& units,
+    const std::set<std::string>& extra_roots = {});
+
 /// True if expression `e` contains a call to any function in `targets`.
 bool contains_call_to(const Expr& e, const std::set<std::string>& targets);
 
 /// Collect all call names in `e` (in evaluation order, left-to-right).
 void collect_calls(const Expr& e, std::vector<const Expr*>& out);
+
+/// Pre-order walk over every expression hanging off `s` (conditions,
+/// steps, initializers, nested statements included).
+void for_each_expr(const Stmt* s, const std::function<void(const Expr&)>& fn);
+
+/// Pre-order walk over `s` and every nested statement.
+void for_each_stmt(const Stmt* s, const std::function<void(const Stmt&)>& fn);
 
 }  // namespace c3::ccift

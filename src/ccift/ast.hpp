@@ -6,6 +6,7 @@
 // declarations, control flow, returns).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,8 +57,13 @@ enum class StmtKind {
   kReturn,    // expr?
   kBreak,
   kContinue,
+  kGoto,      // text = target label; expr != null for computed goto
+  kLabel,     // text = label name (the labelled statement follows it)
   kRaw,       // verbatim text (preprocessor lines)
 };
+
+/// Storage class of a declaration (function-local or file scope).
+enum class StorageClass : std::uint8_t { kNone, kStatic, kExtern };
 
 /// One declarator within a declaration: `name[dims] = init`.
 struct Declarator {
@@ -69,7 +75,10 @@ struct Declarator {
 
 struct Stmt {
   StmtKind kind = StmtKind::kExpr;
-  std::string text;                 // kDecl: base type; kRaw: verbatim
+  std::string text;                 // kDecl: base type; kRaw: verbatim;
+                                    // kGoto/kLabel: label name
+  StorageClass storage = StorageClass::kNone;  // kDecl
+  bool is_const = false;                       // kDecl
   std::vector<Declarator> decls;    // kDecl
   ExprPtr expr;                     // kExpr / kReturn value / kIf cond ...
   ExprPtr cond;                     // kFor condition
@@ -94,6 +103,7 @@ struct Function {
   std::string return_type;
   std::string name;
   std::vector<Param> params;
+  StorageClass storage = StorageClass::kNone;
   StmtPtr body;  // null for a prototype
   int line = 0;
 };
@@ -101,6 +111,8 @@ struct Function {
 struct GlobalVar {
   std::string type;
   Declarator decl;
+  StorageClass storage = StorageClass::kNone;
+  bool is_const = false;
   int line = 0;
 };
 

@@ -1,39 +1,102 @@
 // ccift: the CCIFT precompiler CLI.
 //
-// Usage: ccift [--mpi] [--main NAME] <input.c> [output.c]
+// Transform mode:
+//   ccift [--mpi] [--main NAME] <input.c> [output.c]
 // Reads a C source file, instruments every function that can reach a
 // checkpoint location, and writes the transformed source (stdout if no
-// output path is given).
+// output path is given). The checkpoint-safety checks run implicitly first;
+// unsuppressed *errors* abort the transform (warnings proceed).
+//
+// Check mode:
+//   ccift --check [--mpi] [--json PATH] <input>...
+// Whole-program static analysis only: every input file is analyzed as one
+// program and checkpoint-safety violations are reported as
+// `file:line: severity: message [CKxxx]` diagnostics (and optionally as a
+// machine-readable JSON report). Exits 1 if any unsuppressed finding
+// remains, 0 otherwise. See docs/analysis.md for the check catalog and the
+// `// ccift-ok: CKxxx` suppression syntax.
 //
 //   --mpi        MPI facade mode: the c3mpi blocking entry points become
 //                checkpointable call sites, the MPI opaque typedefs parse
-//                as base types, and the runtime-ABI prelude is emitted --
-//                the paper's "recompile and relink" pipeline for verbatim
-//                MPI programs.
+//                as base types, and (in transform mode) the runtime-ABI
+//                prelude is emitted -- the paper's "recompile and relink"
+//                pipeline for verbatim MPI programs.
 //   --main NAME  Rename the program's main() to NAME so a driver can embed
 //                the transformed unit and run it under c3mpi::run_mpi_job.
+//   --json PATH  (check mode) also write the JSON report to PATH.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ccift/check.hpp"
 #include "ccift/transform.hpp"
 
 namespace {
+
 int usage() {
-  std::cerr << "usage: ccift [--mpi] [--main NAME] <input.c> [output.c]\n";
+  std::cerr << "usage: ccift [--mpi] [--main NAME] <input.c> [output.c]\n"
+               "       ccift --check [--mpi] [--json PATH] <input>...\n";
   return 2;
 }
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int run_check_mode(const std::vector<std::string>& paths, bool mpi,
+                   const std::string& json_path) {
+  std::vector<c3::ccift::CheckInput> inputs;
+  for (const auto& path : paths) {
+    c3::ccift::CheckInput input;
+    input.path = path;
+    if (!read_file(path, input.text)) {
+      std::cerr << "ccift: cannot open " << path << "\n";
+      return 1;
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  c3::ccift::CheckOptions options;
+  options.mpi_facade = mpi;
+  const c3::ccift::CheckReport report = c3::ccift::run_checks(inputs, options);
+
+  std::cerr << report.to_text();
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "ccift: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    os << report.to_json();
+  }
+  return (report.unsuppressed_errors() + report.unsuppressed_warnings()) > 0
+             ? 1
+             : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   c3::ccift::TransformOptions options;
+  bool check_mode = false;
+  std::string json_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--mpi") {
       options.mpi_facade = true;
+    } else if (arg == "--check") {
+      check_mode = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
     } else if (arg == "--main") {
       if (i + 1 >= argc) return usage();
       options.rename_main = argv[++i];
@@ -43,19 +106,36 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty() || paths.size() > 2) return usage();
+  if (paths.empty()) return usage();
+  if (check_mode) return run_check_mode(paths, options.mpi_facade, json_path);
+  if (paths.size() > 2 || !json_path.empty()) return usage();
 
-  std::ifstream in(paths[0]);
-  if (!in) {
+  std::string source;
+  if (!read_file(paths[0], source)) {
     std::cerr << "ccift: cannot open " << paths[0] << "\n";
     return 1;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
+
+  // The transform trusts the checker: run the safety analysis first and
+  // refuse to instrument a program with unsuppressed errors (a silently
+  // mis-transformed program is worse than no transform at all).
+  {
+    c3::ccift::CheckOptions check_options;
+    check_options.mpi_facade = options.mpi_facade;
+    const c3::ccift::CheckReport report =
+        c3::ccift::run_checks({{paths[0], source}}, check_options);
+    if (report.unsuppressed_errors() > 0) {
+      std::cerr << report.to_text();
+      std::cerr << "ccift: refusing to transform " << paths[0]
+                << ": fix the errors above or annotate them with "
+                   "// ccift-ok: CKxxx\n";
+      return 1;
+    }
+  }
 
   std::string out;
   try {
-    out = c3::ccift::transform_source(buf.str(), options);
+    out = c3::ccift::transform_source(source, options);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 1;

@@ -1,0 +1,758 @@
+#include "ccift/check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ccift/analysis.hpp"
+#include "ccift/lexer.hpp"
+#include "ccift/parser.hpp"
+#include "ccift/transform.hpp"
+
+namespace c3::ccift {
+namespace {
+
+// --------------------------------------------------------------- catalogs
+
+/// Nondeterminism sources (CK003): each returns a value recovery replay
+/// cannot reproduce unless it is routed through the logged nondet path
+/// (Process::nondet -- MPI_Wtime is the sanctioned clock).
+const std::map<std::string, const char*>& nondet_calls() {
+  static const std::map<std::string, const char*> names = {
+      {"time", "wall-clock read"},
+      {"clock", "CPU-clock read"},
+      {"gettimeofday", "wall-clock read"},
+      {"clock_gettime", "wall-clock read"},
+      {"rand", "PRNG draw"},
+      {"srand", "PRNG reseed"},
+      {"random", "PRNG draw"},
+      {"srandom", "PRNG reseed"},
+      {"drand48", "PRNG draw"},
+      {"lrand48", "PRNG draw"},
+      {"getenv", "environment read"},
+  };
+  return names;
+}
+
+/// Constructs the transformer cannot preserve across a restart (CK005).
+const std::map<std::string, const char*>& unsupported_calls() {
+  static const std::map<std::string, const char*> names = {
+      {"setjmp", "saves a stack context a restarted process cannot revive"},
+      {"_setjmp", "saves a stack context a restarted process cannot revive"},
+      {"sigsetjmp",
+       "saves a stack context a restarted process cannot revive"},
+      {"longjmp", "jumps through a stack context recovery invalidates"},
+      {"siglongjmp", "jumps through a stack context recovery invalidates"},
+      {"alloca", "allocates frame memory the VDS cannot describe"},
+  };
+  return names;
+}
+
+// ---------------------------------------------------------- suppressions
+
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+/// Scan raw source text for `ccift-ok: CKxxx[, CKyyy...]` annotations.
+/// Works on the text, not the token stream, so it also applies to files
+/// the parser rejects.
+SuppressionMap scan_suppressions(const std::string& text) {
+  SuppressionMap out;
+  int line = 1;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t eol = text.find('\n', start);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string row = text.substr(start, eol - start);
+    std::size_t at = row.find("ccift-ok");
+    while (at != std::string::npos) {
+      std::size_t p = at + 8;  // past "ccift-ok"
+      if (p < row.size() && row[p] == ':') ++p;
+      for (;;) {
+        while (p < row.size() &&
+               (row[p] == ' ' || row[p] == '\t' || row[p] == ',')) {
+          ++p;
+        }
+        if (p + 2 >= row.size() || row[p] != 'C' || row[p + 1] != 'K' ||
+            !std::isdigit(static_cast<unsigned char>(row[p + 2]))) {
+          break;
+        }
+        std::size_t q = p + 2;
+        while (q < row.size() &&
+               std::isdigit(static_cast<unsigned char>(row[q]))) {
+          ++q;
+        }
+        out[line].insert(row.substr(p, q - p));
+        p = q;
+      }
+      at = row.find("ccift-ok", at + 8);
+    }
+    start = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+bool is_suppressed(const SuppressionMap& supp, const std::string& id,
+                   int line) {
+  for (int probe : {line, line - 1}) {
+    auto it = supp.find(probe);
+    if (it != supp.end() && it->second.count(id) != 0) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ AST helpers
+
+void walk_expr(const Expr* e, const std::function<void(const Expr&)>& fn) {
+  if (e == nullptr) return;
+  fn(*e);
+  walk_expr(e->lhs.get(), fn);
+  walk_expr(e->rhs.get(), fn);
+  for (const auto& a : e->args) walk_expr(a.get(), fn);
+}
+
+const Expr* strip_parens(const Expr* e) {
+  while (e != nullptr && e->kind == ExprKind::kParen) e = e->lhs.get();
+  return e;
+}
+
+/// Resolve an lvalue chain (x, x[i], x.f, (*p).f ...) to its base, noting
+/// whether the chain passes through a pointer dereference.
+const Expr* lvalue_base(const Expr* e, bool* through_deref) {
+  e = strip_parens(e);
+  while (e != nullptr) {
+    if (e->kind == ExprKind::kIndex) {
+      e = strip_parens(e->lhs.get());
+    } else if (e->kind == ExprKind::kMember) {
+      if (e->text == "->" && through_deref != nullptr) *through_deref = true;
+      e = strip_parens(e->lhs.get());
+    } else if (e->kind == ExprKind::kUnary && e->text == "*") {
+      if (through_deref != nullptr) *through_deref = true;
+      e = strip_parens(e->lhs.get());
+    } else {
+      break;
+    }
+  }
+  return e;
+}
+
+/// True if no identifier or call appears in `e` (a compile-time-constant
+/// step for the CK001 boundedness heuristic).
+bool is_constant_expr(const Expr& e) {
+  bool constant = true;
+  walk_expr(&e, [&](const Expr& node) {
+    if (node.kind == ExprKind::kIdentifier || node.kind == ExprKind::kCall) {
+      constant = false;
+    }
+  });
+  return constant;
+}
+
+/// Variables the loop updates by a constant step each iteration
+/// (i++, i += 2, i = i + 1, ...): the induction candidates.
+std::set<std::string> constant_step_vars(const Stmt& loop) {
+  std::set<std::string> updated;
+  auto base_name = [](const Expr* e) -> std::string {
+    e = strip_parens(e);
+    if (e != nullptr && e->kind == ExprKind::kIdentifier) return e->text;
+    return "";
+  };
+  for_each_expr(&loop, [&](const Expr& e) {
+    if ((e.kind == ExprKind::kUnary || e.kind == ExprKind::kPostfix) &&
+        (e.text == "++" || e.text == "--")) {
+      const std::string name = base_name(e.lhs.get());
+      if (!name.empty()) updated.insert(name);
+      return;
+    }
+    if (e.kind != ExprKind::kBinary) return;
+    if (e.text == "+=" || e.text == "-=") {
+      const std::string name = base_name(e.lhs.get());
+      if (!name.empty() && e.rhs && is_constant_expr(*e.rhs)) {
+        updated.insert(name);
+      }
+      return;
+    }
+    if (e.text == "=") {
+      // i = i + c / i = i - c / i = c + i
+      const std::string name = base_name(e.lhs.get());
+      const Expr* rhs = strip_parens(e.rhs.get());
+      if (name.empty() || rhs == nullptr || rhs->kind != ExprKind::kBinary ||
+          (rhs->text != "+" && rhs->text != "-")) {
+        return;
+      }
+      const Expr* a = strip_parens(rhs->lhs.get());
+      const Expr* b = strip_parens(rhs->rhs.get());
+      if (a != nullptr && a->kind == ExprKind::kIdentifier &&
+          a->text == name && b != nullptr && is_constant_expr(*b)) {
+        updated.insert(name);
+      } else if (rhs->text == "+" && b != nullptr &&
+                 b->kind == ExprKind::kIdentifier && b->text == name &&
+                 a != nullptr && is_constant_expr(*a)) {
+        updated.insert(name);
+      }
+    }
+  });
+  return updated;
+}
+
+/// CK001 boundedness heuristic: the loop condition compares a variable the
+/// loop advances by a constant step. Conservative -- convergence loops
+/// (`while (err > tol)` with multiplicative updates) and `while (1)` /
+/// `for (;;)` count as unbounded.
+bool loop_statically_bounded(const Stmt& loop) {
+  const Expr* cond = loop.kind == StmtKind::kWhile ? loop.expr.get()
+                                                   : loop.cond.get();
+  cond = strip_parens(cond);
+  if (cond == nullptr) return false;                   // for (;;)
+  if (cond->kind == ExprKind::kLiteral) return cond->text == "0";
+  const std::set<std::string> updated = constant_step_vars(loop);
+  if (updated.empty()) return false;
+  bool bounded = false;
+  walk_expr(cond, [&](const Expr& e) {
+    if (e.kind != ExprKind::kBinary) return;
+    if (e.text != "<" && e.text != "<=" && e.text != ">" && e.text != ">=" &&
+        e.text != "!=") {
+      return;
+    }
+    walk_expr(&e, [&](const Expr& node) {
+      if (node.kind == ExprKind::kIdentifier &&
+          updated.count(node.text) != 0) {
+        bounded = true;
+      }
+    });
+  });
+  return bounded;
+}
+
+/// True if any array dimension is not a compile-time constant (VLA).
+bool has_variable_dim(const Declarator& d) {
+  for (const auto& dim : d.array_dims) {
+    if (dim.empty()) return true;  // int a[]; no size the VDS could push
+    bool variable = false;
+    try {
+      for (const Token& t : lex(dim)) {
+        if (t.kind == TokenKind::kIdentifier ||
+            t.kind == TokenKind::kKeyword) {
+          variable = true;
+        }
+      }
+    } catch (const std::exception&) {
+      variable = true;
+    }
+    if (variable) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ the checker
+
+struct ParsedUnit {
+  std::size_t input_index = 0;
+  std::string path;
+  TranslationUnit unit;
+  SuppressionMap suppressions;
+};
+
+struct GlobalInfo {
+  bool defined = false;
+  bool extern_decl = false;
+  bool is_const = false;
+};
+
+class Checker {
+ public:
+  Checker(std::vector<ParsedUnit>& units, const CheckOptions& options,
+          std::vector<Finding>& findings)
+      : units_(units), findings_(findings) {
+    std::vector<const TranslationUnit*> views;
+    views.reserve(units.size());
+    for (const auto& u : units_) views.push_back(&u.unit);
+    program_ = options.mpi_facade ? analyze_program(views, mpi_checkpoint_sites())
+                                  : analyze_program(views);
+    for (const auto& u : units_) {
+      for (const auto& g : u.unit.globals) {
+        GlobalInfo& info = globals_[g.decl.name];
+        if (g.storage == StorageClass::kExtern) {
+          info.extern_decl = true;
+        } else {
+          info.defined = true;
+        }
+        if (g.is_const) info.is_const = true;
+      }
+    }
+  }
+
+  void run() {
+    for (const auto& u : units_) {
+      for (const auto& fn : u.unit.functions) {
+        if (fn.body) check_function(u, fn);
+      }
+    }
+    check_main_reachability();
+  }
+
+ private:
+  bool in_scope(const std::string& fn) const {
+    // With a main in view, dead functions neither run nor roll back; in a
+    // partial program (library units) everything is fair game.
+    return !program_.has_main || program_.reachable_from_main.count(fn) != 0;
+  }
+  bool is_checkpointable(const std::string& fn) const {
+    return program_.checkpointable.count(fn) != 0;
+  }
+
+  void add(const ParsedUnit& u, const std::string& id, CheckSeverity sev,
+           int line, std::string message) {
+    Finding f;
+    f.id = id;
+    f.severity = sev;
+    f.file = u.path;
+    f.line = line;
+    f.message = std::move(message);
+    f.suppressed = is_suppressed(u.suppressions, id, line);
+    findings_.push_back(std::move(f));
+  }
+
+  void check_function(const ParsedUnit& u, const Function& fn) {
+    const bool ckpt = is_checkpointable(fn.name);
+    const bool scoped = in_scope(fn.name);
+
+    std::set<std::string> locals;
+    for (const auto& p : fn.params) locals.insert(p.name);
+    for_each_stmt(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind != StmtKind::kDecl) return;
+      for (const auto& d : s.decls) locals.insert(d.name);
+    });
+
+    check_calls(u, fn, ckpt, scoped, locals);
+    check_constructs(u, fn, ckpt);
+    if (scoped) check_loops(u, fn);
+    if (ckpt) check_escapes(u, fn, locals);
+    if (ckpt) note_extern_uses(u, fn, locals);
+  }
+
+  // CK003 (nondeterminism) + CK005 (unsupported library calls).
+  void check_calls(const ParsedUnit& u, const Function& fn, bool ckpt,
+                   bool scoped, const std::set<std::string>& locals) {
+    for_each_expr(fn.body.get(), [&](const Expr& e) {
+      if (e.kind != ExprKind::kCall) return;
+      auto nd = nondet_calls().find(e.text);
+      if (nd != nondet_calls().end() && locals.count(e.text) == 0) {
+        const CheckSeverity sev = (ckpt || scoped) ? CheckSeverity::kError
+                                                   : CheckSeverity::kWarning;
+        add(u, "CK003", sev, e.line,
+            "call to '" + e.text + "' (" + nd->second +
+                ") is a nondeterminism source outside the logged nondet "
+                "path; replay after recovery will diverge -- route it "
+                "through the nondet API (e.g. MPI_Wtime) in '" +
+                fn.name + "'");
+      }
+      auto un = unsupported_calls().find(e.text);
+      if (un != unsupported_calls().end()) {
+        add(u, "CK005", CheckSeverity::kError, e.line,
+            "call to '" + e.text + "' in '" + fn.name + "': " + un->second);
+      }
+    });
+  }
+
+  // CK005 (goto / computed goto / VLA) + CK006 (static locals).
+  void check_constructs(const ParsedUnit& u, const Function& fn, bool ckpt) {
+    for_each_stmt(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind == StmtKind::kGoto) {
+        if (s.expr) {
+          add(u, "CK005", CheckSeverity::kError, s.line,
+              "computed goto in '" + fn.name +
+                  "': the restart dispatch cannot reconstruct an indirect "
+                  "jump target");
+        } else if (ckpt) {
+          add(u, "CK005", CheckSeverity::kError, s.line,
+              "goto '" + s.text + "' in checkpointable function '" +
+                  fn.name +
+                  "': control flow that bypasses the position-stack "
+                  "instrumentation cannot be resumed");
+        }
+        return;
+      }
+      if (s.kind != StmtKind::kDecl) return;
+      if (s.storage == StorageClass::kStatic) {
+        for (const auto& d : s.decls) {
+          if (ckpt) {
+            add(u, "CK006", CheckSeverity::kError, s.line,
+                "static local '" + d.name + "' in checkpointable function '" +
+                    fn.name +
+                    "' is neither VDS-saved nor registered; hoist it to a "
+                    "file-scope global so ccift registers it");
+          } else {
+            add(u, "CK006", CheckSeverity::kWarning, s.line,
+                "static local '" + d.name + "' in '" + fn.name +
+                    "' persists across checkpoints but is never saved");
+          }
+        }
+      }
+      if (ckpt) {
+        for (const auto& d : s.decls) {
+          if (has_variable_dim(d)) {
+            add(u, "CK005", CheckSeverity::kError, s.line,
+                "variable-length array '" + d.name +
+                    "' captured across a checkpoint site in '" + fn.name +
+                    "': the rebuilt frame's descriptor size depends on "
+                    "pre-dispatch state");
+          }
+        }
+      }
+    });
+  }
+
+  // CK001: loops that can run unboundedly without crossing a checkpoint.
+  void check_loops(const ParsedUnit& u, const Function& fn) {
+    for_each_stmt(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind != StmtKind::kWhile && s.kind != StmtKind::kFor) return;
+      bool crosses = false;
+      for_each_expr(&s, [&](const Expr& e) {
+        if (e.kind == ExprKind::kCall &&
+            program_.checkpointable.count(e.text) != 0) {
+          crosses = true;
+        }
+      });
+      if (crosses) return;
+      if (loop_statically_bounded(s)) return;
+      add(u, "CK001", CheckSeverity::kError, s.line,
+          "loop in '" + fn.name +
+              "' can run unboundedly without crossing a checkpoint site; "
+              "a failure rolls back arbitrarily far (add a "
+              "potentialCheckpoint() in the loop or bound it)");
+    });
+  }
+
+  // CK004: address of a local stored to heap/global across a checkpoint.
+  void check_escapes(const ParsedUnit& u, const Function& fn,
+                     const std::set<std::string>& locals) {
+    auto local_addr_in = [&](const Expr* e) -> std::string {
+      std::string found;
+      walk_expr(e, [&](const Expr& node) {
+        if (!found.empty()) return;
+        if (node.kind != ExprKind::kUnary || node.text != "&") return;
+        const Expr* base = lvalue_base(node.lhs.get(), nullptr);
+        if (base != nullptr && base->kind == ExprKind::kIdentifier &&
+            locals.count(base->text) != 0) {
+          found = base->text;
+        }
+      });
+      return found;
+    };
+    for_each_expr(fn.body.get(), [&](const Expr& e) {
+      if (e.kind != ExprKind::kBinary || e.text != "=") return;
+      const std::string local = local_addr_in(e.rhs.get());
+      if (local.empty()) return;
+      bool deref = false;
+      const Expr* base = lvalue_base(e.lhs.get(), &deref);
+      const bool to_global = base != nullptr &&
+                             base->kind == ExprKind::kIdentifier &&
+                             locals.count(base->text) == 0 &&
+                             globals_.count(base->text) != 0;
+      if (!deref && !to_global) return;
+      add(u, "CK004", CheckSeverity::kError, e.line,
+          "address of local '" + local + "' escapes " +
+              (to_global ? "to global '" + base->text + "'"
+                         : std::string("through a pointer store")) +
+              " across a potential checkpoint site in '" + fn.name +
+              "'; the VDS rebuilds the frame elsewhere on restart, leaving "
+              "the stored pointer dangling");
+    });
+    for_each_stmt(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind != StmtKind::kReturn || !s.expr) return;
+      const std::string local = local_addr_in(s.expr.get());
+      if (local.empty()) return;
+      add(u, "CK004", CheckSeverity::kError, s.line,
+          "address of local '" + local + "' returned from checkpointable "
+          "function '" + fn.name + "' dangles after a restart rebuilds the "
+          "frame");
+    });
+  }
+
+  // CK002: record uses of extern-only globals inside checkpointed code.
+  void note_extern_uses(const ParsedUnit& u, const Function& fn,
+                        const std::set<std::string>& locals) {
+    for_each_expr(fn.body.get(), [&](const Expr& e) {
+      if (e.kind != ExprKind::kIdentifier) return;
+      if (locals.count(e.text) != 0) return;
+      auto it = globals_.find(e.text);
+      if (it == globals_.end()) return;
+      const GlobalInfo& info = it->second;
+      if (info.defined || !info.extern_decl || info.is_const) return;
+      auto& use = first_extern_use_[e.text];
+      if (use.first == nullptr || (use.first == &u && e.line < use.second)) {
+        use = {&u, e.line};
+      }
+    });
+  }
+
+  void check_main_reachability() {
+    // Emit CK002 findings gathered across all units.
+    for (const auto& [name, use] : first_extern_use_) {
+      const ParsedUnit& u = *use.first;
+      Finding f;
+      f.id = "CK002";
+      f.severity = CheckSeverity::kError;
+      f.file = u.path;
+      f.line = use.second;
+      f.message =
+          "mutable global '" + name +
+          "' is declared extern but defined in no analyzed unit, yet "
+          "checkpointed code references it; its bytes are never registered "
+          "with the checkpointer (pass the defining file to ccift --check, "
+          "or register it explicitly)";
+      f.suppressed = is_suppressed(u.suppressions, f.id, f.line);
+      findings_.push_back(std::move(f));
+    }
+
+    // CK007: a main that never reaches a checkpoint site.
+    if (!program_.has_main || is_checkpointable("main")) return;
+    for (const auto& u : units_) {
+      for (const auto& fn : u.unit.functions) {
+        if (fn.name != "main" || !fn.body) continue;
+        add(u, "CK007", CheckSeverity::kWarning, fn.line,
+            "no checkpoint site is reachable from main: the program never "
+            "checkpoints and a failure restarts it from the beginning");
+        return;
+      }
+    }
+  }
+
+  std::vector<ParsedUnit>& units_;
+  std::vector<Finding>& findings_;
+  ProgramAnalysis program_;
+  std::map<std::string, GlobalInfo> globals_;
+  std::map<std::string, std::pair<const ParsedUnit*, int>> first_extern_use_;
+};
+
+// ----------------------------------------------------- lexical fallback
+
+/// Token-level scan for files outside the ccift C subset (the C++ examples
+/// and apps): covers the call-based checks only. `prev` guards against
+/// member calls (`obj.rand(...)` is not libc rand).
+void lexical_scan(const CheckInput& input, const SuppressionMap& supp,
+                  std::vector<Finding>& findings) {
+  std::vector<Token> tokens;
+  try {
+    tokens = lex(input.text);
+  } catch (const std::exception&) {
+    // Fall back to a raw text scan: find `name (` with a word boundary.
+    int line = 1;
+    std::size_t start = 0;
+    const std::string& text = input.text;
+    while (start <= text.size()) {
+      std::size_t eol = text.find('\n', start);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string row = text.substr(start, eol - start);
+      auto scan_set = [&](const auto& catalog, const char* id,
+                          const char* what) {
+        for (const auto& [name, detail] : catalog) {
+          std::size_t at = row.find(name);
+          while (at != std::string::npos) {
+            const bool lb =
+                at == 0 ||
+                (!std::isalnum(static_cast<unsigned char>(row[at - 1])) &&
+                 row[at - 1] != '_' && row[at - 1] != '.' &&
+                 row[at - 1] != '>');
+            std::size_t after = at + name.size();
+            while (after < row.size() && row[after] == ' ') ++after;
+            if (lb && after < row.size() && row[after] == '(') {
+              Finding f;
+              f.id = id;
+              f.severity = CheckSeverity::kError;
+              f.file = input.path;
+              f.line = line;
+              f.message = std::string("call to '") + name + "' (" + detail +
+                          "): " + what;
+              f.suppressed = is_suppressed(supp, f.id, line);
+              findings.push_back(std::move(f));
+            }
+            at = row.find(name, at + 1);
+          }
+        }
+      };
+      scan_set(nondet_calls(), "CK003",
+               "nondeterminism source outside the logged nondet path");
+      scan_set(unsupported_calls(), "CK005",
+               "unsupported across checkpoint/restart");
+      start = eol + 1;
+      ++line;
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (!t.is_ident() || !tokens[i + 1].is_punct("(")) continue;
+    if (i > 0 && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("->"))) {
+      continue;  // member call, not the libc symbol
+    }
+    auto emit = [&](const char* id, const std::string& detail) {
+      Finding f;
+      f.id = id;
+      f.severity = CheckSeverity::kError;
+      f.file = input.path;
+      f.line = t.line;
+      f.message = detail;
+      f.suppressed = is_suppressed(supp, f.id, t.line);
+      findings.push_back(std::move(f));
+    };
+    auto nd = nondet_calls().find(t.text);
+    if (nd != nondet_calls().end()) {
+      emit("CK003", "call to '" + t.text + "' (" + nd->second +
+                        ") is a nondeterminism source outside the logged "
+                        "nondet path; replay after recovery will diverge");
+    }
+    auto un = unsupported_calls().find(t.text);
+    if (un != unsupported_calls().end()) {
+      emit("CK005", "call to '" + t.text + "': " + un->second);
+    }
+  }
+}
+
+// ------------------------------------------------------------- reporting
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* severity_name(CheckSeverity s) {
+  return s == CheckSeverity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+std::size_t CheckReport::unsuppressed_errors() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (!f.suppressed && f.severity == CheckSeverity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t CheckReport::unsuppressed_warnings() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (!f.suppressed && f.severity == CheckSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::size_t CheckReport::suppressed() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) ++n;
+  }
+  return n;
+}
+
+std::string CheckReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"ccift --check\",\n  \"files\": [\n";
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& f = files[i];
+    out << "    {\"path\": \"" << json_escape(f.path) << "\", \"mode\": \""
+        << json_escape(f.mode) << "\"";
+    if (!f.note.empty()) out << ", \"note\": \"" << json_escape(f.note) << "\"";
+    out << "}" << (i + 1 < files.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    out << "    {\"id\": \"" << f.id << "\", \"severity\": \""
+        << severity_name(f.severity) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"message\": \"" << json_escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"counts\": {\"total\": " << findings.size()
+      << ", \"suppressed\": " << suppressed()
+      << ", \"unsuppressed_errors\": " << unsuppressed_errors()
+      << ", \"unsuppressed_warnings\": " << unsuppressed_warnings()
+      << "}\n}\n";
+  return out.str();
+}
+
+std::string CheckReport::to_text() const {
+  std::ostringstream out;
+  for (const auto& f : findings) {
+    out << f.file << ":" << f.line << ": " << severity_name(f.severity)
+        << ": " << f.message << " [" << f.id << "]";
+    if (f.suppressed) out << " (suppressed)";
+    out << "\n";
+  }
+  out << "ccift --check: " << unsuppressed_errors() << " error(s), "
+      << unsuppressed_warnings() << " warning(s), " << suppressed()
+      << " suppressed across " << files.size() << " file(s)\n";
+  return out.str();
+}
+
+CheckReport run_checks(const std::vector<CheckInput>& inputs,
+                       const CheckOptions& options) {
+  CheckReport report;
+  std::vector<ParsedUnit> parsed;
+  std::map<std::string, std::size_t> order;
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const CheckInput& input = inputs[i];
+    order.emplace(input.path, i);
+    const SuppressionMap supp = scan_suppressions(input.text);
+    try {
+      TranslationUnit unit = options.mpi_facade
+                                 ? parse(input.text, mpi_opaque_types())
+                                 : parse(input.text);
+      ParsedUnit pu;
+      pu.input_index = i;
+      pu.path = input.path;
+      pu.unit = std::move(unit);
+      pu.suppressions = supp;
+      parsed.push_back(std::move(pu));
+      report.files.push_back({input.path, "ast", ""});
+    } catch (const std::exception& e) {
+      report.files.push_back({input.path, "lexical", e.what()});
+      lexical_scan(input, supp, report.findings);
+    }
+  }
+
+  if (!parsed.empty()) {
+    Checker checker(parsed, options, report.findings);
+    checker.run();
+  }
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [&](const Finding& a, const Finding& b) {
+                     const std::size_t ia = order.at(a.file);
+                     const std::size_t ib = order.at(b.file);
+                     if (ia != ib) return ia < ib;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.id < b.id;
+                   });
+  return report;
+}
+
+}  // namespace c3::ccift

@@ -1,0 +1,93 @@
+// ccift --check: whole-program checkpoint-safety analysis.
+//
+// The paper's precompiler is trusted to decide what state must be saved and
+// where checkpoints may be taken; a program it cannot handle must be
+// *diagnosed*, not silently mis-transformed. run_checks() takes one or more
+// translation units (the whole program, the way Section 5.1.2 assumes the
+// precompiler sees every source file at once) and reports violations of the
+// checkpoint-safety rules as stable, suppressible findings:
+//
+//   CK001  a loop reachable from main can run unboundedly without crossing
+//          a checkpoint site (no bound on rollback work after a failure);
+//   CK002  a mutable global declared extern is defined in no analyzed unit,
+//          yet checkpointed code references it -- its bytes are never
+//          registered, so recovery restores a program whose global state
+//          silently diverges;
+//   CK003  a nondeterminism source (time, clock, rand, getenv,
+//          gettimeofday, ...) is called outside the logged nondet path;
+//          replay after recovery will not reproduce the pre-failure run;
+//   CK004  the address of a local escapes to a global or through a pointer
+//          across a potential checkpoint site -- the VDS rebuilds the frame
+//          at a new address on restart, leaving the stored pointer dangling;
+//   CK005  an unsupported C construct the transformer would mis-handle
+//          (setjmp/longjmp, alloca, goto at a checkpoint site, computed
+//          goto, VLA captured across a checkpoint);
+//   CK006  a static local in a checkpointable function: neither VDS-saved
+//          (it is not an automatic) nor registered (it is not a global);
+//   CK007  main cannot reach any checkpoint site at all -- the program is
+//          never checkpointed (warning).
+//
+// A finding on line L is suppressed by a `// ccift-ok: CKxxx` comment on
+// line L or L-1. Files outside the ccift C subset (the C++ examples) are
+// degraded to a token-level scan covering the call-based checks (CK003,
+// CK005) and recorded as such in the report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace c3::ccift {
+
+enum class CheckSeverity { kWarning, kError };
+
+struct Finding {
+  std::string id;        // "CK001" ... stable across releases
+  CheckSeverity severity = CheckSeverity::kError;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+};
+
+/// How deeply one input file was analyzed.
+struct CheckedFile {
+  std::string path;
+  /// "ast": full whole-program analysis; "lexical": token-level scan only
+  /// (the file is outside the ccift C subset); the note says why.
+  std::string mode;
+  std::string note;
+};
+
+struct CheckOptions {
+  /// Treat the c3mpi blocking entry points as checkpoint sites and the MPI
+  /// opaque typedefs as base types (mirrors `ccift --mpi`).
+  bool mpi_facade = false;
+};
+
+struct CheckInput {
+  std::string path;  // used in diagnostics; need not exist on disk
+  std::string text;
+};
+
+struct CheckReport {
+  std::vector<CheckedFile> files;
+  /// Ordered by (input order, line, id). Suppressed findings are kept so
+  /// the JSON records what was waived.
+  std::vector<Finding> findings;
+
+  std::size_t unsuppressed_errors() const;
+  std::size_t unsuppressed_warnings() const;
+  std::size_t suppressed() const;
+
+  /// Machine-readable report (scripts/check_lint.py consumes this).
+  std::string to_json() const;
+  /// Compiler-style diagnostics: `file:line: severity: message [CKxxx]`.
+  std::string to_text() const;
+};
+
+/// Analyze the program formed by `inputs` as a whole.
+CheckReport run_checks(const std::vector<CheckInput>& inputs,
+                       const CheckOptions& options = {});
+
+}  // namespace c3::ccift

@@ -14,6 +14,18 @@ std::string emit_declarator(const std::string& base, const Declarator& d) {
   return out;
 }
 
+std::string storage_prefix(StorageClass storage) {
+  switch (storage) {
+    case StorageClass::kStatic:
+      return "static ";
+    case StorageClass::kExtern:
+      return "extern ";
+    case StorageClass::kNone:
+      break;
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string emit_expr(const Expr& e) {
@@ -63,9 +75,11 @@ std::string emit_stmt(const Stmt& s, int indent) {
       break;
     case StmtKind::kDecl: {
       out << pad(indent);
+      const std::string base =
+          storage_prefix(s.storage) + (s.is_const ? "const " : "") + s.text;
       for (std::size_t i = 0; i < s.decls.size(); ++i) {
         if (i > 0) out << "; ";
-        out << emit_declarator(s.text, s.decls[i]);
+        out << emit_declarator(base, s.decls[i]);
       }
       out << ";\n";
       break;
@@ -115,6 +129,19 @@ std::string emit_stmt(const Stmt& s, int indent) {
     case StmtKind::kContinue:
       out << pad(indent) << "continue;\n";
       break;
+    case StmtKind::kGoto:
+      out << pad(indent) << "goto ";
+      if (s.expr) {
+        out << "*" << emit_expr(*s.expr);
+      } else {
+        out << s.text;
+      }
+      out << ";\n";
+      break;
+    case StmtKind::kLabel:
+      // The trailing ';' keeps a label legal even when it closes a block.
+      out << pad(indent) << s.text << ": ;\n";
+      break;
     case StmtKind::kRaw:
       out << s.text << "\n";
       break;
@@ -131,12 +158,14 @@ std::string emit_unit(const TranslationUnit& unit) {
         break;
       case TranslationUnit::Item::Kind::kGlobal: {
         const auto& g = unit.globals[item.index];
-        out << emit_declarator(g.type, g.decl) << ";\n";
+        out << storage_prefix(g.storage) << (g.is_const ? "const " : "")
+            << emit_declarator(g.type, g.decl) << ";\n";
         break;
       }
       case TranslationUnit::Item::Kind::kFunction: {
         const auto& fn = unit.functions[item.index];
-        out << fn.return_type << " " << fn.name << "(";
+        out << storage_prefix(fn.storage) << fn.return_type << " " << fn.name
+            << "(";
         if (fn.params.empty()) {
           out << "void";
         } else {

@@ -6,10 +6,14 @@
 namespace c3::ccift {
 namespace {
 
-const std::array<const char*, 17> kKeywords = {
+const std::array<const char*, 21> kKeywords = {
     "int",    "double", "float",  "char",   "void",   "long",
     "short",  "unsigned", "signed", "if",    "else",   "while",
-    "for",    "return", "break",  "continue", "sizeof"};
+    "for",    "return", "break",  "continue", "sizeof",
+    // Storage classes / qualifiers / jumps: recognized so the checker can
+    // diagnose them precisely instead of the parser tripping over an
+    // "identifier" with a confusing expected-';' error.
+    "static", "extern", "const",  "goto"};
 
 bool is_keyword(const std::string& s) {
   for (const char* k : kKeywords) {

@@ -71,23 +71,59 @@ class Parser {
     if (!accept_punct(p)) fail(std::string("expected '") + p + "'");
   }
 
+  static bool is_type_keyword(const std::string& t) {
+    return t == "int" || t == "double" || t == "float" || t == "char" ||
+           t == "void" || t == "long" || t == "short" || t == "unsigned" ||
+           t == "signed";
+  }
+
   bool looking_at_type() const {
     const Token& t = peek();
     if (t.is_ident() && extra_types_.count(t.text) != 0) return true;
     if (t.kind != TokenKind::kKeyword) return false;
-    return t.text == "int" || t.text == "double" || t.text == "float" ||
-           t.text == "char" || t.text == "void" || t.text == "long" ||
-           t.text == "short" || t.text == "unsigned" || t.text == "signed";
+    return is_type_keyword(t.text) || t.text == "const" ||
+           t.text == "static" || t.text == "extern";
   }
 
-  /// Consume a base type: one or more type keywords (e.g. "unsigned long"),
-  /// or a single registered typedef name.
+  /// Consume leading storage-class specifiers and const qualifiers ahead
+  /// of a declaration's base type.
+  void parse_decl_prefix(StorageClass& storage, bool& is_const) {
+    for (;;) {
+      if (peek().is_keyword("static")) {
+        storage = StorageClass::kStatic;
+        next();
+      } else if (peek().is_keyword("extern")) {
+        storage = StorageClass::kExtern;
+        next();
+      } else if (peek().is_keyword("const")) {
+        is_const = true;
+        next();
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Consume a base type: one or more type keywords (e.g. "unsigned long",
+  /// interleaved const qualifiers included), or a registered typedef name
+  /// (optionally const-qualified).
   std::string parse_base_type() {
-    if (!looking_at_type()) fail("expected a type");
-    std::string type = next().text;
-    if (extra_types_.count(type) != 0) return type;
-    while (looking_at_type() && peek().kind == TokenKind::kKeyword) {
-      type += " " + next().text;
+    std::string type;
+    auto append = [&](const std::string& word) {
+      if (!type.empty()) type += " ";
+      type += word;
+    };
+    while (peek().is_keyword("const")) append(next().text);
+    if (peek().is_ident() && extra_types_.count(peek().text) != 0) {
+      append(next().text);
+      return type;
+    }
+    if (peek().kind != TokenKind::kKeyword || !is_type_keyword(peek().text)) {
+      fail("expected a type");
+    }
+    while (peek().kind == TokenKind::kKeyword &&
+           (is_type_keyword(peek().text) || peek().is_keyword("const"))) {
+      append(next().text);
     }
     return type;
   }
@@ -103,6 +139,9 @@ class Parser {
   // ------------------------------------------------------------ top level
   void parse_top_level(TranslationUnit& unit) {
     const int line = peek().line;
+    StorageClass storage = StorageClass::kNone;
+    bool is_const = false;
+    parse_decl_prefix(storage, is_const);
     std::string type = parse_base_type();
     // Pointer stars attach to the declarator (variables) or to the return
     // type (functions); decide below once we see '(' or not.
@@ -114,6 +153,7 @@ class Parser {
       Function fn;
       fn.return_type = stars.empty() ? type : type + " " + stars;
       fn.name = name;
+      fn.storage = storage;
       fn.line = line;
       parse_params(fn);
       if (accept_punct(";")) {
@@ -132,6 +172,8 @@ class Parser {
       GlobalVar g;
       g.type = type;
       g.line = line;
+      g.storage = storage;
+      g.is_const = is_const;
       g.decl.pointer = stars;
       g.decl.name = name;
       parse_array_dims(g.decl.array_dims);
@@ -293,6 +335,30 @@ class Parser {
       s->line = line;
       return s;
     }
+    if (peek().is_keyword("goto")) {
+      next();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kGoto;
+      s->line = line;
+      if (accept_punct("*")) {
+        // Computed goto (GNU extension): keep the target expression so the
+        // checker can name it; the transformer rejects it outright.
+        s->expr = parse_expression();
+      } else {
+        if (!peek().is_ident()) fail("expected a label after goto");
+        s->text = next().text;
+      }
+      expect_punct(";");
+      return s;
+    }
+    if (peek().is_ident() && peek(1).is_punct(":")) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kLabel;
+      s->text = next().text;
+      next();  // ':'
+      s->line = line;
+      return s;
+    }
     // Expression statement (possibly empty).
     auto s = expr_statement_no_semi();
     expect_punct(";");
@@ -317,6 +383,7 @@ class Parser {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kDecl;
     s->line = peek().line;
+    parse_decl_prefix(s->storage, s->is_const);
     s->text = parse_base_type();
     for (;;) {
       Declarator d;

@@ -522,6 +522,30 @@ void transform(TranslationUnit& unit, const TransformOptions& options) {
     }
   }
 
+  // Hard diagnostics before any rewriting: constructs the instrumentation
+  // would silently mis-handle are errors, tagged with the same stable IDs
+  // `ccift --check` reports (the CLI runs the full checker first; this is
+  // the backstop for direct API use).
+  for (const auto& fn : unit.functions) {
+    if (!fn.body || analysis.checkpointable.count(fn.name) == 0) continue;
+    for_each_stmt(fn.body.get(), [&](const Stmt& s) {
+      if (s.kind == StmtKind::kDecl && s.storage == StorageClass::kStatic) {
+        throw util::UsageError(
+            "ccift: [CK006] static local '" + s.decls.front().name +
+            "' in checkpointable function '" + fn.name + "' (line " +
+            std::to_string(s.line) +
+            ") is neither VDS-saved nor registered; hoist it to file scope");
+      }
+      if (s.kind == StmtKind::kGoto) {
+        throw util::UsageError(
+            "ccift: [CK005] goto in checkpointable function '" + fn.name +
+            "' (line " + std::to_string(s.line) +
+            ") bypasses the position-stack instrumentation and cannot be "
+            "resumed");
+      }
+    });
+  }
+
   for (auto& fn : unit.functions) {
     if (analysis.checkpointable.count(fn.name) == 0) continue;
     FunctionTransformer transformer(fn, analysis, return_types, options);
@@ -535,6 +559,10 @@ void transform(TranslationUnit& unit, const TransformOptions& options) {
     reg.body = std::make_unique<Stmt>();
     reg.body->kind = StmtKind::kBlock;
     for (const auto& g : unit.globals) {
+      // extern declarations are registered by the unit that defines them
+      // (ccift --check's CK002 catches the case where no unit does), and
+      // const globals never change, so recovery has nothing to restore.
+      if (g.storage == StorageClass::kExtern || g.is_const) continue;
       reg.body->body.push_back(
           make_raw("ccift_register_global(\"" + g.decl.name + "\", &" +
                    g.decl.name + ", sizeof(" + g.decl.name + "));"));

@@ -118,7 +118,11 @@ class Reader {
                             std::to_string(remaining()) + " remaining bytes");
     }
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    if (n != 0) {
+      // An empty vector's data() may be null, and memcpy's pointer
+      // arguments are declared nonnull even for zero sizes.
+      std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return v;
   }

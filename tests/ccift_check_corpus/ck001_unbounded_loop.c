@@ -1,0 +1,16 @@
+/* CK001: a convergence loop with no checkpoint site inside it -- a failure
+ * rolls back an unbounded amount of work. */
+double err;
+
+void solve(void) {
+  potentialCheckpoint();
+  while (err > 0.5) {
+    err = err * 0.9;
+  }
+}
+
+int main(void) {
+  err = 100.0;
+  solve();
+  return 0;
+}

@@ -1,0 +1,3 @@
+/* Companion unit for ck002_unregistered_extern.c: defines the global.
+ * Analyzing both files together must clear the CK002 finding. */
+int lost_counter;

@@ -1,0 +1,13 @@
+/* CK002: `lost_counter` is declared extern but defined in no analyzed unit,
+ * yet checkpointed code mutates it -- it is never registered. */
+extern int lost_counter;
+
+void step(void) {
+  potentialCheckpoint();
+  lost_counter = lost_counter + 1;
+}
+
+int main(void) {
+  step();
+  return 0;
+}

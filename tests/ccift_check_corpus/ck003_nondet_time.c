@@ -1,0 +1,13 @@
+/* CK003: a raw clock read in checkpointed code; replay after recovery will
+ * not reproduce the pre-failure value. */
+double t0;
+
+void sample(void) {
+  t0 = (double)clock();
+  potentialCheckpoint();
+}
+
+int main(void) {
+  sample();
+  return 0;
+}

@@ -1,0 +1,15 @@
+/* CK004: the address of a local escapes to a global across a checkpoint
+ * site; the restart rebuilds the frame elsewhere and the pointer dangles. */
+int *saved;
+
+void stash(void) {
+  int local;
+  local = 1;
+  saved = &local;
+  potentialCheckpoint();
+}
+
+int main(void) {
+  stash();
+  return 0;
+}

@@ -1,0 +1,17 @@
+/* CK005: goto in a checkpointable function bypasses the position-stack
+ * instrumentation and cannot be resumed. */
+void retryer(void) {
+  int tries;
+  tries = 0;
+retry:
+  potentialCheckpoint();
+  tries = tries + 1;
+  if (tries < 3) {
+    goto retry;
+  }
+}
+
+int main(void) {
+  retryer();
+  return 0;
+}

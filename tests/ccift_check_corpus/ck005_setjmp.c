@@ -1,0 +1,13 @@
+/* CK005: setjmp saves a stack context a restarted process cannot revive. */
+void handler(void) {
+  potentialCheckpoint();
+}
+
+int main(void) {
+  int code;
+  code = setjmp(0);
+  if (code == 0) {
+    handler();
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+/* CK005: a variable-length array captured across a checkpoint site -- the
+ * rebuilt frame's descriptor size depends on pre-dispatch state. */
+void scratch(int n) {
+  double buf[n];
+  buf[0] = 0.0;
+  potentialCheckpoint();
+}
+
+int main(void) {
+  scratch(4);
+  return 0;
+}

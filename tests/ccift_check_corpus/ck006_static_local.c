@@ -1,0 +1,12 @@
+/* CK006: a static local in a checkpointable function is neither VDS-saved
+ * (not an automatic) nor registered (not a global). */
+void tick(void) {
+  static int calls;
+  calls = calls + 1;
+  potentialCheckpoint();
+}
+
+int main(void) {
+  tick();
+  return 0;
+}

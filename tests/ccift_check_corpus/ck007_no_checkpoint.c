@@ -1,0 +1,11 @@
+/* CK007: the program defines main but no checkpoint site is reachable from
+ * it -- a failure restarts the run from the beginning. */
+int total;
+
+int main(void) {
+  int i;
+  for (i = 0; i < 4; i++) {
+    total = total + i;
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+/* A checkpoint-safe program: every check passes with no suppressions. */
+int iterations;
+
+void work(void) {
+  int i;
+  for (i = 0; i < iterations; i++) {
+    potentialCheckpoint();
+  }
+}
+
+int main(void) {
+  iterations = 10;
+  work();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// A C++ translation unit: outside the ccift C subset, so the checker
+// degrades to the token-level scan and still catches the call-based checks.
+#include <cstdlib>
+
+namespace demo {
+
+class Sampler {
+ public:
+  double draw() { return rand() * scale_; }
+
+ private:
+  double scale_ = 1.0;
+};
+
+}  // namespace demo

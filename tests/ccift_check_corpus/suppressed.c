@@ -1,0 +1,13 @@
+/* A CK003 finding waived with the annotation syntax: the seed is drawn once
+ * at startup and logged by the driver, so replay stays deterministic. */
+double seed;
+
+void init(void) {
+  seed = (double)rand(); /* ccift-ok: CK003 */
+  potentialCheckpoint();
+}
+
+int main(void) {
+  init();
+  return 0;
+}

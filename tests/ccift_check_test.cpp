@@ -1,0 +1,251 @@
+// ccift --check: the violation corpus under tests/ccift_check_corpus/.
+//
+// Each fixture is a small program seeded with exactly one checkpoint-safety
+// violation; the checker must report exactly the intended check ID at the
+// expected line and nothing else. Clean programs and suppressed findings
+// round out the contract scripts/check_lint.py gates CI on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ccift/check.hpp"
+#include "ccift/transform.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using c3::ccift::CheckInput;
+using c3::ccift::CheckOptions;
+using c3::ccift::CheckReport;
+using c3::ccift::CheckSeverity;
+using c3::ccift::Finding;
+using c3::ccift::run_checks;
+
+CheckInput load_fixture(const std::string& name) {
+  const std::string path =
+      std::string(C3_SOURCE_DIR) + "/tests/ccift_check_corpus/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open corpus fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return CheckInput{name, buf.str()};
+}
+
+std::vector<Finding> unsuppressed(const CheckReport& report) {
+  std::vector<Finding> out;
+  for (const auto& f : report.findings) {
+    if (!f.suppressed) out.push_back(f);
+  }
+  return out;
+}
+
+struct CorpusCase {
+  const char* file;
+  const char* id;
+  int line;
+  CheckSeverity severity;
+};
+
+TEST(CciftCheckCorpus, EachFixtureTripsExactlyItsIntendedCheck) {
+  const CorpusCase cases[] = {
+      {"ck001_unbounded_loop.c", "CK001", 7, CheckSeverity::kError},
+      {"ck002_unregistered_extern.c", "CK002", 7, CheckSeverity::kError},
+      {"ck003_nondet_time.c", "CK003", 6, CheckSeverity::kError},
+      {"ck004_escape_local.c", "CK004", 8, CheckSeverity::kError},
+      {"ck005_setjmp.c", "CK005", 8, CheckSeverity::kError},
+      {"ck005_goto.c", "CK005", 10, CheckSeverity::kError},
+      {"ck005_vla.c", "CK005", 4, CheckSeverity::kError},
+      {"ck006_static_local.c", "CK006", 4, CheckSeverity::kError},
+      {"ck007_no_checkpoint.c", "CK007", 5, CheckSeverity::kWarning},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.file);
+    const CheckReport report = run_checks({load_fixture(c.file)});
+    ASSERT_EQ(report.files.size(), 1u);
+    EXPECT_EQ(report.files[0].mode, "ast");
+    const auto live = unsuppressed(report);
+    ASSERT_EQ(live.size(), 1u) << report.to_text();
+    EXPECT_EQ(live[0].id, c.id);
+    EXPECT_EQ(live[0].line, c.line);
+    EXPECT_EQ(live[0].severity, c.severity);
+    EXPECT_EQ(live[0].file, c.file);
+  }
+}
+
+TEST(CciftCheckCorpus, CleanProgramReportsNothing) {
+  const CheckReport report = run_checks({load_fixture("clean.c")});
+  EXPECT_TRUE(report.findings.empty()) << report.to_text();
+  EXPECT_EQ(report.unsuppressed_errors(), 0u);
+  EXPECT_EQ(report.unsuppressed_warnings(), 0u);
+}
+
+TEST(CciftCheckCorpus, SuppressionAnnotationWaivesTheFinding) {
+  const CheckReport report = run_checks({load_fixture("suppressed.c")});
+  // The finding stays in the report (the JSON records what was waived)...
+  ASSERT_EQ(report.findings.size(), 1u) << report.to_text();
+  EXPECT_EQ(report.findings[0].id, "CK003");
+  EXPECT_TRUE(report.findings[0].suppressed);
+  // ...but it no longer gates.
+  EXPECT_EQ(report.unsuppressed_errors(), 0u);
+  EXPECT_EQ(report.suppressed(), 1u);
+}
+
+TEST(CciftCheckCorpus, WholeProgramViewClearsCk002WhenDefinerIsAnalyzed) {
+  // Alone, the extern reference is an unregistered-global error; together
+  // with the unit that defines the global, the program is complete and the
+  // finding disappears (Section 5.1.2: the precompiler sees every file).
+  const CheckReport alone =
+      run_checks({load_fixture("ck002_unregistered_extern.c")});
+  ASSERT_EQ(unsuppressed(alone).size(), 1u);
+  EXPECT_EQ(unsuppressed(alone)[0].id, "CK002");
+
+  const CheckReport whole =
+      run_checks({load_fixture("ck002_unregistered_extern.c"),
+                  load_fixture("ck002_definer.c")});
+  EXPECT_TRUE(whole.findings.empty()) << whole.to_text();
+}
+
+TEST(CciftCheckCorpus, CppFileDegradesToLexicalScanAndStillCatchesCalls) {
+  const CheckReport report =
+      run_checks({load_fixture("lexical_nondet.cpp")});
+  ASSERT_EQ(report.files.size(), 1u);
+  EXPECT_EQ(report.files[0].mode, "lexical");
+  EXPECT_FALSE(report.files[0].note.empty());
+  const auto live = unsuppressed(report);
+  ASSERT_EQ(live.size(), 1u) << report.to_text();
+  EXPECT_EQ(live[0].id, "CK003");
+  EXPECT_EQ(live[0].line, 9);
+}
+
+TEST(CciftCheckReport, JsonCarriesFindingsAndCounts) {
+  const CheckReport report =
+      run_checks({load_fixture("ck006_static_local.c")});
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"id\": \"CK006\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed_errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"ast\""), std::string::npos);
+}
+
+TEST(CciftCheckReport, TextDiagnosticsNameFileLineAndId) {
+  const CheckReport report =
+      run_checks({load_fixture("ck001_unbounded_loop.c")});
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("ck001_unbounded_loop.c:7: error:"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[CK001]"), std::string::npos);
+}
+
+TEST(CciftCheckMpi, MpiFacadeSeedsCheckpointSitesAndOpaqueTypes) {
+  // Under --mpi a loop over MPI_Send crosses a checkpoint site, so the
+  // same program that would be CK001+CK007 without the facade is clean.
+  const std::string src = R"(int rounds;
+void exchange(MPI_Comm comm) {
+  int i;
+  int payload;
+  payload = 0;
+  for (i = 0; i < rounds; i++) {
+    MPI_Send(&payload, 1, MPI_INT, 0, 0, comm);
+  }
+}
+int main(void) {
+  rounds = 4;
+  exchange(0);
+  return 0;
+}
+)";
+  CheckOptions mpi;
+  mpi.mpi_facade = true;
+  const CheckReport with_facade = run_checks({{"prog.c", src}}, mpi);
+  EXPECT_TRUE(with_facade.findings.empty()) << with_facade.to_text();
+}
+
+// Satellite (b): the transformer itself refuses constructs it would
+// mis-handle, with the same stable IDs in the message.
+TEST(CciftTransformDiagnostics, StaticLocalInCheckpointableFunctionIsCk006) {
+  const std::string src = R"(void tick(void) {
+  static int calls;
+  calls = calls + 1;
+  potentialCheckpoint();
+}
+)";
+  try {
+    c3::ccift::transform_source(src);
+    FAIL() << "expected UsageError";
+  } catch (const c3::util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("[CK006]"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("calls"), std::string::npos);
+  }
+}
+
+TEST(CciftTransformDiagnostics, GotoInCheckpointableFunctionIsCk005) {
+  const std::string src = R"(void spin(void) {
+again:
+  potentialCheckpoint();
+  goto again;
+}
+)";
+  try {
+    c3::ccift::transform_source(src);
+    FAIL() << "expected UsageError";
+  } catch (const c3::util::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("[CK005]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CciftTransformDiagnostics, StaticLocalOutsideCheckpointPathIsAllowed) {
+  // A static local in a non-checkpointable helper transforms fine (the
+  // checker still reports it as a CK006 *warning*).
+  const std::string src = R"(int helper(void) {
+  static int memo;
+  memo = memo + 1;
+  return memo;
+}
+void work(void) {
+  int x;
+  x = helper();
+  potentialCheckpoint();
+}
+)";
+  const std::string out = c3::ccift::transform_source(src);
+  EXPECT_NE(out.find("static int memo"), std::string::npos) << out;
+
+  const CheckReport report = run_checks({{"prog.c", src}});
+  bool saw_warning = false;
+  for (const auto& f : report.findings) {
+    if (f.id == "CK006" && f.severity == CheckSeverity::kWarning) {
+      saw_warning = true;
+    }
+  }
+  EXPECT_TRUE(saw_warning) << report.to_text();
+}
+
+TEST(CciftTransformDiagnostics, ExternAndConstGlobalsAreNotRegistered) {
+  const std::string src = R"(extern int remote_total;
+const double scale = 2.0;
+int local_total;
+void work(void) {
+  local_total = local_total + 1;
+  potentialCheckpoint();
+}
+)";
+  const std::string out = c3::ccift::transform_source(src);
+  EXPECT_NE(out.find("ccift_register_global(\"local_total\""),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("ccift_register_global(\"remote_total\""),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("ccift_register_global(\"scale\""), std::string::npos)
+      << out;
+  // The declarations themselves survive with their qualifiers.
+  EXPECT_NE(out.find("extern int remote_total;"), std::string::npos);
+  EXPECT_NE(out.find("const double scale = 2.0;"), std::string::npos);
+}
+
+}  // namespace

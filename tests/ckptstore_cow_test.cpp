@@ -389,20 +389,26 @@ void cow_ring_app(core::Process& p, std::shared_ptr<ResultSink> sink,
   while (iter < iters) {
     p.send_value(acc, right, 0);
     const long long got = p.recv_value<long long>(left, 0);
-    acc = acc * 3 + got;
+    // Unsigned mix: the fold is a wraparound hash, and signed overflow
+    // would be UB.
+    acc = static_cast<long long>(static_cast<unsigned long long>(acc) * 3u +
+                                 static_cast<unsigned long long>(got));
     // Dirty a small, iteration-dependent window and report it; the rest
     // of the buffer stays clean -> delta references at capture time.
     const std::size_t off = (static_cast<std::size_t>(iter) % 4) * 64;
     for (std::size_t i = 0; i < 32; ++i) {
-      buf[off + i] = static_cast<std::byte>(acc + static_cast<long long>(i));
+      buf[off + i] =
+          static_cast<std::byte>(static_cast<unsigned long long>(acc) + i);
     }
     p.notify_write(track, off, 32);
     ++iter;
     p.potential_checkpoint();
   }
-  long long fold = acc;
-  for (const std::byte b : buf) fold = fold * 31 + std::to_integer<int>(b);
-  sink->put(p.rank(), fold);
+  unsigned long long fold = static_cast<unsigned long long>(acc);
+  for (const std::byte b : buf) {
+    fold = fold * 31u + std::to_integer<unsigned>(b);
+  }
+  sink->put(p.rank(), static_cast<long long>(fold));
 }
 
 std::vector<long long> run_cow_ring(int ranks, int iters,

@@ -156,7 +156,10 @@ void ring_app(Process& p, std::shared_ptr<ResultSink> sink, int iters,
   while (iter < iters) {
     p.send_value(acc, right, 0);
     const long long got = p.recv_value<long long>(left, 0);
-    acc = acc * 3 + got;
+    // Unsigned mix: the fold is a wraparound hash, and signed overflow
+    // would be UB.
+    acc = static_cast<long long>(static_cast<unsigned long long>(acc) * 3u +
+                                 static_cast<unsigned long long>(got));
     ++iter;
     p.potential_checkpoint();
   }
@@ -300,7 +303,9 @@ TEST(ControlPlane, BarrierForcedRoundsSurviveAdversarialReordering) {
     const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
     while (iter < 12) {
       p.send_value(acc, right, 0);
-      acc = acc * 3 + p.recv_value<long long>(left, 0);
+      acc = static_cast<long long>(
+          static_cast<unsigned long long>(acc) * 3u +
+          static_cast<unsigned long long>(p.recv_value<long long>(left, 0)));
       ++iter;
       p.barrier();
       p.potential_checkpoint();

@@ -345,9 +345,13 @@ void big_allreduce_app(Process& p, std::shared_ptr<ResultSink> sink,
     ++iter;
     p.potential_checkpoint();
   }
-  long long checksum = 1469598103934665603ll;
-  for (long long v : buf) checksum = checksum * 31 + v;
-  sink->put(p.rank(), checksum);
+  // Unsigned mix: the fold is a wraparound hash, and signed overflow
+  // would be UB.
+  unsigned long long checksum = 1469598103934665603ull;
+  for (long long v : buf) {
+    checksum = checksum * 31u + static_cast<unsigned long long>(v);
+  }
+  sink->put(p.rank(), static_cast<long long>(checksum));
 }
 
 std::vector<long long> run_big_allreduce(

@@ -47,7 +47,11 @@ void ring_app(Process& p, std::shared_ptr<ResultSink> sink, int iters) {
   const int left = (p.rank() - 1 + p.nranks()) % p.nranks();
   while (iter < iters) {
     p.send_value(acc, right, 0);
-    acc = acc * 3 + p.recv_value<long long>(left, 0);
+    // Unsigned mix: the fold is a wraparound hash, and signed overflow
+    // would be UB.
+    acc = static_cast<long long>(
+        static_cast<unsigned long long>(acc) * 3u +
+        static_cast<unsigned long long>(p.recv_value<long long>(left, 0)));
     ++iter;
     p.potential_checkpoint();
   }
